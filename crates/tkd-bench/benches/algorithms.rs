@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks behind Figs. 12–13: the five algorithms on a
+//! default-parameter IND workload (query time only, contexts prebuilt).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tkd_bitvec::Concise;
+use tkd_core::{big, esb, ibig, maxscore, naive, ubb};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+
+fn workload() -> tkd_model::Dataset {
+    generate(&SyntheticConfig {
+        n: 2_000,
+        dims: 6,
+        cardinality: 60,
+        missing_rate: 0.10,
+        distribution: Distribution::Independent,
+        seed: 42,
+    })
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = workload();
+    let k = 8;
+    let queue = maxscore::maxscore_queue(&ds);
+    let big_ctx = big::BigContext::build(&ds);
+    let ibig_ctx: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&ds, &vec![16; ds.dims()]);
+
+    let mut g = c.benchmark_group("tkd_query");
+    g.sample_size(10);
+    g.bench_function("naive", |b| b.iter(|| naive::naive(&ds, k)));
+    g.bench_function("esb", |b| b.iter(|| esb::esb(&ds, k)));
+    g.bench_function("ubb", |b| b.iter(|| ubb::ubb_with_queue(&ds, k, &queue)));
+    g.bench_function("big", |b| b.iter(|| big::big_with(&big_ctx, k)));
+    g.bench_function("ibig", |b| b.iter(|| ibig::ibig_with(&ibig_ctx, k)));
+    g.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let ds = workload();
+    let big_ctx = big::BigContext::build(&ds);
+    let mut g = c.benchmark_group("big_vs_k");
+    g.sample_size(10);
+    for k in [4usize, 16, 64] {
+        g.bench_function(format!("k{k}"), |b| b.iter(|| big::big_with(&big_ctx, k)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_k_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks behind Fig. 11: IBIG query time across bin
+//! counts (space/time trade-off of §4.4–4.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tkd_bitvec::Concise;
+use tkd_core::ibig;
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+
+fn bench_bins(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig {
+        n: 2_000,
+        dims: 6,
+        cardinality: 100,
+        missing_rate: 0.10,
+        distribution: Distribution::Independent,
+        seed: 42,
+    });
+    let mut g = c.benchmark_group("ibig_vs_bins");
+    g.sample_size(10);
+    for x in [2usize, 8, 32, 100] {
+        let ctx: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&ds, &vec![x; ds.dims()]);
+        g.bench_function(format!("x{x}"), |b| b.iter(|| ibig::ibig_with(&ctx, 8)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bins);
+criterion_main!(benches);

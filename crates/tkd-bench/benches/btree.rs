@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the B+-tree substrate against
+//! `std::collections::BTreeMap` — the rank query is the one operation std
+//! cannot answer in O(log N), and it is the kernel of the paper's
+//! `MaxScore` precomputation (§4.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::BTreeMap;
+use tkd_btree::BPlusTree;
+
+const N: u64 = 10_000;
+
+fn keys() -> Vec<u64> {
+    // Deterministic shuffle via a multiplicative hash.
+    (0..N).map(|i| (i.wrapping_mul(2654435761)) % (4 * N)).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let ks = keys();
+    let mut g = c.benchmark_group("btree_insert_10k");
+    g.sample_size(10);
+    g.bench_function("bplustree", |b| {
+        b.iter_batched(
+            || ks.clone(),
+            |ks| {
+                let mut t = BPlusTree::new();
+                for k in ks {
+                    t.insert(k, k);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_btreemap", |b| {
+        b.iter_batched(
+            || ks.clone(),
+            |ks| {
+                let mut t = BTreeMap::new();
+                for k in ks {
+                    t.insert(k, k);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let ks = keys();
+    let tree: BPlusTree<u64, u64> = ks.iter().map(|&k| (k, k)).collect();
+    let std_tree: BTreeMap<u64, u64> = ks.iter().map(|&k| (k, k)).collect();
+
+    let mut g = c.benchmark_group("btree_query");
+    g.bench_function("get/bplustree", |b| {
+        b.iter(|| ks.iter().filter_map(|k| tree.get(k)).count())
+    });
+    g.bench_function("get/std_btreemap", |b| {
+        b.iter(|| ks.iter().filter_map(|k| std_tree.get(k)).count())
+    });
+    // The rank query: O(B log N) on the order-statistics tree, O(result)
+    // via range counting on std.
+    g.bench_function("rank/bplustree_count_at_least", |b| {
+        b.iter(|| ks.iter().map(|&k| tree.count_at_least(&k)).sum::<usize>())
+    });
+    g.bench_function("rank/std_range_count", |b| {
+        b.iter(|| ks.iter().take(100).map(|&k| std_tree.range(k..).count()).sum::<usize>())
+    });
+    g.bench_function("scan/bplustree_iter", |b| {
+        b.iter(|| tree.iter().map(|(_, v)| *v).sum::<u64>())
+    });
+    g.bench_function("scan/std_iter", |b| {
+        b.iter(|| std_tree.values().copied().sum::<u64>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks behind Fig. 10: WAH vs CONCISE compression
+//! and compressed intersections on real-like bitmap index columns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tkd_bitvec::{CompressedBitmap, Concise, Wah};
+use tkd_data::simulators::{movielens_like_with, nba_like_with};
+use tkd_index::{BitmapIndex, CompressedColumns};
+
+fn bench_compress(c: &mut Criterion) {
+    let movielens = movielens_like_with(400, 20, 42);
+    let nba = nba_like_with(1_500, 42);
+    for (name, ds) in [("movielens", &movielens), ("nba", &nba)] {
+        let index = BitmapIndex::build(ds);
+        let mut g = c.benchmark_group(format!("compress/{name}"));
+        g.sample_size(10);
+        g.bench_function("wah", |b| {
+            b.iter(|| CompressedColumns::<Wah>::from_bitmap(&index))
+        });
+        g.bench_function("concise", |b| {
+            b.iter(|| CompressedColumns::<Concise>::from_bitmap(&index))
+        });
+        g.finish();
+    }
+}
+
+fn bench_and_count(c: &mut Criterion) {
+    let nba = nba_like_with(1_500, 42);
+    let index = BitmapIndex::build(&nba);
+    let a = index.column(2, index.num_columns(2) / 2);
+    let b = index.column(3, index.num_columns(3) / 2);
+    let (wa, wb) = (Wah::compress(a), Wah::compress(b));
+    let (ca, cb) = (Concise::compress(a), Concise::compress(b));
+
+    let mut g = c.benchmark_group("and_count");
+    g.bench_function("dense", |bch| bch.iter(|| a.and_count(b)));
+    g.bench_function("wah", |bch| bch.iter(|| wa.and_count(&wb)));
+    g.bench_function("concise", |bch| bch.iter(|| ca.and_count(&cb)));
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let nba = nba_like_with(1_500, 42);
+    let index = BitmapIndex::build(&nba);
+    let col = index.column(0, index.num_columns(0) / 3).clone();
+    let mut g = c.benchmark_group("roundtrip");
+    g.bench_function("wah", |b| {
+        b.iter_batched(|| col.clone(), |c| Wah::compress(&c).decompress(), BatchSize::SmallInput)
+    });
+    g.bench_function("concise", |b| {
+        b.iter_batched(|| col.clone(), |c| Concise::compress(&c).decompress(), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_and_count, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks behind Table 3: preprocessing cost of the
+//! MaxScore queue, the bitmap index and the binned+compressed index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tkd_bitvec::Concise;
+use tkd_core::maxscore;
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_index::{BinnedBitmapIndex, BitmapIndex, CompressedColumns};
+use tkd_model::stats;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig {
+        n: 2_000,
+        dims: 6,
+        cardinality: 60,
+        missing_rate: 0.10,
+        distribution: Distribution::Independent,
+        seed: 42,
+    });
+    let mut g = c.benchmark_group("preprocessing");
+    g.sample_size(10);
+    g.bench_function("maxscore_queue", |b| b.iter(|| maxscore::maxscore_queue(&ds)));
+    g.bench_function("incomparable_sets", |b| b.iter(|| stats::incomparable_sets(&ds)));
+    g.bench_function("bitmap_index", |b| b.iter(|| BitmapIndex::build(&ds)));
+    g.bench_function("binned_index_x16", |b| {
+        b.iter(|| BinnedBitmapIndex::build(&ds, &vec![16; ds.dims()]))
+    });
+    g.bench_function("binned_plus_concise", |b| {
+        b.iter(|| {
+            let idx = BinnedBitmapIndex::build(&ds, &vec![16; ds.dims()]);
+            CompressedColumns::<Concise>::from_binned(&idx)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

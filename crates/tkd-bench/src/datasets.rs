@@ -1,0 +1,169 @@
+//! The five evaluation workloads (three real-data simulators, IND, AC) at
+//! either scale, with their IBIG bin configurations (§5.1's choices).
+
+use crate::Scale;
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_data::simulators::{movielens_like_with, nba_like_with, zillow_like_with};
+use tkd_model::Dataset;
+
+/// A named evaluation workload.
+pub struct Workload {
+    /// Display name ("MovieLens", "NBA", "Zillow", "IND", "AC").
+    pub name: &'static str,
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Per-dimension IBIG bin counts (§5.1: 2 / 64 / 3000 / 32 / 32 at
+    /// paper scale, scaled-down equivalents at quick scale).
+    pub ibig_bins: Vec<usize>,
+}
+
+/// Default seed used by the harness.
+pub const SEED: u64 = 42;
+
+/// MovieLens-like workload.
+pub fn movielens(scale: Scale, seed: u64) -> Workload {
+    let (n, d) = match scale {
+        Scale::Quick => (800, 30),
+        Scale::Paper => (3_700, 60),
+    };
+    let dataset = movielens_like_with(n, d, seed);
+    // Paper: 2 bins for MovieLens (domain of size 5).
+    Workload { name: "MovieLens", dataset, ibig_bins: vec![2; d] }
+}
+
+/// NBA-like workload.
+pub fn nba(scale: Scale, seed: u64) -> Workload {
+    let n = match scale {
+        Scale::Quick => 3_000,
+        Scale::Paper => 16_000,
+    };
+    let dataset = nba_like_with(n, seed);
+    // Paper: 64 bins for NBA.
+    let bins = match scale {
+        Scale::Quick => 32,
+        Scale::Paper => 64,
+    };
+    Workload { name: "NBA", dataset, ibig_bins: vec![bins; 4] }
+}
+
+/// Zillow-like workload.
+pub fn zillow(scale: Scale, seed: u64) -> Workload {
+    let n = match scale {
+        Scale::Quick => 8_000,
+        Scale::Paper => 200_000,
+    };
+    let dataset = zillow_like_with(n, seed);
+    // Paper: 6/10/35/3000/1000 per-dimension bins (3000 on lot area).
+    let lot = match scale {
+        Scale::Quick => 300,
+        Scale::Paper => 3_000,
+    };
+    Workload { name: "Zillow", dataset, ibig_bins: tkd_data::simulators::zillow_bins(lot) }
+}
+
+fn synthetic(name: &'static str, dist: Distribution, scale: Scale, seed: u64) -> Workload {
+    let cfg = SyntheticConfig {
+        n: match scale {
+            Scale::Quick => 8_000,
+            Scale::Paper => 100_000,
+        },
+        dims: 10,
+        cardinality: 100,
+        missing_rate: 0.10,
+        distribution: dist,
+        seed,
+    };
+    let dataset = generate(&cfg);
+    // Paper: 32 bins for IND and AC (≈ the Eq. 8 optimum of 29).
+    Workload { name, dataset, ibig_bins: vec![32; cfg.dims] }
+}
+
+/// IND workload at the Table 2 defaults.
+pub fn ind(scale: Scale, seed: u64) -> Workload {
+    synthetic("IND", Distribution::Independent, scale, seed)
+}
+
+/// AC workload at the Table 2 defaults.
+pub fn ac(scale: Scale, seed: u64) -> Workload {
+    synthetic("AC", Distribution::AntiCorrelated, scale, seed)
+}
+
+/// The three real-data simulators.
+pub fn real_workloads(scale: Scale, seed: u64) -> Vec<Workload> {
+    vec![movielens(scale, seed), nba(scale, seed), zillow(scale, seed)]
+}
+
+/// All five workloads in the paper's order.
+pub fn all_workloads(scale: Scale, seed: u64) -> Vec<Workload> {
+    vec![
+        movielens(scale, seed),
+        nba(scale, seed),
+        zillow(scale, seed),
+        ind(scale, seed),
+        ac(scale, seed),
+    ]
+}
+
+/// An IND workload with one overridden parameter (the Table 2 sweeps).
+pub fn ind_with(
+    scale: Scale,
+    seed: u64,
+    n: Option<usize>,
+    dims: Option<usize>,
+    missing: Option<f64>,
+    cardinality: Option<usize>,
+    dist: Distribution,
+) -> Workload {
+    let base_n = match scale {
+        Scale::Quick => 8_000,
+        Scale::Paper => 100_000,
+    };
+    let cfg = SyntheticConfig {
+        n: n.unwrap_or(base_n),
+        dims: dims.unwrap_or(10),
+        cardinality: cardinality.unwrap_or(100),
+        missing_rate: missing.unwrap_or(0.10),
+        distribution: dist,
+        seed,
+    };
+    let dims = cfg.dims;
+    let dataset = generate(&cfg);
+    let name = match dist {
+        Distribution::Independent => "IND",
+        Distribution::AntiCorrelated => "AC",
+        Distribution::Correlated => "CO",
+    };
+    Workload { name, dataset, ibig_bins: vec![32; dims] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workloads_have_expected_shapes() {
+        let ws = all_workloads(Scale::Quick, SEED);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["MovieLens", "NBA", "Zillow", "IND", "AC"]);
+        for w in &ws {
+            assert_eq!(w.ibig_bins.len(), w.dataset.dims(), "{}", w.name);
+            assert!(w.dataset.len() >= 800, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sweep_overrides() {
+        let w = ind_with(
+            Scale::Quick,
+            SEED,
+            Some(1000),
+            Some(5),
+            Some(0.3),
+            Some(50),
+            Distribution::AntiCorrelated,
+        );
+        assert_eq!(w.dataset.len(), 1000);
+        assert_eq!(w.dataset.dims(), 5);
+        assert_eq!(w.name, "AC");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal aligned-text / CSV table rendering for the repro harness.
+
+/// A printable experiment result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title, e.g. `"Fig. 12(b) — TKD cost on NBA vs k"`.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len(), "row arity");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// Format bytes with a binary unit.
+pub fn bytes(b: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = KB * 1024;
+    if b >= MB {
+        format!("{:.1}MB", b as f64 / MB as f64)
+    } else if b >= KB {
+        format!("{:.1}KB", b as f64 / KB as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.lines().count() >= 4);
+        // All data lines equal width up to trailing spaces.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(vec!["v,1".into()]);
+        assert_eq!(t.to_csv(), "a\n\"v,1\"\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.12345), "0.1235");
+        assert_eq!(secs(5.5), "5.50");
+        assert_eq!(secs(250.0), "250");
+        assert_eq!(bytes(100), "100B");
+        assert_eq!(bytes(2048), "2.0KB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0MB");
+    }
+}

@@ -1,0 +1,328 @@
+//! Dense, uncompressed bit vectors over 64-bit words.
+
+use core::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length dense bit vector.
+///
+/// This is the representation of the vertical columns of the paper's bitmap
+/// index (Fig. 6): one bit per object, word-wise boolean algebra, hardware
+/// population counts. All binary operations require equal lengths.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zeros vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// All-ones vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec { words: vec![u64::MAX; len.div_ceil(WORD_BITS)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Vector with exactly the given bit indexes set.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(len);
+        for i in indices {
+            v.set(i);
+        }
+        v
+    }
+
+    /// Zero out any bits beyond `len` in the last word (invariant: padding
+    /// bits are always zero, so `count_ones` is exact).
+    #[inline]
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the length zero?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set bit `i` to one.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Set bit `i` to zero.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Raw word storage (little-endian bit order within a word).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// In-place AND.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place AND-NOT (`self &= !other`, i.e. set difference).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_not_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement (respects the logical length).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// `self AND other` as a new vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut r = self.clone();
+        r.and_assign(other);
+        r
+    }
+
+    /// `self OR other` as a new vector.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let mut r = self.clone();
+        r.or_assign(other);
+        r
+    }
+
+    /// `self AND NOT other` as a new vector.
+    pub fn and_not(&self, other: &BitVec) -> BitVec {
+        let mut r = self.clone();
+        r.and_not_assign(other);
+        r
+    }
+
+    /// Popcount of `self AND other` without materializing it.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is every set bit of `self` also set in `other`?
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the indexes of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let shown: Vec<usize> = self.iter_ones().take(16).collect();
+        write!(f, "{shown:?}")?;
+        if self.count_ones() > 16 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over set-bit indexes of a [`BitVec`], ascending.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for Ones<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.get(69));
+        // Padding bits beyond 70 must be zero.
+        assert_eq!(o.as_words()[1].count_ones(), 6);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitVec::zeros(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = BitVec::from_indices(100, [1, 5, 64, 99]);
+        let b = BitVec::from_indices(100, [5, 64, 70]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 5, 64, 70, 99]);
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![1, 99]);
+        assert_eq!(a.and_count(&b), 2);
+    }
+
+    #[test]
+    fn not_respects_len() {
+        let mut a = BitVec::from_indices(65, [0, 64]);
+        a.not_assign();
+        assert_eq!(a.count_ones(), 63);
+        assert!(!a.get(0));
+        assert!(!a.get(64));
+        assert!(a.get(1));
+    }
+
+    #[test]
+    fn subset() {
+        let a = BitVec::from_indices(80, [3, 40]);
+        let b = BitVec::from_indices(80, [3, 40, 77]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(BitVec::zeros(80).is_subset_of(&a));
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let idx = vec![0, 31, 63, 64, 127, 128, 199];
+        let b = BitVec::from_indices(200, idx.clone());
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        assert_eq!(BitVec::zeros(0).iter_ones().count(), 0);
+        assert_eq!(BitVec::zeros(100).iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = BitVec::zeros(10).and(&BitVec::zeros(11));
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let b = BitVec::from_indices(10, [1, 3]);
+        let s = format!("{b:?}");
+        assert!(s.contains("[10;"));
+        assert!(s.contains("1"));
+    }
+}

@@ -1,0 +1,198 @@
+//! WAH — the Word-Aligned Hybrid compressed bitmap (Wu, Otoo, Shoshani,
+//! SSDBM 2002), one of the two codecs the paper evaluates for IBIG (Fig. 10).
+//!
+//! 32-bit word layout:
+//!
+//! * **literal** — bit 31 = 0, bits 0..30 hold one 31-bit block verbatim;
+//! * **fill** — bit 31 = 1, bit 30 = fill bit, bits 0..29 count the number
+//!   of consecutive all-zero / all-one 31-bit blocks.
+
+use crate::runs::{
+    and_count_runs, and_runs, bits_from_blocks, blocks_of, count_ones_runs, or_runs,
+    runs_from_blocks, Run, RunStream, BLOCK_BITS, BLOCK_MASK,
+};
+use crate::{BitVec, CompressedBitmap};
+
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_BIT: u32 = 1 << 30;
+const MAX_FILL_BLOCKS: u64 = (1 << 30) - 1;
+
+/// A WAH-compressed bitmap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Wah {
+    words: Vec<u32>,
+    len: usize,
+}
+
+impl Wah {
+    /// Build from a run sequence (must cover `ceil(len / 31)` blocks).
+    fn from_runs(runs: impl IntoIterator<Item = Run>, len: usize) -> Self {
+        let mut words = Vec::new();
+        for run in runs {
+            match run {
+                Run::Literal(x) => words.push(x & BLOCK_MASK),
+                Run::Fill { ones, mut blocks } => {
+                    while blocks > 0 {
+                        let chunk = blocks.min(MAX_FILL_BLOCKS);
+                        let mut w = FILL_FLAG | chunk as u32;
+                        if ones {
+                            w |= FILL_BIT;
+                        }
+                        words.push(w);
+                        blocks -= chunk;
+                    }
+                }
+            }
+        }
+        Wah { words, len }
+    }
+
+    /// Iterate the runs encoded in this bitmap.
+    pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
+        self.words.iter().map(|&w| {
+            if w & FILL_FLAG != 0 {
+                Run::Fill { ones: w & FILL_BIT != 0, blocks: (w & !(FILL_FLAG | FILL_BIT)) as u64 }
+            } else {
+                Run::Literal(w & BLOCK_MASK)
+            }
+        })
+    }
+
+    /// Raw encoded words (for storage accounting).
+    pub fn as_words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+impl CompressedBitmap for Wah {
+    fn compress(bits: &BitVec) -> Self {
+        Wah::from_runs(runs_from_blocks(&blocks_of(bits)), bits.len())
+    }
+
+    fn decompress(&self) -> BitVec {
+        let mut blocks = Vec::with_capacity(self.len.div_ceil(BLOCK_BITS));
+        for run in self.runs() {
+            match run {
+                Run::Fill { ones, blocks: n } => {
+                    blocks.extend(std::iter::repeat_n(if ones { BLOCK_MASK } else { 0 }, n as usize));
+                }
+                Run::Literal(x) => blocks.push(x),
+            }
+        }
+        bits_from_blocks(&blocks, self.len)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn words(&self) -> usize {
+        self.words.len()
+    }
+
+    fn count_ones(&self) -> usize {
+        count_ones_runs(self.runs(), self.len)
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let merged = and_runs(RunStream::new(self.runs()), RunStream::new(other.runs()));
+        Wah::from_runs(merged, self.len)
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let merged = or_runs(RunStream::new(self.runs()), RunStream::new(other.runs()));
+        Wah::from_runs(merged, self.len)
+    }
+
+    fn and_count(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        and_count_runs(RunStream::new(self.runs()), RunStream::new(other.runs()), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(len: usize, step: usize) -> BitVec {
+        BitVec::from_indices(len, (0..len).step_by(step))
+    }
+
+    #[test]
+    fn roundtrip_patterns() {
+        for len in [0, 1, 30, 31, 32, 62, 100, 1000] {
+            for step in [1, 2, 31, 63] {
+                let b = patterned(len, step.max(1));
+                let w = Wah::compress(&b);
+                assert_eq!(w.decompress(), b, "len={len} step={step}");
+                assert_eq!(w.count_ones(), b.count_ones(), "len={len} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_compresses_to_one_word() {
+        let b = BitVec::ones(31 * 1000);
+        let w = Wah::compress(&b);
+        assert_eq!(w.words(), 1);
+        assert_eq!(w.count_ones(), 31 * 1000);
+    }
+
+    #[test]
+    fn all_zeros_compresses_to_one_word() {
+        let b = BitVec::zeros(31 * 1000);
+        let w = Wah::compress(&b);
+        assert_eq!(w.words(), 1);
+        assert_eq!(w.count_ones(), 0);
+    }
+
+    #[test]
+    fn incompressible_data_ratio_above_one() {
+        // Alternating bits: every block is a literal; 32 bits spent per 31
+        // bits of payload -> ratio > 1 (the paper's NBA observation).
+        let b = patterned(31 * 64, 2);
+        let w = Wah::compress(&b);
+        assert!(w.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn and_or_match_dense() {
+        let a = patterned(997, 3);
+        let b = patterned(997, 5);
+        let wa = Wah::compress(&a);
+        let wb = Wah::compress(&b);
+        assert_eq!(wa.and(&wb).decompress(), a.and(&b));
+        assert_eq!(wa.or(&wb).decompress(), a.or(&b));
+        assert_eq!(wa.and_count(&wb), a.and_count(&b));
+    }
+
+    #[test]
+    fn and_with_ones_is_identity() {
+        let a = patterned(500, 7);
+        let ones = Wah::compress(&BitVec::ones(500));
+        assert_eq!(Wah::compress(&a).and(&ones).decompress(), a);
+    }
+
+    #[test]
+    fn fill_chunking_survives_giant_runs() {
+        // Directly exercise the chunking path with a synthetic run longer
+        // than one fill word can hold.
+        let blocks = MAX_FILL_BLOCKS + 5;
+        let w = Wah::from_runs(
+            vec![Run::Fill { ones: true, blocks }],
+            blocks as usize * BLOCK_BITS,
+        );
+        assert_eq!(w.words(), 2);
+        assert_eq!(w.count_ones(), blocks as usize * BLOCK_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_rejects_length_mismatch() {
+        let a = Wah::compress(&BitVec::zeros(10));
+        let b = Wah::compress(&BitVec::zeros(20));
+        let _ = a.and(&b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based equivalence of the compressed codecs against dense
+//! boolean algebra, over adversarial bit patterns.
+
+use proptest::prelude::*;
+use tkd_bitvec::{BitVec, CompressedBitmap, Concise, Wah};
+
+/// Random bit vectors biased towards compressible shapes: long runs,
+/// sparse bits, block-aligned patterns — the regimes where fill/mixed-fill
+/// encodings do real work — plus fully random noise.
+fn bitvec_strategy() -> impl Strategy<Value = BitVec> {
+    let len = 0usize..600;
+    prop_oneof![
+        // Uniform random density.
+        (len.clone(), 0.0f64..1.0).prop_flat_map(|(n, p)| {
+            proptest::collection::vec(proptest::bool::weighted(p.clamp(0.01, 0.99)), n).prop_map(
+                move |bits| {
+                    let mut b = BitVec::zeros(bits.len());
+                    for (i, set) in bits.iter().enumerate() {
+                        if *set {
+                            b.set(i);
+                        }
+                    }
+                    b
+                },
+            )
+        }),
+        // Long homogeneous runs with occasional dirty bits (mixed-fill bait).
+        (1usize..20, any::<u64>()).prop_map(|(blocks, seed)| {
+            let n = blocks * 31;
+            let mut b = if seed % 2 == 0 { BitVec::zeros(n) } else { BitVec::ones(n) };
+            let mut s = seed;
+            for _ in 0..(seed % 4) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let i = (s >> 33) as usize % n;
+                if seed % 2 == 0 {
+                    b.set(i);
+                } else {
+                    b.clear(i);
+                }
+            }
+            b
+        }),
+        // Exactly-one-block patterns around the 31-bit boundary.
+        (0usize..64).prop_map(|i| BitVec::from_indices(64, [i.min(63)])),
+    ]
+}
+
+fn paired() -> impl Strategy<Value = (BitVec, BitVec)> {
+    bitvec_strategy().prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), bitvec_strategy().prop_map(move |b| resize(&b, n)))
+    })
+}
+
+fn resize(b: &BitVec, n: usize) -> BitVec {
+    let mut out = BitVec::zeros(n);
+    for i in b.iter_ones() {
+        if i < n {
+            out.set(i);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wah_roundtrip(b in bitvec_strategy()) {
+        let w = Wah::compress(&b);
+        prop_assert_eq!(w.decompress(), b.clone());
+        prop_assert_eq!(w.count_ones(), b.count_ones());
+        prop_assert_eq!(w.len(), b.len());
+    }
+
+    #[test]
+    fn concise_roundtrip(b in bitvec_strategy()) {
+        let c = Concise::compress(&b);
+        prop_assert_eq!(c.decompress(), b.clone());
+        prop_assert_eq!(c.count_ones(), b.count_ones());
+        prop_assert_eq!(c.len(), b.len());
+    }
+
+    #[test]
+    fn boolean_algebra_matches_dense((a, b) in paired()) {
+        let dense_and = a.and(&b);
+        let dense_or = a.or(&b);
+        let (wa, wb) = (Wah::compress(&a), Wah::compress(&b));
+        prop_assert_eq!(wa.and(&wb).decompress(), dense_and.clone());
+        prop_assert_eq!(wa.or(&wb).decompress(), dense_or.clone());
+        prop_assert_eq!(wa.and_count(&wb), a.and_count(&b));
+        let (ca, cb) = (Concise::compress(&a), Concise::compress(&b));
+        prop_assert_eq!(ca.and(&cb).decompress(), dense_and);
+        prop_assert_eq!(ca.or(&cb).decompress(), dense_or);
+        prop_assert_eq!(ca.and_count(&cb), a.and_count(&b));
+    }
+
+    #[test]
+    fn and_is_commutative_and_idempotent((a, b) in paired()) {
+        let (ca, cb) = (Concise::compress(&a), Concise::compress(&b));
+        prop_assert_eq!(ca.and(&cb).decompress(), cb.and(&ca).decompress());
+        prop_assert_eq!(ca.and(&ca).decompress(), a.clone());
+        prop_assert_eq!(ca.or(&ca).decompress(), a);
+    }
+
+    #[test]
+    fn compression_never_corrupts_operations_chained((a, b) in paired()) {
+        // (a AND b) OR a == a, on the compressed forms end to end.
+        let (ca, cb) = (Concise::compress(&a), Concise::compress(&b));
+        let back = ca.and(&cb).or(&ca);
+        prop_assert_eq!(back.decompress(), a);
+    }
+
+    #[test]
+    fn concise_never_larger_than_wah_plus_slack(b in bitvec_strategy()) {
+        // CONCISE's mixed fills strictly generalize WAH's fills; its output
+        // can never exceed WAH's word count (both fall back to literals).
+        let w = Wah::compress(&b);
+        let c = Concise::compress(&b);
+        prop_assert!(c.words() <= w.words(), "CONCISE {} > WAH {}", c.words(), w.words());
+    }
+
+    #[test]
+    fn dense_iter_ones_sorted_unique(b in bitvec_strategy()) {
+        let ones: Vec<usize> = b.iter_ones().collect();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(ones.len(), b.count_ones());
+        for i in ones {
+            prop_assert!(b.get(i));
+        }
+    }
+
+    #[test]
+    fn subset_and_andnot_relations((a, b) in paired()) {
+        let inter = a.and(&b);
+        prop_assert!(inter.is_subset_of(&a));
+        prop_assert!(inter.is_subset_of(&b));
+        let diff = a.and_not(&b);
+        prop_assert!(diff.is_subset_of(&a));
+        prop_assert_eq!(diff.and_count(&b), 0);
+        prop_assert_eq!(diff.count_ones() + inter.count_ones(), a.count_ones());
+    }
+}

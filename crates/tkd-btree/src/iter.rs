@@ -1,0 +1,86 @@
+//! Ordered iteration over the linked leaves.
+
+use crate::node::NodeId;
+use crate::BPlusTree;
+use std::ops::Bound;
+
+/// Iterator over all entries in ascending key order.
+pub struct Iter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<NodeId>,
+    pos: usize,
+}
+
+impl<'a, K: Ord + Clone, V> Iter<'a, K, V> {
+    pub(crate) fn new(tree: &'a BPlusTree<K, V>) -> Self {
+        Iter { tree, leaf: Some(tree.first_leaf()), pos: 0 }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            let leaf = self.tree.node(id).as_leaf();
+            if self.pos < leaf.keys.len() {
+                let i = self.pos;
+                self.pos += 1;
+                return Some((&leaf.keys[i], &leaf.values[i]));
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Iterator over the entries in a key range, ascending.
+pub struct Range<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<NodeId>,
+    pos: usize,
+    end: Bound<K>,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    pub(crate) fn new(tree: &'a BPlusTree<K, V>, start: Bound<K>, end: Bound<K>) -> Self {
+        let (leaf, pos) = match &start {
+            Bound::Unbounded => (tree.first_leaf(), 0),
+            Bound::Included(k) => tree.seek(k, false),
+            Bound::Excluded(k) => tree.seek(k, true),
+        };
+        Range { tree, leaf: Some(leaf), pos, end }
+    }
+
+    fn within_end(&self, k: &K) -> bool {
+        match &self.end {
+            Bound::Unbounded => true,
+            Bound::Included(e) => k <= e,
+            Bound::Excluded(e) => k < e,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            let leaf = self.tree.node(id).as_leaf();
+            if self.pos < leaf.keys.len() {
+                let i = self.pos;
+                self.pos += 1;
+                let k = &leaf.keys[i];
+                if !self.within_end(k) {
+                    self.leaf = None;
+                    return None;
+                }
+                return Some((k, &leaf.values[i]));
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}

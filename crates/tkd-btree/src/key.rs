@@ -1,0 +1,86 @@
+//! Totally ordered `f64` key wrapper.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An `f64` with total order, usable as a B+-tree key.
+///
+/// NaN is rejected at construction (the data model already forbids NaN for
+/// observed values), so `Eq`/`Ord` are honest and `total_cmp` agrees with
+/// IEEE `<` on the admitted values.
+#[derive(Clone, Copy, PartialEq)]
+pub struct F64Key(f64);
+
+impl F64Key {
+    /// Wrap a finite-or-infinite (non-NaN) float.
+    ///
+    /// Returns `None` for NaN.
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(F64Key(v))
+        }
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for F64Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for F64Key {
+    type Error = &'static str;
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        F64Key::new(v).ok_or("NaN is not a valid key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan() {
+        assert!(F64Key::new(f64::NAN).is_none());
+        assert!(F64Key::try_from(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn orders_like_ieee() {
+        let a = F64Key::new(-1.5).unwrap();
+        let b = F64Key::new(0.0).unwrap();
+        let c = F64Key::new(2.0).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(F64Key::new(2.0).unwrap(), c);
+        assert_eq!(c.get(), 2.0);
+    }
+
+    #[test]
+    fn negative_zero_sorts_below_positive_zero() {
+        // total_cmp semantics; documents the (harmless) -0.0 < +0.0 quirk.
+        let nz = F64Key::new(-0.0).unwrap();
+        let pz = F64Key::new(0.0).unwrap();
+        assert!(nz < pz);
+    }
+}

@@ -1,0 +1,80 @@
+//! Node representation of the B+-tree arena.
+
+/// Arena index of a node.
+pub(crate) type NodeId = u32;
+
+/// A B+-tree node. Internal nodes route by separator keys; leaves store the
+/// entries and are forward-linked for ordered scans.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<K, V> {
+    Internal(Internal<K>),
+    Leaf(Leaf<K, V>),
+}
+
+/// Internal node: `children.len() == keys.len() + 1`; subtree `i` holds keys
+/// `< keys[i]` (and `>= keys[i-1]`).
+#[derive(Debug, Clone)]
+pub(crate) struct Internal<K> {
+    pub keys: Vec<K>,
+    pub children: Vec<NodeId>,
+    /// Total number of entries in this subtree (order statistics).
+    pub total: usize,
+}
+
+/// Leaf node: sorted parallel key/value arrays plus a forward link.
+#[derive(Debug, Clone)]
+pub(crate) struct Leaf<K, V> {
+    pub keys: Vec<K>,
+    pub values: Vec<V>,
+    pub next: Option<NodeId>,
+}
+
+impl<K, V> Node<K, V> {
+    pub fn as_internal(&self) -> &Internal<K> {
+        match self {
+            Node::Internal(i) => i,
+            Node::Leaf(_) => panic!("expected internal node"),
+        }
+    }
+
+    pub fn as_internal_mut(&mut self) -> &mut Internal<K> {
+        match self {
+            Node::Internal(i) => i,
+            Node::Leaf(_) => panic!("expected internal node"),
+        }
+    }
+
+    pub fn as_leaf(&self) -> &Leaf<K, V> {
+        match self {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => panic!("expected leaf node"),
+        }
+    }
+
+    pub fn as_leaf_mut(&mut self) -> &mut Leaf<K, V> {
+        match self {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => panic!("expected leaf node"),
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of entries in this subtree.
+    pub fn total(&self) -> usize {
+        match self {
+            Node::Internal(i) => i.total,
+            Node::Leaf(l) => l.keys.len(),
+        }
+    }
+
+    /// Number of keys stored directly in this node.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Node::Internal(i) => i.keys.len(),
+            Node::Leaf(l) => l.keys.len(),
+        }
+    }
+}

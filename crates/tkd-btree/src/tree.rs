@@ -1,0 +1,696 @@
+//! The B+-tree proper: insertion, deletion with rebalancing, point and rank
+//! queries.
+
+use crate::iter::{Iter, Range};
+use crate::node::{Internal, Leaf, Node, NodeId};
+use crate::DEFAULT_ORDER;
+use std::borrow::Borrow;
+use std::ops::RangeBounds;
+
+/// An ordered map backed by a B+-tree (see the crate docs for the role it
+/// plays in the paper's algorithms).
+///
+/// Keys are unique; inserting an existing key replaces its value. Entries
+/// live only in leaves; internal nodes hold routing separators and subtree
+/// entry counts for O(log N) rank queries.
+#[derive(Clone)]
+pub struct BPlusTree<K, V> {
+    slots: Vec<Option<Node<K, V>>>,
+    free: Vec<NodeId>,
+    root: NodeId,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree with branching factor `order` (max entries per leaf, max
+    /// children per internal node).
+    ///
+    /// # Panics
+    /// Panics if `order < 4`.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "order must be at least 4");
+        let mut t = BPlusTree { slots: Vec::new(), free: Vec::new(), root: 0, order, len: 0 };
+        t.root = t.alloc(Node::Leaf(Leaf { keys: Vec::new(), values: Vec::new(), next: None }));
+        t
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Branching factor.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Minimum entries in a non-root leaf.
+    fn min_leaf(&self) -> usize {
+        self.order / 2
+    }
+
+    /// Minimum keys in a non-root internal node (= `ceil(order/2)` children
+    /// minus one, the fill produced by a split).
+    fn min_internal_keys(&self) -> usize {
+        self.order.div_ceil(2) - 1
+    }
+
+    /// Minimum direct key count for the given node (kind-dependent).
+    fn min_keys_of(&self, node: &Node<K, V>) -> usize {
+        if node.is_leaf() {
+            self.min_leaf()
+        } else {
+            self.min_internal_keys()
+        }
+    }
+
+    // ----- arena ---------------------------------------------------------
+
+    fn alloc(&mut self, node: Node<K, V>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(node);
+            id
+        } else {
+            self.slots.push(Some(node));
+            (self.slots.len() - 1) as NodeId
+        }
+    }
+
+    fn free_slot(&mut self, id: NodeId) {
+        self.slots[id as usize] = None;
+        self.free.push(id);
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node<K, V> {
+        self.slots[id as usize].as_ref().expect("dangling node id")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<K, V> {
+        self.slots[id as usize].as_mut().expect("dangling node id")
+    }
+
+    fn take(&mut self, id: NodeId) -> Node<K, V> {
+        self.slots[id as usize].take().expect("dangling node id")
+    }
+
+    fn put(&mut self, id: NodeId, node: Node<K, V>) {
+        debug_assert!(self.slots[id as usize].is_none());
+        self.slots[id as usize] = Some(node);
+    }
+
+    // ----- routing -------------------------------------------------------
+
+    /// Index of the child an internal node routes `k` to: entries equal to a
+    /// separator live in the subtree to its right.
+    fn route<Q>(keys: &[K], k: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match keys.binary_search_by(|x| x.borrow().cmp(k)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    // ----- point queries -------------------------------------------------
+
+    /// Borrow the value for `k`, if present.
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = int.children[Self::route(&int.keys, k)],
+                Node::Leaf(leaf) => {
+                    return match leaf.keys.binary_search_by(|x| x.borrow().cmp(k)) {
+                        Ok(i) => Some(&leaf.values[i]),
+                        Err(_) => None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Mutably borrow the value for `k`, if present.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = int.children[Self::route(&int.keys, k)],
+                Node::Leaf(leaf) => {
+                    return match leaf.keys.binary_search_by(|x| x.borrow().cmp(k)) {
+                        Ok(i) => {
+                            let leaf = self.node_mut(id).as_leaf_mut();
+                            Some(&mut leaf.values[i])
+                        }
+                        Err(_) => None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Does the tree contain `k`?
+    pub fn contains_key<Q>(&self, k: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(k).is_some()
+    }
+
+    // ----- rank queries (order statistics) --------------------------------
+
+    /// Number of entries with key strictly less than `k` — the rank query
+    /// behind the paper's O(N·lg N) `MaxScore` precomputation.
+    pub fn count_less_than<Q>(&self, k: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.count_with(k, false)
+    }
+
+    /// Number of entries with key less than or equal to `k`.
+    pub fn count_at_most<Q>(&self, k: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.count_with(k, true)
+    }
+
+    /// Number of entries with key greater than or equal to `k`.
+    pub fn count_at_least<Q>(&self, k: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.len - self.count_less_than(k)
+    }
+
+    fn count_with<Q>(&self, k: &Q, inclusive: bool) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut id = self.root;
+        let mut acc = 0usize;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => {
+                    let idx = Self::route(&int.keys, k);
+                    for &c in &int.children[..idx] {
+                        acc += self.node(c).total();
+                    }
+                    id = int.children[idx];
+                }
+                Node::Leaf(leaf) => {
+                    let pos = leaf.keys.partition_point(|x| {
+                        if inclusive {
+                            x.borrow() <= k
+                        } else {
+                            x.borrow() < k
+                        }
+                    });
+                    return acc + pos;
+                }
+            }
+        }
+    }
+
+    // ----- extrema --------------------------------------------------------
+
+    /// Entry with the smallest key.
+    pub fn first_key_value(&self) -> Option<(&K, &V)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = int.children[0],
+                Node::Leaf(leaf) => return Some((&leaf.keys[0], &leaf.values[0])),
+            }
+        }
+    }
+
+    /// Entry with the largest key.
+    pub fn last_key_value(&self) -> Option<(&K, &V)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = *int.children.last().expect("internal has children"),
+                Node::Leaf(leaf) => {
+                    let i = leaf.keys.len() - 1;
+                    return Some((&leaf.keys[i], &leaf.values[i]));
+                }
+            }
+        }
+    }
+
+    // ----- iteration -------------------------------------------------------
+
+    pub(crate) fn first_leaf(&self) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = int.children[0],
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    /// Leaf and in-leaf position of the first entry with key `>= k`
+    /// (`excl`: strictly greater). Position may equal the leaf length, in
+    /// which case iteration continues at the next leaf.
+    pub(crate) fn seek<Q>(&self, k: &Q, excl: bool) -> (NodeId, usize)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(int) => id = int.children[Self::route(&int.keys, k)],
+                Node::Leaf(leaf) => {
+                    let pos = leaf.keys.partition_point(|x| {
+                        if excl {
+                            x.borrow() <= k
+                        } else {
+                            x.borrow() < k
+                        }
+                    });
+                    return (id, pos);
+                }
+            }
+        }
+    }
+
+    /// Iterate all entries in ascending key order through the leaf links.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter::new(self)
+    }
+
+    /// Iterate the entries whose keys fall in `range`, ascending.
+    pub fn range<R>(&self, range: R) -> Range<'_, K, V>
+    where
+        R: RangeBounds<K>,
+    {
+        Range::new(self, range.start_bound().cloned(), range.end_bound().cloned())
+    }
+
+    // ----- insertion --------------------------------------------------------
+
+    /// Insert `k → v`; returns the previous value if `k` was present.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(root, k, v);
+        if let Some((sep, right)) = split {
+            let left = self.root;
+            let total = self.node(left).total() + self.node(right).total();
+            self.root = self.alloc(Node::Internal(Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+                total,
+            }));
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, id: NodeId, k: K, v: V) -> (Option<V>, Option<(K, NodeId)>) {
+        if self.node(id).is_leaf() {
+            let order = self.order;
+            let leaf = self.node_mut(id).as_leaf_mut();
+            match leaf.keys.binary_search(&k) {
+                Ok(i) => (Some(std::mem::replace(&mut leaf.values[i], v)), None),
+                Err(i) => {
+                    leaf.keys.insert(i, k);
+                    leaf.values.insert(i, v);
+                    if leaf.keys.len() > order {
+                        let split = self.split_leaf(id);
+                        (None, Some(split))
+                    } else {
+                        (None, None)
+                    }
+                }
+            }
+        } else {
+            let (child_idx, child_id) = {
+                let int = self.node(id).as_internal();
+                let i = Self::route(&int.keys, &k);
+                (i, int.children[i])
+            };
+            let (old, split) = self.insert_rec(child_id, k, v);
+            {
+                let int = self.node_mut(id).as_internal_mut();
+                if old.is_none() {
+                    int.total += 1;
+                }
+                if let Some((sep, right)) = split {
+                    int.keys.insert(child_idx, sep);
+                    int.children.insert(child_idx + 1, right);
+                }
+            }
+            if self.node(id).as_internal().children.len() > self.order {
+                let split = self.split_internal(id);
+                (old, Some(split))
+            } else {
+                (old, None)
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, id: NodeId) -> (K, NodeId) {
+        let leaf = self.node_mut(id).as_leaf_mut();
+        let mid = leaf.keys.len() / 2;
+        let rkeys = leaf.keys.split_off(mid);
+        let rvals = leaf.values.split_off(mid);
+        let next = leaf.next;
+        let sep = rkeys[0].clone();
+        let right = self.alloc(Node::Leaf(Leaf { keys: rkeys, values: rvals, next }));
+        self.node_mut(id).as_leaf_mut().next = Some(right);
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, id: NodeId) -> (K, NodeId) {
+        let (sep, rkeys, rchildren) = {
+            let int = self.node_mut(id).as_internal_mut();
+            let mid = int.keys.len() / 2;
+            let rkeys = int.keys.split_off(mid + 1);
+            let sep = int.keys.pop().expect("mid key exists");
+            let rchildren = int.children.split_off(mid + 1);
+            (sep, rkeys, rchildren)
+        };
+        let rtotal: usize = rchildren.iter().map(|&c| self.node(c).total()).sum();
+        {
+            let int = self.node_mut(id).as_internal_mut();
+            int.total -= rtotal;
+        }
+        let right = self.alloc(Node::Internal(Internal { keys: rkeys, children: rchildren, total: rtotal }));
+        (sep, right)
+    }
+
+    // ----- deletion ----------------------------------------------------------
+
+    /// Remove `k`, returning its value if present.
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let root = self.root;
+        let old = self.remove_rec(root, k);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the root while it is an internal node with a single child.
+        loop {
+            let r = self.root;
+            let promote = match self.node(r) {
+                Node::Internal(int) if int.children.len() == 1 => Some(int.children[0]),
+                _ => None,
+            };
+            match promote {
+                Some(c) => {
+                    self.free_slot(r);
+                    self.root = c;
+                }
+                None => break,
+            }
+        }
+        old
+    }
+
+    fn remove_rec<Q>(&mut self, id: NodeId, k: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if self.node(id).is_leaf() {
+            let leaf = self.node_mut(id).as_leaf_mut();
+            match leaf.keys.binary_search_by(|x| x.borrow().cmp(k)) {
+                Ok(i) => {
+                    leaf.keys.remove(i);
+                    Some(leaf.values.remove(i))
+                }
+                Err(_) => None,
+            }
+        } else {
+            let (child_idx, child_id) = {
+                let int = self.node(id).as_internal();
+                let i = Self::route(&int.keys, k);
+                (i, int.children[i])
+            };
+            let old = self.remove_rec(child_id, k);
+            if old.is_some() {
+                self.node_mut(id).as_internal_mut().total -= 1;
+            }
+            let child = self.node(child_id);
+            if child.key_count() < self.min_keys_of(child) {
+                self.rebalance(id, child_idx);
+            }
+            old
+        }
+    }
+
+    /// Fix an underflowing child `idx` of `parent`: borrow from a richer
+    /// sibling or merge with one.
+    fn rebalance(&mut self, parent: NodeId, idx: usize) {
+        let (nchildren, left_rich, right_rich) = {
+            let int = self.node(parent).as_internal();
+            let rich = |id: NodeId| {
+                let n = self.node(id);
+                n.key_count() > self.min_keys_of(n)
+            };
+            let left = idx > 0 && rich(int.children[idx - 1]);
+            let right = idx + 1 < int.children.len() && rich(int.children[idx + 1]);
+            (int.children.len(), left, right)
+        };
+        if left_rich {
+            self.borrow_from_left(parent, idx);
+        } else if right_rich {
+            self.borrow_from_right(parent, idx);
+        } else if idx > 0 {
+            self.merge_children(parent, idx - 1);
+        } else if nchildren > 1 {
+            self.merge_children(parent, idx);
+        }
+        // A root leaf (or a root with a single child, handled by the caller)
+        // may legitimately stay below the minimum.
+    }
+
+    fn borrow_from_left(&mut self, parent: NodeId, idx: usize) {
+        let mut p = self.take(parent);
+        let pint = p.as_internal_mut();
+        let (lid, cid) = (pint.children[idx - 1], pint.children[idx]);
+        let mut l = self.take(lid);
+        let mut c = self.take(cid);
+        match (&mut l, &mut c) {
+            (Node::Leaf(l), Node::Leaf(c)) => {
+                let k = l.keys.pop().expect("rich sibling");
+                let v = l.values.pop().expect("rich sibling");
+                c.keys.insert(0, k);
+                c.values.insert(0, v);
+                pint.keys[idx - 1] = c.keys[0].clone();
+            }
+            (Node::Internal(l), Node::Internal(c)) => {
+                let moved_child = l.children.pop().expect("rich sibling");
+                let moved_total = self.node(moved_child).total();
+                let sep = std::mem::replace(&mut pint.keys[idx - 1], l.keys.pop().expect("rich"));
+                c.keys.insert(0, sep);
+                c.children.insert(0, moved_child);
+                l.total -= moved_total;
+                c.total += moved_total;
+            }
+            _ => unreachable!("siblings at the same level share a kind"),
+        }
+        self.put(lid, l);
+        self.put(cid, c);
+        self.put(parent, p);
+    }
+
+    fn borrow_from_right(&mut self, parent: NodeId, idx: usize) {
+        let mut p = self.take(parent);
+        let pint = p.as_internal_mut();
+        let (cid, rid) = (pint.children[idx], pint.children[idx + 1]);
+        let mut c = self.take(cid);
+        let mut r = self.take(rid);
+        match (&mut c, &mut r) {
+            (Node::Leaf(c), Node::Leaf(r)) => {
+                c.keys.push(r.keys.remove(0));
+                c.values.push(r.values.remove(0));
+                pint.keys[idx] = r.keys[0].clone();
+            }
+            (Node::Internal(c), Node::Internal(r)) => {
+                let moved_child = r.children.remove(0);
+                let moved_total = self.node(moved_child).total();
+                let sep = std::mem::replace(&mut pint.keys[idx], r.keys.remove(0));
+                c.keys.push(sep);
+                c.children.push(moved_child);
+                r.total -= moved_total;
+                c.total += moved_total;
+            }
+            _ => unreachable!("siblings at the same level share a kind"),
+        }
+        self.put(cid, c);
+        self.put(rid, r);
+        self.put(parent, p);
+    }
+
+    /// Merge child `li + 1` of `parent` into child `li`.
+    fn merge_children(&mut self, parent: NodeId, li: usize) {
+        let mut p = self.take(parent);
+        let pint = p.as_internal_mut();
+        let lid = pint.children[li];
+        let rid = pint.children[li + 1];
+        let sep = pint.keys.remove(li);
+        pint.children.remove(li + 1);
+        let mut l = self.take(lid);
+        let r = self.take(rid);
+        match (&mut l, r) {
+            (Node::Leaf(l), Node::Leaf(r)) => {
+                l.keys.extend(r.keys);
+                l.values.extend(r.values);
+                l.next = r.next;
+            }
+            (Node::Internal(l), Node::Internal(r)) => {
+                l.keys.push(sep);
+                l.keys.extend(r.keys);
+                l.children.extend(r.children);
+                l.total += r.total;
+            }
+            _ => unreachable!("siblings at the same level share a kind"),
+        }
+        self.put(lid, l);
+        self.put(parent, p);
+        self.free.push(rid);
+    }
+
+    /// Remove every entry (retains the allocation of the root leaf only).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.len = 0;
+        self.root = self.alloc(Node::Leaf(Leaf { keys: Vec::new(), values: Vec::new(), next: None }));
+    }
+
+    // ----- validation (tests) ------------------------------------------------
+
+    /// Exhaustively verify the structural invariants; panics on violation.
+    /// Exposed for tests and fuzzing.
+    #[doc(hidden)]
+    pub fn check_invariants(&self)
+    where
+        K: std::fmt::Debug,
+    {
+        let depth = self.check_node(self.root, None, None, true);
+        // All leaves at the same depth.
+        let _ = depth;
+        // Leaf chain yields all keys in sorted order.
+        let keys: Vec<&K> = self.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), self.len, "leaf chain length vs len()");
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "leaf chain out of order: {:?} !< {:?}", w[0], w[1]);
+        }
+        assert_eq!(self.node(self.root).total(), self.len, "root total");
+    }
+
+    /// Returns the depth of the subtree; checks key bounds, fill and totals.
+    fn check_node(&self, id: NodeId, lo: Option<&K>, hi: Option<&K>, is_root: bool) -> usize
+    where
+        K: std::fmt::Debug,
+    {
+        match self.node(id) {
+            Node::Leaf(leaf) => {
+                assert_eq!(leaf.keys.len(), leaf.values.len());
+                assert!(leaf.keys.len() <= self.order, "leaf overflow");
+                if !is_root {
+                    assert!(leaf.keys.len() >= self.min_leaf(), "leaf underflow");
+                }
+                for w in leaf.keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted leaf");
+                }
+                if let (Some(lo), Some(first)) = (lo, leaf.keys.first()) {
+                    assert!(lo <= first, "leaf key below lower bound");
+                }
+                if let (Some(hi), Some(last)) = (hi, leaf.keys.last()) {
+                    assert!(last < hi, "leaf key at/above upper bound");
+                }
+                1
+            }
+            Node::Internal(int) => {
+                assert_eq!(int.children.len(), int.keys.len() + 1);
+                assert!(int.children.len() <= self.order, "internal overflow");
+                if !is_root {
+                    assert!(int.keys.len() >= self.min_internal_keys(), "internal underflow");
+                } else {
+                    assert!(int.children.len() >= 2, "root internal must have >= 2 children");
+                }
+                for w in int.keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted internal");
+                }
+                let total: usize = int.children.iter().map(|&c| self.node(c).total()).sum();
+                assert_eq!(total, int.total, "internal total mismatch");
+                let mut depth = None;
+                for (i, &c) in int.children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&int.keys[i - 1]) };
+                    let chi = if i == int.keys.len() { hi } else { Some(&int.keys[i]) };
+                    let d = self.check_node(c, clo, chi, false);
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) => assert_eq!(prev, d, "unbalanced depth"),
+                    }
+                }
+                depth.expect("internal node has children") + 1
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for BPlusTree<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V> FromIterator<(K, V)> for BPlusTree<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut t = BPlusTree::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}

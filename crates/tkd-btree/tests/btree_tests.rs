@@ -1,0 +1,267 @@
+//! Behavioural and model-based tests for the B+-tree substrate.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tkd_btree::{BPlusTree, F64Key};
+
+#[test]
+fn empty_tree_basics() {
+    let t: BPlusTree<u32, u32> = BPlusTree::new();
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.get(&1), None);
+    assert_eq!(t.first_key_value(), None);
+    assert_eq!(t.last_key_value(), None);
+    assert_eq!(t.iter().count(), 0);
+    assert_eq!(t.count_less_than(&5), 0);
+    t.check_invariants();
+}
+
+#[test]
+fn insert_get_replace() {
+    let mut t = BPlusTree::with_order(4);
+    assert_eq!(t.insert(10, "x"), None);
+    assert_eq!(t.insert(10, "y"), Some("x"));
+    assert_eq!(t.get(&10), Some(&"y"));
+    assert_eq!(t.len(), 1);
+    t.check_invariants();
+}
+
+#[test]
+fn get_mut_updates_in_place() {
+    let mut t = BPlusTree::new();
+    t.insert(1, vec![1]);
+    t.get_mut(&1).unwrap().push(2);
+    assert_eq!(t.get(&1), Some(&vec![1, 2]));
+    assert_eq!(t.get_mut(&99), None);
+}
+
+#[test]
+fn ascending_bulk_insert_small_order() {
+    let mut t = BPlusTree::with_order(4);
+    for i in 0..1000u32 {
+        t.insert(i, i * 2);
+        if i % 97 == 0 {
+            t.check_invariants();
+        }
+    }
+    t.check_invariants();
+    assert_eq!(t.len(), 1000);
+    for i in 0..1000u32 {
+        assert_eq!(t.get(&i), Some(&(i * 2)));
+    }
+    let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+}
+
+#[test]
+fn descending_bulk_insert() {
+    let mut t = BPlusTree::with_order(6);
+    for i in (0..500u32).rev() {
+        t.insert(i, ());
+    }
+    t.check_invariants();
+    assert_eq!(t.iter().count(), 500);
+    assert_eq!(t.first_key_value(), Some((&0, &())));
+    assert_eq!(t.last_key_value(), Some((&499, &())));
+}
+
+#[test]
+fn shuffled_insert_then_remove_everything() {
+    // Deterministic pseudo-shuffle.
+    let mut keys: Vec<u64> = (0..2000).map(|i| (i * 2654435761u64) % 10_000).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut t = BPlusTree::with_order(8);
+    for (i, &k) in keys.iter().enumerate() {
+        t.insert(k, i);
+    }
+    t.check_invariants();
+    assert_eq!(t.len(), keys.len());
+    for &k in keys.iter().rev() {
+        assert!(t.remove(&k).is_some());
+        assert_eq!(t.remove(&k), None);
+    }
+    assert!(t.is_empty());
+    t.check_invariants();
+}
+
+#[test]
+fn remove_missing_is_none() {
+    let mut t = BPlusTree::new();
+    t.insert(1, 1);
+    assert_eq!(t.remove(&2), None);
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn rank_queries() {
+    let mut t = BPlusTree::with_order(4);
+    for i in [10, 20, 30, 40, 50] {
+        t.insert(i, ());
+    }
+    assert_eq!(t.count_less_than(&10), 0);
+    assert_eq!(t.count_less_than(&11), 1);
+    assert_eq!(t.count_less_than(&30), 2);
+    assert_eq!(t.count_at_most(&30), 3);
+    assert_eq!(t.count_at_least(&30), 3);
+    assert_eq!(t.count_at_least(&51), 0);
+    assert_eq!(t.count_at_least(&10), 5);
+}
+
+#[test]
+fn range_queries() {
+    use std::ops::Bound;
+    let mut t = BPlusTree::with_order(4);
+    for i in 0..100u32 {
+        t.insert(i, i);
+    }
+    let got: Vec<u32> = t.range(10..20).map(|(k, _)| *k).collect();
+    assert_eq!(got, (10..20).collect::<Vec<_>>());
+    let got: Vec<u32> = t.range(10..=20).map(|(k, _)| *k).collect();
+    assert_eq!(got, (10..=20).collect::<Vec<_>>());
+    let got: Vec<u32> = t.range(95..).map(|(k, _)| *k).collect();
+    assert_eq!(got, (95..100).collect::<Vec<_>>());
+    let got: Vec<u32> = t.range(..5).map(|(k, _)| *k).collect();
+    assert_eq!(got, (0..5).collect::<Vec<_>>());
+    let got: Vec<u32> = t
+        .range((Bound::Excluded(10), Bound::Included(12)))
+        .map(|(k, _)| *k)
+        .collect();
+    assert_eq!(got, vec![11, 12]);
+    let empty = (Bound::Included(60u32), Bound::Excluded(40u32));
+    assert_eq!(t.range(empty).count(), 0);
+}
+
+#[test]
+fn range_with_gaps() {
+    let mut t = BPlusTree::with_order(4);
+    for i in (0..100u32).step_by(10) {
+        t.insert(i, ());
+    }
+    let got: Vec<u32> = t.range(15..55).map(|(k, _)| *k).collect();
+    assert_eq!(got, vec![20, 30, 40, 50]);
+}
+
+#[test]
+fn f64_keys_work() {
+    let mut t: BPlusTree<F64Key, u32> = BPlusTree::new();
+    for (i, v) in [3.5, -1.0, 0.0, 7.25].into_iter().enumerate() {
+        t.insert(F64Key::new(v).unwrap(), i as u32);
+    }
+    let keys: Vec<f64> = t.iter().map(|(k, _)| k.get()).collect();
+    assert_eq!(keys, vec![-1.0, 0.0, 3.5, 7.25]);
+    assert_eq!(t.count_at_least(&F64Key::new(0.0).unwrap()), 3);
+}
+
+#[test]
+fn from_iterator_and_debug() {
+    let t: BPlusTree<u32, &str> = [(2, "b"), (1, "a")].into_iter().collect();
+    assert_eq!(format!("{t:?}"), r#"{1: "a", 2: "b"}"#);
+}
+
+#[test]
+fn clear_resets() {
+    let mut t = BPlusTree::with_order(4);
+    for i in 0..100u32 {
+        t.insert(i, ());
+    }
+    t.clear();
+    assert!(t.is_empty());
+    assert_eq!(t.iter().count(), 0);
+    t.insert(5, ());
+    assert_eq!(t.len(), 1);
+    t.check_invariants();
+}
+
+#[test]
+#[should_panic(expected = "order must be at least 4")]
+fn tiny_order_rejected() {
+    let _: BPlusTree<u32, ()> = BPlusTree::with_order(3);
+}
+
+#[test]
+fn contains_key() {
+    let mut t = BPlusTree::new();
+    t.insert(7u32, ());
+    assert!(t.contains_key(&7));
+    assert!(!t.contains_key(&8));
+}
+
+/// One operation of the model test.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    CountLt(u16),
+    RangeScan(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        any::<u16>().prop_map(|k| Op::CountLt(k % 512)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RangeScan(a % 512, b % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The B+-tree behaves exactly like `BTreeMap` under arbitrary op
+    /// sequences, for several node orders, and its structural invariants
+    /// hold throughout.
+    #[test]
+    fn model_equivalence(ops in proptest::collection::vec(op_strategy(), 1..400), order in 4usize..12) {
+        let mut tree: BPlusTree<u16, u32> = BPlusTree::with_order(order);
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                }
+                Op::CountLt(k) => {
+                    prop_assert_eq!(tree.count_less_than(&k), model.range(..k).count());
+                    prop_assert_eq!(tree.count_at_most(&k), model.range(..=k).count());
+                    prop_assert_eq!(tree.count_at_least(&k), model.range(k..).count());
+                }
+                Op::RangeScan(a, b) => {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let got: Vec<(u16, u32)> = tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    let want: Vec<(u16, u32)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tree.first_key_value().map(|(k, v)| (*k, *v)),
+                        model.first_key_value().map(|(k, v)| (*k, *v)));
+        prop_assert_eq!(tree.last_key_value().map(|(k, v)| (*k, *v)),
+                        model.last_key_value().map(|(k, v)| (*k, *v)));
+    }
+
+    /// Rank queries agree with a sorted-vec oracle for random key sets.
+    #[test]
+    fn rank_oracle(keys in proptest::collection::btree_set(any::<u32>(), 0..300), probe in any::<u32>()) {
+        let mut t = BPlusTree::with_order(4);
+        for &k in &keys {
+            t.insert(k, ());
+        }
+        let sorted: Vec<u32> = keys.iter().copied().collect();
+        prop_assert_eq!(t.count_less_than(&probe), sorted.partition_point(|&x| x < probe));
+        prop_assert_eq!(t.count_at_most(&probe), sorted.partition_point(|&x| x <= probe));
+    }
+}

@@ -1,0 +1,237 @@
+//! BIG — the Bitmap Index Guided algorithm (§4.3, Algorithms 3–4).
+//!
+//! BIG keeps UBB's descending-`MaxScore` traversal and early termination
+//! (Heuristic 1) but replaces pairwise scoring with bit-parallel set
+//! algebra on the range-encoded [`BitmapIndex`]:
+//!
+//! * `Q = ∩[Qᵢ] − {o}` gives `MaxBitScore(o) = |Q|`, an upper bound that is
+//!   *tighter* than `MaxScore` (Lemma 3) and prunes via **Heuristic 2**;
+//! * `P = ∩[Pᵢ]` splits off `G(o) = P − F(o)`, the objects strictly worse
+//!   than `o` wherever comparable (all dominated);
+//! * the residue `Q − P` — objects tying `o` in at least one common
+//!   dimension — is resolved exactly: a member ties `o` on *every* common
+//!   dimension iff it is **not** dominated (`nonD(o)`);
+//! * `score(o) = |G(o)| + |L(o)| = |P − F| + |Q − P − nonD|`.
+
+use crate::maxscore::maxscore_queue;
+use crate::result::TkdResult;
+use crate::stats::PruneStats;
+use crate::topk::TopK;
+use std::collections::HashMap;
+use tkd_bitvec::BitVec;
+use tkd_index::BitmapIndex;
+use tkd_model::{stats, Dataset, ObjectId};
+
+/// Precomputed inputs of Algorithm 4: the bitmap index, the `MaxScore`
+/// queue `F` and the per-mask incomparable sets `F(o)`.
+pub struct BigContext<'a> {
+    ds: &'a Dataset,
+    index: BitmapIndex,
+    queue: Vec<(ObjectId, usize)>,
+    /// Incomparable set per distinct observation mask, as a bit vector.
+    f_sets: HashMap<u64, BitVec>,
+}
+
+impl<'a> BigContext<'a> {
+    /// Run all preprocessing for `ds` (the paper's Table 3 "bitmap index"
+    /// plus "MaxScore" columns).
+    pub fn build(ds: &'a Dataset) -> Self {
+        let index = BitmapIndex::build(ds);
+        let queue = maxscore_queue(ds);
+        let f_sets = incomparable_bitvecs(ds);
+        BigContext { ds, index, queue, f_sets }
+    }
+
+    /// The underlying bitmap index.
+    pub fn index(&self) -> &BitmapIndex {
+        &self.index
+    }
+
+    /// `F(o)` for an object's mask (empty bit vector if every object is
+    /// comparable).
+    fn f_of(&self, o: ObjectId) -> &BitVec {
+        &self.f_sets[&self.ds.mask(o).bits()]
+    }
+}
+
+/// Per-mask incomparable sets as dense bit vectors.
+pub(crate) fn incomparable_bitvecs(ds: &Dataset) -> HashMap<u64, BitVec> {
+    stats::incomparable_sets(ds)
+        .into_iter()
+        .map(|(mask, ids)| {
+            (
+                mask.bits(),
+                BitVec::from_indices(ds.len(), ids.into_iter().map(|i| i as usize)),
+            )
+        })
+        .collect()
+}
+
+/// Answer a TKD query with BIG (builds the index and queue internally).
+pub fn big(ds: &Dataset, k: usize) -> TkdResult {
+    let ctx = BigContext::build(ds);
+    big_with(&ctx, k)
+}
+
+/// Algorithm 4 over a prebuilt [`BigContext`].
+pub fn big_with(ctx: &BigContext<'_>, k: usize) -> TkdResult {
+    let mut top = TopK::new(k);
+    let mut stats = PruneStats::default();
+    for (visited, &(o, max_score)) in ctx.queue.iter().enumerate() {
+        // Heuristic 1 — early termination on the loose bound.
+        if top.prunes(max_score) {
+            stats.h1_pruned = ctx.queue.len() - visited;
+            break;
+        }
+        match big_score(ctx, o, &top) {
+            None => stats.h2_pruned += 1,
+            Some(score) => {
+                stats.scored += 1;
+                top.offer(o, score);
+            }
+        }
+    }
+    TkdResult::new(top.into_entries(), stats)
+}
+
+/// BIG-Score (Algorithm 3). Returns `None` when Heuristic 2 discards `o`
+/// (its exact score is then never computed).
+fn big_score(ctx: &BigContext<'_>, o: ObjectId, top: &TopK) -> Option<usize> {
+    let ds = ctx.ds;
+    let q = ctx.index.q_vec(o);
+    let max_bit_score = q.count_ones();
+    // Heuristic 2 — bitmap pruning on the tight bound.
+    if top.prunes(max_bit_score) {
+        return None;
+    }
+    let p = ctx.index.p_vec(o);
+    let f = ctx.f_of(o);
+    // G(o) = P − F(o): strictly-worse-or-missing everywhere, comparable.
+    let g = p.count_ones() - p.and_count(f);
+    // Q − P: candidates for nonD(o) — they tie o somewhere.
+    let qmp = q.and_not(&p);
+    let o_mask = ds.mask(o);
+    let mut non_d = 0usize;
+    for pid in qmp.iter_ones() {
+        let pid = pid as ObjectId;
+        // p ∈ nonD(o) iff p equals o on every commonly observed dimension
+        // (tagT = |bp & bo| in the paper's notation).
+        let common = o_mask.and(ds.mask(pid));
+        let all_equal = common
+            .iter()
+            .all(|d| ds.raw_value(o, d) == ds.raw_value(pid, d));
+        if all_equal {
+            non_d += 1;
+        }
+    }
+    let l = qmp.count_ones() - non_d;
+    Some(g + l)
+}
+
+/// `MaxBitScore(o)` of the full (unbinned) index — exposed for analysis and
+/// the Fig. 8 reproduction.
+pub fn max_bit_scores(ds: &Dataset) -> Vec<usize> {
+    let index = BitmapIndex::build(ds);
+    ds.ids().map(|o| index.max_bit_score(o)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive;
+    use tkd_model::{dominance, fixtures};
+
+    #[test]
+    fn example3_worked_c2() {
+        // §4.3 Example 3: score(C2) = |G| + |L| = 14 + 2 = 16 with
+        // nonD(C2) = {A2, B2, D3}.
+        let ds = fixtures::fig3_sample();
+        let ctx = BigContext::build(&ds);
+        let c2 = ds.id_by_label("C2").unwrap();
+        let top = TopK::new(2); // empty: no pruning yet
+        assert_eq!(big_score(&ctx, c2, &top), Some(16));
+        let p = ctx.index().p_vec(c2);
+        assert_eq!(p.count_ones(), 14, "|G(C2)| = |P| = 14 (F empty)");
+        let qmp = ctx.index().q_vec(c2).and_not(&p);
+        let labels: Vec<&str> = qmp.iter_ones().map(|i| ds.label(i as u32).unwrap()).collect();
+        assert_eq!(labels, vec!["A2", "B2", "C1", "D2", "D3"]);
+    }
+
+    #[test]
+    fn example3_full_run() {
+        // BIG evaluates C2 and A2, then Heuristic 1 stops at B2.
+        let ds = fixtures::fig3_sample();
+        let r = big(&ds, 2);
+        let mut labels: Vec<_> = r.iter().map(|e| ds.label(e.id).unwrap()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["A2", "C2"]);
+        assert_eq!(r.kth_score(), Some(16));
+        assert_eq!(r.stats.scored, 2);
+        assert_eq!(r.stats.h1_pruned, 18);
+    }
+
+    #[test]
+    fn fig8_max_bit_scores() {
+        let ds = fixtures::fig3_sample();
+        let mbs = max_bit_scores(&ds);
+        for (label, expected) in fixtures::fig8_maxbitscores() {
+            let o = ds.id_by_label(label).unwrap();
+            assert_eq!(mbs[o as usize], expected, "{label}");
+        }
+    }
+
+    #[test]
+    fn lemma3_maxbitscore_at_most_maxscore() {
+        let ds = fixtures::fig3_sample();
+        let mbs = max_bit_scores(&ds);
+        let ms = crate::maxscore::max_scores(&ds);
+        for o in ds.ids() {
+            assert!(mbs[o as usize] <= ms[o as usize], "object {o}");
+            assert!(dominance::score_of(&ds, o) <= mbs[o as usize], "object {o}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_fixtures() {
+        for ds in [fixtures::fig2_points(), fixtures::fig3_sample(), fixtures::fig1_movies()] {
+            for k in [1, 2, 3, 4, 7, 50] {
+                let a = big(&ds, k);
+                let b = naive(&ds, k);
+                assert_eq!(a.scores(), b.scores(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_via_bitmaps_equals_bruteforce_for_all_objects() {
+        let ds = fixtures::fig3_sample();
+        let ctx = BigContext::build(&ds);
+        let top = TopK::new(1); // never full with no offers: no pruning
+        for o in ds.ids() {
+            assert_eq!(
+                big_score(&ctx, o, &top),
+                Some(dominance::score_of(&ds, o)),
+                "{}",
+                ds.label(o).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn incomparable_sets_respected() {
+        // Disjoint masks: F(o) must remove the incomparables from G.
+        let ds = tkd_model::Dataset::from_rows(
+            2,
+            &[
+                vec![Some(1.0), None],  // 0: mask 01
+                vec![None, Some(9.0)],  // 1: mask 10 — incomparable to 0
+                vec![Some(5.0), None],  // 2: mask 01 — dominated by 0
+            ],
+        )
+        .unwrap();
+        let ctx = BigContext::build(&ds);
+        let top = TopK::new(1);
+        assert_eq!(big_score(&ctx, 0, &top), Some(1)); // dominates only 2
+        assert_eq!(big_score(&ctx, 1, &top), Some(0));
+    }
+}

@@ -1,0 +1,203 @@
+//! The classical **complete-data** TKD baseline: skyline peeling, after
+//! Papadias et al. (TODS 2005) and Yiu & Mamoulis (VLDB 2007) — the
+//! paper's references \[5\]–\[7\].
+//!
+//! On complete data dominance is transitive, so `p ≻ o ⟹ score(p) >
+//! score(o)`: the best object always lies on the skyline of the remaining
+//! candidates. The classical method therefore alternates *skyline
+//! extraction* with *score counting* restricted to skyline members, never
+//! scoring dominated objects before all their dominators:
+//!
+//! 1. compute the skyline of the candidate set;
+//! 2. count the exact score of each new skyline member (over all of `S`);
+//! 3. emit the member with the maximum score and remove it from the
+//!    candidates (its removal can only expose objects it dominated);
+//! 4. repeat until `k` objects are emitted.
+//!
+//! **Why it exists here**: §1 of the paper argues that this family of
+//! algorithms is *inapplicable* to incomplete data because transitivity
+//! fails (and the R-tree/aR-tree indexes cannot even be built). This module
+//! makes that argument executable: [`skyline_peel_top_k`] demands complete
+//! data and is validated against the incomplete-data algorithms on σ = 0
+//! workloads — where both worlds coincide — while
+//! the `peeling_is_wrong_on_incomplete_data` test exhibits a concrete
+//! incomplete dataset on which the peeling invariant breaks.
+
+use crate::result::{ResultEntry, TkdResult};
+use crate::stats::PruneStats;
+use tkd_model::{dominance, Dataset, DimMask, ObjectId};
+use tkd_skyline::complete;
+
+/// Error raised when the baseline is handed incomplete data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteDataError {
+    /// First object with a missing dimension.
+    pub object: ObjectId,
+}
+
+impl std::fmt::Display for IncompleteDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "skyline peeling requires complete data (object {} has missing dimensions); \
+             use the incomplete-data algorithms instead",
+            self.object
+        )
+    }
+}
+
+impl std::error::Error for IncompleteDataError {}
+
+/// Top-k dominating query on **complete** data by skyline peeling.
+///
+/// # Errors
+/// [`IncompleteDataError`] if any object misses a dimension — the
+/// correctness argument (score monotonicity along dominance) only holds
+/// with transitive dominance.
+pub fn skyline_peel_top_k(ds: &Dataset, k: usize) -> Result<TkdResult, IncompleteDataError> {
+    let full = DimMask::all(ds.dims());
+    if let Some(o) = ds.ids().find(|&o| ds.mask(o) != full) {
+        return Err(IncompleteDataError { object: o });
+    }
+    let mut candidates: Vec<ObjectId> = ds.ids().collect();
+    let mut emitted: Vec<ResultEntry> = Vec::new();
+    let mut scored = 0usize;
+    // Cache scores of already-scored skyline members; they stay valid
+    // because emitted objects are skyline points (nothing dominated them,
+    // so no other object's dominated-set ever contained them — scores of
+    // survivors are unaffected by their removal).
+    let mut cache: std::collections::HashMap<ObjectId, usize> = Default::default();
+    while emitted.len() < k && !candidates.is_empty() {
+        let sky = complete::skyline(ds, full, &candidates);
+        let mut best: Option<ResultEntry> = None;
+        for o in sky {
+            let score = *cache.entry(o).or_insert_with(|| {
+                scored += 1;
+                dominance::score_of(ds, o)
+            });
+            let better = match best {
+                None => true,
+                Some(b) => score > b.score || (score == b.score && o < b.id),
+            };
+            if better {
+                best = Some(ResultEntry { id: o, score });
+            }
+        }
+        let winner = best.expect("non-empty candidate set has a skyline");
+        emitted.push(winner);
+        candidates.retain(|&o| o != winner.id);
+    }
+    let h1 = ds.len() - scored;
+    Ok(TkdResult::new(
+        emitted,
+        PruneStats { h1_pruned: h1, scored, ..Default::default() },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive;
+    use tkd_model::Dataset;
+
+    fn complete_grid() -> Dataset {
+        // 5x5 grid of 2-D points (i, j): score((i,j)) = #points strictly
+        // dominated considering ties.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![Some(i as f64), Some(j as f64)]);
+            }
+        }
+        Dataset::from_rows(2, &rows).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_naive_on_complete_data() {
+        let ds = complete_grid();
+        for k in [1usize, 3, 8, 25] {
+            let peel = skyline_peel_top_k(&ds, k).unwrap();
+            let reference = naive(&ds, k);
+            assert_eq!(peel.scores(), reference.scores(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn origin_wins_on_the_grid() {
+        let ds = complete_grid();
+        let r = skyline_peel_top_k(&ds, 1).unwrap();
+        assert_eq!(r.ids(), vec![0]); // (0,0)
+        assert_eq!(r.scores(), vec![24]);
+    }
+
+    #[test]
+    fn scores_far_fewer_objects_than_naive() {
+        let ds = complete_grid();
+        let r = skyline_peel_top_k(&ds, 2).unwrap();
+        // Only skyline members across two rounds are ever scored.
+        assert!(r.stats.scored < ds.len() / 2, "scored {}", r.stats.scored);
+        assert_eq!(r.stats.total(), ds.len());
+    }
+
+    #[test]
+    fn rejects_incomplete_data() {
+        let ds = Dataset::from_rows(
+            2,
+            &[vec![Some(1.0), None], vec![Some(2.0), Some(3.0)]],
+        )
+        .unwrap();
+        let err = skyline_peel_top_k(&ds, 1).unwrap_err();
+        assert_eq!(err.object, 0);
+        assert!(err.to_string().contains("complete data"));
+    }
+
+    #[test]
+    fn peeling_is_wrong_on_incomplete_data() {
+        // The §1 argument made concrete: on incomplete data the best
+        // dominating object need NOT lie on the skyline, so peeling would
+        // return the wrong object if it ignored the completeness check.
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                // x: dominated by w (dim 0), yet dominates many objects
+                //    through dim 1 where w is missing.
+                vec![Some(2.0), Some(1.0)], // 0 = x
+                vec![Some(1.0), None],      // 1 = w: dominates x, score 1
+                vec![None, Some(5.0)],      // 2: dominated by x
+                vec![None, Some(6.0)],      // 3: dominated by x
+                vec![None, Some(7.0)],      // 4: dominated by x
+            ],
+        )
+        .unwrap();
+        use tkd_model::dominance::{dominates, score_of};
+        assert!(dominates(&ds, 1, 0), "w dominates x");
+        assert_eq!(score_of(&ds, 0), 3, "x dominates the tail");
+        assert_eq!(score_of(&ds, 1), 1, "w's score is lower than x's");
+        // So the T1D answer x is NOT a skyline object: transitivity-based
+        // peeling is unsound here, exactly as §1 claims.
+        let sky = tkd_skyline::incomplete::skyline(&ds);
+        assert!(!sky.contains(&0));
+        let top = naive(&ds, 1);
+        assert_eq!(top.ids(), vec![0]);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let ds = complete_grid();
+        assert!(skyline_peel_top_k(&ds, 0).unwrap().is_empty());
+        let r = skyline_peel_top_k(&ds, 100).unwrap();
+        assert_eq!(r.len(), ds.len());
+    }
+
+    #[test]
+    fn duplicates_on_complete_data() {
+        let ds = Dataset::from_rows(
+            1,
+            &[vec![Some(1.0)], vec![Some(1.0)], vec![Some(2.0)]],
+        )
+        .unwrap();
+        let r = skyline_peel_top_k(&ds, 2).unwrap();
+        assert_eq!(r.scores(), vec![1, 1]);
+        assert_eq!(r.ids(), vec![0, 1]);
+    }
+}

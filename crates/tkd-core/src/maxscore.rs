@@ -1,0 +1,138 @@
+//! `MaxScore` — the upper bound score of Lemma 2, and the descending
+//! priority queue `F` that drives UBB, BIG and IBIG (Fig. 5).
+//!
+//! For an observed dimension `i`, `Tᵢ(o) = {p ≠ o : o[i] ≤ p[i]} ∪ Sᵢ`
+//! (where `Sᵢ` is the set of objects missing dimension `i`) over-counts the
+//! objects `o` could possibly dominate, and
+//! `MaxScore(o) = minᵢ |Tᵢ(o)|` (only observed dimensions can attain the
+//! minimum, since `Tᵢ = S` for missing ones).
+//!
+//! Following the paper's §4.2 implementation note, `|Tᵢ|` is computed with a
+//! per-dimension B+-tree rank query (`O(N·lg N)` overall): the tree holds
+//! `(value, id)` pairs, so *number of entries with value `≥ o[i]`* is one
+//! [`tkd_btree::BPlusTree::count_at_least`] probe (minus one for `o`
+//! itself), plus the missing count `|Sᵢ|`.
+
+use tkd_btree::{BPlusTree, F64Key};
+use tkd_model::{Dataset, ObjectId};
+
+/// `MaxScore(o)` for every object, via per-dimension B+-tree rank queries.
+pub fn max_scores(ds: &Dataset) -> Vec<usize> {
+    let n = ds.len();
+    let dims = ds.dims();
+    let mut out = vec![usize::MAX; n];
+    for dim in 0..dims {
+        let mut tree: BPlusTree<(F64Key, ObjectId), ()> = BPlusTree::new();
+        for o in ds.ids() {
+            if let Some(v) = ds.value(o, dim) {
+                tree.insert((F64Key::new(v).expect("observed values are not NaN"), o), ());
+            }
+        }
+        let missing = n - tree.len();
+        for o in ds.ids() {
+            if let Some(v) = ds.value(o, dim) {
+                let key = (F64Key::new(v).expect("not NaN"), 0);
+                // Entries with value >= v, minus o itself, plus the missing.
+                let t_i = tree.count_at_least(&key) - 1 + missing;
+                let slot = &mut out[o as usize];
+                *slot = (*slot).min(t_i);
+            }
+        }
+    }
+    // Every object observes at least one dimension (model invariant), so no
+    // usize::MAX survives.
+    debug_assert!(out.iter().all(|&m| m != usize::MAX) || n == 0);
+    out
+}
+
+/// The priority queue `F` of Fig. 5: all objects sorted by descending
+/// `MaxScore`, ties by ascending id (which is label order for the paper's
+/// fixtures).
+pub fn maxscore_queue(ds: &Dataset) -> Vec<(ObjectId, usize)> {
+    let scores = max_scores(ds);
+    let mut queue: Vec<(ObjectId, usize)> = ds.ids().map(|o| (o, scores[o as usize])).collect();
+    queue.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    queue
+}
+
+/// Reference implementation of `MaxScore` by direct set counting (used by
+/// tests to validate the B+-tree path).
+pub fn max_scores_bruteforce(ds: &Dataset) -> Vec<usize> {
+    let n = ds.len();
+    let mut out = vec![usize::MAX; n];
+    for o in ds.ids() {
+        for dim in 0..ds.dims() {
+            if let Some(v) = ds.value(o, dim) {
+                let t_i = ds
+                    .ids()
+                    .filter(|&p| {
+                        p != o && match ds.value(p, dim) {
+                            None => true,
+                            Some(w) => v <= w,
+                        }
+                    })
+                    .count();
+                out[o as usize] = out[o as usize].min(t_i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::{dominance, fixtures};
+
+    #[test]
+    fn fig5_queue_matches_paper() {
+        let ds = fixtures::fig3_sample();
+        let queue = maxscore_queue(&ds);
+        let got: Vec<(&str, usize)> = queue
+            .iter()
+            .map(|&(o, s)| (ds.label(o).unwrap(), s))
+            .collect();
+        assert_eq!(got, fixtures::fig5_maxscores());
+    }
+
+    #[test]
+    fn worked_b3_example() {
+        // §4.2: MaxScore(B3) = 0 because T4(B3) = ∅.
+        let ds = fixtures::fig3_sample();
+        let b3 = ds.id_by_label("B3").unwrap();
+        assert_eq!(max_scores(&ds)[b3 as usize], 0);
+    }
+
+    #[test]
+    fn btree_path_equals_bruteforce() {
+        let ds = fixtures::fig3_sample();
+        assert_eq!(max_scores(&ds), max_scores_bruteforce(&ds));
+        let ds = fixtures::fig2_points();
+        assert_eq!(max_scores(&ds), max_scores_bruteforce(&ds));
+    }
+
+    #[test]
+    fn upper_bounds_scores() {
+        // Lemma 2: score(o) <= MaxScore(o).
+        let ds = fixtures::fig3_sample();
+        let ms = max_scores(&ds);
+        for o in ds.ids() {
+            assert!(dominance::score_of(&ds, o) <= ms[o as usize]);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_missing_mix() {
+        let ds = tkd_model::Dataset::from_rows(
+            2,
+            &[
+                vec![Some(1.0), Some(2.0)],
+                vec![Some(1.0), None],
+                vec![None, Some(2.0)],
+                vec![Some(3.0), Some(2.0)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(max_scores(&ds), max_scores_bruteforce(&ds));
+    }
+}

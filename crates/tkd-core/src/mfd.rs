@@ -1,0 +1,203 @@
+//! MFD — the *missing flexible dominance* weighted scoring of §3, the
+//! paper's proposed generalization (and stated future work), implemented
+//! here as an extension.
+//!
+//! For `o ≻ o'`, MFD assigns the dominance a weight
+//! `W(o, o') = Σ_{i∈D1} wᵢ + λ · Σ_{j∈D2} wⱼ`, where `D1` holds the
+//! dimensions observed by both objects, `D2` the dimensions observed by
+//! exactly one, and dimensions missing on both sides are ignored. The MFD
+//! score of `o` is `Σ_{o' : o ≻ o'} W(o, o')`: a dominance supported by
+//! more (or more important) evidence counts for more, which is "flexible,
+//! reasonable, and fair" for objects with very different numbers of
+//! observed attributes.
+
+use crate::result::TkdResult;
+use crate::stats::PruneStats;
+use tkd_model::{dominance, Dataset, ObjectId};
+
+/// Weighting configuration for MFD scoring.
+#[derive(Clone, Debug)]
+pub struct MfdConfig {
+    /// Per-dimension weights `w₁..w_d` (must match the dataset arity).
+    pub weights: Vec<f64>,
+    /// Discount `λ ∈ (0, 1)` applied to half-observed dimensions.
+    pub lambda: f64,
+}
+
+impl MfdConfig {
+    /// Uniform weights `1/d` with the given `λ`.
+    pub fn uniform(dims: usize, lambda: f64) -> Self {
+        MfdConfig { weights: vec![1.0 / dims as f64; dims], lambda }
+    }
+
+    fn validate(&self, ds: &Dataset) {
+        assert_eq!(self.weights.len(), ds.dims(), "one weight per dimension");
+        assert!(
+            self.lambda > 0.0 && self.lambda < 1.0,
+            "lambda must lie strictly between 0 and 1 (paper §3)"
+        );
+    }
+}
+
+/// The MFD weight `W(o, o')` (defined whether or not `o ≻ o'`; callers
+/// normally gate on dominance).
+pub fn mfd_weight(ds: &Dataset, cfg: &MfdConfig, o: ObjectId, o2: ObjectId) -> f64 {
+    let mo = ds.mask(o);
+    let mo2 = ds.mask(o2);
+    let both = mo.and(mo2);
+    let either = mo.or(mo2);
+    let mut w = 0.0;
+    for d in either.iter() {
+        if both.observed(d) {
+            w += cfg.weights[d];
+        } else {
+            w += cfg.lambda * cfg.weights[d];
+        }
+    }
+    w
+}
+
+/// The MFD score: `Σ_{o' dominated by o} W(o, o')`.
+pub fn mfd_score(ds: &Dataset, cfg: &MfdConfig, o: ObjectId) -> f64 {
+    ds.ids()
+        .filter(|&p| p != o && dominance::dominates(ds, o, p))
+        .map(|p| mfd_weight(ds, cfg, o, p))
+        .sum()
+}
+
+/// One MFD answer entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MfdEntry {
+    /// The object.
+    pub id: ObjectId,
+    /// Its accumulated MFD score.
+    pub score: f64,
+}
+
+/// Top-k dominating query under the MFD operator (exhaustive evaluation;
+/// the weighted score admits the same pruning ideas, which the paper leaves
+/// to future work).
+pub fn mfd_top_k(ds: &Dataset, k: usize, cfg: &MfdConfig) -> Vec<MfdEntry> {
+    cfg.validate(ds);
+    let mut entries: Vec<MfdEntry> = ds
+        .ids()
+        .map(|o| MfdEntry { id: o, score: mfd_score(ds, cfg, o) })
+        .collect();
+    entries.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    entries.truncate(k);
+    entries
+}
+
+/// Convert an MFD answer into a [`TkdResult`]-shaped report for display
+/// (scores truncated to integers are meaningless here, so this keeps the
+/// ordering only and stores ranks as scores).
+pub fn mfd_as_ranks(entries: &[MfdEntry]) -> TkdResult {
+    let ranked = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| crate::ResultEntry { id: e.id, score: entries.len() - i })
+        .collect();
+    TkdResult::new(ranked, PruneStats::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::fixtures;
+
+    #[test]
+    fn paper_weight_example() {
+        // §3: o1 = (-, 3, 2), o2 = (-, 2, -) with o1 ≻ o2 gets
+        // W(o1, o2) = w2 + λ·w3 (dimension 1 missing on both is ignored).
+        // Translated to smaller-is-better: o1 = (-, 2, 2), o2 = (-, 3, -).
+        let ds = Dataset::from_rows(
+            3,
+            &[
+                vec![None, Some(2.0), Some(2.0)],
+                vec![None, Some(3.0), None],
+            ],
+        )
+        .unwrap();
+        assert!(tkd_model::dominance::dominates(&ds, 0, 1));
+        let cfg = MfdConfig { weights: vec![0.5, 0.3, 0.2], lambda: 0.5 };
+        let w = mfd_weight(&ds, &cfg, 0, 1);
+        assert!((w - (0.3 + 0.5 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_config() {
+        let cfg = MfdConfig::uniform(4, 0.5);
+        assert_eq!(cfg.weights, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn mfd_ranks_fig3() {
+        let ds = fixtures::fig3_sample();
+        let cfg = MfdConfig::uniform(ds.dims(), 0.5);
+        let top = mfd_top_k(&ds, 3, &cfg);
+        assert_eq!(top.len(), 3);
+        // Scores descend.
+        assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
+        // Every score is positive for objects that dominate something.
+        for e in &top {
+            assert!(e.score > 0.0);
+        }
+        // The unweighted T2D winners A2/C2 remain strong under uniform
+        // weights: both must appear in the MFD top-3.
+        let labels: Vec<&str> = top.iter().map(|e| ds.label(e.id).unwrap()).collect();
+        assert!(labels.contains(&"A2"));
+        assert!(labels.contains(&"C2"));
+    }
+
+    #[test]
+    fn weights_change_the_ranking() {
+        // Two objects each dominating one other object, but over different
+        // dimensions; skewing the weights flips the winner.
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![Some(1.0), None], // 0 dominates 2 via dim 0
+                vec![None, Some(1.0)], // 1 dominates 3 via dim 1
+                vec![Some(5.0), None],
+                vec![None, Some(5.0)],
+            ],
+        )
+        .unwrap();
+        let favor0 = MfdConfig { weights: vec![0.9, 0.1], lambda: 0.5 };
+        let favor1 = MfdConfig { weights: vec![0.1, 0.9], lambda: 0.5 };
+        assert_eq!(mfd_top_k(&ds, 1, &favor0)[0].id, 0);
+        assert_eq!(mfd_top_k(&ds, 1, &favor1)[0].id, 1);
+    }
+
+    #[test]
+    fn lambda_discounts_half_observed_dimensions() {
+        let ds = Dataset::from_rows(
+            2,
+            &[vec![Some(1.0), Some(1.0)], vec![Some(2.0), None]],
+        )
+        .unwrap();
+        let cfg_lo = MfdConfig { weights: vec![0.5, 0.5], lambda: 0.1 };
+        let cfg_hi = MfdConfig { weights: vec![0.5, 0.5], lambda: 0.9 };
+        assert!(mfd_score(&ds, &cfg_lo, 0) < mfd_score(&ds, &cfg_hi, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must lie strictly between")]
+    fn rejects_bad_lambda() {
+        let ds = fixtures::fig2_points();
+        let cfg = MfdConfig { weights: vec![0.5, 0.5], lambda: 1.0 };
+        let _ = mfd_top_k(&ds, 1, &cfg);
+    }
+
+    #[test]
+    fn rank_report_shape() {
+        let ds = fixtures::fig3_sample();
+        let cfg = MfdConfig::uniform(ds.dims(), 0.5);
+        let top = mfd_top_k(&ds, 4, &cfg);
+        let report = mfd_as_ranks(&top);
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.scores(), vec![4, 3, 2, 1]);
+    }
+
+    use tkd_model::Dataset;
+}

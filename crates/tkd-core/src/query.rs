@@ -1,0 +1,212 @@
+//! The unified query API: pick an algorithm, run, get a [`TkdResult`].
+
+use crate::result::TkdResult;
+use crate::{big, esb, ibig, naive, ubb};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tkd_index::cost;
+use tkd_model::{stats, Dataset};
+
+/// Which of the paper's algorithms answers the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exhaustive pairwise baseline (§4.1).
+    Naive,
+    /// Extended skyband based (Algorithm 1).
+    Esb,
+    /// Upper bound based (Algorithm 2).
+    Ubb,
+    /// Bitmap index guided (Algorithms 3–4).
+    Big,
+    /// Improved BIG on the binned, compressed index (Algorithm 5).
+    Ibig,
+}
+
+impl Algorithm {
+    /// All five algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Naive,
+        Algorithm::Esb,
+        Algorithm::Ubb,
+        Algorithm::Big,
+        Algorithm::Ibig,
+    ];
+}
+
+/// Bin-count selection for IBIG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinChoice {
+    /// Eq. 8's optimal `x* = √(σN / (log₂(σN) − 1))` on every dimension.
+    Auto,
+    /// The same fixed count on every dimension.
+    Fixed(usize),
+    /// Explicit per-dimension counts (e.g. Zillow's `6/10/35/x/1000`).
+    PerDim(Vec<usize>),
+}
+
+/// Tie handling among candidates sharing the k-th score.
+///
+/// The paper adopts *random selection* (§3); the deterministic default
+/// favours the lowest object id, which makes runs reproducible. Randomness
+/// applies to the candidates the algorithm retained — bound-pruned objects
+/// (whose scores never beat the threshold strictly) are not revived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Prefer smaller object ids (deterministic; default).
+    ById,
+    /// Shuffle candidates tied at the k-th score with the given seed.
+    Random(u64),
+}
+
+/// Builder-style TKD query (Definition 3).
+///
+/// ```
+/// use tkd_core::{Algorithm, TkdQuery};
+/// let ds = tkd_model::fixtures::fig2_points();
+/// let r = TkdQuery::new(1).algorithm(Algorithm::Ubb).run(&ds);
+/// assert_eq!(r.ids(), vec![ds.id_by_label("f").unwrap()]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TkdQuery {
+    k: usize,
+    algorithm: Algorithm,
+    bins: BinChoice,
+    tie: TieBreak,
+}
+
+impl TkdQuery {
+    /// A top-`k` dominating query (BIG by default — the paper's fastest
+    /// configuration without the space optimization).
+    pub fn new(k: usize) -> Self {
+        TkdQuery { k, algorithm: Algorithm::Big, bins: BinChoice::Auto, tie: TieBreak::ById }
+    }
+
+    /// Select the algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Select IBIG's binning (ignored by the other algorithms).
+    pub fn bins(mut self, b: BinChoice) -> Self {
+        self.bins = b;
+        self
+    }
+
+    /// Select tie handling.
+    pub fn tie_break(mut self, t: TieBreak) -> Self {
+        self.tie = t;
+        self
+    }
+
+    /// The query parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Execute against a dataset.
+    pub fn run(&self, ds: &Dataset) -> TkdResult {
+        let result = match self.algorithm {
+            Algorithm::Naive => naive::naive(ds, self.k),
+            Algorithm::Esb => esb::esb(ds, self.k),
+            Algorithm::Ubb => ubb::ubb(ds, self.k),
+            Algorithm::Big => big::big(ds, self.k),
+            Algorithm::Ibig => {
+                let bins = self.resolve_bins(ds);
+                ibig::ibig_with_bins(ds, self.k, &bins)
+            }
+        };
+        match self.tie {
+            TieBreak::ById => result,
+            TieBreak::Random(seed) => shuffle_ties(result, seed),
+        }
+    }
+
+    fn resolve_bins(&self, ds: &Dataset) -> Vec<usize> {
+        match &self.bins {
+            BinChoice::Auto => {
+                let x = cost::optimal_bins(ds.len(), stats::missing_rate(ds));
+                vec![x; ds.dims()]
+            }
+            BinChoice::Fixed(x) => vec![(*x).max(1); ds.dims()],
+            BinChoice::PerDim(v) => {
+                assert_eq!(v.len(), ds.dims(), "one bin count per dimension");
+                v.clone()
+            }
+        }
+    }
+}
+
+/// Re-order the entries tied at the k-th score pseudo-randomly (the
+/// paper's tie-break), keeping strictly better entries in place.
+fn shuffle_ties(result: TkdResult, seed: u64) -> TkdResult {
+    let Some(tau) = result.kth_score() else {
+        return result;
+    };
+    let stats = result.stats;
+    let mut entries: Vec<_> = result.into_iter().collect();
+    let first_tie = entries.partition_point(|e| e.score > tau);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    entries[first_tie..].shuffle(&mut rng);
+    TkdResult::new_ordered(entries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::fixtures;
+
+    #[test]
+    fn all_algorithms_agree_on_fig3() {
+        let ds = fixtures::fig3_sample();
+        for k in [1, 2, 3, 5, 8] {
+            let reference = TkdQuery::new(k).algorithm(Algorithm::Naive).run(&ds);
+            for alg in Algorithm::ALL {
+                let r = TkdQuery::new(k).algorithm(alg).run(&ds);
+                assert_eq!(r.scores(), reference.scores(), "{alg:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_choices() {
+        let ds = fixtures::fig3_sample();
+        for bins in [
+            BinChoice::Auto,
+            BinChoice::Fixed(2),
+            BinChoice::PerDim(vec![2, 2, 3, 3]),
+        ] {
+            let r = TkdQuery::new(2)
+                .algorithm(Algorithm::Ibig)
+                .bins(bins.clone())
+                .run(&ds);
+            assert_eq!(r.scores(), vec![16, 16], "{bins:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one bin count per dimension")]
+    fn per_dim_bins_must_match_arity() {
+        let ds = fixtures::fig3_sample();
+        let _ = TkdQuery::new(2)
+            .algorithm(Algorithm::Ibig)
+            .bins(BinChoice::PerDim(vec![2]))
+            .run(&ds);
+    }
+
+    #[test]
+    fn random_tie_break_keeps_score_set() {
+        let ds = fixtures::fig3_sample();
+        let base = TkdQuery::new(5).run(&ds);
+        for seed in 0..5 {
+            let r = TkdQuery::new(5).tie_break(TieBreak::Random(seed)).run(&ds);
+            assert_eq!(r.scores(), base.scores(), "seed {seed}");
+            assert_eq!(r.len(), base.len());
+        }
+    }
+
+    #[test]
+    fn k_accessor() {
+        assert_eq!(TkdQuery::new(7).k(), 7);
+    }
+}

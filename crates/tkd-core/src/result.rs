@@ -1,0 +1,116 @@
+//! Query results.
+
+use crate::PruneStats;
+use tkd_model::ObjectId;
+
+/// One answer object with its dominating score (Definition 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResultEntry {
+    /// The object.
+    pub id: ObjectId,
+    /// `score(id)`: how many objects it dominates.
+    pub score: usize,
+}
+
+/// Result of a TKD query: up to `k` entries sorted by descending score
+/// (ties by ascending id), plus pruning statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TkdResult {
+    entries: Vec<ResultEntry>,
+    /// How much work each pruning heuristic saved (Fig. 18).
+    pub stats: PruneStats,
+}
+
+impl TkdResult {
+    pub(crate) fn new(mut entries: Vec<ResultEntry>, stats: PruneStats) -> Self {
+        entries.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+        TkdResult { entries, stats }
+    }
+
+    /// Construct preserving the caller's entry order (used by the random
+    /// tie-break, which deliberately shuffles equal-score entries). Scores
+    /// must already be non-increasing.
+    pub(crate) fn new_ordered(entries: Vec<ResultEntry>, stats: PruneStats) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].score >= w[1].score));
+        TkdResult { entries, stats }
+    }
+
+    /// Answer objects, best first.
+    pub fn iter(&self) -> impl Iterator<Item = &ResultEntry> {
+        self.entries.iter()
+    }
+
+    /// Answer entries as a slice, best first.
+    pub fn entries(&self) -> &[ResultEntry] {
+        &self.entries
+    }
+
+    /// Just the object ids, best first.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Just the scores, descending.
+    pub fn scores(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.score).collect()
+    }
+
+    /// The k-th (smallest returned) score — the paper's threshold `τ`.
+    pub fn kth_score(&self) -> Option<usize> {
+        self.entries.last().map(|e| e.score)
+    }
+
+    /// Number of answers (may be less than `k` for tiny datasets).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Does the result contain `id`?
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+}
+
+impl IntoIterator for TkdResult {
+    type Item = ResultEntry;
+    type IntoIter = std::vec::IntoIter<ResultEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_score_then_id() {
+        let r = TkdResult::new(
+            vec![
+                ResultEntry { id: 5, score: 3 },
+                ResultEntry { id: 1, score: 7 },
+                ResultEntry { id: 2, score: 3 },
+            ],
+            PruneStats::default(),
+        );
+        assert_eq!(r.ids(), vec![1, 2, 5]);
+        assert_eq!(r.scores(), vec![7, 3, 3]);
+        assert_eq!(r.kth_score(), Some(3));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(2));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = TkdResult::new(Vec::new(), PruneStats::default());
+        assert!(r.is_empty());
+        assert_eq!(r.kth_score(), None);
+        assert_eq!(r.into_iter().count(), 0);
+    }
+}

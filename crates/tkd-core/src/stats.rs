@@ -1,0 +1,45 @@
+//! Pruning statistics (the quantities plotted in the paper's Fig. 18).
+
+/// Work accounting for one query run.
+///
+/// The paper's convention (§5.3) is followed: an object is attributed to the
+/// *first* heuristic that discards it — Heuristic 2 counts exclude objects
+/// already gone via Heuristic 1, and Heuristic 3 excludes both.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Objects never evaluated thanks to upper-bound-score early
+    /// termination (Heuristic 1) — or, for ESB, objects eliminated by the
+    /// local-skyband candidate test (Lemma 1).
+    pub h1_pruned: usize,
+    /// Objects discarded by bitmap pruning `MaxBitScore ≤ τ` (Heuristic 2).
+    pub h2_pruned: usize,
+    /// Objects discarded mid-scoring by partial-score pruning
+    /// (Heuristic 3, IBIG only).
+    pub h3_pruned: usize,
+    /// Objects whose exact score was fully computed.
+    pub scored: usize,
+}
+
+impl PruneStats {
+    /// Total objects accounted for.
+    pub fn total(&self) -> usize {
+        self.h1_pruned + self.h2_pruned + self.h3_pruned + self.scored
+    }
+
+    /// Objects removed by any heuristic.
+    pub fn pruned(&self) -> usize {
+        self.h1_pruned + self.h2_pruned + self.h3_pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = PruneStats { h1_pruned: 5, h2_pruned: 3, h3_pruned: 2, scored: 10 };
+        assert_eq!(s.total(), 20);
+        assert_eq!(s.pruned(), 10);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared bounded top-k candidate set (the paper's `SC` with threshold `τ`).
+
+use crate::result::ResultEntry;
+use tkd_model::ObjectId;
+
+/// A bounded set of the best `k` `(score, id)` pairs seen so far,
+/// maintaining the paper's threshold `τ` = smallest score in a *full* set
+/// (−1, represented as `None`, while not full — Algorithm 2, line 1).
+///
+/// Replacement is by strict score comparison, matching Algorithm 2 line 7:
+/// an object only enters a full set if its score strictly exceeds `τ`.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    /// Sorted ascending by (score, Reverse(id)): worst candidate first.
+    entries: Vec<ResultEntry>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        TopK { k, entries: Vec::with_capacity(k.min(1024)) }
+    }
+
+    /// The paper's `τ`: the k-th best score once `k` candidates exist.
+    pub fn tau(&self) -> Option<usize> {
+        if self.entries.len() == self.k {
+            self.entries.first().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Would an object with upper bound `bound` be useless (`bound ≤ τ`)?
+    pub fn prunes(&self, bound: usize) -> bool {
+        matches!(self.tau(), Some(t) if bound <= t)
+    }
+
+    /// Offer a candidate (Algorithm 2 lines 7–11).
+    pub fn offer(&mut self, id: ObjectId, score: usize) {
+        if self.k == 0 {
+            return;
+        }
+        if self.entries.len() < self.k {
+            let pos = self.entries.partition_point(|e| {
+                (e.score, std::cmp::Reverse(e.id)) < (score, std::cmp::Reverse(id))
+            });
+            self.entries.insert(pos, ResultEntry { id, score });
+        } else if score > self.entries[0].score {
+            self.entries.remove(0);
+            let pos = self.entries.partition_point(|e| {
+                (e.score, std::cmp::Reverse(e.id)) < (score, std::cmp::Reverse(id))
+            });
+            self.entries.insert(pos, ResultEntry { id, score });
+        }
+    }
+
+    /// Finish, yielding entries (unsorted contract: `TkdResult` re-sorts).
+    pub fn into_entries(self) -> Vec<ResultEntry> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_none_until_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.tau(), None);
+        t.offer(1, 10);
+        assert_eq!(t.tau(), None);
+        t.offer(2, 5);
+        assert_eq!(t.tau(), Some(5));
+    }
+
+    #[test]
+    fn strict_replacement() {
+        let mut t = TopK::new(2);
+        t.offer(1, 5);
+        t.offer(2, 5);
+        // Equal score does not displace (Algorithm 2 line 7: score > τ).
+        t.offer(3, 5);
+        let ids: Vec<ObjectId> = t.clone().into_entries().iter().map(|e| e.id).collect();
+        assert!(ids.contains(&1) && ids.contains(&2));
+        // Strictly better does.
+        t.offer(4, 6);
+        assert_eq!(t.tau(), Some(5));
+        t.offer(5, 7);
+        assert_eq!(t.tau(), Some(6));
+    }
+
+    #[test]
+    fn prunes_at_or_below_tau() {
+        let mut t = TopK::new(1);
+        assert!(!t.prunes(0));
+        t.offer(1, 4);
+        assert!(t.prunes(4));
+        assert!(t.prunes(3));
+        assert!(!t.prunes(5));
+    }
+
+    #[test]
+    fn k_zero_accepts_nothing() {
+        let mut t = TopK::new(0);
+        t.offer(1, 100);
+        assert!(t.into_entries().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! TKD query variants beyond the paper's core setting, following the
+//! related-work directions it cites:
+//!
+//! * **Subspace TKD** (after Tiakas et al.'s subspace dominating queries,
+//!   the paper's reference \[21\]) — rank by dominance inside a dimension
+//!   subset;
+//! * **Constrained TKD** (after the constrained-skyline variant of
+//!   reference \[2\]) — rank within a per-dimension range region.
+//!
+//! Both reduce to the core algorithms on a derived dataset, so every
+//! heuristic and index of the main implementation applies unchanged.
+
+use crate::query::TkdQuery;
+use crate::result::{ResultEntry, TkdResult};
+use tkd_model::{Dataset, ModelError, ObjectId};
+use tkd_skyline::constrained::Constraints;
+
+/// Run `query` over the projection of `ds` onto `dims` (subspace TKD).
+///
+/// Scores count dominance among the objects that observe at least one of
+/// the chosen dimensions; returned ids refer to `ds`.
+///
+/// # Errors
+/// [`ModelError::BadDimensionality`] for an empty subspace.
+pub fn subspace_top_k(
+    ds: &Dataset,
+    dims: &[usize],
+    query: &TkdQuery,
+) -> Result<TkdResult, ModelError> {
+    let (sub, kept) = ds.project(dims)?;
+    Ok(remap(query.run(&sub), &kept))
+}
+
+/// Run `query` over the sub-population admitted by `constraints`
+/// (constrained TKD). Scores count dominance among admitted objects only;
+/// returned ids refer to `ds`.
+pub fn constrained_top_k(ds: &Dataset, constraints: &Constraints, query: &TkdQuery) -> TkdResult {
+    let admitted: Vec<ObjectId> = constraints.admitted(ds);
+    if admitted.is_empty() {
+        return TkdResult::default();
+    }
+    let sub = ds.select(&admitted);
+    remap(query.run(&sub), &admitted)
+}
+
+/// Translate result ids from a derived dataset back to the original.
+fn remap(result: TkdResult, mapping: &[ObjectId]) -> TkdResult {
+    let stats = result.stats;
+    let entries: Vec<ResultEntry> = result
+        .into_iter()
+        .map(|e| ResultEntry { id: mapping[e.id as usize], score: e.score })
+        .collect();
+    TkdResult::new_ordered(entries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, TkdQuery};
+    use tkd_model::{dominance, fixtures};
+
+    #[test]
+    fn subspace_t1d_on_fig2() {
+        // Project Fig. 2 onto the y axis only: c = (5,-) drops out; the
+        // best y wins every comparison. Points by y: d=1 < f=2 < e=4 <
+        // b=6 < a=7, all comparable -> d dominates the other four.
+        let ds = fixtures::fig2_points();
+        let q = TkdQuery::new(1).algorithm(Algorithm::Naive);
+        let r = subspace_top_k(&ds, &[1], &q).unwrap();
+        assert_eq!(ds.label(r.ids()[0]), Some("d"));
+        assert_eq!(r.scores(), vec![4]);
+    }
+
+    #[test]
+    fn full_space_subspace_equals_plain_query() {
+        let ds = fixtures::fig3_sample();
+        let q = TkdQuery::new(3).algorithm(Algorithm::Big);
+        let plain = q.run(&ds);
+        let sub = subspace_top_k(&ds, &[0, 1, 2, 3], &q).unwrap();
+        assert_eq!(sub.ids(), plain.ids());
+        assert_eq!(sub.scores(), plain.scores());
+    }
+
+    #[test]
+    fn subspace_ids_refer_to_original_dataset() {
+        let ds = fixtures::fig3_sample();
+        // Dim 0 is observed only by C* and D*.
+        let q = TkdQuery::new(2).algorithm(Algorithm::Ubb);
+        let r = subspace_top_k(&ds, &[0], &q).unwrap();
+        for e in r.iter() {
+            let label = ds.label(e.id).unwrap();
+            assert!(label.starts_with('C') || label.starts_with('D'), "{label}");
+        }
+    }
+
+    #[test]
+    fn subspace_rejects_empty() {
+        let ds = fixtures::fig2_points();
+        let q = TkdQuery::new(1);
+        assert!(subspace_top_k(&ds, &[], &q).is_err());
+    }
+
+    #[test]
+    fn subspace_algorithms_agree() {
+        let ds = fixtures::fig3_sample();
+        for dims in [vec![3usize], vec![1, 3], vec![0, 2]] {
+            let reference = subspace_top_k(&ds, &dims, &TkdQuery::new(3).algorithm(Algorithm::Naive))
+                .unwrap()
+                .scores();
+            for alg in Algorithm::ALL {
+                let r = subspace_top_k(&ds, &dims, &TkdQuery::new(3).algorithm(alg)).unwrap();
+                assert_eq!(r.scores(), reference, "{alg:?} on {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_top_k_scores_within_region() {
+        let ds = fixtures::fig2_points();
+        // Region x in [4, 10]: admits a, c, d, f (and e, unconstrained on x
+        // as it has no x)... e = (-,4) observes no x, so it is admitted.
+        let c = Constraints::none(2).with_range(0, 4.0, 10.0);
+        let q = TkdQuery::new(1).algorithm(Algorithm::Naive);
+        let r = constrained_top_k(&ds, &c, &q);
+        // Within {a, c, d, e, f}: f=(4,2) dominates a, c, e (as before; b
+        // is gone and was not dominated by f anyway).
+        assert_eq!(ds.label(r.ids()[0]), Some("f"));
+        assert_eq!(r.scores(), vec![3]);
+        // Verify the score against a manual count inside the region.
+        let admitted = c.admitted(&ds);
+        let f = ds.id_by_label("f").unwrap();
+        let manual = admitted
+            .iter()
+            .filter(|&&p| p != f && dominance::dominates(&ds, f, p))
+            .count();
+        assert_eq!(r.scores()[0], manual);
+    }
+
+    #[test]
+    fn empty_region_returns_empty_result() {
+        let ds = fixtures::fig2_points();
+        let c = Constraints::none(2)
+            .with_range(0, -10.0, -5.0)
+            .with_range(1, -10.0, -5.0);
+        let r = constrained_top_k(&ds, &c, &TkdQuery::new(3));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn constrained_algorithms_agree() {
+        let ds = fixtures::fig3_sample();
+        let c = Constraints::none(4).with_range(3, 1.0, 4.0);
+        let reference = constrained_top_k(&ds, &c, &TkdQuery::new(4).algorithm(Algorithm::Naive));
+        for alg in Algorithm::ALL {
+            let r = constrained_top_k(&ds, &c, &TkdQuery::new(4).algorithm(alg));
+            assert_eq!(r.scores(), reference.scores(), "{alg:?}");
+        }
+    }
+}

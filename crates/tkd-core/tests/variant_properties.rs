@@ -1,0 +1,131 @@
+//! Property-based invariants of the query variants (subspace, constrained,
+//! MFD, complete-data baseline) on random incomplete datasets.
+
+use proptest::prelude::*;
+use tkd_core::complete_baseline::skyline_peel_top_k;
+use tkd_core::mfd::{mfd_score, mfd_top_k, mfd_weight, MfdConfig};
+use tkd_core::variants::{constrained_top_k, subspace_top_k};
+use tkd_core::{naive, Algorithm, TkdQuery};
+use tkd_model::{dominance, Dataset};
+use tkd_skyline::constrained::Constraints;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=4).prop_flat_map(|dims| {
+        let row = proptest::collection::vec(
+            proptest::option::weighted(0.75, (0u8..8).prop_map(|v| v as f64)),
+            dims,
+        )
+        .prop_filter("at least one observed", |r| r.iter().any(Option::is_some));
+        proptest::collection::vec(row, 2..35)
+            .prop_map(move |rows| Dataset::from_rows(dims, &rows).expect("valid rows"))
+    })
+}
+
+fn complete_dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=3).prop_flat_map(|dims| {
+        let row = proptest::collection::vec((0u8..10).prop_map(|v| v as f64), dims);
+        proptest::collection::vec(row, 1..40).prop_map(move |rows| {
+            let rows: Vec<Vec<Option<f64>>> =
+                rows.into_iter().map(|r| r.into_iter().map(Some).collect()).collect();
+            Dataset::from_rows(dims, &rows).expect("valid rows")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Subspace results equal running Naive on the projected dataset, with
+    /// correctly mapped ids, for every algorithm.
+    #[test]
+    fn subspace_equals_projection(ds in dataset_strategy(), k in 1usize..6, dim in 0usize..2) {
+        let dims = vec![dim.min(ds.dims() - 1)];
+        let (sub, kept) = ds.project(&dims).unwrap();
+        let expected = naive::naive(&sub, k);
+        for alg in Algorithm::ALL {
+            let r = subspace_top_k(&ds, &dims, &TkdQuery::new(k).algorithm(alg)).unwrap();
+            prop_assert_eq!(r.scores(), expected.scores(), "{:?}", alg);
+            // Ids must refer to the original dataset and observe the dim.
+            for e in r.iter() {
+                prop_assert!(kept.contains(&e.id));
+            }
+        }
+    }
+
+    /// Constrained results score dominance among admitted objects only,
+    /// verified against a direct count.
+    #[test]
+    fn constrained_scores_are_regional(ds in dataset_strategy(), k in 1usize..6, lo in 0u8..4, width in 1u8..6) {
+        let c = Constraints::none(ds.dims())
+            .with_range(0, lo as f64, (lo + width) as f64);
+        let r = constrained_top_k(&ds, &c, &TkdQuery::new(k).algorithm(Algorithm::Big));
+        let admitted = c.admitted(&ds);
+        for e in r.iter() {
+            prop_assert!(c.admits(&ds, e.id));
+            let manual = admitted
+                .iter()
+                .filter(|&&p| p != e.id && dominance::dominates(&ds, e.id, p))
+                .count();
+            prop_assert_eq!(e.score, manual);
+        }
+        prop_assert_eq!(r.len(), k.min(admitted.len()));
+    }
+
+    /// MFD with uniform weights ranks consistently with unweighted TKD when
+    /// every pair of objects shares the same observation pattern (then all
+    /// W(o,o') are equal, so the orders coincide).
+    #[test]
+    fn mfd_uniform_on_complete_data_matches_tkd(ds in complete_dataset_strategy(), k in 1usize..6) {
+        let cfg = MfdConfig::uniform(ds.dims(), 0.5);
+        let weighted = mfd_top_k(&ds, k, &cfg);
+        let plain = naive::naive(&ds, k);
+        // On complete data W(o, o') = 1 for all pairs under uniform weights
+        // summing to 1, so MFD score == score and the kth values align.
+        let mfd_scores: Vec<f64> = weighted.iter().map(|e| e.score).collect();
+        let tkd_scores: Vec<usize> = plain.scores();
+        for (m, t) in mfd_scores.iter().zip(&tkd_scores) {
+            prop_assert!((m - *t as f64).abs() < 1e-9, "MFD {m} vs TKD {t}");
+        }
+    }
+
+    /// The MFD weight is symmetric, bounded by the total weight, and
+    /// monotone in λ.
+    #[test]
+    fn mfd_weight_laws(ds in dataset_strategy(), a in 0usize..35, b in 0usize..35) {
+        let a = (a % ds.len()) as u32;
+        let b = (b % ds.len()) as u32;
+        let w_total: f64 = 1.0;
+        for lambda in [0.2, 0.8] {
+            let cfg = MfdConfig::uniform(ds.dims(), lambda);
+            let w_ab = mfd_weight(&ds, &cfg, a, b);
+            let w_ba = mfd_weight(&ds, &cfg, b, a);
+            prop_assert!((w_ab - w_ba).abs() < 1e-12, "W symmetric");
+            prop_assert!(w_ab <= w_total + 1e-12, "W bounded by Σw");
+            prop_assert!(w_ab >= 0.0);
+        }
+        let lo = mfd_weight(&ds, &MfdConfig::uniform(ds.dims(), 0.1), a, b);
+        let hi = mfd_weight(&ds, &MfdConfig::uniform(ds.dims(), 0.9), a, b);
+        prop_assert!(lo <= hi + 1e-12, "W monotone in lambda");
+    }
+
+    /// MFD scores only accumulate over dominated objects: zero iff the
+    /// object dominates nothing.
+    #[test]
+    fn mfd_score_zero_iff_dominates_nothing(ds in dataset_strategy()) {
+        let cfg = MfdConfig::uniform(ds.dims(), 0.5);
+        for o in ds.ids() {
+            let s = mfd_score(&ds, &cfg, o);
+            let plain = dominance::score_of(&ds, o);
+            prop_assert_eq!(s > 0.0, plain > 0, "object {}", o);
+        }
+    }
+
+    /// The complete-data skyline-peeling baseline agrees with Naive on any
+    /// complete dataset.
+    #[test]
+    fn peeling_agrees_with_naive(ds in complete_dataset_strategy(), k in 1usize..8) {
+        let peel = skyline_peel_top_k(&ds, k).unwrap();
+        let reference = naive::naive(&ds, k);
+        prop_assert_eq!(peel.scores(), reference.scores());
+    }
+}

@@ -1,0 +1,217 @@
+//! Missingness injectors for the three mechanisms of Little & Rubin
+//! (referenced by the paper's §3): MCAR, MAR and NMAR.
+//!
+//! All injectors guarantee the model invariant that every object keeps at
+//! least one observed dimension (the paper only considers such objects).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tkd_model::Dataset;
+
+/// Remove each cell independently with probability `rate` (MCAR — the
+/// mechanism the paper uses to derive its incomplete datasets). Operates on
+/// option-rows in place.
+pub(crate) fn inject_mcar_rows(rows: &mut [Vec<Option<f64>>], rate: f64, rng: &mut StdRng) {
+    if rate <= 0.0 {
+        return;
+    }
+    for row in rows.iter_mut() {
+        let original = row.clone();
+        for cell in row.iter_mut() {
+            if cell.is_some() && rng.gen::<f64>() < rate {
+                *cell = None;
+            }
+        }
+        restore_one_if_empty(row, &original, rng);
+    }
+}
+
+/// If a row went all-missing, re-observe one uniformly chosen *originally
+/// observed* cell with its original value (so the value distribution is
+/// undisturbed). Note the corollary: on 1-dimensional data the model's
+/// at-least-one-observed invariant forces a realized missing rate of zero.
+fn restore_one_if_empty(row: &mut [Option<f64>], original: &[Option<f64>], rng: &mut StdRng) {
+    if row.iter().all(Option::is_none) {
+        let observed: Vec<usize> = original
+            .iter()
+            .enumerate()
+            .filter_map(|(d, v)| v.map(|_| d))
+            .collect();
+        let d = observed[rng.gen_range(0..observed.len())];
+        row[d] = original[d];
+    }
+}
+
+fn dataset_to_rows(ds: &Dataset) -> Vec<Vec<Option<f64>>> {
+    ds.ids().map(|o| ds.row(o).to_options()).collect()
+}
+
+fn rows_to_dataset(dims: usize, rows: &[Vec<Option<f64>>]) -> Dataset {
+    Dataset::from_rows(dims, rows).expect("injector preserves validity")
+}
+
+/// MCAR over an existing (complete or incomplete) dataset: every observed
+/// cell is dropped independently with probability `rate`.
+pub fn mcar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
+    assert!((0.0..1.0).contains(&rate), "rate must lie in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = dataset_to_rows(ds);
+    for row in rows.iter_mut() {
+        let original = row.clone();
+        for cell in row.iter_mut() {
+            if cell.is_some() && rng.gen::<f64>() < rate {
+                *cell = None;
+            }
+        }
+        restore_one_if_empty(row, &original, &mut rng);
+    }
+    rows_to_dataset(ds.dims(), &rows)
+}
+
+/// MAR: the probability that dimension `j > 0` goes missing depends on the
+/// (always-kept) *driver* dimension 0 — rows with a driver value above the
+/// median lose each other cell with `2·rate`, rows below with `rate/2`
+/// (overall close to `rate`, but ignorable given dimension 0).
+pub fn mar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
+    assert!((0.0..0.5).contains(&rate), "rate must lie in [0, 0.5) for MAR");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut driver: Vec<f64> = ds.ids().filter_map(|o| ds.value(o, 0)).collect();
+    driver.sort_by(f64::total_cmp);
+    let median = if driver.is_empty() { 0.0 } else { driver[driver.len() / 2] };
+    let mut rows = dataset_to_rows(ds);
+    for row in rows.iter_mut() {
+        let original = row.clone();
+        let above = matches!(row[0], Some(v) if v > median);
+        let p = if above { 2.0 * rate } else { rate / 2.0 };
+        for cell in row.iter_mut().skip(1) {
+            if cell.is_some() && rng.gen::<f64>() < p {
+                *cell = None;
+            }
+        }
+        // Dimension 0 itself is never removed, but it may have been missing
+        // in the input: keep the row valid either way.
+        restore_one_if_empty(row, &original, &mut rng);
+    }
+    rows_to_dataset(ds.dims(), &rows)
+}
+
+/// NMAR: a cell's own value drives its missingness — cells in the worst
+/// (largest) half of their dimension's domain go missing with `2·rate`,
+/// the better half with `rate/2`. Models users not reporting bad scores.
+pub fn nmar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
+    assert!((0.0..0.5).contains(&rate), "rate must lie in [0, 0.5) for NMAR");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-dimension medians.
+    let medians: Vec<f64> = (0..ds.dims())
+        .map(|d| {
+            let mut vals: Vec<f64> = ds.ids().filter_map(|o| ds.value(o, d)).collect();
+            vals.sort_by(f64::total_cmp);
+            if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] }
+        })
+        .collect();
+    let mut rows = dataset_to_rows(ds);
+    for row in rows.iter_mut() {
+        let original = row.clone();
+        for (d, cell) in row.iter_mut().enumerate() {
+            if let Some(v) = *cell {
+                let p = if v > medians[d] { 2.0 * rate } else { rate / 2.0 };
+                if rng.gen::<f64>() < p {
+                    *cell = None;
+                }
+            }
+        }
+        restore_one_if_empty(row, &original, &mut rng);
+    }
+    rows_to_dataset(ds.dims(), &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, Distribution, SyntheticConfig};
+    use tkd_model::stats;
+
+    fn complete(n: usize) -> Dataset {
+        generate(&SyntheticConfig {
+            n,
+            dims: 4,
+            cardinality: 100,
+            missing_rate: 0.0,
+            distribution: Distribution::Independent,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn mcar_hits_requested_rate() {
+        let ds = complete(3000);
+        let out = mcar(&ds, 0.3, 1);
+        let sigma = stats::missing_rate(&out);
+        assert!((sigma - 0.3).abs() < 0.02, "σ = {sigma}");
+        for m in out.masks() {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn mcar_zero_is_identity() {
+        let ds = complete(100);
+        assert_eq!(mcar(&ds, 0.0, 1), ds);
+    }
+
+    #[test]
+    fn mcar_is_deterministic() {
+        let ds = complete(500);
+        assert_eq!(mcar(&ds, 0.25, 9), mcar(&ds, 0.25, 9));
+        assert_ne!(mcar(&ds, 0.25, 9), mcar(&ds, 0.25, 10));
+    }
+
+    #[test]
+    fn mar_missingness_depends_on_driver() {
+        let ds = complete(4000);
+        let out = mar(&ds, 0.2, 5);
+        // Split rows by driver (dim 0) halves and compare missing counts in
+        // the other dims.
+        let mut vals: Vec<f64> = out.ids().filter_map(|o| out.value(o, 0)).collect();
+        vals.sort_by(f64::total_cmp);
+        let median = vals[vals.len() / 2];
+        let (mut miss_hi, mut n_hi, mut miss_lo, mut n_lo) = (0usize, 0usize, 0usize, 0usize);
+        for o in out.ids() {
+            let Some(v) = out.value(o, 0) else { continue };
+            let missing = (1..out.dims()).filter(|&d| out.value(o, d).is_none()).count();
+            if v > median {
+                miss_hi += missing;
+                n_hi += 1;
+            } else {
+                miss_lo += missing;
+                n_lo += 1;
+            }
+        }
+        let rate_hi = miss_hi as f64 / (n_hi * 3) as f64;
+        let rate_lo = miss_lo as f64 / (n_lo * 3) as f64;
+        assert!(rate_hi > 2.0 * rate_lo, "MAR bias missing: hi={rate_hi} lo={rate_lo}");
+        // Dimension 0 never goes missing under this mechanism.
+        assert!(out.ids().all(|o| out.value(o, 0).is_some()));
+    }
+
+    #[test]
+    fn nmar_missingness_depends_on_own_value() {
+        let ds = complete(4000);
+        let out = nmar(&ds, 0.2, 5);
+        // Surviving values should skew towards the better (smaller) half.
+        for d in 0..ds.dims() {
+            let before: f64 = ds.ids().filter_map(|o| ds.value(o, d)).sum::<f64>()
+                / ds.ids().filter_map(|o| ds.value(o, d)).count() as f64;
+            let after: f64 = out.ids().filter_map(|o| out.value(o, d)).sum::<f64>()
+                / out.ids().filter_map(|o| out.value(o, d)).count() as f64;
+            assert!(after < before, "dim {d}: mean should drop ({before} -> {after})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must lie")]
+    fn mcar_rejects_rate_one() {
+        let ds = complete(10);
+        let _ = mcar(&ds, 1.0, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! IND / AC / CO synthetic workloads (Börzsönyi et al. methodology).
+
+use crate::missing;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tkd_model::Dataset;
+
+/// Value distribution across dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Each dimension independently uniform (the paper's IND).
+    Independent,
+    /// Points near the anti-diagonal hyperplane: good in one dimension,
+    /// bad in another (the paper's AC).
+    AntiCorrelated,
+    /// All dimensions track a common latent quality (CO; not in the paper's
+    /// sweeps but standard in the skyline literature).
+    Correlated,
+}
+
+/// Full description of a synthetic workload (one row of the paper's
+/// Table 2).
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of objects `N`.
+    pub n: usize,
+    /// Dimensionality `d`.
+    pub dims: usize,
+    /// Dimensional cardinality `c`: values are integers in `[0, c)`.
+    pub cardinality: usize,
+    /// Missing rate `σ ∈ [0, 1)`, applied MCAR.
+    pub missing_rate: f64,
+    /// Value distribution.
+    pub distribution: Distribution,
+    /// RNG seed (same seed ⇒ identical dataset).
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's Table 2 defaults: `N = 100K`, `d = 10`, `c = 100`,
+    /// `σ = 10%`, IND.
+    pub fn paper_default() -> Self {
+        SyntheticConfig {
+            n: 100_000,
+            dims: 10,
+            cardinality: 100,
+            missing_rate: 0.10,
+            distribution: Distribution::Independent,
+            seed: 42,
+        }
+    }
+
+    /// A laptop-quick variant of the defaults (`N = 10K`).
+    pub fn quick_default() -> Self {
+        SyntheticConfig { n: 10_000, ..Self::paper_default() }
+    }
+}
+
+/// Approximate standard normal via the Irwin–Hall sum (12 uniforms),
+/// keeping the crate's dependency surface at `rand` alone.
+fn gaussian(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    mean + sd * s
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Generate a complete (no missing values) point in `[0,1]^d`.
+fn point(rng: &mut StdRng, dims: usize, dist: Distribution) -> Vec<f64> {
+    match dist {
+        Distribution::Independent => (0..dims).map(|_| rng.gen::<f64>()).collect(),
+        Distribution::Correlated => {
+            let base = clamp01(gaussian(rng, 0.5, 0.2));
+            (0..dims).map(|_| clamp01(base + gaussian(rng, 0.0, 0.05))).collect()
+        }
+        Distribution::AntiCorrelated => {
+            // A point on the plane Σx = d·v (v near 0.5), then mass is
+            // shifted between random coordinate pairs so coordinates
+            // anti-correlate while the sum stays fixed.
+            let v = clamp01(gaussian(rng, 0.5, 0.1));
+            let mut xs = vec![v; dims];
+            if dims > 1 {
+                for _ in 0..(2 * dims) {
+                    let i = rng.gen_range(0..dims);
+                    let mut j = rng.gen_range(0..dims);
+                    while j == i {
+                        j = rng.gen_range(0..dims);
+                    }
+                    let max_shift = (1.0 - xs[i]).min(xs[j]);
+                    let shift = rng.gen::<f64>() * max_shift;
+                    xs[i] += shift;
+                    xs[j] -= shift;
+                }
+            }
+            xs
+        }
+    }
+}
+
+/// Generate the dataset described by `cfg`.
+///
+/// Every object keeps at least one observed value (model invariant), so on
+/// 1-dimensional data the realized missing rate is always 0 regardless of
+/// `missing_rate`; at higher dimensionalities the realized rate tracks the
+/// request up to that correction.
+pub fn generate(cfg: &SyntheticConfig) -> Dataset {
+    assert!(cfg.cardinality >= 1, "cardinality must be positive");
+    assert!(
+        (0.0..1.0).contains(&cfg.missing_rate),
+        "missing rate must lie in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rows: Vec<Vec<Option<f64>>> = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let xs = point(&mut rng, cfg.dims, cfg.distribution);
+        let row: Vec<Option<f64>> = xs
+            .into_iter()
+            .map(|x| {
+                // Discretize to the requested dimensional cardinality.
+                let v = ((x * cfg.cardinality as f64) as usize).min(cfg.cardinality - 1);
+                Some(v as f64)
+            })
+            .collect();
+        rows.push(row);
+    }
+    missing::inject_mcar_rows(&mut rows, cfg.missing_rate, &mut rng);
+    Dataset::from_rows(cfg.dims, &rows).expect("generator emits valid rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::stats;
+
+    fn cfg(dist: Distribution) -> SyntheticConfig {
+        SyntheticConfig {
+            n: 2000,
+            dims: 2,
+            cardinality: 50,
+            missing_rate: 0.2,
+            distribution: dist,
+            seed: 7,
+        }
+    }
+
+    /// Pearson correlation over rows where both dims are observed.
+    fn pearson(ds: &Dataset) -> f64 {
+        let pairs: Vec<(f64, f64)> = ds
+            .ids()
+            .filter_map(|o| Some((ds.value(o, 0)?, ds.value(o, 1)?)))
+            .collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        cov / (sx * sy)
+    }
+
+    #[test]
+    fn shapes_and_domain() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::AntiCorrelated,
+            Distribution::Correlated,
+        ] {
+            let ds = generate(&cfg(dist));
+            assert_eq!(ds.len(), 2000);
+            assert_eq!(ds.dims(), 2);
+            for o in ds.ids() {
+                for d in 0..2 {
+                    if let Some(v) = ds.value(o, d) {
+                        assert!((0.0..50.0).contains(&v), "{dist:?}: value {v} out of domain");
+                        assert_eq!(v.fract(), 0.0, "integral values expected");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_rate_is_respected() {
+        let ds = generate(&cfg(Distribution::Independent));
+        let sigma = stats::missing_rate(&ds);
+        assert!((sigma - 0.2).abs() < 0.03, "got σ = {sigma}");
+        // Every object keeps at least one observed dimension.
+        for m in ds.masks() {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_missing_rate_is_complete() {
+        let mut c = cfg(Distribution::Independent);
+        c.missing_rate = 0.0;
+        let ds = generate(&c);
+        assert_eq!(stats::missing_rate(&ds), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&cfg(Distribution::AntiCorrelated));
+        let b = generate(&cfg(Distribution::AntiCorrelated));
+        assert_eq!(a, b);
+        let mut c2 = cfg(Distribution::AntiCorrelated);
+        c2.seed = 8;
+        assert_ne!(generate(&c2), a);
+    }
+
+    #[test]
+    fn anticorrelated_is_negative_correlated_is_positive() {
+        let ac = pearson(&generate(&cfg(Distribution::AntiCorrelated)));
+        let co = pearson(&generate(&cfg(Distribution::Correlated)));
+        let ind = pearson(&generate(&cfg(Distribution::Independent)));
+        assert!(ac < -0.2, "AC correlation {ac} not negative enough");
+        assert!(co > 0.5, "CO correlation {co} not positive enough");
+        assert!(ind.abs() < 0.15, "IND correlation {ind} not near zero");
+    }
+
+    #[test]
+    fn cardinality_bounds_distinct_values() {
+        let mut c = cfg(Distribution::Independent);
+        c.cardinality = 5;
+        let ds = generate(&c);
+        for d in 0..ds.dims() {
+            assert!(stats::dimension_cardinality(&ds, d) <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rate")]
+    fn rejects_full_missing_rate() {
+        let mut c = cfg(Distribution::Independent);
+        c.missing_rate = 1.0;
+        let _ = generate(&c);
+    }
+
+    #[test]
+    fn paper_and_quick_defaults() {
+        let p = SyntheticConfig::paper_default();
+        assert_eq!((p.n, p.dims, p.cardinality), (100_000, 10, 100));
+        assert_eq!(p.missing_rate, 0.10);
+        let q = SyntheticConfig::quick_default();
+        assert_eq!(q.n, 10_000);
+        assert_eq!(q.dims, p.dims);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based invariants of the workload generators across their whole
+//! parameter space (every Table 2 combination must produce a valid,
+//! deterministic dataset with the requested shape).
+
+use proptest::prelude::*;
+use tkd_data::missing;
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_model::stats;
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        10usize..400,
+        1usize..8,
+        1usize..200,
+        0.0f64..0.6,
+        prop_oneof![
+            Just(Distribution::Independent),
+            Just(Distribution::AntiCorrelated),
+            Just(Distribution::Correlated),
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(n, dims, cardinality, missing_rate, distribution, seed)| SyntheticConfig {
+            n,
+            dims,
+            cardinality,
+            missing_rate,
+            distribution,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shape invariants: requested size, dimensionality, value domain and
+    /// at least one observed value per object.
+    #[test]
+    fn generator_shape(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        prop_assert_eq!(ds.len(), cfg.n);
+        prop_assert_eq!(ds.dims(), cfg.dims);
+        for o in ds.ids() {
+            prop_assert!(!ds.mask(o).is_empty());
+            for d in 0..cfg.dims {
+                if let Some(v) = ds.value(o, d) {
+                    prop_assert!(v >= 0.0 && v < cfg.cardinality as f64);
+                    prop_assert_eq!(v.fract(), 0.0);
+                }
+            }
+        }
+        for d in 0..cfg.dims {
+            prop_assert!(stats::dimension_cardinality(&ds, d) <= cfg.cardinality);
+        }
+    }
+
+    /// Determinism: the same config regenerates the identical dataset.
+    #[test]
+    fn generator_determinism(cfg in config_strategy()) {
+        prop_assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    /// Realized missing rate tracks the requested one (within sampling
+    /// noise; bounded crudely for tiny datasets).
+    #[test]
+    fn missing_rate_tracks_request(mut cfg in config_strategy()) {
+        cfg.n = cfg.n.max(200); // enough cells for the bound below
+        let ds = generate(&cfg);
+        let sigma = stats::missing_rate(&ds);
+        if cfg.dims == 1 {
+            // The at-least-one-observed invariant forbids any missing cell
+            // in 1-D data.
+            prop_assert_eq!(sigma, 0.0);
+            return Ok(());
+        }
+        // The expected rate is depressed by all-missing-row restoration:
+        // a row goes all-missing with probability rate^dims and then gets
+        // one cell back.
+        let expected = cfg.missing_rate
+            - cfg.missing_rate.powi(cfg.dims as i32) / cfg.dims as f64;
+        let cells = (cfg.n * cfg.dims) as f64;
+        let tolerance = 0.05 + 3.0 * (cfg.missing_rate / cells).sqrt();
+        prop_assert!(
+            (sigma - expected).abs() <= tolerance,
+            "requested {} (expected realized {}) realized {}",
+            cfg.missing_rate,
+            expected,
+            sigma
+        );
+    }
+
+    /// MCAR injection over an existing dataset only removes values (never
+    /// invents or changes them) and keeps rows alive.
+    #[test]
+    fn mcar_only_removes(cfg in config_strategy(), rate in 0.0f64..0.9, seed in any::<u64>()) {
+        let base = generate(&cfg);
+        let out = missing::mcar(&base, rate, seed);
+        prop_assert_eq!(out.len(), base.len());
+        for o in base.ids() {
+            prop_assert!(!out.mask(o).is_empty());
+            for d in 0..base.dims() {
+                match (base.value(o, d), out.value(o, d)) {
+                    (Some(a), Some(b)) => prop_assert_eq!(a, b),
+                    (None, Some(_)) => prop_assert!(false, "MCAR invented a value"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// MAR never touches the driver dimension; NMAR keeps rows alive and
+    /// only removes values.
+    #[test]
+    fn mar_nmar_validity(cfg in config_strategy(), rate in 0.0f64..0.45, seed in any::<u64>()) {
+        let base = generate(&cfg);
+        let marred = missing::mar(&base, rate, seed);
+        for o in base.ids() {
+            prop_assert_eq!(base.value(o, 0), marred.value(o, 0), "MAR touched the driver");
+        }
+        let nmarred = missing::nmar(&base, rate, seed);
+        for o in base.ids() {
+            prop_assert!(!nmarred.mask(o).is_empty());
+            for d in 0..base.dims() {
+                if let Some(v) = nmarred.value(o, d) {
+                    prop_assert_eq!(base.value(o, d), Some(v));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulators_scale_parameters() {
+    // Shape spot-checks at non-default sizes (full-scale covered by the
+    // bench harness).
+    let m = tkd_data::simulators::movielens_like_with(123, 17, 5);
+    assert_eq!((m.len(), m.dims()), (123, 17));
+    let n = tkd_data::simulators::nba_like_with(77, 5);
+    assert_eq!((n.len(), n.dims()), (77, 4));
+    let z = tkd_data::simulators::zillow_like_with(88, 5);
+    assert_eq!((z.len(), z.dims()), (88, 5));
+}

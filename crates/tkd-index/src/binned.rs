@@ -1,0 +1,439 @@
+//! The binned bitmap index of §4.4 (Fig. 9) with the adaptive binning
+//! strategy of Eq. 3–4 and the per-dimension B+-tree probes of §4.5.
+
+use tkd_bitvec::BitVec;
+use tkd_btree::{BPlusTree, F64Key};
+use tkd_model::{Dataset, ObjectId};
+
+/// Sentinel marking a missing value in the per-object bin table.
+const MISSING: u32 = u32::MAX;
+
+/// Compute bin upper boundaries for one dimension (Eq. 3–4).
+///
+/// `value_counts` are the distinct observed values ascending with their
+/// multiplicities (`N_ik`); `x` is the requested number of bins. The k-th
+/// bin greedily absorbs whole distinct values while its cumulative count
+/// stays within `remaining / bins_left` (always taking at least one value),
+/// and the last bin absorbs the rest — the paper's adaptive, skew-aware
+/// partitioning. Returns the per-bin *upper* boundary values; fewer than `x`
+/// bins result when there are fewer distinct values.
+pub fn compute_bins(value_counts: &[(f64, usize)], x: usize) -> Vec<f64> {
+    assert!(x >= 1, "at least one bin required");
+    let mut boundaries = Vec::with_capacity(x.min(value_counts.len()));
+    let mut remaining: usize = value_counts.iter().map(|&(_, c)| c).sum();
+    let mut bins_left = x;
+    let mut idx = 0;
+    while idx < value_counts.len() {
+        if bins_left == 1 {
+            boundaries.push(value_counts[value_counts.len() - 1].0);
+            break;
+        }
+        let capacity = remaining as f64 / bins_left as f64;
+        let mut cum = 0usize;
+        let mut taken = 0usize;
+        while idx + taken < value_counts.len() {
+            let c = value_counts[idx + taken].1;
+            if taken > 0 && (cum + c) as f64 > capacity {
+                break;
+            }
+            cum += c;
+            taken += 1;
+            if cum as f64 >= capacity {
+                break;
+            }
+        }
+        boundaries.push(value_counts[idx + taken - 1].0);
+        idx += taken;
+        remaining -= cum;
+        bins_left -= 1;
+    }
+    boundaries
+}
+
+/// Binned bitmap index: like [`crate::BitmapIndex`] but with one column per
+/// value *bin*, shrinking storage from `Σ(Cᵢ+1)·N` to `Σ(xᵢ+1)·N` bits.
+///
+/// Because a bin conflates a value range, `[Qᵢ]` (same-or-higher bin) may
+/// include objects that are actually *better* than `o` in dimension `i`;
+/// the IBIG score computation (Algorithm 5) resolves those through the
+/// per-dimension B+-tree probes exposed here.
+#[derive(Clone, Debug)]
+pub struct BinnedBitmapIndex {
+    n: usize,
+    dims: usize,
+    /// Per dimension: ascending upper boundary of each bin.
+    boundaries: Vec<Vec<f64>>,
+    /// `columns[i][c]` = `{p : p[i] missing ∨ bin(p[i]) > c}` (1-based bins).
+    columns: Vec<Vec<BitVec>>,
+    /// Per object, per dimension: 1-based bin index or `MISSING`.
+    bin_idx: Vec<u32>,
+    /// Per dimension: B+-tree over `(value, id)` pairs of observed values,
+    /// for bin-interior probing (§4.5).
+    trees: Vec<BPlusTree<(F64Key, ObjectId), ()>>,
+}
+
+impl BinnedBitmapIndex {
+    /// Build with `bins_per_dim[i]` bins requested for dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `bins_per_dim.len() != ds.dims()` or any entry is zero.
+    pub fn build(ds: &Dataset, bins_per_dim: &[usize]) -> Self {
+        assert_eq!(bins_per_dim.len(), ds.dims(), "one bin count per dimension");
+        let n = ds.len();
+        let dims = ds.dims();
+        let mut boundaries = Vec::with_capacity(dims);
+        let mut columns = Vec::with_capacity(dims);
+        let mut trees = Vec::with_capacity(dims);
+        let mut bin_idx = vec![MISSING; n * dims];
+
+        for dim in 0..dims {
+            // Distinct values with multiplicities, ascending.
+            let mut sorted: Vec<(f64, ObjectId)> = ds
+                .ids()
+                .filter_map(|o| ds.value(o, dim).map(|v| (v, o)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut counts: Vec<(f64, usize)> = Vec::new();
+            for &(v, _) in &sorted {
+                match counts.last_mut() {
+                    Some((last, c)) if *last == v => *c += 1,
+                    _ => counts.push((v, 1)),
+                }
+            }
+            let bounds = if counts.is_empty() {
+                Vec::new()
+            } else {
+                compute_bins(&counts, bins_per_dim[dim])
+            };
+
+            // Assign bins and build the probe tree.
+            let mut tree = BPlusTree::new();
+            let mut holders: Vec<Vec<ObjectId>> = vec![Vec::new(); bounds.len()];
+            for &(v, o) in &sorted {
+                let b = bounds.partition_point(|&ub| ub < v);
+                debug_assert!(b < bounds.len(), "value above last boundary");
+                holders[b].push(o);
+                bin_idx[o as usize * dims + dim] = (b + 1) as u32;
+                tree.insert((F64Key::new(v).expect("values are not NaN"), o), ());
+            }
+
+            // Incremental columns, as in the unbinned index.
+            let mut cols = Vec::with_capacity(bounds.len() + 1);
+            let mut cur = BitVec::ones(n);
+            cols.push(cur.clone());
+            for hs in &holders {
+                for &o in hs {
+                    cur.clear(o as usize);
+                }
+                cols.push(cur.clone());
+            }
+            boundaries.push(bounds);
+            columns.push(cols);
+            trees.push(tree);
+        }
+        BinnedBitmapIndex { n, dims, boundaries, columns, bin_idx, trees }
+    }
+
+    /// Number of indexed objects.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Actual number of bins materialized for `dim` (≤ requested).
+    pub fn num_bins(&self, dim: usize) -> usize {
+        self.boundaries[dim].len()
+    }
+
+    /// Number of columns of `dim` (`xᵢ + 1`).
+    pub fn num_columns(&self, dim: usize) -> usize {
+        self.columns[dim].len()
+    }
+
+    /// Vertical column `c` of `dim`.
+    pub fn column(&self, dim: usize, c: usize) -> &BitVec {
+        &self.columns[dim][c]
+    }
+
+    /// Upper boundary value of 1-based `bin` in `dim`.
+    pub fn bin_upper(&self, dim: usize, bin: u32) -> f64 {
+        self.boundaries[dim][(bin - 1) as usize]
+    }
+
+    /// Upper boundary of the bin *below* `bin`, i.e. the exclusive lower
+    /// bound of `bin` (`None` for the first bin).
+    pub fn bin_lower(&self, dim: usize, bin: u32) -> Option<f64> {
+        if bin <= 1 {
+            None
+        } else {
+            Some(self.boundaries[dim][(bin - 2) as usize])
+        }
+    }
+
+    /// 1-based bin of `o` in `dim`, or `None` when missing.
+    #[inline]
+    pub fn bin_of(&self, o: ObjectId, dim: usize) -> Option<u32> {
+        match self.bin_idx[o as usize * self.dims + dim] {
+            MISSING => None,
+            b => Some(b),
+        }
+    }
+
+    /// `[Qᵢ]` for `o`: same-or-higher bin or missing.
+    #[inline]
+    pub fn q_column(&self, o: ObjectId, dim: usize) -> &BitVec {
+        match self.bin_of(o, dim) {
+            None => &self.columns[dim][0],
+            Some(b) => &self.columns[dim][(b - 1) as usize],
+        }
+    }
+
+    /// `[Pᵢ]` for `o`: strictly higher bin or missing.
+    #[inline]
+    pub fn p_column(&self, o: ObjectId, dim: usize) -> &BitVec {
+        match self.bin_of(o, dim) {
+            None => &self.columns[dim][0],
+            Some(b) => &self.columns[dim][b as usize],
+        }
+    }
+
+    /// `Q = (∩ᵢ Qᵢ) − {o}` over the binned columns.
+    pub fn q_vec(&self, o: ObjectId) -> BitVec {
+        let mut q = self.q_column(o, 0).clone();
+        for dim in 1..self.dims {
+            q.and_assign(self.q_column(o, dim));
+        }
+        q.clear(o as usize);
+        q
+    }
+
+    /// `P = ∩ᵢ Pᵢ` over the binned columns.
+    pub fn p_vec(&self, o: ObjectId) -> BitVec {
+        let mut p = self.p_column(o, 0).clone();
+        for dim in 1..self.dims {
+            p.and_assign(self.p_column(o, dim));
+        }
+        p
+    }
+
+    /// `MaxBitScore(o) = |Q|` under the binned index (still a valid upper
+    /// bound of `score(o)`, though no longer tighter than `MaxScore` —
+    /// Lemma 3 does not carry over, see §4.4).
+    pub fn max_bit_score(&self, o: ObjectId) -> usize {
+        self.q_vec(o).count_ones()
+    }
+
+    /// Index size in bits: the paper's Eq. 5 with the actual bin counts.
+    pub fn size_bits(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|cols| cols.len() as u64 * self.n as u64)
+            .sum()
+    }
+
+    /// Index size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// Objects whose value in `dim` equals `v` (B+-tree probe, ascending id).
+    pub fn ids_equal(&self, dim: usize, v: f64) -> impl Iterator<Item = ObjectId> + '_ {
+        let k = F64Key::new(v).expect("probe value is not NaN");
+        self.trees[dim]
+            .range((k, 0)..=(k, ObjectId::MAX))
+            .map(|(&(_, id), _)| id)
+    }
+
+    /// Objects in the same bin as `o` in `dim` whose value is strictly less
+    /// than `o[i]` — the §4.5 probe that feeds `nonD(o)` (they cannot be
+    /// dominated by `o`). Empty when `o` misses `dim`.
+    pub fn ids_in_bin_below(
+        &self,
+        ds: &Dataset,
+        o: ObjectId,
+        dim: usize,
+    ) -> Box<dyn Iterator<Item = ObjectId> + '_> {
+        let Some(bin) = self.bin_of(o, dim) else {
+            return Box::new(std::iter::empty());
+        };
+        let v = ds.value(o, dim).expect("bin implies observed");
+        let hi = std::ops::Bound::Excluded((F64Key::new(v).expect("not NaN"), 0));
+        let lo = match self.bin_lower(dim, bin) {
+            None => std::ops::Bound::Unbounded,
+            Some(lb) => {
+                std::ops::Bound::Excluded((F64Key::new(lb).expect("not NaN"), ObjectId::MAX))
+            }
+        };
+        Box::new(self.trees[dim].range((lo, hi)).map(|(&(_, id), _)| id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitmapIndex;
+    use tkd_model::{dominance, fixtures};
+
+    #[test]
+    fn eq3_worked_example_dim1() {
+        // §4.4: dim 1 of the sample dataset, x = 2: first bin covers only
+        // value 2 (4 objects ≤ capacity 5, adding value 3 would reach 8).
+        let counts = vec![(2.0, 4), (3.0, 4), (4.0, 1), (5.0, 1)];
+        assert_eq!(compute_bins(&counts, 2), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn bins_cover_domain_and_respect_x() {
+        let counts: Vec<(f64, usize)> = (0..100).map(|i| (i as f64, (i % 7) + 1)).collect();
+        for x in 1..=12 {
+            let b = compute_bins(&counts, x);
+            assert!(b.len() <= x);
+            assert_eq!(*b.last().unwrap(), 99.0, "last boundary is the max");
+            for w in b.windows(2) {
+                assert!(w[0] < w[1], "boundaries ascend");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bin_takes_everything() {
+        let counts = vec![(1.0, 3), (2.0, 9)];
+        assert_eq!(compute_bins(&counts, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn more_bins_than_values_degenerates_to_unbinned() {
+        let counts = vec![(1.0, 1), (5.0, 1), (9.0, 1)];
+        assert_eq!(compute_bins(&counts, 10), vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn uniform_data_gets_even_bins() {
+        // "for uniformly distributed data, every bin … contains the same
+        // number of dimensional values" (§4.4).
+        let counts: Vec<(f64, usize)> = (0..12).map(|i| (i as f64, 5)).collect();
+        let b = compute_bins(&counts, 4);
+        assert_eq!(b, vec![2.0, 5.0, 8.0, 11.0]);
+    }
+
+    fn fig9_index() -> (tkd_model::Dataset, BinnedBitmapIndex) {
+        let ds = fixtures::fig3_sample();
+        // §4.4 / Fig. 9: x = (2, 2, 3, 3).
+        let idx = BinnedBitmapIndex::build(&ds, &[2, 2, 3, 3]);
+        (ds, idx)
+    }
+
+    #[test]
+    fn fig9_dim1_binning() {
+        let (ds, idx) = fig9_index();
+        assert_eq!(idx.num_bins(0), 2);
+        assert_eq!(idx.bin_upper(0, 1), 2.0);
+        assert_eq!(idx.bin_upper(0, 2), 5.0);
+        // D4[1] = 4 falls in the second bin (the paper's "110" example).
+        let d4 = ds.id_by_label("D4").unwrap();
+        assert_eq!(idx.bin_of(d4, 0), Some(2));
+        // C2[1] = 2 falls in the first.
+        let c2 = ds.id_by_label("C2").unwrap();
+        assert_eq!(idx.bin_of(c2, 0), Some(1));
+    }
+
+    #[test]
+    fn columns_match_set_semantics() {
+        let (ds, idx) = fig9_index();
+        for dim in 0..ds.dims() {
+            for c in 0..idx.num_columns(dim) {
+                let col = idx.column(dim, c);
+                for p in ds.ids() {
+                    let expected = match idx.bin_of(p, dim) {
+                        None => true,
+                        Some(b) => b as usize > c,
+                    };
+                    assert_eq!(col.get(p as usize), expected, "dim {dim} col {c} obj {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binned_q_is_superset_of_unbinned_q() {
+        let (ds, idx) = fig9_index();
+        let exact = BitmapIndex::build(&ds);
+        for o in ds.ids() {
+            assert!(
+                exact.q_vec(o).is_subset_of(&idx.q_vec(o)),
+                "binning must only loosen Q (object {o})"
+            );
+        }
+    }
+
+    #[test]
+    fn binned_maxbitscore_bounds_score() {
+        let (ds, idx) = fig9_index();
+        for o in ds.ids() {
+            assert!(dominance::score_of(&ds, o) <= idx.max_bit_score(o));
+        }
+    }
+
+    #[test]
+    fn x_equal_to_cardinality_reproduces_exact_index() {
+        // §4.5: "when x is set to the number of distinct dimensional values
+        // the binned bitmap index is the same as the bitmap index".
+        let ds = fixtures::fig3_sample();
+        let exact = BitmapIndex::build(&ds);
+        let cards: Vec<usize> = (0..ds.dims()).map(|d| exact.cardinality(d)).collect();
+        let binned = BinnedBitmapIndex::build(&ds, &cards);
+        for dim in 0..ds.dims() {
+            assert_eq!(binned.num_columns(dim), exact.num_columns(dim));
+            for c in 0..exact.num_columns(dim) {
+                assert_eq!(binned.column(dim, c), exact.column(dim, c), "dim {dim} col {c}");
+            }
+        }
+        assert_eq!(binned.size_bits(), exact.size_bits());
+    }
+
+    #[test]
+    fn smaller_x_means_smaller_index() {
+        let ds = fixtures::fig3_sample();
+        let small = BinnedBitmapIndex::build(&ds, &[2, 2, 2, 2]);
+        let large = BinnedBitmapIndex::build(&ds, &[4, 4, 4, 4]);
+        assert!(small.size_bits() < large.size_bits());
+    }
+
+    #[test]
+    fn probe_ids_equal() {
+        let (ds, idx) = fig9_index();
+        // Dim 0 value 3: C3, C4, C5, D1.
+        let mut ids: Vec<String> = idx
+            .ids_equal(0, 3.0)
+            .map(|o| ds.label(o).unwrap().to_string())
+            .collect();
+        ids.sort();
+        assert_eq!(ids, vec!["C3", "C4", "C5", "D1"]);
+        assert_eq!(idx.ids_equal(0, 99.0).count(), 0);
+    }
+
+    #[test]
+    fn probe_ids_in_bin_below() {
+        let (ds, idx) = fig9_index();
+        // D4[1] = 4 sits in bin 2 of dim 0, which covers (2, 5]. Values
+        // strictly below 4 in that bin: the five 3s (C3, C4, C5, D1) —
+        // and nothing from bin 1.
+        let d4 = ds.id_by_label("D4").unwrap();
+        let mut ids: Vec<String> = idx
+            .ids_in_bin_below(&ds, d4, 0)
+            .map(|o| ds.label(o).unwrap().to_string())
+            .collect();
+        ids.sort();
+        assert_eq!(ids, vec!["C3", "C4", "C5", "D1"]);
+        // C2[1] = 2 is the minimum of its bin: nothing below.
+        let c2 = ds.id_by_label("C2").unwrap();
+        assert_eq!(idx.ids_in_bin_below(&ds, c2, 0).count(), 0);
+        // Missing dimension: empty probe.
+        let a1 = ds.id_by_label("A1").unwrap();
+        assert_eq!(idx.ids_in_bin_below(&ds, a1, 0).count(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The range-encoded bitmap index of §4.3 (Fig. 6).
+
+use tkd_bitvec::BitVec;
+use tkd_model::{stats, Dataset, ObjectId};
+
+/// Sentinel marking a missing value in the per-object column-index table.
+const MISSING: u32 = u32::MAX;
+
+/// Range-encoded bitmap index over an incomplete dataset.
+///
+/// Storage cost is exactly the paper's `Σᵢ (Cᵢ + 1) · |S|` bits
+/// ([`BitmapIndex::size_bits`]). Building is incremental per dimension:
+/// column `c` equals column `c − 1` minus the objects whose value is `v_c`,
+/// so construction is `O(Σᵢ (Cᵢ + 1) · N / 64)` word operations.
+#[derive(Clone, Debug)]
+pub struct BitmapIndex {
+    n: usize,
+    dims: usize,
+    /// Sorted distinct observed values per dimension.
+    values: Vec<Vec<f64>>,
+    /// `columns[i][c]` = `{p : p[i] missing ∨ p[i] > values[i][c-1]}`;
+    /// `columns[i][0]` is all-ones (the missing slot).
+    columns: Vec<Vec<BitVec>>,
+    /// Per object, per dimension: 1-based index of the object's value in
+    /// `values[i]`, or `MISSING`.
+    val_idx: Vec<u32>,
+}
+
+impl BitmapIndex {
+    /// Build the index for `ds`.
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let dims = ds.dims();
+        let mut values = Vec::with_capacity(dims);
+        let mut columns = Vec::with_capacity(dims);
+        let mut val_idx = vec![MISSING; n * dims];
+
+        for dim in 0..dims {
+            let vals = stats::distinct_values(ds, dim);
+            // Objects holding each distinct value, for incremental column
+            // construction.
+            let mut holders: Vec<Vec<ObjectId>> = vec![Vec::new(); vals.len()];
+            for o in ds.ids() {
+                if let Some(v) = ds.value(o, dim) {
+                    let j = vals.partition_point(|x| x.total_cmp(&v).is_lt());
+                    debug_assert_eq!(vals[j], v);
+                    holders[j].push(o);
+                    val_idx[o as usize * dims + dim] = (j + 1) as u32;
+                }
+            }
+            let mut cols = Vec::with_capacity(vals.len() + 1);
+            let mut cur = BitVec::ones(n);
+            cols.push(cur.clone());
+            for hs in &holders {
+                for &o in hs {
+                    cur.clear(o as usize);
+                }
+                cols.push(cur.clone());
+            }
+            values.push(vals);
+            columns.push(cols);
+        }
+        BitmapIndex { n, dims, values, columns, val_idx }
+    }
+
+    /// Number of indexed objects.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Dimensional cardinality `Cᵢ`.
+    pub fn cardinality(&self, dim: usize) -> usize {
+        self.values[dim].len()
+    }
+
+    /// Sorted distinct values of `dim`.
+    pub fn values(&self, dim: usize) -> &[f64] {
+        &self.values[dim]
+    }
+
+    /// Vertical column `c` of `dim` (see the crate docs for its set
+    /// semantics). Column 0 is the all-ones missing slot.
+    pub fn column(&self, dim: usize, c: usize) -> &BitVec {
+        &self.columns[dim][c]
+    }
+
+    /// Number of columns of `dim` (`Cᵢ + 1`).
+    pub fn num_columns(&self, dim: usize) -> usize {
+        self.columns[dim].len()
+    }
+
+    /// 1-based value index of `o` in `dim`, or `None` when missing.
+    #[inline]
+    pub fn value_index(&self, o: ObjectId, dim: usize) -> Option<u32> {
+        match self.val_idx[o as usize * self.dims + dim] {
+            MISSING => None,
+            j => Some(j),
+        }
+    }
+
+    /// The paper's `[Qᵢ]` for object `o`: all-ones when `o[i]` is missing,
+    /// else the column just below `o`'s value.
+    #[inline]
+    pub fn q_column(&self, o: ObjectId, dim: usize) -> &BitVec {
+        match self.value_index(o, dim) {
+            None => &self.columns[dim][0],
+            Some(j) => &self.columns[dim][(j - 1) as usize],
+        }
+    }
+
+    /// The paper's `[Pᵢ]` for object `o`: all-ones when `o[i]` is missing,
+    /// else the column at `o`'s value.
+    #[inline]
+    pub fn p_column(&self, o: ObjectId, dim: usize) -> &BitVec {
+        match self.value_index(o, dim) {
+            None => &self.columns[dim][0],
+            Some(j) => &self.columns[dim][j as usize],
+        }
+    }
+
+    /// `Q = (∩ᵢ Qᵢ) − {o}` (Definition 4). `|Q|` is `MaxBitScore(o)`.
+    pub fn q_vec(&self, o: ObjectId) -> BitVec {
+        let mut q = self.q_column(o, 0).clone();
+        for dim in 1..self.dims {
+            q.and_assign(self.q_column(o, dim));
+        }
+        q.clear(o as usize);
+        q
+    }
+
+    /// `P = ∩ᵢ Pᵢ` (Definition 4).
+    pub fn p_vec(&self, o: ObjectId) -> BitVec {
+        let mut p = self.p_column(o, 0).clone();
+        for dim in 1..self.dims {
+            p.and_assign(self.p_column(o, dim));
+        }
+        p
+    }
+
+    /// `MaxBitScore(o) = |Q|` (Heuristic 2).
+    pub fn max_bit_score(&self, o: ObjectId) -> usize {
+        self.q_vec(o).count_ones()
+    }
+
+    /// Index size in bits: the paper's `cost_s = Σᵢ (Cᵢ + 1) · |S|`.
+    pub fn size_bits(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|cols| cols.len() as u64 * self.n as u64)
+            .sum()
+    }
+
+    /// Index size in bytes (bit count over 8, rounded up per column word
+    /// granularity is ignored — this reports the paper's logical size).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::{dominance, fixtures};
+
+    fn bits_to_string(b: &BitVec) -> String {
+        (0..b.len()).map(|i| if b.get(i) { '1' } else { '0' }).collect()
+    }
+
+    #[test]
+    fn fig6_q3_of_b3() {
+        // §4.3: for B3, [Q3] = 00011001011111111111 (objects in label order
+        // A1..A5, B1..B5, C1..C5, D1..D5).
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let b3 = ds.id_by_label("B3").unwrap();
+        assert_eq!(bits_to_string(idx.q_column(b3, 2)), "00011001011111111111");
+    }
+
+    #[test]
+    fn fig6_worked_c2_vectors() {
+        // §4.3's worked example for C2 lists all eight [Pi]/[Qi] vectors.
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let c2 = ds.id_by_label("C2").unwrap();
+        assert_eq!(bits_to_string(idx.p_column(c2, 0)), "11111111110011110011");
+        assert_eq!(bits_to_string(idx.p_column(c2, 1)), "11111111111111111111");
+        assert_eq!(bits_to_string(idx.p_column(c2, 2)), "11111111111111111111");
+        assert_eq!(bits_to_string(idx.p_column(c2, 3)), "10111101111011111011");
+        for dim in 0..4 {
+            assert_eq!(
+                bits_to_string(idx.q_column(c2, dim)),
+                "11111111111111111111",
+                "dim {dim}"
+            );
+        }
+        // [P] = ∩ [Pi] with |P| = 14.
+        assert_eq!(bits_to_string(&idx.p_vec(c2)), "10111101110011110011");
+        assert_eq!(idx.p_vec(c2).count_ones(), 14);
+    }
+
+    #[test]
+    fn fig8_max_bit_scores() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        for (label, expected) in fixtures::fig8_maxbitscores() {
+            let o = ds.id_by_label(label).unwrap();
+            assert_eq!(idx.max_bit_score(o), expected, "MaxBitScore({label})");
+        }
+    }
+
+    #[test]
+    fn columns_match_set_semantics() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        for dim in 0..ds.dims() {
+            let vals = idx.values(dim);
+            for c in 0..idx.num_columns(dim) {
+                let col = idx.column(dim, c);
+                for p in ds.ids() {
+                    let expected = match ds.value(p, dim) {
+                        None => true,
+                        Some(v) => c == 0 || v > vals[c - 1],
+                    };
+                    assert_eq!(col.get(p as usize), expected, "dim {dim} col {c} obj {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_contains_p() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        for o in ds.ids() {
+            let mut p = idx.p_vec(o);
+            p.clear(o as usize); // o itself is never in Q
+            let q = idx.q_vec(o);
+            assert!(p.is_subset_of(&q), "P ⊄ Q for object {o}");
+        }
+    }
+
+    #[test]
+    fn max_bit_score_bounds_true_score() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        for o in ds.ids() {
+            assert!(dominance::score_of(&ds, o) <= idx.max_bit_score(o));
+        }
+    }
+
+    #[test]
+    fn size_matches_formula() {
+        // Fig. 3 dataset: C = (4, 5, 6, 7) distinct values per dim.
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        assert_eq!(idx.cardinality(0), 4);
+        assert_eq!(idx.cardinality(1), 5);
+        assert_eq!(idx.cardinality(2), 6);
+        assert_eq!(idx.cardinality(3), 7);
+        let expected: u64 = [4u64, 5, 6, 7].iter().map(|c| (c + 1) * 20).sum();
+        assert_eq!(idx.size_bits(), expected);
+        assert_eq!(idx.size_bytes(), expected.div_ceil(8));
+    }
+
+    #[test]
+    fn float_values_supported() {
+        // §4.3: "the bitmap index does support floating-point numbers".
+        // The fourth object misses dimension 0 entirely (it only observes
+        // the padding dimension 1, since all-missing rows are rejected).
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![Some(0.5), Some(0.0)],
+                vec![Some(1.25), Some(0.0)],
+                vec![Some(0.5), Some(0.0)],
+                vec![None, Some(0.0)],
+            ],
+        )
+        .unwrap();
+        let idx = BitmapIndex::build(&ds);
+        assert_eq!(idx.cardinality(0), 2);
+        assert_eq!(idx.value_index(0, 0), Some(1));
+        assert_eq!(idx.value_index(1, 0), Some(2));
+        assert_eq!(idx.value_index(3, 0), None);
+        // 0.5 is the minimum, so [Q1] is the all-ones column: everything but
+        // the object itself might be dominated.
+        assert_eq!(idx.max_bit_score(0), 3); // {1, 2, 3}
+        // 1.25 is the maximum: only the equal-or-above set {itself} plus the
+        // missing object remain, minus self.
+        assert_eq!(idx.max_bit_score(1), 1); // {3}
+    }
+
+    use tkd_model::Dataset;
+}

@@ -1,0 +1,32 @@
+//! Bitmap indexes over incomplete data (§4.3–4.5 of the paper).
+//!
+//! * [`BitmapIndex`] — the **range-encoded** index of Fig. 6: per dimension
+//!   `i` with `Cᵢ` distinct observed values, `Cᵢ + 1` vertical bit-vectors
+//!   (one per value plus the missing slot, which is encoded all-ones so that
+//!   dominance checks reduce to ANDs).
+//! * [`BinnedBitmapIndex`] — the **binned** variant of Fig. 9: one bit per
+//!   value *range* instead of per value, with the adaptive quantile binning
+//!   of Eq. 3–4 and per-dimension B+-trees for probing bin interiors.
+//! * [`CompressedColumns`] — any index's columns compressed with WAH or
+//!   CONCISE (the storage layout IBIG uses).
+//! * [`cost`] — the §4.5 space/time model and the optimal bin count Eq. 8.
+//!
+//! # The column encoding
+//!
+//! For dimension `i` with sorted distinct values `v₁ < … < v_C`, column
+//! `c ∈ [0, C]` holds the object set `{p : p[i] missing ∨ p[i] > v_c}`
+//! (with `v₀ = −∞`, i.e. column 0 is all-ones). For an object `o` with
+//! `o[i] = v_j`, the paper's Definition 4 sets are single column lookups:
+//! `[Qᵢ] = column(i, j−1)` and `[Pᵢ] = column(i, j)`, and `Q`/`P` are plain
+//! word-wise intersections.
+
+#![warn(missing_docs)]
+
+mod binned;
+mod bitmap;
+mod compressed;
+pub mod cost;
+
+pub use binned::{compute_bins, BinnedBitmapIndex};
+pub use bitmap::BitmapIndex;
+pub use compressed::CompressedColumns;

@@ -1,0 +1,171 @@
+//! Property-based validation of the bitmap indexes against brute-force set
+//! semantics, on random incomplete datasets.
+
+use proptest::prelude::*;
+use tkd_bitvec::{CompressedBitmap, Concise, Wah};
+use tkd_index::{compute_bins, BinnedBitmapIndex, BitmapIndex, CompressedColumns};
+use tkd_model::Dataset;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=3).prop_flat_map(|dims| {
+        let row = proptest::collection::vec(
+            proptest::option::weighted(0.75, (0u8..8).prop_map(|v| v as f64 / 2.0)),
+            dims,
+        )
+        .prop_filter("at least one observed", |r| r.iter().any(Option::is_some));
+        proptest::collection::vec(row, 1..50)
+            .prop_map(move |rows| Dataset::from_rows(dims, &rows).expect("valid rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every vertical column equals its defining set
+    /// `{p : p[i] missing ∨ p[i] > v_c}`.
+    #[test]
+    fn columns_define_range_encoding(ds in dataset_strategy()) {
+        let idx = BitmapIndex::build(&ds);
+        for dim in 0..ds.dims() {
+            let vals = idx.values(dim);
+            for c in 0..idx.num_columns(dim) {
+                let col = idx.column(dim, c);
+                for p in ds.ids() {
+                    let expect = match ds.value(p, dim) {
+                        None => true,
+                        Some(v) => c == 0 || v > vals[c - 1],
+                    };
+                    prop_assert_eq!(col.get(p as usize), expect);
+                }
+            }
+        }
+    }
+
+    /// Columns are nested: column c+1 ⊆ column c (range encoding is
+    /// monotone), for both exact and binned indexes.
+    #[test]
+    fn columns_are_nested(ds in dataset_strategy(), bins in 1usize..6) {
+        let idx = BitmapIndex::build(&ds);
+        for dim in 0..ds.dims() {
+            for c in 1..idx.num_columns(dim) {
+                prop_assert!(idx.column(dim, c).is_subset_of(idx.column(dim, c - 1)));
+            }
+        }
+        let b = BinnedBitmapIndex::build(&ds, &vec![bins; ds.dims()]);
+        for dim in 0..ds.dims() {
+            for c in 1..b.num_columns(dim) {
+                prop_assert!(b.column(dim, c).is_subset_of(b.column(dim, c - 1)));
+            }
+        }
+    }
+
+    /// Binned Q is always a superset of exact Q (binning only loosens),
+    /// and both contain the truly dominated objects.
+    #[test]
+    fn binned_q_bounds_exact_q(ds in dataset_strategy(), bins in 1usize..6) {
+        let exact = BitmapIndex::build(&ds);
+        let binned = BinnedBitmapIndex::build(&ds, &vec![bins; ds.dims()]);
+        for o in ds.ids() {
+            let qe = exact.q_vec(o);
+            let qb = binned.q_vec(o);
+            prop_assert!(qe.is_subset_of(&qb), "object {}", o);
+            for p in ds.ids() {
+                if p != o && tkd_model::dominance::dominates(&ds, o, p) {
+                    prop_assert!(qe.get(p as usize), "dominated object missing from Q");
+                }
+            }
+        }
+    }
+
+    /// Compressed columns decompress to the originals and the compressed
+    /// AND path yields the same Q as the dense path.
+    #[test]
+    fn compressed_columns_equal_dense(ds in dataset_strategy(), bins in 1usize..6) {
+        let binned = BinnedBitmapIndex::build(&ds, &vec![bins; ds.dims()]);
+        let cc: CompressedColumns<Concise> = CompressedColumns::from_binned(&binned);
+        let cw: CompressedColumns<Wah> = CompressedColumns::from_binned(&binned);
+        for dim in 0..ds.dims() {
+            for c in 0..binned.num_columns(dim) {
+                prop_assert_eq!(&cc.decompress_column(dim, c), binned.column(dim, c));
+                prop_assert_eq!(&cw.decompress_column(dim, c), binned.column(dim, c));
+            }
+        }
+        for o in ds.ids() {
+            let picks: Vec<(usize, usize)> = (0..ds.dims())
+                .map(|d| {
+                    let c = binned.bin_of(o, d).map(|b| (b - 1) as usize).unwrap_or(0);
+                    (d, c)
+                })
+                .collect();
+            let mut q = cc.and_selected(&picks).decompress();
+            q.clear(o as usize);
+            prop_assert_eq!(q, binned.q_vec(o));
+        }
+    }
+
+    /// Bin boundaries partition the observed domain: ascending, last equals
+    /// the max, every observed value lands in exactly one bin.
+    #[test]
+    fn bins_partition_domain(
+        counts in proptest::collection::btree_map(0u32..1000, 1usize..20, 1..40),
+        x in 1usize..10,
+    ) {
+        let value_counts: Vec<(f64, usize)> =
+            counts.iter().map(|(&v, &c)| (v as f64, c)).collect();
+        let bounds = compute_bins(&value_counts, x);
+        prop_assert!(!bounds.is_empty());
+        prop_assert!(bounds.len() <= x);
+        prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(*bounds.last().unwrap(), value_counts.last().unwrap().0);
+        for &(v, _) in &value_counts {
+            let bin = bounds.partition_point(|&ub| ub < v);
+            prop_assert!(bin < bounds.len(), "value {v} above the last boundary");
+        }
+    }
+
+    /// Probes agree with direct scans: ids_equal returns exactly the
+    /// objects holding the value; ids_in_bin_below exactly the same-bin
+    /// strictly-smaller ones.
+    #[test]
+    fn probes_agree_with_scans(ds in dataset_strategy(), bins in 1usize..5) {
+        let idx = BinnedBitmapIndex::build(&ds, &vec![bins; ds.dims()]);
+        for o in ds.ids() {
+            for dim in 0..ds.dims() {
+                let Some(v) = ds.value(o, dim) else { continue };
+                let mut got: Vec<u32> = idx.ids_equal(dim, v).collect();
+                got.sort_unstable();
+                let mut want: Vec<u32> = ds
+                    .ids()
+                    .filter(|&p| ds.value(p, dim) == Some(v))
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+
+                let mut below: Vec<u32> = idx.ids_in_bin_below(&ds, o, dim).collect();
+                below.sort_unstable();
+                let bin = idx.bin_of(o, dim).unwrap();
+                let mut want_below: Vec<u32> = ds
+                    .ids()
+                    .filter(|&p| {
+                        idx.bin_of(p, dim) == Some(bin)
+                            && matches!(ds.value(p, dim), Some(w) if w < v)
+                    })
+                    .collect();
+                want_below.sort_unstable();
+                prop_assert_eq!(below, want_below);
+            }
+        }
+    }
+
+    /// Index size formulas match the materialized column counts.
+    #[test]
+    fn size_formulas(ds in dataset_strategy(), bins in 1usize..6) {
+        let exact = BitmapIndex::build(&ds);
+        let expected: u64 = (0..ds.dims())
+            .map(|d| (exact.cardinality(d) as u64 + 1) * ds.len() as u64)
+            .sum();
+        prop_assert_eq!(exact.size_bits(), expected);
+        let binned = BinnedBitmapIndex::build(&ds, &vec![bins; ds.dims()]);
+        prop_assert!(binned.size_bits() <= exact.size_bits());
+    }
+}

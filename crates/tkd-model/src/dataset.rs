@@ -1,0 +1,544 @@
+//! Datasets of incomplete multi-dimensional objects.
+
+use crate::{DimMask, ModelError, ObjectId, MAX_DIMS};
+
+/// A set of `d`-dimensional objects with possibly missing values.
+///
+/// Storage is struct-of-arrays: one flat row-major value buffer plus one
+/// [`DimMask`] per object. Missing slots hold `NaN` internally but are never
+/// exposed — every accessor consults the mask first.
+///
+/// Objects are addressed by their [`ObjectId`] (row index, insertion order).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    dims: usize,
+    values: Vec<f64>,
+    masks: Vec<DimMask>,
+    labels: Option<Vec<String>>,
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Dataset {
+    /// Serializes as `{ dims, rows, labels }` with `rows` holding
+    /// `Option<f64>` cells — the same shape [`Dataset::from_rows`] accepts.
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Dataset", 3)?;
+        s.serialize_field("dims", &self.dims)?;
+        let rows: Vec<Vec<Option<f64>>> =
+            self.ids().map(|o| self.row(o).to_options()).collect();
+        s.serialize_field("rows", &rows)?;
+        s.serialize_field("labels", &self.labels)?;
+        s.end()
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Dataset {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            dims: usize,
+            rows: Vec<Vec<Option<f64>>>,
+            labels: Option<Vec<String>>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        let mut b = Dataset::builder(raw.dims).map_err(serde::de::Error::custom)?;
+        match raw.labels {
+            Some(labels) if labels.len() == raw.rows.len() => {
+                for (label, row) in labels.into_iter().zip(&raw.rows) {
+                    b.push_labeled(label, row).map_err(serde::de::Error::custom)?;
+                }
+            }
+            Some(_) => {
+                return Err(serde::de::Error::custom("labels/rows length mismatch"));
+            }
+            None => {
+                for row in &raw.rows {
+                    b.push(row).map_err(serde::de::Error::custom)?;
+                }
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+impl PartialEq for Dataset {
+    /// Structural equality over *observed* cells only (missing slots hold
+    /// NaN internally, so a derived comparison would always fail).
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims
+            && self.masks == other.masks
+            && self.labels == other.labels
+            && self.masks.iter().enumerate().all(|(i, m)| {
+                m.iter().all(|d| {
+                    self.values[i * self.dims + d] == other.values[i * other.dims + d]
+                })
+            })
+    }
+}
+
+impl Eq for Dataset {}
+
+impl Dataset {
+    /// Start building a dataset with the given dimensionality.
+    ///
+    /// # Errors
+    /// [`ModelError::BadDimensionality`] unless `1 <= dims <= MAX_DIMS`.
+    pub fn builder(dims: usize) -> Result<DatasetBuilder, ModelError> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(ModelError::BadDimensionality(dims));
+        }
+        Ok(DatasetBuilder {
+            dims,
+            values: Vec::new(),
+            masks: Vec::new(),
+            labels: Vec::new(),
+            any_label: false,
+        })
+    }
+
+    /// Build a dataset from rows of `Option<f64>` (None = missing).
+    ///
+    /// # Errors
+    /// Propagates the builder's validation errors (arity, NaN, all-missing
+    /// rows, bad dimensionality).
+    pub fn from_rows(dims: usize, rows: &[Vec<Option<f64>>]) -> Result<Self, ModelError> {
+        let mut b = Self::builder(dims)?;
+        for row in rows {
+            b.push(row)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Is the dataset empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Dimensionality `d` of the data space.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Observation mask of object `id` (the paper's `bo`).
+    #[inline]
+    pub fn mask(&self, id: ObjectId) -> DimMask {
+        self.masks[id as usize]
+    }
+
+    /// All masks, indexed by object id.
+    #[inline]
+    pub fn masks(&self) -> &[DimMask] {
+        &self.masks
+    }
+
+    /// Value of object `id` at dimension `dim`, or `None` if missing.
+    #[inline]
+    pub fn value(&self, id: ObjectId, dim: usize) -> Option<f64> {
+        if self.masks[id as usize].observed(dim) {
+            Some(self.values[id as usize * self.dims + dim])
+        } else {
+            None
+        }
+    }
+
+    /// Value of object `id` at dimension `dim` **without checking the mask**.
+    ///
+    /// Returns the raw storage slot, which is NaN for missing values. Callers
+    /// must have established observedness through the mask; this is the hot
+    /// path used by the algorithms after a mask intersection test.
+    #[inline]
+    pub fn raw_value(&self, id: ObjectId, dim: usize) -> f64 {
+        self.values[id as usize * self.dims + dim]
+    }
+
+    /// A borrowed view of one object.
+    #[inline]
+    pub fn row(&self, id: ObjectId) -> Row<'_> {
+        let i = id as usize;
+        Row {
+            values: &self.values[i * self.dims..(i + 1) * self.dims],
+            mask: self.masks[i],
+        }
+    }
+
+    /// Optional human-readable label of object `id` (e.g. `"C2"` in the
+    /// paper's sample dataset).
+    pub fn label(&self, id: ObjectId) -> Option<&str> {
+        self.labels.as_ref().map(|ls| ls[id as usize].as_str())
+    }
+
+    /// Find an object id by label. Linear scan; intended for tests/examples.
+    pub fn id_by_label(&self, label: &str) -> Option<ObjectId> {
+        let ls = self.labels.as_ref()?;
+        ls.iter().position(|l| l == label).map(|i| i as ObjectId)
+    }
+
+    /// Iterate over all object ids.
+    #[inline]
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + Clone + 'static {
+        0..self.len() as ObjectId
+    }
+
+    /// Project onto a subset of dimensions (subspace queries, after Tiakas
+    /// et al.'s subspace dominating queries).
+    ///
+    /// Returns the projected dataset plus, for each surviving row, its id
+    /// in `self` — objects that observe none of the chosen dimensions
+    /// cannot participate in subspace dominance and are dropped (the model
+    /// forbids all-missing rows).
+    ///
+    /// # Errors
+    /// [`ModelError::BadDimensionality`] if `dims` is empty; panics if any
+    /// index is out of range.
+    pub fn project(&self, dims: &[usize]) -> Result<(Dataset, Vec<ObjectId>), ModelError> {
+        if dims.is_empty() {
+            return Err(ModelError::BadDimensionality(0));
+        }
+        for &d in dims {
+            assert!(d < self.dims, "dimension {d} out of range {}", self.dims);
+        }
+        let mut b = Dataset::builder(dims.len())?;
+        let mut kept = Vec::new();
+        for o in self.ids() {
+            let row: Vec<Option<f64>> = dims.iter().map(|&d| self.value(o, d)).collect();
+            if row.iter().all(Option::is_none) {
+                continue;
+            }
+            match self.label(o) {
+                Some(l) => b.push_labeled(l, &row)?,
+                None => b.push(&row)?,
+            };
+            kept.push(o);
+        }
+        Ok((b.build(), kept))
+    }
+
+    /// Restrict the dataset to the given object ids (in the given order).
+    ///
+    /// Labels are carried over. Useful for sampling experiments.
+    pub fn select(&self, ids: &[ObjectId]) -> Dataset {
+        let mut values = Vec::with_capacity(ids.len() * self.dims);
+        let mut masks = Vec::with_capacity(ids.len());
+        let mut labels = self.labels.as_ref().map(|_| Vec::with_capacity(ids.len()));
+        for &id in ids {
+            let i = id as usize;
+            values.extend_from_slice(&self.values[i * self.dims..(i + 1) * self.dims]);
+            masks.push(self.masks[i]);
+            if let (Some(out), Some(ls)) = (labels.as_mut(), self.labels.as_ref()) {
+                out.push(ls[i].clone());
+            }
+        }
+        Dataset { dims: self.dims, values, masks, labels }
+    }
+}
+
+/// Borrowed view of a single object: its value slots and observation mask.
+#[derive(Clone, Copy, Debug)]
+pub struct Row<'a> {
+    values: &'a [f64],
+    mask: DimMask,
+}
+
+impl<'a> Row<'a> {
+    /// Observation mask of this object.
+    #[inline]
+    pub fn mask(&self) -> DimMask {
+        self.mask
+    }
+
+    /// Value at `dim`, or `None` if missing.
+    #[inline]
+    pub fn value(&self, dim: usize) -> Option<f64> {
+        if self.mask.observed(dim) {
+            Some(self.values[dim])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over `(dim, value)` pairs of the observed dimensions.
+    pub fn observed(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.mask.iter().map(move |d| (d, self.values[d]))
+    }
+
+    /// The object as a vector of options (allocates; for display/tests).
+    pub fn to_options(&self) -> Vec<Option<f64>> {
+        (0..self.values.len()).map(|d| self.value(d)).collect()
+    }
+}
+
+/// Incremental [`Dataset`] constructor with row validation.
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    dims: usize,
+    values: Vec<f64>,
+    masks: Vec<DimMask>,
+    labels: Vec<String>,
+    any_label: bool,
+}
+
+impl DatasetBuilder {
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Has nothing been pushed yet?
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Reserve capacity for `n` additional rows.
+    pub fn reserve(&mut self, n: usize) {
+        self.values.reserve(n * self.dims);
+        self.masks.reserve(n);
+    }
+
+    /// Append an unlabeled row.
+    ///
+    /// # Errors
+    /// Rejects rows of the wrong arity, rows containing NaN, and rows with no
+    /// observed value (the paper only considers objects with at least one
+    /// observed dimension, §3).
+    pub fn push(&mut self, row: &[Option<f64>]) -> Result<ObjectId, ModelError> {
+        self.push_inner(row, String::new())
+    }
+
+    /// Append a labeled row (labels are used by the paper's worked examples).
+    ///
+    /// # Errors
+    /// Same validation as [`DatasetBuilder::push`].
+    pub fn push_labeled(
+        &mut self,
+        label: impl Into<String>,
+        row: &[Option<f64>],
+    ) -> Result<ObjectId, ModelError> {
+        self.any_label = true;
+        self.push_inner(row, label.into())
+    }
+
+    fn push_inner(&mut self, row: &[Option<f64>], label: String) -> Result<ObjectId, ModelError> {
+        let r = self.masks.len();
+        if row.len() != self.dims {
+            return Err(ModelError::RowArity { row: r, got: row.len(), expected: self.dims });
+        }
+        let mut mask = DimMask::EMPTY;
+        for (d, v) in row.iter().enumerate() {
+            if let Some(x) = v {
+                if x.is_nan() {
+                    return Err(ModelError::NaNValue { row: r, dim: d });
+                }
+                mask.set(d);
+            }
+        }
+        if mask.is_empty() {
+            return Err(ModelError::AllMissingRow(r));
+        }
+        self.values
+            .extend(row.iter().map(|v| v.unwrap_or(f64::NAN)));
+        self.masks.push(mask);
+        self.labels.push(label);
+        Ok(r as ObjectId)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            dims: self.dims,
+            values: self.values,
+            masks: self.masks,
+            labels: if self.any_label { Some(self.labels) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::from_rows(
+            3,
+            &[
+                vec![Some(1.0), None, Some(3.0)],
+                vec![None, Some(2.0), None],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.value(0, 0), Some(1.0));
+        assert_eq!(ds.value(0, 1), None);
+        assert_eq!(ds.value(0, 2), Some(3.0));
+        assert_eq!(ds.value(1, 0), None);
+        assert_eq!(ds.value(1, 1), Some(2.0));
+        assert_eq!(ds.mask(0), DimMask::from_indices([0, 2]));
+        assert_eq!(ds.mask(1), DimMask::from_indices([1]));
+    }
+
+    #[test]
+    fn raw_value_is_nan_on_missing() {
+        let ds = tiny();
+        assert!(ds.raw_value(0, 1).is_nan());
+        assert_eq!(ds.raw_value(1, 1), 2.0);
+    }
+
+    #[test]
+    fn row_view() {
+        let ds = tiny();
+        let r = ds.row(0);
+        assert_eq!(r.mask(), ds.mask(0));
+        assert_eq!(r.value(0), Some(1.0));
+        assert_eq!(r.value(1), None);
+        assert_eq!(r.observed().collect::<Vec<_>>(), vec![(0, 1.0), (2, 3.0)]);
+        assert_eq!(r.to_options(), vec![Some(1.0), None, Some(3.0)]);
+    }
+
+    #[test]
+    fn rejects_zero_and_excess_dims() {
+        assert_eq!(
+            Dataset::from_rows(0, &[]).unwrap_err(),
+            ModelError::BadDimensionality(0)
+        );
+        assert_eq!(
+            Dataset::from_rows(65, &[]).unwrap_err(),
+            ModelError::BadDimensionality(65)
+        );
+        assert!(Dataset::from_rows(64, &[]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut b = Dataset::builder(2).unwrap();
+        assert_eq!(
+            b.push(&[Some(1.0)]).unwrap_err(),
+            ModelError::RowArity { row: 0, got: 1, expected: 2 }
+        );
+        assert_eq!(
+            b.push(&[Some(f64::NAN), None]).unwrap_err(),
+            ModelError::NaNValue { row: 0, dim: 0 }
+        );
+        assert_eq!(b.push(&[None, None]).unwrap_err(), ModelError::AllMissingRow(0));
+        // Valid row still accepted after failures.
+        assert_eq!(b.push(&[Some(0.5), None]).unwrap(), 0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut b = Dataset::builder(1).unwrap();
+        b.push_labeled("A1", &[Some(1.0)]).unwrap();
+        b.push_labeled("B2", &[Some(2.0)]).unwrap();
+        let ds = b.build();
+        assert_eq!(ds.label(0), Some("A1"));
+        assert_eq!(ds.label(1), Some("B2"));
+        assert_eq!(ds.id_by_label("B2"), Some(1));
+        assert_eq!(ds.id_by_label("zzz"), None);
+    }
+
+    #[test]
+    fn unlabeled_dataset_has_no_labels() {
+        let ds = tiny();
+        assert_eq!(ds.label(0), None);
+        assert_eq!(ds.id_by_label("x"), None);
+    }
+
+    #[test]
+    fn select_subsets_and_reorders() {
+        let mut b = Dataset::builder(2).unwrap();
+        b.push_labeled("x", &[Some(1.0), None]).unwrap();
+        b.push_labeled("y", &[Some(2.0), Some(0.0)]).unwrap();
+        b.push_labeled("z", &[None, Some(5.0)]).unwrap();
+        let ds = b.build();
+        let sub = ds.select(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.label(0), Some("z"));
+        assert_eq!(sub.value(0, 1), Some(5.0));
+        assert_eq!(sub.label(1), Some("x"));
+        assert_eq!(sub.value(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn project_keeps_observing_rows_only() {
+        let mut b = Dataset::builder(3).unwrap();
+        b.push_labeled("p", &[Some(1.0), None, Some(3.0)]).unwrap();
+        b.push_labeled("q", &[None, Some(2.0), None]).unwrap();
+        b.push_labeled("r", &[Some(4.0), Some(5.0), None]).unwrap();
+        let ds = b.build();
+        // Subspace {0, 2}: q observes neither and is dropped.
+        let (sub, kept) = ds.project(&[0, 2]).unwrap();
+        assert_eq!(sub.dims(), 2);
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(sub.label(0), Some("p"));
+        assert_eq!(sub.value(0, 1), Some(3.0));
+        assert_eq!(sub.label(1), Some("r"));
+        assert_eq!(sub.value(1, 0), Some(4.0));
+        assert_eq!(sub.value(1, 1), None);
+    }
+
+    #[test]
+    fn project_can_reorder_and_duplicate_dims() {
+        let ds = tiny();
+        let (sub, kept) = ds.project(&[2, 0]).unwrap();
+        assert_eq!(kept, vec![0]); // object 1 observes only dim 1
+        assert_eq!(sub.value(0, 0), Some(3.0));
+        assert_eq!(sub.value(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn project_rejects_empty_subspace() {
+        let ds = tiny();
+        assert_eq!(ds.project(&[]).unwrap_err(), ModelError::BadDimensionality(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn project_rejects_bad_dimension() {
+        let _ = tiny().project(&[7]);
+    }
+
+    #[test]
+    fn ids_iterates_in_order() {
+        let ds = tiny();
+        assert_eq!(ds.ids().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn builder_reserve_and_len() {
+        let mut b = Dataset::builder(2).unwrap();
+        assert!(b.is_empty());
+        b.reserve(10);
+        b.push(&[Some(1.0), Some(2.0)]).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    /// Static check that the impls exist with the right bounds.
+    fn assert_roundtrippable<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+    #[test]
+    fn dataset_implements_serde() {
+        assert_roundtrippable::<Dataset>();
+    }
+}

@@ -1,0 +1,238 @@
+//! The dominance relationship over incomplete data (Definition 1 of the
+//! paper, after Khalefa et al.).
+//!
+//! `o ≻ o'` iff (i) for every commonly observed dimension `i`,
+//! `o[i] ≤ o'[i]`, and (ii) for at least one commonly observed dimension `j`,
+//! `o[j] < o'[j]`. Smaller values are better. Objects without a common
+//! observed dimension are *incomparable*.
+//!
+//! Unlike dominance on complete data, this relation is **not transitive** and
+//! can even be cyclic (see the `fig2_nontransitivity` test), which is why the
+//! paper's algorithms never rely on transitivity across buckets.
+
+use crate::{Dataset, ObjectId};
+
+/// Outcome of comparing two objects under incomplete-data dominance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The first object dominates the second.
+    Dominates,
+    /// The second object dominates the first.
+    DominatedBy,
+    /// The objects share no observed dimension (`bo & bo' = 0`).
+    Incomparable,
+    /// The objects are comparable but neither dominates the other.
+    Neither,
+}
+
+/// Does object `a` dominate object `b` in `ds`?
+#[inline]
+pub fn dominates(ds: &Dataset, a: ObjectId, b: ObjectId) -> bool {
+    let common = ds.mask(a).and(ds.mask(b));
+    if common.is_empty() {
+        return false;
+    }
+    let mut strict = false;
+    for d in common.iter() {
+        let va = ds.raw_value(a, d);
+        let vb = ds.raw_value(b, d);
+        if va > vb {
+            return false;
+        }
+        if va < vb {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Full three-way comparison of `a` and `b` (one pass over the common
+/// dimensions instead of two [`dominates`] calls).
+pub fn compare(ds: &Dataset, a: ObjectId, b: ObjectId) -> Dominance {
+    let common = ds.mask(a).and(ds.mask(b));
+    if common.is_empty() {
+        return Dominance::Incomparable;
+    }
+    let mut a_better = false;
+    let mut b_better = false;
+    for d in common.iter() {
+        let va = ds.raw_value(a, d);
+        let vb = ds.raw_value(b, d);
+        if va < vb {
+            a_better = true;
+        } else if vb < va {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Neither;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        _ => Dominance::Neither, // equal on all common dims
+    }
+}
+
+/// Are `a` and `b` comparable (share at least one observed dimension)?
+#[inline]
+pub fn comparable(ds: &Dataset, a: ObjectId, b: ObjectId) -> bool {
+    ds.mask(a).intersects(ds.mask(b))
+}
+
+/// The paper's `score(o)` (Definition 2): the number of objects of `ds`
+/// dominated by `o`. Brute force, O(N·d); reference implementation used by
+/// the Naive algorithm and by tests.
+pub fn score_of(ds: &Dataset, o: ObjectId) -> usize {
+    let mut score = 0;
+    for p in ds.ids() {
+        if p != o && dominates(ds, o, p) {
+            score += 1;
+        }
+    }
+    score
+}
+
+/// Scores of every object, by brute force. O(N²·d).
+pub fn all_scores(ds: &Dataset) -> Vec<usize> {
+    let n = ds.len();
+    let mut scores = vec![0usize; n];
+    for a in 0..n as ObjectId {
+        for b in (a + 1)..n as ObjectId {
+            match compare(ds, a, b) {
+                Dominance::Dominates => scores[a as usize] += 1,
+                Dominance::DominatedBy => scores[b as usize] += 1,
+                _ => {}
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn movielens_intro_example() {
+        // §1: m2 dominates m3 on their common observed dimensions 2 and 3
+        // (1-indexed in the paper). Ratings are larger-is-better there, so we
+        // negate to match the model's smaller-is-better convention.
+        let ds = fixtures::fig1_movies();
+        let m1 = ds.id_by_label("m1").unwrap();
+        let m2 = ds.id_by_label("m2").unwrap();
+        let m3 = ds.id_by_label("m3").unwrap();
+        let m4 = ds.id_by_label("m4").unwrap();
+        assert!(dominates(&ds, m2, m3));
+        assert_eq!(score_of(&ds, m2), 2); // {m1, m3}
+        assert_eq!(score_of(&ds, m1), 0);
+        assert_eq!(score_of(&ds, m3), 0);
+        assert_eq!(score_of(&ds, m4), 1); // {m1}
+    }
+
+    #[test]
+    fn fig2_dominance_facts() {
+        let ds = fixtures::fig2_points();
+        let id = |l: &str| ds.id_by_label(l).unwrap();
+        // §3: f = (4,2) dominates c = (5,-).
+        assert!(dominates(&ds, id("f"), id("c")));
+        // c and e have disjoint masks: incomparable.
+        assert_eq!(compare(&ds, id("c"), id("e")), Dominance::Incomparable);
+        assert!(!comparable(&ds, id("c"), id("e")));
+        // f dominates exactly {a, c, e}.
+        assert_eq!(score_of(&ds, id("f")), 3);
+        for l in ["a", "c", "e"] {
+            assert!(dominates(&ds, id("f"), id(l)), "f should dominate {l}");
+        }
+        assert!(!dominates(&ds, id("f"), id("b")));
+        assert!(!dominates(&ds, id("f"), id("d")));
+    }
+
+    #[test]
+    fn fig2_scores() {
+        let ds = fixtures::fig2_points();
+        let score = |l: &str| score_of(&ds, ds.id_by_label(l).unwrap());
+        assert_eq!(score("f"), 3);
+        assert_eq!(score("b"), 2);
+        assert_eq!(score("c"), 2);
+        assert_eq!(score("e"), 2);
+        assert_eq!(score("d"), 1);
+        assert_eq!(score("a"), 0);
+    }
+
+    #[test]
+    fn fig2_nontransitivity() {
+        // §3: f ≻ e and e ≻ b, yet f ⊁ b.
+        let ds = fixtures::fig2_points();
+        let id = |l: &str| ds.id_by_label(l).unwrap();
+        assert!(dominates(&ds, id("f"), id("e")));
+        assert!(dominates(&ds, id("e"), id("b")));
+        assert!(!dominates(&ds, id("f"), id("b")));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_asymmetric() {
+        let ds = fixtures::fig3_sample();
+        for a in ds.ids() {
+            assert!(!dominates(&ds, a, a));
+            for b in ds.ids() {
+                if dominates(&ds, a, b) {
+                    assert!(!dominates(&ds, b, a), "asymmetry violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compare_agrees_with_dominates() {
+        let ds = fixtures::fig3_sample();
+        for a in ds.ids() {
+            for b in ds.ids() {
+                if a == b {
+                    continue;
+                }
+                let c = compare(&ds, a, b);
+                assert_eq!(c == Dominance::Dominates, dominates(&ds, a, b));
+                assert_eq!(c == Dominance::DominatedBy, dominates(&ds, b, a));
+                if c == Dominance::Incomparable {
+                    assert!(!comparable(&ds, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_running_example_scores() {
+        // §4.1 Example 1 / Fig. 4: score(C2) = score(A2) = 16 is the top-2.
+        let ds = fixtures::fig3_sample();
+        let c2 = ds.id_by_label("C2").unwrap();
+        let a2 = ds.id_by_label("A2").unwrap();
+        assert_eq!(score_of(&ds, c2), 16);
+        assert_eq!(score_of(&ds, a2), 16);
+        // §4.3: MaxBitScore(B3) = 0, so score(B3) must be 0.
+        let b3 = ds.id_by_label("B3").unwrap();
+        assert_eq!(score_of(&ds, b3), 0);
+    }
+
+    #[test]
+    fn all_scores_matches_score_of() {
+        let ds = fixtures::fig3_sample();
+        let all = all_scores(&ds);
+        for o in ds.ids() {
+            assert_eq!(all[o as usize], score_of(&ds, o), "object {o}");
+        }
+    }
+
+    #[test]
+    fn equal_on_common_dims_is_neither() {
+        let ds = Dataset::from_rows(
+            2,
+            &[vec![Some(1.0), None], vec![Some(1.0), Some(9.0)]],
+        )
+        .unwrap();
+        assert_eq!(compare(&ds, 0, 1), Dominance::Neither);
+        assert!(!dominates(&ds, 0, 1));
+        assert!(!dominates(&ds, 1, 0));
+    }
+}

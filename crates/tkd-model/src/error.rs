@@ -1,0 +1,83 @@
+//! Error type for dataset construction and parsing.
+
+use core::fmt;
+
+/// Errors raised while building or parsing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The requested dimensionality is zero or exceeds [`crate::MAX_DIMS`].
+    BadDimensionality(usize),
+    /// A row had the wrong number of columns.
+    RowArity {
+        /// Row index within the input.
+        row: usize,
+        /// Number of columns the row supplied.
+        got: usize,
+        /// Number of columns the dataset expects.
+        expected: usize,
+    },
+    /// A value was NaN (the model reserves NaN for internal missing slots).
+    NaNValue {
+        /// Row index within the input.
+        row: usize,
+        /// Dimension of the offending value.
+        dim: usize,
+    },
+    /// A row had no observed value at all. The paper restricts datasets to
+    /// objects with at least one observed dimension (§3).
+    AllMissingRow(usize),
+    /// A text cell could not be parsed as a number or the missing marker.
+    ParseCell {
+        /// Row index within the input.
+        row: usize,
+        /// Dimension of the offending cell.
+        dim: usize,
+        /// Cell text that failed to parse.
+        cell: String,
+    },
+    /// The input text had no rows (so the dimensionality is unknown).
+    EmptyInput,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadDimensionality(d) => {
+                write!(f, "dimensionality {d} out of range 1..={}", crate::MAX_DIMS)
+            }
+            ModelError::RowArity { row, got, expected } => {
+                write!(f, "row {row}: expected {expected} columns, got {got}")
+            }
+            ModelError::NaNValue { row, dim } => {
+                write!(f, "row {row}, dim {dim}: NaN is not a valid observed value")
+            }
+            ModelError::AllMissingRow(row) => {
+                write!(f, "row {row}: object has no observed dimension")
+            }
+            ModelError::ParseCell { row, dim, cell } => {
+                write!(f, "row {row}, dim {dim}: cannot parse {cell:?}")
+            }
+            ModelError::EmptyInput => write!(f, "input contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::RowArity { row: 3, got: 2, expected: 4 };
+        assert!(e.to_string().contains("row 3"));
+        assert!(e.to_string().contains("expected 4"));
+        let e = ModelError::ParseCell { row: 0, dim: 1, cell: "abc".into() };
+        assert!(e.to_string().contains("abc"));
+        assert!(ModelError::BadDimensionality(0).to_string().contains("0"));
+        assert!(ModelError::EmptyInput.to_string().contains("no data rows"));
+        assert!(ModelError::AllMissingRow(7).to_string().contains("row 7"));
+        assert!(ModelError::NaNValue { row: 1, dim: 2 }.to_string().contains("NaN"));
+    }
+}

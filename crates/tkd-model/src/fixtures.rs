@@ -1,0 +1,217 @@
+//! The paper's worked examples, as ready-made datasets.
+//!
+//! Every algorithm crate in the workspace validates itself against these
+//! fixtures, because the paper states exact scores, upper bounds, candidate
+//! sets and query answers for them.
+
+use crate::Dataset;
+
+/// Fig. 1 — the movie recommender example of §1.
+///
+/// Four movies rated by five audiences (one dimension per audience, ratings
+/// in `[1, 5]`, higher is better). The figure's raster is ambiguous in the
+/// text dump, so the exact rating matrix was **reconstructed from the
+/// prose**, which pins it down completely:
+///
+/// * `a2` rates `m2, m3, m4` but not `m1`;
+/// * `a1, a2` rate `m2` but not `m1`; `a4, a5` rate `m1` but not `m2`;
+/// * `m2 ≻ m3` via common dimensions `{a2, a3}` with `m2` strictly higher
+///   on both;
+/// * `score(m2) = |{m1, m3}| = 2`, `score(m1) = score(m3) = 0`,
+///   `score(m4) = |{m1}| = 1`.
+///
+/// Because the model is smaller-is-better, ratings are stored **negated**;
+/// the dominance facts above are preserved verbatim.
+pub fn fig1_movies() -> Dataset {
+    let neg = |v: f64| Some(-v);
+    let mut b = Dataset::builder(5).expect("static dims");
+    b.push_labeled("m1", &[None, None, neg(2.0), neg(3.0), neg(4.0)]).unwrap();
+    b.push_labeled("m2", &[neg(5.0), neg(3.0), neg(4.0), None, None]).unwrap();
+    b.push_labeled("m3", &[None, neg(2.0), neg(1.0), neg(5.0), neg(3.0)]).unwrap();
+    b.push_labeled("m4", &[neg(3.0), neg(1.0), neg(5.0), neg(3.0), neg(4.0)]).unwrap();
+    b.build()
+}
+
+/// Fig. 2 — the six 2-D points used throughout §3 (smaller is better).
+///
+/// Coordinates are reconstructed to satisfy **every** fact the paper states
+/// about this figure: `c = (5,-)`, `e = (-,4)`, `f = (4,2)` are given
+/// verbatim; `f ≻ {a, c, e}` (so `score(f) = 3`),
+/// `score(b) = score(c) = score(e) = 2`, `score(d) = 1`, `score(a) = 0`,
+/// `f ≻ e`, `e ≻ b`, and `f ⊁ b` (non-transitivity).
+pub fn fig2_points() -> Dataset {
+    let mut b = Dataset::builder(2).expect("static dims");
+    b.push_labeled("a", &[Some(7.0), Some(7.0)]).unwrap();
+    b.push_labeled("b", &[Some(3.0), Some(6.0)]).unwrap();
+    b.push_labeled("c", &[Some(5.0), None]).unwrap();
+    b.push_labeled("d", &[Some(9.0), Some(1.0)]).unwrap();
+    b.push_labeled("e", &[None, Some(4.0)]).unwrap();
+    b.push_labeled("f", &[Some(4.0), Some(2.0)]).unwrap();
+    b.build()
+}
+
+/// Fig. 3 — the 20-object, 4-dimensional running example (verbatim values).
+///
+/// Objects are inserted in label order `A1..A5, B1..B5, C1..C5, D1..D5`,
+/// matching the row order of the bitmap index in Fig. 6, so object id `i`
+/// corresponds to bit `i` of the paper's vertical bit-vectors.
+pub fn fig3_sample() -> Dataset {
+    let rows: [(&str, [Option<f64>; 4]); 20] = [
+        ("A1", [None, Some(3.0), Some(1.0), Some(3.0)]),
+        ("A2", [None, Some(1.0), Some(2.0), Some(1.0)]),
+        ("A3", [None, Some(1.0), Some(3.0), Some(4.0)]),
+        ("A4", [None, Some(7.0), Some(4.0), Some(5.0)]),
+        ("A5", [None, Some(4.0), Some(8.0), Some(3.0)]),
+        ("B1", [None, None, Some(1.0), Some(2.0)]),
+        ("B2", [None, None, Some(3.0), Some(1.0)]),
+        ("B3", [None, None, Some(4.0), Some(9.0)]),
+        ("B4", [None, None, Some(3.0), Some(7.0)]),
+        ("B5", [None, None, Some(7.0), Some(4.0)]),
+        ("C1", [Some(2.0), None, None, Some(3.0)]),
+        ("C2", [Some(2.0), None, None, Some(1.0)]),
+        ("C3", [Some(3.0), None, None, Some(2.0)]),
+        ("C4", [Some(3.0), None, None, Some(3.0)]),
+        ("C5", [Some(3.0), None, None, Some(4.0)]),
+        ("D1", [Some(3.0), Some(5.0), None, Some(2.0)]),
+        ("D2", [Some(2.0), Some(1.0), None, Some(4.0)]),
+        ("D3", [Some(2.0), Some(4.0), None, Some(1.0)]),
+        ("D4", [Some(4.0), Some(4.0), None, Some(5.0)]),
+        ("D5", [Some(5.0), Some(5.0), None, Some(4.0)]),
+    ];
+    let mut b = Dataset::builder(4).expect("static dims");
+    for (label, row) in rows {
+        b.push_labeled(label, &row).unwrap();
+    }
+    b.build()
+}
+
+/// Fig. 5 — the `MaxScore` priority queue of the Fig. 3 dataset, in the
+/// descending order printed by the paper.
+pub fn fig5_maxscores() -> Vec<(&'static str, usize)> {
+    vec![
+        ("C2", 19),
+        ("A2", 17),
+        ("B2", 16),
+        ("B1", 15),
+        ("C3", 15),
+        ("D3", 15),
+        ("A1", 12),
+        ("C1", 12),
+        ("C4", 12),
+        ("D1", 12),
+        ("A5", 10),
+        ("A3", 8),
+        ("B5", 8),
+        ("C5", 8),
+        ("D2", 8),
+        ("D5", 8),
+        ("A4", 3),
+        ("D4", 3),
+        ("B4", 1),
+        ("B3", 0),
+    ]
+}
+
+/// Fig. 8 — the `MaxBitScore` values of the Fig. 3 dataset, keyed by label
+/// (the paper prints them in the Fig. 5 queue order).
+pub fn fig8_maxbitscores() -> Vec<(&'static str, usize)> {
+    vec![
+        ("C2", 19),
+        ("A2", 17),
+        ("B2", 16),
+        ("B1", 15),
+        ("C3", 13),
+        ("D3", 15),
+        ("A1", 10),
+        ("C1", 12),
+        ("C4", 10),
+        ("D1", 9),
+        ("A5", 5),
+        ("A3", 8),
+        ("B5", 4),
+        ("C5", 7),
+        ("D2", 8),
+        ("D5", 4),
+        ("A4", 1),
+        ("D4", 3),
+        ("B4", 1),
+        ("B3", 0),
+    ]
+}
+
+/// Fig. 4 — the candidate set produced by ESB's local 2-skybands on the
+/// Fig. 3 dataset (11 objects).
+pub fn fig4_esb_candidates() -> Vec<&'static str> {
+    vec!["A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "D1", "D2", "D3"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::score_of;
+
+    #[test]
+    fn fig3_has_expected_shape() {
+        let ds = fig3_sample();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.dims(), 4);
+        // Four mask groups of five objects each (Fig. 4).
+        let mut masks: Vec<u64> = ds.masks().iter().map(|m| m.bits()).collect();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 4);
+    }
+
+    #[test]
+    fn fig3_verbatim_values() {
+        let ds = fig3_sample();
+        let b3 = ds.id_by_label("B3").unwrap();
+        assert_eq!(ds.row(b3).to_options(), vec![None, None, Some(4.0), Some(9.0)]);
+        let d2 = ds.id_by_label("D2").unwrap();
+        assert_eq!(ds.row(d2).to_options(), vec![Some(2.0), Some(1.0), None, Some(4.0)]);
+    }
+
+    #[test]
+    fn fig5_table_covers_all_objects_once() {
+        let ds = fig3_sample();
+        let table = fig5_maxscores();
+        assert_eq!(table.len(), ds.len());
+        let mut labels: Vec<_> = table.iter().map(|(l, _)| *l).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ds.len());
+        // Descending order, as printed in the paper.
+        for w in table.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fig8_never_exceeds_fig5() {
+        // Lemma 3: MaxBitScore(o) <= MaxScore(o).
+        let max: std::collections::HashMap<_, _> = fig5_maxscores().into_iter().collect();
+        for (label, mbs) in fig8_maxbitscores() {
+            assert!(mbs <= max[label], "{label}: {mbs} > {}", max[label]);
+        }
+    }
+
+    #[test]
+    fn upper_bounds_bound_true_scores() {
+        let ds = fig3_sample();
+        let mbs: std::collections::HashMap<_, _> = fig8_maxbitscores().into_iter().collect();
+        for o in ds.ids() {
+            let label = ds.label(o).unwrap();
+            assert!(score_of(&ds, o) <= mbs[label], "{label}");
+        }
+    }
+
+    #[test]
+    fn fig1_movies_shape() {
+        let ds = fig1_movies();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.dims(), 5);
+        // a2 (dimension index 1) does not rate m1.
+        let m1 = ds.id_by_label("m1").unwrap();
+        assert_eq!(ds.value(m1, 1), None);
+    }
+}

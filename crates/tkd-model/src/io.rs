@@ -1,0 +1,189 @@
+//! Plain-text dataset (de)serialization.
+//!
+//! The format mirrors the paper's notation: one object per line, values
+//! separated by commas (or whitespace), missing values written as `-`.
+//! Lines starting with `#` are comments. An optional leading label column is
+//! supported by [`parse_labeled`].
+
+use crate::{Dataset, ModelError};
+
+/// Split a data line into cells: commas and/or runs of whitespace.
+fn cells(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_cell(cell: &str, row: usize, dim: usize) -> Result<Option<f64>, ModelError> {
+    if cell == "-" {
+        return Ok(None);
+    }
+    cell.parse::<f64>()
+        .ok()
+        .filter(|v| !v.is_nan())
+        .map(Some)
+        .ok_or_else(|| ModelError::ParseCell { row, dim, cell: cell.to_string() })
+}
+
+fn data_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Parse an unlabeled dataset. Dimensionality is taken from the first row.
+///
+/// # Errors
+/// [`ModelError::EmptyInput`] when there are no data lines; otherwise the
+/// builder's validation errors or [`ModelError::ParseCell`].
+pub fn parse(text: &str) -> Result<Dataset, ModelError> {
+    parse_inner(text, false)
+}
+
+/// Parse a dataset whose first column is an object label.
+///
+/// # Errors
+/// Same as [`parse`].
+pub fn parse_labeled(text: &str) -> Result<Dataset, ModelError> {
+    parse_inner(text, true)
+}
+
+fn parse_inner(text: &str, labeled: bool) -> Result<Dataset, ModelError> {
+    let mut lines = data_lines(text).peekable();
+    let first = lines.peek().ok_or(ModelError::EmptyInput)?;
+    let ncols = cells(first).len();
+    let skip = usize::from(labeled);
+    if ncols <= skip {
+        return Err(ModelError::EmptyInput);
+    }
+    let dims = ncols - skip;
+    let mut b = Dataset::builder(dims)?;
+    for (r, line) in lines.enumerate() {
+        let cs = cells(line);
+        if cs.len() != ncols {
+            return Err(ModelError::RowArity { row: r, got: cs.len() - skip.min(cs.len()), expected: dims });
+        }
+        let mut row = Vec::with_capacity(dims);
+        for (d, cell) in cs[skip..].iter().enumerate() {
+            row.push(parse_cell(cell, r, d)?);
+        }
+        if labeled {
+            b.push_labeled(cs[0], &row)?;
+        } else {
+            b.push(&row)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Render a dataset back to text (comma separated, `-` for missing, labels
+/// as a first column when present).
+pub fn to_text(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for o in ds.ids() {
+        let mut fields: Vec<String> = Vec::with_capacity(ds.dims() + 1);
+        if let Some(l) = ds.label(o) {
+            fields.push(l.to_string());
+        }
+        for d in 0..ds.dims() {
+            fields.push(match ds.value(o, d) {
+                Some(v) => format_value(v),
+                None => "-".to_string(),
+            });
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a value compactly: integers without a trailing `.0`.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn parse_simple() {
+        let ds = parse("1,2,-\n-,5,6\n# comment\n\n7 8 9\n").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.value(0, 2), None);
+        assert_eq!(ds.value(1, 0), None);
+        assert_eq!(ds.value(2, 0), Some(7.0));
+    }
+
+    #[test]
+    fn parse_labeled_roundtrip() {
+        let ds = fixtures::fig3_sample();
+        let text = to_text(&ds);
+        let back = parse_labeled(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn parse_unlabeled_roundtrip() {
+        let ds = parse("1.5,-\n-,2\n").unwrap();
+        let back = parse(&to_text(&ds)).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_cell() {
+        let err = parse("1,2\n3,abc\n").unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::ParseCell { row: 1, dim: 1, cell: "abc".into() }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nan_literal() {
+        assert!(matches!(parse("NaN,1\n"), Err(ModelError::ParseCell { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        assert!(matches!(parse("1,2\n3\n"), Err(ModelError::RowArity { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert_eq!(parse(""), Err(ModelError::EmptyInput));
+        assert_eq!(parse("# only a comment\n"), Err(ModelError::EmptyInput));
+    }
+
+    #[test]
+    fn parse_rejects_all_missing_row() {
+        assert_eq!(parse("1,2\n-,-\n"), Err(ModelError::AllMissingRow(1)));
+    }
+
+    #[test]
+    fn labeled_with_single_label_column_is_empty_input() {
+        assert_eq!(parse_labeled("x\ny\n"), Err(ModelError::EmptyInput));
+    }
+
+    #[test]
+    fn format_value_compact() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(-2.0), "-2");
+        assert_eq!(format_value(2.5), "2.5");
+    }
+
+    #[test]
+    fn negative_and_float_values_roundtrip() {
+        let ds = parse("-1.25,3\n0.5,-\n").unwrap();
+        assert_eq!(ds.value(0, 0), Some(-1.25));
+        let back = parse(&to_text(&ds)).unwrap();
+        assert_eq!(back, ds);
+    }
+}

@@ -1,0 +1,55 @@
+//! Incomplete-data model for top-k dominating (TKD) queries.
+//!
+//! This crate provides the data substrate shared by every other crate in the
+//! workspace: multi-dimensional objects in which any dimension value may be
+//! *missing*, the datasets that hold them, and the dominance relationship over
+//! incomplete data introduced by Khalefa et al. and used by Miao et al.
+//! (*Top-k Dominating Queries on Incomplete Data*, TKDE 2016).
+//!
+//! # Model
+//!
+//! An object is a `d`-dimensional point where each coordinate is either an
+//! observed [`f64`] or missing (rendered as `-` in the paper). Which
+//! dimensions are observed is captured by a [`DimMask`] bit vector, exactly
+//! the `bo` bit vector of the paper (bit `i` set ⇔ dimension `i` observed).
+//!
+//! Values follow the *smaller-is-better* convention of the paper's
+//! Definition 1. Two objects are **comparable** iff they share at least one
+//! observed dimension (`bo & bo' ≠ 0`), and `o` **dominates** `o'` iff `o`
+//! is no worse on every commonly observed dimension and strictly better on
+//! at least one.
+//!
+//! # Example
+//!
+//! ```
+//! use tkd_model::{Dataset, dominance};
+//!
+//! // Objects f = (4, 2) and c = (5, -) from Fig. 2 of the paper.
+//! let ds = Dataset::from_rows(2, &[
+//!     vec![Some(4.0), Some(2.0)], // f
+//!     vec![Some(5.0), None],      // c
+//! ]).unwrap();
+//! assert!(dominance::dominates(&ds, 0, 1)); // f dominates c on dimension 0
+//! assert!(!dominance::dominates(&ds, 1, 0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod mask;
+
+pub mod dominance;
+pub mod fixtures;
+pub mod io;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetBuilder, Row};
+pub use error::ModelError;
+pub use mask::{DimMask, DimIter, MAX_DIMS};
+
+/// Identifier of an object inside a [`Dataset`] — its row index.
+///
+/// `u32` keeps per-object bookkeeping small (datasets in the paper max out at
+/// 250 K objects); convert with `as usize` at use sites.
+pub type ObjectId = u32;

@@ -1,0 +1,195 @@
+//! Skyline and k-skyband within one *bucket*: a set of objects sharing the
+//! same observation mask, treated as complete data in the observed subspace.
+//!
+//! Dominance restricted to a bucket is the classical complete-data dominance
+//! over the `d' ≤ d` observed dimensions, so it is transitive and admits the
+//! sort-filter optimization: sorting by the coordinate sum guarantees every
+//! dominator of an object precedes it in the scan (a dominator is no larger
+//! in every dimension and strictly smaller in one, hence has a strictly
+//! smaller sum).
+
+use tkd_model::{Dataset, DimMask, ObjectId};
+
+/// Does `a` dominate `b` over exactly the dimensions of `mask`? Both objects
+/// must observe all dimensions of `mask`.
+#[inline]
+fn dominates_on(ds: &Dataset, mask: DimMask, a: ObjectId, b: ObjectId) -> bool {
+    let mut strict = false;
+    for d in mask.iter() {
+        let va = ds.raw_value(a, d);
+        let vb = ds.raw_value(b, d);
+        if va > vb {
+            return false;
+        }
+        if va < vb {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Ids of `bucket` sorted by ascending coordinate sum over `mask` (the
+/// sort-filter order), ties by id for determinism.
+fn sum_sorted(ds: &Dataset, mask: DimMask, bucket: &[ObjectId]) -> Vec<ObjectId> {
+    let mut order: Vec<ObjectId> = bucket.to_vec();
+    let sum = |o: ObjectId| -> f64 { mask.iter().map(|d| ds.raw_value(o, d)).sum() };
+    order.sort_by(|&a, &b| sum(a).total_cmp(&sum(b)).then(a.cmp(&b)));
+    order
+}
+
+/// The **k-skyband** of a bucket: members dominated by fewer than `k` other
+/// members (within the bucket, over the observed dimensions).
+///
+/// `k = 1` degenerates to the skyline. `k = 0` returns nothing.
+///
+/// The scan is O(B²·d') worst case with two standard cuts: the sort-filter
+/// order means only earlier objects can dominate, and counting stops at `k`.
+pub fn k_skyband(ds: &Dataset, mask: DimMask, bucket: &[ObjectId], k: usize) -> Vec<ObjectId> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let order = sum_sorted(ds, mask, bucket);
+    let mut result: Vec<ObjectId> = Vec::new();
+    for (i, &o) in order.iter().enumerate() {
+        let mut dominators = 0usize;
+        for &p in &order[..i] {
+            if dominates_on(ds, mask, p, o) {
+                dominators += 1;
+                if dominators >= k {
+                    break;
+                }
+            }
+        }
+        if dominators < k {
+            result.push(o);
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// The **skyline** of a bucket: members dominated by no other member.
+pub fn skyline(ds: &Dataset, mask: DimMask, bucket: &[ObjectId]) -> Vec<ObjectId> {
+    k_skyband(ds, mask, bucket, 1)
+}
+
+/// Number of bucket members dominating `o` (within the bucket). Reference
+/// oracle for tests and for cross-bucket verification.
+pub fn dominator_count(ds: &Dataset, mask: DimMask, bucket: &[ObjectId], o: ObjectId) -> usize {
+    bucket
+        .iter()
+        .filter(|&&p| p != o && dominates_on(ds, mask, p, o))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::{fixtures, stats};
+
+    /// Brute-force oracle for the k-skyband.
+    fn oracle(ds: &Dataset, mask: DimMask, bucket: &[ObjectId], k: usize) -> Vec<ObjectId> {
+        let mut r: Vec<ObjectId> = bucket
+            .iter()
+            .copied()
+            .filter(|&o| dominator_count(ds, mask, bucket, o) < k)
+            .collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn fig3_local_2_skybands_match_fig4() {
+        // Fig. 4 highlights the local 2-skyband of each bucket; their union
+        // is {A1,A2,A3, B1,B2, C1,C2,C3, D1,D2,D3}.
+        let ds = fixtures::fig3_sample();
+        let mut union: Vec<&str> = Vec::new();
+        for (mask, bucket) in stats::group_by_mask(&ds) {
+            for o in k_skyband(&ds, mask, &bucket, 2) {
+                union.push(ds.label(o).unwrap());
+            }
+        }
+        union.sort_unstable();
+        assert_eq!(union, fixtures::fig4_esb_candidates());
+    }
+
+    #[test]
+    fn skyline_is_one_skyband() {
+        let ds = fixtures::fig3_sample();
+        for (mask, bucket) in stats::group_by_mask(&ds) {
+            assert_eq!(
+                skyline(&ds, mask, &bucket),
+                k_skyband(&ds, mask, &bucket, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn skyband_matches_oracle_on_fig3() {
+        let ds = fixtures::fig3_sample();
+        for (mask, bucket) in stats::group_by_mask(&ds) {
+            for k in 0..=6 {
+                assert_eq!(
+                    k_skyband(&ds, mask, &bucket, k),
+                    oracle(&ds, mask, &bucket, k),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty_and_huge_k_is_everything() {
+        let ds = fixtures::fig3_sample();
+        for (mask, bucket) in stats::group_by_mask(&ds) {
+            assert!(k_skyband(&ds, mask, &bucket, 0).is_empty());
+            let all = k_skyband(&ds, mask, &bucket, bucket.len() + 1);
+            let mut want = bucket.clone();
+            want.sort_unstable();
+            assert_eq!(all, want);
+        }
+    }
+
+    #[test]
+    fn skyband_is_monotone_in_k() {
+        let ds = fixtures::fig3_sample();
+        for (mask, bucket) in stats::group_by_mask(&ds) {
+            let mut prev: Vec<ObjectId> = Vec::new();
+            for k in 1..=5 {
+                let cur = k_skyband(&ds, mask, &bucket, k);
+                assert!(prev.iter().all(|o| cur.contains(o)), "k-skyband must grow with k");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_mutually_nondominating() {
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![Some(1.0), Some(1.0)],
+                vec![Some(1.0), Some(1.0)],
+                vec![Some(2.0), Some(2.0)],
+            ],
+        )
+        .unwrap();
+        let mask = DimMask::all(2);
+        let bucket: Vec<ObjectId> = vec![0, 1, 2];
+        // The two duplicates do not dominate each other (no strict dim),
+        // and both dominate object 2, which therefore only enters the
+        // skyband once k exceeds its dominator count of 2.
+        assert_eq!(skyline(&ds, mask, &bucket), vec![0, 1]);
+        assert_eq!(k_skyband(&ds, mask, &bucket, 2), vec![0, 1]);
+        assert_eq!(k_skyband(&ds, mask, &bucket, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_object_bucket() {
+        let ds = Dataset::from_rows(2, &[vec![Some(1.0), None]]).unwrap();
+        let mask = DimMask::from_indices([0]);
+        assert_eq!(skyline(&ds, mask, &[0]), vec![0]);
+    }
+
+    use tkd_model::Dataset;
+}

@@ -1,0 +1,154 @@
+//! Exact skyline and k-skyband over a whole incomplete dataset.
+//!
+//! Following ISkyline (Khalefa et al., ICDE 2008) and kISB (Gao et al.,
+//! 2014), computation is staged: per-bucket local results exploit the
+//! within-bucket transitivity (an object dominated by `k` bucket peers is
+//! dominated by at least `k` objects globally, so it can be pruned), then
+//! survivors are verified against the *other* buckets, where transitivity
+//! does not hold and exhaustive comparison is required.
+
+use crate::complete;
+use tkd_model::{dominance, stats, Dataset, ObjectId};
+
+/// The skyline of an incomplete dataset: objects not dominated (Def. 1) by
+/// any other object.
+pub fn skyline(ds: &Dataset) -> Vec<ObjectId> {
+    k_skyband(ds, 1)
+}
+
+/// The k-skyband of an incomplete dataset: objects dominated by fewer than
+/// `k` others. `k = 1` is the skyline.
+pub fn k_skyband(ds: &Dataset, k: usize) -> Vec<ObjectId> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let groups = stats::group_by_mask(ds);
+    let mut result = Vec::new();
+    for (mask, bucket) in &groups {
+        // Local pruning (sound by within-bucket transitivity, Lemma 1).
+        let local = complete::k_skyband(ds, *mask, bucket, k);
+        for o in local {
+            // Exact dominator count: bucket peers plus every other bucket.
+            let mut dominators = complete::dominator_count(ds, *mask, bucket, o);
+            if dominators >= k {
+                continue;
+            }
+            'outer: for (other_mask, other_bucket) in &groups {
+                if other_mask == mask {
+                    continue;
+                }
+                for &p in other_bucket {
+                    if dominance::dominates(ds, p, o) {
+                        dominators += 1;
+                        if dominators >= k {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if dominators < k {
+                result.push(o);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Brute-force oracle: dominator count of `o` over the full dataset.
+pub fn dominator_count(ds: &Dataset, o: ObjectId) -> usize {
+    ds.ids()
+        .filter(|&p| p != o && dominance::dominates(ds, p, o))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::fixtures;
+
+    fn oracle(ds: &Dataset, k: usize) -> Vec<ObjectId> {
+        ds.ids().filter(|&o| dominator_count(ds, o) < k).collect()
+    }
+
+    #[test]
+    fn fig2_skyline_is_f() {
+        let ds = fixtures::fig2_points();
+        assert_eq!(skyline(&ds), vec![ds.id_by_label("f").unwrap()]);
+    }
+
+    #[test]
+    fn fig2_skybands_match_oracle() {
+        let ds = fixtures::fig2_points();
+        for k in 0..=7 {
+            assert_eq!(k_skyband(&ds, k), oracle(&ds, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn fig3_skybands_match_oracle() {
+        let ds = fixtures::fig3_sample();
+        for k in 0..=21 {
+            assert_eq!(k_skyband(&ds, k), oracle(&ds, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn skyline_objects_have_no_dominators() {
+        let ds = fixtures::fig3_sample();
+        for o in skyline(&ds) {
+            assert_eq!(dominator_count(&ds, o), 0);
+        }
+    }
+
+    #[test]
+    fn incomparable_only_dataset_is_all_skyline() {
+        // Two disjoint masks: nobody dominates anybody.
+        let ds = Dataset::from_rows(
+            2,
+            &[vec![Some(1.0), None], vec![None, Some(1.0)]],
+        )
+        .unwrap();
+        assert_eq!(skyline(&ds), vec![0, 1]);
+    }
+
+    #[test]
+    fn cyclic_dominance_can_empty_the_skyline() {
+        // §3: "there may be a cyclic dominance relationship on incomplete
+        // data". With a ≻ c, b ≻ a, c ≻ b every object is dominated, so —
+        // unlike on complete data — the skyline of a non-empty dataset can
+        // be EMPTY, while the TKD query still returns k objects.
+        let ds = Dataset::from_rows(
+            3,
+            &[
+                vec![Some(1.0), Some(2.0), None], // a
+                vec![None, Some(1.0), Some(2.0)], // b
+                vec![Some(2.0), None, Some(1.0)], // c
+            ],
+        )
+        .unwrap();
+        use tkd_model::dominance::dominates;
+        assert!(dominates(&ds, 1, 0), "b ≻ a");
+        assert!(dominates(&ds, 2, 1), "c ≻ b");
+        assert!(dominates(&ds, 0, 2), "a ≻ c");
+        assert!(skyline(&ds).is_empty());
+        assert_eq!(k_skyband(&ds, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cross_bucket_domination_is_caught() {
+        // Object 1 survives its singleton bucket trivially, but is dominated
+        // by object 0 from another bucket.
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                vec![Some(1.0), Some(1.0)], // mask 11
+                vec![Some(5.0), None],      // mask 01, dominated by 0
+            ],
+        )
+        .unwrap();
+        assert_eq!(skyline(&ds), vec![0]);
+    }
+
+    use tkd_model::Dataset;
+}

@@ -1,0 +1,33 @@
+//! Skyline and k-skyband operators, the substrate of the paper's **ESB**
+//! algorithm (§4.1).
+//!
+//! The paper's Lemma 1 rests on the observation that objects sharing the
+//! same observation mask form a *bucket* that behaves like complete data in
+//! the observed subspace — dominance is transitive there — so a per-bucket
+//! **k-skyband** (the objects dominated by fewer than `k` others, Gao et
+//! al.'s kISB) yields a sound candidate set for the global TKD query.
+//!
+//! This crate provides:
+//!
+//! * [`complete`] — skyline / k-skyband over one bucket (sort-filter scan);
+//! * [`incomplete`] — exact skyline / k-skyband over a whole incomplete
+//!   dataset (ISkyline / kISB style: local results, then cross-bucket
+//!   verification — transitivity does not hold across buckets);
+//! * [`constrained`] — the constrained and group-by skyline variants of
+//!   the substrate paper (Gao et al., the TKD paper's reference \[2\]).
+//!
+//! ```
+//! use tkd_model::fixtures;
+//! use tkd_skyline::incomplete;
+//!
+//! let ds = fixtures::fig2_points();
+//! let sky = incomplete::skyline(&ds);
+//! // Only f = (4,2) is dominated by nobody in Fig. 2.
+//! assert_eq!(sky, vec![ds.id_by_label("f").unwrap()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complete;
+pub mod constrained;
+pub mod incomplete;

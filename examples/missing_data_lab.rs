@@ -1,0 +1,65 @@
+//! Missing-data laboratory: how does the *incomplete-data* TKD answer
+//! relate to the answer on (a) the complete ground truth and (b) an
+//! imputed completion? And does the missingness mechanism (MCAR/MAR/NMAR)
+//! matter?
+//!
+//! This extends the paper's Table 4 comparison (incomplete vs
+//! factorization-imputed, Jaccard distance) with a ground-truth column the
+//! paper could not have — we own the generator, so we can hide values from
+//! a known complete dataset and check both approaches against the truth.
+//!
+//! ```sh
+//! cargo run --release --example missing_data_lab
+//! ```
+
+use tkdi::data::missing;
+use tkdi::data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkdi::impute::{factorize_impute, jaccard_distance, FactorizationConfig};
+use tkdi::prelude::*;
+
+fn main() {
+    // Complete ground truth.
+    let truth = generate(&SyntheticConfig {
+        n: 4_000,
+        dims: 8,
+        cardinality: 100,
+        missing_rate: 0.0,
+        distribution: Distribution::Independent,
+        seed: 99,
+    });
+    let k = 16;
+    let ideal = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&truth).ids();
+
+    println!("ground truth: N={} d={} (complete), k={k}", truth.len(), truth.dims());
+    println!("\nmechanism  rate   DJ(incomplete,truth)  DJ(imputed,truth)  DJ(incomplete,imputed)");
+
+    for (name, mech) in [
+        ("MCAR", missing::mcar as fn(&Dataset, f64, u64) -> Dataset),
+        ("MAR", missing::mar),
+        ("NMAR", missing::nmar),
+    ] {
+        for rate in [0.1, 0.3] {
+            let incomplete = mech(&truth, rate, 1);
+            // Answer straight on incomplete data (the paper's approach).
+            let a = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&incomplete).ids();
+            // Answer after matrix-factorization imputation (the baseline).
+            let imputed = factorize_impute(&incomplete, &FactorizationConfig::default());
+            let b = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&imputed).ids();
+            println!(
+                "{name:<9}  {rate:<5}  {:<20.3}  {:<17.3}  {:.3}",
+                jaccard_distance(&a, &ideal),
+                jaccard_distance(&b, &ideal),
+                jaccard_distance(&a, &b),
+            );
+        }
+    }
+
+    println!(
+        "\nReading guide: the paper's Table 4 reports DJ(incomplete, imputed) \
+         on NBA in 0.40–0.57 — majority overlap (DJ < 2/3) despite zero \
+         imputation machinery. Under NMAR (values missing because they are \
+         bad) imputation-based answers drift further from the truth, which \
+         is the incomplete-data model's core argument: it assumes nothing \
+         about why a value is absent."
+    );
+}

@@ -1,0 +1,71 @@
+//! The paper's motivating scenario (§1, Fig. 1): find the most broadly
+//! preferred movies from a ratings matrix where 95% of the ratings are
+//! missing — every audience only rates the movies they watched.
+//!
+//! Demonstrates: the MovieLens-like simulator, algorithm agreement under
+//! extreme missingness, and why Heuristic 2 weakens there (the paper's
+//! Fig. 18a observation).
+//!
+//! ```sh
+//! cargo run --release --example movie_recommender
+//! ```
+
+use std::time::Instant;
+use tkdi::data::simulators::movielens_like_with;
+use tkdi::prelude::*;
+
+fn main() {
+    // 1,200 movies × 40 audiences, ratings 1–5, ~95% missing (stored
+    // negated: smaller = better).
+    let ds = movielens_like_with(1_200, 40, 7);
+    println!(
+        "movie ratings matrix: {} movies x {} audiences, missing rate {:.1}%",
+        ds.len(),
+        ds.dims(),
+        100.0 * tkdi::model::stats::missing_rate(&ds)
+    );
+
+    let k = 10;
+    let mut reference: Option<Vec<usize>> = None;
+    for alg in Algorithm::ALL {
+        let start = Instant::now();
+        let r = TkdQuery::new(k).algorithm(alg).run(&ds);
+        let elapsed = start.elapsed();
+        match &reference {
+            None => reference = Some(r.scores()),
+            Some(exp) => assert_eq!(&r.scores(), exp, "algorithms must agree"),
+        }
+        println!(
+            "  {:?}: {:>9.3?}  (H1/H2/H3 pruned {}/{}/{}, scored {})",
+            alg,
+            elapsed,
+            r.stats.h1_pruned,
+            r.stats.h2_pruned,
+            r.stats.h3_pruned,
+            r.stats.scored
+        );
+    }
+
+    let r = TkdQuery::new(k).run(&ds);
+    println!("\ntop-{k} most dominating movies:");
+    for (rank, e) in r.iter().enumerate() {
+        // Average observed (negated) rating, for intuition.
+        let row = ds.row(e.id);
+        let ratings: Vec<f64> = row.observed().map(|(_, v)| -v).collect();
+        let avg = ratings.iter().sum::<f64>() / ratings.len() as f64;
+        println!(
+            "  #{:<2} movie-{:<5} dominates {:>4} movies  ({} ratings, avg {:.2}/5)",
+            rank + 1,
+            e.id,
+            e.score,
+            ratings.len(),
+            avg
+        );
+    }
+
+    println!(
+        "\nNote: at 95% missingness MaxBitScore is loose (most objects share \
+         only the missing-slot columns), so BIG's Heuristic 2 prunes little — \
+         exactly the paper's Fig. 18(a) finding."
+    );
+}

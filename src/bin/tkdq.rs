@@ -1,0 +1,237 @@
+//! `tkdq` — command-line top-k dominating queries on incomplete data.
+//!
+//! ```text
+//! tkdq info <FILE>                         dataset statistics
+//! tkdq query <FILE> --k K [options]        TKD query
+//! tkdq skyline <FILE> [--band K]           skyline / k-skyband
+//! tkdq generate --n N --dims D [options]   synthetic dataset to stdout
+//!
+//! Common options:
+//!   --labeled              first column is an object label
+//! Query options:
+//!   --algorithm A          naive | esb | ubb | big | ibig   (default big)
+//!   --bins X               IBIG bins per dimension           (default auto)
+//!   --subspace 0,2,5       query a dimension subset
+//!   --stats                print pruning statistics
+//! Generate options:
+//!   --dist D               ind | ac | co                     (default ind)
+//!   --missing R            missing rate in [0,1)             (default 0.1)
+//!   --cardinality C        distinct values per dimension     (default 100)
+//!   --seed S               RNG seed                          (default 42)
+//! ```
+//!
+//! Files are comma/whitespace separated, `-` for missing, `#` comments.
+//! Values are smaller-is-better.
+
+use std::process::exit;
+use tkdi::core::variants;
+use tkdi::data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkdi::model::{io, stats, Dataset};
+use tkdi::prelude::*;
+use tkdi::skyline::incomplete;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage("missing command") };
+    match cmd.as_str() {
+        "info" => cmd_info(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "skyline" => cmd_skyline(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+/// Minimal flag parser: positional file + `--flag value` pairs + bare flags.
+struct Opts {
+    file: Option<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+const BARE_FLAGS: [&str; 2] = ["--labeled", "--stats"];
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts { file: None, flags: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if BARE_FLAGS.contains(&a.as_str()) {
+                opts.flags.push((name.to_string(), None));
+            } else {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    usage(&format!("missing value for --{name}"));
+                };
+                opts.flags.push((name.to_string(), Some(v.clone())));
+            }
+        } else if opts.file.is_none() {
+            opts.file = Some(a.clone());
+        } else {
+            usage(&format!("unexpected argument {a:?}"));
+        }
+        i += 1;
+    }
+    opts
+}
+
+impl Opts {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn load(&self) -> Dataset {
+        let Some(file) = &self.file else { usage("missing input file") };
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {file}: {e}");
+            exit(1);
+        });
+        let parsed = if self.has("labeled") { io::parse_labeled(&text) } else { io::parse(&text) };
+        parsed.unwrap_or_else(|e| {
+            eprintln!("error: cannot parse {file}: {e}");
+            exit(1);
+        })
+    }
+}
+
+fn display_name(ds: &Dataset, o: ObjectId) -> String {
+    ds.label(o).map(str::to_string).unwrap_or_else(|| format!("#{o}"))
+}
+
+fn cmd_info(args: &[String]) {
+    let opts = parse_opts(args);
+    let ds = opts.load();
+    println!("objects:       {}", ds.len());
+    println!("dimensions:    {}", ds.dims());
+    println!("missing rate:  {:.2}%", 100.0 * stats::missing_rate(&ds));
+    println!("mask groups:   {}", stats::group_by_mask(&ds).len());
+    for d in 0..ds.dims() {
+        let vals = stats::distinct_values(&ds, d);
+        let range = match (vals.first(), vals.last()) {
+            (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+            _ => "(never observed)".into(),
+        };
+        println!(
+            "  dim {d}: cardinality {:<6} observed {:<6} range {range}",
+            vals.len(),
+            stats::observed_count(&ds, d),
+        );
+    }
+}
+
+fn cmd_query(args: &[String]) {
+    let opts = parse_opts(args);
+    let ds = opts.load();
+    let k: usize = opts
+        .get("k")
+        .unwrap_or_else(|| usage("query requires --k"))
+        .parse()
+        .unwrap_or_else(|_| usage("--k must be an integer"));
+    let algorithm = match opts.get("algorithm").unwrap_or("big") {
+        "naive" => Algorithm::Naive,
+        "esb" => Algorithm::Esb,
+        "ubb" => Algorithm::Ubb,
+        "big" => Algorithm::Big,
+        "ibig" => Algorithm::Ibig,
+        other => usage(&format!("unknown algorithm {other:?}")),
+    };
+    let mut query = TkdQuery::new(k).algorithm(algorithm);
+    if let Some(bins) = opts.get("bins") {
+        if bins != "auto" {
+            let x: usize = bins.parse().unwrap_or_else(|_| usage("--bins must be an integer or 'auto'"));
+            query = query.bins(tkdi::core::BinChoice::Fixed(x));
+        }
+    }
+    let result = match opts.get("subspace") {
+        None => query.run(&ds),
+        Some(spec) => {
+            let dims: Vec<usize> = spec
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--subspace expects dim indexes")))
+                .collect();
+            variants::subspace_top_k(&ds, &dims, &query).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            })
+        }
+    };
+    for (rank, e) in result.iter().enumerate() {
+        println!("{:>3}. {:<20} score {}", rank + 1, display_name(&ds, e.id), e.score);
+    }
+    if opts.has("stats") {
+        let s = result.stats;
+        eprintln!(
+            "pruned: H1={} H2={} H3={}  scored={}",
+            s.h1_pruned, s.h2_pruned, s.h3_pruned, s.scored
+        );
+    }
+}
+
+fn cmd_skyline(args: &[String]) {
+    let opts = parse_opts(args);
+    let ds = opts.load();
+    let band: usize = opts
+        .get("band")
+        .map(|b| b.parse().unwrap_or_else(|_| usage("--band must be an integer")))
+        .unwrap_or(1);
+    let result = incomplete::k_skyband(&ds, band);
+    println!("# {}-skyband: {} objects", band, result.len());
+    for o in result {
+        println!("{}", display_name(&ds, o));
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let opts = parse_opts(args);
+    let get_num = |name: &str, default: usize| -> usize {
+        opts.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("--{name} must be an integer"))))
+            .unwrap_or(default)
+    };
+    let cfg = SyntheticConfig {
+        n: get_num("n", 1000),
+        dims: get_num("dims", 5),
+        cardinality: get_num("cardinality", 100),
+        missing_rate: opts
+            .get("missing")
+            .map(|v| v.parse().unwrap_or_else(|_| usage("--missing must be a rate in [0,1)")))
+            .unwrap_or(0.1),
+        distribution: match opts.get("dist").unwrap_or("ind") {
+            "ind" => Distribution::Independent,
+            "ac" => Distribution::AntiCorrelated,
+            "co" => Distribution::Correlated,
+            other => usage(&format!("unknown distribution {other:?}")),
+        },
+        seed: opts
+            .get("seed")
+            .map(|v| v.parse().unwrap_or_else(|_| usage("--seed must be an integer")))
+            .unwrap_or(42),
+    };
+    print!("{}", io::to_text(&generate(&cfg)));
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "tkdq — top-k dominating queries on incomplete data\n\n\
+         Usage:\n\
+         \x20 tkdq info <FILE> [--labeled]\n\
+         \x20 tkdq query <FILE> --k K [--algorithm naive|esb|ubb|big|ibig]\n\
+         \x20      [--bins auto|X] [--subspace 0,2,5] [--labeled] [--stats]\n\
+         \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
+         \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
+         \x20      [--missing R] [--cardinality C] [--seed S]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,47 @@
+//! # tkdi — Top-k Dominating Queries on Incomplete Data
+//!
+//! A faithful, production-quality Rust reproduction of
+//! *Miao, Gao, Zheng, Chen, Cui: "Top-k Dominating Queries on Incomplete
+//! Data", IEEE TKDE 28(1), 2016*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — incomplete-data records, datasets, dominance (Def. 1–3).
+//! * [`bitvec`] — dense bit vectors plus WAH and CONCISE compression.
+//! * [`btree`] — in-memory B+-tree substrate.
+//! * [`skyline`] — skyline / k-skyband operators.
+//! * [`index`] — range-encoded and binned bitmap indexes, binning strategy,
+//!   space/time cost model (§4.3–4.5).
+//! * [`core`] — the TKD algorithms: Naive, ESB, UBB, BIG, IBIG (§4), plus
+//!   the MFD weighted-dominance extension (§3).
+//! * [`data`] — synthetic workloads (IND/AC/CO) and real-dataset simulators.
+//! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tkdi::prelude::*;
+//!
+//! // The paper's 20-object running example (Fig. 3).
+//! let ds = tkdi::model::fixtures::fig3_sample();
+//!
+//! // T2D query: the two objects dominating the most others.
+//! let result = TkdQuery::new(2).algorithm(Algorithm::Big).run(&ds);
+//! let labels: Vec<_> = result.iter().map(|e| ds.label(e.id).unwrap()).collect();
+//! assert_eq!(labels, vec!["A2", "C2"]); // both with score 16
+//! ```
+
+pub use tkd_bitvec as bitvec;
+pub use tkd_btree as btree;
+pub use tkd_core as core;
+pub use tkd_data as data;
+pub use tkd_impute as impute;
+pub use tkd_index as index;
+pub use tkd_model as model;
+pub use tkd_skyline as skyline;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use tkd_core::{Algorithm, TkdQuery, TkdResult};
+    pub use tkd_model::{Dataset, DimMask, ObjectId};
+}

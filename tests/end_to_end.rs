@@ -1,0 +1,136 @@
+//! End-to-end pipelines: generate → (inject missingness) → index → query →
+//! cross-check across algorithms, datasets and mechanisms.
+
+use tkdi::data::missing;
+use tkdi::data::simulators::{movielens_like_with, nba_like_with, zillow_like_with};
+use tkdi::data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkdi::impute::{factorize_impute, jaccard_distance, FactorizationConfig};
+use tkdi::prelude::*;
+
+fn assert_all_algorithms_agree(ds: &Dataset, k: usize, tag: &str) {
+    let reference = TkdQuery::new(k).algorithm(Algorithm::Naive).run(ds);
+    for alg in [Algorithm::Esb, Algorithm::Ubb, Algorithm::Big, Algorithm::Ibig] {
+        let r = TkdQuery::new(k).algorithm(alg).run(ds);
+        assert_eq!(r.scores(), reference.scores(), "{tag}: {alg:?} diverges at k={k}");
+    }
+}
+
+#[test]
+fn synthetic_distributions_end_to_end() {
+    for dist in [
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+    ] {
+        for sigma in [0.0, 0.2, 0.5] {
+            let ds = generate(&SyntheticConfig {
+                n: 300,
+                dims: 4,
+                cardinality: 20,
+                missing_rate: sigma,
+                distribution: dist,
+                seed: 5,
+            });
+            assert_all_algorithms_agree(&ds, 8, &format!("{dist:?}/σ={sigma}"));
+        }
+    }
+}
+
+#[test]
+fn simulator_workloads_end_to_end() {
+    let movielens = movielens_like_with(200, 12, 3);
+    assert_all_algorithms_agree(&movielens, 5, "movielens");
+    let nba = nba_like_with(300, 3);
+    assert_all_algorithms_agree(&nba, 5, "nba");
+    let zillow = zillow_like_with(300, 3);
+    assert_all_algorithms_agree(&zillow, 5, "zillow");
+}
+
+#[test]
+fn missingness_mechanisms_end_to_end() {
+    let complete = generate(&SyntheticConfig {
+        n: 250,
+        dims: 4,
+        cardinality: 15,
+        missing_rate: 0.0,
+        distribution: Distribution::Independent,
+        seed: 11,
+    });
+    for (name, ds) in [
+        ("mcar", missing::mcar(&complete, 0.3, 1)),
+        ("mar", missing::mar(&complete, 0.2, 1)),
+        ("nmar", missing::nmar(&complete, 0.2, 1)),
+    ] {
+        assert_all_algorithms_agree(&ds, 6, name);
+    }
+}
+
+#[test]
+fn edge_cases() {
+    // Single object.
+    let one = Dataset::from_rows(2, &[vec![Some(1.0), None]]).unwrap();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(3).algorithm(alg).run(&one);
+        assert_eq!(r.len(), 1, "{alg:?}");
+        assert_eq!(r.scores(), vec![0], "{alg:?}");
+    }
+    // k = 0.
+    let ds = tkdi::model::fixtures::fig3_sample();
+    for alg in Algorithm::ALL {
+        assert!(TkdQuery::new(0).algorithm(alg).run(&ds).is_empty(), "{alg:?}");
+    }
+    // All objects identical: everyone ties, all scores zero.
+    let dup = Dataset::from_rows(2, &vec![vec![Some(1.0), Some(2.0)]; 10]).unwrap();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(4).algorithm(alg).run(&dup);
+        assert_eq!(r.scores(), vec![0; 4], "{alg:?}");
+    }
+    // Fully pairwise-incomparable dataset (disjoint masks).
+    let inc = Dataset::from_rows(
+        2,
+        &[vec![Some(1.0), None], vec![None, Some(1.0)]],
+    )
+    .unwrap();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(2).algorithm(alg).run(&inc);
+        assert_eq!(r.scores(), vec![0, 0], "{alg:?}");
+    }
+}
+
+#[test]
+fn table4_style_comparison_small() {
+    // Miniature of the paper's Table 4: the incomplete answer and the
+    // imputation-based answer share a majority of objects (DJ < 2/3).
+    let ds = nba_like_with(600, 21);
+    let imputed = factorize_impute(&ds, &FactorizationConfig::default());
+    for k in [4usize, 8, 16] {
+        let a = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&ds).ids();
+        let b = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&imputed).ids();
+        let dj = jaccard_distance(&a, &b);
+        assert!(
+            dj < 2.0 / 3.0,
+            "k={k}: DJ={dj} — answers should share a majority of objects"
+        );
+    }
+}
+
+#[test]
+fn preprocessing_contexts_are_reusable() {
+    use tkdi::core::{big::BigContext, big::big_with, ibig::IbigContext, ibig::ibig_with};
+    let ds = nba_like_with(400, 9);
+    let ctx = BigContext::build(&ds);
+    let ictx: IbigContext<'_> = IbigContext::build_auto(&ds);
+    for k in [1usize, 4, 16] {
+        let reference = TkdQuery::new(k).algorithm(Algorithm::Naive).run(&ds);
+        assert_eq!(big_with(&ctx, k).scores(), reference.scores());
+        assert_eq!(ibig_with(&ictx, k).scores(), reference.scores());
+    }
+}
+
+#[test]
+fn facade_prelude_compiles_and_runs() {
+    let ds = tkdi::model::fixtures::fig2_points();
+    let r: TkdResult = TkdQuery::new(1).run(&ds);
+    let _: Vec<ObjectId> = r.ids();
+    let _: DimMask = ds.mask(0);
+}

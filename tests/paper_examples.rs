@@ -1,0 +1,130 @@
+//! Cross-crate validation against every worked example in the paper,
+//! exercised through the public facade.
+
+use tkdi::core::{big, esb, maxscore};
+use tkdi::index::{cost, BinnedBitmapIndex, BitmapIndex};
+use tkdi::model::fixtures;
+use tkdi::prelude::*;
+
+#[test]
+fn fig1_movie_recommender_scores() {
+    // §1: score(m2)=2, score(m4)=1, score(m1)=score(m3)=0; m2 ≻ m3.
+    let ds = fixtures::fig1_movies();
+    let score = |l: &str| tkdi::model::dominance::score_of(&ds, ds.id_by_label(l).unwrap());
+    assert_eq!(score("m1"), 0);
+    assert_eq!(score("m2"), 2);
+    assert_eq!(score("m3"), 0);
+    assert_eq!(score("m4"), 1);
+    let r = TkdQuery::new(1).run(&ds);
+    assert_eq!(ds.label(r.ids()[0]), Some("m2"));
+}
+
+#[test]
+fn fig2_t1d_returns_f_for_every_algorithm() {
+    let ds = fixtures::fig2_points();
+    let f = ds.id_by_label("f").unwrap();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(1).algorithm(alg).run(&ds);
+        assert_eq!(r.ids(), vec![f], "{alg:?}");
+        assert_eq!(r.scores(), vec![3], "{alg:?}");
+    }
+}
+
+#[test]
+fn fig3_t2d_returns_a2_c2_for_every_algorithm() {
+    let ds = fixtures::fig3_sample();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(2).algorithm(alg).run(&ds);
+        let mut labels: Vec<_> = r.iter().map(|e| ds.label(e.id).unwrap()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["A2", "C2"], "{alg:?}");
+        assert_eq!(r.scores(), vec![16, 16], "{alg:?}");
+    }
+}
+
+#[test]
+fn fig4_esb_candidates() {
+    let ds = fixtures::fig3_sample();
+    let got: Vec<&str> = esb::esb_candidates(&ds, 2)
+        .into_iter()
+        .map(|o| ds.label(o).unwrap())
+        .collect();
+    assert_eq!(got, fixtures::fig4_esb_candidates());
+}
+
+#[test]
+fn fig5_priority_queue() {
+    let ds = fixtures::fig3_sample();
+    let got: Vec<(&str, usize)> = maxscore::maxscore_queue(&ds)
+        .into_iter()
+        .map(|(o, s)| (ds.label(o).unwrap(), s))
+        .collect();
+    assert_eq!(got, fixtures::fig5_maxscores());
+}
+
+#[test]
+fn fig6_bitmap_index_shape() {
+    // Σ(Ci + 1)·N with C = (4,5,6,7) on the sample dataset.
+    let ds = fixtures::fig3_sample();
+    let idx = BitmapIndex::build(&ds);
+    assert_eq!(idx.size_bits(), (5 + 6 + 7 + 8) * 20);
+}
+
+#[test]
+fn fig8_max_bit_scores_via_facade() {
+    let ds = fixtures::fig3_sample();
+    let mbs = big::max_bit_scores(&ds);
+    for (label, expected) in fixtures::fig8_maxbitscores() {
+        assert_eq!(mbs[ds.id_by_label(label).unwrap() as usize], expected, "{label}");
+    }
+}
+
+#[test]
+fn fig9_binned_index_first_dimension() {
+    // §4.4's worked binning: dim 1 with x=2 → bins {2} and {3,4,5}; D4
+    // encodes into the second bin ("110" in the paper's horizontal view).
+    let ds = fixtures::fig3_sample();
+    let idx = BinnedBitmapIndex::build(&ds, &[2, 2, 3, 3]);
+    assert_eq!(idx.num_bins(0), 2);
+    assert_eq!(idx.bin_upper(0, 1), 2.0);
+    assert_eq!(idx.bin_upper(0, 2), 5.0);
+    assert_eq!(idx.bin_of(ds.id_by_label("D4").unwrap(), 0), Some(2));
+}
+
+#[test]
+fn section_4_5_optimal_bins() {
+    assert_eq!(cost::optimal_bins(100_000, 0.1), 29);
+    assert_eq!(cost::optimal_bins(16_000, 0.2), 17);
+}
+
+#[test]
+fn example_2_ubb_early_termination() {
+    // §4.2 Example 2: exactly two objects evaluated before Heuristic 1
+    // stops the scan at B2.
+    let ds = fixtures::fig3_sample();
+    let r = TkdQuery::new(2).algorithm(Algorithm::Ubb).run(&ds);
+    assert_eq!(r.stats.scored, 2);
+    assert_eq!(r.stats.h1_pruned, 18);
+}
+
+#[test]
+fn lemma_chain_score_le_maxbitscore_le_maxscore() {
+    let ds = fixtures::fig3_sample();
+    let ms = maxscore::max_scores(&ds);
+    let mbs = big::max_bit_scores(&ds);
+    for o in ds.ids() {
+        let s = tkdi::model::dominance::score_of(&ds, o);
+        assert!(s <= mbs[o as usize], "score ≤ MaxBitScore ({o})");
+        assert!(mbs[o as usize] <= ms[o as usize], "MaxBitScore ≤ MaxScore ({o})");
+    }
+}
+
+#[test]
+fn nontransitivity_fig2() {
+    use tkdi::model::dominance::dominates;
+    let ds = fixtures::fig2_points();
+    let id = |l: &str| ds.id_by_label(l).unwrap();
+    assert!(dominates(&ds, id("f"), id("e")));
+    assert!(dominates(&ds, id("e"), id("b")));
+    assert!(!dominates(&ds, id("f"), id("b")));
+}

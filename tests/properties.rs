@@ -1,0 +1,159 @@
+//! Property-based cross-crate invariants on random incomplete datasets.
+
+use proptest::prelude::*;
+use tkdi::core::{big, esb, ibig, maxscore, naive, ubb};
+use tkdi::index::BitmapIndex;
+use tkdi::model::{dominance, stats, Dataset};
+use tkdi::skyline::incomplete;
+
+/// Strategy: a random incomplete dataset with 1–4 dimensions, up to 40
+/// objects, small integer values, each row keeping ≥ 1 observed value.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=4).prop_flat_map(|dims| {
+        let row = proptest::collection::vec(
+            proptest::option::weighted(0.7, (0u8..6).prop_map(|v| v as f64)),
+            dims,
+        )
+        .prop_filter("at least one observed", |r| r.iter().any(Option::is_some));
+        proptest::collection::vec(row, 1..40)
+            .prop_map(move |rows| Dataset::from_rows(dims, &rows).expect("valid rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All five algorithms agree with the Naive oracle on the returned
+    /// score multiset, for every k.
+    #[test]
+    fn algorithms_agree_with_naive(ds in dataset_strategy(), k in 1usize..10) {
+        let reference = naive::naive(&ds, k);
+        prop_assert_eq!(esb::esb(&ds, k).scores(), reference.scores());
+        prop_assert_eq!(ubb::ubb(&ds, k).scores(), reference.scores());
+        prop_assert_eq!(big::big(&ds, k).scores(), reference.scores());
+        prop_assert_eq!(ibig::ibig(&ds, k).scores(), reference.scores());
+    }
+
+    /// IBIG stays correct for arbitrary (even degenerate) bin counts.
+    #[test]
+    fn ibig_correct_for_any_bins(ds in dataset_strategy(), k in 1usize..6, bins in 1usize..8) {
+        let r = ibig::ibig_with_bins(&ds, k, &vec![bins; ds.dims()]);
+        prop_assert_eq!(r.scores(), naive::naive(&ds, k).scores());
+    }
+
+    /// Lemma 2 + Lemma 3: score(o) ≤ MaxBitScore(o) ≤ MaxScore(o).
+    #[test]
+    fn upper_bound_chain(ds in dataset_strategy()) {
+        let ms = maxscore::max_scores(&ds);
+        let mbs = big::max_bit_scores(&ds);
+        for o in ds.ids() {
+            let s = dominance::score_of(&ds, o);
+            prop_assert!(s <= mbs[o as usize]);
+            prop_assert!(mbs[o as usize] <= ms[o as usize]);
+        }
+    }
+
+    /// Definition 4's Q via the bitmap index equals the brute-force set
+    /// {p ≠ o : ∀i ∈ Iset(o), p[i] ≥ o[i] ∨ p[i] missing}.
+    #[test]
+    fn q_vec_matches_set_semantics(ds in dataset_strategy()) {
+        let idx = BitmapIndex::build(&ds);
+        for o in ds.ids() {
+            let q = idx.q_vec(o);
+            for p in ds.ids() {
+                let expected = p != o
+                    && (0..ds.dims()).all(|d| match (ds.value(o, d), ds.value(p, d)) {
+                        (Some(vo), Some(vp)) => vo <= vp,
+                        _ => true,
+                    });
+                prop_assert_eq!(q.get(p as usize), expected, "o={} p={}", o, p);
+            }
+        }
+    }
+
+    /// Lemma 1: the true top-k objects always survive ESB's candidate
+    /// pruning.
+    #[test]
+    fn esb_candidates_cover_answers(ds in dataset_strategy(), k in 1usize..6) {
+        let candidates = esb::esb_candidates(&ds, k);
+        for e in naive::naive(&ds, k).iter() {
+            prop_assert!(candidates.contains(&e.id));
+        }
+    }
+
+    /// k-skyband membership ⟺ dominated by fewer than k objects.
+    #[test]
+    fn skyband_definition(ds in dataset_strategy(), k in 0usize..5) {
+        let band = incomplete::k_skyband(&ds, k);
+        for o in ds.ids() {
+            let dominators = incomplete::dominator_count(&ds, o);
+            prop_assert_eq!(band.contains(&o), dominators < k, "o={}", o);
+        }
+    }
+
+    /// Dominance is irreflexive and asymmetric; incomparability is
+    /// symmetric and means no domination either way.
+    #[test]
+    fn dominance_relation_laws(ds in dataset_strategy()) {
+        for a in ds.ids() {
+            prop_assert!(!dominance::dominates(&ds, a, a));
+            for b in ds.ids() {
+                if dominance::dominates(&ds, a, b) {
+                    prop_assert!(!dominance::dominates(&ds, b, a));
+                    prop_assert!(dominance::comparable(&ds, a, b));
+                }
+                prop_assert_eq!(
+                    dominance::comparable(&ds, a, b),
+                    dominance::comparable(&ds, b, a)
+                );
+            }
+        }
+    }
+
+    /// The result is internally consistent: scores descending, ids unique,
+    /// every reported score is the true score, and the k-th score bounds
+    /// every excluded object's score.
+    #[test]
+    fn result_consistency(ds in dataset_strategy(), k in 1usize..8) {
+        let r = big::big(&ds, k);
+        let ids = r.ids();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), ids.len(), "duplicate answers");
+        prop_assert_eq!(r.len(), k.min(ds.len()));
+        let scores = r.scores();
+        prop_assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        for e in r.iter() {
+            prop_assert_eq!(e.score, dominance::score_of(&ds, e.id));
+        }
+        if let Some(tau) = r.kth_score() {
+            for o in ds.ids() {
+                if !r.contains(o) {
+                    prop_assert!(dominance::score_of(&ds, o) <= tau);
+                }
+            }
+        }
+    }
+
+    /// Text round-trip preserves the dataset and therefore the query
+    /// answer.
+    #[test]
+    fn io_roundtrip_preserves_answers(ds in dataset_strategy(), k in 1usize..5) {
+        let text = tkdi::model::io::to_text(&ds);
+        let back = tkdi::model::io::parse(&text).expect("roundtrip");
+        prop_assert_eq!(&back, &ds);
+        prop_assert_eq!(naive::naive(&back, k).scores(), naive::naive(&ds, k).scores());
+    }
+
+    /// Missing rate accounting matches a direct count.
+    #[test]
+    fn missing_rate_accounting(ds in dataset_strategy()) {
+        let direct: usize = ds
+            .ids()
+            .map(|o| (0..ds.dims()).filter(|&d| ds.value(o, d).is_none()).count())
+            .sum();
+        let expected = direct as f64 / (ds.len() * ds.dims()) as f64;
+        prop_assert!((stats::missing_rate(&ds) - expected).abs() < 1e-12);
+    }
+}
