@@ -1,0 +1,185 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal wall-clock bench harness covering the criterion surface
+//! the `tkd-bench` targets use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It reports a simple mean ns/iter over a fixed number of timed samples
+//! — no outlier analysis, no HTML reports, no statistical comparison.
+//! Swap in real criterion on a networked machine for publication-quality
+//! numbers.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// How to batch per-iteration setup in [`Bencher::iter_batched`];
+/// the shim treats all variants identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last timing loop.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to fill the
+    /// per-sample time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate cost with a single call.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        // Target roughly 30ms of measurement, capped for slow routines.
+        let iters = ((30_000_000 / once) as u64).clamp(1, 10_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = ((30_000_000 / once) as u64).clamp(1, 10_000);
+        // Prepare inputs in small batches so at most 64 setup outputs are
+        // alive at once, whatever the iteration count.
+        let mut timed = std::time::Duration::ZERO;
+        let mut done = 0u64;
+        while done < iters {
+            let batch = (iters - done).min(64);
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            timed += start.elapsed();
+            done += batch;
+        }
+        self.ns_per_iter = timed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted, ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored by the shim).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        if b.ns_per_iter >= 1_000_000.0 {
+            println!("{id:<50} {:>12.3} ms/iter", b.ns_per_iter / 1_000_000.0);
+        } else if b.ns_per_iter >= 1_000.0 {
+            println!("{id:<50} {:>12.3} us/iter", b.ns_per_iter / 1_000.0);
+        } else {
+            println!("{id:<50} {:>12.1} ns/iter", b.ns_per_iter);
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test --benches` pass harness flags
+            // (e.g. `--bench`, `--test`) that the shim accepts and ignores.
+            $( $group(); )+
+        }
+    };
+}

@@ -22,7 +22,8 @@ fn bench_algorithms(c: &mut Criterion) {
     let k = 8;
     let queue = maxscore::maxscore_queue(&ds);
     let big_ctx = big::BigContext::build(&ds);
-    let ibig_ctx: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&ds, &vec![16; ds.dims()]);
+    let ibig_ctx: ibig::IbigContext<'_, Concise> =
+        ibig::IbigContext::build(&ds, &vec![16; ds.dims()]);
 
     let mut g = c.benchmark_group("tkd_query");
     g.sample_size(10);

@@ -18,7 +18,8 @@ fn bench_bins(c: &mut Criterion) {
     let mut g = c.benchmark_group("ibig_vs_bins");
     g.sample_size(10);
     for x in [2usize, 8, 32, 100] {
-        let ctx: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&ds, &vec![x; ds.dims()]);
+        let ctx: ibig::IbigContext<'_, Concise> =
+            ibig::IbigContext::build(&ds, &vec![x; ds.dims()]);
         g.bench_function(format!("x{x}"), |b| b.iter(|| ibig::ibig_with(&ctx, 8)));
     }
     g.finish();

@@ -11,7 +11,9 @@ const N: u64 = 10_000;
 
 fn keys() -> Vec<u64> {
     // Deterministic shuffle via a multiplicative hash.
-    (0..N).map(|i| (i.wrapping_mul(2654435761)) % (4 * N)).collect()
+    (0..N)
+        .map(|i| (i.wrapping_mul(2654435761)) % (4 * N))
+        .collect()
 }
 
 fn bench_insert(c: &mut Criterion) {
@@ -65,7 +67,12 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| ks.iter().map(|&k| tree.count_at_least(&k)).sum::<usize>())
     });
     g.bench_function("rank/std_range_count", |b| {
-        b.iter(|| ks.iter().take(100).map(|&k| std_tree.range(k..).count()).sum::<usize>())
+        b.iter(|| {
+            ks.iter()
+                .take(100)
+                .map(|&k| std_tree.range(k..).count())
+                .sum::<usize>()
+        })
     });
     g.bench_function("scan/bplustree_iter", |b| {
         b.iter(|| tree.iter().map(|(_, v)| *v).sum::<u64>())

@@ -44,10 +44,18 @@ fn bench_roundtrip(c: &mut Criterion) {
     let col = index.column(0, index.num_columns(0) / 3).clone();
     let mut g = c.benchmark_group("roundtrip");
     g.bench_function("wah", |b| {
-        b.iter_batched(|| col.clone(), |c| Wah::compress(&c).decompress(), BatchSize::SmallInput)
+        b.iter_batched(
+            || col.clone(),
+            |c| Wah::compress(&c).decompress(),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("concise", |b| {
-        b.iter_batched(|| col.clone(), |c| Concise::compress(&c).decompress(), BatchSize::SmallInput)
+        b.iter_batched(
+            || col.clone(),
+            |c| Concise::compress(&c).decompress(),
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }

@@ -19,8 +19,12 @@ fn bench_preprocessing(c: &mut Criterion) {
     });
     let mut g = c.benchmark_group("preprocessing");
     g.sample_size(10);
-    g.bench_function("maxscore_queue", |b| b.iter(|| maxscore::maxscore_queue(&ds)));
-    g.bench_function("incomparable_sets", |b| b.iter(|| stats::incomparable_sets(&ds)));
+    g.bench_function("maxscore_queue", |b| {
+        b.iter(|| maxscore::maxscore_queue(&ds))
+    });
+    g.bench_function("incomparable_sets", |b| {
+        b.iter(|| stats::incomparable_sets(&ds))
+    });
     g.bench_function("bitmap_index", |b| b.iter(|| BitmapIndex::build(&ds)));
     g.bench_function("binned_index_x16", |b| {
         b.iter(|| BinnedBitmapIndex::build(&ds, &vec![16; ds.dims()]))

@@ -5,7 +5,7 @@
 //!
 //!   --exp    comma-separated subset of:
 //!            table2,fig10,table3,fig11,fig12,fig13,table4,
-//!            fig14,fig15,fig16,fig17,fig18,binopt,ablation
+//!            fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline
 //!            (default: all)
 //!   --scale  quick (default) or paper (the paper's dataset sizes)
 //!   --seed   RNG seed (default 42)
@@ -14,6 +14,13 @@
 
 use std::collections::BTreeSet;
 use tkd_bench::{experiments as exp, table::Table, Scale};
+
+/// Every experiment name `--exp` accepts; the single source of truth for
+/// validation and the usage text.
+const KNOWN: [&str; 15] = [
+    "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "binopt", "ablation", "baseline",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +68,13 @@ fn main() {
         i += 1;
     }
 
+    if let Some(set) = &exps {
+        for name in set {
+            if !KNOWN.contains(&name.as_str()) {
+                usage(&format!("unknown experiment {name:?}"));
+            }
+        }
+    }
     let want = |name: &str| exps.as_ref().is_none_or(|set| set.contains(name));
     let scale_name = match scale {
         Scale::Quick => "quick",
@@ -128,7 +142,13 @@ fn main() {
             let slug: String = t
                 .title
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())
@@ -137,7 +157,7 @@ fn main() {
             let path = format!("{dir}/{}.csv", &slug[..slug.len().min(80)]);
             std::fs::write(&path, t.to_csv()).expect("write CSV");
         }
-        println!("(CSV written to {})", all_tables.len());
+        println!("({} CSV tables written to {dir})", all_tables.len());
     }
 }
 
@@ -147,7 +167,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR]\n\
-         experiments: table2,fig10,table3,fig11,fig12,fig13,table4,fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline"
+         experiments: {}",
+        KNOWN.join(",")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -2,8 +2,8 @@
 //! either scale, with their IBIG bin configurations (§5.1's choices).
 
 use crate::Scale;
-use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
 use tkd_data::simulators::{movielens_like_with, nba_like_with, zillow_like_with};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
 use tkd_model::Dataset;
 
 /// A named evaluation workload.
@@ -28,7 +28,11 @@ pub fn movielens(scale: Scale, seed: u64) -> Workload {
     };
     let dataset = movielens_like_with(n, d, seed);
     // Paper: 2 bins for MovieLens (domain of size 5).
-    Workload { name: "MovieLens", dataset, ibig_bins: vec![2; d] }
+    Workload {
+        name: "MovieLens",
+        dataset,
+        ibig_bins: vec![2; d],
+    }
 }
 
 /// NBA-like workload.
@@ -43,7 +47,11 @@ pub fn nba(scale: Scale, seed: u64) -> Workload {
         Scale::Quick => 32,
         Scale::Paper => 64,
     };
-    Workload { name: "NBA", dataset, ibig_bins: vec![bins; 4] }
+    Workload {
+        name: "NBA",
+        dataset,
+        ibig_bins: vec![bins; 4],
+    }
 }
 
 /// Zillow-like workload.
@@ -58,7 +66,11 @@ pub fn zillow(scale: Scale, seed: u64) -> Workload {
         Scale::Quick => 300,
         Scale::Paper => 3_000,
     };
-    Workload { name: "Zillow", dataset, ibig_bins: tkd_data::simulators::zillow_bins(lot) }
+    Workload {
+        name: "Zillow",
+        dataset,
+        ibig_bins: tkd_data::simulators::zillow_bins(lot),
+    }
 }
 
 fn synthetic(name: &'static str, dist: Distribution, scale: Scale, seed: u64) -> Workload {
@@ -75,7 +87,11 @@ fn synthetic(name: &'static str, dist: Distribution, scale: Scale, seed: u64) ->
     };
     let dataset = generate(&cfg);
     // Paper: 32 bins for IND and AC (≈ the Eq. 8 optimum of 29).
-    Workload { name, dataset, ibig_bins: vec![32; cfg.dims] }
+    Workload {
+        name,
+        dataset,
+        ibig_bins: vec![32; cfg.dims],
+    }
 }
 
 /// IND workload at the Table 2 defaults.
@@ -90,7 +106,11 @@ pub fn ac(scale: Scale, seed: u64) -> Workload {
 
 /// The three real-data simulators.
 pub fn real_workloads(scale: Scale, seed: u64) -> Vec<Workload> {
-    vec![movielens(scale, seed), nba(scale, seed), zillow(scale, seed)]
+    vec![
+        movielens(scale, seed),
+        nba(scale, seed),
+        zillow(scale, seed),
+    ]
 }
 
 /// All five workloads in the paper's order.
@@ -133,7 +153,11 @@ pub fn ind_with(
         Distribution::AntiCorrelated => "AC",
         Distribution::Correlated => "CO",
     };
-    Workload { name, dataset, ibig_bins: vec![32; dims] }
+    Workload {
+        name,
+        dataset,
+        ibig_bins: vec![32; dims],
+    }
 }
 
 #[cfg(test)]

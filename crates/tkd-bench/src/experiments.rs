@@ -27,12 +27,21 @@ pub const K_DEFAULT: usize = 8;
 
 /// Reprint the paper's Table 2 parameter grid (defaults in brackets).
 pub fn table2() -> Table {
-    let mut t = Table::new("Table 2 — parameter ranges and default values", &["parameter", "range (default)"]);
+    let mut t = Table::new(
+        "Table 2 — parameter ranges and default values",
+        &["parameter", "range (default)"],
+    );
     t.push(vec!["k".into(), "4, [8], 16, 32, 64".into()]);
     t.push(vec!["N".into(), "50K, [100K], 150K, 200K, 250K".into()]);
     t.push(vec!["dim".into(), "5, [10], 15, 20, 25".into()]);
-    t.push(vec!["missing rate σ".into(), "0, 5, [10], 20, 30, 40 (%)".into()]);
-    t.push(vec!["dimensional cardinality c".into(), "50, [100], 200, 400, 800".into()]);
+    t.push(vec![
+        "missing rate σ".into(),
+        "0, 5, [10], 20, 30, 40 (%)".into(),
+    ]);
+    t.push(vec![
+        "dimensional cardinality c".into(),
+        "50, [100], 200, 400, 800".into(),
+    ]);
     t
 }
 
@@ -51,8 +60,18 @@ pub fn fig10(scale: Scale, seed: u64) -> Table {
         let index = BitmapIndex::build(&w.dataset);
         let (wah, t_wah) = time(|| CompressedColumns::<Wah>::from_bitmap(&index));
         let (con, t_con) = time(|| CompressedColumns::<Concise>::from_bitmap(&index));
-        t.push(vec![w.name.into(), "WAH".into(), secs(t_wah), format!("{:.3}", wah.compression_ratio())]);
-        t.push(vec![w.name.into(), "CONCISE".into(), secs(t_con), format!("{:.3}", con.compression_ratio())]);
+        t.push(vec![
+            w.name.into(),
+            "WAH".into(),
+            secs(t_wah),
+            format!("{:.3}", wah.compression_ratio()),
+        ]);
+        t.push(vec![
+            w.name.into(),
+            "CONCISE".into(),
+            secs(t_con),
+            format!("{:.3}", con.compression_ratio()),
+        ]);
     }
     t
 }
@@ -66,7 +85,12 @@ pub fn fig10(scale: Scale, seed: u64) -> Table {
 pub fn table3(scale: Scale, seed: u64) -> Table {
     let mut t = Table::new(
         "Table 3 — preprocessing time (seconds)",
-        &["dataset", "MaxScore+F", "bitmap index", "binned bitmap index"],
+        &[
+            "dataset",
+            "MaxScore+F",
+            "bitmap index",
+            "binned bitmap index",
+        ],
     );
     for w in datasets::all_workloads(scale, seed) {
         let ds = &w.dataset;
@@ -102,9 +126,16 @@ pub fn fig11(scale: Scale, seed: u64) -> Vec<Table> {
     ];
     let mut tables = Vec::new();
     for w in datasets::all_workloads(scale, seed) {
-        let xs = &sweeps.iter().find(|(n, _)| *n == w.name).expect("sweep defined").1;
+        let xs = &sweeps
+            .iter()
+            .find(|(n, _)| *n == w.name)
+            .expect("sweep defined")
+            .1;
         let mut t = Table::new(
-            format!("Fig. 11 ({}) — BIG vs IBIG vs number of bins x (k = {k})", w.name),
+            format!(
+                "Fig. 11 ({}) — BIG vs IBIG vs number of bins x (k = {k})",
+                w.name
+            ),
             &["config", "x", "CPU time (s)", "index size"],
         );
         // Unbinned BIG reference.
@@ -239,7 +270,11 @@ pub fn table4(scale: Scale, seed: u64) -> Table {
             k.to_string(),
             format!("{dj:.3}"),
             format!("{shared}/{k}"),
-            if dj < 2.0 / 3.0 { "yes".into() } else { "no".into() },
+            if dj < 2.0 / 3.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t
@@ -250,7 +285,13 @@ pub fn table4(scale: Scale, seed: u64) -> Table {
 // ---------------------------------------------------------------------------
 
 /// One sweep point: label + overrides for (N, dims, missing rate, c).
-type SweepPoint = (String, Option<usize>, Option<usize>, Option<f64>, Option<usize>);
+type SweepPoint = (
+    String,
+    Option<usize>,
+    Option<usize>,
+    Option<f64>,
+    Option<usize>,
+);
 
 fn sweep_table(
     fig: &str,
@@ -260,7 +301,11 @@ fn sweep_table(
     seed: u64,
     values: &[SweepPoint],
 ) -> Table {
-    let name = if dist == Distribution::Independent { "IND" } else { "AC" };
+    let name = if dist == Distribution::Independent {
+        "IND"
+    } else {
+        "AC"
+    };
     let mut t = Table::new(
         format!("{fig} ({name}) — TKD cost vs {param} (k = {K_DEFAULT})"),
         &[param, "ESB", "UBB", "BIG", "IBIG"],
@@ -275,7 +320,13 @@ fn sweep_table(
                 .map(|(_, s)| secs(*s))
                 .unwrap()
         };
-        t.push(vec![label.clone(), cell("ESB"), cell("UBB"), cell("BIG"), cell("IBIG")]);
+        t.push(vec![
+            label.clone(),
+            cell("ESB"),
+            cell("UBB"),
+            cell("BIG"),
+            cell("IBIG"),
+        ]);
     }
     t
 }
@@ -312,7 +363,15 @@ pub fn fig15(scale: Scale, seed: u64) -> Vec<Table> {
 pub fn fig16(scale: Scale, seed: u64) -> Vec<Table> {
     let values: Vec<_> = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40]
         .iter()
-        .map(|&m| (format!("{}%", (m * 100.0) as usize), None, None, Some(m), None))
+        .map(|&m| {
+            (
+                format!("{}%", (m * 100.0) as usize),
+                None,
+                None,
+                Some(m),
+                None,
+            )
+        })
         .collect();
     [Distribution::Independent, Distribution::AntiCorrelated]
         .iter()
@@ -328,7 +387,16 @@ pub fn fig17(scale: Scale, seed: u64) -> Vec<Table> {
         .collect();
     [Distribution::Independent, Distribution::AntiCorrelated]
         .iter()
-        .map(|&d| sweep_table("Fig. 17", "dimensional cardinality", d, scale, seed, &values))
+        .map(|&d| {
+            sweep_table(
+                "Fig. 17",
+                "dimensional cardinality",
+                d,
+                scale,
+                seed,
+                &values,
+            )
+        })
         .collect()
 }
 
@@ -342,7 +410,8 @@ pub fn fig17(scale: Scale, seed: u64) -> Vec<Table> {
 pub fn fig18(scale: Scale, seed: u64) -> Vec<Table> {
     let mut tables = Vec::new();
     for w in datasets::all_workloads(scale, seed) {
-        let ictx: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&w.dataset, &w.ibig_bins);
+        let ictx: ibig::IbigContext<'_, Concise> =
+            ibig::IbigContext::build(&w.dataset, &w.ibig_bins);
         let mut t = Table::new(
             format!("Fig. 18 ({}) — objects pruned per heuristic vs k", w.name),
             &["k", "Heuristic 1", "Heuristic 2", "Heuristic 3", "scored"],
@@ -410,7 +479,8 @@ pub fn ablation_compression(scale: Scale, seed: u64) -> Table {
         &["dataset", "variant", "CPU time (s)", "column store size"],
     );
     for w in [datasets::nba(scale, seed), datasets::ind(scale, seed)] {
-        let con: ibig::IbigContext<'_, Concise> = ibig::IbigContext::build(&w.dataset, &w.ibig_bins);
+        let con: ibig::IbigContext<'_, Concise> =
+            ibig::IbigContext::build(&w.dataset, &w.ibig_bins);
         let (_, t_con) = time(|| ibig::ibig_with(&con, K_DEFAULT));
         t.push(vec![
             w.name.into(),
@@ -450,7 +520,15 @@ pub fn ablation_compression(scale: Scale, seed: u64) -> Table {
 /// coincide; this quantifies what the generalization costs where the old
 /// method still applies.
 pub fn ablation_baseline(scale: Scale, seed: u64) -> Table {
-    let w = datasets::ind_with(scale, seed, None, None, Some(0.0), None, Distribution::Independent);
+    let w = datasets::ind_with(
+        scale,
+        seed,
+        None,
+        None,
+        Some(0.0),
+        None,
+        Distribution::Independent,
+    );
     let k = K_DEFAULT;
     let mut t = Table::new(
         "Ablation — complete-data skyline peeling vs incomplete-data algorithms (IND, σ = 0)",
@@ -460,7 +538,11 @@ pub fn ablation_baseline(scale: Scale, seed: u64) -> Table {
         tkd_core::complete_baseline::skyline_peel_top_k(&w.dataset, k)
             .expect("σ = 0 data is complete")
     });
-    t.push(vec!["skyline-peel".into(), secs(t_peel), r.stats.scored.to_string()]);
+    t.push(vec![
+        "skyline-peel".into(),
+        secs(t_peel),
+        r.stats.scored.to_string(),
+    ]);
     let reference = r.scores();
     let queue = maxscore::maxscore_queue(&w.dataset);
     let (r, t_ubb) = time(|| ubb::ubb_with_queue(&w.dataset, k, &queue));

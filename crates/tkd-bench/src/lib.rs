@@ -11,6 +11,8 @@
 //!   qualitative finding;
 //! * [`Scale::Paper`] — the paper's exact cardinalities (slower).
 
+#![warn(missing_docs)]
+
 pub mod datasets;
 pub mod experiments;
 pub mod table;

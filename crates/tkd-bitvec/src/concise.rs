@@ -97,7 +97,11 @@ impl Concise {
     /// Iterate the runs encoded in this bitmap (mixed fills decompose into a
     /// literal followed by a pure fill).
     pub fn runs(&self) -> ConciseRuns<'_> {
-        ConciseRuns { words: &self.words, idx: 0, pending: None }
+        ConciseRuns {
+            words: &self.words,
+            idx: 0,
+            pending: None,
+        }
     }
 
     /// Raw encoded words (for storage accounting).
@@ -135,7 +139,10 @@ impl<'a> Iterator for ConciseRuns<'a> {
         let pattern = if ones { BLOCK_MASK } else { 0 };
         let first = pattern ^ (1 << (pos - 1));
         if blocks > 1 {
-            self.pending = Some(Run::Fill { ones, blocks: blocks - 1 });
+            self.pending = Some(Run::Fill {
+                ones,
+                blocks: blocks - 1,
+            });
         }
         Some(Run::Literal(first))
     }
@@ -151,7 +158,10 @@ impl CompressedBitmap for Concise {
         for run in self.runs() {
             match run {
                 Run::Fill { ones, blocks: n } => {
-                    blocks.extend(std::iter::repeat_n(if ones { BLOCK_MASK } else { 0 }, n as usize));
+                    blocks.extend(std::iter::repeat_n(
+                        if ones { BLOCK_MASK } else { 0 },
+                        n as usize,
+                    ));
                 }
                 Run::Literal(x) => blocks.push(x),
             }
@@ -185,7 +195,11 @@ impl CompressedBitmap for Concise {
 
     fn and_count(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        and_count_runs(RunStream::new(self.runs()), RunStream::new(other.runs()), self.len)
+        and_count_runs(
+            RunStream::new(self.runs()),
+            RunStream::new(other.runs()),
+            self.len,
+        )
     }
 }
 
@@ -220,7 +234,12 @@ mod tests {
         }
         let c = Concise::compress(&b);
         let w = Wah::compress(&b);
-        assert!(c.words() < w.words(), "CONCISE {} vs WAH {}", c.words(), w.words());
+        assert!(
+            c.words() < w.words(),
+            "CONCISE {} vs WAH {}",
+            c.words(),
+            w.words()
+        );
         assert_eq!(c.decompress(), b);
     }
 
@@ -280,7 +299,13 @@ mod tests {
         assert_eq!(c.words(), 1);
         let runs: Vec<Run> = c.runs().collect();
         assert_eq!(runs[0], Run::Literal(1 << 4));
-        assert_eq!(runs[1], Run::Fill { ones: false, blocks: 9 });
+        assert_eq!(
+            runs[1],
+            Run::Fill {
+                ones: false,
+                blocks: 9
+            }
+        );
     }
 
     #[test]
@@ -288,7 +313,10 @@ mod tests {
         let total = MAX_FILL_BLOCKS + 3;
         let mut words = Vec::new();
         Concise::emit_mixed_fill(&mut words, false, 3, total);
-        let c = Concise { words, len: total as usize * BLOCK_BITS };
+        let c = Concise {
+            words,
+            len: total as usize * BLOCK_BITS,
+        };
         assert_eq!(c.count_ones(), 1);
         assert_eq!(c.words(), 2);
     }

@@ -18,12 +18,18 @@ pub struct BitVec {
 impl BitVec {
     /// All-zeros vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { words: vec![0; len.div_ceil(WORD_BITS)], len }
+        BitVec {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// All-ones vector of `len` bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = BitVec { words: vec![u64::MAX; len.div_ceil(WORD_BITS)], len };
+        let mut v = BitVec {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
         v.mask_tail();
         v
     }
@@ -188,12 +194,19 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over the indexes of set bits, ascending.
     pub fn iter_ones(&self) -> Ones<'_> {
-        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -274,7 +287,10 @@ mod tests {
         let a = BitVec::from_indices(100, [1, 5, 64, 99]);
         let b = BitVec::from_indices(100, [5, 64, 70]);
         assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![5, 64]);
-        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 5, 64, 70, 99]);
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 5, 64, 70, 99]
+        );
         assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![1, 99]);
         assert_eq!(a.and_count(&b), 2);
     }

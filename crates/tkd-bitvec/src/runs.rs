@@ -55,7 +55,10 @@ pub fn blocks_of(bits: &BitVec) -> Vec<u32> {
 /// # Panics
 /// Panics if the blocks cover fewer bits than `len`.
 pub fn bits_from_blocks(blocks: &[u32], len: usize) -> BitVec {
-    assert!(blocks.len() * BLOCK_BITS >= len, "not enough blocks for {len} bits");
+    assert!(
+        blocks.len() * BLOCK_BITS >= len,
+        "not enough blocks for {len} bits"
+    );
     let mut out = BitVec::zeros(len);
     for (b, &blk) in blocks.iter().enumerate() {
         let mut v = blk;
@@ -76,15 +79,22 @@ pub fn runs_from_blocks(blocks: &[u32]) -> Vec<Run> {
     let mut out: Vec<Run> = Vec::new();
     for &blk in blocks {
         let this = match blk {
-            0 => Run::Fill { ones: false, blocks: 1 },
-            BLOCK_MASK => Run::Fill { ones: true, blocks: 1 },
+            0 => Run::Fill {
+                ones: false,
+                blocks: 1,
+            },
+            BLOCK_MASK => Run::Fill {
+                ones: true,
+                blocks: 1,
+            },
             other => Run::Literal(other),
         };
         match (out.last_mut(), this) {
-            (
-                Some(Run::Fill { ones: a, blocks: n }),
-                Run::Fill { ones: b, blocks: 1 },
-            ) if *a == b => *n += 1,
+            (Some(Run::Fill { ones: a, blocks: n }), Run::Fill { ones: b, blocks: 1 })
+                if *a == b =>
+            {
+                *n += 1
+            }
             (_, run) => out.push(run),
         }
     }
@@ -164,8 +174,14 @@ impl RunBuf {
     /// fills; adjacent same-bit fills merge).
     pub fn push(&mut self, run: Run) {
         let run = match run {
-            Run::Literal(0) => Run::Fill { ones: false, blocks: 1 },
-            Run::Literal(BLOCK_MASK) => Run::Fill { ones: true, blocks: 1 },
+            Run::Literal(0) => Run::Fill {
+                ones: false,
+                blocks: 1,
+            },
+            Run::Literal(BLOCK_MASK) => Run::Fill {
+                ones: true,
+                blocks: 1,
+            },
             r => r,
         };
         match (self.runs.last_mut(), run) {
@@ -222,7 +238,10 @@ where
             (Run::Fill { ones, .. }, other) => {
                 match fill_short_circuit(ones) {
                     Some(bit) => {
-                        out.push(Run::Fill { ones: bit, blocks: take });
+                        out.push(Run::Fill {
+                            ones: bit,
+                            blocks: take,
+                        });
                         a.consume(take);
                         b.consume(take);
                     }
@@ -235,7 +254,10 @@ where
                                 b.consume(1);
                             }
                             Run::Fill { ones: ob, .. } => {
-                                out.push(Run::Fill { ones: ob, blocks: take });
+                                out.push(Run::Fill {
+                                    ones: ob,
+                                    blocks: take,
+                                });
                                 a.consume(take);
                                 b.consume(take);
                             }
@@ -245,7 +267,10 @@ where
             }
             (Run::Literal(x), Run::Fill { ones, .. }) => match fill_short_circuit(ones) {
                 Some(bit) => {
-                    out.push(Run::Fill { ones: bit, blocks: take });
+                    out.push(Run::Fill {
+                        ones: bit,
+                        blocks: take,
+                    });
                     a.consume(take);
                     b.consume(take);
                 }
@@ -266,7 +291,12 @@ where
     A: Iterator<Item = Run>,
     B: Iterator<Item = Run>,
 {
-    merge(a, b, |x, y| x & y, |ones| if ones { None } else { Some(false) })
+    merge(
+        a,
+        b,
+        |x, y| x & y,
+        |ones| if ones { None } else { Some(false) },
+    )
 }
 
 /// OR of two equal-length run streams.
@@ -275,7 +305,12 @@ where
     A: Iterator<Item = Run>,
     B: Iterator<Item = Run>,
 {
-    merge(a, b, |x, y| x | y, |ones| if ones { Some(true) } else { None })
+    merge(
+        a,
+        b,
+        |x, y| x | y,
+        |ones| if ones { Some(true) } else { None },
+    )
 }
 
 /// Popcount of a run stream, with the final block's padding excluded
@@ -387,9 +422,21 @@ mod tests {
     fn runs_merge_adjacent_fills() {
         let b = BitVec::zeros(31 * 5);
         let runs = rt(&b);
-        assert_eq!(runs, vec![Run::Fill { ones: false, blocks: 5 }]);
+        assert_eq!(
+            runs,
+            vec![Run::Fill {
+                ones: false,
+                blocks: 5
+            }]
+        );
         let b = BitVec::ones(31 * 3);
-        assert_eq!(rt(&b), vec![Run::Fill { ones: true, blocks: 3 }]);
+        assert_eq!(
+            rt(&b),
+            vec![Run::Fill {
+                ones: true,
+                blocks: 3
+            }]
+        );
     }
 
     #[test]
@@ -400,9 +447,15 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run::Fill { ones: false, blocks: 1 },
+                Run::Fill {
+                    ones: false,
+                    blocks: 1
+                },
                 Run::Literal(1 << 4),
-                Run::Fill { ones: false, blocks: 1 },
+                Run::Fill {
+                    ones: false,
+                    blocks: 1
+                },
             ]
         );
     }
@@ -411,16 +464,23 @@ mod tests {
     fn and_or_match_dense() {
         let a = BitVec::from_indices(200, (0..200).step_by(3));
         let b = BitVec::from_indices(200, (0..200).step_by(5));
-        let and = and_runs(RunStream::new(rt(&a).into_iter()), RunStream::new(rt(&b).into_iter()));
-        let or = or_runs(RunStream::new(rt(&a).into_iter()), RunStream::new(rt(&b).into_iter()));
+        let and = and_runs(
+            RunStream::new(rt(&a).into_iter()),
+            RunStream::new(rt(&b).into_iter()),
+        );
+        let or = or_runs(
+            RunStream::new(rt(&a).into_iter()),
+            RunStream::new(rt(&b).into_iter()),
+        );
         let nblocks = 200usize.div_ceil(BLOCK_BITS);
         let expand = |runs: Vec<Run>| {
             let mut blocks = Vec::new();
             for r in runs {
                 match r {
-                    Run::Fill { ones, blocks: n } => {
-                        blocks.extend(std::iter::repeat_n(if ones { BLOCK_MASK } else { 0 }, n as usize))
-                    }
+                    Run::Fill { ones, blocks: n } => blocks.extend(std::iter::repeat_n(
+                        if ones { BLOCK_MASK } else { 0 },
+                        n as usize,
+                    )),
                     Run::Literal(x) => blocks.push(x),
                 }
             }
@@ -439,7 +499,10 @@ mod tests {
         assert_eq!(count_ones_runs(rt(&b).into_iter(), 40), 40);
         // All-ones multiple of 31 with padding beyond len: force fill run
         // longer than len.
-        let runs = vec![Run::Fill { ones: true, blocks: 2 }];
+        let runs = vec![Run::Fill {
+            ones: true,
+            blocks: 2,
+        }];
         assert_eq!(count_ones_runs(runs.into_iter(), 40), 40);
     }
 
@@ -458,8 +521,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "unequal length")]
     fn merge_rejects_unequal_streams() {
-        let a = vec![Run::Fill { ones: false, blocks: 2 }];
-        let b = vec![Run::Fill { ones: false, blocks: 1 }];
+        let a = vec![Run::Fill {
+            ones: false,
+            blocks: 2,
+        }];
+        let b = vec![Run::Fill {
+            ones: false,
+            blocks: 1,
+        }];
         let _ = and_runs(RunStream::new(a.into_iter()), RunStream::new(b.into_iter()));
     }
 
@@ -467,22 +536,40 @@ mod tests {
     fn runbuf_canonicalizes() {
         let mut buf = RunBuf::new();
         buf.push(Run::Literal(0));
-        buf.push(Run::Fill { ones: false, blocks: 3 });
+        buf.push(Run::Fill {
+            ones: false,
+            blocks: 3,
+        });
         buf.push(Run::Literal(BLOCK_MASK));
-        buf.push(Run::Fill { ones: true, blocks: 1 });
+        buf.push(Run::Fill {
+            ones: true,
+            blocks: 1,
+        });
         let runs = buf.into_runs();
         assert_eq!(
             runs,
             vec![
-                Run::Fill { ones: false, blocks: 4 },
-                Run::Fill { ones: true, blocks: 2 },
+                Run::Fill {
+                    ones: false,
+                    blocks: 4
+                },
+                Run::Fill {
+                    ones: true,
+                    blocks: 2
+                },
             ]
         );
     }
 
     #[test]
     fn runstream_partial_consumption() {
-        let runs = vec![Run::Fill { ones: true, blocks: 5 }, Run::Literal(7)];
+        let runs = vec![
+            Run::Fill {
+                ones: true,
+                blocks: 5,
+            },
+            Run::Literal(7),
+        ];
         let mut s = RunStream::new(runs.into_iter());
         assert_eq!(s.head_blocks(), 5);
         s.consume(2);

@@ -51,7 +51,10 @@ impl Wah {
     pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
         self.words.iter().map(|&w| {
             if w & FILL_FLAG != 0 {
-                Run::Fill { ones: w & FILL_BIT != 0, blocks: (w & !(FILL_FLAG | FILL_BIT)) as u64 }
+                Run::Fill {
+                    ones: w & FILL_BIT != 0,
+                    blocks: (w & !(FILL_FLAG | FILL_BIT)) as u64,
+                }
             } else {
                 Run::Literal(w & BLOCK_MASK)
             }
@@ -74,7 +77,10 @@ impl CompressedBitmap for Wah {
         for run in self.runs() {
             match run {
                 Run::Fill { ones, blocks: n } => {
-                    blocks.extend(std::iter::repeat_n(if ones { BLOCK_MASK } else { 0 }, n as usize));
+                    blocks.extend(std::iter::repeat_n(
+                        if ones { BLOCK_MASK } else { 0 },
+                        n as usize,
+                    ));
                 }
                 Run::Literal(x) => blocks.push(x),
             }
@@ -108,7 +114,11 @@ impl CompressedBitmap for Wah {
 
     fn and_count(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        and_count_runs(RunStream::new(self.runs()), RunStream::new(other.runs()), self.len)
+        and_count_runs(
+            RunStream::new(self.runs()),
+            RunStream::new(other.runs()),
+            self.len,
+        )
     }
 }
 

@@ -27,7 +27,11 @@ fn bitvec_strategy() -> impl Strategy<Value = BitVec> {
         // Long homogeneous runs with occasional dirty bits (mixed-fill bait).
         (1usize..20, any::<u64>()).prop_map(|(blocks, seed)| {
             let n = blocks * 31;
-            let mut b = if seed % 2 == 0 { BitVec::zeros(n) } else { BitVec::ones(n) };
+            let mut b = if seed % 2 == 0 {
+                BitVec::zeros(n)
+            } else {
+                BitVec::ones(n)
+            };
             let mut s = seed;
             for _ in 0..(seed % 4) {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);

@@ -13,7 +13,11 @@ pub struct Iter<'a, K, V> {
 
 impl<'a, K: Ord + Clone, V> Iter<'a, K, V> {
     pub(crate) fn new(tree: &'a BPlusTree<K, V>) -> Self {
-        Iter { tree, leaf: Some(tree.first_leaf()), pos: 0 }
+        Iter {
+            tree,
+            leaf: Some(tree.first_leaf()),
+            pos: 0,
+        }
     }
 }
 
@@ -50,7 +54,12 @@ impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
             Bound::Included(k) => tree.seek(k, false),
             Bound::Excluded(k) => tree.seek(k, true),
         };
-        Range { tree, leaf: Some(leaf), pos, end }
+        Range {
+            tree,
+            leaf: Some(leaf),
+            pos,
+            end,
+        }
     }
 
     fn within_end(&self, k: &K) -> bool {

@@ -41,8 +41,18 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// Panics if `order < 4`.
     pub fn with_order(order: usize) -> Self {
         assert!(order >= 4, "order must be at least 4");
-        let mut t = BPlusTree { slots: Vec::new(), free: Vec::new(), root: 0, order, len: 0 };
-        t.root = t.alloc(Node::Leaf(Leaf { keys: Vec::new(), values: Vec::new(), next: None }));
+        let mut t = BPlusTree {
+            slots: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            order,
+            len: 0,
+        };
+        t.root = t.alloc(Node::Leaf(Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }));
         t
     }
 
@@ -325,7 +335,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     where
         R: RangeBounds<K>,
     {
-        Range::new(self, range.start_bound().cloned(), range.end_bound().cloned())
+        Range::new(
+            self,
+            range.start_bound().cloned(),
+            range.end_bound().cloned(),
+        )
     }
 
     // ----- insertion --------------------------------------------------------
@@ -399,7 +413,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let rvals = leaf.values.split_off(mid);
         let next = leaf.next;
         let sep = rkeys[0].clone();
-        let right = self.alloc(Node::Leaf(Leaf { keys: rkeys, values: rvals, next }));
+        let right = self.alloc(Node::Leaf(Leaf {
+            keys: rkeys,
+            values: rvals,
+            next,
+        }));
         self.node_mut(id).as_leaf_mut().next = Some(right);
         (sep, right)
     }
@@ -418,7 +436,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             let int = self.node_mut(id).as_internal_mut();
             int.total -= rtotal;
         }
-        let right = self.alloc(Node::Internal(Internal { keys: rkeys, children: rchildren, total: rtotal }));
+        let right = self.alloc(Node::Internal(Internal {
+            keys: rkeys,
+            children: rchildren,
+            total: rtotal,
+        }));
         (sep, right)
     }
 
@@ -603,7 +625,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         self.slots.clear();
         self.free.clear();
         self.len = 0;
-        self.root = self.alloc(Node::Leaf(Leaf { keys: Vec::new(), values: Vec::new(), next: None }));
+        self.root = self.alloc(Node::Leaf(Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }));
     }
 
     // ----- validation (tests) ------------------------------------------------
@@ -622,7 +648,12 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let keys: Vec<&K> = self.iter().map(|(k, _)| k).collect();
         assert_eq!(keys.len(), self.len, "leaf chain length vs len()");
         for w in keys.windows(2) {
-            assert!(w[0] < w[1], "leaf chain out of order: {:?} !< {:?}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "leaf chain out of order: {:?} !< {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(self.node(self.root).total(), self.len, "root total");
     }
@@ -654,9 +685,15 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 assert_eq!(int.children.len(), int.keys.len() + 1);
                 assert!(int.children.len() <= self.order, "internal overflow");
                 if !is_root {
-                    assert!(int.keys.len() >= self.min_internal_keys(), "internal underflow");
+                    assert!(
+                        int.keys.len() >= self.min_internal_keys(),
+                        "internal underflow"
+                    );
                 } else {
-                    assert!(int.children.len() >= 2, "root internal must have >= 2 children");
+                    assert!(
+                        int.children.len() >= 2,
+                        "root internal must have >= 2 children"
+                    );
                 }
                 for w in int.keys.windows(2) {
                     assert!(w[0] < w[1], "unsorted internal");
@@ -666,7 +703,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 let mut depth = None;
                 for (i, &c) in int.children.iter().enumerate() {
                     let clo = if i == 0 { lo } else { Some(&int.keys[i - 1]) };
-                    let chi = if i == int.keys.len() { hi } else { Some(&int.keys[i]) };
+                    let chi = if i == int.keys.len() {
+                        hi
+                    } else {
+                        Some(&int.keys[i])
+                    };
                     let d = self.check_node(c, clo, chi, false);
                     match depth {
                         None => depth = Some(d),

@@ -39,7 +39,12 @@ impl<'a> BigContext<'a> {
         let index = BitmapIndex::build(ds);
         let queue = maxscore_queue(ds);
         let f_sets = incomparable_bitvecs(ds);
-        BigContext { ds, index, queue, f_sets }
+        BigContext {
+            ds,
+            index,
+            queue,
+            f_sets,
+        }
     }
 
     /// The underlying bitmap index.
@@ -153,7 +158,10 @@ mod tests {
         let p = ctx.index().p_vec(c2);
         assert_eq!(p.count_ones(), 14, "|G(C2)| = |P| = 14 (F empty)");
         let qmp = ctx.index().q_vec(c2).and_not(&p);
-        let labels: Vec<&str> = qmp.iter_ones().map(|i| ds.label(i as u32).unwrap()).collect();
+        let labels: Vec<&str> = qmp
+            .iter_ones()
+            .map(|i| ds.label(i as u32).unwrap())
+            .collect();
         assert_eq!(labels, vec!["A2", "B2", "C1", "D2", "D3"]);
     }
 
@@ -193,7 +201,11 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_on_fixtures() {
-        for ds in [fixtures::fig2_points(), fixtures::fig3_sample(), fixtures::fig1_movies()] {
+        for ds in [
+            fixtures::fig2_points(),
+            fixtures::fig3_sample(),
+            fixtures::fig1_movies(),
+        ] {
             for k in [1, 2, 3, 4, 7, 50] {
                 let a = big(&ds, k);
                 let b = naive(&ds, k);
@@ -223,9 +235,9 @@ mod tests {
         let ds = tkd_model::Dataset::from_rows(
             2,
             &[
-                vec![Some(1.0), None],  // 0: mask 01
-                vec![None, Some(9.0)],  // 1: mask 10 — incomparable to 0
-                vec![Some(5.0), None],  // 2: mask 01 — dominated by 0
+                vec![Some(1.0), None], // 0: mask 01
+                vec![None, Some(9.0)], // 1: mask 10 — incomparable to 0
+                vec![Some(5.0), None], // 2: mask 01 — dominated by 0
             ],
         )
         .unwrap();

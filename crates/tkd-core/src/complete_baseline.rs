@@ -90,7 +90,11 @@ pub fn skyline_peel_top_k(ds: &Dataset, k: usize) -> Result<TkdResult, Incomplet
     let h1 = ds.len() - scored;
     Ok(TkdResult::new(
         emitted,
-        PruneStats { h1_pruned: h1, scored, ..Default::default() },
+        PruneStats {
+            h1_pruned: h1,
+            scored,
+            ..Default::default()
+        },
     ))
 }
 
@@ -141,11 +145,8 @@ mod tests {
 
     #[test]
     fn rejects_incomplete_data() {
-        let ds = Dataset::from_rows(
-            2,
-            &[vec![Some(1.0), None], vec![Some(2.0), Some(3.0)]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, &[vec![Some(1.0), None], vec![Some(2.0), Some(3.0)]]).unwrap();
         let err = skyline_peel_top_k(&ds, 1).unwrap_err();
         assert_eq!(err.object, 0);
         assert!(err.to_string().contains("complete data"));
@@ -191,11 +192,8 @@ mod tests {
 
     #[test]
     fn duplicates_on_complete_data() {
-        let ds = Dataset::from_rows(
-            1,
-            &[vec![Some(1.0)], vec![Some(1.0)], vec![Some(2.0)]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(1, &[vec![Some(1.0)], vec![Some(1.0)], vec![Some(2.0)]]).unwrap();
         let r = skyline_peel_top_k(&ds, 2).unwrap();
         assert_eq!(r.scores(), vec![1, 1]);
         assert_eq!(r.ids(), vec![0, 1]);

@@ -37,7 +37,13 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
         let columns = CompressedColumns::from_binned(&index);
         let queue = maxscore_queue(ds);
         let f_sets = incomparable_bitvecs(ds);
-        IbigContext { ds, index, columns, queue, f_sets }
+        IbigContext {
+            ds,
+            index,
+            columns,
+            queue,
+            f_sets,
+        }
     }
 
     /// Build with the Eq. 8 optimal bin count on every dimension.
@@ -64,7 +70,11 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
     fn q_picks(&self, o: ObjectId) -> Vec<(usize, usize)> {
         (0..self.ds.dims())
             .map(|d| {
-                let c = self.index.bin_of(o, d).map(|b| (b - 1) as usize).unwrap_or(0);
+                let c = self
+                    .index
+                    .bin_of(o, d)
+                    .map(|b| (b - 1) as usize)
+                    .unwrap_or(0);
                 (d, c)
             })
             .collect()
@@ -94,7 +104,12 @@ struct Scratch {
 
 impl Scratch {
     fn new(n: usize) -> Self {
-        Scratch { epoch: 0, nond_stamp: vec![0; n], tag: vec![0; n], tag_stamp: vec![0; n] }
+        Scratch {
+            epoch: 0,
+            nond_stamp: vec![0; n],
+            tag: vec![0; n],
+            tag_stamp: vec![0; n],
+        }
     }
 
     fn next_object(&mut self) {
@@ -281,7 +296,11 @@ mod tests {
 
     #[test]
     fn auto_bins_agree_with_naive() {
-        for ds in [fixtures::fig2_points(), fixtures::fig3_sample(), fixtures::fig1_movies()] {
+        for ds in [
+            fixtures::fig2_points(),
+            fixtures::fig3_sample(),
+            fixtures::fig1_movies(),
+        ] {
             for k in [1, 2, 3, 50] {
                 assert_eq!(ibig(&ds, k).scores(), naive(&ds, k).scores(), "k={k}");
             }
@@ -309,7 +328,12 @@ mod tests {
             scratch.next_object();
             match ibig_score(&ctx, o, &top, &mut scratch) {
                 ScoreOutcome::Score(s) => {
-                    assert_eq!(s, tkd_model::dominance::score_of(&ds, o), "{}", ds.label(o).unwrap())
+                    assert_eq!(
+                        s,
+                        tkd_model::dominance::score_of(&ds, o),
+                        "{}",
+                        ds.label(o).unwrap()
+                    )
                 }
                 _ => panic!("no pruning possible with an empty candidate set"),
             }
@@ -367,7 +391,11 @@ mod tests {
             let ds = synth(seed, 60, 3, 8, 30);
             for (k, bins) in [(2usize, 1usize), (4, 2), (8, 4)] {
                 let r = ibig_with_bins(&ds, k, &vec![bins; ds.dims()]);
-                assert_eq!(r.scores(), naive(&ds, k).scores(), "seed={seed} k={k} bins={bins}");
+                assert_eq!(
+                    r.scores(),
+                    naive(&ds, k).scores(),
+                    "seed={seed} k={k} bins={bins}"
+                );
                 h2_total += r.stats.h2_pruned;
                 h3_total += r.stats.h3_pruned;
             }

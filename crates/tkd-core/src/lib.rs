@@ -42,11 +42,11 @@ pub mod ibig;
 pub mod maxscore;
 pub mod mfd;
 pub mod naive;
-pub mod variants;
 mod query;
 mod result;
 mod stats;
 mod topk;
+pub mod variants;
 
 pub use query::{Algorithm, BinChoice, TieBreak, TkdQuery};
 pub use result::{ResultEntry, TkdResult};

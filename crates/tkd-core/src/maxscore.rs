@@ -25,7 +25,10 @@ pub fn max_scores(ds: &Dataset) -> Vec<usize> {
         let mut tree: BPlusTree<(F64Key, ObjectId), ()> = BPlusTree::new();
         for o in ds.ids() {
             if let Some(v) = ds.value(o, dim) {
-                tree.insert((F64Key::new(v).expect("observed values are not NaN"), o), ());
+                tree.insert(
+                    (F64Key::new(v).expect("observed values are not NaN"), o),
+                    (),
+                );
             }
         }
         let missing = n - tree.len();
@@ -66,10 +69,11 @@ pub fn max_scores_bruteforce(ds: &Dataset) -> Vec<usize> {
                 let t_i = ds
                     .ids()
                     .filter(|&p| {
-                        p != o && match ds.value(p, dim) {
-                            None => true,
-                            Some(w) => v <= w,
-                        }
+                        p != o
+                            && match ds.value(p, dim) {
+                                None => true,
+                                Some(w) => v <= w,
+                            }
                     })
                     .count();
                 out[o as usize] = out[o as usize].min(t_i);

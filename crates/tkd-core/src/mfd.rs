@@ -27,7 +27,10 @@ pub struct MfdConfig {
 impl MfdConfig {
     /// Uniform weights `1/d` with the given `λ`.
     pub fn uniform(dims: usize, lambda: f64) -> Self {
-        MfdConfig { weights: vec![1.0 / dims as f64; dims], lambda }
+        MfdConfig {
+            weights: vec![1.0 / dims as f64; dims],
+            lambda,
+        }
     }
 
     fn validate(&self, ds: &Dataset) {
@@ -81,7 +84,10 @@ pub fn mfd_top_k(ds: &Dataset, k: usize, cfg: &MfdConfig) -> Vec<MfdEntry> {
     cfg.validate(ds);
     let mut entries: Vec<MfdEntry> = ds
         .ids()
-        .map(|o| MfdEntry { id: o, score: mfd_score(ds, cfg, o) })
+        .map(|o| MfdEntry {
+            id: o,
+            score: mfd_score(ds, cfg, o),
+        })
         .collect();
     entries.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
     entries.truncate(k);
@@ -95,7 +101,10 @@ pub fn mfd_as_ranks(entries: &[MfdEntry]) -> TkdResult {
     let ranked = entries
         .iter()
         .enumerate()
-        .map(|(i, e)| crate::ResultEntry { id: e.id, score: entries.len() - i })
+        .map(|(i, e)| crate::ResultEntry {
+            id: e.id,
+            score: entries.len() - i,
+        })
         .collect();
     TkdResult::new(ranked, PruneStats::default())
 }
@@ -119,7 +128,10 @@ mod tests {
         )
         .unwrap();
         assert!(tkd_model::dominance::dominates(&ds, 0, 1));
-        let cfg = MfdConfig { weights: vec![0.5, 0.3, 0.2], lambda: 0.5 };
+        let cfg = MfdConfig {
+            weights: vec![0.5, 0.3, 0.2],
+            lambda: 0.5,
+        };
         let w = mfd_weight(&ds, &cfg, 0, 1);
         assert!((w - (0.3 + 0.5 * 0.2)).abs() < 1e-12);
     }
@@ -163,21 +175,30 @@ mod tests {
             ],
         )
         .unwrap();
-        let favor0 = MfdConfig { weights: vec![0.9, 0.1], lambda: 0.5 };
-        let favor1 = MfdConfig { weights: vec![0.1, 0.9], lambda: 0.5 };
+        let favor0 = MfdConfig {
+            weights: vec![0.9, 0.1],
+            lambda: 0.5,
+        };
+        let favor1 = MfdConfig {
+            weights: vec![0.1, 0.9],
+            lambda: 0.5,
+        };
         assert_eq!(mfd_top_k(&ds, 1, &favor0)[0].id, 0);
         assert_eq!(mfd_top_k(&ds, 1, &favor1)[0].id, 1);
     }
 
     #[test]
     fn lambda_discounts_half_observed_dimensions() {
-        let ds = Dataset::from_rows(
-            2,
-            &[vec![Some(1.0), Some(1.0)], vec![Some(2.0), None]],
-        )
-        .unwrap();
-        let cfg_lo = MfdConfig { weights: vec![0.5, 0.5], lambda: 0.1 };
-        let cfg_hi = MfdConfig { weights: vec![0.5, 0.5], lambda: 0.9 };
+        let ds =
+            Dataset::from_rows(2, &[vec![Some(1.0), Some(1.0)], vec![Some(2.0), None]]).unwrap();
+        let cfg_lo = MfdConfig {
+            weights: vec![0.5, 0.5],
+            lambda: 0.1,
+        };
+        let cfg_hi = MfdConfig {
+            weights: vec![0.5, 0.5],
+            lambda: 0.9,
+        };
         assert!(mfd_score(&ds, &cfg_lo, 0) < mfd_score(&ds, &cfg_hi, 0));
     }
 
@@ -185,7 +206,10 @@ mod tests {
     #[should_panic(expected = "lambda must lie strictly between")]
     fn rejects_bad_lambda() {
         let ds = fixtures::fig2_points();
-        let cfg = MfdConfig { weights: vec![0.5, 0.5], lambda: 1.0 };
+        let cfg = MfdConfig {
+            weights: vec![0.5, 0.5],
+            lambda: 1.0,
+        };
         let _ = mfd_top_k(&ds, 1, &cfg);
     }
 

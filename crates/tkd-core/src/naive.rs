@@ -15,7 +15,10 @@ pub fn naive(ds: &Dataset, k: usize) -> TkdResult {
     }
     TkdResult::new(
         top.into_entries(),
-        PruneStats { scored: ds.len(), ..Default::default() },
+        PruneStats {
+            scored: ds.len(),
+            ..Default::default()
+        },
     )
 }
 
@@ -26,7 +29,10 @@ pub fn full_ranking(ds: &Dataset) -> Vec<ResultEntry> {
     let scores = dominance::all_scores(ds);
     let mut entries: Vec<ResultEntry> = ds
         .ids()
-        .map(|o: ObjectId| ResultEntry { id: o, score: scores[o as usize] })
+        .map(|o: ObjectId| ResultEntry {
+            id: o,
+            score: scores[o as usize],
+        })
         .collect();
     entries.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
     entries

@@ -78,7 +78,12 @@ impl TkdQuery {
     /// A top-`k` dominating query (BIG by default — the paper's fastest
     /// configuration without the space optimization).
     pub fn new(k: usize) -> Self {
-        TkdQuery { k, algorithm: Algorithm::Big, bins: BinChoice::Auto, tie: TieBreak::ById }
+        TkdQuery {
+            k,
+            algorithm: Algorithm::Big,
+            bins: BinChoice::Auto,
+            tie: TieBreak::ById,
+        }
     }
 
     /// Select the algorithm.

@@ -38,7 +38,12 @@ mod tests {
 
     #[test]
     fn totals() {
-        let s = PruneStats { h1_pruned: 5, h2_pruned: 3, h3_pruned: 2, scored: 10 };
+        let s = PruneStats {
+            h1_pruned: 5,
+            h2_pruned: 3,
+            h3_pruned: 2,
+            scored: 10,
+        };
         assert_eq!(s.total(), 20);
         assert_eq!(s.pruned(), 10);
     }

@@ -18,7 +18,10 @@ pub struct TopK {
 
 impl TopK {
     pub fn new(k: usize) -> Self {
-        TopK { k, entries: Vec::with_capacity(k.min(1024)) }
+        TopK {
+            k,
+            entries: Vec::with_capacity(k.min(1024)),
+        }
     }
 
     /// The paper's `τ`: the k-th best score once `k` candidates exist.

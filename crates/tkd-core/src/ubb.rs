@@ -56,7 +56,11 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_on_fixtures() {
-        for ds in [fixtures::fig2_points(), fixtures::fig3_sample(), fixtures::fig1_movies()] {
+        for ds in [
+            fixtures::fig2_points(),
+            fixtures::fig3_sample(),
+            fixtures::fig1_movies(),
+        ] {
             for k in [1, 2, 3, 4, 7, 50] {
                 let a = ubb(&ds, k);
                 let b = naive(&ds, k);

@@ -21,7 +21,8 @@ use tkd_skyline::constrained::Constraints;
 /// the chosen dimensions; returned ids refer to `ds`.
 ///
 /// # Errors
-/// [`ModelError::BadDimensionality`] for an empty subspace.
+/// [`ModelError::BadDimensionality`] for an empty subspace;
+/// [`ModelError::DimensionOutOfRange`] for an index past `ds.dims()`.
 pub fn subspace_top_k(
     ds: &Dataset,
     dims: &[usize],
@@ -48,7 +49,10 @@ fn remap(result: TkdResult, mapping: &[ObjectId]) -> TkdResult {
     let stats = result.stats;
     let entries: Vec<ResultEntry> = result
         .into_iter()
-        .map(|e| ResultEntry { id: mapping[e.id as usize], score: e.score })
+        .map(|e| ResultEntry {
+            id: mapping[e.id as usize],
+            score: e.score,
+        })
         .collect();
     TkdResult::new_ordered(entries, stats)
 }
@@ -104,9 +108,10 @@ mod tests {
     fn subspace_algorithms_agree() {
         let ds = fixtures::fig3_sample();
         for dims in [vec![3usize], vec![1, 3], vec![0, 2]] {
-            let reference = subspace_top_k(&ds, &dims, &TkdQuery::new(3).algorithm(Algorithm::Naive))
-                .unwrap()
-                .scores();
+            let reference =
+                subspace_top_k(&ds, &dims, &TkdQuery::new(3).algorithm(Algorithm::Naive))
+                    .unwrap()
+                    .scores();
             for alg in Algorithm::ALL {
                 let r = subspace_top_k(&ds, &dims, &TkdQuery::new(3).algorithm(alg)).unwrap();
                 assert_eq!(r.scores(), reference, "{alg:?} on {dims:?}");

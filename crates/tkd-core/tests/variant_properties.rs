@@ -25,8 +25,10 @@ fn complete_dataset_strategy() -> impl Strategy<Value = Dataset> {
     (1usize..=3).prop_flat_map(|dims| {
         let row = proptest::collection::vec((0u8..10).prop_map(|v| v as f64), dims);
         proptest::collection::vec(row, 1..40).prop_map(move |rows| {
-            let rows: Vec<Vec<Option<f64>>> =
-                rows.into_iter().map(|r| r.into_iter().map(Some).collect()).collect();
+            let rows: Vec<Vec<Option<f64>>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Some).collect())
+                .collect();
             Dataset::from_rows(dims, &rows).expect("valid rows")
         })
     })

@@ -73,11 +73,18 @@ pub fn mcar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
 /// median lose each other cell with `2·rate`, rows below with `rate/2`
 /// (overall close to `rate`, but ignorable given dimension 0).
 pub fn mar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
-    assert!((0.0..0.5).contains(&rate), "rate must lie in [0, 0.5) for MAR");
+    assert!(
+        (0.0..0.5).contains(&rate),
+        "rate must lie in [0, 0.5) for MAR"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut driver: Vec<f64> = ds.ids().filter_map(|o| ds.value(o, 0)).collect();
     driver.sort_by(f64::total_cmp);
-    let median = if driver.is_empty() { 0.0 } else { driver[driver.len() / 2] };
+    let median = if driver.is_empty() {
+        0.0
+    } else {
+        driver[driver.len() / 2]
+    };
     let mut rows = dataset_to_rows(ds);
     for row in rows.iter_mut() {
         let original = row.clone();
@@ -99,14 +106,21 @@ pub fn mar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
 /// (largest) half of their dimension's domain go missing with `2·rate`,
 /// the better half with `rate/2`. Models users not reporting bad scores.
 pub fn nmar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
-    assert!((0.0..0.5).contains(&rate), "rate must lie in [0, 0.5) for NMAR");
+    assert!(
+        (0.0..0.5).contains(&rate),
+        "rate must lie in [0, 0.5) for NMAR"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Per-dimension medians.
     let medians: Vec<f64> = (0..ds.dims())
         .map(|d| {
             let mut vals: Vec<f64> = ds.ids().filter_map(|o| ds.value(o, d)).collect();
             vals.sort_by(f64::total_cmp);
-            if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] }
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals[vals.len() / 2]
+            }
         })
         .collect();
     let mut rows = dataset_to_rows(ds);
@@ -114,7 +128,11 @@ pub fn nmar(ds: &Dataset, rate: f64, seed: u64) -> Dataset {
         let original = row.clone();
         for (d, cell) in row.iter_mut().enumerate() {
             if let Some(v) = *cell {
-                let p = if v > medians[d] { 2.0 * rate } else { rate / 2.0 };
+                let p = if v > medians[d] {
+                    2.0 * rate
+                } else {
+                    rate / 2.0
+                };
                 if rng.gen::<f64>() < p {
                     *cell = None;
                 }
@@ -178,7 +196,9 @@ mod tests {
         let (mut miss_hi, mut n_hi, mut miss_lo, mut n_lo) = (0usize, 0usize, 0usize, 0usize);
         for o in out.ids() {
             let Some(v) = out.value(o, 0) else { continue };
-            let missing = (1..out.dims()).filter(|&d| out.value(o, d).is_none()).count();
+            let missing = (1..out.dims())
+                .filter(|&d| out.value(o, d).is_none())
+                .count();
             if v > median {
                 miss_hi += missing;
                 n_hi += 1;
@@ -189,7 +209,10 @@ mod tests {
         }
         let rate_hi = miss_hi as f64 / (n_hi * 3) as f64;
         let rate_lo = miss_lo as f64 / (n_lo * 3) as f64;
-        assert!(rate_hi > 2.0 * rate_lo, "MAR bias missing: hi={rate_hi} lo={rate_lo}");
+        assert!(
+            rate_hi > 2.0 * rate_lo,
+            "MAR bias missing: hi={rate_hi} lo={rate_lo}"
+        );
         // Dimension 0 never goes missing under this mechanism.
         assert!(out.ids().all(|o| out.value(o, 0).is_some()));
     }
@@ -204,7 +227,10 @@ mod tests {
                 / ds.ids().filter_map(|o| ds.value(o, d)).count() as f64;
             let after: f64 = out.ids().filter_map(|o| out.value(o, d)).sum::<f64>()
                 / out.ids().filter_map(|o| out.value(o, d)).count() as f64;
-            assert!(after < before, "dim {d}: mean should drop ({before} -> {after})");
+            assert!(
+                after < before,
+                "dim {d}: mean should drop ({before} -> {after})"
+            );
         }
     }
 

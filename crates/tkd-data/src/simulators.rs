@@ -170,7 +170,10 @@ mod tests {
         pts.sort_by(f64::total_cmp);
         let best = -pts[0];
         let median = -pts[pts.len() / 2];
-        assert!(best > 4.0 * median, "no heavy tail: best={best} median={median}");
+        assert!(
+            best > 4.0 * median,
+            "no heavy tail: best={best} median={median}"
+        );
     }
 
     #[test]
@@ -179,18 +182,26 @@ mod tests {
         assert_eq!(ds.dims(), 5);
         let sigma = stats::missing_rate(&ds);
         assert!((sigma - 0.142).abs() < 0.02, "σ = {sigma}");
-        let cards: Vec<usize> =
-            (0..5).map(|d| stats::dimension_cardinality(&ds, d)).collect();
+        let cards: Vec<usize> = (0..5)
+            .map(|d| stats::dimension_cardinality(&ds, d))
+            .collect();
         assert!(cards[0] <= 6, "beds {:?}", cards);
         assert!(cards[1] <= 10, "baths {:?}", cards);
         assert!(cards[2] <= 35, "living {:?}", cards);
-        assert!(cards[3] > cards[2], "lot domain must dwarf living {:?}", cards);
+        assert!(
+            cards[3] > cards[2],
+            "lot domain must dwarf living {:?}",
+            cards
+        );
         assert!(cards[4] > 100, "price domain must be large {:?}", cards);
     }
 
     #[test]
     fn simulators_are_deterministic() {
-        assert_eq!(movielens_like_with(50, 10, 9), movielens_like_with(50, 10, 9));
+        assert_eq!(
+            movielens_like_with(50, 10, 9),
+            movielens_like_with(50, 10, 9)
+        );
         assert_eq!(nba_like_with(50, 9), nba_like_with(50, 9));
         assert_eq!(zillow_like_with(50, 9), zillow_like_with(50, 9));
         assert_ne!(nba_like_with(50, 9), nba_like_with(50, 10));

@@ -52,7 +52,10 @@ impl SyntheticConfig {
 
     /// A laptop-quick variant of the defaults (`N = 10K`).
     pub fn quick_default() -> Self {
-        SyntheticConfig { n: 10_000, ..Self::paper_default() }
+        SyntheticConfig {
+            n: 10_000,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -73,7 +76,9 @@ fn point(rng: &mut StdRng, dims: usize, dist: Distribution) -> Vec<f64> {
         Distribution::Independent => (0..dims).map(|_| rng.gen::<f64>()).collect(),
         Distribution::Correlated => {
             let base = clamp01(gaussian(rng, 0.5, 0.2));
-            (0..dims).map(|_| clamp01(base + gaussian(rng, 0.0, 0.05))).collect()
+            (0..dims)
+                .map(|_| clamp01(base + gaussian(rng, 0.0, 0.05)))
+                .collect()
         }
         Distribution::AntiCorrelated => {
             // A point on the plane Σx = d·v (v near 0.5), then mass is
@@ -173,7 +178,10 @@ mod tests {
             for o in ds.ids() {
                 for d in 0..2 {
                     if let Some(v) = ds.value(o, d) {
-                        assert!((0.0..50.0).contains(&v), "{dist:?}: value {v} out of domain");
+                        assert!(
+                            (0.0..50.0).contains(&v),
+                            "{dist:?}: value {v} out of domain"
+                        );
                         assert_eq!(v.fract(), 0.0, "integral values expected");
                     }
                 }

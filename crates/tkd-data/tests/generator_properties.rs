@@ -20,14 +20,16 @@ fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
         ],
         any::<u64>(),
     )
-        .prop_map(|(n, dims, cardinality, missing_rate, distribution, seed)| SyntheticConfig {
-            n,
-            dims,
-            cardinality,
-            missing_rate,
-            distribution,
-            seed,
-        })
+        .prop_map(
+            |(n, dims, cardinality, missing_rate, distribution, seed)| SyntheticConfig {
+                n,
+                dims,
+                cardinality,
+                missing_rate,
+                distribution,
+                seed,
+            },
+        )
 }
 
 proptest! {

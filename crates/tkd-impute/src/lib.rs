@@ -37,7 +37,13 @@ pub struct FactorizationConfig {
 
 impl Default for FactorizationConfig {
     fn default() -> Self {
-        FactorizationConfig { factors: 8, epochs: 50, learning_rate: 0.08, l2: 0.02, seed: 42 }
+        FactorizationConfig {
+            factors: 8,
+            epochs: 50,
+            learning_rate: 0.08,
+            l2: 0.02,
+            seed: 42,
+        }
     }
 }
 
@@ -100,8 +106,12 @@ pub fn factorize_impute(ds: &Dataset, cfg: &FactorizationConfig) -> Dataset {
     // Factor matrices, small random init.
     let f = cfg.factors;
     let scale = 0.1;
-    let mut u: Vec<f64> = (0..n * f).map(|_| scale * (rng.gen::<f64>() - 0.5)).collect();
-    let mut v: Vec<f64> = (0..d * f).map(|_| scale * (rng.gen::<f64>() - 0.5)).collect();
+    let mut u: Vec<f64> = (0..n * f)
+        .map(|_| scale * (rng.gen::<f64>() - 0.5))
+        .collect();
+    let mut v: Vec<f64> = (0..d * f)
+        .map(|_| scale * (rng.gen::<f64>() - 0.5))
+        .collect();
 
     for _ in 0..cfg.epochs {
         // Fisher–Yates pass order for better SGD behaviour.
@@ -220,7 +230,11 @@ mod tests {
             for j in 0..d {
                 let val = dot(&u[i * rank..(i + 1) * rank], &v[j * rank..(j + 1) * rank]) * 5.0;
                 frow.push(Some(val));
-                mrow.push(if rng.gen::<f64>() < 0.3 { None } else { Some(val) });
+                mrow.push(if rng.gen::<f64>() < 0.3 {
+                    None
+                } else {
+                    Some(val)
+                });
             }
             if mrow.iter().all(Option::is_none) {
                 mrow[0] = frow[0];
@@ -257,7 +271,11 @@ mod tests {
         ] {
             assert_eq!(out.len(), masked.len());
             for o in out.ids() {
-                assert_eq!(out.mask(o).count() as usize, out.dims(), "row {o} incomplete");
+                assert_eq!(
+                    out.mask(o).count() as usize,
+                    out.dims(),
+                    "row {o} incomplete"
+                );
             }
         }
     }
@@ -299,7 +317,10 @@ mod tests {
                 .fold(f64::NEG_INFINITY, f64::max);
             for o in out.ids() {
                 let v = out.value(o, dim).unwrap();
-                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "dim {dim} value {v} outside [{lo},{hi}]");
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "dim {dim} value {v} outside [{lo},{hi}]"
+                );
             }
         }
     }
@@ -320,11 +341,8 @@ mod tests {
 
     #[test]
     fn mean_impute_uses_dimension_means() {
-        let ds = Dataset::from_rows(
-            2,
-            &[vec![Some(1.0), Some(10.0)], vec![Some(3.0), None]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, &[vec![Some(1.0), Some(10.0)], vec![Some(3.0), None]]).unwrap();
         let out = mean_impute(&ds);
         assert_eq!(out.value(1, 1), Some(10.0));
     }

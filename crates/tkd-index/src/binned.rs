@@ -131,7 +131,14 @@ impl BinnedBitmapIndex {
             columns.push(cols);
             trees.push(tree);
         }
-        BinnedBitmapIndex { n, dims, boundaries, columns, bin_idx, trees }
+        BinnedBitmapIndex {
+            n,
+            dims,
+            boundaries,
+            columns,
+            bin_idx,
+            trees,
+        }
     }
 
     /// Number of indexed objects.
@@ -389,7 +396,11 @@ mod tests {
         for dim in 0..ds.dims() {
             assert_eq!(binned.num_columns(dim), exact.num_columns(dim));
             for c in 0..exact.num_columns(dim) {
-                assert_eq!(binned.column(dim, c), exact.column(dim, c), "dim {dim} col {c}");
+                assert_eq!(
+                    binned.column(dim, c),
+                    exact.column(dim, c),
+                    "dim {dim} col {c}"
+                );
             }
         }
         assert_eq!(binned.size_bits(), exact.size_bits());

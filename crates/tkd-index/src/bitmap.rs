@@ -60,7 +60,13 @@ impl BitmapIndex {
             values.push(vals);
             columns.push(cols);
         }
-        BitmapIndex { n, dims, values, columns, val_idx }
+        BitmapIndex {
+            n,
+            dims,
+            values,
+            columns,
+            val_idx,
+        }
     }
 
     /// Number of indexed objects.
@@ -168,7 +174,9 @@ mod tests {
     use tkd_model::{dominance, fixtures};
 
     fn bits_to_string(b: &BitVec) -> String {
-        (0..b.len()).map(|i| if b.get(i) { '1' } else { '0' }).collect()
+        (0..b.len())
+            .map(|i| if b.get(i) { '1' } else { '0' })
+            .collect()
     }
 
     #[test]
@@ -290,8 +298,8 @@ mod tests {
         // 0.5 is the minimum, so [Q1] is the all-ones column: everything but
         // the object itself might be dominated.
         assert_eq!(idx.max_bit_score(0), 3); // {1, 2, 3}
-        // 1.25 is the maximum: only the equal-or-above set {itself} plus the
-        // missing object remain, minus self.
+                                             // 1.25 is the maximum: only the equal-or-above set {itself} plus the
+                                             // missing object remain, minus self.
         assert_eq!(idx.max_bit_score(1), 1); // {3}
     }
 

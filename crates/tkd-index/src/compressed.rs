@@ -25,7 +25,10 @@ impl<C: CompressedBitmap> CompressedColumns<C> {
                     .collect()
             })
             .collect();
-        CompressedColumns { n: idx.n(), columns }
+        CompressedColumns {
+            n: idx.n(),
+            columns,
+        }
     }
 
     /// Compress every column of a binned index.
@@ -37,7 +40,10 @@ impl<C: CompressedBitmap> CompressedColumns<C> {
                     .collect()
             })
             .collect();
-        CompressedColumns { n: idx.n(), columns }
+        CompressedColumns {
+            n: idx.n(),
+            columns,
+        }
     }
 
     /// Number of objects covered by each column.

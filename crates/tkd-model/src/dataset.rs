@@ -25,8 +25,7 @@ impl serde::Serialize for Dataset {
         use serde::ser::SerializeStruct;
         let mut s = serializer.serialize_struct("Dataset", 3)?;
         s.serialize_field("dims", &self.dims)?;
-        let rows: Vec<Vec<Option<f64>>> =
-            self.ids().map(|o| self.row(o).to_options()).collect();
+        let rows: Vec<Vec<Option<f64>>> = self.ids().map(|o| self.row(o).to_options()).collect();
         s.serialize_field("rows", &rows)?;
         s.serialize_field("labels", &self.labels)?;
         s.end()
@@ -47,7 +46,8 @@ impl<'de> serde::Deserialize<'de> for Dataset {
         match raw.labels {
             Some(labels) if labels.len() == raw.rows.len() => {
                 for (label, row) in labels.into_iter().zip(&raw.rows) {
-                    b.push_labeled(label, row).map_err(serde::de::Error::custom)?;
+                    b.push_labeled(label, row)
+                        .map_err(serde::de::Error::custom)?;
                 }
             }
             Some(_) => {
@@ -71,9 +71,8 @@ impl PartialEq for Dataset {
             && self.masks == other.masks
             && self.labels == other.labels
             && self.masks.iter().enumerate().all(|(i, m)| {
-                m.iter().all(|d| {
-                    self.values[i * self.dims + d] == other.values[i * other.dims + d]
-                })
+                m.iter()
+                    .all(|d| self.values[i * self.dims + d] == other.values[i * other.dims + d])
             })
     }
 }
@@ -198,14 +197,19 @@ impl Dataset {
     /// forbids all-missing rows).
     ///
     /// # Errors
-    /// [`ModelError::BadDimensionality`] if `dims` is empty; panics if any
-    /// index is out of range.
+    /// [`ModelError::BadDimensionality`] if `dims` is empty;
+    /// [`ModelError::DimensionOutOfRange`] if any index is out of range.
     pub fn project(&self, dims: &[usize]) -> Result<(Dataset, Vec<ObjectId>), ModelError> {
         if dims.is_empty() {
             return Err(ModelError::BadDimensionality(0));
         }
         for &d in dims {
-            assert!(d < self.dims, "dimension {d} out of range {}", self.dims);
+            if d >= self.dims {
+                return Err(ModelError::DimensionOutOfRange {
+                    dim: d,
+                    dims: self.dims,
+                });
+            }
         }
         let mut b = Dataset::builder(dims.len())?;
         let mut kept = Vec::new();
@@ -238,7 +242,12 @@ impl Dataset {
                 out.push(ls[i].clone());
             }
         }
-        Dataset { dims: self.dims, values, masks, labels }
+        Dataset {
+            dims: self.dims,
+            values,
+            masks,
+            labels,
+        }
     }
 }
 
@@ -330,7 +339,11 @@ impl DatasetBuilder {
     fn push_inner(&mut self, row: &[Option<f64>], label: String) -> Result<ObjectId, ModelError> {
         let r = self.masks.len();
         if row.len() != self.dims {
-            return Err(ModelError::RowArity { row: r, got: row.len(), expected: self.dims });
+            return Err(ModelError::RowArity {
+                row: r,
+                got: row.len(),
+                expected: self.dims,
+            });
         }
         let mut mask = DimMask::EMPTY;
         for (d, v) in row.iter().enumerate() {
@@ -357,7 +370,11 @@ impl DatasetBuilder {
             dims: self.dims,
             values: self.values,
             masks: self.masks,
-            labels: if self.any_label { Some(self.labels) } else { None },
+            labels: if self.any_label {
+                Some(self.labels)
+            } else {
+                None
+            },
         }
     }
 }
@@ -428,13 +445,20 @@ mod tests {
         let mut b = Dataset::builder(2).unwrap();
         assert_eq!(
             b.push(&[Some(1.0)]).unwrap_err(),
-            ModelError::RowArity { row: 0, got: 1, expected: 2 }
+            ModelError::RowArity {
+                row: 0,
+                got: 1,
+                expected: 2
+            }
         );
         assert_eq!(
             b.push(&[Some(f64::NAN), None]).unwrap_err(),
             ModelError::NaNValue { row: 0, dim: 0 }
         );
-        assert_eq!(b.push(&[None, None]).unwrap_err(), ModelError::AllMissingRow(0));
+        assert_eq!(
+            b.push(&[None, None]).unwrap_err(),
+            ModelError::AllMissingRow(0)
+        );
         // Valid row still accepted after failures.
         assert_eq!(b.push(&[Some(0.5), None]).unwrap(), 0);
         assert_eq!(b.len(), 1);
@@ -504,13 +528,18 @@ mod tests {
     #[test]
     fn project_rejects_empty_subspace() {
         let ds = tiny();
-        assert_eq!(ds.project(&[]).unwrap_err(), ModelError::BadDimensionality(0));
+        assert_eq!(
+            ds.project(&[]).unwrap_err(),
+            ModelError::BadDimensionality(0)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn project_rejects_bad_dimension() {
-        let _ = tiny().project(&[7]);
+        assert_eq!(
+            tiny().project(&[7]).unwrap_err(),
+            ModelError::DimensionOutOfRange { dim: 7, dims: 3 }
+        );
     }
 
     #[test]

@@ -226,11 +226,8 @@ mod tests {
 
     #[test]
     fn equal_on_common_dims_is_neither() {
-        let ds = Dataset::from_rows(
-            2,
-            &[vec![Some(1.0), None], vec![Some(1.0), Some(9.0)]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, &[vec![Some(1.0), None], vec![Some(1.0), Some(9.0)]]).unwrap();
         assert_eq!(compare(&ds, 0, 1), Dominance::Neither);
         assert!(!dominates(&ds, 0, 1));
         assert!(!dominates(&ds, 1, 0));

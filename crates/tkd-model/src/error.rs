@@ -35,6 +35,13 @@ pub enum ModelError {
         /// Cell text that failed to parse.
         cell: String,
     },
+    /// A dimension index referred past the dataset's dimensionality.
+    DimensionOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// The dataset's dimensionality.
+        dims: usize,
+    },
     /// The input text had no rows (so the dimensionality is unknown).
     EmptyInput,
 }
@@ -57,6 +64,12 @@ impl fmt::Display for ModelError {
             ModelError::ParseCell { row, dim, cell } => {
                 write!(f, "row {row}, dim {dim}: cannot parse {cell:?}")
             }
+            ModelError::DimensionOutOfRange { dim, dims } => {
+                write!(
+                    f,
+                    "dimension {dim} out of range for a {dims}-dimensional dataset"
+                )
+            }
             ModelError::EmptyInput => write!(f, "input contains no data rows"),
         }
     }
@@ -70,14 +83,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ModelError::RowArity { row: 3, got: 2, expected: 4 };
+        let e = ModelError::RowArity {
+            row: 3,
+            got: 2,
+            expected: 4,
+        };
         assert!(e.to_string().contains("row 3"));
         assert!(e.to_string().contains("expected 4"));
-        let e = ModelError::ParseCell { row: 0, dim: 1, cell: "abc".into() };
+        let e = ModelError::ParseCell {
+            row: 0,
+            dim: 1,
+            cell: "abc".into(),
+        };
         assert!(e.to_string().contains("abc"));
         assert!(ModelError::BadDimensionality(0).to_string().contains("0"));
         assert!(ModelError::EmptyInput.to_string().contains("no data rows"));
         assert!(ModelError::AllMissingRow(7).to_string().contains("row 7"));
-        assert!(ModelError::NaNValue { row: 1, dim: 2 }.to_string().contains("NaN"));
+        assert!(ModelError::NaNValue { row: 1, dim: 2 }
+            .to_string()
+            .contains("NaN"));
     }
 }

@@ -25,10 +25,14 @@ use crate::Dataset;
 pub fn fig1_movies() -> Dataset {
     let neg = |v: f64| Some(-v);
     let mut b = Dataset::builder(5).expect("static dims");
-    b.push_labeled("m1", &[None, None, neg(2.0), neg(3.0), neg(4.0)]).unwrap();
-    b.push_labeled("m2", &[neg(5.0), neg(3.0), neg(4.0), None, None]).unwrap();
-    b.push_labeled("m3", &[None, neg(2.0), neg(1.0), neg(5.0), neg(3.0)]).unwrap();
-    b.push_labeled("m4", &[neg(3.0), neg(1.0), neg(5.0), neg(3.0), neg(4.0)]).unwrap();
+    b.push_labeled("m1", &[None, None, neg(2.0), neg(3.0), neg(4.0)])
+        .unwrap();
+    b.push_labeled("m2", &[neg(5.0), neg(3.0), neg(4.0), None, None])
+        .unwrap();
+    b.push_labeled("m3", &[None, neg(2.0), neg(1.0), neg(5.0), neg(3.0)])
+        .unwrap();
+    b.push_labeled("m4", &[neg(3.0), neg(1.0), neg(5.0), neg(3.0), neg(4.0)])
+        .unwrap();
     b.build()
 }
 
@@ -142,7 +146,9 @@ pub fn fig8_maxbitscores() -> Vec<(&'static str, usize)> {
 /// Fig. 4 — the candidate set produced by ESB's local 2-skybands on the
 /// Fig. 3 dataset (11 objects).
 pub fn fig4_esb_candidates() -> Vec<&'static str> {
-    vec!["A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "D1", "D2", "D3"]
+    vec![
+        "A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "D1", "D2", "D3",
+    ]
 }
 
 #[cfg(test)]
@@ -166,9 +172,15 @@ mod tests {
     fn fig3_verbatim_values() {
         let ds = fig3_sample();
         let b3 = ds.id_by_label("B3").unwrap();
-        assert_eq!(ds.row(b3).to_options(), vec![None, None, Some(4.0), Some(9.0)]);
+        assert_eq!(
+            ds.row(b3).to_options(),
+            vec![None, None, Some(4.0), Some(9.0)]
+        );
         let d2 = ds.id_by_label("D2").unwrap();
-        assert_eq!(ds.row(d2).to_options(), vec![Some(2.0), Some(1.0), None, Some(4.0)]);
+        assert_eq!(
+            ds.row(d2).to_options(),
+            vec![Some(2.0), Some(1.0), None, Some(4.0)]
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ fn parse_cell(cell: &str, row: usize, dim: usize) -> Result<Option<f64>, ModelEr
         .ok()
         .filter(|v| !v.is_nan())
         .map(Some)
-        .ok_or_else(|| ModelError::ParseCell { row, dim, cell: cell.to_string() })
+        .ok_or_else(|| ModelError::ParseCell {
+            row,
+            dim,
+            cell: cell.to_string(),
+        })
 }
 
 fn data_lines(text: &str) -> impl Iterator<Item = &str> {
@@ -62,7 +66,11 @@ fn parse_inner(text: &str, labeled: bool) -> Result<Dataset, ModelError> {
     for (r, line) in lines.enumerate() {
         let cs = cells(line);
         if cs.len() != ncols {
-            return Err(ModelError::RowArity { row: r, got: cs.len() - skip.min(cs.len()), expected: dims });
+            return Err(ModelError::RowArity {
+                row: r,
+                got: cs.len() - skip.min(cs.len()),
+                expected: dims,
+            });
         }
         let mut row = Vec::with_capacity(dims);
         for (d, cell) in cs[skip..].iter().enumerate() {
@@ -142,18 +150,28 @@ mod tests {
         let err = parse("1,2\n3,abc\n").unwrap_err();
         assert_eq!(
             err,
-            ModelError::ParseCell { row: 1, dim: 1, cell: "abc".into() }
+            ModelError::ParseCell {
+                row: 1,
+                dim: 1,
+                cell: "abc".into()
+            }
         );
     }
 
     #[test]
     fn parse_rejects_nan_literal() {
-        assert!(matches!(parse("NaN,1\n"), Err(ModelError::ParseCell { .. })));
+        assert!(matches!(
+            parse("NaN,1\n"),
+            Err(ModelError::ParseCell { .. })
+        ));
     }
 
     #[test]
     fn parse_rejects_ragged_rows() {
-        assert!(matches!(parse("1,2\n3\n"), Err(ModelError::RowArity { .. })));
+        assert!(matches!(
+            parse("1,2\n3\n"),
+            Err(ModelError::RowArity { .. })
+        ));
     }
 
     #[test]

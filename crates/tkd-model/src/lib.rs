@@ -46,7 +46,7 @@ pub mod stats;
 
 pub use dataset::{Dataset, DatasetBuilder, Row};
 pub use error::ModelError;
-pub use mask::{DimMask, DimIter, MAX_DIMS};
+pub use mask::{DimIter, DimMask, MAX_DIMS};
 
 /// Identifier of an object inside a [`Dataset`] — its row index.
 ///

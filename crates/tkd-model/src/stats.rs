@@ -26,10 +26,7 @@ pub fn missing_count(ds: &Dataset, dim: usize) -> usize {
 /// The sorted, de-duplicated observed values of `dim` — the paper's value
 /// domain whose size is the dimensional cardinality `C_i`.
 pub fn distinct_values(ds: &Dataset, dim: usize) -> Vec<f64> {
-    let mut vals: Vec<f64> = ds
-        .ids()
-        .filter_map(|o| ds.value(o, dim))
-        .collect();
+    let mut vals: Vec<f64> = ds.ids().filter_map(|o| ds.value(o, dim)).collect();
     vals.sort_by(f64::total_cmp);
     vals.dedup();
     vals
@@ -122,7 +119,12 @@ mod tests {
     fn distinct_values_sorted_dedup() {
         let ds = Dataset::from_rows(
             1,
-            &[vec![Some(3.0)], vec![Some(1.0)], vec![Some(3.0)], vec![Some(-2.0)]],
+            &[
+                vec![Some(3.0)],
+                vec![Some(1.0)],
+                vec![Some(3.0)],
+                vec![Some(-2.0)],
+            ],
         )
         .unwrap();
         assert_eq!(distinct_values(&ds, 0), vec![-2.0, 1.0, 3.0]);
@@ -153,9 +155,9 @@ mod tests {
         let ds = Dataset::from_rows(
             2,
             &[
-                vec![Some(1.0), None],  // mask 01
-                vec![None, Some(2.0)],  // mask 10
-                vec![Some(3.0), None],  // mask 01
+                vec![Some(1.0), None], // mask 01
+                vec![None, Some(2.0)], // mask 10
+                vec![Some(3.0), None], // mask 01
             ],
         )
         .unwrap();

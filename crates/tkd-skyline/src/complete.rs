@@ -157,7 +157,10 @@ mod tests {
             let mut prev: Vec<ObjectId> = Vec::new();
             for k in 1..=5 {
                 let cur = k_skyband(&ds, mask, &bucket, k);
-                assert!(prev.iter().all(|o| cur.contains(o)), "k-skyband must grow with k");
+                assert!(
+                    prev.iter().all(|o| cur.contains(o)),
+                    "k-skyband must grow with k"
+                );
                 prev = cur;
             }
         }

@@ -25,7 +25,9 @@ pub struct Constraints {
 impl Constraints {
     /// No constraints on a `dims`-dimensional space.
     pub fn none(dims: usize) -> Self {
-        Constraints { ranges: vec![None; dims] }
+        Constraints {
+            ranges: vec![None; dims],
+        }
     }
 
     /// Constrain `dim` to the inclusive range `[lo, hi]`.
@@ -42,10 +44,13 @@ impl Constraints {
 
     /// Does `o` satisfy every constraint on its observed dimensions?
     pub fn admits(&self, ds: &Dataset, o: ObjectId) -> bool {
-        self.ranges.iter().enumerate().all(|(d, r)| match (r, ds.value(o, d)) {
-            (Some((lo, hi)), Some(v)) => *lo <= v && v <= *hi,
-            _ => true,
-        })
+        self.ranges
+            .iter()
+            .enumerate()
+            .all(|(d, r)| match (r, ds.value(o, d)) {
+                (Some((lo, hi)), Some(v)) => *lo <= v && v <= *hi,
+                _ => true,
+            })
     }
 
     /// Ids of all admitted objects.
@@ -108,7 +113,10 @@ mod tests {
         let c = Constraints::none(ds.dims());
         assert_eq!(constrained_skyline(&ds, &c), incomplete::skyline(&ds));
         for k in 1..5 {
-            assert_eq!(constrained_k_skyband(&ds, &c, k), incomplete::k_skyband(&ds, k));
+            assert_eq!(
+                constrained_k_skyband(&ds, &c, k),
+                incomplete::k_skyband(&ds, k)
+            );
         }
     }
 
@@ -143,7 +151,9 @@ mod tests {
     #[test]
     fn empty_region_gives_empty_skyline() {
         let ds = fixtures::fig2_points();
-        let c = Constraints::none(2).with_range(0, 100.0, 200.0).with_range(1, 100.0, 200.0);
+        let c = Constraints::none(2)
+            .with_range(0, 100.0, 200.0)
+            .with_range(1, 100.0, 200.0);
         // Only objects observing neither dim would qualify; none exist with
         // values inside the range.
         assert!(constrained_skyline(&ds, &c)

@@ -104,11 +104,7 @@ mod tests {
     #[test]
     fn incomparable_only_dataset_is_all_skyline() {
         // Two disjoint masks: nobody dominates anybody.
-        let ds = Dataset::from_rows(
-            2,
-            &[vec![Some(1.0), None], vec![None, Some(1.0)]],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(2, &[vec![Some(1.0), None], vec![None, Some(1.0)]]).unwrap();
         assert_eq!(skyline(&ds), vec![0, 1]);
     }
 

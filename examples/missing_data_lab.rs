@@ -30,7 +30,11 @@ fn main() {
     let k = 16;
     let ideal = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&truth).ids();
 
-    println!("ground truth: N={} d={} (complete), k={k}", truth.len(), truth.dims());
+    println!(
+        "ground truth: N={} d={} (complete), k={k}",
+        truth.len(),
+        truth.dims()
+    );
     println!("\nmechanism  rate   DJ(incomplete,truth)  DJ(imputed,truth)  DJ(incomplete,imputed)");
 
     for (name, mech) in [
@@ -41,10 +45,16 @@ fn main() {
         for rate in [0.1, 0.3] {
             let incomplete = mech(&truth, rate, 1);
             // Answer straight on incomplete data (the paper's approach).
-            let a = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&incomplete).ids();
+            let a = TkdQuery::new(k)
+                .algorithm(Algorithm::Ubb)
+                .run(&incomplete)
+                .ids();
             // Answer after matrix-factorization imputation (the baseline).
             let imputed = factorize_impute(&incomplete, &FactorizationConfig::default());
-            let b = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&imputed).ids();
+            let b = TkdQuery::new(k)
+                .algorithm(Algorithm::Ubb)
+                .run(&imputed)
+                .ids();
             println!(
                 "{name:<9}  {rate:<5}  {:<20.3}  {:<17.3}  {:.3}",
                 jaccard_distance(&a, &ideal),

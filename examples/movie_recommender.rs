@@ -37,12 +37,7 @@ fn main() {
         }
         println!(
             "  {:?}: {:>9.3?}  (H1/H2/H3 pruned {}/{}/{}, scored {})",
-            alg,
-            elapsed,
-            r.stats.h1_pruned,
-            r.stats.h2_pruned,
-            r.stats.h3_pruned,
-            r.stats.scored
+            alg, elapsed, r.stats.h1_pruned, r.stats.h2_pruned, r.stats.h3_pruned, r.stats.scored
         );
     }
 

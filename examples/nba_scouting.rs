@@ -48,7 +48,12 @@ fn main() {
     let weighted = mfd_top_k(&ds, k, &cfg);
     println!("\ntop-{k} under MFD (points-heavy weights, λ = 0.4):");
     for (rank, e) in weighted.iter().enumerate() {
-        println!("  #{:<2} player-{:<6} weighted score {:.2}", rank + 1, e.id, e.score);
+        println!(
+            "  #{:<2} player-{:<6} weighted score {:.2}",
+            rank + 1,
+            e.id,
+            e.score
+        );
     }
 
     let plain: Vec<ObjectId> = r.ids();

@@ -22,8 +22,12 @@ fn main() {
     ";
     let ds: Dataset = io::parse_labeled(text).expect("valid dataset");
 
-    println!("{} objects, {} dimensions, missing rate {:.1}%", ds.len(), ds.dims(),
-        100.0 * tkdi::model::stats::missing_rate(&ds));
+    println!(
+        "{} objects, {} dimensions, missing rate {:.1}%",
+        ds.len(),
+        ds.dims(),
+        100.0 * tkdi::model::stats::missing_rate(&ds)
+    );
 
     // How often is each laptop dominated / dominating?
     for o in ds.ids() {
@@ -58,6 +62,8 @@ fn main() {
     let r = TkdQuery::new(2).run(&fig3);
     println!(
         "\nPaper Fig. 3 running example, T2D: {:?} (both score 16)",
-        r.iter().map(|e| fig3.label(e.id).unwrap()).collect::<Vec<_>>()
+        r.iter()
+            .map(|e| fig3.label(e.id).unwrap())
+            .collect::<Vec<_>>()
     );
 }

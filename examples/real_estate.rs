@@ -12,8 +12,8 @@
 
 use std::time::Instant;
 use tkdi::bitvec::Concise;
-use tkdi::core::ibig::{ibig_with, IbigContext};
 use tkdi::core::big::{big_with, BigContext};
+use tkdi::core::ibig::{ibig_with, IbigContext};
 use tkdi::data::simulators::{zillow_bins, zillow_like_with};
 use tkdi::index::cost;
 use tkdi::model::stats;
@@ -27,8 +27,14 @@ fn main() {
         ds.dims(),
         100.0 * sigma
     );
-    for (d, name) in ["beds", "baths", "living", "lot", "price"].iter().enumerate() {
-        println!("  domain({name}) = {} distinct values", stats::dimension_cardinality(&ds, d));
+    for (d, name) in ["beds", "baths", "living", "lot", "price"]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  domain({name}) = {} distinct values",
+            stats::dimension_cardinality(&ds, d)
+        );
     }
 
     let k = 10;

@@ -51,9 +51,8 @@ fn main() {
 
     // The three answers rank different laptops — dominance is not
     // preserved under projection or restriction.
-    let overlap = |a: &TkdResult, b: &TkdResult| {
-        a.ids().iter().filter(|id| b.contains(**id)).count()
-    };
+    let overlap =
+        |a: &TkdResult, b: &TkdResult| a.ids().iter().filter(|id| b.contains(**id)).count();
     println!(
         "\noverlap full∩subspace = {}, full∩constrained = {}",
         overlap(&full, &travel),
@@ -64,8 +63,11 @@ fn main() {
     let brands: Vec<u64> = ds.ids().map(|o| (o % 4) as u64).collect();
     println!("\nper-brand skylines (group-by skyline):");
     for (brand, sky) in group_by_skyline(&ds, &brands) {
-        println!("  brand {brand}: {:>4} undominated of {:>4}", sky.len(),
-            brands.iter().filter(|&&b| b == brand).count());
+        println!(
+            "  brand {brand}: {:>4} undominated of {:>4}",
+            sky.len(),
+            brands.iter().filter(|&&b| b == brand).count()
+        );
     }
     println!(
         "\nAn empty per-brand skyline is possible: incomplete-data dominance \

@@ -32,7 +32,9 @@ use tkdi::skyline::incomplete;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage("missing command") };
+    let Some(cmd) = args.first() else {
+        usage("missing command")
+    };
     match cmd.as_str() {
         "info" => cmd_info(&args[1..]),
         "query" => cmd_query(&args[1..]),
@@ -52,7 +54,10 @@ struct Opts {
 const BARE_FLAGS: [&str; 2] = ["--labeled", "--stats"];
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut opts = Opts { file: None, flags: Vec::new() };
+    let mut opts = Opts {
+        file: None,
+        flags: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -90,12 +95,18 @@ impl Opts {
     }
 
     fn load(&self) -> Dataset {
-        let Some(file) = &self.file else { usage("missing input file") };
+        let Some(file) = &self.file else {
+            usage("missing input file")
+        };
         let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
             eprintln!("error: cannot read {file}: {e}");
             exit(1);
         });
-        let parsed = if self.has("labeled") { io::parse_labeled(&text) } else { io::parse(&text) };
+        let parsed = if self.has("labeled") {
+            io::parse_labeled(&text)
+        } else {
+            io::parse(&text)
+        };
         parsed.unwrap_or_else(|e| {
             eprintln!("error: cannot parse {file}: {e}");
             exit(1);
@@ -104,7 +115,9 @@ impl Opts {
 }
 
 fn display_name(ds: &Dataset, o: ObjectId) -> String {
-    ds.label(o).map(str::to_string).unwrap_or_else(|| format!("#{o}"))
+    ds.label(o)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("#{o}"))
 }
 
 fn cmd_info(args: &[String]) {
@@ -147,7 +160,9 @@ fn cmd_query(args: &[String]) {
     let mut query = TkdQuery::new(k).algorithm(algorithm);
     if let Some(bins) = opts.get("bins") {
         if bins != "auto" {
-            let x: usize = bins.parse().unwrap_or_else(|_| usage("--bins must be an integer or 'auto'"));
+            let x: usize = bins
+                .parse()
+                .unwrap_or_else(|_| usage("--bins must be an integer or 'auto'"));
             query = query.bins(tkdi::core::BinChoice::Fixed(x));
         }
     }
@@ -156,7 +171,11 @@ fn cmd_query(args: &[String]) {
         Some(spec) => {
             let dims: Vec<usize> = spec
                 .split(',')
-                .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--subspace expects dim indexes")))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--subspace expects dim indexes"))
+                })
                 .collect();
             variants::subspace_top_k(&ds, &dims, &query).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
@@ -165,7 +184,12 @@ fn cmd_query(args: &[String]) {
         }
     };
     for (rank, e) in result.iter().enumerate() {
-        println!("{:>3}. {:<20} score {}", rank + 1, display_name(&ds, e.id), e.score);
+        println!(
+            "{:>3}. {:<20} score {}",
+            rank + 1,
+            display_name(&ds, e.id),
+            e.score
+        );
     }
     if opts.has("stats") {
         let s = result.stats;
@@ -181,7 +205,10 @@ fn cmd_skyline(args: &[String]) {
     let ds = opts.load();
     let band: usize = opts
         .get("band")
-        .map(|b| b.parse().unwrap_or_else(|_| usage("--band must be an integer")))
+        .map(|b| {
+            b.parse()
+                .unwrap_or_else(|_| usage("--band must be an integer"))
+        })
         .unwrap_or(1);
     let result = incomplete::k_skyband(&ds, band);
     println!("# {}-skyband: {} objects", band, result.len());
@@ -194,7 +221,10 @@ fn cmd_generate(args: &[String]) {
     let opts = parse_opts(args);
     let get_num = |name: &str, default: usize| -> usize {
         opts.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("--{name} must be an integer"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| usage(&format!("--{name} must be an integer")))
+            })
             .unwrap_or(default)
     };
     let cfg = SyntheticConfig {
@@ -203,7 +233,10 @@ fn cmd_generate(args: &[String]) {
         cardinality: get_num("cardinality", 100),
         missing_rate: opts
             .get("missing")
-            .map(|v| v.parse().unwrap_or_else(|_| usage("--missing must be a rate in [0,1)")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| usage("--missing must be a rate in [0,1)"))
+            })
             .unwrap_or(0.1),
         distribution: match opts.get("dist").unwrap_or("ind") {
             "ind" => Distribution::Independent,
@@ -213,7 +246,10 @@ fn cmd_generate(args: &[String]) {
         },
         seed: opts
             .get("seed")
-            .map(|v| v.parse().unwrap_or_else(|_| usage("--seed must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"))
+            })
             .unwrap_or(42),
     };
     print!("{}", io::to_text(&generate(&cfg)));

@@ -31,6 +31,8 @@
 //! assert_eq!(labels, vec!["A2", "C2"]); // both with score 16
 //! ```
 
+#![warn(missing_docs)]
+
 pub use tkd_bitvec as bitvec;
 pub use tkd_btree as btree;
 pub use tkd_core as core;

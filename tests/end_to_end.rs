@@ -9,9 +9,36 @@ use tkdi::prelude::*;
 
 fn assert_all_algorithms_agree(ds: &Dataset, k: usize, tag: &str) {
     let reference = TkdQuery::new(k).algorithm(Algorithm::Naive).run(ds);
-    for alg in [Algorithm::Esb, Algorithm::Ubb, Algorithm::Big, Algorithm::Ibig] {
+    for alg in [
+        Algorithm::Esb,
+        Algorithm::Ubb,
+        Algorithm::Big,
+        Algorithm::Ibig,
+    ] {
         let r = TkdQuery::new(k).algorithm(alg).run(ds);
-        assert_eq!(r.scores(), reference.scores(), "{tag}: {alg:?} diverges at k={k}");
+        assert_eq!(
+            r.scores(),
+            reference.scores(),
+            "{tag}: {alg:?} diverges at k={k}"
+        );
+    }
+}
+
+/// The paper's Fig. 3 running example, pinned across every algorithm:
+/// T2D over the 20-object sample returns {A2, C2}, both with score 16.
+/// This is the parity baseline optimization PRs must preserve.
+#[test]
+fn fig3_running_example_all_five_algorithms() {
+    let ds = tkdi::model::fixtures::fig3_sample();
+    for alg in Algorithm::ALL {
+        let r = TkdQuery::new(2).algorithm(alg).run(&ds);
+        let mut labels: Vec<_> = r.iter().map(|e| ds.label(e.id).unwrap()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["A2", "C2"], "{alg:?} answer set");
+        assert_eq!(r.scores(), vec![16, 16], "{alg:?} scores");
+    }
+    for k in 1..=20 {
+        assert_all_algorithms_agree(&ds, k, "fig3");
     }
 }
 
@@ -77,7 +104,10 @@ fn edge_cases() {
     // k = 0.
     let ds = tkdi::model::fixtures::fig3_sample();
     for alg in Algorithm::ALL {
-        assert!(TkdQuery::new(0).algorithm(alg).run(&ds).is_empty(), "{alg:?}");
+        assert!(
+            TkdQuery::new(0).algorithm(alg).run(&ds).is_empty(),
+            "{alg:?}"
+        );
     }
     // All objects identical: everyone ties, all scores zero.
     let dup = Dataset::from_rows(2, &vec![vec![Some(1.0), Some(2.0)]; 10]).unwrap();
@@ -86,11 +116,7 @@ fn edge_cases() {
         assert_eq!(r.scores(), vec![0; 4], "{alg:?}");
     }
     // Fully pairwise-incomparable dataset (disjoint masks).
-    let inc = Dataset::from_rows(
-        2,
-        &[vec![Some(1.0), None], vec![None, Some(1.0)]],
-    )
-    .unwrap();
+    let inc = Dataset::from_rows(2, &[vec![Some(1.0), None], vec![None, Some(1.0)]]).unwrap();
     for alg in Algorithm::ALL {
         let r = TkdQuery::new(2).algorithm(alg).run(&inc);
         assert_eq!(r.scores(), vec![0, 0], "{alg:?}");
@@ -105,7 +131,10 @@ fn table4_style_comparison_small() {
     let imputed = factorize_impute(&ds, &FactorizationConfig::default());
     for k in [4usize, 8, 16] {
         let a = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&ds).ids();
-        let b = TkdQuery::new(k).algorithm(Algorithm::Ubb).run(&imputed).ids();
+        let b = TkdQuery::new(k)
+            .algorithm(Algorithm::Ubb)
+            .run(&imputed)
+            .ids();
         let dj = jaccard_distance(&a, &b);
         assert!(
             dj < 2.0 / 3.0,
@@ -116,7 +145,7 @@ fn table4_style_comparison_small() {
 
 #[test]
 fn preprocessing_contexts_are_reusable() {
-    use tkdi::core::{big::BigContext, big::big_with, ibig::IbigContext, ibig::ibig_with};
+    use tkdi::core::{big::big_with, big::BigContext, ibig::ibig_with, ibig::IbigContext};
     let ds = nba_like_with(400, 9);
     let ctx = BigContext::build(&ds);
     let ictx: IbigContext<'_> = IbigContext::build_auto(&ds);

@@ -75,7 +75,11 @@ fn fig8_max_bit_scores_via_facade() {
     let ds = fixtures::fig3_sample();
     let mbs = big::max_bit_scores(&ds);
     for (label, expected) in fixtures::fig8_maxbitscores() {
-        assert_eq!(mbs[ds.id_by_label(label).unwrap() as usize], expected, "{label}");
+        assert_eq!(
+            mbs[ds.id_by_label(label).unwrap() as usize],
+            expected,
+            "{label}"
+        );
     }
 }
 
@@ -115,7 +119,10 @@ fn lemma_chain_score_le_maxbitscore_le_maxscore() {
     for o in ds.ids() {
         let s = tkdi::model::dominance::score_of(&ds, o);
         assert!(s <= mbs[o as usize], "score ≤ MaxBitScore ({o})");
-        assert!(mbs[o as usize] <= ms[o as usize], "MaxBitScore ≤ MaxScore ({o})");
+        assert!(
+            mbs[o as usize] <= ms[o as usize],
+            "MaxBitScore ≤ MaxScore ({o})"
+        );
     }
 }
 
