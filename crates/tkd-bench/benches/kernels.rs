@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the PR-2 fused bit-vector kernels: the
+//! zero-allocation primitives vs their materialize-then-operate ancestors,
+//! in isolation from the query drivers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tkd_bitvec::{BitVec, CompressedBitmap, Concise};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_index::BitmapIndex;
+
+const N: usize = 50_000;
+
+fn patterned(step: usize, phase: usize) -> BitVec {
+    BitVec::from_indices(N, (phase..N).step_by(step))
+}
+
+/// Fused ternary popcount `|a ∧ b ∧ ¬c|` vs materialize-then-count.
+fn bench_ternary_count(c: &mut Criterion) {
+    let a = patterned(2, 0);
+    let b = patterned(3, 1);
+    let d = patterned(5, 2);
+    let mut g = c.benchmark_group("kernels/ternary_count");
+    g.bench_function("materialize_then_count", |bch| {
+        bch.iter(|| a.and(&b).and_not(&d).count_ones())
+    });
+    g.bench_function("fused_count_and_andnot", |bch| {
+        bch.iter(|| a.count_and_andnot(&b, &d))
+    });
+    g.finish();
+}
+
+/// Fused `|a ∧ ¬b|` vs materialize-then-count.
+fn bench_and_not_count(c: &mut Criterion) {
+    let a = patterned(2, 0);
+    let b = patterned(7, 3);
+    let mut g = c.benchmark_group("kernels/and_not_count");
+    g.bench_function("materialize_then_count", |bch| {
+        bch.iter(|| a.and_not(&b).count_ones())
+    });
+    g.bench_function("fused_and_not_count", |bch| {
+        bch.iter(|| a.and_not_count(&b))
+    });
+    g.finish();
+}
+
+/// Multi-column intersection: clone + chained `and_assign` vs
+/// `intersect_into` scratch fill vs the index's fused AND-popcount.
+fn bench_intersection(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig {
+        n: N,
+        dims: 8,
+        cardinality: 100,
+        missing_rate: 0.1,
+        distribution: Distribution::Independent,
+        seed: 42,
+    });
+    let index = BitmapIndex::build(&ds);
+    let o = 17u32;
+
+    let mut g = c.benchmark_group("kernels/q_intersection");
+    g.sample_size(20);
+    g.bench_function("clone_and_assign_chain", |bch| {
+        bch.iter(|| {
+            let mut q = index.q_column(o, 0).clone();
+            for dim in 1..index.dims() {
+                q.and_assign(index.q_column(o, dim));
+            }
+            q.clear(o as usize);
+            q
+        })
+    });
+    let mut scratch = BitVec::zeros(N);
+    g.bench_function("q_into_scratch", |bch| {
+        bch.iter(|| index.q_into(o, &mut scratch))
+    });
+    g.bench_function("fused_count_only", |bch| {
+        bch.iter(|| index.max_bit_score_counted(o))
+    });
+    g.finish();
+}
+
+/// Compressed column intersection: compressed AND chain + decompress vs
+/// decompress-into + AND-into-dense off the run streams.
+fn bench_compressed_and_selected(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig {
+        n: N,
+        dims: 8,
+        cardinality: 100,
+        missing_rate: 0.1,
+        distribution: Distribution::Independent,
+        seed: 42,
+    });
+    let ictx: tkd_core::ibig::IbigContext<'_, Concise> =
+        tkd_core::ibig::IbigContext::build(&ds, &vec![32; ds.dims()]);
+    let cols = ictx.columns();
+    let picks: Vec<(usize, usize)> = (0..ds.dims()).map(|d| (d, d % 3)).collect();
+
+    let mut g = c.benchmark_group("kernels/compressed_and_selected");
+    g.sample_size(20);
+    g.bench_function("compressed_chain_then_decompress", |bch| {
+        bch.iter(|| cols.and_selected(&picks).decompress())
+    });
+    let mut scratch = BitVec::zeros(N);
+    g.bench_function("and_selected_into_scratch", |bch| {
+        bch.iter(|| cols.and_selected_into(picks.iter().copied(), &mut scratch))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ternary_count,
+    bench_and_not_count,
+    bench_intersection,
+    bench_compressed_and_selected
+);
+criterion_main!(benches);

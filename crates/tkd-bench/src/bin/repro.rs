@@ -2,24 +2,29 @@
 //!
 //! ```text
 //! Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR]
+//!              [--bench-out FILE]
 //!
-//!   --exp    comma-separated subset of:
-//!            table2,fig10,table3,fig11,fig12,fig13,table4,
-//!            fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline
-//!            (default: all)
-//!   --scale  quick (default) or paper (the paper's dataset sizes)
-//!   --seed   RNG seed (default 42)
-//!   --out    also write each table as CSV into DIR
+//!   --exp        comma-separated subset of:
+//!                table2,fig10,table3,fig11,fig12,fig13,table4,
+//!                fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline,
+//!                perf
+//!                (default: all paper artifacts; `perf` runs only when
+//!                requested)
+//!   --scale      quick (default) or paper (the paper's dataset sizes)
+//!   --seed       RNG seed (default 42)
+//!   --out        also write each table as CSV into DIR
+//!   --bench-out  where `--exp perf` writes its JSON
+//!                (default: BENCH_2.json)
 //! ```
 
 use std::collections::BTreeSet;
-use tkd_bench::{experiments as exp, table::Table, Scale};
+use tkd_bench::{experiments as exp, perf, table::Table, Scale};
 
 /// Every experiment name `--exp` accepts; the single source of truth for
 /// validation and the usage text.
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "binopt", "ablation", "baseline",
+    "fig17", "fig18", "binopt", "ablation", "baseline", "perf",
 ];
 
 fn main() {
@@ -28,6 +33,7 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
     let mut out_dir: Option<String> = None;
+    let mut bench_out = String::from("BENCH_2.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +66,13 @@ fn main() {
                 out_dir = match args.get(i) {
                     Some(d) => Some(d.clone()),
                     None => usage("missing value for --out"),
+                };
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = match args.get(i) {
+                    Some(f) => f.clone(),
+                    None => usage("missing value for --bench-out"),
                 };
             }
             "--help" | "-h" => usage(""),
@@ -135,6 +148,14 @@ fn main() {
     if want("baseline") {
         emit(vec![exp::ablation_baseline(scale, seed)]);
     }
+    // The perf baseline is opt-in: it is a repo artifact generator, not a
+    // paper reproduction, so `--exp` must name it explicitly.
+    if exps.as_ref().is_some_and(|set| set.contains("perf")) {
+        let (table, json) = perf::run(scale, seed);
+        emit(vec![table]);
+        std::fs::write(&bench_out, json).expect("write perf JSON");
+        println!("(perf baseline written to {bench_out})");
+    }
 
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create output directory");
@@ -166,7 +187,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR]\n\
+        "Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR] \
+         [--bench-out FILE]\n\
          experiments: {}",
         KNOWN.join(",")
     );

@@ -15,6 +15,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 /// Experiment scale.

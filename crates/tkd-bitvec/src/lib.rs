@@ -30,7 +30,7 @@ mod runs;
 mod wah;
 
 pub use concise::Concise;
-pub use dense::{BitVec, Ones};
+pub use dense::{AndNotOnes, BitVec, Ones};
 pub use runs::{Run, BLOCK_BITS};
 pub use wah::Wah;
 
@@ -45,6 +45,22 @@ pub trait CompressedBitmap: Sized + Clone {
 
     /// Decompress back to a dense bit vector.
     fn decompress(&self) -> BitVec;
+
+    /// Decompress into a caller-owned dense buffer without allocating —
+    /// the scratch-space entry point of the IBIG query path.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != self.len()`.
+    fn decompress_into(&self, dst: &mut BitVec);
+
+    /// AND this compressed bitmap into a dense buffer in place
+    /// (`dst &= self`), directly off the run stream: one-fills are skipped,
+    /// zero-fills clear word spans, literals AND a 31-bit window. No
+    /// allocation on either side.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != self.len()`.
+    fn and_dense(&self, dst: &mut BitVec);
 
     /// Logical length in bits.
     fn len(&self) -> usize;

@@ -50,10 +50,12 @@ pub fn blocks_of(bits: &BitVec) -> Vec<u32> {
     out
 }
 
-/// Reassemble a dense bit vector of logical length `len` from 31-bit blocks.
+/// Reassemble a dense bit vector of logical length `len` from 31-bit blocks
+/// (test oracle for the word-level [`decompress_runs_into`]).
 ///
 /// # Panics
 /// Panics if the blocks cover fewer bits than `len`.
+#[cfg(test)]
 pub fn bits_from_blocks(blocks: &[u32], len: usize) -> BitVec {
     assert!(
         blocks.len() * BLOCK_BITS >= len,
@@ -198,6 +200,118 @@ impl RunBuf {
     pub fn into_runs(self) -> Vec<Run> {
         self.runs
     }
+}
+
+/// Set bits `[start, end)` in a word array.
+fn set_bit_range(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (sw, sb) = (start / 64, start % 64);
+    let (ew, eb) = (end / 64, end % 64);
+    if sw == ew {
+        words[sw] |= ((1u64 << (eb - sb)) - 1) << sb;
+    } else {
+        words[sw] |= !0u64 << sb;
+        for w in words.iter_mut().take(ew).skip(sw + 1) {
+            *w = !0;
+        }
+        if eb > 0 {
+            words[ew] |= (1u64 << eb) - 1;
+        }
+    }
+}
+
+/// Clear bits `[start, end)` in a word array.
+fn clear_bit_range(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (sw, sb) = (start / 64, start % 64);
+    let (ew, eb) = (end / 64, end % 64);
+    if sw == ew {
+        words[sw] &= !(((1u64 << (eb - sb)) - 1) << sb);
+    } else {
+        words[sw] &= !(!0u64 << sb);
+        for w in words.iter_mut().take(ew).skip(sw + 1) {
+            *w = 0;
+        }
+        if eb > 0 {
+            words[ew] &= !((1u64 << eb) - 1);
+        }
+    }
+}
+
+/// Decompress a run stream into a caller-owned dense buffer, entirely at
+/// word level. `dst`'s previous contents are overwritten; runs beyond
+/// `dst.len()` (final-block padding) are clipped.
+pub fn decompress_runs_into(runs: impl Iterator<Item = Run>, dst: &mut BitVec) {
+    let len = dst.len();
+    let words = dst.words_mut();
+    words.fill(0);
+    let total_bits = words.len() * 64;
+    let mut bit = 0usize;
+    for run in runs {
+        match run {
+            Run::Fill { ones, blocks } => {
+                let nbits = blocks as usize * BLOCK_BITS;
+                if ones {
+                    set_bit_range(words, bit.min(total_bits), (bit + nbits).min(total_bits));
+                }
+                bit += nbits;
+            }
+            Run::Literal(x) => {
+                if bit < total_bits {
+                    let w = bit / 64;
+                    let off = bit % 64;
+                    words[w] |= (x as u64) << off;
+                    if off + BLOCK_BITS > 64 && w + 1 < words.len() {
+                        words[w + 1] |= (x as u64) >> (64 - off);
+                    }
+                }
+                bit += BLOCK_BITS;
+            }
+        }
+    }
+    debug_assert!(bit >= len, "run stream covers only {bit} of {len} bits");
+    dst.fix_tail();
+}
+
+/// AND a run stream into a dense buffer in place (`dst &= runs`), without
+/// materializing the compressed side — the hot kernel behind
+/// `CompressedColumns::and_selected_into`. One-fills touch nothing,
+/// zero-fills clear whole word spans, literals AND a 31-bit window.
+pub fn and_runs_into_dense(runs: impl Iterator<Item = Run>, dst: &mut BitVec) {
+    let len = dst.len();
+    let words = dst.words_mut();
+    let total_bits = words.len() * 64;
+    let mut bit = 0usize;
+    for run in runs {
+        match run {
+            Run::Fill { ones: true, blocks } => bit += blocks as usize * BLOCK_BITS,
+            Run::Fill {
+                ones: false,
+                blocks,
+            } => {
+                let nbits = blocks as usize * BLOCK_BITS;
+                clear_bit_range(words, bit.min(total_bits), (bit + nbits).min(total_bits));
+                bit += nbits;
+            }
+            Run::Literal(x) => {
+                if bit < total_bits {
+                    let inv = (!x as u64) & BLOCK_MASK as u64;
+                    let w = bit / 64;
+                    let off = bit % 64;
+                    words[w] &= !(inv << off);
+                    if off + BLOCK_BITS > 64 && w + 1 < words.len() {
+                        words[w + 1] &= !(inv >> (64 - off));
+                    }
+                }
+                bit += BLOCK_BITS;
+            }
+        }
+    }
+    debug_assert!(bit >= len, "run stream covers only {bit} of {len} bits");
 }
 
 /// Generic binary merge of two equal-length run streams.
@@ -516,6 +630,40 @@ mod tests {
             500,
         );
         assert_eq!(got, a.and_count(&b));
+    }
+
+    #[test]
+    fn decompress_into_matches_bits_from_blocks() {
+        for len in [0usize, 1, 31, 40, 62, 64, 93, 100, 200, 500] {
+            let mut b = BitVec::zeros(len);
+            for i in (0..len).step_by(3) {
+                b.set(i);
+            }
+            let mut dst = BitVec::ones(len); // stale contents
+            decompress_runs_into(rt(&b).into_iter(), &mut dst);
+            assert_eq!(dst, b, "len {len}");
+        }
+        // Long fills (both polarities) spanning many words.
+        let ones = BitVec::ones(400);
+        let mut dst = BitVec::zeros(400);
+        decompress_runs_into(rt(&ones).into_iter(), &mut dst);
+        assert_eq!(dst, ones);
+    }
+
+    #[test]
+    fn and_into_dense_matches_dense_and() {
+        for len in [1usize, 31, 64, 93, 200, 500] {
+            let a = BitVec::from_indices(len, (0..len).step_by(2));
+            let mut sparse = BitVec::zeros(len);
+            if len > 40 {
+                sparse.set(40);
+            }
+            for other in [BitVec::ones(len), BitVec::zeros(len), sparse, a.clone()] {
+                let mut dst = a.clone();
+                and_runs_into_dense(rt(&other).into_iter(), &mut dst);
+                assert_eq!(dst, a.and(&other), "len {len}");
+            }
+        }
     }
 
     #[test]

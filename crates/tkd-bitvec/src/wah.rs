@@ -8,8 +8,8 @@
 //!   of consecutive all-zero / all-one 31-bit blocks.
 
 use crate::runs::{
-    and_count_runs, and_runs, bits_from_blocks, blocks_of, count_ones_runs, or_runs,
-    runs_from_blocks, Run, RunStream, BLOCK_BITS, BLOCK_MASK,
+    and_count_runs, and_runs, and_runs_into_dense, blocks_of, count_ones_runs,
+    decompress_runs_into, or_runs, runs_from_blocks, Run, RunStream, BLOCK_MASK,
 };
 use crate::{BitVec, CompressedBitmap};
 
@@ -73,19 +73,19 @@ impl CompressedBitmap for Wah {
     }
 
     fn decompress(&self) -> BitVec {
-        let mut blocks = Vec::with_capacity(self.len.div_ceil(BLOCK_BITS));
-        for run in self.runs() {
-            match run {
-                Run::Fill { ones, blocks: n } => {
-                    blocks.extend(std::iter::repeat_n(
-                        if ones { BLOCK_MASK } else { 0 },
-                        n as usize,
-                    ));
-                }
-                Run::Literal(x) => blocks.push(x),
-            }
-        }
-        bits_from_blocks(&blocks, self.len)
+        let mut dst = BitVec::zeros(self.len);
+        decompress_runs_into(self.runs(), &mut dst);
+        dst
+    }
+
+    fn decompress_into(&self, dst: &mut BitVec) {
+        assert_eq!(dst.len(), self.len, "length mismatch");
+        decompress_runs_into(self.runs(), dst);
+    }
+
+    fn and_dense(&self, dst: &mut BitVec) {
+        assert_eq!(dst.len(), self.len, "length mismatch");
+        and_runs_into_dense(self.runs(), dst);
     }
 
     fn len(&self) -> usize {
@@ -125,6 +125,7 @@ impl CompressedBitmap for Wah {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runs::BLOCK_BITS;
 
     fn patterned(len: usize, step: usize) -> BitVec {
         BitVec::from_indices(len, (0..len).step_by(step))

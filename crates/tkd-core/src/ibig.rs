@@ -9,25 +9,31 @@
 //! **Heuristic 3** (partial score pruning) abandons objects early:
 //! `score(o) = |Q| − |F(o)| − |nonD(o)|` can only shrink as `nonD` grows, so
 //! once `|nonD| > |Q| − |F| − τ` the object is out.
+//!
+//! Like BIG, the scoring path is **allocation-free** after context build:
+//! the per-object `Q`/`P` intersections decompress straight into the
+//! caller's [`ScratchSpace`] (first column written, the rest ANDed in off
+//! their run streams — no compressed intermediates), the `nonD`/`tagT`
+//! tables are epoch-stamped in the same scratch, and the B+-tree probes
+//! return concrete range cursors instead of boxed iterators.
 
-use crate::big::incomparable_bitvecs;
-use crate::maxscore::maxscore_queue;
+use crate::preprocess::Preprocessed;
 use crate::result::TkdResult;
+use crate::scratch::ScratchSpace;
 use crate::stats::PruneStats;
 use crate::topk::TopK;
-use std::collections::HashMap;
+use std::borrow::Cow;
 use tkd_bitvec::{BitVec, CompressedBitmap, Concise};
 use tkd_index::{cost, BinnedBitmapIndex, CompressedColumns};
 use tkd_model::{stats, Dataset, ObjectId};
 
 /// Precomputed inputs of Algorithm 5: binned index, compressed columns,
-/// `MaxScore` queue and incomparable sets.
+/// plus the shared [`Preprocessed`] artifacts.
 pub struct IbigContext<'a, C: CompressedBitmap = Concise> {
     ds: &'a Dataset,
     index: BinnedBitmapIndex,
     columns: CompressedColumns<C>,
-    queue: Vec<(ObjectId, usize)>,
-    f_sets: HashMap<u64, BitVec>,
+    pre: Cow<'a, Preprocessed>,
 }
 
 impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
@@ -35,14 +41,24 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
     pub fn build(ds: &'a Dataset, bins_per_dim: &[usize]) -> Self {
         let index = BinnedBitmapIndex::build(ds, bins_per_dim);
         let columns = CompressedColumns::from_binned(&index);
-        let queue = maxscore_queue(ds);
-        let f_sets = incomparable_bitvecs(ds);
         IbigContext {
             ds,
             index,
             columns,
-            queue,
-            f_sets,
+            pre: Cow::Owned(Preprocessed::build(ds)),
+        }
+    }
+
+    /// Build borrowing shared [`Preprocessed`] artifacts (see
+    /// [`crate::big::BigContext::build_with`]).
+    pub fn build_with(ds: &'a Dataset, bins_per_dim: &[usize], pre: &'a Preprocessed) -> Self {
+        let index = BinnedBitmapIndex::build(ds, bins_per_dim);
+        let columns = CompressedColumns::from_binned(&index);
+        IbigContext {
+            ds,
+            index,
+            columns,
+            pre: Cow::Borrowed(pre),
         }
     }
 
@@ -62,91 +78,43 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
         &self.columns
     }
 
+    /// The dataset this context was built for.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The shared preprocessing artifacts (owned or borrowed).
+    pub fn preprocessed(&self) -> &Preprocessed {
+        &self.pre
+    }
+
+    /// A fresh [`ScratchSpace`] sized for this context's dataset.
+    pub fn scratch(&self) -> ScratchSpace {
+        ScratchSpace::new(self.ds.len())
+    }
+
     fn f_of(&self, o: ObjectId) -> &BitVec {
-        &self.f_sets[&self.ds.mask(o).bits()]
+        self.pre.f_of(self.ds, o)
     }
 
-    /// Column picks for `[Qᵢ]` (same-or-higher bin / missing slot).
-    fn q_picks(&self, o: ObjectId) -> Vec<(usize, usize)> {
-        (0..self.ds.dims())
-            .map(|d| {
-                let c = self
-                    .index
-                    .bin_of(o, d)
-                    .map(|b| (b - 1) as usize)
-                    .unwrap_or(0);
-                (d, c)
-            })
-            .collect()
-    }
-
-    /// Column picks for `[Pᵢ]` (strictly higher bin / missing slot).
-    fn p_picks(&self, o: ObjectId) -> Vec<(usize, usize)> {
-        (0..self.ds.dims())
-            .map(|d| {
-                let c = self.index.bin_of(o, d).map(|b| b as usize).unwrap_or(0);
-                (d, c)
-            })
-            .collect()
-    }
-}
-
-/// Per-query scratch space (epoch-stamped to avoid O(N) clearing per
-/// object).
-struct Scratch {
-    epoch: u32,
-    /// nonD membership stamp.
-    nond_stamp: Vec<u32>,
-    /// Equality counter (the paper's tagT) and its stamp.
-    tag: Vec<u32>,
-    tag_stamp: Vec<u32>,
-}
-
-impl Scratch {
-    fn new(n: usize) -> Self {
-        Scratch {
-            epoch: 0,
-            nond_stamp: vec![0; n],
-            tag: vec![0; n],
-            tag_stamp: vec![0; n],
-        }
-    }
-
-    fn next_object(&mut self) {
-        self.epoch += 1;
-    }
-
+    /// Column pick for `[Qᵢ]` in dimension `d` (same-or-higher bin /
+    /// missing slot).
     #[inline]
-    fn mark_nond(&mut self, id: usize) -> bool {
-        if self.nond_stamp[id] == self.epoch {
-            false
-        } else {
-            self.nond_stamp[id] = self.epoch;
-            true
-        }
+    fn q_pick(&self, o: ObjectId, d: usize) -> (usize, usize) {
+        let c = self
+            .index
+            .bin_of(o, d)
+            .map(|b| (b - 1) as usize)
+            .unwrap_or(0);
+        (d, c)
     }
 
+    /// Column pick for `[Pᵢ]` in dimension `d` (strictly higher bin /
+    /// missing slot).
     #[inline]
-    fn is_nond(&self, id: usize) -> bool {
-        self.nond_stamp[id] == self.epoch
-    }
-
-    #[inline]
-    fn bump_tag(&mut self, id: usize) {
-        if self.tag_stamp[id] != self.epoch {
-            self.tag_stamp[id] = self.epoch;
-            self.tag[id] = 0;
-        }
-        self.tag[id] += 1;
-    }
-
-    #[inline]
-    fn tag_of(&self, id: usize) -> u32 {
-        if self.tag_stamp[id] == self.epoch {
-            self.tag[id]
-        } else {
-            0
-        }
+    fn p_pick(&self, o: ObjectId, d: usize) -> (usize, usize) {
+        let c = self.index.bin_of(o, d).map(|b| b as usize).unwrap_or(0);
+        (d, c)
     }
 }
 
@@ -163,19 +131,33 @@ pub fn ibig_with_bins(ds: &Dataset, k: usize, bins_per_dim: &[usize]) -> TkdResu
     ibig_with(&ctx, k)
 }
 
-/// Algorithm 5's driver over a prebuilt context.
+/// Algorithm 5's driver over a prebuilt context (allocates one scratch
+/// space for the query; reuse [`ibig_with_scratch`] to avoid even that).
 pub fn ibig_with<C: CompressedBitmap>(ctx: &IbigContext<'_, C>, k: usize) -> TkdResult {
+    let mut scratch = ctx.scratch();
+    ibig_with_scratch(ctx, k, &mut scratch)
+}
+
+/// Algorithm 5 over a prebuilt context and caller-owned scratch: the
+/// steady-state path, performing zero heap allocations per visited object.
+///
+/// # Panics
+/// Panics if `scratch` was sized for a different object count.
+pub fn ibig_with_scratch<C: CompressedBitmap>(
+    ctx: &IbigContext<'_, C>,
+    k: usize,
+    scratch: &mut ScratchSpace,
+) -> TkdResult {
     let mut top = TopK::new(k);
     let mut stats = PruneStats::default();
-    let mut scratch = Scratch::new(ctx.ds.len());
-    for (visited, &(o, max_score)) in ctx.queue.iter().enumerate() {
+    let queue = ctx.pre.queue();
+    for (visited, &(o, max_score)) in queue.iter().enumerate() {
         // Heuristic 1 — early termination on MaxScore.
         if top.prunes(max_score) {
-            stats.h1_pruned = ctx.queue.len() - visited;
+            stats.h1_pruned = queue.len() - visited;
             break;
         }
-        scratch.next_object();
-        match ibig_score(ctx, o, &top, &mut scratch) {
+        match ibig_score(ctx, o, &top, scratch) {
             ScoreOutcome::PrunedByBitmap => stats.h2_pruned += 1,
             ScoreOutcome::PrunedByPartialScore => stats.h3_pruned += 1,
             ScoreOutcome::Score(score) => {
@@ -198,30 +180,36 @@ fn ibig_score<C: CompressedBitmap>(
     ctx: &IbigContext<'_, C>,
     o: ObjectId,
     top: &TopK,
-    scratch: &mut Scratch,
+    scratch: &mut ScratchSpace,
 ) -> ScoreOutcome {
     let ds = ctx.ds;
-    // Q on the compressed form; o itself is always a member of ∩[Qi], so
-    // MaxBitScore = |∩Qi| − 1 without decompressing.
-    let qc = ctx.columns.and_selected(&ctx.q_picks(o));
-    let max_bit_score = qc.count_ones() - 1;
+    let dims = ds.dims();
+    let ScratchSpace { q, p, stamps } = scratch;
+    stamps.next_object();
+    // Q decompressed straight into scratch; o itself is always a member of
+    // ∩[Qi], so MaxBitScore = |∩Qi| − 1 before clearing its bit.
+    ctx.columns
+        .and_selected_into((0..dims).map(|d| ctx.q_pick(o, d)), q);
+    let max_bit_score = q.count_ones() - 1;
     // Heuristic 2 — bitmap pruning (still sound under binning, §4.4).
     if top.prunes(max_bit_score) {
         return ScoreOutcome::PrunedByBitmap;
     }
-    let mut q = qc.decompress();
     q.clear(o as usize);
-    let p = ctx.columns.and_selected(&ctx.p_picks(o)).decompress();
+    ctx.columns
+        .and_selected_into((0..dims).map(|d| ctx.p_pick(o, d)), p);
     let f = ctx.f_of(o);
     let f_count = f.count_ones();
-    let g = p.count_ones() - p.and_count(f);
-    let qmp = q.and_not(&p);
+    // G(o) = P − F(o) = |P ∧ ¬F|, fused.
+    let g = p.and_not_count(f);
 
     // Budget for Heuristic 3: score(o) = |Q| − |F| − |nonD| can never exceed
     // |Q| − |F| − |nonD so far|.
     let h3_budget = |non_d: usize, tau: Option<usize>| -> bool {
         matches!(tau, Some(t) if non_d > max_bit_score.saturating_sub(f_count).saturating_sub(t))
     };
+    // Membership in Q − P, straight off the scratch words.
+    let in_qmp = |pid: usize| q.get(pid) && !p.get(pid);
 
     let mut non_d = 0usize;
     let o_mask = ds.mask(o);
@@ -229,7 +217,7 @@ fn ibig_score<C: CompressedBitmap>(
     //     be dominated: B+-tree probe per observed dimension (§4.5).
     for dim in o_mask.iter() {
         for pid in ctx.index.ids_in_bin_below(ds, o, dim) {
-            if qmp.get(pid as usize) && scratch.mark_nond(pid as usize) {
+            if in_qmp(pid as usize) && stamps.mark_nond(pid as usize) {
                 non_d += 1;
             }
         }
@@ -242,19 +230,89 @@ fn ibig_score<C: CompressedBitmap>(
     for dim in o_mask.iter() {
         let v = ds.raw_value(o, dim);
         for pid in ctx.index.ids_equal(dim, v) {
-            if pid != o && qmp.get(pid as usize) {
-                scratch.bump_tag(pid as usize);
+            if pid != o && in_qmp(pid as usize) {
+                stamps.bump_tag(pid as usize);
             }
         }
     }
     // Members of Q − P equal to o on *all* commonly observed dimensions are
-    // not dominated either.
-    for pid in qmp.iter_ones() {
-        if scratch.is_nond(pid) {
+    // not dominated either. |Q − P| is counted during the same fused pass.
+    let mut q_minus_p = 0usize;
+    for pid in q.iter_ones_and_not(p) {
+        q_minus_p += 1;
+        if stamps.is_nond(pid) {
             continue;
         }
         let common = o_mask.and(ds.mask(pid as ObjectId)).count();
-        if scratch.tag_of(pid) == common {
+        if stamps.tag_of(pid) == common {
+            non_d += 1;
+            if h3_budget(non_d, top.tau()) {
+                return ScoreOutcome::PrunedByPartialScore;
+            }
+        }
+    }
+    ScoreOutcome::Score(g + q_minus_p - non_d)
+}
+
+/// The original allocating IBIG-Score, kept as the test oracle for the
+/// scratch-based path. Uses hash-based `nonD`/`tagT` tables so it shares
+/// no machinery with the path under test.
+#[cfg(test)]
+fn ibig_score_alloc<C: CompressedBitmap>(
+    ctx: &IbigContext<'_, C>,
+    o: ObjectId,
+    top: &TopK,
+) -> ScoreOutcome {
+    use std::collections::{HashMap, HashSet};
+    let ds = ctx.ds;
+    let dims = ds.dims();
+    let q_picks: Vec<(usize, usize)> = (0..dims).map(|d| ctx.q_pick(o, d)).collect();
+    let qc = ctx.columns.and_selected(&q_picks);
+    let max_bit_score = qc.count_ones() - 1;
+    if top.prunes(max_bit_score) {
+        return ScoreOutcome::PrunedByBitmap;
+    }
+    let mut q = qc.decompress();
+    q.clear(o as usize);
+    let p_picks: Vec<(usize, usize)> = (0..dims).map(|d| ctx.p_pick(o, d)).collect();
+    let p = ctx.columns.and_selected(&p_picks).decompress();
+    let f = ctx.f_of(o);
+    let f_count = f.count_ones();
+    let g = p.count_ones() - p.and_count(f);
+    let qmp = q.and_not(&p);
+
+    let h3_budget = |non_d: usize, tau: Option<usize>| -> bool {
+        matches!(tau, Some(t) if non_d > max_bit_score.saturating_sub(f_count).saturating_sub(t))
+    };
+
+    let mut non_d_set: HashSet<usize> = HashSet::new();
+    let o_mask = ds.mask(o);
+    for dim in o_mask.iter() {
+        for pid in ctx.index.ids_in_bin_below(ds, o, dim) {
+            if qmp.get(pid as usize) {
+                non_d_set.insert(pid as usize);
+            }
+        }
+        if h3_budget(non_d_set.len(), top.tau()) {
+            return ScoreOutcome::PrunedByPartialScore;
+        }
+    }
+    let mut tags: HashMap<usize, u32> = HashMap::new();
+    for dim in o_mask.iter() {
+        let v = ds.raw_value(o, dim);
+        for pid in ctx.index.ids_equal(dim, v) {
+            if pid != o && qmp.get(pid as usize) {
+                *tags.entry(pid as usize).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut non_d = non_d_set.len();
+    for pid in qmp.iter_ones() {
+        if non_d_set.contains(&pid) {
+            continue;
+        }
+        let common = o_mask.and(ds.mask(pid as ObjectId)).count();
+        if tags.get(&pid).copied().unwrap_or(0) == common {
             non_d += 1;
             if h3_budget(non_d, top.tau()) {
                 return ScoreOutcome::PrunedByPartialScore;
@@ -265,10 +323,37 @@ fn ibig_score<C: CompressedBitmap>(
     ScoreOutcome::Score(g + l)
 }
 
+/// Algorithm 5 driven by the allocating oracle scorer (test-only).
+#[cfg(test)]
+pub(crate) fn ibig_with_alloc<C: CompressedBitmap>(
+    ctx: &IbigContext<'_, C>,
+    k: usize,
+) -> TkdResult {
+    let mut top = TopK::new(k);
+    let mut stats = PruneStats::default();
+    let queue = ctx.pre.queue();
+    for (visited, &(o, max_score)) in queue.iter().enumerate() {
+        if top.prunes(max_score) {
+            stats.h1_pruned = queue.len() - visited;
+            break;
+        }
+        match ibig_score_alloc(ctx, o, &top) {
+            ScoreOutcome::PrunedByBitmap => stats.h2_pruned += 1,
+            ScoreOutcome::PrunedByPartialScore => stats.h3_pruned += 1,
+            ScoreOutcome::Score(score) => {
+                stats.scored += 1;
+                top.offer(o, score);
+            }
+        }
+    }
+    TkdResult::new(top.into_entries(), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::naive::naive;
+    use proptest::prelude::*;
     use tkd_bitvec::Wah;
     use tkd_model::fixtures;
 
@@ -316,16 +401,29 @@ mod tests {
     }
 
     #[test]
+    fn shared_preprocessing_gives_identical_results() {
+        let ds = fixtures::fig3_sample();
+        let pre = Preprocessed::build(&ds);
+        let shared: IbigContext<'_> = IbigContext::build_with(&ds, &[2, 2, 3, 3], &pre);
+        let owned: IbigContext<'_> = IbigContext::build(&ds, &[2, 2, 3, 3]);
+        for k in [1, 2, 5] {
+            let a = ibig_with(&shared, k);
+            let b = ibig_with(&owned, k);
+            assert_eq!(a.scores(), b.scores(), "k={k}");
+            assert_eq!(a.stats, b.stats, "k={k}");
+        }
+    }
+
+    #[test]
     fn exact_scores_for_every_object_with_one_bin() {
         // One bin per dimension is the worst case for binning: Q−P is huge
         // and everything funnels through the probes. Scores must still be
         // exact.
         let ds = fixtures::fig3_sample();
         let ctx: IbigContext<'_> = IbigContext::build(&ds, &[1, 1, 1, 1]);
-        let mut scratch = Scratch::new(ds.len());
+        let mut scratch = ctx.scratch();
         let top = TopK::new(1);
         for o in ds.ids() {
-            scratch.next_object();
             match ibig_score(&ctx, o, &top, &mut scratch) {
                 ScoreOutcome::Score(s) => {
                     assert_eq!(
@@ -402,5 +500,44 @@ mod tests {
         }
         assert!(h2_total > 0, "Heuristic 2 never fired across the family");
         assert!(h3_total > 0, "Heuristic 3 never fired across the family");
+    }
+
+    /// Random incomplete dataset with the given missing probability.
+    fn dataset_strategy(missing: f64) -> impl Strategy<Value = tkd_model::Dataset> {
+        (1usize..=4).prop_flat_map(move |dims| {
+            let row = proptest::collection::vec(
+                proptest::option::weighted(1.0 - missing, (0u8..6).prop_map(|v| v as f64)),
+                dims,
+            )
+            .prop_filter("at least one observed", |r| r.iter().any(Option::is_some));
+            proptest::collection::vec(row, 1..60).prop_map(move |rows| {
+                tkd_model::Dataset::from_rows(dims, &rows).expect("valid rows")
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The scratch-based scoring path returns identical scores *and*
+        /// identical `PruneStats` to the original allocating path, across
+        /// low / medium / high missing rates and bin counts.
+        #[test]
+        fn score_parity_with_allocating_oracle(
+            ds_low in dataset_strategy(0.1),
+            ds_mid in dataset_strategy(0.3),
+            ds_high in dataset_strategy(0.6),
+            k in 1usize..8,
+            bins in 1usize..6,
+        ) {
+            for ds in [&ds_low, &ds_mid, &ds_high] {
+                let ctx: IbigContext<'_> = IbigContext::build(ds, &vec![bins; ds.dims()]);
+                let new = ibig_with(&ctx, k);
+                let oracle = ibig_with_alloc(&ctx, k);
+                prop_assert_eq!(new.scores(), oracle.scores());
+                prop_assert_eq!(new.entries(), oracle.entries());
+                prop_assert_eq!(new.stats, oracle.stats);
+            }
+        }
     }
 }

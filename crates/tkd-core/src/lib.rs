@@ -42,14 +42,18 @@ pub mod ibig;
 pub mod maxscore;
 pub mod mfd;
 pub mod naive;
+pub mod preprocess;
 mod query;
 mod result;
+pub mod scratch;
 mod stats;
 mod topk;
 pub mod variants;
 
+pub use preprocess::Preprocessed;
 pub use query::{Algorithm, BinChoice, TieBreak, TkdQuery};
 pub use result::{ResultEntry, TkdResult};
+pub use scratch::ScratchSpace;
 pub use stats::PruneStats;
 pub use ubb::ubb;
 pub mod ubb;

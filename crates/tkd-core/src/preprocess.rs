@@ -1,0 +1,82 @@
+//! Query-independent preprocessing shared by the index-guided algorithms.
+
+use crate::maxscore::maxscore_queue;
+use std::collections::HashMap;
+use tkd_bitvec::BitVec;
+use tkd_model::{stats, Dataset, ObjectId};
+
+/// The shared preprocessing artifacts of the paper's Table 3 "MaxScore"
+/// column: the descending-`MaxScore` priority queue `F` (Fig. 5) and the
+/// per-mask incomparable sets `F(o)` as dense bit vectors.
+///
+/// [`BigContext`](crate::big::BigContext) and
+/// [`IbigContext`](crate::ibig::IbigContext) both need these; building one
+/// `Preprocessed` and lending it to several contexts via their `build_with`
+/// constructors avoids double-paying the `O(N·lg N)` queue construction
+/// when algorithms are compared on the same dataset (as every benchmark
+/// does).
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    queue: Vec<(ObjectId, usize)>,
+    f_sets: HashMap<u64, BitVec>,
+}
+
+impl Preprocessed {
+    /// Run the shared preprocessing for `ds`.
+    pub fn build(ds: &Dataset) -> Self {
+        Preprocessed {
+            queue: maxscore_queue(ds),
+            f_sets: incomparable_bitvecs(ds),
+        }
+    }
+
+    /// The priority queue `F`: all objects by descending `MaxScore`.
+    pub fn queue(&self) -> &[(ObjectId, usize)] {
+        &self.queue
+    }
+
+    /// `F(o)`: the incomparable set for `o`'s observation mask.
+    ///
+    /// # Panics
+    /// Panics if `o`'s mask was not seen at build time (i.e. `ds` is not
+    /// the dataset this was built from).
+    pub fn f_of(&self, ds: &Dataset, o: ObjectId) -> &BitVec {
+        &self.f_sets[&ds.mask(o).bits()]
+    }
+}
+
+/// Per-mask incomparable sets as dense bit vectors.
+pub(crate) fn incomparable_bitvecs(ds: &Dataset) -> HashMap<u64, BitVec> {
+    stats::incomparable_sets(ds)
+        .into_iter()
+        .map(|(mask, ids)| {
+            (
+                mask.bits(),
+                BitVec::from_indices(ds.len(), ids.into_iter().map(|i| i as usize)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_model::fixtures;
+
+    #[test]
+    fn queue_matches_direct_construction() {
+        let ds = fixtures::fig3_sample();
+        let pre = Preprocessed::build(&ds);
+        assert_eq!(pre.queue(), maxscore_queue(&ds).as_slice());
+    }
+
+    #[test]
+    fn f_sets_cover_every_mask() {
+        let ds = fixtures::fig3_sample();
+        let pre = Preprocessed::build(&ds);
+        for o in ds.ids() {
+            // Must not panic, and an object is never incomparable to itself.
+            assert!(!pre.f_of(&ds, o).get(o as usize));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Allocation accounting for the steady-state query paths.
+//!
+//! The PR-2 acceptance bar: after context build, `big_with_scratch` /
+//! `ibig_with_scratch` perform **zero heap allocations per visited
+//! object**. A counting global allocator measures the number of
+//! allocations one full query performs on datasets of different sizes —
+//! if any per-object allocation survived, the count would grow with `N`
+//! (hundreds of extra allocations here); instead it must be a small
+//! per-query constant (the `TopK` candidate vector and the result).
+//!
+//! Everything runs in a single `#[test]` so no concurrent test pollutes
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkd_core::{big, ibig};
+use tkd_model::Dataset;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Allocation count of `f` (including whatever its return value allocates).
+fn allocs_during<T>(f: impl FnOnce() -> T) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(out);
+    after - before
+}
+
+/// Deterministic incomplete dataset (splitmix-style hash).
+fn synth(seed: u64, n: usize, d: usize, card: u64, missing_pct: u64) -> Dataset {
+    let mut h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D049BB133111EB);
+        h ^= h >> 31;
+        h
+    };
+    let mut rows = Vec::with_capacity(n);
+    'outer: while rows.len() < n {
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            if next() % 100 < missing_pct {
+                row.push(None);
+            } else {
+                row.push(Some((next() % card) as f64));
+            }
+        }
+        if row.iter().all(Option::is_none) {
+            continue 'outer;
+        }
+        rows.push(row);
+    }
+    Dataset::from_rows(d, &rows).unwrap()
+}
+
+#[test]
+fn query_allocations_are_constant_in_dataset_size() {
+    const K: usize = 32;
+    // Per-query allocation ceiling: the TopK candidate vector plus the
+    // result construction — nothing that scales with visited objects.
+    const PER_QUERY_CEILING: u64 = 8;
+
+    let small = synth(7, 400, 4, 40, 20);
+    let large = synth(7, 2_000, 4, 40, 20);
+
+    // --- BIG ---------------------------------------------------------
+    let ctx_s = big::BigContext::build(&small);
+    let ctx_l = big::BigContext::build(&large);
+    let mut scr_s = ctx_s.scratch();
+    let mut scr_l = ctx_l.scratch();
+    // Warm-up: fault in any lazily initialized state.
+    let warm = big::big_with_scratch(&ctx_l, K, &mut scr_l);
+    assert!(!warm.is_empty());
+
+    let a_small = allocs_during(|| big::big_with_scratch(&ctx_s, K, &mut scr_s));
+    let a_large = allocs_during(|| big::big_with_scratch(&ctx_l, K, &mut scr_l));
+    assert_eq!(
+        a_small, a_large,
+        "BIG allocation count must not grow with dataset size \
+         (small: {a_small}, large: {a_large})"
+    );
+    assert!(
+        a_large <= PER_QUERY_CEILING,
+        "BIG query performed {a_large} allocations (ceiling {PER_QUERY_CEILING})"
+    );
+
+    // Visited-object sanity: the large run visits hundreds of objects, so
+    // even one allocation per visited object would blow the ceiling.
+    let r = big::big_with_scratch(&ctx_l, K, &mut scr_l);
+    assert!(
+        r.stats.scored + r.stats.h2_pruned > 50,
+        "workload too small to be meaningful: {:?}",
+        r.stats
+    );
+
+    // --- IBIG --------------------------------------------------------
+    let ictx_s: ibig::IbigContext<'_> = ibig::IbigContext::build(&small, &[8, 8, 8, 8]);
+    let ictx_l: ibig::IbigContext<'_> = ibig::IbigContext::build(&large, &[8, 8, 8, 8]);
+    let mut iscr_s = ictx_s.scratch();
+    let mut iscr_l = ictx_l.scratch();
+    let warm = ibig::ibig_with_scratch(&ictx_l, K, &mut iscr_l);
+    assert!(!warm.is_empty());
+
+    let a_small = allocs_during(|| ibig::ibig_with_scratch(&ictx_s, K, &mut iscr_s));
+    let a_large = allocs_during(|| ibig::ibig_with_scratch(&ictx_l, K, &mut iscr_l));
+    assert_eq!(
+        a_small, a_large,
+        "IBIG allocation count must not grow with dataset size \
+         (small: {a_small}, large: {a_large})"
+    );
+    assert!(
+        a_large <= PER_QUERY_CEILING,
+        "IBIG query performed {a_large} allocations (ceiling {PER_QUERY_CEILING})"
+    );
+
+    // Reusing one scratch across many queries stays constant too.
+    let again = allocs_during(|| {
+        for k in [1usize, 4, 8, 16] {
+            big::big_with_scratch(&ctx_l, k, &mut scr_l);
+        }
+    });
+    assert!(
+        again <= 4 * PER_QUERY_CEILING,
+        "scratch reuse across queries allocated {again} times"
+    );
+}

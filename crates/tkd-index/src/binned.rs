@@ -210,21 +210,46 @@ impl BinnedBitmapIndex {
 
     /// `Q = (∩ᵢ Qᵢ) − {o}` over the binned columns.
     pub fn q_vec(&self, o: ObjectId) -> BitVec {
-        let mut q = self.q_column(o, 0).clone();
-        for dim in 1..self.dims {
-            q.and_assign(self.q_column(o, dim));
-        }
-        q.clear(o as usize);
+        let mut q = BitVec::zeros(self.n);
+        self.q_into(o, &mut q);
         q
     }
 
     /// `P = ∩ᵢ Pᵢ` over the binned columns.
     pub fn p_vec(&self, o: ObjectId) -> BitVec {
-        let mut p = self.p_column(o, 0).clone();
-        for dim in 1..self.dims {
-            p.and_assign(self.p_column(o, dim));
-        }
+        let mut p = BitVec::zeros(self.n);
+        self.p_into(o, &mut p);
         p
+    }
+
+    /// Fill caller-owned scratch with `Q = (∩ᵢ Qᵢ) − {o}` in one fused
+    /// pass — no allocation (the binned counterpart of
+    /// [`crate::BitmapIndex::q_into`]).
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.n()`.
+    pub fn q_into(&self, o: ObjectId, q: &mut BitVec) {
+        assert_eq!(q.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(
+            &self.columns,
+            |d| self.bin_of(o, d).map(|b| (b - 1) as usize).unwrap_or(0),
+            q,
+        );
+        q.clear(o as usize);
+    }
+
+    /// Fill caller-owned scratch with `P = ∩ᵢ Pᵢ` in one fused pass — no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n()`.
+    pub fn p_into(&self, o: ObjectId, p: &mut BitVec) {
+        assert_eq!(p.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(
+            &self.columns,
+            |d| self.bin_of(o, d).map(|b| b as usize).unwrap_or(0),
+            p,
+        );
     }
 
     /// `MaxBitScore(o) = |Q|` under the binned index (still a valid upper
@@ -234,7 +259,9 @@ impl BinnedBitmapIndex {
         self.q_vec(o).count_ones()
     }
 
-    /// Index size in bits: the paper's Eq. 5 with the actual bin counts.
+    /// Index size in bits: the paper's **logical** Eq. 5 cost with the
+    /// actual bin counts (see [`BinnedBitmapIndex::allocated_bytes`] for
+    /// the allocation footprint).
     pub fn size_bits(&self) -> u64 {
         self.columns
             .iter()
@@ -242,9 +269,16 @@ impl BinnedBitmapIndex {
             .sum()
     }
 
-    /// Index size in bytes.
+    /// The logical size in bytes (`size_bits / 8`, rounded up once).
     pub fn size_bytes(&self) -> u64 {
         self.size_bits().div_ceil(8)
+    }
+
+    /// Actual allocated column storage in bytes: every column holds
+    /// `ceil(|S| / 64)` 64-bit words. Excludes the B+-tree probes.
+    pub fn allocated_bytes(&self) -> u64 {
+        let ncols: u64 = self.columns.iter().map(|c| c.len() as u64).sum();
+        ncols * (self.n as u64).div_ceil(64) * 8
     }
 
     /// Objects whose value in `dim` equals `v` (B+-tree probe, ascending id).
@@ -258,24 +292,35 @@ impl BinnedBitmapIndex {
     /// Objects in the same bin as `o` in `dim` whose value is strictly less
     /// than `o[i]` — the §4.5 probe that feeds `nonD(o)` (they cannot be
     /// dominated by `o`). Empty when `o` misses `dim`.
+    ///
+    /// Returns a concrete B+-tree range cursor — no boxing, so the IBIG
+    /// inner loop performs no heap allocation per probe.
     pub fn ids_in_bin_below(
         &self,
         ds: &Dataset,
         o: ObjectId,
         dim: usize,
-    ) -> Box<dyn Iterator<Item = ObjectId> + '_> {
-        let Some(bin) = self.bin_of(o, dim) else {
-            return Box::new(std::iter::empty());
-        };
-        let v = ds.value(o, dim).expect("bin implies observed");
-        let hi = std::ops::Bound::Excluded((F64Key::new(v).expect("not NaN"), 0));
-        let lo = match self.bin_lower(dim, bin) {
-            None => std::ops::Bound::Unbounded,
-            Some(lb) => {
-                std::ops::Bound::Excluded((F64Key::new(lb).expect("not NaN"), ObjectId::MAX))
+    ) -> impl Iterator<Item = ObjectId> + '_ {
+        use std::ops::Bound;
+        let (lo, hi) = match self.bin_of(o, dim) {
+            None => {
+                // Missing dimension: an interval whose bounds exclude
+                // everything yields the empty probe through the same cursor
+                // type.
+                let k = (F64Key::new(0.0).expect("zero is not NaN"), 0);
+                (Bound::Included(k), Bound::Excluded(k))
+            }
+            Some(bin) => {
+                let v = ds.value(o, dim).expect("bin implies observed");
+                let hi = Bound::Excluded((F64Key::new(v).expect("not NaN"), 0));
+                let lo = match self.bin_lower(dim, bin) {
+                    None => Bound::Unbounded,
+                    Some(lb) => Bound::Excluded((F64Key::new(lb).expect("not NaN"), ObjectId::MAX)),
+                };
+                (lo, hi)
             }
         };
-        Box::new(self.trees[dim].range((lo, hi)).map(|(&(_, id), _)| id))
+        self.trees[dim].range((lo, hi)).map(|(&(_, id), _)| id)
     }
 }
 

@@ -1,10 +1,46 @@
 //! The range-encoded bitmap index of §4.3 (Fig. 6).
 
 use tkd_bitvec::BitVec;
-use tkd_model::{stats, Dataset, ObjectId};
+use tkd_model::{stats, Dataset, ObjectId, MAX_DIMS};
 
 /// Sentinel marking a missing value in the per-object column-index table.
 const MISSING: u32 = u32::MAX;
+
+/// Words per block of the per-column suffix-popcount tables that power the
+/// Heuristic 2 early exit (2048 bits per block).
+const SUFFIX_BLOCK_WORDS: usize = 32;
+
+/// Popcount of the AND of the first `m` word slices over `[start, end)`,
+/// staged through a stack block buffer so each column is one vectorizable
+/// pass (a word-at-a-time gather across columns defeats SIMD and
+/// benchmarks ~2.5× slower).
+#[inline]
+fn block_and_count(words: &[&[u64]; MAX_DIMS], m: usize, start: usize, end: usize) -> usize {
+    let mut buf = [0u64; SUFFIX_BLOCK_WORDS];
+    let blen = end - start;
+    buf[..blen].copy_from_slice(&words[0][start..end]);
+    for col in &words[1..m] {
+        for (b, s) in buf[..blen].iter_mut().zip(&col[start..end]) {
+            *b &= s;
+        }
+    }
+    buf[..blen].iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Suffix popcounts of a column at [`SUFFIX_BLOCK_WORDS`] granularity:
+/// entry `b` is the popcount of words `b·B..`, entry `nblocks` is 0.
+fn suffix_counts(col: &BitVec) -> Vec<u32> {
+    let words = col.as_words();
+    let nblocks = words.len().div_ceil(SUFFIX_BLOCK_WORDS);
+    let mut suf = vec![0u32; nblocks + 1];
+    for b in (0..nblocks).rev() {
+        let start = b * SUFFIX_BLOCK_WORDS;
+        let end = ((b + 1) * SUFFIX_BLOCK_WORDS).min(words.len());
+        let cnt: u32 = words[start..end].iter().map(|w| w.count_ones()).sum();
+        suf[b] = suf[b + 1] + cnt;
+    }
+    suf
+}
 
 /// Range-encoded bitmap index over an incomplete dataset.
 ///
@@ -24,6 +60,9 @@ pub struct BitmapIndex {
     /// Per object, per dimension: 1-based index of the object's value in
     /// `values[i]`, or `MISSING`.
     val_idx: Vec<u32>,
+    /// `block_suffix[i][c]` = [`suffix_counts`] of `columns[i][c]`, for the
+    /// Heuristic 2 early exit.
+    block_suffix: Vec<Vec<Vec<u32>>>,
 }
 
 impl BitmapIndex {
@@ -42,7 +81,11 @@ impl BitmapIndex {
             let mut holders: Vec<Vec<ObjectId>> = vec![Vec::new(); vals.len()];
             for o in ds.ids() {
                 if let Some(v) = ds.value(o, dim) {
-                    let j = vals.partition_point(|x| x.total_cmp(&v).is_lt());
+                    // `vals` is deduped with `==` (merging −0.0 into 0.0),
+                    // so the lookup must use IEEE `<` too: `total_cmp`
+                    // separates the zero signs and would land one slot past
+                    // the merged entry.
+                    let j = vals.partition_point(|&x| x < v);
                     debug_assert_eq!(vals[j], v);
                     holders[j].push(o);
                     val_idx[o as usize * dims + dim] = (j + 1) as u32;
@@ -60,12 +103,17 @@ impl BitmapIndex {
             values.push(vals);
             columns.push(cols);
         }
+        let block_suffix = columns
+            .iter()
+            .map(|cols| cols.iter().map(suffix_counts).collect())
+            .collect();
         BitmapIndex {
             n,
             dims,
             values,
             columns,
             val_idx,
+            block_suffix,
         }
     }
 
@@ -130,30 +178,170 @@ impl BitmapIndex {
     }
 
     /// `Q = (∩ᵢ Qᵢ) − {o}` (Definition 4). `|Q|` is `MaxBitScore(o)`.
+    ///
+    /// Allocates the result; the hot path uses [`BitmapIndex::q_into`].
     pub fn q_vec(&self, o: ObjectId) -> BitVec {
-        let mut q = self.q_column(o, 0).clone();
-        for dim in 1..self.dims {
-            q.and_assign(self.q_column(o, dim));
-        }
-        q.clear(o as usize);
+        let mut q = BitVec::zeros(self.n);
+        self.q_into(o, &mut q);
         q
     }
 
     /// `P = ∩ᵢ Pᵢ` (Definition 4).
+    ///
+    /// Allocates the result; the hot path uses [`BitmapIndex::p_into`].
     pub fn p_vec(&self, o: ObjectId) -> BitVec {
-        let mut p = self.p_column(o, 0).clone();
-        for dim in 1..self.dims {
-            p.and_assign(self.p_column(o, dim));
-        }
+        let mut p = BitVec::zeros(self.n);
+        self.p_into(o, &mut p);
         p
+    }
+
+    /// `[Qᵢ]` column index for `o` in `dim` (0 = the all-ones missing slot,
+    /// also selected when `o` holds the dimension's minimum).
+    #[inline]
+    fn q_col_index(&self, o: ObjectId, dim: usize) -> usize {
+        match self.value_index(o, dim) {
+            None => 0,
+            Some(j) => (j - 1) as usize,
+        }
+    }
+
+    /// `[Pᵢ]` column index for `o` in `dim` (0 when missing).
+    #[inline]
+    fn p_col_index(&self, o: ObjectId, dim: usize) -> usize {
+        match self.value_index(o, dim) {
+            None => 0,
+            Some(j) => j as usize,
+        }
+    }
+
+    /// Collect the word slices (and suffix tables) of `o`'s non-trivial
+    /// `[Qᵢ]` selections — column 0 is the intersection identity and is
+    /// skipped, as in [`crate::intersect_selected_into`]. Returns how many
+    /// were kept.
+    #[inline]
+    fn q_selection<'a>(
+        &'a self,
+        o: ObjectId,
+        words: &mut [&'a [u64]; MAX_DIMS],
+        suffix: &mut [&'a [u32]; MAX_DIMS],
+    ) -> usize {
+        let mut m = 0;
+        for dim in 0..self.dims {
+            let c = self.q_col_index(o, dim);
+            if c > 0 {
+                words[m] = self.columns[dim][c].as_words();
+                suffix[m] = &self.block_suffix[dim][c];
+                m += 1;
+            }
+        }
+        m
+    }
+
+    /// Fill caller-owned scratch with `Q = (∩ᵢ Qᵢ) − {o}` in one fused pass
+    /// — no allocation.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.n()`.
+    pub fn q_into(&self, o: ObjectId, q: &mut BitVec) {
+        assert_eq!(q.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(&self.columns, |d| self.q_col_index(o, d), q);
+        q.clear(o as usize);
+    }
+
+    /// Fill caller-owned scratch with `P = ∩ᵢ Pᵢ` in one fused pass — no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n()`.
+    pub fn p_into(&self, o: ObjectId, p: &mut BitVec) {
+        assert_eq!(p.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(&self.columns, |d| self.p_col_index(o, d), p);
+    }
+
+    /// Fill both `Q` and `P` scratch vectors — no allocation. A convenience
+    /// over [`BitmapIndex::q_into`] + [`BitmapIndex::p_into`] (two
+    /// vectorized passes; a word-interleaved single pass benchmarked
+    /// slower because it defeats SIMD).
+    ///
+    /// # Panics
+    /// Panics if either scratch length differs from `self.n()`.
+    pub fn q_p_into(&self, o: ObjectId, q: &mut BitVec, p: &mut BitVec) {
+        self.q_into(o, q);
+        self.p_into(o, p);
     }
 
     /// `MaxBitScore(o) = |Q|` (Heuristic 2).
     pub fn max_bit_score(&self, o: ObjectId) -> usize {
-        self.q_vec(o).count_ones()
+        self.max_bit_score_counted(o)
     }
 
-    /// Index size in bits: the paper's `cost_s = Σᵢ (Cᵢ + 1) · |S|`.
+    /// `MaxBitScore(o)` as a fused multi-way AND-popcount over the column
+    /// words — nothing is materialized and nothing is allocated.
+    pub fn max_bit_score_counted(&self, o: ObjectId) -> usize {
+        let mut words: [&[u64]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let mut suffix: [&[u32]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let m = self.q_selection(o, &mut words, &mut suffix);
+        if m == 0 {
+            return self.n - 1;
+        }
+        let nwords = words[0].len();
+        let mut total = 0usize;
+        let mut w = 0usize;
+        while w < nwords {
+            let end = (w + SUFFIX_BLOCK_WORDS).min(nwords);
+            total += block_and_count(&words, m, w, end);
+            w = end;
+        }
+        // o ∈ [Qᵢ] for every i (o[i] ≥ o[i], and the missing slot is
+        // all-ones), so |Q| = |∩ᵢ Qᵢ| − 1 without clearing o's bit.
+        total - 1
+    }
+
+    /// Heuristic 2 in one call: `Some(MaxBitScore(o))` when it exceeds
+    /// `tau`, `None` when `MaxBitScore(o) ≤ tau` — i.e. `None` means
+    /// *prune*. The decision is exactly `max_bit_score(o) ≤ tau`, but the
+    /// fused AND-popcount stops as soon as the bits counted so far plus the
+    /// sparsest column's remaining suffix popcount can no longer exceed
+    /// `tau`: on Heuristic-2-heavy workloads most of each scan is skipped.
+    /// This is the hot path of Algorithm 3 — most visited objects die here.
+    pub fn max_bit_score_above(&self, o: ObjectId, tau: usize) -> Option<usize> {
+        let mut words: [&[u64]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let mut suffix: [&[u32]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let m = self.q_selection(o, &mut words, &mut suffix);
+        if m == 0 {
+            let mbs = self.n - 1;
+            return (mbs > tau).then_some(mbs);
+        }
+        // o's own bit is part of every count here, so the prune condition
+        // |Q| ≤ tau reads |∩ᵢ Qᵢ| ≤ tau + 1.
+        let limit = tau + 1;
+        // Upfront: the sparsest single column already bounds |∩ᵢ Qᵢ|.
+        let min0 = suffix[..m].iter().map(|s| s[0] as usize).min().unwrap();
+        if min0 <= limit {
+            return None;
+        }
+        let nwords = words[0].len();
+        let mut total = 0usize;
+        let mut block = 0usize;
+        let mut w = 0usize;
+        while w < nwords {
+            let end = (w + SUFFIX_BLOCK_WORDS).min(nwords);
+            total += block_and_count(&words, m, w, end);
+            w = end;
+            block += 1;
+            let min_suffix = suffix[..m].iter().map(|s| s[block] as usize).min().unwrap();
+            if total + min_suffix <= limit {
+                return None;
+            }
+        }
+        let mbs = total - 1;
+        (mbs > tau).then_some(mbs)
+    }
+
+    /// Index size in bits: the paper's **logical** `cost_s =
+    /// Σᵢ (Cᵢ + 1) · |S|`. This is the quantity Figs. 11's "index size"
+    /// axis plots; the process actually allocates whole 64-bit words per
+    /// column — see [`BitmapIndex::allocated_bytes`] for that number.
     pub fn size_bits(&self) -> u64 {
         self.columns
             .iter()
@@ -161,10 +349,20 @@ impl BitmapIndex {
             .sum()
     }
 
-    /// Index size in bytes (bit count over 8, rounded up per column word
-    /// granularity is ignored — this reports the paper's logical size).
+    /// The paper's logical size in bytes (`cost_s / 8`, rounded up once at
+    /// the end). **Not** the allocation footprint: each column rounds up to
+    /// word granularity separately — use [`BitmapIndex::allocated_bytes`]
+    /// when accounting for memory.
     pub fn size_bytes(&self) -> u64 {
         self.size_bits().div_ceil(8)
+    }
+
+    /// Actual allocated column storage in bytes: every column holds
+    /// `ceil(|S| / 64)` 64-bit words regardless of the logical bit count.
+    /// Always ≥ [`BitmapIndex::size_bytes`].
+    pub fn allocated_bytes(&self) -> u64 {
+        let ncols: u64 = self.columns.iter().map(|c| c.len() as u64).sum();
+        ncols * (self.n as u64).div_ceil(64) * 8
     }
 }
 
@@ -259,6 +457,72 @@ mod tests {
         for o in ds.ids() {
             assert!(dominance::score_of(&ds, o) <= idx.max_bit_score(o));
         }
+    }
+
+    #[test]
+    fn into_variants_match_clone_and_chain_oracle() {
+        // Independent oracle: the pre-scratch clone + and_assign chain over
+        // *all* selected columns (no column-0 skip, no block kernels).
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let oracle_q = |o: ObjectId| {
+            let mut q = idx.q_column(o, 0).clone();
+            for dim in 1..idx.dims() {
+                q.and_assign(idx.q_column(o, dim));
+            }
+            q.clear(o as usize);
+            q
+        };
+        let oracle_p = |o: ObjectId| {
+            let mut p = idx.p_column(o, 0).clone();
+            for dim in 1..idx.dims() {
+                p.and_assign(idx.p_column(o, dim));
+            }
+            p
+        };
+        let mut q = BitVec::ones(ds.len());
+        let mut p = BitVec::ones(ds.len());
+        for o in ds.ids() {
+            idx.q_into(o, &mut q);
+            assert_eq!(q, oracle_q(o), "q_into object {o}");
+            idx.p_into(o, &mut p);
+            assert_eq!(p, oracle_p(o), "p_into object {o}");
+            idx.q_p_into(o, &mut q, &mut p);
+            assert_eq!(q, oracle_q(o), "q_p_into q of object {o}");
+            assert_eq!(p, oracle_p(o), "q_p_into p of object {o}");
+            assert_eq!(q, idx.q_vec(o), "q_vec routes through q_into");
+            assert_eq!(
+                idx.max_bit_score_counted(o),
+                oracle_q(o).count_ones(),
+                "counted MaxBitScore of object {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_shares_positive_zeros_slot() {
+        // distinct_values dedups −0.0 into 0.0 with IEEE `==`; the build
+        // lookup must agree, or −0.0/0.0 objects land in the wrong column.
+        let ds =
+            Dataset::from_rows(1, &[vec![Some(-0.0)], vec![Some(0.0)], vec![Some(1.0)]]).unwrap();
+        let idx = BitmapIndex::build(&ds);
+        assert_eq!(idx.cardinality(0), 2);
+        assert_eq!(idx.value_index(0, 0), idx.value_index(1, 0));
+        assert_eq!(idx.value_index(2, 0), Some(2));
+        // Both zeros tie; 1.0 beats both: MaxBitScore 2, 2, 0.
+        assert_eq!(idx.max_bit_score(0), 2);
+        assert_eq!(idx.max_bit_score(1), 2);
+        assert_eq!(idx.max_bit_score(2), 0);
+    }
+
+    #[test]
+    fn allocated_bytes_uses_word_granularity() {
+        // Fig. 3: 20 objects -> every column is one 64-bit word.
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let ncols: u64 = (0..4).map(|d| idx.num_columns(d) as u64).sum();
+        assert_eq!(idx.allocated_bytes(), ncols * 8);
+        assert!(idx.allocated_bytes() >= idx.size_bytes());
     }
 
     #[test]

@@ -81,6 +81,28 @@ impl<C: CompressedBitmap> CompressedColumns<C> {
         acc
     }
 
+    /// AND together one selected column per dimension directly into a
+    /// caller-owned dense scratch buffer — the zero-allocation IBIG query
+    /// path. The first column is decompressed into `dst` (overwriting it);
+    /// every further column is ANDed in straight off its run stream, so no
+    /// compressed intermediate is ever materialized.
+    ///
+    /// # Panics
+    /// Panics if `picks` is empty, any index is out of range, or
+    /// `dst.len() != self.n()`.
+    pub fn and_selected_into(
+        &self,
+        picks: impl IntoIterator<Item = (usize, usize)>,
+        dst: &mut BitVec,
+    ) {
+        let mut picks = picks.into_iter();
+        let (d0, c0) = picks.next().expect("need at least one column");
+        self.columns[d0][c0].decompress_into(dst);
+        for (d, c) in picks {
+            self.columns[d][c].and_dense(dst);
+        }
+    }
+
     /// Total compressed size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.columns
@@ -170,6 +192,37 @@ mod tests {
                 assert_eq!(&cc.decompress_column(dim, c), idx.column(dim, c));
             }
         }
+    }
+
+    #[test]
+    fn and_selected_into_matches_compressed_chain() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let cc: CompressedColumns<Concise> = CompressedColumns::from_bitmap(&idx);
+        let cw: CompressedColumns<Wah> = CompressedColumns::from_bitmap(&idx);
+        let mut dst = BitVec::ones(idx.n());
+        for o in ds.ids() {
+            let picks: Vec<(usize, usize)> = (0..idx.dims())
+                .map(|d| {
+                    let c = idx.value_index(o, d).map(|j| (j - 1) as usize).unwrap_or(0);
+                    (d, c)
+                })
+                .collect();
+            let reference = cc.and_selected(&picks).decompress();
+            cc.and_selected_into(picks.iter().copied(), &mut dst);
+            assert_eq!(dst, reference, "concise object {o}");
+            cw.and_selected_into(picks.iter().copied(), &mut dst);
+            assert_eq!(dst, reference, "wah object {o}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn and_selected_into_rejects_empty() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let cc: CompressedColumns<Concise> = CompressedColumns::from_bitmap(&idx);
+        cc.and_selected_into(std::iter::empty(), &mut BitVec::zeros(idx.n()));
     }
 
     #[test]

@@ -30,3 +30,35 @@ pub mod cost;
 pub use binned::{compute_bins, BinnedBitmapIndex};
 pub use bitmap::BitmapIndex;
 pub use compressed::CompressedColumns;
+
+use tkd_bitvec::BitVec;
+use tkd_model::MAX_DIMS;
+
+/// Intersect one selected column per dimension into `dst` — the shared
+/// scratch-fill of both indexes' `q_into`/`p_into`. `col_idx(dim)` names
+/// the selected column; **column 0 is the all-ones missing slot**, the
+/// identity of intersection, and is skipped (an object selecting it in
+/// every dimension yields the all-ones result without touching a column).
+///
+/// # Panics
+/// Panics if `dst`'s length differs from the columns'.
+pub(crate) fn intersect_selected_into(
+    columns: &[Vec<BitVec>],
+    col_idx: impl Fn(usize) -> usize,
+    dst: &mut BitVec,
+) {
+    let mut cols: [&BitVec; MAX_DIMS] = [&columns[0][0]; MAX_DIMS];
+    let mut m = 0;
+    for (dim, dim_cols) in columns.iter().enumerate() {
+        let c = col_idx(dim);
+        if c > 0 {
+            cols[m] = &dim_cols[c];
+            m += 1;
+        }
+    }
+    if m == 0 {
+        dst.set_all();
+    } else {
+        BitVec::intersect_into(dst, &cols[..m]);
+    }
+}
