@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR]
-//!              [--bench-out FILE]
+//!              [--bench-out FILE] [--threads 1,2,4,8]
 //!
 //!   --exp        comma-separated subset of:
 //!                table2,fig10,table3,fig11,fig12,fig13,table4,
@@ -13,8 +13,10 @@
 //!   --scale      quick (default) or paper (the paper's dataset sizes)
 //!   --seed       RNG seed (default 42)
 //!   --out        also write each table as CSV into DIR
+//!   --threads    with `--exp perf`: run the parallel-engine
+//!                thread-scaling grid over the given thread counts
 //!   --bench-out  where `--exp perf` writes its JSON
-//!                (default: BENCH_2.json)
+//!                (default: BENCH_2.json, or BENCH_3.json with --threads)
 //! ```
 
 use std::collections::BTreeSet;
@@ -33,7 +35,8 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
     let mut out_dir: Option<String> = None;
-    let mut bench_out = String::from("BENCH_2.json");
+    let mut bench_out: Option<String> = None;
+    let mut threads: Option<Vec<usize>> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -71,8 +74,21 @@ fn main() {
             "--bench-out" => {
                 i += 1;
                 bench_out = match args.get(i) {
-                    Some(f) => f.clone(),
+                    Some(f) => Some(f.clone()),
                     None => usage("missing value for --bench-out"),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                let list = match args.get(i) {
+                    Some(l) => l,
+                    None => usage("missing value for --threads"),
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                threads = match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&t| t >= 1) => Some(v),
+                    _ => usage("--threads expects a comma-separated list of positive integers"),
                 };
             }
             "--help" | "-h" => usage(""),
@@ -87,6 +103,9 @@ fn main() {
                 usage(&format!("unknown experiment {name:?}"));
             }
         }
+    }
+    if threads.is_some() && !exps.as_ref().is_some_and(|set| set.contains("perf")) {
+        usage("--threads requires --exp perf");
     }
     let want = |name: &str| exps.as_ref().is_none_or(|set| set.contains(name));
     let scale_name = match scale {
@@ -149,11 +168,23 @@ fn main() {
         emit(vec![exp::ablation_baseline(scale, seed)]);
     }
     // The perf baseline is opt-in: it is a repo artifact generator, not a
-    // paper reproduction, so `--exp` must name it explicitly.
+    // paper reproduction, so `--exp` must name it explicitly. With
+    // `--threads` it runs the thread-scaling grid (BENCH_3.json) instead
+    // of the sequential baseline grid (BENCH_2.json).
     if exps.as_ref().is_some_and(|set| set.contains("perf")) {
-        let (table, json) = perf::run(scale, seed);
+        let (table, json, default_out) = match &threads {
+            Some(ts) => {
+                let (t, j) = perf::run_threads(scale, seed, ts);
+                (t, j, "BENCH_3.json")
+            }
+            None => {
+                let (t, j) = perf::run(scale, seed);
+                (t, j, "BENCH_2.json")
+            }
+        };
+        let bench_out = bench_out.as_deref().unwrap_or(default_out);
         emit(vec![table]);
-        std::fs::write(&bench_out, json).expect("write perf JSON");
+        std::fs::write(bench_out, json).expect("write perf JSON");
         println!("(perf baseline written to {bench_out})");
     }
 
@@ -188,8 +219,10 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR] \
-         [--bench-out FILE]\n\
-         experiments: {}",
+         [--bench-out FILE] [--threads 1,2,4,8]\n\
+         experiments: {}\n\
+         --threads runs the thread-scaling perf grid (requires --exp perf; \
+         writes BENCH_3.json)",
         KNOWN.join(",")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

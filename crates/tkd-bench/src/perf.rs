@@ -275,6 +275,233 @@ fn to_json(scale: Scale, seed: u64, cells: &[Cell]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Thread-scaling grid (`--exp perf --threads 1,2,4,8` → BENCH_3.json)
+// ---------------------------------------------------------------------------
+
+/// Size of the multi-user batch measured per thread count.
+const BATCH_QUERIES: usize = 16;
+
+/// One thread count's measurements within a cell.
+struct ThreadRun {
+    threads: usize,
+    /// Engine construction (preprocessing + sharded context build).
+    build_s: f64,
+    /// Single-query wall-clock, all threads cooperating (min of reps).
+    big_query_s: f64,
+    ibig_query_s: f64,
+    /// Wall-clock of a [`BATCH_QUERIES`]-query mixed BIG/IBIG batch
+    /// through `query_many` (worker-per-query serving).
+    batch_s: f64,
+}
+
+/// One grid cell of the thread-scaling experiment.
+struct ThreadCell {
+    n: usize,
+    dims: usize,
+    missing: f64,
+    cardinality: usize,
+    k: usize,
+    /// Sequential scratch-engine baselines (the PR-2 engines).
+    seq_big_s: f64,
+    seq_ibig_s: f64,
+    runs: Vec<ThreadRun>,
+}
+
+fn measure_thread_cell(point: PerfPoint, seed: u64, threads: &[usize]) -> ThreadCell {
+    use tkd_core::{Algorithm, EngineQuery, ParallelEngine};
+    let (n, dims, missing, k) = point;
+    let cardinality = 100;
+    let ds = generate(&SyntheticConfig {
+        n,
+        dims,
+        cardinality,
+        missing_rate: missing,
+        distribution: Distribution::Independent,
+        seed,
+    });
+    let bins = vec![32usize; dims];
+    // Sequential baselines (shared preprocessing, as in the perf grid).
+    let pre = Preprocessed::build(&ds);
+    let ctx = big::BigContext::build_with(&ds, &pre);
+    let mut scratch = ctx.scratch();
+    let (seq_big, seq_big_s) =
+        time_best(QUERY_REPS, || big::big_with_scratch(&ctx, k, &mut scratch));
+    let ictx = ibig::IbigContext::<'_, tkd_bitvec::Concise>::build_with(&ds, &bins, &pre);
+    let mut iscratch = ictx.scratch();
+    let (seq_ibig, seq_ibig_s) = time_best(QUERY_REPS, || {
+        ibig::ibig_with_scratch(&ictx, k, &mut iscratch)
+    });
+
+    let batch: Vec<EngineQuery> = (0..BATCH_QUERIES)
+        .map(|i| {
+            EngineQuery::new(k).algorithm(if i % 2 == 0 {
+                Algorithm::Big
+            } else {
+                Algorithm::Ibig
+            })
+        })
+        .collect();
+
+    let mut runs = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let (engine, build_s) = time(|| {
+            ParallelEngine::builder(&ds)
+                .threads(t)
+                .shards(t)
+                .bins(bins.clone())
+                .build()
+        });
+        let big_q = EngineQuery::new(k);
+        let ibig_q = EngineQuery::new(k).algorithm(Algorithm::Ibig);
+        // Warm the pools before timing.
+        let warm = engine.query(&big_q);
+        assert_eq!(
+            warm.entries(),
+            seq_big.entries(),
+            "parallel BIG diverged from sequential (threads={t})"
+        );
+        let warm = engine.query(&ibig_q);
+        assert_eq!(
+            warm.entries(),
+            seq_ibig.entries(),
+            "parallel IBIG diverged from sequential (threads={t})"
+        );
+        let (_, big_query_s) = time_best(QUERY_REPS, || engine.query(&big_q));
+        let (_, ibig_query_s) = time_best(QUERY_REPS, || engine.query(&ibig_q));
+        let (_, batch_s) = time_best(QUERY_REPS, || engine.query_many(&batch));
+        runs.push(ThreadRun {
+            threads: t,
+            build_s,
+            big_query_s,
+            ibig_query_s,
+            batch_s,
+        });
+    }
+    ThreadCell {
+        n,
+        dims,
+        missing,
+        cardinality,
+        k,
+        seq_big_s,
+        seq_ibig_s,
+        runs,
+    }
+}
+
+/// Run the thread-scaling grid, returning the printable table and the
+/// `BENCH_3.json` document.
+pub fn run_threads(scale: Scale, seed: u64, threads: &[usize]) -> (Table, String) {
+    let cells: Vec<ThreadCell> = perf_grid(scale)
+        .into_iter()
+        .map(|p| measure_thread_cell(p, seed, threads))
+        .collect();
+
+    let mut t = Table::new(
+        "thread scaling — parallel engine query wall-clock (IND)",
+        &[
+            "N",
+            "dims",
+            "missing",
+            "k",
+            "threads",
+            "build (s)",
+            "BIG (s)",
+            "IBIG (s)",
+            "batch16 (s)",
+            "BIG vs seq",
+            "BIG vs 1T",
+        ],
+    );
+    for c in &cells {
+        let one_t = c
+            .runs
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.big_query_s);
+        for r in &c.runs {
+            t.push(vec![
+                c.n.to_string(),
+                c.dims.to_string(),
+                format!("{:.0}%", c.missing * 100.0),
+                c.k.to_string(),
+                r.threads.to_string(),
+                secs(r.build_s),
+                secs(r.big_query_s),
+                secs(r.ibig_query_s),
+                secs(r.batch_s),
+                format!("{:.2}x", c.seq_big_s / r.big_query_s),
+                one_t
+                    .map(|b| format!("{:.2}x", b / r.big_query_s))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    (t, threads_to_json(scale, seed, &cells))
+}
+
+/// Hand-rolled JSON for the thread-scaling artifact (offline — no serde).
+fn threads_to_json(scale: Scale, seed: u64, cells: &[ThreadCell]) -> String {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tkd-perf-threads/v1\",\n");
+    s.push_str("  \"created_by\": \"repro --exp perf --threads\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    // Speedup claims are only meaningful relative to the cores the run
+    // actually had; CI containers are often single-core.
+    s.push_str(&format!(
+        "  \"hardware\": {{\"available_parallelism\": {hw}}},\n"
+    ));
+    s.push_str(&format!("  \"batch_queries\": {BATCH_QUERIES},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"workload\": {{\"n\": {}, \"dims\": {}, \"missing_rate\": {}, \
+             \"cardinality\": {}, \"k\": {}, \"distribution\": \"IND\"}},\n",
+            c.n, c.dims, c.missing, c.cardinality, c.k
+        ));
+        s.push_str(&format!(
+            "      \"sequential\": {{\"big_query_s\": {:.6}, \"ibig_query_s\": {:.6}}},\n",
+            c.seq_big_s, c.seq_ibig_s
+        ));
+        s.push_str("      \"threads\": [\n");
+        for (j, r) in c.runs.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"threads\": {}, \"build_s\": {:.6}, \"big_query_s\": {:.6}, \
+                 \"ibig_query_s\": {:.6}, \"batch_s\": {:.6}, \
+                 \"big_speedup_vs_seq\": {:.3}, \"ibig_speedup_vs_seq\": {:.3}}}{}\n",
+                r.threads,
+                r.build_s,
+                r.big_query_s,
+                r.ibig_query_s,
+                r.batch_s,
+                c.seq_big_s / r.big_query_s,
+                c.seq_ibig_s / r.ibig_query_s,
+                if j + 1 < c.runs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
 // Allocating BIG replica (the pre-PR-2 scorer), via public APIs only.
 // ---------------------------------------------------------------------------
 
@@ -410,5 +637,24 @@ mod tests {
     fn grid_shapes() {
         assert!(perf_grid(Scale::Quick).iter().all(|&(n, ..)| n <= 10_000));
         assert!(perf_grid(Scale::Paper).iter().any(|&(n, ..)| n == 50_000));
+    }
+
+    #[test]
+    fn thread_cell_parity_and_json_shape() {
+        // A miniature cell: the engine must agree with the sequential
+        // baselines at every thread count (asserted inside), and the JSON
+        // must carry the schema, hardware, and speedup fields.
+        let cell = measure_thread_cell((700, 4, 0.2, 8), 11, &[1, 2]);
+        assert_eq!(cell.runs.len(), 2);
+        let json = threads_to_json(Scale::Quick, 11, &[cell]);
+        for needle in [
+            "tkd-perf-threads/v1",
+            "available_parallelism",
+            "big_speedup_vs_seq",
+            "\"threads\": 2",
+            "batch_s",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 }

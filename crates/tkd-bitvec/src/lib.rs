@@ -30,7 +30,7 @@ mod runs;
 mod wah;
 
 pub use concise::Concise;
-pub use dense::{AndNotOnes, BitVec, Ones};
+pub use dense::{AndNotOnes, BitSlice, BitVec, Ones};
 pub use runs::{Run, BLOCK_BITS};
 pub use wah::Wah;
 

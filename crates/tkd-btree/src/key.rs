@@ -6,8 +6,11 @@ use core::fmt;
 /// An `f64` with total order, usable as a B+-tree key.
 ///
 /// NaN is rejected at construction (the data model already forbids NaN for
-/// observed values), so `Eq`/`Ord` are honest and `total_cmp` agrees with
-/// IEEE `<` on the admitted values.
+/// observed values) and **−0.0 is normalized to +0.0**, so `Eq`/`Ord` are
+/// honest and agree exactly with the IEEE `<`/`==` the rest of the system
+/// compares values with. Without the normalization, `total_cmp` would
+/// order −0.0 below +0.0 and value-equality probes (e.g. IBIG's `tagT`
+/// accumulation) would miss ties between the two zeros.
 #[derive(Clone, Copy, PartialEq)]
 pub struct F64Key(f64);
 
@@ -19,7 +22,9 @@ impl F64Key {
         if v.is_nan() {
             None
         } else {
-            Some(F64Key(v))
+            // IEEE addition sends −0.0 + 0.0 to +0.0 and fixes every other
+            // non-NaN value, collapsing the zero signs into one key.
+            Some(F64Key(v + 0.0))
         }
     }
 
@@ -77,10 +82,15 @@ mod tests {
     }
 
     #[test]
-    fn negative_zero_sorts_below_positive_zero() {
-        // total_cmp semantics; documents the (harmless) -0.0 < +0.0 quirk.
+    fn negative_zero_equals_positive_zero() {
+        // −0.0 normalizes to +0.0 at construction: the key order must
+        // agree with IEEE equality, or range probes for 0.0 would miss
+        // objects holding −0.0 (a real IBIG scoring bug caught by
+        // `tests/adversarial.rs`).
         let nz = F64Key::new(-0.0).unwrap();
         let pz = F64Key::new(0.0).unwrap();
-        assert!(nz < pz);
+        assert!(nz == pz);
+        assert_eq!(nz.cmp(&pz), Ordering::Equal);
+        assert!(nz.get().is_sign_positive());
     }
 }

@@ -109,6 +109,17 @@ pub fn big_with(ctx: &BigContext<'_>, k: usize) -> TkdResult {
 /// # Panics
 /// Panics if `scratch` was sized for a different object count.
 pub fn big_with_scratch(ctx: &BigContext<'_>, k: usize, scratch: &mut ScratchSpace) -> TkdResult {
+    if k == 0 {
+        // τ can never form with an unfillable candidate set; skip the
+        // full-queue scoring pass (uniform k-edge behavior).
+        return TkdResult::new(
+            Vec::new(),
+            PruneStats {
+                h1_pruned: ctx.pre.queue().len(),
+                ..Default::default()
+            },
+        );
+    }
     let mut top = TopK::new(k);
     let mut stats = PruneStats::default();
     let queue = ctx.pre.queue();

@@ -148,6 +148,17 @@ pub fn ibig_with_scratch<C: CompressedBitmap>(
     k: usize,
     scratch: &mut ScratchSpace,
 ) -> TkdResult {
+    if k == 0 {
+        // τ can never form with an unfillable candidate set; skip the
+        // full-queue scoring pass (uniform k-edge behavior).
+        return TkdResult::new(
+            Vec::new(),
+            PruneStats {
+                h1_pruned: ctx.pre.queue().len(),
+                ..Default::default()
+            },
+        );
+    }
     let mut top = TopK::new(k);
     let mut stats = PruneStats::default();
     let queue = ctx.pre.queue();

@@ -16,6 +16,11 @@
 //! (Definitions 2–3) and a [`PruneStats`] describing how much work each
 //! heuristic saved (the paper's Fig. 18).
 //!
+//! Beyond the paper, the [`parallel`] module shards BIG/IBIG across
+//! worker threads with a shared pruning threshold τ (score- and
+//! order-identical to the sequential runs), and [`engine`] wraps it in a
+//! multi-user [`ParallelEngine`] with a batched `query_many` API.
+//!
 //! The ergonomic entry point is [`TkdQuery`]:
 //!
 //! ```
@@ -37,11 +42,13 @@
 
 pub mod big;
 pub mod complete_baseline;
+pub mod engine;
 pub mod esb;
 pub mod ibig;
 pub mod maxscore;
 pub mod mfd;
 pub mod naive;
+pub mod parallel;
 pub mod preprocess;
 mod query;
 mod result;
@@ -50,6 +57,8 @@ mod stats;
 mod topk;
 pub mod variants;
 
+pub use engine::{EngineQuery, ParallelEngine};
+pub use parallel::{parallel_big, parallel_ibig, ShardPlan, ShardedBigContext, ShardedIbigContext};
 pub use preprocess::Preprocessed;
 pub use query::{Algorithm, BinChoice, TieBreak, TkdQuery};
 pub use result::{ResultEntry, TkdResult};

@@ -1,0 +1,1028 @@
+//! Sharded multi-threaded execution of BIG and IBIG — the repo's first
+//! concurrency subsystem.
+//!
+//! # Design
+//!
+//! The paper's bitmap machinery is partition-parallel: for any split of
+//! the dataset into contiguous shards, the per-shard `Q`/`P` popcounts of
+//! a candidate sum to its global counts, so a candidate's exact score can
+//! be assembled from independent per-shard scans. This module exploits
+//! that in three layers:
+//!
+//! * **Data layout** — [`ShardPlan`] cuts the object-id space into
+//!   word-aligned contiguous ranges. Each shard gets its own
+//!   [`BitmapIndex`] / binned index built with `build_range` (stable
+//!   global ids: `global = shard base + local bit position`), and global
+//!   per-object bit vectors such as the incomparable sets `F(o)` are
+//!   viewed per shard through [`tkd_bitvec::BitVec::slice_words`] — no
+//!   copying. Candidates are scored against *every* shard, member or not,
+//!   via the value-based `select_for` APIs.
+//! * **Scheduling** — workers on [`std::thread::scope`] claim chunks of
+//!   the shared descending-`MaxScore` queue, score candidates with their
+//!   own [`WorkerScratch`] (zero allocations per candidate), and publish
+//!   outcomes into per-position atomic slots.
+//! * **Bound exchange** — a shared atomic **τ** (the current k-th score
+//!   lower bound) tightens Heuristic-2 pruning across shards and workers:
+//!   every worker prunes with the freshest published τ, and a replay
+//!   merger (below) advances τ exactly as the sequential algorithm would.
+//!
+//! # Why the result is *identical* to the sequential engines
+//!
+//! Results are merged by **replaying outcomes in queue order**: a merger
+//! (any worker that grabs the merge lock) consumes slot `t` only after
+//! slots `0..t`, offering scores to the same bounded top-k candidate set
+//! the sequential driver uses and publishing `τ_t` — by induction exactly
+//! the sequential
+//! τ after prefix `t`. Workers prune with a *published* τ, which is
+//! always ≤ the sequential τ at their queue position, so:
+//!
+//! * a worker-pruned candidate satisfies `score ≤ bound ≤ τ_published ≤
+//!   τ_seq(t)` — the sequential offer would have been a no-op;
+//! * a worker-scored candidate contributes its exact score, and the
+//!   replayed offer behaves identically to the sequential one.
+//!
+//! Hence the final entry set, scores, and tie order equal the sequential
+//! run's, and Heuristic-1 termination fires at the same queue position
+//! (`h1_pruned` is exact). Only the `h2/h3/scored` counters may differ —
+//! lagging τ lets workers score candidates the sequential run would have
+//! pruned. `tests/parallel_parity.rs` and the proptests below pin this
+//! equivalence across shard counts, thread counts, missing rates, and
+//! `k` edges.
+
+use crate::preprocess::Preprocessed;
+use crate::result::TkdResult;
+use crate::scratch::ScratchSpace;
+use crate::stats::PruneStats;
+use crate::topk::TopK;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tkd_bitvec::{CompressedBitmap, Concise};
+use tkd_index::{BinSelection, BinnedBitmapIndex, BitmapIndex, ColumnSelection, CompressedColumns};
+use tkd_model::{Dataset, ObjectId};
+
+/// Queue positions claimed per worker round-trip to the shared cursor.
+const CLAIM_CHUNK: usize = 16;
+
+/// A word-aligned partition of the object-id space into contiguous
+/// shards. Interior boundaries are multiples of 64, so every shard's view
+/// of a global bit vector is a plain word-range slice
+/// ([`tkd_bitvec::BitVec::slice_words`]) and per-shard popcounts are
+/// exact with no masking.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Shard start offsets in bits; `starts[0] = 0`, `starts[count] = n`.
+    starts: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partition `n` objects into (at most) `shards` word-aligned,
+    /// balanced, non-empty shards. The effective count is clamped to the
+    /// number of 64-bit words, so no shard is empty (an empty dataset
+    /// yields one empty shard).
+    pub fn new(n: usize, shards: usize) -> Self {
+        let words = n.div_ceil(64);
+        let count = shards.clamp(1, words.max(1));
+        let base = words / count;
+        let rem = words % count;
+        let mut starts = Vec::with_capacity(count + 1);
+        let mut w = 0usize;
+        starts.push(0);
+        for j in 0..count {
+            w += base + usize::from(j < rem);
+            starts.push((w * 64).min(n));
+        }
+        ShardPlan { starts }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of objects covered.
+    pub fn n(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// First global id of shard `j`.
+    pub fn lo(&self, j: usize) -> usize {
+        self.starts[j]
+    }
+
+    /// One-past-last global id of shard `j`.
+    pub fn hi(&self, j: usize) -> usize {
+        self.starts[j + 1]
+    }
+
+    /// Word range `[lo, hi)` of shard `j` within a global bit vector.
+    pub fn word_range(&self, j: usize) -> (usize, usize) {
+        (self.starts[j] / 64, self.starts[j + 1].div_ceil(64))
+    }
+
+    /// `(shard, local id)` of global id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= n()`.
+    pub fn locate(&self, id: usize) -> (usize, usize) {
+        assert!(id < self.n(), "object id {id} out of range");
+        let j = self.starts.partition_point(|&s| s <= id) - 1;
+        (j, id - self.starts[j])
+    }
+
+    /// Local id of global `id` within shard `j`, `None` when outside.
+    pub fn local_of(&self, j: usize, id: usize) -> Option<usize> {
+        (self.starts[j]..self.starts[j + 1])
+            .contains(&id)
+            .then(|| id - self.starts[j])
+    }
+}
+
+/// Per-worker scratch for sharded scoring: one [`ScratchSpace`] per shard
+/// (shard-sized `Q`/`P` vectors plus the epoch-stamped IBIG tables) and
+/// the per-shard column selections. Sized once per worker; the scoring
+/// paths then allocate nothing per candidate.
+pub struct WorkerScratch {
+    /// Shard-sized scratch spaces, one per shard.
+    shards: Vec<ScratchSpace>,
+    /// Per-shard resolved unbinned column picks (BIG).
+    sels: Vec<ColumnSelection>,
+    /// Per-shard resolved binned column picks (IBIG).
+    bin_sels: Vec<BinSelection>,
+    /// Per-shard cheap `|Q|` upper bounds (Heuristic 2 budgeting).
+    ubs: Vec<usize>,
+}
+
+impl WorkerScratch {
+    /// Scratch sized for `plan`'s shards.
+    pub fn new(plan: &ShardPlan) -> Self {
+        let count = plan.count();
+        WorkerScratch {
+            shards: (0..count)
+                .map(|j| ScratchSpace::new(plan.hi(j) - plan.lo(j)))
+                .collect(),
+            sels: vec![ColumnSelection::default(); count],
+            bin_sels: vec![BinSelection::default(); count],
+            ubs: vec![0; count],
+        }
+    }
+
+    /// Does this scratch fit `plan` (same shard cuts)?
+    pub fn fits(&self, plan: &ShardPlan) -> bool {
+        self.shards.len() == plan.count()
+            && (0..plan.count()).all(|j| self.shards[j].n() == plan.hi(j) - plan.lo(j))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded contexts
+// ---------------------------------------------------------------------------
+
+/// Build one value per shard on scoped threads (shard builds are
+/// independent, so context construction parallelizes too).
+fn build_per_shard<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..count).map(|j| s.spawn(move || f(j))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard build panicked"))
+            .collect()
+    })
+}
+
+/// Sharded counterpart of [`crate::big::BigContext`]: per-shard
+/// [`BitmapIndex`]es over a [`ShardPlan`] plus the shared
+/// [`Preprocessed`] artifacts (reused via `Cow`, so preprocessing is paid
+/// once however many contexts share it).
+pub struct ShardedBigContext<'a> {
+    ds: &'a Dataset,
+    plan: ShardPlan,
+    shards: Vec<BitmapIndex>,
+    pre: Cow<'a, Preprocessed>,
+}
+
+impl<'a> ShardedBigContext<'a> {
+    /// Build with `shards` shards, running all preprocessing internally.
+    pub fn build(ds: &'a Dataset, shards: usize) -> Self {
+        Self::from_parts(ds, Cow::Owned(Preprocessed::build(ds)), shards)
+    }
+
+    /// Build borrowing shared [`Preprocessed`] artifacts.
+    pub fn build_with(ds: &'a Dataset, pre: &'a Preprocessed, shards: usize) -> Self {
+        Self::from_parts(ds, Cow::Borrowed(pre), shards)
+    }
+
+    pub(crate) fn from_parts(ds: &'a Dataset, pre: Cow<'a, Preprocessed>, shards: usize) -> Self {
+        let plan = ShardPlan::new(ds.len(), shards);
+        let shards = build_per_shard(plan.count(), |j| {
+            BitmapIndex::build_range(ds, plan.lo(j), plan.hi(j))
+        });
+        ShardedBigContext {
+            ds,
+            plan,
+            shards,
+            pre,
+        }
+    }
+
+    /// The dataset this context was built for.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The per-shard indexes, in shard order.
+    pub fn shards(&self) -> &[BitmapIndex] {
+        &self.shards
+    }
+
+    /// The shared preprocessing artifacts.
+    pub fn preprocessed(&self) -> &Preprocessed {
+        &self.pre
+    }
+
+    /// A fresh [`WorkerScratch`] sized for this context's plan.
+    pub fn worker_scratch(&self) -> WorkerScratch {
+        WorkerScratch::new(&self.plan)
+    }
+}
+
+/// One IBIG shard: the shard's binned index plus its compressed columns.
+struct IbigShard<C: CompressedBitmap> {
+    index: BinnedBitmapIndex,
+    columns: CompressedColumns<C>,
+}
+
+/// Sharded counterpart of [`crate::ibig::IbigContext`]: per-shard binned
+/// indexes (bins re-quantiled per shard) with compressed columns, plus the
+/// shared [`Preprocessed`] artifacts.
+pub struct ShardedIbigContext<'a, C: CompressedBitmap = Concise> {
+    ds: &'a Dataset,
+    plan: ShardPlan,
+    shards: Vec<IbigShard<C>>,
+    pre: Cow<'a, Preprocessed>,
+}
+
+impl<'a, C: CompressedBitmap + Send> ShardedIbigContext<'a, C> {
+    /// Build with explicit per-dimension bin counts and `shards` shards.
+    pub fn build(ds: &'a Dataset, bins_per_dim: &[usize], shards: usize) -> Self {
+        Self::from_parts(
+            ds,
+            bins_per_dim,
+            Cow::Owned(Preprocessed::build(ds)),
+            shards,
+        )
+    }
+
+    /// Build with the Eq. 8 optimal bin count on every dimension.
+    pub fn build_auto(ds: &'a Dataset, shards: usize) -> Self {
+        let x = tkd_index::cost::optimal_bins(ds.len(), tkd_model::stats::missing_rate(ds));
+        Self::build(ds, &vec![x; ds.dims()], shards)
+    }
+
+    /// Build borrowing shared [`Preprocessed`] artifacts.
+    pub fn build_with(
+        ds: &'a Dataset,
+        bins_per_dim: &[usize],
+        pre: &'a Preprocessed,
+        shards: usize,
+    ) -> Self {
+        Self::from_parts(ds, bins_per_dim, Cow::Borrowed(pre), shards)
+    }
+
+    pub(crate) fn from_parts(
+        ds: &'a Dataset,
+        bins_per_dim: &[usize],
+        pre: Cow<'a, Preprocessed>,
+        shards: usize,
+    ) -> Self {
+        let plan = ShardPlan::new(ds.len(), shards);
+        let shards = build_per_shard(plan.count(), |j| {
+            let index = BinnedBitmapIndex::build_range(ds, bins_per_dim, plan.lo(j), plan.hi(j));
+            let columns = CompressedColumns::from_binned(&index);
+            IbigShard { index, columns }
+        });
+        ShardedIbigContext {
+            ds,
+            plan,
+            shards,
+            pre,
+        }
+    }
+
+    /// The dataset this context was built for.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shared preprocessing artifacts.
+    pub fn preprocessed(&self) -> &Preprocessed {
+        &self.pre
+    }
+
+    /// A fresh [`WorkerScratch`] sized for this context's plan.
+    pub fn worker_scratch(&self) -> WorkerScratch {
+        WorkerScratch::new(&self.plan)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scoring
+// ---------------------------------------------------------------------------
+
+/// Outcome of scoring one candidate (the slot payload of the replay
+/// merge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// Skipped on the `MaxScore` bound against a published τ.
+    PrunedBound,
+    /// Pruned by Heuristic 2 (`MaxBitScore ≤ τ`).
+    PrunedBitmap,
+    /// Pruned by Heuristic 3 (partial-score budget exhausted).
+    PrunedPartial,
+    /// Exact score.
+    Score(usize),
+}
+
+fn encode(o: Outcome) -> u64 {
+    match o {
+        Outcome::PrunedBound => 1,
+        Outcome::PrunedBitmap => 2,
+        Outcome::PrunedPartial => 3,
+        Outcome::Score(s) => 4 + s as u64,
+    }
+}
+
+fn decode(v: u64) -> Outcome {
+    match v {
+        1 => Outcome::PrunedBound,
+        2 => Outcome::PrunedBitmap,
+        3 => Outcome::PrunedPartial,
+        s => Outcome::Score((s - 4) as usize),
+    }
+}
+
+/// Sharded BIG-Score: cross-shard Heuristic 2 on the shared τ, then exact
+/// per-shard scoring summed into the global score. Allocation-free.
+pub(crate) fn big_score_sharded(
+    ctx: &ShardedBigContext<'_>,
+    o: ObjectId,
+    tau: Option<usize>,
+    w: &mut WorkerScratch,
+) -> Outcome {
+    let ds = ctx.ds;
+    let WorkerScratch {
+        shards: scratch,
+        sels,
+        ubs,
+        ..
+    } = w;
+    for (sel, shard) in sels.iter_mut().zip(&ctx.shards) {
+        *sel = shard.select_for(|d| ds.value(o, d));
+    }
+    // Heuristic 2, cross-shard: prune iff Σⱼ |Qⱼ| ≤ τ + 1 (the raw
+    // intersections count o's own bit once, in its home shard). Shards
+    // exchange budget through the running total: cheap per-shard upper
+    // bounds skip whole shards, and the blockwise early exit inside
+    // `q_count_selected_above` stops a scan as soon as the global decision
+    // is certain either way.
+    if let Some(tau) = tau {
+        let limit = tau + 1;
+        let mut ub_rest = 0usize;
+        for (ub, (sel, shard)) in ubs.iter_mut().zip(sels.iter().zip(&ctx.shards)) {
+            *ub = shard.q_selected_upper_bound(sel);
+            ub_rest += *ub;
+        }
+        let mut acc = 0usize;
+        let mut keep = false;
+        for (j, (sel, shard)) in sels.iter().zip(&ctx.shards).enumerate() {
+            ub_rest -= ubs[j];
+            if acc + ubs[j] + ub_rest <= limit {
+                return Outcome::PrunedBitmap;
+            }
+            // Remaining budget for shard j such that `count_j ≤ budget`
+            // certifies `Σ counts ≤ limit`. When later shards' upper
+            // bounds already exceed `limit − acc` the true budget is
+            // negative — no certificate is possible and a `None` from the
+            // capped scan merely means this shard counts 0 (pruning on it
+            // would be unsound; `acc ≤ limit` here, so `limit − acc` is
+            // safe).
+            let budget = (limit - acc).checked_sub(ub_rest);
+            match shard.q_count_selected_above(sel, budget.unwrap_or(0)) {
+                // Shard j provably fits the remaining budget: the global
+                // count cannot exceed `limit`.
+                None if budget.is_some() => return Outcome::PrunedBitmap,
+                // Negative true budget: `None` only says `count_j == 0`.
+                None => {}
+                Some(c) => {
+                    acc += c;
+                    if acc > limit {
+                        keep = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !keep && acc <= limit {
+            return Outcome::PrunedBitmap;
+        }
+    }
+    // Exact score, shard by shard.
+    let f = ctx.pre.f_of(ds, o);
+    let o_mask = ds.mask(o);
+    let mut score = 0usize;
+    for (j, shard) in ctx.shards.iter().enumerate() {
+        let sc = &mut scratch[j];
+        let member = ctx.plan.local_of(j, o as usize);
+        shard.q_into_selected(&sels[j], member, &mut sc.q);
+        shard.p_into_selected(&sels[j], &mut sc.p);
+        let (w_lo, w_hi) = ctx.plan.word_range(j);
+        // G contribution: |Pⱼ ∧ ¬Fⱼ| against the shard view of F(o).
+        let g = sc.p.and_not_count_slice(f.slice_words(w_lo, w_hi));
+        let base = ctx.plan.lo(j);
+        let mut q_minus_p = 0usize;
+        let mut non_d = 0usize;
+        for lpid in sc.q.iter_ones_and_not(&sc.p) {
+            q_minus_p += 1;
+            let pid = (base + lpid) as ObjectId;
+            let common = o_mask.and(ds.mask(pid));
+            // Tie iff equal on every commonly observed dimension: integer
+            // slot compares against the shard's distinct-value table.
+            let all_equal = common.iter().all(|d| {
+                let slot = sels[j].eq_slot(d);
+                slot != 0 && slot == shard.value_slot(lpid, d)
+            });
+            if all_equal {
+                non_d += 1;
+            }
+        }
+        score += g + q_minus_p - non_d;
+    }
+    Outcome::Score(score)
+}
+
+/// Sharded IBIG-Score: per-shard compressed `Q`/`P` decompression,
+/// cross-shard Heuristics 2 and 3 on the shared τ, per-shard B+-tree
+/// probes resolving the binned residue. Allocation-free.
+pub(crate) fn ibig_score_sharded<C: CompressedBitmap>(
+    ctx: &ShardedIbigContext<'_, C>,
+    o: ObjectId,
+    tau: Option<usize>,
+    w: &mut WorkerScratch,
+) -> Outcome {
+    let ds = ctx.ds;
+    let dims = ds.dims();
+    let WorkerScratch {
+        shards: scratch,
+        bin_sels,
+        ..
+    } = w;
+    for (sel, shard) in bin_sels.iter_mut().zip(&ctx.shards) {
+        *sel = shard.index.select_for(|d| ds.value(o, d));
+    }
+    // Q per shard, fused off the run streams; Σ counts o itself once.
+    let mut total_q = 0usize;
+    for (j, shard) in ctx.shards.iter().enumerate() {
+        shard
+            .columns
+            .and_selected_into((0..dims).map(|d| bin_sels[j].q_pick(d)), &mut scratch[j].q);
+        total_q += scratch[j].q.count_ones();
+    }
+    let max_bit_score = total_q - 1;
+    // Heuristic 2 — bitmap pruning (still sound under per-shard binning).
+    if matches!(tau, Some(t) if max_bit_score <= t) {
+        return Outcome::PrunedBitmap;
+    }
+    let (home, local) = ctx.plan.locate(o as usize);
+    scratch[home].q.clear(local);
+    let f = ctx.pre.f_of(ds, o);
+    let f_count = f.count_ones();
+    let mut g = 0usize;
+    for (j, shard) in ctx.shards.iter().enumerate() {
+        shard
+            .columns
+            .and_selected_into((0..dims).map(|d| bin_sels[j].p_pick(d)), &mut scratch[j].p);
+        let (w_lo, w_hi) = ctx.plan.word_range(j);
+        g += scratch[j].p.and_not_count_slice(f.slice_words(w_lo, w_hi));
+    }
+
+    // Heuristic 3 budget: score(o) ≤ MaxBitScore − |F| − |nonD so far|.
+    let h3_budget = |non_d: usize, tau: Option<usize>| -> bool {
+        matches!(tau, Some(t) if non_d > max_bit_score.saturating_sub(f_count).saturating_sub(t))
+    };
+
+    let o_mask = ds.mask(o);
+    let mut non_d = 0usize;
+    // (a) Same-bin objects strictly better than o somewhere cannot be
+    //     dominated: per-shard value-based B+-tree probes.
+    for (j, shard) in ctx.shards.iter().enumerate() {
+        let sc = &mut scratch[j];
+        sc.stamps.next_object();
+        for dim in o_mask.iter() {
+            let v = ds.raw_value(o, dim);
+            for lpid in shard.index.ids_below_in_bin(dim, v, true) {
+                let lpid = lpid as usize;
+                if sc.q.get(lpid) && !sc.p.get(lpid) && sc.stamps.mark_nond(lpid) {
+                    non_d += 1;
+                }
+            }
+            // Heuristic 3 — partial score pruning, fed by the shared τ.
+            if h3_budget(non_d, tau) {
+                return Outcome::PrunedPartial;
+            }
+        }
+    }
+    // (b) tagT accumulation: same-value probes per shard and dimension.
+    for (j, shard) in ctx.shards.iter().enumerate() {
+        let sc = &mut scratch[j];
+        let base = ctx.plan.lo(j);
+        for dim in o_mask.iter() {
+            let v = ds.raw_value(o, dim);
+            for lpid in shard.index.ids_equal(dim, v) {
+                let lpid = lpid as usize;
+                if base + lpid != o as usize && sc.q.get(lpid) && !sc.p.get(lpid) {
+                    sc.stamps.bump_tag(lpid);
+                }
+            }
+        }
+    }
+    // Members of Q − P tying o on all commonly observed dimensions.
+    let mut q_minus_p = 0usize;
+    for (j, sc) in scratch.iter().enumerate() {
+        let base = ctx.plan.lo(j);
+        for lpid in sc.q.iter_ones_and_not(&sc.p) {
+            q_minus_p += 1;
+            if sc.stamps.is_nond(lpid) {
+                continue;
+            }
+            let common = o_mask.and(ds.mask((base + lpid) as ObjectId)).count();
+            if sc.stamps.tag_of(lpid) == common {
+                non_d += 1;
+                if h3_budget(non_d, tau) {
+                    return Outcome::PrunedPartial;
+                }
+            }
+        }
+    }
+    Outcome::Score(g + q_minus_p - non_d)
+}
+
+// ---------------------------------------------------------------------------
+// Replay-merge driver
+// ---------------------------------------------------------------------------
+
+fn encode_tau(tau: Option<usize>) -> usize {
+    tau.map_or(0, |t| t + 1)
+}
+
+fn decode_tau(v: usize) -> Option<usize> {
+    v.checked_sub(1)
+}
+
+struct MergeState {
+    frontier: usize,
+    top: TopK,
+    stats: PruneStats,
+    done: bool,
+}
+
+struct Shared<'q> {
+    queue: &'q [(ObjectId, usize)],
+    slots: &'q [AtomicU64],
+    next: AtomicUsize,
+    /// Published τ of the longest merged prefix (`0` = candidate set not
+    /// full yet, else `τ + 1`). Monotone non-decreasing.
+    tau_plus1: AtomicUsize,
+    stop: AtomicBool,
+    merge: Mutex<MergeState>,
+}
+
+/// Consume completed slots in queue order under the merge lock,
+/// replicating the sequential driver's loop: Heuristic-1 check first,
+/// then the offer. Publishes τ after every accepted score.
+fn merge_locked(sh: &Shared<'_>, m: &mut MergeState) {
+    if m.done {
+        return;
+    }
+    let len = sh.queue.len();
+    while m.frontier < len {
+        let (o, max_score) = sh.queue[m.frontier];
+        // Heuristic 1 — exact, because the replayed τ equals the
+        // sequential τ at this position.
+        if m.top.prunes(max_score) {
+            m.stats.h1_pruned = len - m.frontier;
+            m.done = true;
+            sh.stop.store(true, Ordering::Release);
+            return;
+        }
+        let v = sh.slots[m.frontier].load(Ordering::Acquire);
+        if v == 0 {
+            return; // frontier position still being scored
+        }
+        match decode(v) {
+            Outcome::PrunedBound | Outcome::PrunedBitmap => m.stats.h2_pruned += 1,
+            Outcome::PrunedPartial => m.stats.h3_pruned += 1,
+            Outcome::Score(s) => {
+                m.stats.scored += 1;
+                m.top.offer(o, s);
+                sh.tau_plus1
+                    .store(encode_tau(m.top.tau()), Ordering::Release);
+            }
+        }
+        m.frontier += 1;
+    }
+    m.done = true;
+}
+
+fn try_merge(sh: &Shared<'_>) {
+    if let Ok(mut m) = sh.merge.try_lock() {
+        merge_locked(sh, &mut m);
+    }
+}
+
+fn worker_loop<F>(sh: &Shared<'_>, score: &F, w: &mut WorkerScratch)
+where
+    F: Fn(ObjectId, Option<usize>, &mut WorkerScratch) -> Outcome,
+{
+    let len = sh.queue.len();
+    'claim: loop {
+        if sh.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let start = sh.next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+        if start >= len {
+            break;
+        }
+        for t in start..(start + CLAIM_CHUNK).min(len) {
+            if sh.stop.load(Ordering::Acquire) {
+                break 'claim;
+            }
+            let (o, max_score) = sh.queue[t];
+            let tau = decode_tau(sh.tau_plus1.load(Ordering::Acquire));
+            // The published τ is a prefix τ ≤ the sequential τ at `t`, so
+            // both prunes are conservative w.r.t. the sequential run.
+            let out = match tau {
+                Some(t0) if max_score <= t0 => Outcome::PrunedBound,
+                _ => score(o, tau, w),
+            };
+            sh.slots[t].store(encode(out), Ordering::Release);
+        }
+        try_merge(sh);
+    }
+    try_merge(sh);
+}
+
+/// Single-threaded replay: the same scorer driven by the sequential loop
+/// (fresh τ every candidate — used by `threads == 1` and the batched
+/// engine's per-query workers).
+fn run_single<F>(
+    queue: &[(ObjectId, usize)],
+    k: usize,
+    w: &mut WorkerScratch,
+    score: F,
+) -> TkdResult
+where
+    F: Fn(ObjectId, Option<usize>, &mut WorkerScratch) -> Outcome,
+{
+    let mut top = TopK::new(k);
+    let mut stats = PruneStats::default();
+    for (visited, &(o, max_score)) in queue.iter().enumerate() {
+        if top.prunes(max_score) {
+            stats.h1_pruned = queue.len() - visited;
+            break;
+        }
+        match score(o, top.tau(), w) {
+            Outcome::PrunedBound | Outcome::PrunedBitmap => stats.h2_pruned += 1,
+            Outcome::PrunedPartial => stats.h3_pruned += 1,
+            Outcome::Score(s) => {
+                stats.scored += 1;
+                top.offer(o, s);
+            }
+        }
+    }
+    TkdResult::new(top.into_entries(), stats)
+}
+
+/// Drive `score` over the queue with `threads` workers and merge by
+/// replay. `workers` must hold at least `threads` scratches; `slots` must
+/// hold at least `queue.len()` zeroed slots (they are left dirty).
+pub(crate) fn run_replay<F>(
+    queue: &[(ObjectId, usize)],
+    k: usize,
+    threads: usize,
+    workers: &mut [WorkerScratch],
+    slots: &[AtomicU64],
+    score: F,
+) -> TkdResult
+where
+    F: Fn(ObjectId, Option<usize>, &mut WorkerScratch) -> Outcome + Sync,
+{
+    if k == 0 || queue.is_empty() {
+        // Nothing can enter the candidate set: every object is skipped.
+        let stats = PruneStats {
+            h1_pruned: queue.len(),
+            ..PruneStats::default()
+        };
+        return TkdResult::new(Vec::new(), stats);
+    }
+    let threads = threads.clamp(1, workers.len().max(1));
+    if threads == 1 {
+        return run_single(queue, k, &mut workers[0], score);
+    }
+    assert!(slots.len() >= queue.len(), "slot buffer too small");
+    let shared = Shared {
+        queue,
+        slots,
+        next: AtomicUsize::new(0),
+        tau_plus1: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        merge: Mutex::new(MergeState {
+            frontier: 0,
+            top: TopK::new(k),
+            stats: PruneStats::default(),
+            done: false,
+        }),
+    };
+    std::thread::scope(|s| {
+        let mut iter = workers[..threads].iter_mut();
+        let mine = iter.next().expect("at least one worker");
+        for w in iter {
+            let shared = &shared;
+            let score = &score;
+            s.spawn(move || worker_loop(shared, score, w));
+        }
+        worker_loop(&shared, &score, mine);
+    });
+    // All workers joined: every claimed slot is written; drain the tail.
+    {
+        let mut m = shared.merge.lock().expect("merge lock");
+        merge_locked(&shared, &mut m);
+    }
+    let m = shared.merge.into_inner().expect("merge lock");
+    TkdResult::new(m.top.into_entries(), m.stats)
+}
+
+/// Fresh zeroed slot buffer for a queue of `n` candidates.
+pub(crate) fn new_slots(n: usize) -> Vec<AtomicU64> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Parallel BIG over a sharded context: score- and order-identical to
+/// [`crate::big::big_with_scratch`] for every `k` (see the module docs
+/// for the argument). Allocates the per-call workspace; the
+/// [`crate::engine::ParallelEngine`] reuses pooled workspaces instead.
+pub fn parallel_big(ctx: &ShardedBigContext<'_>, k: usize, threads: usize) -> TkdResult {
+    let threads = threads.max(1);
+    let mut workers: Vec<WorkerScratch> = (0..threads)
+        .map(|_| WorkerScratch::new(&ctx.plan))
+        .collect();
+    let slots = new_slots(if threads > 1 {
+        ctx.pre.queue().len()
+    } else {
+        0
+    });
+    run_replay(
+        ctx.pre.queue(),
+        k,
+        threads,
+        &mut workers,
+        &slots,
+        |o, tau, w| big_score_sharded(ctx, o, tau, w),
+    )
+}
+
+/// Parallel IBIG over a sharded context: score- and order-identical to
+/// [`crate::ibig::ibig_with_scratch`] for every `k`.
+pub fn parallel_ibig<C: CompressedBitmap + Sync>(
+    ctx: &ShardedIbigContext<'_, C>,
+    k: usize,
+    threads: usize,
+) -> TkdResult {
+    let threads = threads.max(1);
+    let mut workers: Vec<WorkerScratch> = (0..threads)
+        .map(|_| WorkerScratch::new(&ctx.plan))
+        .collect();
+    let slots = new_slots(if threads > 1 {
+        ctx.pre.queue().len()
+    } else {
+        0
+    });
+    run_replay(
+        ctx.pre.queue(),
+        k,
+        threads,
+        &mut workers,
+        &slots,
+        |o, tau, w| ibig_score_sharded(ctx, o, tau, w),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::big::{big_with, big_with_alloc, BigContext};
+    use crate::ibig::{ibig_with, ibig_with_alloc, IbigContext};
+    use proptest::prelude::*;
+    use tkd_model::fixtures;
+
+    #[test]
+    fn shard_plan_is_word_aligned_and_covers() {
+        for (n, shards) in [
+            (0usize, 4usize),
+            (1, 1),
+            (1, 8),
+            (63, 2),
+            (64, 2),
+            (65, 2),
+            (1000, 3),
+            (1000, 7),
+            (1000, 1),
+            (130, 100),
+        ] {
+            let p = ShardPlan::new(n, shards);
+            assert!(p.count() >= 1);
+            assert_eq!(p.n(), n, "n={n} shards={shards}");
+            assert_eq!(p.lo(0), 0);
+            for j in 0..p.count() {
+                assert!(p.lo(j) < p.hi(j) || n == 0, "empty shard {j} (n={n})");
+                assert_eq!(p.lo(j) % 64, 0, "unaligned shard start");
+                if j + 1 < p.count() {
+                    assert_eq!(p.hi(j), p.lo(j + 1));
+                }
+                let (w_lo, w_hi) = p.word_range(j);
+                assert_eq!(w_lo, p.lo(j) / 64);
+                assert_eq!(w_hi, p.hi(j).div_ceil(64));
+            }
+            assert_eq!(p.hi(p.count() - 1), n);
+            for id in 0..n {
+                let (j, local) = p.locate(id);
+                assert_eq!(p.lo(j) + local, id);
+                assert_eq!(p.local_of(j, id), Some(local));
+                if j > 0 {
+                    assert_eq!(p.local_of(j - 1, id), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_parallel_matches_sequential_all_k() {
+        let ds = fixtures::fig3_sample();
+        let seq = BigContext::build(&ds);
+        for shards in [1usize, 2, 3, 7] {
+            let ctx = ShardedBigContext::build(&ds, shards);
+            for threads in [1usize, 2, 4] {
+                for k in [1usize, 2, 5, 19, 20, 25] {
+                    let par = parallel_big(&ctx, k, threads);
+                    let reference = big_with(&seq, k);
+                    assert_eq!(
+                        par.entries(),
+                        reference.entries(),
+                        "shards={shards} threads={threads} k={k}"
+                    );
+                    assert_eq!(par.stats.h1_pruned, reference.stats.h1_pruned);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_parallel_ibig_matches_sequential() {
+        let ds = fixtures::fig3_sample();
+        let seq: IbigContext<'_> = IbigContext::build(&ds, &[2, 2, 3, 3]);
+        for shards in [1usize, 2, 3] {
+            let ctx: ShardedIbigContext<'_> = ShardedIbigContext::build(&ds, &[2, 2, 3, 3], shards);
+            for threads in [1usize, 2, 4] {
+                for k in [1usize, 2, 5, 20] {
+                    let par = parallel_ibig(&ctx, k, threads);
+                    let reference = ibig_with(&seq, k);
+                    assert_eq!(
+                        par.entries(),
+                        reference.entries(),
+                        "shards={shards} threads={threads} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn h2_budget_saturation_regression() {
+        // Regression: a shard whose Q-intersection is empty combined with
+        // a large later-shard upper bound used to saturate the remaining
+        // budget to 0, turning the empty shard's capped scan into a bogus
+        // global prune certificate — parallel BIG silently dropped the
+        // true top-1. Construction: 64 loose-MaxScore decoys (0, 100)
+        // fill shard 0 and set τ = 0; the real winner (1, 1) sits in
+        // shard 1 with Q empty in shard 0 (ub 0) and |Q| = 63 in shard 1.
+        let mut rows = vec![vec![Some(0.0), Some(100.0)]; 64];
+        rows.push(vec![Some(1.0), Some(1.0)]);
+        rows.extend(std::iter::repeat_n(vec![Some(2.0), Some(2.0)], 63));
+        let ds = tkd_model::Dataset::from_rows(2, &rows).unwrap();
+        let seq = BigContext::build(&ds);
+        let ctx = ShardedBigContext::build(&ds, 2);
+        for threads in [1usize, 2, 4] {
+            for k in [1usize, 2, 5] {
+                let par = parallel_big(&ctx, k, threads);
+                let reference = big_with(&seq, k);
+                assert_eq!(
+                    par.entries(),
+                    reference.entries(),
+                    "threads={threads} k={k}"
+                );
+            }
+        }
+        assert_eq!(parallel_big(&ctx, 1, 1).entries()[0].score, 63);
+    }
+
+    #[test]
+    fn k_zero_and_empty_dataset() {
+        let ds = fixtures::fig3_sample();
+        let ctx = ShardedBigContext::build(&ds, 2);
+        assert!(parallel_big(&ctx, 0, 2).is_empty());
+        let empty = tkd_model::Dataset::from_rows(2, &[]).unwrap();
+        let ctx = ShardedBigContext::build(&empty, 3);
+        assert!(parallel_big(&ctx, 5, 2).is_empty());
+        let ictx: ShardedIbigContext<'_> = ShardedIbigContext::build_auto(&empty, 3);
+        assert!(parallel_ibig(&ictx, 5, 2).is_empty());
+    }
+
+    /// Random incomplete dataset with the given missing probability.
+    fn dataset_strategy(missing: f64) -> impl Strategy<Value = tkd_model::Dataset> {
+        (1usize..=4).prop_flat_map(move |dims| {
+            let row = proptest::collection::vec(
+                proptest::option::weighted(1.0 - missing, (0u8..6).prop_map(|v| v as f64)),
+                dims,
+            )
+            .prop_filter("at least one observed", |r| r.iter().any(Option::is_some));
+            proptest::collection::vec(row, 1..80).prop_map(move |rows| {
+                tkd_model::Dataset::from_rows(dims, &rows).expect("valid rows")
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The sharded parallel BIG returns identical entries to both the
+        /// sequential scratch engine and the allocating `#[cfg(test)]`
+        /// oracle, across shard counts, thread counts, and missing rates.
+        #[test]
+        fn parallel_big_parity(
+            ds_low in dataset_strategy(0.1),
+            ds_mid in dataset_strategy(0.3),
+            ds_high in dataset_strategy(0.6),
+            k in 1usize..10,
+            shards in 1usize..5,
+            threads in 1usize..4,
+        ) {
+            for ds in [&ds_low, &ds_mid, &ds_high] {
+                let seq = BigContext::build(ds);
+                let reference = big_with(&seq, k);
+                let oracle = big_with_alloc(&seq, k);
+                prop_assert_eq!(reference.entries(), oracle.entries());
+                let ctx = ShardedBigContext::build(ds, shards);
+                let par = parallel_big(&ctx, k, threads);
+                prop_assert_eq!(par.entries(), reference.entries());
+                prop_assert_eq!(par.stats.h1_pruned, reference.stats.h1_pruned);
+            }
+        }
+
+        /// Same for IBIG, additionally across bin counts.
+        #[test]
+        fn parallel_ibig_parity(
+            ds_low in dataset_strategy(0.1),
+            ds_mid in dataset_strategy(0.3),
+            ds_high in dataset_strategy(0.6),
+            k in 1usize..10,
+            shards in 1usize..5,
+            threads in 1usize..4,
+            bins in 1usize..6,
+        ) {
+            for ds in [&ds_low, &ds_mid, &ds_high] {
+                let bins_per_dim = vec![bins; ds.dims()];
+                let seq: IbigContext<'_> = IbigContext::build(ds, &bins_per_dim);
+                let reference = ibig_with(&seq, k);
+                let oracle = ibig_with_alloc(&seq, k);
+                prop_assert_eq!(reference.entries(), oracle.entries());
+                let ctx: ShardedIbigContext<'_> =
+                    ShardedIbigContext::build(ds, &bins_per_dim, shards);
+                let par = parallel_ibig(&ctx, k, threads);
+                prop_assert_eq!(par.entries(), reference.entries());
+            }
+        }
+    }
+}

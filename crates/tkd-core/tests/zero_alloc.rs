@@ -13,7 +13,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use tkd_core::{big, ibig};
+use tkd_core::{big, engine, ibig};
 use tkd_model::Dataset;
 
 struct CountingAlloc;
@@ -146,5 +146,63 @@ fn query_allocations_are_constant_in_dataset_size() {
     assert!(
         again <= 4 * PER_QUERY_CEILING,
         "scratch reuse across queries allocated {again} times"
+    );
+
+    // --- Parallel engine ---------------------------------------------
+    // After warm-up (pool populated, thread stacks cached), a parallel
+    // query's allocation count must not grow with the dataset size: the
+    // per-candidate scoring paths stay allocation-free, and the slot
+    // buffer + worker scratches come from the engine pool. Thread spawning
+    // itself costs a constant number of allocations per query, so the
+    // ceiling is higher than the sequential one but still n-independent.
+    const PER_PARALLEL_QUERY_CEILING: u64 = 64;
+    let eng_s = engine::ParallelEngine::builder(&small)
+        .threads(2)
+        .shards(2)
+        .build();
+    let eng_l = engine::ParallelEngine::builder(&large)
+        .threads(2)
+        .shards(2)
+        .build();
+    let q = engine::EngineQuery::new(K);
+    for _ in 0..3 {
+        // Warm-up: populate pools, fault in thread-stack caches.
+        assert!(!eng_s.query(&q).is_empty());
+        assert!(!eng_l.query(&q).is_empty());
+    }
+    let measure = |f: &dyn Fn() -> tkd_core::TkdResult| -> u64 {
+        (0..3).map(|_| allocs_during(f)).min().unwrap()
+    };
+    let a_small = measure(&|| eng_s.query(&q));
+    let a_large = measure(&|| eng_l.query(&q));
+    assert_eq!(
+        a_small, a_large,
+        "parallel query allocation count must not grow with dataset size \
+         (small: {a_small}, large: {a_large})"
+    );
+    assert!(
+        a_large <= PER_PARALLEL_QUERY_CEILING,
+        "parallel query performed {a_large} allocations \
+         (ceiling {PER_PARALLEL_QUERY_CEILING})"
+    );
+
+    // Batched serving: per-query allocations in `query_many` stay
+    // n-independent too (worker-per-query, pooled scratches).
+    let batch: Vec<engine::EngineQuery> =
+        (1..=6).map(|k| engine::EngineQuery::new(k * 4)).collect();
+    let _ = eng_s.query_many(&batch);
+    let _ = eng_l.query_many(&batch);
+    let b_small = measure(&|| {
+        let r = eng_s.query_many(&batch);
+        r.into_iter().next().unwrap()
+    });
+    let b_large = measure(&|| {
+        let r = eng_l.query_many(&batch);
+        r.into_iter().next().unwrap()
+    });
+    assert_eq!(
+        b_small, b_large,
+        "query_many allocation count must not grow with dataset size \
+         (small: {b_small}, large: {b_large})"
     );
 }

@@ -3,7 +3,7 @@
 
 use tkd_bitvec::BitVec;
 use tkd_btree::{BPlusTree, F64Key};
-use tkd_model::{Dataset, ObjectId};
+use tkd_model::{Dataset, ObjectId, MAX_DIMS};
 
 /// Sentinel marking a missing value in the per-object bin table.
 const MISSING: u32 = u32::MAX;
@@ -61,6 +61,8 @@ pub fn compute_bins(value_counts: &[(f64, usize)], x: usize) -> Vec<f64> {
 pub struct BinnedBitmapIndex {
     n: usize,
     dims: usize,
+    /// First global object id covered (0 for whole-dataset builds).
+    base: usize,
     /// Per dimension: ascending upper boundary of each bin.
     boundaries: Vec<Vec<f64>>,
     /// `columns[i][c]` = `{p : p[i] missing ∨ bin(p[i]) > c}` (1-based bins).
@@ -78,8 +80,24 @@ impl BinnedBitmapIndex {
     /// # Panics
     /// Panics if `bins_per_dim.len() != ds.dims()` or any entry is zero.
     pub fn build(ds: &Dataset, bins_per_dim: &[usize]) -> Self {
+        Self::build_range(ds, bins_per_dim, 0, ds.len())
+    }
+
+    /// Build a **shard** index over the contiguous global id range
+    /// `[lo, hi)` of `ds` (the binned counterpart of
+    /// [`crate::BitmapIndex::build_range`]). Bins are re-quantiled over the
+    /// shard's own value distribution; all object ids in columns, bin
+    /// tables, and probe cursors are **local** (global = `base() + local`).
+    /// Candidates outside the shard are scored through
+    /// [`BinnedBitmapIndex::select_for`] and the value-based probes.
+    ///
+    /// # Panics
+    /// Panics if `bins_per_dim.len() != ds.dims()`, `lo > hi`, or
+    /// `hi > ds.len()`.
+    pub fn build_range(ds: &Dataset, bins_per_dim: &[usize], lo: usize, hi: usize) -> Self {
         assert_eq!(bins_per_dim.len(), ds.dims(), "one bin count per dimension");
-        let n = ds.len();
+        assert!(lo <= hi && hi <= ds.len(), "bad shard range {lo}..{hi}");
+        let n = hi - lo;
         let dims = ds.dims();
         let mut boundaries = Vec::with_capacity(dims);
         let mut columns = Vec::with_capacity(dims);
@@ -87,10 +105,12 @@ impl BinnedBitmapIndex {
         let mut bin_idx = vec![MISSING; n * dims];
 
         for dim in 0..dims {
-            // Distinct values with multiplicities, ascending.
-            let mut sorted: Vec<(f64, ObjectId)> = ds
-                .ids()
-                .filter_map(|o| ds.value(o, dim).map(|v| (v, o)))
+            // Distinct values with multiplicities, ascending (local ids).
+            let mut sorted: Vec<(f64, ObjectId)> = (lo..hi)
+                .filter_map(|o| {
+                    ds.value(o as ObjectId, dim)
+                        .map(|v| (v, (o - lo) as ObjectId))
+                })
                 .collect();
             sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut counts: Vec<(f64, usize)> = Vec::new();
@@ -134,6 +154,7 @@ impl BinnedBitmapIndex {
         BinnedBitmapIndex {
             n,
             dims,
+            base: lo,
             boundaries,
             columns,
             bin_idx,
@@ -144,6 +165,12 @@ impl BinnedBitmapIndex {
     /// Number of indexed objects.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// First global object id covered (0 unless built with
+    /// [`BinnedBitmapIndex::build_range`]).
+    pub fn base(&self) -> usize {
+        self.base
     }
 
     /// Dimensionality.
@@ -291,7 +318,8 @@ impl BinnedBitmapIndex {
 
     /// Objects in the same bin as `o` in `dim` whose value is strictly less
     /// than `o[i]` — the §4.5 probe that feeds `nonD(o)` (they cannot be
-    /// dominated by `o`). Empty when `o` misses `dim`.
+    /// dominated by `o`). Empty when `o` misses `dim`. `o` is an id local
+    /// to this index (equal to the global id for whole-dataset builds).
     ///
     /// Returns a concrete B+-tree range cursor — no boxing, so the IBIG
     /// inner loop performs no heap allocation per probe.
@@ -301,26 +329,104 @@ impl BinnedBitmapIndex {
         o: ObjectId,
         dim: usize,
     ) -> impl Iterator<Item = ObjectId> + '_ {
+        match self.bin_of(o, dim) {
+            None => self.ids_below_in_bin(dim, f64::INFINITY, false),
+            Some(_) => {
+                let v = ds
+                    .value((self.base + o as usize) as ObjectId, dim)
+                    .expect("bin implies observed");
+                self.ids_below_in_bin(dim, v, true)
+            }
+        }
+    }
+
+    /// Value-based form of [`BinnedBitmapIndex::ids_in_bin_below`] for
+    /// candidates that are **not** members of this (shard) index: local ids
+    /// of the members sharing the bin that contains `v` whose value is
+    /// strictly below `v`. `observed = false` (the candidate misses `dim`)
+    /// yields the empty cursor. A `v` above every boundary belongs to no
+    /// bin — also empty (such members cannot tie the candidate's bin).
+    pub fn ids_below_in_bin(
+        &self,
+        dim: usize,
+        v: f64,
+        observed: bool,
+    ) -> impl Iterator<Item = ObjectId> + '_ {
         use std::ops::Bound;
-        let (lo, hi) = match self.bin_of(o, dim) {
-            None => {
-                // Missing dimension: an interval whose bounds exclude
-                // everything yields the empty probe through the same cursor
-                // type.
-                let k = (F64Key::new(0.0).expect("zero is not NaN"), 0);
-                (Bound::Included(k), Bound::Excluded(k))
-            }
-            Some(bin) => {
-                let v = ds.value(o, dim).expect("bin implies observed");
-                let hi = Bound::Excluded((F64Key::new(v).expect("not NaN"), 0));
-                let lo = match self.bin_lower(dim, bin) {
-                    None => Bound::Unbounded,
-                    Some(lb) => Bound::Excluded((F64Key::new(lb).expect("not NaN"), ObjectId::MAX)),
-                };
-                (lo, hi)
-            }
+        let bounds = &self.boundaries[dim];
+        let c = bounds.partition_point(|&ub| ub < v); // 0-based bin of v
+        let (lo, hi) = if !observed || c >= bounds.len() {
+            // An interval whose bounds exclude everything yields the empty
+            // probe through the same cursor type.
+            let k = (F64Key::new(0.0).expect("zero is not NaN"), 0);
+            (Bound::Included(k), Bound::Excluded(k))
+        } else {
+            let hi = Bound::Excluded((F64Key::new(v).expect("not NaN"), 0));
+            let lo = match self.bin_lower(dim, (c + 1) as u32) {
+                None => Bound::Unbounded,
+                Some(lb) => Bound::Excluded((F64Key::new(lb).expect("not NaN"), ObjectId::MAX)),
+            };
+            (lo, hi)
         };
         self.trees[dim].range((lo, hi)).map(|(&(_, id), _)| id)
+    }
+
+    /// Resolve the binned `[Qᵢ]`/`[Pᵢ]` column picks for an arbitrary value
+    /// vector — the cross-shard scoring entry point (binned counterpart of
+    /// [`crate::BitmapIndex::select_for`]). For members the picks coincide
+    /// with [`BinnedBitmapIndex::q_column`] / [`BinnedBitmapIndex::p_column`];
+    /// for non-member values the columns encode "same-or-higher bin than
+    /// the bin containing `v`" / "strictly higher bin".
+    pub fn select_for(&self, mut value: impl FnMut(usize) -> Option<f64>) -> BinSelection {
+        let mut sel = BinSelection {
+            q: [0; MAX_DIMS],
+            p: [0; MAX_DIMS],
+        };
+        for dim in 0..self.dims {
+            if let Some(v) = value(dim) {
+                let bounds = &self.boundaries[dim];
+                let c = bounds.partition_point(|&ub| ub < v); // 0-based bin
+                sel.q[dim] = c as u32;
+                // `c == bounds.len()` (value above every shard bin): both
+                // picks degenerate to the last column, `{p : p[i] missing}`.
+                sel.p[dim] = (c + 1).min(bounds.len()) as u32;
+            }
+        }
+        sel
+    }
+}
+
+/// Resolved per-dimension binned column picks for one candidate against
+/// one [`BinnedBitmapIndex`] — produced by
+/// [`BinnedBitmapIndex::select_for`]. The pick pairs feed
+/// [`crate::CompressedColumns::and_selected_into`] directly.
+#[derive(Clone, Copy, Debug)]
+pub struct BinSelection {
+    q: [u32; MAX_DIMS],
+    p: [u32; MAX_DIMS],
+}
+
+impl Default for BinSelection {
+    /// The all-missing selection: every pick is the all-ones column 0.
+    fn default() -> Self {
+        BinSelection {
+            q: [0; MAX_DIMS],
+            p: [0; MAX_DIMS],
+        }
+    }
+}
+
+impl BinSelection {
+    /// `(dim, column)` pick of `[Q_dim]`.
+    #[inline]
+    pub fn q_pick(&self, dim: usize) -> (usize, usize) {
+        (dim, self.q[dim] as usize)
+    }
+
+    /// `(dim, column)` pick of `[P_dim]`.
+    #[inline]
+    pub fn p_pick(&self, dim: usize) -> (usize, usize) {
+        (dim, self.p[dim] as usize)
     }
 }
 
@@ -457,6 +563,105 @@ mod tests {
         let small = BinnedBitmapIndex::build(&ds, &[2, 2, 2, 2]);
         let large = BinnedBitmapIndex::build(&ds, &[4, 4, 4, 4]);
         assert!(small.size_bits() < large.size_bits());
+    }
+
+    #[test]
+    fn range_build_matches_per_shard_rebuild() {
+        // A shard built over [lo, hi) must behave exactly like a
+        // whole-dataset build over the same rows: same bins, same columns,
+        // same probes — only the id frame differs (local = global − lo).
+        let ds = fixtures::fig3_sample();
+        let (lo, hi) = (6, 17);
+        let shard = BinnedBitmapIndex::build_range(&ds, &[2, 2, 3, 3], lo, hi);
+        assert_eq!(shard.base(), lo);
+        assert_eq!(shard.n(), hi - lo);
+        let rows: Vec<Vec<Option<f64>>> = (lo..hi)
+            .map(|o| (0..ds.dims()).map(|d| ds.value(o as u32, d)).collect())
+            .collect();
+        let sub = tkd_model::Dataset::from_rows(ds.dims(), &rows).unwrap();
+        let fresh = BinnedBitmapIndex::build(&sub, &[2, 2, 3, 3]);
+        for dim in 0..ds.dims() {
+            assert_eq!(shard.num_columns(dim), fresh.num_columns(dim), "dim {dim}");
+            for c in 0..shard.num_columns(dim) {
+                assert_eq!(
+                    shard.column(dim, c),
+                    fresh.column(dim, c),
+                    "dim {dim} col {c}"
+                );
+            }
+        }
+        for local in 0..shard.n() {
+            for dim in 0..ds.dims() {
+                assert_eq!(
+                    shard.bin_of(local as u32, dim),
+                    fresh.bin_of(local as u32, dim)
+                );
+            }
+        }
+        // Member probe respects the base offset.
+        for local in 0..shard.n() {
+            let a: Vec<u32> = shard.ids_in_bin_below(&ds, local as u32, 0).collect();
+            let b: Vec<u32> = fresh.ids_in_bin_below(&sub, local as u32, 0).collect();
+            assert_eq!(a, b, "local {local}");
+        }
+    }
+
+    #[test]
+    fn value_based_selection_and_probe_agree_with_member_forms() {
+        let ds = fixtures::fig3_sample();
+        let shard = BinnedBitmapIndex::build_range(&ds, &[2, 2, 3, 3], 5, 14);
+        // Candidates from the whole dataset, members or not.
+        for o in ds.ids() {
+            let sel = shard.select_for(|d| ds.value(o, d));
+            for d in 0..ds.dims() {
+                let (qd, qc) = sel.q_pick(d);
+                let (pd, pc) = sel.p_pick(d);
+                assert_eq!((qd, pd), (d, d));
+                assert!(qc <= pc && pc <= shard.num_bins(d));
+                // Column predicates against every member, from raw values.
+                for local in 0..shard.n() {
+                    let pid = (shard.base() + local) as u32;
+                    let member_bin = shard.bin_of(local as u32, d);
+                    let cand_bin = ds.value(o, d).map(|v| {
+                        // 1-based bin containing v (num_bins + 1 = above all).
+                        (0..shard.num_bins(d) as u32)
+                            .find(|&b| v <= shard.bin_upper(d, b + 1))
+                            .map(|b| b + 1)
+                            .unwrap_or(shard.num_bins(d) as u32 + 1)
+                    });
+                    let in_q = match (member_bin, cand_bin) {
+                        (None, _) | (_, None) => true,
+                        (Some(mb), Some(cb)) => mb >= cb,
+                    };
+                    let in_p = match (member_bin, cand_bin) {
+                        (None, _) | (_, None) => true,
+                        (Some(mb), Some(cb)) => mb > cb,
+                    };
+                    assert_eq!(
+                        shard.column(d, qc).get(local),
+                        in_q,
+                        "Q o={o} pid={pid} d={d}"
+                    );
+                    assert_eq!(
+                        shard.column(d, pc).get(local),
+                        in_p,
+                        "P o={o} pid={pid} d={d}"
+                    );
+                }
+            }
+            // Value probe = member probe when o happens to be a member.
+            if (5..14).contains(&(o as usize)) {
+                let local = o - 5;
+                for d in 0..ds.dims() {
+                    let via_member: Vec<u32> = shard.ids_in_bin_below(&ds, local, d).collect();
+                    let via_value: Vec<u32> = match ds.value(o, d) {
+                        Some(v) => shard.ids_below_in_bin(d, v, true).collect(),
+                        None => shard.ids_below_in_bin(d, 0.0, false).collect(),
+                    };
+                    assert_eq!(via_member, via_value, "o={o} d={d}");
+                }
+            }
+        }
     }
 
     #[test]

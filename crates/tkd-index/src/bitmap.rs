@@ -52,6 +52,9 @@ fn suffix_counts(col: &BitVec) -> Vec<u32> {
 pub struct BitmapIndex {
     n: usize,
     dims: usize,
+    /// First global object id covered by this index (0 for whole-dataset
+    /// builds; see [`BitmapIndex::build_range`]).
+    base: usize,
     /// Sorted distinct observed values per dimension.
     values: Vec<Vec<f64>>,
     /// `columns[i][c]` = `{p : p[i] missing ∨ p[i] > values[i][c-1]}`;
@@ -68,18 +71,34 @@ pub struct BitmapIndex {
 impl BitmapIndex {
     /// Build the index for `ds`.
     pub fn build(ds: &Dataset) -> Self {
-        let n = ds.len();
+        Self::build_range(ds, 0, ds.len())
+    }
+
+    /// Build a **shard** index over the contiguous global id range
+    /// `[lo, hi)` of `ds`. Bit `i` of every column refers to the object
+    /// with the stable global id `lo + i` ([`BitmapIndex::base`] recovers
+    /// `lo`), so per-shard `Q`/`P` popcounts over a partition of the
+    /// dataset sum to the whole-dataset counts. Distinct-value tables hold
+    /// only the shard members' values; candidates from *outside* the shard
+    /// are scored against it through [`BitmapIndex::select_for`].
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > ds.len()`.
+    pub fn build_range(ds: &Dataset, lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= ds.len(), "bad shard range {lo}..{hi}");
+        let n = hi - lo;
         let dims = ds.dims();
         let mut values = Vec::with_capacity(dims);
         let mut columns = Vec::with_capacity(dims);
         let mut val_idx = vec![MISSING; n * dims];
+        let members = || (lo..hi).map(|o| o as ObjectId);
 
         for dim in 0..dims {
-            let vals = stats::distinct_values(ds, dim);
+            let vals = stats::distinct_values_in(ds, dim, lo, hi);
             // Objects holding each distinct value, for incremental column
             // construction.
             let mut holders: Vec<Vec<ObjectId>> = vec![Vec::new(); vals.len()];
-            for o in ds.ids() {
+            for o in members() {
                 if let Some(v) = ds.value(o, dim) {
                     // `vals` is deduped with `==` (merging −0.0 into 0.0),
                     // so the lookup must use IEEE `<` too: `total_cmp`
@@ -87,8 +106,9 @@ impl BitmapIndex {
                     // the merged entry.
                     let j = vals.partition_point(|&x| x < v);
                     debug_assert_eq!(vals[j], v);
-                    holders[j].push(o);
-                    val_idx[o as usize * dims + dim] = (j + 1) as u32;
+                    let local = o as usize - lo;
+                    holders[j].push(local as ObjectId);
+                    val_idx[local * dims + dim] = (j + 1) as u32;
                 }
             }
             let mut cols = Vec::with_capacity(vals.len() + 1);
@@ -110,11 +130,20 @@ impl BitmapIndex {
         BitmapIndex {
             n,
             dims,
+            base: lo,
             values,
             columns,
             val_idx,
             block_suffix,
         }
+    }
+
+    /// First global object id covered (0 unless built with
+    /// [`BitmapIndex::build_range`]). Object arguments of the per-object
+    /// accessors (`value_index`, `q_column`, …) and set-bit positions of
+    /// every column are **local**: global id = `base() + local`.
+    pub fn base(&self) -> usize {
+        self.base
     }
 
     /// Number of indexed objects.
@@ -338,6 +367,139 @@ impl BitmapIndex {
         (mbs > tau).then_some(mbs)
     }
 
+    /// Resolve the `[Qᵢ]`/`[Pᵢ]` column picks for an **arbitrary value
+    /// vector** — the cross-shard scoring entry point: a shard index built
+    /// with [`BitmapIndex::build_range`] can score any candidate, member
+    /// or not, from its per-dimension values. `value(d)` returns the
+    /// candidate's observation in dimension `d` (`None` = missing).
+    ///
+    /// For shard members the resolved picks coincide exactly with
+    /// [`BitmapIndex::q_column`] / [`BitmapIndex::p_column`]; for
+    /// non-members the columns encode the same set predicates
+    /// (`{p : p missing ∨ p ≥ v}` and `{p : p missing ∨ p > v}`).
+    pub fn select_for(&self, mut value: impl FnMut(usize) -> Option<f64>) -> ColumnSelection {
+        let mut sel = ColumnSelection {
+            q: [0; MAX_DIMS],
+            p: [0; MAX_DIMS],
+            eq: [0; MAX_DIMS],
+        };
+        for dim in 0..self.dims {
+            if let Some(v) = value(dim) {
+                let vals = &self.values[dim];
+                // IEEE `<` probe against the `==`-deduped table (see
+                // `build_range`): `c` counts the strictly smaller values.
+                let c = vals.partition_point(|&x| x < v);
+                let present = c < vals.len() && vals[c] == v;
+                sel.q[dim] = c as u32;
+                sel.p[dim] = if present { c as u32 + 1 } else { c as u32 };
+                sel.eq[dim] = if present { c as u32 + 1 } else { 0 };
+            }
+        }
+        sel
+    }
+
+    /// Fill caller-owned scratch with the selection's
+    /// `Q = ∩ᵢ columns[i][sel.q[i]]`, clearing `member`'s bit when the
+    /// candidate is a member of this index (local id). No allocation.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.n()` or `member` is out of range.
+    pub fn q_into_selected(&self, sel: &ColumnSelection, member: Option<usize>, q: &mut BitVec) {
+        assert_eq!(q.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(&self.columns, |d| sel.q[d] as usize, q);
+        if let Some(local) = member {
+            q.clear(local);
+        }
+    }
+
+    /// Fill caller-owned scratch with the selection's
+    /// `P = ∩ᵢ columns[i][sel.p[i]]` — no allocation.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n()`.
+    pub fn p_into_selected(&self, sel: &ColumnSelection, p: &mut BitVec) {
+        assert_eq!(p.len(), self.n, "scratch length mismatch");
+        crate::intersect_selected_into(&self.columns, |d| sel.p[d] as usize, p);
+    }
+
+    /// Cheap upper bound of `|∩ᵢ columns[i][sel.q[i]]|`: the sparsest
+    /// selected column's total popcount (`O(dims)` table lookups, no words
+    /// touched). The parallel engine's cross-shard Heuristic 2 sums these
+    /// to skip whole shards.
+    pub fn q_selected_upper_bound(&self, sel: &ColumnSelection) -> usize {
+        let mut ub = self.n;
+        for dim in 0..self.dims {
+            let c = sel.q[dim] as usize;
+            if c > 0 {
+                ub = ub.min(self.block_suffix[dim][c][0] as usize);
+            }
+        }
+        ub
+    }
+
+    /// `|∩ᵢ columns[i][sel.q[i]]|` with a *budget* early exit: returns
+    /// `None` as soon as the count is provably `≤ budget` (blockwise, via
+    /// the suffix-popcount tables — the same certificate as
+    /// [`BitmapIndex::max_bit_score_above`]), else the exact count. A
+    /// `None` lets the sharded Heuristic 2 prune without finishing the
+    /// scan; a `Some` feeds the running cross-shard total.
+    pub fn q_count_selected_above(&self, sel: &ColumnSelection, budget: usize) -> Option<usize> {
+        let mut words: [&[u64]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let mut suffix: [&[u32]; MAX_DIMS] = [&[]; MAX_DIMS];
+        let mut m = 0;
+        for dim in 0..self.dims {
+            let c = sel.q[dim] as usize;
+            if c > 0 {
+                words[m] = self.columns[dim][c].as_words();
+                suffix[m] = &self.block_suffix[dim][c];
+                m += 1;
+            }
+        }
+        if m == 0 {
+            return (self.n > budget).then_some(self.n);
+        }
+        let min0 = suffix[..m].iter().map(|s| s[0] as usize).min().unwrap();
+        if min0 <= budget {
+            return None;
+        }
+        let nwords = words[0].len();
+        let mut total = 0usize;
+        let mut block = 0usize;
+        let mut w = 0usize;
+        while w < nwords {
+            let end = (w + SUFFIX_BLOCK_WORDS).min(nwords);
+            total += block_and_count(&words, m, w, end);
+            w = end;
+            block += 1;
+            if total > budget {
+                // Keep decided: finish the scan for the exact count (the
+                // cross-shard caller needs it to budget later shards).
+                while w < nwords {
+                    let end = (w + SUFFIX_BLOCK_WORDS).min(nwords);
+                    total += block_and_count(&words, m, w, end);
+                    w = end;
+                }
+                return Some(total);
+            }
+            let min_suffix = suffix[..m].iter().map(|s| s[block] as usize).min().unwrap();
+            if total + min_suffix <= budget {
+                return None;
+            }
+        }
+        (total > budget).then_some(total)
+    }
+
+    /// 1-based value slot of local object `local` in `dim`, `0` when
+    /// missing — the raw form of [`BitmapIndex::value_index`], directly
+    /// comparable with [`ColumnSelection::eq_slot`] for tie detection.
+    #[inline]
+    pub fn value_slot(&self, local: usize, dim: usize) -> u32 {
+        match self.val_idx[local * self.dims + dim] {
+            MISSING => 0,
+            j => j,
+        }
+    }
+
     /// Index size in bits: the paper's **logical** `cost_s =
     /// Σᵢ (Cᵢ + 1) · |S|`. This is the quantity Figs. 11's "index size"
     /// axis plots; the process actually allocates whole 64-bit words per
@@ -363,6 +525,46 @@ impl BitmapIndex {
     pub fn allocated_bytes(&self) -> u64 {
         let ncols: u64 = self.columns.iter().map(|c| c.len() as u64).sum();
         ncols * (self.n as u64).div_ceil(64) * 8
+    }
+}
+
+/// Resolved per-dimension column picks (plus equality slots) for one
+/// candidate against one [`BitmapIndex`] — produced by
+/// [`BitmapIndex::select_for`], consumed by the `*_selected` scoring
+/// methods. Plain `Copy` data on the stack: the parallel engine keeps one
+/// per shard in its per-worker scratch, so candidate scoring allocates
+/// nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnSelection {
+    /// `[Qᵢ]` column index per dimension (0 = the all-ones missing slot).
+    q: [u32; MAX_DIMS],
+    /// `[Pᵢ]` column index per dimension.
+    p: [u32; MAX_DIMS],
+    /// 1-based slot of the candidate's value in the index's distinct-value
+    /// table, or 0 when missing / not present in this shard.
+    eq: [u32; MAX_DIMS],
+}
+
+impl Default for ColumnSelection {
+    /// The all-missing selection: every pick is the all-ones column 0.
+    fn default() -> Self {
+        ColumnSelection {
+            q: [0; MAX_DIMS],
+            p: [0; MAX_DIMS],
+            eq: [0; MAX_DIMS],
+        }
+    }
+}
+
+impl ColumnSelection {
+    /// 1-based slot of the candidate's value in `dim`'s distinct-value
+    /// table (0 = candidate misses `dim` or its value does not occur in
+    /// this index). Two observations are equal **iff** their slots are
+    /// equal and non-zero, so tie detection against
+    /// [`BitmapIndex::value_slot`] is one integer compare.
+    #[inline]
+    pub fn eq_slot(&self, dim: usize) -> u32 {
+        self.eq[dim]
     }
 }
 
@@ -496,6 +698,96 @@ mod tests {
                 oracle_q(o).count_ones(),
                 "counted MaxBitScore of object {o}"
             );
+        }
+    }
+
+    #[test]
+    fn range_builds_partition_the_full_index() {
+        // Sharded Q/P popcounts must sum to the whole-dataset counts, and
+        // member selections must coincide with the member accessors.
+        let ds = fixtures::fig3_sample();
+        let full = BitmapIndex::build(&ds);
+        for cuts in [vec![0, 20], vec![0, 8, 20], vec![0, 5, 11, 16, 20]] {
+            let shards: Vec<BitmapIndex> = cuts
+                .windows(2)
+                .map(|w| BitmapIndex::build_range(&ds, w[0], w[1]))
+                .collect();
+            for o in ds.ids() {
+                let mut q_total = 0;
+                let mut p_total = 0;
+                for s in &shards {
+                    let sel = s.select_for(|d| ds.value(o, d));
+                    let member = (s.base()..s.base() + s.n())
+                        .contains(&(o as usize))
+                        .then(|| o as usize - s.base());
+                    let mut q = BitVec::zeros(s.n());
+                    let mut p = BitVec::zeros(s.n());
+                    s.q_into_selected(&sel, member, &mut q);
+                    s.p_into_selected(&sel, &mut p);
+                    // Selected columns match the global predicate bit by bit.
+                    for local in 0..s.n() {
+                        let g = s.base() + local;
+                        assert_eq!(
+                            q.get(local),
+                            full.q_vec(o).get(g),
+                            "Q obj {o} shard base {} bit {local}",
+                            s.base()
+                        );
+                        assert_eq!(p.get(local), full.p_vec(o).get(g), "P obj {o} bit {local}");
+                    }
+                    q_total += q.count_ones();
+                    p_total += p.count_ones();
+                    // The fused count agrees (counts include o's own bit when member).
+                    let raw = q.count_ones() + usize::from(member.is_some());
+                    assert_eq!(s.q_count_selected_above(&sel, 0).unwrap_or(0), raw);
+                    assert!(s.q_selected_upper_bound(&sel) >= raw);
+                }
+                assert_eq!(q_total, full.q_vec(o).count_ones(), "obj {o}");
+                assert_eq!(p_total, full.p_vec(o).count_ones(), "obj {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_eq_slots_detect_exact_ties() {
+        let ds = fixtures::fig3_sample();
+        let shard = BitmapIndex::build_range(&ds, 7, 15);
+        for o in ds.ids() {
+            let sel = shard.select_for(|d| ds.value(o, d));
+            for local in 0..shard.n() {
+                let pid = (shard.base() + local) as ObjectId;
+                for d in 0..ds.dims() {
+                    let tied = match (ds.value(o, d), ds.value(pid, d)) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => false,
+                    };
+                    let slot = shard.value_slot(local, d);
+                    assert_eq!(
+                        sel.eq_slot(d) != 0 && sel.eq_slot(d) == slot,
+                        tied,
+                        "o={o} pid={pid} dim={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_count_agrees_with_exact() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        for o in ds.ids() {
+            let sel = idx.select_for(|d| ds.value(o, d));
+            let exact = idx.q_vec(o).count_ones() + 1; // q_vec cleared o's bit
+            for budget in [0usize, 1, 5, exact.saturating_sub(1), exact, exact + 3] {
+                match idx.q_count_selected_above(&sel, budget) {
+                    Some(c) => {
+                        assert_eq!(c, exact, "obj {o} budget {budget}");
+                        assert!(c > budget);
+                    }
+                    None => assert!(exact <= budget, "obj {o} budget {budget}"),
+                }
+            }
         }
     }
 

@@ -27,8 +27,8 @@ mod bitmap;
 mod compressed;
 pub mod cost;
 
-pub use binned::{compute_bins, BinnedBitmapIndex};
-pub use bitmap::BitmapIndex;
+pub use binned::{compute_bins, BinSelection, BinnedBitmapIndex};
+pub use bitmap::{BitmapIndex, ColumnSelection};
 pub use compressed::CompressedColumns;
 
 use tkd_bitvec::BitVec;

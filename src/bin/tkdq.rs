@@ -12,6 +12,7 @@
 //!   --algorithm A          naive | esb | ubb | big | ibig   (default big)
 //!   --bins X               IBIG bins per dimension           (default auto)
 //!   --subspace 0,2,5       query a dimension subset
+//!   --threads T            worker threads for big/ibig       (default 1)
 //!   --stats                print pruning statistics
 //! Generate options:
 //!   --dist D               ind | ac | co                     (default ind)
@@ -158,6 +159,15 @@ fn cmd_query(args: &[String]) {
         other => usage(&format!("unknown algorithm {other:?}")),
     };
     let mut query = TkdQuery::new(k).algorithm(algorithm);
+    if let Some(t) = opts.get("threads") {
+        let t: usize = t
+            .parse()
+            .unwrap_or_else(|_| usage("--threads must be a positive integer"));
+        if t == 0 {
+            usage("--threads must be a positive integer");
+        }
+        query = query.threads(t);
+    }
     if let Some(bins) = opts.get("bins") {
         if bins != "auto" {
             let x: usize = bins
@@ -264,7 +274,7 @@ fn usage(err: &str) -> ! {
          Usage:\n\
          \x20 tkdq info <FILE> [--labeled]\n\
          \x20 tkdq query <FILE> --k K [--algorithm naive|esb|ubb|big|ibig]\n\
-         \x20      [--bins auto|X] [--subspace 0,2,5] [--labeled] [--stats]\n\
+         \x20      [--bins auto|X] [--subspace 0,2,5] [--threads T] [--labeled] [--stats]\n\
          \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
          \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
          \x20      [--missing R] [--cardinality C] [--seed S]"

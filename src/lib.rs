@@ -13,7 +13,9 @@
 //! * [`index`] — range-encoded and binned bitmap indexes, binning strategy,
 //!   space/time cost model (§4.3–4.5).
 //! * [`core`] — the TKD algorithms: Naive, ESB, UBB, BIG, IBIG (§4), plus
-//!   the MFD weighted-dominance extension (§3).
+//!   the MFD weighted-dominance extension (§3), the sharded parallel
+//!   execution layer (`core::parallel`), and the multi-user serving
+//!   engine (`core::engine`).
 //! * [`data`] — synthetic workloads (IND/AC/CO) and real-dataset simulators.
 //! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
 //!
@@ -44,6 +46,6 @@ pub use tkd_skyline as skyline;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use tkd_core::{Algorithm, TkdQuery, TkdResult};
+    pub use tkd_core::{Algorithm, EngineQuery, ParallelEngine, TkdQuery, TkdResult};
     pub use tkd_model::{Dataset, DimMask, ObjectId};
 }

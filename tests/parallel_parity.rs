@@ -1,0 +1,152 @@
+//! The differential-testing harness pinning the sharded parallel engine
+//! to the sequential oracles.
+//!
+//! Grid (from the PR-3 acceptance criteria): shard counts {1, 2, 3, 7} ×
+//! thread counts {1, 2, 4} × missing rates {0.1, 0.3, 0.6} ×
+//! k ∈ {1, n − 1, n, n + 5}. For every cell, parallel BIG and IBIG must
+//! return **identical entries, scores, and tie order** to the sequential
+//! scratch engines (which are themselves pinned to the allocating
+//! `#[cfg(test)]` oracles by the proptests inside `tkd-core`), and the
+//! serving engine must agree query-by-query under batching.
+
+use tkdi::core::{
+    big, ibig, parallel_big, parallel_ibig, Algorithm, EngineQuery, ParallelEngine,
+    ShardedBigContext, ShardedIbigContext,
+};
+use tkdi::model::Dataset;
+
+/// Deterministic incomplete dataset (splitmix-style hash; no RNG
+/// dependency needed in tests).
+fn synth(seed: u64, n: usize, d: usize, card: u64, missing_pct: u64) -> Dataset {
+    let mut h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D049BB133111EB);
+        h ^= h >> 31;
+        h
+    };
+    let mut rows = Vec::with_capacity(n);
+    'outer: while rows.len() < n {
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            if next() % 100 < missing_pct {
+                row.push(None);
+            } else {
+                row.push(Some((next() % card) as f64));
+            }
+        }
+        if row.iter().all(Option::is_none) {
+            continue 'outer;
+        }
+        rows.push(row);
+    }
+    Dataset::from_rows(d, &rows).unwrap()
+}
+
+const SHARDS: [usize; 4] = [1, 2, 3, 7];
+const THREADS: [usize; 3] = [1, 2, 4];
+const MISSING: [u64; 3] = [10, 30, 60];
+
+fn grid_ks(n: usize) -> Vec<usize> {
+    let mut ks = vec![1, n.saturating_sub(1).max(1), n, n + 5];
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+#[test]
+fn parallel_big_differential_grid() {
+    for (seed, &missing) in MISSING.iter().enumerate() {
+        let ds = synth(100 + seed as u64, 150, 4, 8, missing);
+        let seq = big::BigContext::build(&ds);
+        for &shards in &SHARDS {
+            let ctx = ShardedBigContext::build(&ds, shards);
+            for &threads in &THREADS {
+                for k in grid_ks(ds.len()) {
+                    let reference = big::big_with(&seq, k);
+                    let par = parallel_big(&ctx, k, threads);
+                    assert_eq!(
+                        par.entries(),
+                        reference.entries(),
+                        "missing={missing}% shards={shards} threads={threads} k={k}"
+                    );
+                    assert_eq!(
+                        par.stats.h1_pruned, reference.stats.h1_pruned,
+                        "H1 must fire at the same queue position \
+                         (missing={missing}% shards={shards} threads={threads} k={k})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_ibig_differential_grid() {
+    for (seed, &missing) in MISSING.iter().enumerate() {
+        let ds = synth(200 + seed as u64, 150, 4, 8, missing);
+        for bins in [2usize, 5] {
+            let bins_per_dim = vec![bins; ds.dims()];
+            let seq: ibig::IbigContext<'_> = ibig::IbigContext::build(&ds, &bins_per_dim);
+            for &shards in &SHARDS {
+                let ctx: ShardedIbigContext<'_> =
+                    ShardedIbigContext::build(&ds, &bins_per_dim, shards);
+                for &threads in &THREADS {
+                    for k in grid_ks(ds.len()) {
+                        let reference = ibig::ibig_with(&seq, k);
+                        let par = parallel_ibig(&ctx, k, threads);
+                        assert_eq!(
+                            par.entries(),
+                            reference.entries(),
+                            "missing={missing}% bins={bins} shards={shards} \
+                             threads={threads} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The serving engine under a batched multi-user mix agrees with the
+/// sequential engines for every query of the batch.
+#[test]
+fn engine_batch_differential() {
+    let ds = synth(42, 200, 4, 10, 30);
+    let seq = big::BigContext::build(&ds);
+    let ibins = vec![4usize; ds.dims()];
+    let iseq: ibig::IbigContext<'_> = ibig::IbigContext::build(&ds, &ibins);
+    for &threads in &THREADS {
+        let engine = ParallelEngine::builder(&ds)
+            .threads(threads)
+            .shards(3)
+            .bins(ibins.clone())
+            .build();
+        let batch: Vec<EngineQuery> = (0..24)
+            .map(|i| {
+                EngineQuery::new(1 + (i * 7) % 19).algorithm(if i % 2 == 0 {
+                    Algorithm::Big
+                } else {
+                    Algorithm::Ibig
+                })
+            })
+            .collect();
+        let got = engine.query_many(&batch);
+        for (q, r) in batch.iter().zip(&got) {
+            let reference = match q.algorithm {
+                Algorithm::Big => big::big_with(&seq, q.k),
+                Algorithm::Ibig => ibig::ibig_with(&iseq, q.k),
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                r.entries(),
+                reference.entries(),
+                "threads={threads} {:?} k={}",
+                q.algorithm,
+                q.k
+            );
+        }
+    }
+}
