@@ -3,30 +3,37 @@
 //! ```text
 //! Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR]
 //!              [--bench-out FILE] [--threads 1,2,4,8]
+//!              [--baseline FILE --current FILE [--tolerance R]]
 //!
 //!   --exp        comma-separated subset of:
 //!                table2,fig10,table3,fig11,fig12,fig13,table4,
 //!                fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline,
-//!                perf
-//!                (default: all paper artifacts; `perf` runs only when
-//!                requested)
+//!                perf,updates,compare
+//!                (default: all paper artifacts; `perf`, `updates`, and
+//!                `compare` run only when requested)
 //!   --scale      quick (default) or paper (the paper's dataset sizes)
 //!   --seed       RNG seed (default 42)
 //!   --out        also write each table as CSV into DIR
 //!   --threads    with `--exp perf`: run the parallel-engine
 //!                thread-scaling grid over the given thread counts
-//!   --bench-out  where `--exp perf` writes its JSON
-//!                (default: BENCH_2.json, or BENCH_3.json with --threads)
+//!   --bench-out  where `--exp perf` / `--exp updates` writes its JSON
+//!                (default: BENCH_2.json, BENCH_3.json with --threads,
+//!                BENCH_4.json for updates)
+//!   --baseline   with `--exp compare`: the committed tkd-perf/v1 file
+//!   --current    with `--exp compare`: the freshly measured snapshot
+//!   --tolerance  with `--exp compare`: allowed normalized-time ratio
+//!                before a cell counts as regressed (default 1.3);
+//!                any regression exits non-zero
 //! ```
 
 use std::collections::BTreeSet;
-use tkd_bench::{experiments as exp, perf, table::Table, Scale};
+use tkd_bench::{compare, experiments as exp, perf, table::Table, updates, Scale};
 
 /// Every experiment name `--exp` accepts; the single source of truth for
 /// validation and the usage text.
-const KNOWN: [&str; 16] = [
+const KNOWN: [&str; 18] = [
     "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "binopt", "ablation", "baseline", "perf",
+    "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "compare",
 ];
 
 fn main() {
@@ -37,6 +44,9 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut threads: Option<Vec<usize>> = None;
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut tolerance = 1.3f64;
 
     let mut i = 0;
     while i < args.len() {
@@ -91,6 +101,27 @@ fn main() {
                     _ => usage("--threads expects a comma-separated list of positive integers"),
                 };
             }
+            "--baseline" => {
+                i += 1;
+                baseline = match args.get(i) {
+                    Some(f) => Some(f.clone()),
+                    None => usage("missing value for --baseline"),
+                };
+            }
+            "--current" => {
+                i += 1;
+                current = match args.get(i) {
+                    Some(f) => Some(f.clone()),
+                    None => usage("missing value for --current"),
+                };
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1.0 => v,
+                    _ => usage("--tolerance must be a ratio >= 1.0"),
+                };
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -106,6 +137,19 @@ fn main() {
     }
     if threads.is_some() && !exps.as_ref().is_some_and(|set| set.contains("perf")) {
         usage("--threads requires --exp perf");
+    }
+    let want_compare = exps.as_ref().is_some_and(|set| set.contains("compare"));
+    let wants = |name: &str| exps.as_ref().is_some_and(|set| set.contains(name));
+    if bench_out.is_some() && wants("perf") && wants("updates") {
+        // Both experiments would write the same file, the second silently
+        // clobbering the first.
+        usage("--bench-out is ambiguous with both perf and updates; run them separately");
+    }
+    if (baseline.is_some() || current.is_some()) && !want_compare {
+        usage("--baseline/--current require --exp compare");
+    }
+    if want_compare && (baseline.is_none() || current.is_none()) {
+        usage("--exp compare requires --baseline FILE and --current FILE");
     }
     let want = |name: &str| exps.as_ref().is_none_or(|set| set.contains(name));
     let scale_name = match scale {
@@ -187,6 +231,37 @@ fn main() {
         std::fs::write(bench_out, json).expect("write perf JSON");
         println!("(perf baseline written to {bench_out})");
     }
+    // The dynamic-update maintenance benchmark (BENCH_4.json) — opt-in,
+    // like perf.
+    if exps.as_ref().is_some_and(|set| set.contains("updates")) {
+        let (table, json) = updates::run(scale, seed);
+        let bench_out = bench_out.as_deref().unwrap_or("BENCH_4.json");
+        emit(vec![table]);
+        std::fs::write(bench_out, json).expect("write updates JSON");
+        println!("(update maintenance benchmark written to {bench_out})");
+    }
+    // The perf regression gate — opt-in; a regression (or a vacuous
+    // comparison) exits non-zero so CI fails.
+    if want_compare {
+        let (baseline, current) = (baseline.expect("checked"), current.expect("checked"));
+        match compare::run(&baseline, &current, tolerance) {
+            Ok((table, ok)) => {
+                emit(vec![table]);
+                if !ok {
+                    eprintln!(
+                        "error: performance regression beyond {tolerance}x tolerance \
+                         (see REGRESSED rows above)"
+                    );
+                    std::process::exit(1);
+                }
+                println!("(perf regression gate passed at tolerance {tolerance}x)");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create output directory");
@@ -219,10 +294,15 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "Usage: repro [--exp LIST] [--scale quick|paper] [--seed N] [--out DIR] \
-         [--bench-out FILE] [--threads 1,2,4,8]\n\
+         [--bench-out FILE] [--threads 1,2,4,8] \
+         [--baseline FILE --current FILE [--tolerance R]]\n\
          experiments: {}\n\
          --threads runs the thread-scaling perf grid (requires --exp perf; \
-         writes BENCH_3.json)",
+         writes BENCH_3.json)\n\
+         --exp updates measures incremental maintenance vs rebuild \
+         (writes BENCH_4.json)\n\
+         --exp compare gates normalized BIG/IBIG query times against a \
+         committed tkd-perf/v1 baseline (exit 1 on regression)",
         KNOWN.join(",")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

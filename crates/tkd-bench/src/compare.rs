@@ -1,0 +1,470 @@
+//! `repro --exp compare` — the CI performance-regression gate.
+//!
+//! Compares a freshly measured `tkd-perf/v1` snapshot against a committed
+//! baseline and **fails** when a single-thread BIG or IBIG cell regresses
+//! beyond the tolerance. Raw wall-clock is not comparable across machines
+//! (the committed baseline and the CI runner differ), so the gate
+//! compares **normalized** times: each algorithm's `query_s` divided by
+//! the same run's `big_legacy` `query_s` — the allocating replica
+//! measured in the same process acts as a per-machine calibration
+//! constant. A real regression in the scratch engines moves the
+//! normalized ratio regardless of the host; a merely slower runner moves
+//! numerator and denominator together.
+//!
+//! Only workload cells present in *both* files are compared; zero overlap
+//! is an error (a vacuous gate must not pass silently).
+
+use crate::table::Table;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the workspace is offline — no serde). Supports the
+// subset the BENCH artifacts use: objects, arrays, strings without escapes
+// beyond \" and \\, numbers, booleans, null.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64 — fine for the artifacts' magnitudes).
+    Num(f64),
+    /// String (escapes `\"`, `\\`, `\/`, `\n`, `\t` supported).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+/// A human-readable message with the byte offset of the problem.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {}", *pos)),
+                };
+                expect(b, pos, b':')?;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            // Accumulate raw bytes and decode once at the closing quote,
+            // so multi-byte UTF-8 content survives intact.
+            let mut out: Vec<u8> = Vec::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return String::from_utf8(out)
+                            .map(Json::Str)
+                            .map_err(|_| format!("invalid UTF-8 in string ending at {}", *pos));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push(b'"'),
+                            Some(b'\\') => out.push(b'\\'),
+                            Some(b'/') => out.push(b'/'),
+                            Some(b'n') => out.push(b'\n'),
+                            Some(b't') => out.push(b'\t'),
+                            other => {
+                                return Err(format!("unsupported escape {other:?}"));
+                            }
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------------
+
+/// One compared cell.
+struct Comparison {
+    workload: String,
+    algorithm: &'static str,
+    base_norm: f64,
+    cur_norm: f64,
+    ratio: f64,
+    regressed: bool,
+}
+
+fn workload_key(cell: &Json) -> Option<String> {
+    let w = cell.get("workload")?;
+    Some(format!(
+        "n={} dims={} missing={} card={} k={} {}",
+        w.get("n")?.as_num()?,
+        w.get("dims")?.as_num()?,
+        w.get("missing_rate")?.as_num()?,
+        w.get("cardinality")?.as_num()?,
+        w.get("k")?.as_num()?,
+        w.get("distribution")?.as_str()?
+    ))
+}
+
+fn query_s(cell: &Json, name: &str) -> Option<f64> {
+    cell.get("algorithms")?
+        .as_arr()?
+        .iter()
+        .find(|a| a.get("name").and_then(Json::as_str) == Some(name))?
+        .get("query_s")?
+        .as_num()
+}
+
+/// Run the regression gate.
+///
+/// Returns the report table and whether the gate **passed**.
+///
+/// # Errors
+/// Unreadable/ill-formed files, wrong schema, or zero overlapping cells.
+pub fn run(
+    baseline_path: &str,
+    current_path: &str,
+    tolerance: f64,
+) -> Result<(Table, bool), String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("tkd-perf/v1") => Ok(doc),
+            other => Err(format!(
+                "{path}: expected schema tkd-perf/v1, found {other:?}"
+            )),
+        }
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    // Different seeds generate different datasets: normalized times are
+    // not comparable across them, so refuse instead of flagging phantom
+    // regressions.
+    let seed_of = |doc: &Json| doc.get("seed").and_then(Json::as_num);
+    if seed_of(&baseline) != seed_of(&current) {
+        return Err(format!(
+            "seed mismatch: {baseline_path} has {:?}, {current_path} has {:?} — \
+             regenerate the snapshot with the baseline's seed",
+            seed_of(&baseline),
+            seed_of(&current)
+        ));
+    }
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{baseline_path}: no cells"))?;
+    let cur_cells = current
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{current_path}: no cells"))?;
+
+    let mut rows: Vec<Comparison> = Vec::new();
+    for cur in cur_cells {
+        let Some(key) = workload_key(cur) else {
+            continue;
+        };
+        let Some(base) = base_cells
+            .iter()
+            .find(|c| workload_key(c).as_deref() == Some(&key))
+        else {
+            continue;
+        };
+        for alg in ["big", "ibig"] {
+            let (Some(bq), Some(bl), Some(cq), Some(cl)) = (
+                query_s(base, alg),
+                query_s(base, "big_legacy"),
+                query_s(cur, alg),
+                query_s(cur, "big_legacy"),
+            ) else {
+                return Err(format!("cell {key}: missing {alg}/big_legacy timings"));
+            };
+            if bq <= 0.0 || bl <= 0.0 || cq <= 0.0 || cl <= 0.0 {
+                return Err(format!("cell {key}: non-positive timing"));
+            }
+            let base_norm = bq / bl;
+            let cur_norm = cq / cl;
+            let ratio = cur_norm / base_norm;
+            rows.push(Comparison {
+                workload: key.clone(),
+                algorithm: alg,
+                base_norm,
+                cur_norm,
+                ratio,
+                regressed: ratio > tolerance,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no overlapping workload cells between {baseline_path} and {current_path} — \
+             the gate would be vacuous (check --scale)"
+        ));
+    }
+
+    let mut t = Table::new(
+        format!(
+            "perf regression gate — normalized query time vs baseline (tolerance {tolerance}x)"
+        ),
+        &[
+            "workload",
+            "algorithm",
+            "baseline (norm)",
+            "current (norm)",
+            "ratio",
+            "verdict",
+        ],
+    );
+    let mut ok = true;
+    for r in &rows {
+        ok &= !r.regressed;
+        t.push(vec![
+            r.workload.clone(),
+            r.algorithm.into(),
+            format!("{:.4}", r.base_norm),
+            format!("{:.4}", r.cur_norm),
+            format!("{:.2}x", r.ratio),
+            if r.regressed { "REGRESSED" } else { "ok" }.into(),
+        ]);
+    }
+    Ok((t, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(big: f64, ibig: f64, legacy: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "tkd-perf/v1",
+  "cells": [
+    {{
+      "workload": {{"n": 1000, "dims": 4, "missing_rate": 0.2, "cardinality": 100, "k": 8, "distribution": "IND"}},
+      "algorithms": [
+        {{"name": "ubb", "query_s": 1.0}},
+        {{"name": "big", "query_s": {big}}},
+        {{"name": "big_legacy", "query_s": {legacy}}},
+        {{"name": "ibig", "query_s": {ibig}}}
+      ]
+    }}
+  ]
+}}"#
+        )
+    }
+
+    fn write(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parser_roundtrips_bench_shapes() {
+        let j = parse_json(&doc(0.5, 1.5, 1.0)).unwrap();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some("tkd-perf/v1"));
+        let cells = j.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(query_s(&cells[0], "big"), Some(0.5));
+        assert!(parse_json("{\"a\": [1, 2.5, -3e-2], \"b\": null}").is_ok());
+        assert!(parse_json("{oops}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        // Multi-byte UTF-8 survives decoding intact.
+        let j = parse_json("{\"host\": \"Kārlis-runner — ✓\"}").unwrap();
+        assert_eq!(j.get("host").unwrap().as_str(), Some("Kārlis-runner — ✓"));
+    }
+
+    #[test]
+    fn gate_passes_when_normalized_times_hold() {
+        // Current machine is 4x slower overall — normalized ratios equal.
+        let b = write("cmp_base_ok.json", &doc(0.5, 1.5, 1.0));
+        let c = write("cmp_cur_ok.json", &doc(2.0, 6.0, 4.0));
+        let (_, ok) = run(&b, &c, 1.3).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn gate_fails_on_regression_beyond_tolerance() {
+        let b = write("cmp_base_reg.json", &doc(0.5, 1.5, 1.0));
+        // BIG got 1.5x slower relative to the calibration replica.
+        let c = write("cmp_cur_reg.json", &doc(0.75, 1.5, 1.0));
+        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        assert!(!ok);
+        assert!(t.render().contains("REGRESSED"));
+        // …but a looser tolerance admits it.
+        let (_, ok) = run(&b, &c, 1.6).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn zero_overlap_is_an_error() {
+        let b = write("cmp_base_disjoint.json", &doc(0.5, 1.5, 1.0));
+        let other = doc(0.5, 1.5, 1.0).replace("\"n\": 1000", "\"n\": 2000");
+        let c = write("cmp_cur_disjoint.json", &other);
+        let err = run(&b, &c, 1.3).unwrap_err();
+        assert!(err.contains("no overlapping"), "{err}");
+    }
+
+    #[test]
+    fn seed_mismatch_is_an_error() {
+        let with_seed = |seed: u64| {
+            doc(0.5, 1.5, 1.0).replace(
+                "\"schema\": \"tkd-perf/v1\",",
+                &format!("\"schema\": \"tkd-perf/v1\",\n  \"seed\": {seed},"),
+            )
+        };
+        let b = write("cmp_seed_a.json", &with_seed(42));
+        let c = write("cmp_seed_b.json", &with_seed(43));
+        assert!(run(&b, &c, 1.3).unwrap_err().contains("seed mismatch"));
+        let c2 = write("cmp_seed_c.json", &with_seed(42));
+        assert!(run(&b, &c2, 1.3).unwrap().1);
+    }
+
+    #[test]
+    fn wrong_schema_is_an_error() {
+        let b = write(
+            "cmp_schema.json",
+            "{\"schema\": \"tkd-updates/v1\", \"cells\": []}",
+        );
+        assert!(run(&b, &b, 1.3).unwrap_err().contains("tkd-perf/v1"));
+    }
+}

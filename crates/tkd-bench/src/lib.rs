@@ -13,10 +13,12 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod datasets;
 pub mod experiments;
 pub mod perf;
 pub mod table;
+pub mod updates;
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

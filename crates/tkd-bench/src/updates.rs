@@ -1,0 +1,328 @@
+//! `repro --exp updates` — the dynamic-update maintenance benchmark
+//! (`BENCH_4.json`).
+//!
+//! For each `(n, dims, missing)` cell the harness:
+//!
+//! 1. builds a [`DynamicEngine`] over a synthetic catalog;
+//! 2. applies a deterministic mixed op batch (60 % inserts, 25 % deletes,
+//!    15 % cell updates), measuring the amortized per-op maintenance cost
+//!    **including** the deferred queue re-sort the next query pays;
+//! 3. rebuilds the engine from the final live snapshot from scratch —
+//!    the per-change cost of the architecture the update layer replaces;
+//! 4. asserts the dynamic top-k equals the rebuilt top-k bit for bit
+//!    (ids translated), so every number in the artifact is backed by the
+//!    parity guarantee;
+//! 5. reports `rebuild_s / per_op_s` — how many updates one rebuild buys.
+//!
+//! The JSON artifact (`tkd-updates/v1`) records
+//! `hardware.available_parallelism` like `BENCH_3.json`: per-op costs are
+//! single-threaded and comparable across machines, absolute times are
+//! not.
+
+use crate::table::{secs, Table};
+use crate::{time, Scale};
+use tkd_core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkd_core::{Algorithm, BinChoice, DynamicEngine, EngineQuery, TkdQuery, UpdateOp};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_model::ObjectId;
+
+/// Ops per measured batch.
+const BATCH_OPS: usize = 500;
+
+/// One grid cell: `(n, dims, missing_rate, k)`.
+pub type UpdatePoint = (usize, usize, f64, usize);
+
+/// The update workload grid. Quick is CI-sized; Paper adds the 50K cells.
+/// Multiple `n` at fixed `(dims, missing)` expose how the
+/// per-op-vs-rebuild gap scales with `n` (the rebuild grows strictly
+/// faster, so the ratio must widen).
+pub fn updates_grid(scale: Scale) -> Vec<UpdatePoint> {
+    match scale {
+        Scale::Quick => vec![
+            (2_000, 6, 0.2, 8),
+            (5_000, 6, 0.2, 8),
+            (10_000, 6, 0.2, 8),
+            (5_000, 6, 0.4, 8),
+        ],
+        Scale::Paper => vec![
+            (10_000, 8, 0.1, 8),
+            (20_000, 8, 0.1, 8),
+            (50_000, 8, 0.1, 8),
+            (50_000, 8, 0.3, 8),
+        ],
+    }
+}
+
+/// Measurements of one cell.
+struct UpdateCell {
+    n: usize,
+    dims: usize,
+    missing: f64,
+    k: usize,
+    /// Initial engine construction (== one rebuild at size n).
+    build_s: f64,
+    /// Whole-batch apply wall-clock.
+    apply_s: f64,
+    /// The deferred queue re-sort paid by the first query after a batch.
+    refresh_s: f64,
+    /// Amortized per-op cost including the batch's share of the refresh.
+    per_op_s: f64,
+    /// Rebuild-from-scratch over the final live data.
+    rebuild_s: f64,
+    /// Steady-state BIG query on the maintained store.
+    big_query_s: f64,
+    /// Steady-state IBIG query on the maintained store.
+    ibig_query_s: f64,
+    /// `rebuild_s / per_op_s`: updates one rebuild pays for.
+    speedup: f64,
+    live: usize,
+    tombstones: usize,
+    compactions: usize,
+}
+
+fn splitmix(h: &mut u64) -> u64 {
+    *h = h.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn measure_cell(point: UpdatePoint, seed: u64) -> UpdateCell {
+    let (n, dims, missing, k) = point;
+    let cardinality = 100;
+    let ds = generate(&SyntheticConfig {
+        n,
+        dims,
+        cardinality,
+        missing_rate: missing,
+        distribution: Distribution::Independent,
+        seed,
+    });
+    let (mut engine, build_s) = time(|| {
+        DynamicEngine::with_options(
+            ds,
+            DynamicOptions {
+                bins: BinChoice::Auto,
+                policy: CompactionPolicy::default(),
+            },
+        )
+    });
+    // Deterministic op stream (valid by construction).
+    let mut h = seed ^ 0xD1E5_CAFE;
+    let mut live: Vec<ObjectId> = (0..n as ObjectId).collect();
+    let mut next_id = n as ObjectId;
+    let mut ops: Vec<UpdateOp> = Vec::with_capacity(BATCH_OPS);
+    for _ in 0..BATCH_OPS {
+        let roll = splitmix(&mut h) % 100;
+        if roll < 60 || live.len() < 2 {
+            let row: Vec<Option<f64>> = (0..dims)
+                .map(|_| {
+                    if splitmix(&mut h) % 100 < (missing * 100.0) as u64 {
+                        None
+                    } else {
+                        Some((splitmix(&mut h) % cardinality as u64) as f64)
+                    }
+                })
+                .collect();
+            let row = if row.iter().all(Option::is_none) {
+                vec![Some(0.0); dims]
+            } else {
+                row
+            };
+            ops.push(UpdateOp::Insert(row));
+            live.push(next_id);
+            next_id += 1;
+        } else if roll < 85 {
+            let pick = (splitmix(&mut h) as usize) % live.len();
+            ops.push(UpdateOp::Delete(live.swap_remove(pick)));
+        } else {
+            let id = live[(splitmix(&mut h) as usize) % live.len()];
+            ops.push(UpdateOp::Set(
+                id,
+                (splitmix(&mut h) as usize) % dims,
+                Some((splitmix(&mut h) % cardinality as u64) as f64),
+            ));
+        }
+    }
+
+    let (_, apply_s) = time(|| engine.apply_all(&ops).expect("stream is valid"));
+    // First query pays the deferred queue re-sort; isolate it by timing
+    // the first query against a warm repeat.
+    let big_q = EngineQuery::new(k);
+    let (first, first_s) = time(|| engine.query(&big_q).expect("BIG supported"));
+    let (_, warm_s) = time(|| engine.query(&big_q).expect("BIG supported"));
+    let refresh_s = (first_s - warm_s).max(0.0);
+    let per_op_s = (apply_s + refresh_s) / BATCH_OPS as f64;
+    let big_query_s = warm_s;
+    let (_, ibig_query_s) = time(|| {
+        engine
+            .query(&EngineQuery::new(k).algorithm(Algorithm::Ibig))
+            .expect("IBIG supported")
+    });
+
+    // The replaced architecture: rebuild every artifact from the live
+    // snapshot, then answer. Parity-check the answers while we are here.
+    let snapshot = engine.snapshot();
+    let ids = engine.live_ids();
+    let (reference, rebuild_s) = time(|| TkdQuery::new(k).run(&snapshot));
+    let translated: Vec<(ObjectId, usize)> = reference
+        .iter()
+        .map(|e| (ids[e.id as usize], e.score))
+        .collect();
+    let dynamic: Vec<(ObjectId, usize)> = first.iter().map(|e| (e.id, e.score)).collect();
+    assert_eq!(
+        dynamic, translated,
+        "dynamic result diverged from rebuild (n={n}, missing={missing})"
+    );
+
+    let s = engine.stats();
+    UpdateCell {
+        n,
+        dims,
+        missing,
+        k,
+        build_s,
+        apply_s,
+        refresh_s,
+        per_op_s,
+        rebuild_s,
+        big_query_s,
+        ibig_query_s,
+        speedup: rebuild_s / per_op_s,
+        live: engine.len(),
+        tombstones: engine.tombstones(),
+        compactions: s.compactions,
+    }
+}
+
+/// Run the grid, returning the printable table and the `BENCH_4.json`
+/// document.
+pub fn run(scale: Scale, seed: u64) -> (Table, String) {
+    let cells: Vec<UpdateCell> = updates_grid(scale)
+        .into_iter()
+        .map(|p| measure_cell(p, seed))
+        .collect();
+
+    let mut t = Table::new(
+        "dynamic updates — amortized maintenance vs rebuild (IND)",
+        &[
+            "N",
+            "dims",
+            "missing",
+            "ops",
+            "build (s)",
+            "per-op (s)",
+            "rebuild (s)",
+            "ops/rebuild",
+            "BIG q (s)",
+            "IBIG q (s)",
+            "compactions",
+        ],
+    );
+    for c in &cells {
+        t.push(vec![
+            c.n.to_string(),
+            c.dims.to_string(),
+            format!("{:.0}%", c.missing * 100.0),
+            BATCH_OPS.to_string(),
+            secs(c.build_s),
+            secs(c.per_op_s),
+            secs(c.rebuild_s),
+            format!("{:.0}x", c.speedup),
+            secs(c.big_query_s),
+            secs(c.ibig_query_s),
+            c.compactions.to_string(),
+        ]);
+    }
+    (t, to_json(scale, seed, &cells))
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde).
+fn to_json(scale: Scale, seed: u64, cells: &[UpdateCell]) -> String {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tkd-updates/v1\",\n");
+    s.push_str("  \"created_by\": \"repro --exp updates\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"hardware\": {{\"available_parallelism\": {hw}}},\n"
+    ));
+    s.push_str(&format!("  \"batch_ops\": {BATCH_OPS},\n"));
+    s.push_str("  \"op_mix\": {\"insert\": 0.6, \"delete\": 0.25, \"update\": 0.15},\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"workload\": {{\"n\": {}, \"dims\": {}, \"missing_rate\": {}, \
+             \"cardinality\": 100, \"k\": {}, \"distribution\": \"IND\"}},\n",
+            c.n, c.dims, c.missing, c.k
+        ));
+        s.push_str(&format!(
+            "      \"build_s\": {:.6}, \"apply_s\": {:.6}, \"refresh_s\": {:.6},\n",
+            c.build_s, c.apply_s, c.refresh_s
+        ));
+        s.push_str(&format!(
+            "      \"per_op_s\": {:.9}, \"rebuild_s\": {:.6}, \
+             \"ops_per_rebuild\": {:.1},\n",
+            c.per_op_s, c.rebuild_s, c.speedup
+        ));
+        s.push_str(&format!(
+            "      \"big_query_s\": {:.6}, \"ibig_query_s\": {:.6},\n",
+            c.big_query_s, c.ibig_query_s
+        ));
+        s.push_str(&format!(
+            "      \"state\": {{\"live\": {}, \"tombstones\": {}, \"compactions\": {}}}\n",
+            c.live, c.tombstones, c.compactions
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_cell_is_parity_checked_and_json_is_sane() {
+        // measure_cell asserts dynamic == rebuild internally.
+        let cell = measure_cell((400, 4, 0.2, 8), 11);
+        assert!(cell.live + cell.tombstones >= 400);
+        assert!(cell.per_op_s > 0.0 && cell.rebuild_s > 0.0);
+        let json = to_json(Scale::Quick, 11, &[cell]);
+        for needle in [
+            "tkd-updates/v1",
+            "available_parallelism",
+            "ops_per_rebuild",
+            "\"batch_ops\": 500",
+            "op_mix",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert!(updates_grid(Scale::Quick)
+            .iter()
+            .all(|&(n, ..)| n <= 10_000));
+        assert!(updates_grid(Scale::Paper)
+            .iter()
+            .any(|&(n, ..)| n == 50_000));
+    }
+}

@@ -100,6 +100,21 @@ impl BitVec {
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
+    /// Append one bit, growing the length by one — the primitive behind
+    /// the dynamic index's appendable columns. Amortized `O(1)`: a new
+    /// word is pushed only every 64 appends, and the padding invariant is
+    /// preserved (appending `false` touches nothing but the length).
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[self.len / WORD_BITS] |= 1u64 << (self.len % WORD_BITS);
+        }
+        self.len += 1;
+    }
+
     /// Number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
@@ -718,5 +733,30 @@ mod tests {
         let s = format!("{b:?}");
         assert!(s.contains("[10;"));
         assert!(s.contains("1"));
+    }
+
+    #[test]
+    fn push_grows_across_word_boundaries() {
+        let mut b = BitVec::zeros(0);
+        let pattern = |i: usize| i.is_multiple_of(3) || i == 64 || i == 127;
+        for i in 0..200 {
+            b.push(pattern(i));
+            assert_eq!(b.len(), i + 1);
+            assert_eq!(b.get(i), pattern(i), "bit {i}");
+        }
+        assert_eq!(b.count_ones(), (0..200).filter(|&i| pattern(i)).count());
+        // Padding invariant survives: word count is exact and ops work.
+        assert_eq!(b.as_words().len(), 200usize.div_ceil(64));
+        let mut c = BitVec::ones(200);
+        c.and_assign(&b);
+        assert_eq!(c, b);
+        // Pushing onto a non-empty fixed-size vector also works.
+        let mut d = BitVec::ones(64);
+        d.push(false);
+        d.push(true);
+        assert_eq!(d.len(), 66);
+        assert!(!d.get(64));
+        assert!(d.get(65));
+        assert_eq!(d.count_ones(), 65);
     }
 }

@@ -27,11 +27,13 @@
 mod concise;
 mod dense;
 mod runs;
+mod tombstones;
 mod wah;
 
 pub use concise::Concise;
 pub use dense::{AndNotOnes, BitSlice, BitVec, Ones};
 pub use runs::{Run, BLOCK_BITS};
+pub use tombstones::Tombstones;
 pub use wah::Wah;
 
 /// Common interface of the compressed bitmap codecs (WAH and CONCISE).

@@ -1,0 +1,142 @@
+//! Tombstone bookkeeping for append-only bit-column stores.
+//!
+//! The dynamic update layer never moves a bit column's existing bits:
+//! deleting an object *tombstones* its slot — the bit position keeps
+//! existing, but the object is masked out of every set the index answers
+//! with. [`Tombstones`] is the shared bookkeeping for that: a dense live
+//! mask plus the dead count, so stores can answer "how many live slots?"
+//! in `O(1)` and iterate live slots word-parallel.
+
+use crate::BitVec;
+
+/// A live/dead mask over an append-only slot space.
+///
+/// Slots are appended live ([`Tombstones::push_live`]) and killed at most
+/// once ([`Tombstones::kill`]); there is no resurrection — compaction
+/// rebuilds the store instead. The live mask is exposed as a [`BitVec`] so
+/// callers can fuse it into word-parallel scans
+/// (e.g. `live_mask().iter_ones_and_not(column)`).
+#[derive(Clone, Debug)]
+pub struct Tombstones {
+    live: BitVec,
+    dead: usize,
+}
+
+impl Tombstones {
+    /// `n` slots, all live (the state right after a build or compaction).
+    pub fn all_live(n: usize) -> Self {
+        Tombstones {
+            live: BitVec::ones(n),
+            dead: 0,
+        }
+    }
+
+    /// Total slots, live or dead.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the slot space empty?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.live.len() - self.dead
+    }
+
+    /// Number of tombstoned slots.
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Tombstoned fraction of the slot space (`0.0` when empty) — the
+    /// quantity compaction policies threshold on.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.live.is_empty() {
+            0.0
+        } else {
+            self.dead as f64 / self.live.len() as f64
+        }
+    }
+
+    /// Is slot `i` live?
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.live.get(i)
+    }
+
+    /// Append one live slot, returning its index.
+    pub fn push_live(&mut self) -> usize {
+        self.live.push(true);
+        self.live.len() - 1
+    }
+
+    /// Tombstone slot `i`. Returns `false` (and changes nothing) if it was
+    /// already dead.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn kill(&mut self, i: usize) -> bool {
+        if !self.live.get(i) {
+            return false;
+        }
+        self.live.clear(i);
+        self.dead += 1;
+        true
+    }
+
+    /// The dense live mask (bit `i` set ⇔ slot `i` live), for word-parallel
+    /// scans.
+    pub fn live_mask(&self) -> &BitVec {
+        &self.live
+    }
+
+    /// Iterate the live slot indexes in ascending order.
+    pub fn iter_live(&self) -> crate::Ones<'_> {
+        self.live.iter_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = Tombstones::all_live(3);
+        assert_eq!((t.len(), t.live_count(), t.dead_count()), (3, 3, 0));
+        assert!(t.kill(1));
+        assert!(!t.kill(1), "double-kill is a no-op");
+        assert_eq!(t.live_count(), 2);
+        assert!((t.dead_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let s = t.push_live();
+        assert_eq!(s, 3);
+        assert!(t.is_live(3));
+        assert!(!t.is_live(1));
+        assert_eq!(t.iter_live().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        let t = Tombstones::all_live(0);
+        assert!(t.is_empty());
+        assert_eq!(t.dead_fraction(), 0.0);
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn live_mask_fuses_with_columns() {
+        let mut t = Tombstones::all_live(130);
+        t.kill(0);
+        t.kill(129);
+        // live ∧ ¬column — the delta-scan shape used by the dynamic layer.
+        let column = BitVec::from_indices(130, (0..130).step_by(2));
+        let hits: Vec<usize> = t.live_mask().iter_ones_and_not(&column).collect();
+        assert!(hits.iter().all(|&i| i % 2 == 1 && i != 129));
+        assert_eq!(hits.len(), 64);
+    }
+}

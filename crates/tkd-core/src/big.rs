@@ -37,7 +37,7 @@ use tkd_model::{Dataset, ObjectId};
 /// [`Preprocessed`] artifacts (`MaxScore` queue `F`, incomparable sets).
 pub struct BigContext<'a> {
     ds: &'a Dataset,
-    index: BitmapIndex,
+    index: Cow<'a, BitmapIndex>,
     pre: Cow<'a, Preprocessed>,
 }
 
@@ -47,7 +47,7 @@ impl<'a> BigContext<'a> {
     pub fn build(ds: &'a Dataset) -> Self {
         BigContext {
             ds,
-            index: BitmapIndex::build(ds),
+            index: Cow::Owned(BitmapIndex::build(ds)),
             pre: Cow::Owned(Preprocessed::build(ds)),
         }
     }
@@ -58,7 +58,21 @@ impl<'a> BigContext<'a> {
     pub fn build_with(ds: &'a Dataset, pre: &'a Preprocessed) -> Self {
         BigContext {
             ds,
-            index: BitmapIndex::build(ds),
+            index: Cow::Owned(BitmapIndex::build(ds)),
+            pre: Cow::Borrowed(pre),
+        }
+    }
+
+    /// Borrow **prebuilt** artifacts wholesale — nothing is constructed.
+    /// This is how the dynamic update layer serves queries through the
+    /// unchanged Algorithm 4 scratch path: its incrementally-maintained
+    /// index and preprocessing are lent in per query. The index may carry
+    /// tombstones; its live-aware fast paths keep the scoring exact.
+    pub fn from_prebuilt(ds: &'a Dataset, index: &'a BitmapIndex, pre: &'a Preprocessed) -> Self {
+        assert_eq!(index.n(), ds.len(), "index/dataset size mismatch");
+        BigContext {
+            ds,
+            index: Cow::Borrowed(index),
             pre: Cow::Borrowed(pre),
         }
     }

@@ -1,0 +1,1131 @@
+//! Dynamic updates — incremental inserts, deletes, and cell updates over
+//! the bitmap-index engines, after Kosmatopoulos & Tsichlas's *Dynamic
+//! Top-k Dominating Queries* brought to the incomplete-data setting of
+//! Miao et al. (ICDE 2016).
+//!
+//! [`DynamicEngine`] **owns** its dataset and maintains every
+//! query-acceleration artifact in place instead of rebuilding it per
+//! change:
+//!
+//! * the range-encoded [`BitmapIndex`] — columns grow by appended bits,
+//!   deletes clear tombstone bits (suffix-popcount tables repaired
+//!   incrementally), new distinct values splice in one cloned column;
+//! * the [`BinnedBitmapIndex`] — bin boundaries are frozen between
+//!   compactions (a value above the last boundary extends it; a never
+//!   observed dimension gets its first bin on demand), per-dimension
+//!   B+-tree keys are inserted/removed, and tombstones are cleared from
+//!   *every* column including column 0;
+//! * the shared [`Preprocessed`] artifacts — the per-object per-dimension
+//!   `|Tᵢ|` counts behind `MaxScore` are repaired **exactly** by
+//!   word-parallel delta scans (`live ∧ ¬column` enumerations), the
+//!   incomparable sets gain/lose bits in `O(masks)`, and the descending
+//!   queue is re-sorted lazily at the next query.
+//!
+//! Exactness of the maintained `MaxScore` queue is not an optimization —
+//! it is what makes the engine **bit-identical** to rebuilding from
+//! scratch: ties at the k-th score are resolved by candidate-queue order
+//! (an equal score never displaces, Algorithm 2 line 7), so a merely
+//! *sound* bound would change which of the tied objects survives.
+//! `tests/dynamic_parity.rs` pins this equivalence across randomized op
+//! sequences × missing rates × {BIG, IBIG} × thread counts.
+//!
+//! Queries run through the **unchanged** scratch paths:
+//! [`crate::big::big_with_scratch`] / [`crate::ibig::ibig_with_scratch`]
+//! over borrowed contexts ([`BigContext::from_prebuilt`],
+//! [`IbigContext::from_prebuilt_dense`]), and `threads > 1` through the
+//! replay-merged parallel engine over
+//! [`ShardedBigContext::from_prebuilt`] /
+//! [`ShardedIbigContext::from_prebuilt_dense`]. Dynamic IBIG scores off
+//! dense binned columns — run-length codecs cannot absorb in-place bit
+//! flips, so the dynamic store trades the paper's compression for `O(1)`
+//! bit maintenance (compaction re-quantiles and could re-compress).
+//!
+//! Deletes tombstone; a [`CompactionPolicy`] rebuilds the whole store —
+//! re-quantiling bins and renumbering slots — once the tombstone fraction
+//! crosses its threshold, bumping [`DynamicEngine::epoch`]. Object ids
+//! handed out by [`DynamicEngine::insert`] are **stable across
+//! compaction**: results and the mutation API speak stable ids, and the
+//! internal slot renumbering is invisible.
+
+use crate::big::{self, BigContext};
+use crate::ibig::{self, IbigContext};
+use crate::parallel::{parallel_big, parallel_ibig, ShardedBigContext, ShardedIbigContext};
+use crate::preprocess::{incomparable_bitvecs, Preprocessed};
+use crate::query::{shuffle_ties, Algorithm, BinChoice, TieBreak};
+use crate::result::{ResultEntry, TkdResult};
+use crate::scratch::ScratchSpace;
+use crate::EngineQuery;
+use std::collections::HashMap;
+use std::fmt;
+use tkd_bitvec::{BitVec, Concise, Tombstones};
+use tkd_index::{cost, BinnedBitmapIndex, BitmapIndex};
+use tkd_model::{stats, Dataset, DimMask, ModelError, ObjectId};
+
+/// When the engine rebuilds itself to shed tombstones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Rebuild once `dead / total slots` exceeds this fraction.
+    pub max_tombstone_fraction: f64,
+    /// …but never before this many tombstones exist (tiny stores would
+    /// otherwise thrash: rebuilding 10 rows to shed 3 is slower than
+    /// carrying them).
+    pub min_dead: usize,
+}
+
+impl Default for CompactionPolicy {
+    /// Rebuild at 25 % tombstones, once at least 64 exist.
+    fn default() -> Self {
+        CompactionPolicy {
+            max_tombstone_fraction: 0.25,
+            min_dead: 64,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never compacts (tests and benchmarks that want to
+    /// observe tombstone behavior in isolation).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            max_tombstone_fraction: 2.0,
+            min_dead: usize::MAX,
+        }
+    }
+}
+
+/// Construction options for [`DynamicEngine::with_options`].
+#[derive(Clone, Debug)]
+pub struct DynamicOptions {
+    /// IBIG bin selection, re-resolved against the live data at every
+    /// compaction.
+    pub bins: BinChoice,
+    /// Tombstone compaction policy.
+    pub policy: CompactionPolicy,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions {
+            bins: BinChoice::Auto,
+            policy: CompactionPolicy::default(),
+        }
+    }
+}
+
+/// One update against a [`DynamicEngine`] — the op-file/batch currency of
+/// `tkdq update` and `repro --exp updates`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Insert a row (`None` = missing cell).
+    Insert(Vec<Option<f64>>),
+    /// Insert a labeled row.
+    InsertLabeled(String, Vec<Option<f64>>),
+    /// Delete by stable id.
+    Delete(ObjectId),
+    /// Overwrite one cell by stable id (`None` clears it to missing).
+    Set(ObjectId, usize, Option<f64>),
+}
+
+/// Why an update or dynamic query was rejected. Failed ops leave the
+/// engine unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateError {
+    /// Row validation failed (arity, NaN, all-missing, bad dimension).
+    Model(ModelError),
+    /// The id was never issued by this engine.
+    UnknownId(ObjectId),
+    /// The id was issued but its object has been deleted.
+    Deleted(ObjectId),
+    /// The dynamic engine serves the index-guided algorithms only.
+    UnsupportedAlgorithm(Algorithm),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Model(e) => write!(f, "{e}"),
+            UpdateError::UnknownId(id) => write!(f, "unknown object id {id}"),
+            UpdateError::Deleted(id) => write!(f, "object {id} was deleted"),
+            UpdateError::UnsupportedAlgorithm(a) => {
+                write!(f, "dynamic engine serves BIG/IBIG, not {a:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<ModelError> for UpdateError {
+    fn from(e: ModelError) -> Self {
+        UpdateError::Model(e)
+    }
+}
+
+/// Lifetime counters of a [`DynamicEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Successful inserts.
+    pub inserts: usize,
+    /// Successful deletes.
+    pub deletes: usize,
+    /// Successful cell updates (no-op value rewrites included).
+    pub cell_updates: usize,
+    /// Compactions performed (policy-triggered or explicit).
+    pub compactions: usize,
+}
+
+/// Sentinel in the `t` table for unobserved cells.
+const T_UNOBSERVED: u32 = u32::MAX;
+
+/// A versioned, owning update layer over the BIG/IBIG query engines: see
+/// the [module docs](self) for the maintenance strategy and the exactness
+/// argument.
+///
+/// ```
+/// use tkd_core::dynamic::DynamicEngine;
+/// use tkd_core::EngineQuery;
+/// use tkd_model::Dataset;
+///
+/// // Values are smaller-is-better: (1, 1) dominates both later rows.
+/// let ds = Dataset::from_rows(2, &[vec![Some(1.0), Some(1.0)]]).unwrap();
+/// let mut engine = DynamicEngine::new(ds);
+/// let b = engine.insert(&[Some(2.0), None]).unwrap();
+/// engine.insert(&[Some(3.0), Some(2.0)]).unwrap();
+/// let top = engine.query(&EngineQuery::new(1)).unwrap();
+/// assert_eq!((top.entries()[0].id, top.entries()[0].score), (0, 2));
+/// engine.delete(0).unwrap(); // (2, −) now dominates (3, 2) on dim 0
+/// let top = engine.query(&EngineQuery::new(1)).unwrap();
+/// assert_eq!(top.entries()[0].id, b); // ids are stable across updates
+/// ```
+pub struct DynamicEngine {
+    dims: usize,
+    /// All slots ever inserted since the last compaction, tombstones
+    /// included (their rows keep their values until compaction).
+    ds: Dataset,
+    live: Tombstones,
+    /// Slot → stable id (strictly increasing, so slot order and stable-id
+    /// order agree — the tie-order invariant).
+    stable_of: Vec<ObjectId>,
+    /// Stable id → slot, live objects only.
+    slot_of: HashMap<ObjectId, usize>,
+    next_id: ObjectId,
+    index: BitmapIndex,
+    binned: BinnedBitmapIndex,
+    /// Maintained queue + incomparable sets, lent into query contexts.
+    pre: Preprocessed,
+    /// Row-major `n × dims` table of `|Tᵢ(o)|` (the exact per-dimension
+    /// MaxScore ingredients); [`T_UNOBSERVED`] where `o` misses `i`.
+    t: Vec<u32>,
+    /// Per-dimension live missing counts `|Sᵢ|`.
+    missing: Vec<usize>,
+    /// The queue needs a re-sort before the next query.
+    queue_dirty: bool,
+    scratch: ScratchSpace,
+    bins: BinChoice,
+    policy: CompactionPolicy,
+    epoch: u64,
+    stats: UpdateStats,
+}
+
+impl DynamicEngine {
+    /// Take ownership of `ds` and build the initial artifacts (equivalent
+    /// to epoch 0's compaction).
+    pub fn new(ds: Dataset) -> Self {
+        Self::with_options(ds, DynamicOptions::default())
+    }
+
+    /// [`DynamicEngine::new`] with explicit binning and compaction policy.
+    pub fn with_options(ds: Dataset, options: DynamicOptions) -> Self {
+        let dims = ds.dims();
+        let n = ds.len();
+        let mut engine = DynamicEngine {
+            dims,
+            ds,
+            live: Tombstones::all_live(n),
+            stable_of: (0..n as ObjectId).collect(),
+            slot_of: (0..n).map(|s| (s as ObjectId, s)).collect(),
+            next_id: n as ObjectId,
+            index: BitmapIndex::build(&Dataset::from_rows(dims, &[]).expect("valid dims")),
+            binned: BinnedBitmapIndex::build(
+                &Dataset::from_rows(dims, &[]).expect("valid dims"),
+                &vec![1; dims],
+            ),
+            pre: Preprocessed {
+                queue: Vec::new(),
+                f_sets: HashMap::new(),
+            },
+            t: Vec::new(),
+            missing: vec![0; dims],
+            queue_dirty: false,
+            scratch: ScratchSpace::new(n),
+            bins: options.bins,
+            policy: options.policy,
+            epoch: 0,
+            stats: UpdateStats::default(),
+        };
+        engine.rebuild_artifacts();
+        engine
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// Dimensionality of the data space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of **live** objects.
+    pub fn len(&self) -> usize {
+        self.live.live_count()
+    }
+
+    /// Is the live set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.live.dead_count()
+    }
+
+    /// Current tombstone fraction of the slot space.
+    pub fn tombstone_fraction(&self) -> f64 {
+        self.live.dead_fraction()
+    }
+
+    /// Compaction epoch: how many times the store has been rebuilt.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime update counters.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Is `id` a live object?
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.slot_of.contains_key(&id)
+    }
+
+    /// Value of live object `id` at `dim` (`None` = missing).
+    pub fn value(&self, id: ObjectId, dim: usize) -> Result<Option<f64>, UpdateError> {
+        let slot = self.slot(id)?;
+        if dim >= self.dims {
+            return Err(ModelError::DimensionOutOfRange {
+                dim,
+                dims: self.dims,
+            }
+            .into());
+        }
+        Ok(self.ds.value(slot as ObjectId, dim))
+    }
+
+    /// Label of live object `id`, if any.
+    pub fn label(&self, id: ObjectId) -> Result<Option<&str>, UpdateError> {
+        let slot = self.slot(id)?;
+        Ok(self.ds.label(slot as ObjectId))
+    }
+
+    /// Stable ids of the live objects, in insertion order.
+    pub fn live_ids(&self) -> Vec<ObjectId> {
+        self.live.iter_live().map(|s| self.stable_of[s]).collect()
+    }
+
+    /// A compacted copy of the live data, in insertion order (row `i`
+    /// corresponds to `live_ids()[i]`) — what a rebuild-from-scratch
+    /// oracle would operate on.
+    pub fn snapshot(&self) -> Dataset {
+        let slots: Vec<ObjectId> = self.live.iter_live().map(|s| s as ObjectId).collect();
+        self.ds.select(&slots)
+    }
+
+    // ----- updates --------------------------------------------------------
+
+    /// Insert a row, returning its stable id.
+    ///
+    /// # Errors
+    /// Row validation errors ([`UpdateError::Model`]); the engine is
+    /// unchanged on error.
+    pub fn insert(&mut self, row: &[Option<f64>]) -> Result<ObjectId, UpdateError> {
+        self.insert_inner(row, None)
+    }
+
+    /// Insert a labeled row, returning its stable id.
+    ///
+    /// # Errors
+    /// Same as [`DynamicEngine::insert`].
+    pub fn insert_labeled(
+        &mut self,
+        label: impl Into<String>,
+        row: &[Option<f64>],
+    ) -> Result<ObjectId, UpdateError> {
+        self.insert_inner(row, Some(label.into()))
+    }
+
+    fn insert_inner(
+        &mut self,
+        row: &[Option<f64>],
+        label: Option<String>,
+    ) -> Result<ObjectId, UpdateError> {
+        let mask = self.check_row(row)?;
+        // 1. Every existing live object's |Tᵢ| gains the new object's
+        //    contribution (word-parallel delta scans over the pre-insert
+        //    index).
+        for (dim, &obs) in row.iter().enumerate() {
+            self.shift_t(dim, obs, None, 1);
+            if obs.is_none() {
+                self.missing[dim] += 1;
+            }
+        }
+        // 2. Indexes and storage grow by one slot.
+        let slot = self.index.append_row(|d| row[d]);
+        let also = self.binned.append_row(|d| row[d]);
+        debug_assert_eq!(slot, also);
+        match label {
+            Some(l) => self.ds.push_row_labeled(l, row),
+            None => self.ds.push_row(row),
+        }
+        .expect("row already validated");
+        self.live.push_live();
+        // 3. The new object's own |Tᵢ| row, via the (updated) probe trees
+        //    — the same rank-query formula the from-scratch oracle uses.
+        for (dim, &obs) in row.iter().enumerate() {
+            self.t.push(match obs {
+                None => T_UNOBSERVED,
+                Some(v) => {
+                    (self.binned.count_value_at_least(dim, v) - 1 + self.missing[dim]) as u32
+                }
+            });
+        }
+        // 4. Incomparable sets: a bit for the newcomer in every mask's
+        //    set, plus an entry for its own mask if unseen.
+        for (key, bv) in self.pre.f_sets.iter_mut() {
+            bv.push(*key & mask.bits() == 0);
+        }
+        self.ensure_fset(mask);
+        // 5. Stable identity.
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stable_of.push(id);
+        self.slot_of.insert(id, slot);
+        self.queue_dirty = true;
+        self.stats.inserts += 1;
+        Ok(id)
+    }
+
+    /// Delete live object `id` (tombstone now, physical removal at the
+    /// next compaction).
+    ///
+    /// # Errors
+    /// [`UpdateError::UnknownId`] / [`UpdateError::Deleted`]; the engine
+    /// is unchanged on error.
+    pub fn delete(&mut self, id: ObjectId) -> Result<(), UpdateError> {
+        let slot = self.slot(id)?;
+        // Kill first so the delta scans exclude the victim itself.
+        self.live.kill(slot);
+        for dim in 0..self.dims {
+            let obs = self.ds.value(slot as ObjectId, dim);
+            self.shift_t(dim, obs, None, -1);
+            if obs.is_none() {
+                self.missing[dim] -= 1;
+            }
+        }
+        self.index.tombstone_row(slot);
+        let row: Vec<Option<f64>> = (0..self.dims)
+            .map(|d| self.ds.value(slot as ObjectId, d))
+            .collect();
+        self.binned.tombstone_row(slot, |d| row[d]);
+        for bv in self.pre.f_sets.values_mut() {
+            bv.clear(slot);
+        }
+        self.slot_of.remove(&id);
+        self.queue_dirty = true;
+        self.stats.deletes += 1;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Overwrite one cell of live object `id` (`None` clears it to
+    /// missing, `Some` sets/overwrites it).
+    ///
+    /// # Errors
+    /// Id errors, [`ModelError::DimensionOutOfRange`],
+    /// [`ModelError::NaNValue`], and [`ModelError::AllMissingRow`] when
+    /// clearing the object's only observed value. The engine is unchanged
+    /// on error.
+    pub fn update_value(
+        &mut self,
+        id: ObjectId,
+        dim: usize,
+        new: Option<f64>,
+    ) -> Result<(), UpdateError> {
+        let slot = self.slot(id)?;
+        if dim >= self.dims {
+            return Err(ModelError::DimensionOutOfRange {
+                dim,
+                dims: self.dims,
+            }
+            .into());
+        }
+        if new.is_some_and(f64::is_nan) {
+            return Err(ModelError::NaNValue { row: slot, dim }.into());
+        }
+        let old = self.ds.value(slot as ObjectId, dim);
+        let mut mask = self.ds.mask(slot as ObjectId);
+        if old.is_some() && new.is_none() && mask.count() == 1 {
+            return Err(ModelError::AllMissingRow(slot).into());
+        }
+        self.stats.cell_updates += 1;
+        match (old, new) {
+            (None, None) => return Ok(()),
+            // IEEE-equal rewrite (covers −0.0 ↔ 0.0): every index artifact
+            // treats the two identically (value tables dedup with `==`,
+            // `F64Key` normalizes signed zero), so only storage changes.
+            (Some(a), Some(b)) if a == b => {
+                self.ds
+                    .set_value(slot as ObjectId, dim, new)
+                    .expect("validated");
+                return Ok(());
+            }
+            _ => {}
+        }
+        // Other objects' |T_dim|: remove the old contribution, add the new
+        // one. Both scans skip the object itself (its own row is
+        // recomputed below) and see only other objects' bits, which the
+        // in-between index mutation does not touch.
+        self.shift_t(dim, old, Some(slot), -1);
+        self.index.set_cell(slot, dim, new);
+        self.shift_t(dim, new, Some(slot), 1);
+        self.binned.set_cell(slot, dim, old, new);
+        self.ds
+            .set_value(slot as ObjectId, dim, new)
+            .expect("validated above");
+        match (old.is_some(), new.is_some()) {
+            (true, false) => self.missing[dim] += 1,
+            (false, true) => self.missing[dim] -= 1,
+            _ => {}
+        }
+        // The object's own |T_dim| from the updated probe tree.
+        self.t[slot * self.dims + dim] = match new {
+            None => T_UNOBSERVED,
+            Some(v) => (self.binned.count_value_at_least(dim, v) - 1 + self.missing[dim]) as u32,
+        };
+        // Observedness flips re-home the object across incomparable sets.
+        if old.is_some() != new.is_some() {
+            match new {
+                Some(_) => mask.set(dim),
+                None => mask.unset(dim),
+            }
+            self.ensure_fset(mask);
+            for (key, bv) in self.pre.f_sets.iter_mut() {
+                if *key & mask.bits() == 0 {
+                    bv.set(slot);
+                } else {
+                    bv.clear(slot);
+                }
+            }
+        }
+        self.queue_dirty = true;
+        Ok(())
+    }
+
+    /// Apply one [`UpdateOp`]. Inserts return `Some(stable id)`.
+    ///
+    /// # Errors
+    /// The op's own validation errors; the engine is unchanged on error.
+    pub fn apply(&mut self, op: &UpdateOp) -> Result<Option<ObjectId>, UpdateError> {
+        match op {
+            UpdateOp::Insert(row) => self.insert(row).map(Some),
+            UpdateOp::InsertLabeled(label, row) => {
+                self.insert_labeled(label.clone(), row).map(Some)
+            }
+            UpdateOp::Delete(id) => self.delete(*id).map(|()| None),
+            UpdateOp::Set(id, dim, v) => self.update_value(*id, *dim, *v).map(|()| None),
+        }
+    }
+
+    /// Apply a batch front to back, stopping at the first failure.
+    ///
+    /// # Errors
+    /// `(index of the failing op, its error)` — ops before it are applied.
+    pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<(), (usize, UpdateError)> {
+        for (i, op) in ops.iter().enumerate() {
+            self.apply(op).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    // ----- queries --------------------------------------------------------
+
+    /// Answer a query single-threaded through the sequential scratch
+    /// engines. Entry ids are **stable ids**.
+    ///
+    /// # Errors
+    /// [`UpdateError::UnsupportedAlgorithm`] for anything but BIG/IBIG.
+    pub fn query(&mut self, q: &EngineQuery) -> Result<TkdResult, UpdateError> {
+        self.query_threads(q, 1)
+    }
+
+    /// Answer a query with `threads` workers cooperating through the
+    /// replay-merged parallel engine (identical results to
+    /// [`DynamicEngine::query`] — the same differential guarantee the
+    /// static parallel engine carries).
+    ///
+    /// # Errors
+    /// [`UpdateError::UnsupportedAlgorithm`] for anything but BIG/IBIG.
+    pub fn query_threads(
+        &mut self,
+        q: &EngineQuery,
+        threads: usize,
+    ) -> Result<TkdResult, UpdateError> {
+        if !matches!(q.algorithm, Algorithm::Big | Algorithm::Ibig) {
+            return Err(UpdateError::UnsupportedAlgorithm(q.algorithm));
+        }
+        self.refresh();
+        if self.scratch.n() != self.ds.len() {
+            self.scratch = ScratchSpace::new(self.ds.len());
+        }
+        let threads = threads.max(1);
+        let result = match (q.algorithm, threads) {
+            (Algorithm::Big, 1) => {
+                let ctx = BigContext::from_prebuilt(&self.ds, &self.index, &self.pre);
+                big::big_with_scratch(&ctx, q.k, &mut self.scratch)
+            }
+            (Algorithm::Big, t) => {
+                let ctx = ShardedBigContext::from_prebuilt(&self.ds, &self.index, &self.pre);
+                parallel_big(&ctx, q.k, t)
+            }
+            (Algorithm::Ibig, 1) => {
+                let ctx: IbigContext<'_, Concise> =
+                    IbigContext::from_prebuilt_dense(&self.ds, &self.binned, &self.pre);
+                ibig::ibig_with_scratch(&ctx, q.k, &mut self.scratch)
+            }
+            (Algorithm::Ibig, t) => {
+                let ctx: ShardedIbigContext<'_, Concise> =
+                    ShardedIbigContext::from_prebuilt_dense(&self.ds, &self.binned, &self.pre);
+                parallel_ibig(&ctx, q.k, t)
+            }
+            _ => unreachable!("guarded above"),
+        };
+        // Slot ids → stable ids. `stable_of` is strictly increasing, so
+        // the (score desc, id asc) entry order is preserved verbatim.
+        let stats = result.stats;
+        let entries: Vec<ResultEntry> = result
+            .into_iter()
+            .map(|e| ResultEntry {
+                id: self.stable_of[e.id as usize],
+                score: e.score,
+            })
+            .collect();
+        let mapped = TkdResult::new_ordered(entries, stats);
+        Ok(match q.tie {
+            TieBreak::ById => mapped,
+            TieBreak::Random(seed) => shuffle_ties(mapped, seed),
+        })
+    }
+
+    // ----- compaction -----------------------------------------------------
+
+    /// Rebuild the store from the live rows now: slots are renumbered,
+    /// bins re-quantiled, tombstones dropped, the epoch bumped. Stable ids
+    /// survive. (Normally policy-triggered; exposed for tests, benches,
+    /// and operational control.)
+    pub fn compact_now(&mut self) {
+        let live_slots: Vec<ObjectId> = self.live.iter_live().map(|s| s as ObjectId).collect();
+        let stable: Vec<ObjectId> = live_slots
+            .iter()
+            .map(|&s| self.stable_of[s as usize])
+            .collect();
+        self.ds = self.ds.select(&live_slots);
+        let n = self.ds.len();
+        self.live = Tombstones::all_live(n);
+        self.slot_of = stable.iter().enumerate().map(|(s, &id)| (id, s)).collect();
+        self.stable_of = stable;
+        self.scratch = ScratchSpace::new(n);
+        self.rebuild_artifacts();
+        self.epoch += 1;
+        self.stats.compactions += 1;
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.live.dead_count() >= self.policy.min_dead
+            && self.live.dead_fraction() > self.policy.max_tombstone_fraction
+        {
+            self.compact_now();
+        }
+    }
+
+    /// (Re)build every maintained artifact from `self.ds`, which must be
+    /// tombstone-free — the epoch-0 initialisation and the compaction
+    /// tail.
+    fn rebuild_artifacts(&mut self) {
+        let ds = &self.ds;
+        let n = ds.len();
+        let dims = self.dims;
+        self.index = BitmapIndex::build(ds);
+        let bins = match &self.bins {
+            BinChoice::Auto => {
+                let x = cost::optimal_bins(n, stats::missing_rate(ds));
+                vec![x; dims]
+            }
+            BinChoice::Fixed(x) => vec![(*x).max(1); dims],
+            BinChoice::PerDim(v) => {
+                assert_eq!(v.len(), dims, "one bin count per dimension");
+                v.clone()
+            }
+        };
+        self.binned = BinnedBitmapIndex::build(ds, &bins);
+        self.missing = (0..dims)
+            .map(|d| n - self.binned.observed_count(d))
+            .collect();
+        self.t = vec![T_UNOBSERVED; n * dims];
+        for o in 0..n {
+            for d in ds.mask(o as ObjectId).iter() {
+                let v = ds.raw_value(o as ObjectId, d);
+                self.t[o * dims + d] =
+                    (self.binned.count_value_at_least(d, v) - 1 + self.missing[d]) as u32;
+            }
+        }
+        self.pre = Preprocessed {
+            queue: Vec::new(),
+            f_sets: incomparable_bitvecs(ds),
+        };
+        self.queue_dirty = true;
+        self.refresh();
+    }
+
+    // ----- internals ------------------------------------------------------
+
+    fn slot(&self, id: ObjectId) -> Result<usize, UpdateError> {
+        match self.slot_of.get(&id) {
+            Some(&s) => Ok(s),
+            None if id < self.next_id => Err(UpdateError::Deleted(id)),
+            None => Err(UpdateError::UnknownId(id)),
+        }
+    }
+
+    /// Validate a row *before* any artifact is touched (inserts must be
+    /// atomic), with exactly the model's rules — shared through
+    /// [`tkd_model::validate_row`] so the two layers cannot drift.
+    fn check_row(&self, row: &[Option<f64>]) -> Result<DimMask, UpdateError> {
+        Ok(tkd_model::validate_row(self.dims, row, self.ds.len())?)
+    }
+
+    /// Add `delta` to `|T_dim(o)|` of every live object `o` that counts an
+    /// object observing `obs` in `dim` (`None` = the object misses `dim`
+    /// and contributes through `S_dim` to every observer), skipping
+    /// `skip`. One word-parallel `live ∧ ¬column` enumeration: `O(N/64)`
+    /// words plus one add per affected object.
+    fn shift_t(&mut self, dim: usize, obs: Option<f64>, skip: Option<usize>, delta: i32) {
+        // `o` counts the contributor iff `o[dim] ≤ v` (rank sets) or
+        // always when the contributor misses `dim` (membership in S_dim) —
+        // in both cases a complement-of-column scan:
+        //   {o live, observed, o[dim] ≤ v}  =  live ∧ ¬column[#values ≤ v]
+        //   {o live, observed}              =  live ∧ ¬column[C_dim]
+        let c = match obs {
+            Some(v) => self.index.values(dim).partition_point(|&x| x <= v),
+            None => self.index.cardinality(dim),
+        };
+        if c == 0 {
+            return; // column 0 is all-ones: the complement set is empty
+        }
+        let col = self.index.column(dim, c);
+        let dims = self.dims;
+        for s in self.live.live_mask().iter_ones_and_not(col) {
+            if Some(s) == skip {
+                continue;
+            }
+            let e = &mut self.t[s * dims + dim];
+            debug_assert_ne!(*e, T_UNOBSERVED, "shift hit an unobserved cell");
+            *e = e.checked_add_signed(delta).expect("t-count out of range");
+        }
+    }
+
+    /// Make sure the incomparable-set table has an entry for `mask`,
+    /// building it over the live objects if absent.
+    fn ensure_fset(&mut self, mask: DimMask) {
+        if self.pre.f_sets.contains_key(&mask.bits()) {
+            return;
+        }
+        let mut bv = BitVec::zeros(self.ds.len());
+        for s in self.live.iter_live() {
+            if self.ds.mask(s as ObjectId).bits() & mask.bits() == 0 {
+                bv.set(s);
+            }
+        }
+        self.pre.f_sets.insert(mask.bits(), bv);
+    }
+
+    /// Re-sort the candidate queue from the maintained exact `|Tᵢ|` table
+    /// (deferred until the next query so op batches pay it once).
+    fn refresh(&mut self) {
+        if !self.queue_dirty {
+            return;
+        }
+        self.pre.queue.clear();
+        let dims = self.dims;
+        for s in self.live.iter_live() {
+            let ms = self
+                .ds
+                .mask(s as ObjectId)
+                .iter()
+                .map(|d| self.t[s * dims + d] as usize)
+                .min()
+                .expect("live rows observe at least one dimension");
+            self.pre.queue.push((s as ObjectId, ms));
+        }
+        self.pre
+            .queue
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.queue_dirty = false;
+    }
+
+    /// Test/diagnostic hook: the maintained queue in (stable id, MaxScore)
+    /// form — must equal the from-scratch queue over [`snapshot`]
+    /// (`tests/dynamic_parity.rs` pins it).
+    ///
+    /// [`snapshot`]: DynamicEngine::snapshot
+    pub fn maintained_queue(&mut self) -> Vec<(ObjectId, usize)> {
+        self.refresh();
+        self.pre
+            .queue
+            .iter()
+            .map(|&(s, ms)| (self.stable_of[s as usize], ms))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxscore::maxscore_queue;
+    use crate::query::TkdQuery;
+    use tkd_model::fixtures;
+
+    fn engine_no_compaction(ds: Dataset) -> DynamicEngine {
+        DynamicEngine::with_options(
+            ds,
+            DynamicOptions {
+                bins: BinChoice::Auto,
+                policy: CompactionPolicy::never(),
+            },
+        )
+    }
+
+    /// Rebuild-from-scratch oracle: run the static engines over the live
+    /// snapshot and translate row positions to stable ids.
+    fn oracle(
+        engine: &DynamicEngine,
+        k: usize,
+        alg: Algorithm,
+        threads: usize,
+    ) -> Vec<(ObjectId, usize)> {
+        let snap = engine.snapshot();
+        let ids = engine.live_ids();
+        let r = TkdQuery::new(k).algorithm(alg).threads(threads).run(&snap);
+        r.iter().map(|e| (ids[e.id as usize], e.score)).collect()
+    }
+
+    fn dynamic_entries(
+        engine: &mut DynamicEngine,
+        k: usize,
+        alg: Algorithm,
+    ) -> Vec<(ObjectId, usize)> {
+        let r = engine
+            .query(&EngineQuery::new(k).algorithm(alg))
+            .expect("supported");
+        r.iter().map(|e| (e.id, e.score)).collect()
+    }
+
+    #[test]
+    fn fig3_insert_delete_update_parity() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        // Baseline: T2D answer {A2, C2} @ 16.
+        let r = engine.query(&EngineQuery::new(2)).unwrap();
+        assert_eq!(r.kth_score(), Some(16));
+        // A dominating newcomer takes over (smaller is better).
+        let star = engine
+            .insert(&[Some(0.0), Some(0.0), Some(0.0), Some(0.0)])
+            .unwrap();
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            let got = dynamic_entries(&mut engine, 2, alg);
+            assert_eq!(got, oracle(&engine, 2, alg, 1), "{alg:?}");
+            assert_eq!(got[0].0, star, "{alg:?}");
+        }
+        // Delete it: the old answer returns.
+        engine.delete(star).unwrap();
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            let got = dynamic_entries(&mut engine, 2, alg);
+            assert_eq!(got, oracle(&engine, 2, alg, 1), "{alg:?}");
+        }
+        assert_eq!(
+            engine.query(&EngineQuery::new(2)).unwrap().kth_score(),
+            Some(16)
+        );
+        // Update a value and stay pinned to the oracle.
+        let c2 = engine
+            .snapshot()
+            .id_by_label("C2")
+            .map(|p| engine.live_ids()[p as usize])
+            .unwrap();
+        engine.update_value(c2, 0, Some(0.0)).unwrap();
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            assert_eq!(
+                dynamic_entries(&mut engine, 3, alg),
+                oracle(&engine, 3, alg, 1),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn maintained_queue_is_exact() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        engine.insert(&[Some(4.0), None, Some(2.0), None]).unwrap();
+        engine.insert(&[None, Some(1.0), None, Some(5.0)]).unwrap();
+        let ids = engine.live_ids();
+        engine.delete(ids[3]).unwrap();
+        engine.update_value(ids[7], 2, None).unwrap();
+        engine.update_value(ids[20], 1, Some(3.0)).unwrap();
+        let maintained = engine.maintained_queue();
+        let snap = engine.snapshot();
+        let live = engine.live_ids();
+        let scratch: Vec<(ObjectId, usize)> = maxscore_queue(&snap)
+            .into_iter()
+            .map(|(pos, ms)| (live[pos as usize], ms))
+            .collect();
+        assert_eq!(maintained, scratch);
+    }
+
+    #[test]
+    fn update_value_to_and_from_missing_on_minimal_row() {
+        let ds =
+            Dataset::from_rows(2, &[vec![Some(1.0), None], vec![Some(2.0), Some(2.0)]]).unwrap();
+        let mut engine = engine_no_compaction(ds);
+        // Clearing the only observed cell is rejected and changes nothing.
+        assert_eq!(
+            engine.update_value(0, 0, None),
+            Err(UpdateError::Model(ModelError::AllMissingRow(0)))
+        );
+        assert_eq!(engine.value(0, 0).unwrap(), Some(1.0));
+        // Observe the other dim, then clearing dim 0 becomes legal.
+        engine.update_value(0, 1, Some(9.0)).unwrap();
+        engine.update_value(0, 0, None).unwrap();
+        assert_eq!(engine.value(0, 0).unwrap(), None);
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            assert_eq!(
+                dynamic_entries(&mut engine, 2, alg),
+                oracle(&engine, 2, alg, 1),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_zero_updates_are_semantic_noops() {
+        let ds = Dataset::from_rows(1, &[vec![Some(-0.0)], vec![Some(1.0)]]).unwrap();
+        let mut engine = engine_no_compaction(ds);
+        let before = engine.maintained_queue();
+        engine.update_value(0, 0, Some(0.0)).unwrap();
+        assert_eq!(engine.value(0, 0).unwrap(), Some(0.0));
+        assert_eq!(engine.maintained_queue(), before);
+        // And inserting the other zero sign ties, not dominates.
+        let z = engine.insert(&[Some(0.0)]).unwrap();
+        let r = engine.query(&EngineQuery::new(3)).unwrap();
+        let score_of = |id| r.iter().find(|e| e.id == id).unwrap().score;
+        assert_eq!(score_of(0), 1, "zeros tie each other, dominate 1.0");
+        assert_eq!(score_of(z), 1);
+        assert_eq!(score_of(1), 0, "1.0 is dominated, dominates nobody");
+    }
+
+    #[test]
+    fn id_errors_and_unsupported_algorithms() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        assert_eq!(engine.delete(999), Err(UpdateError::UnknownId(999)));
+        engine.delete(5).unwrap();
+        assert_eq!(engine.delete(5), Err(UpdateError::Deleted(5)));
+        assert_eq!(
+            engine.update_value(5, 0, Some(1.0)),
+            Err(UpdateError::Deleted(5))
+        );
+        assert!(matches!(
+            engine.query(&EngineQuery::new(2).algorithm(Algorithm::Naive)),
+            Err(UpdateError::UnsupportedAlgorithm(Algorithm::Naive))
+        ));
+        assert!(matches!(
+            engine.insert(&[None; 4]),
+            Err(UpdateError::Model(ModelError::AllMissingRow(_)))
+        ));
+        assert!(matches!(
+            engine.insert(&[Some(1.0)]),
+            Err(UpdateError::Model(ModelError::RowArity { .. }))
+        ));
+    }
+
+    #[test]
+    fn compaction_threshold_edges() {
+        let rows: Vec<Vec<Option<f64>>> = (0..20).map(|i| vec![Some(i as f64)]).collect();
+        let ds = Dataset::from_rows(1, &rows).unwrap();
+        let mut engine = DynamicEngine::with_options(
+            ds,
+            DynamicOptions {
+                bins: BinChoice::Fixed(4),
+                policy: CompactionPolicy {
+                    max_tombstone_fraction: 0.25,
+                    min_dead: 4,
+                },
+            },
+        );
+        assert_eq!(engine.epoch(), 0);
+        // 4 deletes of 20 slots = 20 % ≤ 25 %: no compaction (strict >).
+        for id in 0..4 {
+            engine.delete(id).unwrap();
+        }
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.tombstones(), 4);
+        // The 6th delete crosses: 6/20 = 30 % > 25 % (5/20 = 25 % is not >).
+        engine.delete(4).unwrap();
+        assert_eq!(engine.epoch(), 0, "exactly-at-threshold must not trigger");
+        engine.delete(5).unwrap();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.tombstones(), 0);
+        assert_eq!(engine.len(), 14);
+        // Stable ids survived the slot renumbering.
+        assert!(!engine.contains(3));
+        assert!(engine.contains(19));
+        assert_eq!(engine.value(19, 0).unwrap(), Some(19.0));
+        // min_dead gates small stores: fraction alone is not enough.
+        let tiny = Dataset::from_rows(1, &(0..6).map(|i| vec![Some(i as f64)]).collect::<Vec<_>>())
+            .unwrap();
+        let mut tiny_engine = DynamicEngine::with_options(
+            tiny,
+            DynamicOptions {
+                bins: BinChoice::Auto,
+                policy: CompactionPolicy {
+                    max_tombstone_fraction: 0.25,
+                    min_dead: 4,
+                },
+            },
+        );
+        tiny_engine.delete(0).unwrap();
+        tiny_engine.delete(1).unwrap();
+        assert_eq!(tiny_engine.epoch(), 0, "below min_dead");
+        assert!(tiny_engine.tombstone_fraction() > 0.25);
+    }
+
+    #[test]
+    fn compaction_preserves_results_bit_for_bit() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        for id in [0, 3, 7, 11] {
+            engine.delete(id).unwrap();
+        }
+        let before: Vec<_> = dynamic_entries(&mut engine, 5, Algorithm::Big);
+        engine.compact_now();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.tombstones(), 0);
+        let after: Vec<_> = dynamic_entries(&mut engine, 5, Algorithm::Big);
+        assert_eq!(before, after);
+        assert_eq!(after, oracle(&engine, 5, Algorithm::Big, 1));
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        for id in engine.live_ids() {
+            engine.delete(id).unwrap();
+        }
+        assert!(engine.is_empty());
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            assert!(engine
+                .query(&EngineQuery::new(3).algorithm(alg))
+                .unwrap()
+                .is_empty());
+        }
+        let a = engine.insert(&[Some(1.0), None, Some(2.0), None]).unwrap();
+        let b = engine
+            .insert(&[Some(2.0), Some(1.0), Some(3.0), Some(1.0)])
+            .unwrap();
+        assert_eq!(a, 20, "ids keep counting monotonically");
+        assert_eq!(engine.len(), 2);
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            let got = dynamic_entries(&mut engine, 2, alg);
+            assert_eq!(got, oracle(&engine, 2, alg, 1), "{alg:?}");
+            assert_eq!(got[0], (a, 1), "{alg:?}: a dominates b (smaller wins)");
+        }
+        let _ = b;
+    }
+
+    #[test]
+    fn duplicate_inserts_tie() {
+        let ds = Dataset::from_rows(2, &[vec![Some(1.0), Some(2.0)]]).unwrap();
+        let mut engine = engine_no_compaction(ds);
+        let dup = engine.insert(&[Some(1.0), Some(2.0)]).unwrap();
+        let r = engine.query(&EngineQuery::new(2)).unwrap();
+        assert_eq!(r.scores(), vec![0, 0], "exact duplicates dominate nobody");
+        assert!(r.contains(0) && r.contains(dup));
+        assert_eq!(
+            dynamic_entries(&mut engine, 2, Algorithm::Ibig),
+            oracle(&engine, 2, Algorithm::Ibig, 1)
+        );
+    }
+
+    #[test]
+    fn threads_agree_with_single_thread() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        engine
+            .insert(&[Some(5.0), Some(5.0), None, Some(2.0)])
+            .unwrap();
+        engine.delete(2).unwrap();
+        engine.update_value(10, 3, Some(6.0)).unwrap();
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            for k in [1usize, 3, 10, 30] {
+                let seq = engine.query(&EngineQuery::new(k).algorithm(alg)).unwrap();
+                for threads in [2usize, 4] {
+                    let par = engine
+                        .query_threads(&EngineQuery::new(k).algorithm(alg), threads)
+                        .unwrap();
+                    assert_eq!(par.entries(), seq.entries(), "{alg:?} k={k} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_random_keeps_scores() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let base = engine.query(&EngineQuery::new(6)).unwrap();
+        for seed in 0..3 {
+            let r = engine
+                .query(&EngineQuery::new(6).tie_break(TieBreak::Random(seed)))
+                .unwrap();
+            assert_eq!(r.scores(), base.scores(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_edges_on_dynamic_store() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        engine.delete(1).unwrap();
+        let n = engine.len();
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            for k in [0usize, 1, n - 1, n, n + 5] {
+                let got = dynamic_entries(&mut engine, k, alg);
+                assert_eq!(got, oracle(&engine, k, alg, 1), "{alg:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_flow_through() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let id = engine
+            .insert_labeled("Z9", &[Some(1.0), None, None, Some(2.0)])
+            .unwrap();
+        assert_eq!(engine.label(id).unwrap(), Some("Z9"));
+        engine.compact_now();
+        assert_eq!(engine.label(id).unwrap(), Some("Z9"));
+        assert_eq!(engine.label(0).unwrap(), Some("A1"));
+    }
+}

@@ -27,12 +27,27 @@ use tkd_bitvec::{BitVec, CompressedBitmap, Concise};
 use tkd_index::{cost, BinnedBitmapIndex, CompressedColumns};
 use tkd_model::{stats, Dataset, ObjectId};
 
-/// Precomputed inputs of Algorithm 5: binned index, compressed columns,
+/// Where an [`IbigContext`] reads its `[Qᵢ]`/`[Pᵢ]` columns from.
+///
+/// Static contexts compress the binned columns (the paper's storage
+/// layout). The dynamic update layer keeps them **dense** instead — run
+/// encodings cannot absorb in-place bit flips, so compression is traded
+/// for `O(1)` tombstone/append maintenance — and scoring ANDs the picked
+/// dense columns directly (including column 0, which carries the
+/// tombstone mask there).
+enum ColumnStore<C> {
+    /// WAH/CONCISE-compressed copies of every column.
+    Compressed(CompressedColumns<C>),
+    /// Read straight from the (possibly dynamic) binned index's columns.
+    Dense,
+}
+
+/// Precomputed inputs of Algorithm 5: binned index, its column store,
 /// plus the shared [`Preprocessed`] artifacts.
 pub struct IbigContext<'a, C: CompressedBitmap = Concise> {
     ds: &'a Dataset,
-    index: BinnedBitmapIndex,
-    columns: CompressedColumns<C>,
+    index: Cow<'a, BinnedBitmapIndex>,
+    columns: ColumnStore<C>,
     pre: Cow<'a, Preprocessed>,
 }
 
@@ -40,10 +55,10 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
     /// Build with explicit per-dimension bin counts.
     pub fn build(ds: &'a Dataset, bins_per_dim: &[usize]) -> Self {
         let index = BinnedBitmapIndex::build(ds, bins_per_dim);
-        let columns = CompressedColumns::from_binned(&index);
+        let columns = ColumnStore::Compressed(CompressedColumns::from_binned(&index));
         IbigContext {
             ds,
-            index,
+            index: Cow::Owned(index),
             columns,
             pre: Cow::Owned(Preprocessed::build(ds)),
         }
@@ -53,12 +68,45 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
     /// [`crate::big::BigContext::build_with`]).
     pub fn build_with(ds: &'a Dataset, bins_per_dim: &[usize], pre: &'a Preprocessed) -> Self {
         let index = BinnedBitmapIndex::build(ds, bins_per_dim);
-        let columns = CompressedColumns::from_binned(&index);
+        let columns = ColumnStore::Compressed(CompressedColumns::from_binned(&index));
         IbigContext {
             ds,
-            index,
+            index: Cow::Owned(index),
             columns,
             pre: Cow::Borrowed(pre),
+        }
+    }
+
+    /// Borrow **prebuilt** artifacts wholesale, scoring off the index's
+    /// dense columns — the dynamic update layer's entry into the unchanged
+    /// Algorithm 5 scratch path. Dynamic contexts stay uncompressed
+    /// because run encodings cannot absorb in-place bit flips; the store
+    /// trades the paper's compression for `O(1)` tombstone/append
+    /// maintenance.
+    pub fn from_prebuilt_dense(
+        ds: &'a Dataset,
+        index: &'a BinnedBitmapIndex,
+        pre: &'a Preprocessed,
+    ) -> Self {
+        assert_eq!(index.n(), ds.len(), "index/dataset size mismatch");
+        IbigContext {
+            ds,
+            index: Cow::Borrowed(index),
+            columns: ColumnStore::Dense,
+            pre: Cow::Borrowed(pre),
+        }
+    }
+
+    /// AND one picked column per dimension into `dst` from whichever store
+    /// this context uses.
+    fn and_selected_into(
+        &self,
+        picks: impl IntoIterator<Item = (usize, usize)>,
+        dst: &mut tkd_bitvec::BitVec,
+    ) {
+        match &self.columns {
+            ColumnStore::Compressed(cols) => cols.and_selected_into(picks, dst),
+            ColumnStore::Dense => self.index.and_selected_into(picks, dst),
         }
     }
 
@@ -74,8 +122,15 @@ impl<'a, C: CompressedBitmap> IbigContext<'a, C> {
     }
 
     /// The compressed column store.
+    ///
+    /// # Panics
+    /// Panics on dense contexts ([`IbigContext::from_prebuilt_dense`]),
+    /// which keep no compressed copies.
     pub fn columns(&self) -> &CompressedColumns<C> {
-        &self.columns
+        match &self.columns {
+            ColumnStore::Compressed(cols) => cols,
+            ColumnStore::Dense => panic!("dense IBIG context has no compressed columns"),
+        }
     }
 
     /// The dataset this context was built for.
@@ -199,16 +254,14 @@ fn ibig_score<C: CompressedBitmap>(
     stamps.next_object();
     // Q decompressed straight into scratch; o itself is always a member of
     // ∩[Qi], so MaxBitScore = |∩Qi| − 1 before clearing its bit.
-    ctx.columns
-        .and_selected_into((0..dims).map(|d| ctx.q_pick(o, d)), q);
+    ctx.and_selected_into((0..dims).map(|d| ctx.q_pick(o, d)), q);
     let max_bit_score = q.count_ones() - 1;
     // Heuristic 2 — bitmap pruning (still sound under binning, §4.4).
     if top.prunes(max_bit_score) {
         return ScoreOutcome::PrunedByBitmap;
     }
     q.clear(o as usize);
-    ctx.columns
-        .and_selected_into((0..dims).map(|d| ctx.p_pick(o, d)), p);
+    ctx.and_selected_into((0..dims).map(|d| ctx.p_pick(o, d)), p);
     let f = ctx.f_of(o);
     let f_count = f.count_ones();
     // G(o) = P − F(o) = |P ∧ ¬F|, fused.
@@ -277,16 +330,20 @@ fn ibig_score_alloc<C: CompressedBitmap>(
     use std::collections::{HashMap, HashSet};
     let ds = ctx.ds;
     let dims = ds.dims();
+    // Oracle-side fill: allocate fresh buffers per call (hash-based
+    // tables below keep the oracle machinery-independent of the scratch
+    // path; the column store is exercised through the same picks).
     let q_picks: Vec<(usize, usize)> = (0..dims).map(|d| ctx.q_pick(o, d)).collect();
-    let qc = ctx.columns.and_selected(&q_picks);
-    let max_bit_score = qc.count_ones() - 1;
+    let mut q = tkd_bitvec::BitVec::zeros(ds.len());
+    ctx.and_selected_into(q_picks.iter().copied(), &mut q);
+    let max_bit_score = q.count_ones() - 1;
     if top.prunes(max_bit_score) {
         return ScoreOutcome::PrunedByBitmap;
     }
-    let mut q = qc.decompress();
     q.clear(o as usize);
     let p_picks: Vec<(usize, usize)> = (0..dims).map(|d| ctx.p_pick(o, d)).collect();
-    let p = ctx.columns.and_selected(&p_picks).decompress();
+    let mut p = tkd_bitvec::BitVec::zeros(ds.len());
+    ctx.and_selected_into(p_picks.iter().copied(), &mut p);
     let f = ctx.f_of(o);
     let f_count = f.count_ones();
     let g = p.count_ones() - p.and_count(f);

@@ -42,6 +42,7 @@
 
 pub mod big;
 pub mod complete_baseline;
+pub mod dynamic;
 pub mod engine;
 pub mod esb;
 pub mod ibig;
@@ -57,6 +58,9 @@ mod stats;
 mod topk;
 pub mod variants;
 
+pub use dynamic::{
+    CompactionPolicy, DynamicEngine, DynamicOptions, UpdateError, UpdateOp, UpdateStats,
+};
 pub use engine::{EngineQuery, ParallelEngine};
 pub use parallel::{parallel_big, parallel_ibig, ShardPlan, ShardedBigContext, ShardedIbigContext};
 pub use preprocess::Preprocessed;

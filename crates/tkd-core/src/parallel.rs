@@ -201,7 +201,10 @@ fn build_per_shard<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<
 pub struct ShardedBigContext<'a> {
     ds: &'a Dataset,
     plan: ShardPlan,
-    shards: Vec<BitmapIndex>,
+    /// Owned for self-built contexts; borrowed when the dynamic update
+    /// layer lends its incrementally-maintained whole-range index in as a
+    /// single shard.
+    shards: Vec<Cow<'a, BitmapIndex>>,
     pre: Cow<'a, Preprocessed>,
 }
 
@@ -219,13 +222,30 @@ impl<'a> ShardedBigContext<'a> {
     pub(crate) fn from_parts(ds: &'a Dataset, pre: Cow<'a, Preprocessed>, shards: usize) -> Self {
         let plan = ShardPlan::new(ds.len(), shards);
         let shards = build_per_shard(plan.count(), |j| {
-            BitmapIndex::build_range(ds, plan.lo(j), plan.hi(j))
+            Cow::Owned(BitmapIndex::build_range(ds, plan.lo(j), plan.hi(j)))
         });
         ShardedBigContext {
             ds,
             plan,
             shards,
             pre,
+        }
+    }
+
+    /// Borrow a **prebuilt** whole-range index and preprocessing as a
+    /// single-shard context — nothing is built or copied. This is how the
+    /// dynamic update layer runs multi-threaded BIG: the workers still
+    /// parallelize across the candidate queue (scoring is per-candidate),
+    /// they just all score against the one borrowed index, whose
+    /// live-aware paths keep tombstoned slots out of every count.
+    pub fn from_prebuilt(ds: &'a Dataset, index: &'a BitmapIndex, pre: &'a Preprocessed) -> Self {
+        assert_eq!(index.base(), 0, "prebuilt shard must cover the id space");
+        assert_eq!(index.n(), ds.len(), "index/dataset size mismatch");
+        ShardedBigContext {
+            ds,
+            plan: ShardPlan::new(ds.len(), 1),
+            shards: vec![Cow::Borrowed(index)],
+            pre: Cow::Borrowed(pre),
         }
     }
 
@@ -240,8 +260,8 @@ impl<'a> ShardedBigContext<'a> {
     }
 
     /// The per-shard indexes, in shard order.
-    pub fn shards(&self) -> &[BitmapIndex] {
-        &self.shards
+    pub fn shards(&self) -> impl Iterator<Item = &BitmapIndex> {
+        self.shards.iter().map(Cow::as_ref)
     }
 
     /// The shared preprocessing artifacts.
@@ -255,10 +275,27 @@ impl<'a> ShardedBigContext<'a> {
     }
 }
 
-/// One IBIG shard: the shard's binned index plus its compressed columns.
-struct IbigShard<C: CompressedBitmap> {
-    index: BinnedBitmapIndex,
-    columns: CompressedColumns<C>,
+/// One IBIG shard: the shard's binned index plus its column store
+/// (`None` = score off the index's dense columns — the dynamic layer's
+/// layout, whose column 0 carries the tombstone mask).
+struct IbigShard<'a, C: CompressedBitmap> {
+    index: Cow<'a, BinnedBitmapIndex>,
+    columns: Option<CompressedColumns<C>>,
+}
+
+impl<C: CompressedBitmap> IbigShard<'_, C> {
+    /// AND one picked column per dimension into `dst` from whichever store
+    /// this shard uses.
+    fn and_selected_into(
+        &self,
+        picks: impl IntoIterator<Item = (usize, usize)>,
+        dst: &mut tkd_bitvec::BitVec,
+    ) {
+        match &self.columns {
+            Some(cols) => cols.and_selected_into(picks, dst),
+            None => self.index.and_selected_into(picks, dst),
+        }
+    }
 }
 
 /// Sharded counterpart of [`crate::ibig::IbigContext`]: per-shard binned
@@ -267,7 +304,7 @@ struct IbigShard<C: CompressedBitmap> {
 pub struct ShardedIbigContext<'a, C: CompressedBitmap = Concise> {
     ds: &'a Dataset,
     plan: ShardPlan,
-    shards: Vec<IbigShard<C>>,
+    shards: Vec<IbigShard<'a, C>>,
     pre: Cow<'a, Preprocessed>,
 }
 
@@ -307,14 +344,39 @@ impl<'a, C: CompressedBitmap + Send> ShardedIbigContext<'a, C> {
         let plan = ShardPlan::new(ds.len(), shards);
         let shards = build_per_shard(plan.count(), |j| {
             let index = BinnedBitmapIndex::build_range(ds, bins_per_dim, plan.lo(j), plan.hi(j));
-            let columns = CompressedColumns::from_binned(&index);
-            IbigShard { index, columns }
+            let columns = Some(CompressedColumns::from_binned(&index));
+            IbigShard {
+                index: Cow::Owned(index),
+                columns,
+            }
         });
         ShardedIbigContext {
             ds,
             plan,
             shards,
             pre,
+        }
+    }
+
+    /// Borrow a **prebuilt** whole-range binned index and preprocessing as
+    /// a single-shard context scoring off its dense columns — the dynamic
+    /// update layer's multi-threaded IBIG entry (the IBIG counterpart of
+    /// [`ShardedBigContext::from_prebuilt`]).
+    pub fn from_prebuilt_dense(
+        ds: &'a Dataset,
+        index: &'a BinnedBitmapIndex,
+        pre: &'a Preprocessed,
+    ) -> Self {
+        assert_eq!(index.base(), 0, "prebuilt shard must cover the id space");
+        assert_eq!(index.n(), ds.len(), "index/dataset size mismatch");
+        ShardedIbigContext {
+            ds,
+            plan: ShardPlan::new(ds.len(), 1),
+            shards: vec![IbigShard {
+                index: Cow::Borrowed(index),
+                columns: None,
+            }],
+            pre: Cow::Borrowed(pre),
         }
     }
 
@@ -496,9 +558,7 @@ pub(crate) fn ibig_score_sharded<C: CompressedBitmap>(
     // Q per shard, fused off the run streams; Σ counts o itself once.
     let mut total_q = 0usize;
     for (j, shard) in ctx.shards.iter().enumerate() {
-        shard
-            .columns
-            .and_selected_into((0..dims).map(|d| bin_sels[j].q_pick(d)), &mut scratch[j].q);
+        shard.and_selected_into((0..dims).map(|d| bin_sels[j].q_pick(d)), &mut scratch[j].q);
         total_q += scratch[j].q.count_ones();
     }
     let max_bit_score = total_q - 1;
@@ -512,9 +572,7 @@ pub(crate) fn ibig_score_sharded<C: CompressedBitmap>(
     let f_count = f.count_ones();
     let mut g = 0usize;
     for (j, shard) in ctx.shards.iter().enumerate() {
-        shard
-            .columns
-            .and_selected_into((0..dims).map(|d| bin_sels[j].p_pick(d)), &mut scratch[j].p);
+        shard.and_selected_into((0..dims).map(|d| bin_sels[j].p_pick(d)), &mut scratch[j].p);
         let (w_lo, w_hi) = ctx.plan.word_range(j);
         g += scratch[j].p.and_not_count_slice(f.slice_words(w_lo, w_hi));
     }

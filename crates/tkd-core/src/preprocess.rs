@@ -17,8 +17,12 @@ use tkd_model::{stats, Dataset, ObjectId};
 /// does).
 #[derive(Clone, Debug)]
 pub struct Preprocessed {
-    queue: Vec<(ObjectId, usize)>,
-    f_sets: HashMap<u64, BitVec>,
+    /// Crate-visible so the dynamic update layer (`crate::dynamic`) can
+    /// repair the queue in place instead of rebuilding it per op.
+    pub(crate) queue: Vec<(ObjectId, usize)>,
+    /// Keyed by observation-mask bits; crate-visible for the same reason
+    /// (inserts push a bit into every set, deletes clear one).
+    pub(crate) f_sets: HashMap<u64, BitVec>,
 }
 
 impl Preprocessed {

@@ -162,6 +162,174 @@ impl BinnedBitmapIndex {
         }
     }
 
+    // ----- dynamic maintenance -------------------------------------------
+    //
+    // Unlike the exact index, the binned index tombstones slots in **every**
+    // column *including column 0* (it keeps no separate live mask): the
+    // compressed/dense `and_selected_into` paths AND all picked columns, so
+    // a cleared column-0 bit masks dead slots even for all-missing picks.
+    // Bin boundaries are frozen between compactions; a value above the last
+    // boundary extends that boundary upward (no existing assignment
+    // changes), and a dimension's first observed value creates its first
+    // bin. Binning only affects pruning tightness, never scores, so frozen
+    // bins stay exact — compaction re-quantiles them.
+
+    /// Append one object (slot `n()`). Returns the new local id.
+    ///
+    /// # Panics
+    /// Panics on shard indexes (`base() != 0`).
+    pub fn append_row(&mut self, mut value: impl FnMut(usize) -> Option<f64>) -> usize {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        let local = self.n;
+        for dim in 0..self.dims {
+            let slot = match value(dim) {
+                None => {
+                    for col in &mut self.columns[dim] {
+                        col.push(true);
+                    }
+                    MISSING
+                }
+                Some(v) => {
+                    let b = self.ensure_bin(dim, v);
+                    // bin = b+1; bit in column c iff bin > c, i.e. c ≤ b.
+                    for (c, col) in self.columns[dim].iter_mut().enumerate() {
+                        col.push(c <= b);
+                    }
+                    self.trees[dim].insert(
+                        (
+                            F64Key::new(v).expect("values are not NaN"),
+                            local as ObjectId,
+                        ),
+                        (),
+                    );
+                    (b + 1) as u32
+                }
+            };
+            self.bin_idx.push(slot);
+        }
+        self.n += 1;
+        local
+    }
+
+    /// Tombstone local slot `local`: clear its bits in **all** columns and
+    /// remove its keys from the probe trees. `value(d)` must return the
+    /// slot's observations (the caller still holds the tombstoned row).
+    ///
+    /// # Panics
+    /// Panics on shard indexes.
+    pub fn tombstone_row(&mut self, local: usize, mut value: impl FnMut(usize) -> Option<f64>) {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        for dim in 0..self.dims {
+            for col in &mut self.columns[dim] {
+                if col.get(local) {
+                    col.clear(local);
+                }
+            }
+            if let Some(v) = value(dim) {
+                self.trees[dim].remove(&(F64Key::new(v).expect("not NaN"), local as ObjectId));
+            }
+        }
+    }
+
+    /// Overwrite one cell of live slot `local` (`old` is its current
+    /// observation, `new` the replacement), re-binning its column bits and
+    /// swapping its probe-tree key.
+    ///
+    /// # Panics
+    /// Panics on shard indexes.
+    pub fn set_cell(&mut self, local: usize, dim: usize, old: Option<f64>, new: Option<f64>) {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        if let Some(v) = old {
+            self.trees[dim].remove(&(F64Key::new(v).expect("not NaN"), local as ObjectId));
+        }
+        // Resolve the new bin first: it may create or extend a bin (which
+        // never changes existing assignments, so `old`'s range stays valid).
+        let new_slot = match new {
+            None => MISSING,
+            Some(v) => {
+                let b = self.ensure_bin(dim, v);
+                self.trees[dim].insert((F64Key::new(v).expect("not NaN"), local as ObjectId), ());
+                (b + 1) as u32
+            }
+        };
+        let ncols = self.columns[dim].len();
+        // Set-bit prefixes `0..hi` (column 0 is in both, so it never flips).
+        let old_hi = match self.bin_idx[local * self.dims + dim] {
+            MISSING => ncols,
+            b => b as usize,
+        };
+        let new_hi = match new_slot {
+            MISSING => ncols,
+            b => b as usize,
+        };
+        if new_hi > old_hi {
+            for c in old_hi..new_hi {
+                self.columns[dim][c].set(local);
+            }
+        } else {
+            for c in new_hi..old_hi {
+                self.columns[dim][c].clear(local);
+            }
+        }
+        self.bin_idx[local * self.dims + dim] = new_slot;
+    }
+
+    /// 0-based bin that holds `v`, creating the dimension's first bin or
+    /// extending the last boundary when `v` exceeds it.
+    fn ensure_bin(&mut self, dim: usize, v: f64) -> usize {
+        let bounds = &mut self.boundaries[dim];
+        if bounds.is_empty() {
+            bounds.push(v);
+            // First bin of a never-observed dimension: every existing slot
+            // misses it, so the new column equals column 0 bit for bit.
+            let col = self.columns[dim][0].clone();
+            self.columns[dim].push(col);
+            return 0;
+        }
+        if v > *bounds.last().expect("nonempty") {
+            *bounds.last_mut().expect("nonempty") = v;
+        }
+        bounds.partition_point(|&ub| ub < v)
+    }
+
+    /// Rank probe over the per-dimension B+-tree: number of live observed
+    /// entries with value `≥ v` — the `|Tᵢ|` building block of exact
+    /// `MaxScore` maintenance.
+    pub fn count_value_at_least(&self, dim: usize, v: f64) -> usize {
+        self.trees[dim].count_at_least(&(F64Key::new(v).expect("not NaN"), 0))
+    }
+
+    /// Number of live observed entries in `dim` (the probe tree's size).
+    pub fn observed_count(&self, dim: usize) -> usize {
+        self.trees[dim].len()
+    }
+
+    /// AND one picked column per dimension into `dst`, **including**
+    /// column-0 picks — the dense counterpart of
+    /// [`crate::CompressedColumns::and_selected_into`], and the fill the
+    /// dynamic IBIG path uses (its column 0 carries the tombstone mask).
+    ///
+    /// # Panics
+    /// Panics if `picks` is empty, names an out-of-range column, or
+    /// `dst.len() != self.n()`.
+    pub fn and_selected_into(
+        &self,
+        picks: impl IntoIterator<Item = (usize, usize)>,
+        dst: &mut BitVec,
+    ) {
+        assert_eq!(dst.len(), self.n, "scratch length mismatch");
+        let mut cols: [&BitVec; MAX_DIMS] = [&self.columns[0][0]; MAX_DIMS];
+        let mut m = 0;
+        for (d, c) in picks {
+            cols[m] = &self.columns[d][c];
+            m += 1;
+        }
+        assert!(m >= 1, "need at least one column");
+        BitVec::intersect_into(dst, &cols[..m]);
+    }
+
+    // ----- static accessors ----------------------------------------------
+
     /// Number of indexed objects.
     pub fn n(&self) -> usize {
         self.n
@@ -257,12 +425,19 @@ impl BinnedBitmapIndex {
     /// Panics if `q.len() != self.n()`.
     pub fn q_into(&self, o: ObjectId, q: &mut BitVec) {
         assert_eq!(q.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(
-            &self.columns,
+        self.fill_selected(
             |d| self.bin_of(o, d).map(|b| (b - 1) as usize).unwrap_or(0),
             q,
         );
         q.clear(o as usize);
+    }
+
+    /// Intersect one selected column per dimension into `dst`; the
+    /// all-column-0 fallback is column 0 itself (all-ones on static
+    /// indexes, tombstone-aware on dynamic ones — this index tombstones
+    /// every column including column 0).
+    fn fill_selected(&self, col_idx: impl Fn(usize) -> usize, dst: &mut BitVec) {
+        crate::intersect_selected_into(&self.columns, col_idx, &self.columns[0][0], dst);
     }
 
     /// Fill caller-owned scratch with `P = ∩ᵢ Pᵢ` in one fused pass — no
@@ -272,11 +447,7 @@ impl BinnedBitmapIndex {
     /// Panics if `p.len() != self.n()`.
     pub fn p_into(&self, o: ObjectId, p: &mut BitVec) {
         assert_eq!(p.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(
-            &self.columns,
-            |d| self.bin_of(o, d).map(|b| b as usize).unwrap_or(0),
-            p,
-        );
+        self.fill_selected(|d| self.bin_of(o, d).map(|b| b as usize).unwrap_or(0), p);
     }
 
     /// `MaxBitScore(o) = |Q|` under the binned index (still a valid upper
@@ -662,6 +833,172 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Deterministic splitmix-style value stream for the dynamic tests.
+    fn mix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_row(seed: &mut u64, dims: usize) -> Vec<Option<f64>> {
+        loop {
+            let row: Vec<Option<f64>> = (0..dims)
+                .map(|_| {
+                    if mix(seed) % 10 < 3 {
+                        None
+                    } else {
+                        Some(match mix(seed) % 8 {
+                            0 => -0.0,
+                            1 => 0.0,
+                            m => (mix(seed) % 9) as f64 + if m == 2 { 0.25 } else { 0.0 },
+                        })
+                    }
+                })
+                .collect();
+            if row.iter().any(Option::is_some) {
+                return row;
+            }
+        }
+    }
+
+    /// Dynamic maintenance keeps the binned index *consistent*: column
+    /// predicates match the frozen bin assignment, tombstones vanish from
+    /// every column and probe, `Q` stays a sound superset of the exact
+    /// index's `Q` over live objects, and the probe trees agree with a
+    /// brute-force scan. (Bit-level equality with a rebuild is *not*
+    /// expected — compaction re-quantiles bins.)
+    #[test]
+    fn dynamic_maintenance_stays_consistent() {
+        let dims = 3;
+        let mut seed = 13u64;
+        let mut rows: Vec<Option<Vec<Option<f64>>>> = Vec::new();
+        let mut idx = {
+            let ds = tkd_model::Dataset::from_rows(dims, &[]).unwrap();
+            BinnedBitmapIndex::build(&ds, &[3, 3, 3])
+        };
+        let value_of = |rows: &Vec<Option<Vec<Option<f64>>>>, s: usize, d: usize| {
+            rows[s].as_ref().and_then(|r| r[d])
+        };
+        for step in 0..160 {
+            let live: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].is_some()).collect();
+            match mix(&mut seed) % 10 {
+                0..=2 if !live.is_empty() => {
+                    let s = live[mix(&mut seed) as usize % live.len()];
+                    let row = rows[s].clone().unwrap();
+                    idx.tombstone_row(s, |d| row[d]);
+                    rows[s] = None;
+                }
+                3..=4 if !live.is_empty() => {
+                    let s = live[mix(&mut seed) as usize % live.len()];
+                    let d = mix(&mut seed) as usize % dims;
+                    let nv = random_row(&mut seed, dims)[d];
+                    let row = rows[s].as_mut().unwrap();
+                    let mut cand = row.clone();
+                    cand[d] = nv;
+                    if cand.iter().any(Option::is_some) {
+                        idx.set_cell(s, d, row[d], nv);
+                        *row = cand;
+                    }
+                }
+                _ => {
+                    let row = random_row(&mut seed, dims);
+                    let local = idx.append_row(|d| row[d]);
+                    assert_eq!(local, rows.len());
+                    rows.push(Some(row));
+                }
+            }
+            if step % 11 != 0 && step != 159 {
+                continue;
+            }
+            // Column predicates: live slots follow bin semantics, dead
+            // slots are zero everywhere (including column 0).
+            for d in 0..dims {
+                for c in 0..idx.num_columns(d) {
+                    let col = idx.column(d, c);
+                    for (s, row) in rows.iter().enumerate() {
+                        let expected = match row {
+                            None => false,
+                            Some(r) => match r[d] {
+                                None => true,
+                                Some(v) => {
+                                    let b = (0..idx.num_bins(d) as u32)
+                                        .find(|&b| v <= idx.bin_upper(d, b + 1))
+                                        .map(|b| b + 1)
+                                        .expect("live value inside some bin");
+                                    assert_eq!(Some(b), idx.bin_of(s as u32, d));
+                                    b as usize > c
+                                }
+                            },
+                        };
+                        assert_eq!(col.get(s), expected, "step {step} d={d} c={c} s={s}");
+                    }
+                }
+                // Probe tree vs brute force: count ≥ v over live observed.
+                for probe in [-0.0, 0.0, 1.0, 4.25, 8.0, 100.0] {
+                    let brute = (0..rows.len())
+                        .filter_map(|s| value_of(&rows, s, d))
+                        .filter(|&v| v >= probe)
+                        .count();
+                    assert_eq!(idx.count_value_at_least(d, probe), brute, "probe {probe}");
+                }
+                let brute_observed = (0..rows.len())
+                    .filter(|&s| value_of(&rows, s, d).is_some())
+                    .count();
+                assert_eq!(idx.observed_count(d), brute_observed);
+            }
+            // Q-superset soundness vs the exact index over live rows, via
+            // the value-based pick path every scorer uses.
+            let live_rows: Vec<Vec<Option<f64>>> = rows.iter().flatten().cloned().collect();
+            if live_rows.is_empty() {
+                continue;
+            }
+            let exact =
+                BitmapIndex::build(&tkd_model::Dataset::from_rows(dims, &live_rows).unwrap());
+            let mut q = tkd_bitvec::BitVec::zeros(idx.n());
+            for row in &live_rows {
+                let sel = idx.select_for(|d| row[d]);
+                idx.and_selected_into((0..dims).map(|d| sel.q_pick(d)), &mut q);
+                let esel = exact.select_for(|d| row[d]);
+                let mut eq = tkd_bitvec::BitVec::zeros(exact.n());
+                exact.q_into_selected(&esel, None, &mut eq);
+                assert!(
+                    q.count_ones() >= eq.count_ones(),
+                    "binned Q must stay a superset (step {step})"
+                );
+                for dead in (0..rows.len()).filter(|&i| rows[i].is_none()) {
+                    assert!(!q.get(dead), "dead slot {dead} in Q at step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_first_bin_and_boundary_extension() {
+        // Dimension 1 starts never-observed; dimension 0 grows past its
+        // last boundary.
+        let ds = tkd_model::Dataset::from_rows(2, &[vec![Some(1.0), None], vec![Some(2.0), None]])
+            .unwrap();
+        let mut idx = BinnedBitmapIndex::build(&ds, &[2, 2]);
+        assert_eq!(idx.num_bins(1), 0);
+        // First observation of dim 1 creates its first bin.
+        let a = idx.append_row(|d| [Some(9.0), Some(4.0)][d]);
+        assert_eq!(idx.num_bins(1), 1);
+        assert_eq!(idx.bin_of(a as u32, 1), Some(1));
+        // 9.0 exceeded dim 0's last boundary (2.0): the last bin extended.
+        assert_eq!(idx.bin_upper(0, idx.num_bins(0) as u32), 9.0);
+        assert_eq!(
+            idx.ids_below_in_bin(1, 4.0, true).count(),
+            0,
+            "alone in its bin"
+        );
+        // A same-bin smaller value shows up in the probe.
+        let b = idx.append_row(|d| [None, Some(3.5)][d]);
+        let below: Vec<u32> = idx.ids_below_in_bin(1, 4.0, true).collect();
+        assert_eq!(below, vec![b as u32]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The range-encoded bitmap index of §4.3 (Fig. 6).
+//! The range-encoded bitmap index of §4.3 (Fig. 6), with in-place dynamic
+//! maintenance (append / tombstone / cell update) for the update layer.
 
-use tkd_bitvec::BitVec;
+use tkd_bitvec::{BitVec, Tombstones};
 use tkd_model::{stats, Dataset, ObjectId, MAX_DIMS};
 
 /// Sentinel marking a missing value in the per-object column-index table.
@@ -25,6 +26,47 @@ fn block_and_count(words: &[&[u64]; MAX_DIMS], m: usize, start: usize, end: usiz
         }
     }
     buf[..blen].iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Append one bit to a column, keeping its suffix-popcount table exact.
+/// Amortized `O(1)` for a zero bit, `O(nblocks)` for a one (every block
+/// prefix gains the bit).
+fn col_push(col: &mut BitVec, suf: &mut Vec<u32>, bit: bool) {
+    col.push(bit);
+    let nblocks = col.as_words().len().div_ceil(SUFFIX_BLOCK_WORDS);
+    // A fresh block's count and the trailing sentinel are both 0.
+    while suf.len() < nblocks + 1 {
+        suf.push(0);
+    }
+    if bit {
+        for s in &mut suf[..nblocks] {
+            *s += 1;
+        }
+    }
+}
+
+/// Clear one bit of a column, keeping its suffix table exact. No-op when
+/// the bit is already zero.
+fn col_clear(col: &mut BitVec, suf: &mut [u32], pos: usize) {
+    if col.get(pos) {
+        col.clear(pos);
+        let b0 = pos / 64 / SUFFIX_BLOCK_WORDS;
+        for s in &mut suf[..=b0] {
+            *s -= 1;
+        }
+    }
+}
+
+/// Set one bit of a column, keeping its suffix table exact. No-op when the
+/// bit is already one.
+fn col_set(col: &mut BitVec, suf: &mut [u32], pos: usize) {
+    if !col.get(pos) {
+        col.set(pos);
+        let b0 = pos / 64 / SUFFIX_BLOCK_WORDS;
+        for s in &mut suf[..=b0] {
+            *s += 1;
+        }
+    }
 }
 
 /// Suffix popcounts of a column at [`SUFFIX_BLOCK_WORDS`] granularity:
@@ -66,6 +108,17 @@ pub struct BitmapIndex {
     /// `block_suffix[i][c]` = [`suffix_counts`] of `columns[i][c]`, for the
     /// Heuristic 2 early exit.
     block_suffix: Vec<Vec<Vec<u32>>>,
+    /// Live/tombstone bookkeeping for dynamic maintenance. Static builds
+    /// are all-live; [`BitmapIndex::tombstone_row`] kills slots.
+    ///
+    /// **Invariants with tombstones present:** every column `c ≥ 1` holds 0
+    /// at dead slots (cleared at tombstone time, suffix tables repaired),
+    /// while **column 0 stays all-ones** — it is still skipped as the
+    /// intersection identity, which is sound because any `c ≥ 1` column in
+    /// the intersection masks the dead slots, and the all-column-0 fast
+    /// paths answer from [`Tombstones::live_count`] / the live mask
+    /// instead of `n`.
+    live: Tombstones,
 }
 
 impl BitmapIndex {
@@ -135,8 +188,183 @@ impl BitmapIndex {
             columns,
             val_idx,
             block_suffix,
+            live: Tombstones::all_live(n),
         }
     }
+
+    // ----- dynamic maintenance -------------------------------------------
+
+    /// Append one object (slot `n()`), growing every column by one bit and
+    /// inserting new distinct values into the value tables as needed (a new
+    /// value splices in one cloned column, `O(N/64)` words, and shifts the
+    /// larger values' `val_idx` entries). Returns the new local id.
+    ///
+    /// Cost without a new distinct value: `O(Σᵢ (Cᵢ+1))` bit appends plus
+    /// `O(set bits · nblocks)` suffix updates — far below a rebuild's
+    /// `O(Σᵢ (Cᵢ+1) · N/64)`.
+    ///
+    /// # Panics
+    /// Panics on shard indexes (`base() != 0`) — only whole-dataset
+    /// indexes are dynamically maintained.
+    pub fn append_row(&mut self, mut value: impl FnMut(usize) -> Option<f64>) -> usize {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        let local = self.n;
+        for dim in 0..self.dims {
+            let slot = match value(dim) {
+                None => {
+                    for (col, suf) in self.columns[dim]
+                        .iter_mut()
+                        .zip(&mut self.block_suffix[dim])
+                    {
+                        col_push(col, suf, true);
+                    }
+                    MISSING
+                }
+                Some(v) => {
+                    let j1 = self.ensure_value(dim, v);
+                    // Bit semantics: 1 in columns `c ≤ j1 − 1` (the object
+                    // satisfies `> values[c−1]` exactly below its own slot).
+                    for (c, (col, suf)) in self.columns[dim]
+                        .iter_mut()
+                        .zip(&mut self.block_suffix[dim])
+                        .enumerate()
+                    {
+                        col_push(col, suf, c < j1);
+                    }
+                    j1 as u32
+                }
+            };
+            self.val_idx.push(slot);
+        }
+        self.live.push_live();
+        self.n += 1;
+        local
+    }
+
+    /// Tombstone local slot `local`: clear its bits in every `c ≥ 1` column
+    /// (column 0 stays all-ones — see the `live` field invariants) and
+    /// repair the suffix tables. Returns `false` if already dead.
+    ///
+    /// # Panics
+    /// Panics on shard indexes or out-of-range slots.
+    pub fn tombstone_row(&mut self, local: usize) -> bool {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        if !self.live.kill(local) {
+            return false;
+        }
+        for dim in 0..self.dims {
+            // Bits are set only in columns `1..hi`; missing = all of them.
+            let hi = match self.val_idx[local * self.dims + dim] {
+                MISSING => self.columns[dim].len(),
+                j => j as usize,
+            };
+            for c in 1..hi {
+                col_clear(
+                    &mut self.columns[dim][c],
+                    &mut self.block_suffix[dim][c],
+                    local,
+                );
+            }
+        }
+        true
+    }
+
+    /// Overwrite one cell of live slot `local` (`None` = clear to missing),
+    /// moving its bits across the affected column range of `dim` and
+    /// updating `val_idx`. New distinct values splice in a column as in
+    /// [`BitmapIndex::append_row`]; values left without holders stay in the
+    /// table (they still encode a valid threshold — compaction prunes
+    /// them).
+    ///
+    /// # Panics
+    /// Panics on shard indexes, out-of-range slots, or dead slots.
+    pub fn set_cell(&mut self, local: usize, dim: usize, new: Option<f64>) {
+        assert_eq!(self.base, 0, "dynamic maintenance needs a base-0 index");
+        assert!(self.live.is_live(local), "cell update on dead slot {local}");
+        // Resolve the new slot first: a value-table insert shifts `val_idx`
+        // (including this object's), so the old slot is read afterwards.
+        let new_j = match new {
+            None => MISSING,
+            Some(v) => self.ensure_value(dim, v) as u32,
+        };
+        let old_j = self.val_idx[local * self.dims + dim];
+        let ncols = self.columns[dim].len();
+        // Set-bit ranges are prefixes `1..hi` of the non-trivial columns.
+        let old_hi = match old_j {
+            MISSING => ncols,
+            j => j as usize,
+        };
+        let new_hi = match new_j {
+            MISSING => ncols,
+            j => j as usize,
+        };
+        if new_hi > old_hi {
+            for c in old_hi..new_hi {
+                col_set(
+                    &mut self.columns[dim][c],
+                    &mut self.block_suffix[dim][c],
+                    local,
+                );
+            }
+        } else {
+            for c in new_hi..old_hi {
+                col_clear(
+                    &mut self.columns[dim][c],
+                    &mut self.block_suffix[dim][c],
+                    local,
+                );
+            }
+        }
+        self.val_idx[local * self.dims + dim] = new_j;
+    }
+
+    /// 1-based slot of `v` in `dim`'s value table, splicing in a new column
+    /// when `v` is a new distinct value.
+    fn ensure_value(&mut self, dim: usize, v: f64) -> usize {
+        let vals = &mut self.values[dim];
+        // IEEE `<` probe against the `==`-deduped table (see `build_range`).
+        let j = vals.partition_point(|&x| x < v);
+        if j < vals.len() && vals[j] == v {
+            return j + 1;
+        }
+        vals.insert(j, v);
+        // New column `j+1` = `{p : missing ∨ p > v}`. No existing value
+        // lies in `(values[j−1], v]`, so over existing objects that is
+        // exactly column `j` — clone it. Cloning column 0 (new minimum)
+        // must additionally mask out tombstones, which column 0 keeps set.
+        let mut col = self.columns[dim][j].clone();
+        if j == 0 {
+            col.and_assign(self.live.live_mask());
+        }
+        let suf = suffix_counts(&col);
+        self.columns[dim].insert(j + 1, col);
+        self.block_suffix[dim].insert(j + 1, suf);
+        for o in 0..self.n {
+            let slot = &mut self.val_idx[o * self.dims + dim];
+            if *slot != MISSING && *slot as usize > j {
+                *slot += 1;
+            }
+        }
+        j + 1
+    }
+
+    /// Number of live (non-tombstoned) slots.
+    pub fn live_count(&self) -> usize {
+        self.live.live_count()
+    }
+
+    /// Number of tombstoned slots.
+    pub fn dead_count(&self) -> usize {
+        self.live.dead_count()
+    }
+
+    /// Dense live mask (bit per slot), for word-parallel scans over live
+    /// objects.
+    pub fn live_mask(&self) -> &BitVec {
+        self.live.live_mask()
+    }
+
+    // ----- static accessors ----------------------------------------------
 
     /// First global object id covered (0 unless built with
     /// [`BitmapIndex::build_range`]). Object arguments of the per-object
@@ -266,6 +494,13 @@ impl BitmapIndex {
         m
     }
 
+    /// Intersect one selected column per dimension into `dst`; the
+    /// all-column-0 fallback is the live mask (all-ones on static
+    /// indexes, tombstone-aware on dynamic ones).
+    fn fill_selected(&self, col_idx: impl Fn(usize) -> usize, dst: &mut BitVec) {
+        crate::intersect_selected_into(&self.columns, col_idx, self.live.live_mask(), dst);
+    }
+
     /// Fill caller-owned scratch with `Q = (∩ᵢ Qᵢ) − {o}` in one fused pass
     /// — no allocation.
     ///
@@ -273,7 +508,7 @@ impl BitmapIndex {
     /// Panics if `q.len() != self.n()`.
     pub fn q_into(&self, o: ObjectId, q: &mut BitVec) {
         assert_eq!(q.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(&self.columns, |d| self.q_col_index(o, d), q);
+        self.fill_selected(|d| self.q_col_index(o, d), q);
         q.clear(o as usize);
     }
 
@@ -284,7 +519,7 @@ impl BitmapIndex {
     /// Panics if `p.len() != self.n()`.
     pub fn p_into(&self, o: ObjectId, p: &mut BitVec) {
         assert_eq!(p.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(&self.columns, |d| self.p_col_index(o, d), p);
+        self.fill_selected(|d| self.p_col_index(o, d), p);
     }
 
     /// Fill both `Q` and `P` scratch vectors — no allocation. A convenience
@@ -311,7 +546,8 @@ impl BitmapIndex {
         let mut suffix: [&[u32]; MAX_DIMS] = [&[]; MAX_DIMS];
         let m = self.q_selection(o, &mut words, &mut suffix);
         if m == 0 {
-            return self.n - 1;
+            // Every live object (o is live by contract) minus o itself.
+            return self.live_count() - 1;
         }
         let nwords = words[0].len();
         let mut total = 0usize;
@@ -338,7 +574,7 @@ impl BitmapIndex {
         let mut suffix: [&[u32]; MAX_DIMS] = [&[]; MAX_DIMS];
         let m = self.q_selection(o, &mut words, &mut suffix);
         if m == 0 {
-            let mbs = self.n - 1;
+            let mbs = self.live_count() - 1;
             return (mbs > tau).then_some(mbs);
         }
         // o's own bit is part of every count here, so the prune condition
@@ -406,7 +642,7 @@ impl BitmapIndex {
     /// Panics if `q.len() != self.n()` or `member` is out of range.
     pub fn q_into_selected(&self, sel: &ColumnSelection, member: Option<usize>, q: &mut BitVec) {
         assert_eq!(q.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(&self.columns, |d| sel.q[d] as usize, q);
+        self.fill_selected(|d| sel.q[d] as usize, q);
         if let Some(local) = member {
             q.clear(local);
         }
@@ -419,7 +655,7 @@ impl BitmapIndex {
     /// Panics if `p.len() != self.n()`.
     pub fn p_into_selected(&self, sel: &ColumnSelection, p: &mut BitVec) {
         assert_eq!(p.len(), self.n, "scratch length mismatch");
-        crate::intersect_selected_into(&self.columns, |d| sel.p[d] as usize, p);
+        self.fill_selected(|d| sel.p[d] as usize, p);
     }
 
     /// Cheap upper bound of `|∩ᵢ columns[i][sel.q[i]]|`: the sparsest
@@ -427,7 +663,7 @@ impl BitmapIndex {
     /// touched). The parallel engine's cross-shard Heuristic 2 sums these
     /// to skip whole shards.
     pub fn q_selected_upper_bound(&self, sel: &ColumnSelection) -> usize {
-        let mut ub = self.n;
+        let mut ub = self.live_count();
         for dim in 0..self.dims {
             let c = sel.q[dim] as usize;
             if c > 0 {
@@ -456,7 +692,8 @@ impl BitmapIndex {
             }
         }
         if m == 0 {
-            return (self.n > budget).then_some(self.n);
+            let live = self.live_count();
+            return (live > budget).then_some(live);
         }
         let min0 = suffix[..m].iter().map(|s| s[0] as usize).min().unwrap();
         if min0 <= budget {
@@ -829,6 +1066,159 @@ mod tests {
         let expected: u64 = [4u64, 5, 6, 7].iter().map(|c| (c + 1) * 20).sum();
         assert_eq!(idx.size_bits(), expected);
         assert_eq!(idx.size_bytes(), expected.div_ceil(8));
+    }
+
+    /// Deterministic splitmix-style value stream for the dynamic tests.
+    fn mix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_row(seed: &mut u64, dims: usize) -> Vec<Option<f64>> {
+        loop {
+            let row: Vec<Option<f64>> = (0..dims)
+                .map(|_| {
+                    if mix(seed) % 10 < 3 {
+                        None
+                    } else {
+                        // Mix of integers, halves, and signed zeros.
+                        Some(match mix(seed) % 8 {
+                            0 => -0.0,
+                            1 => 0.0,
+                            m => (mix(seed) % 6) as f64 + if m == 2 { 0.5 } else { 0.0 },
+                        })
+                    }
+                })
+                .collect();
+            if row.iter().any(Option::is_some) {
+                return row;
+            }
+        }
+    }
+
+    /// The dynamic index must answer every live candidate exactly like an
+    /// index rebuilt from scratch over the live rows: same `Q`/`P`
+    /// popcounts, same budgeted-count decisions, and sound upper bounds —
+    /// across appends, tombstones, and cell updates (including signed
+    /// zeros and to/from-missing transitions).
+    #[test]
+    fn dynamic_maintenance_matches_rebuild() {
+        let dims = 3;
+        let mut seed = 7u64;
+        // Slot-indexed live rows (None = tombstoned).
+        let mut rows: Vec<Option<Vec<Option<f64>>>> = Vec::new();
+        let mut dyn_idx = {
+            let ds = Dataset::from_rows(dims, &[]).unwrap();
+            BitmapIndex::build(&ds)
+        };
+        for step in 0..180 {
+            let live_slots: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].is_some()).collect();
+            match mix(&mut seed) % 10 {
+                // Tombstone a live slot.
+                0..=2 if !live_slots.is_empty() => {
+                    let s = live_slots[mix(&mut seed) as usize % live_slots.len()];
+                    assert!(dyn_idx.tombstone_row(s));
+                    assert!(!dyn_idx.tombstone_row(s), "double tombstone is a no-op");
+                    rows[s] = None;
+                }
+                // Update one cell of a live slot.
+                3..=4 if !live_slots.is_empty() => {
+                    let s = live_slots[mix(&mut seed) as usize % live_slots.len()];
+                    let d = mix(&mut seed) as usize % dims;
+                    let nv = random_row(&mut seed, dims)[d];
+                    let row = rows[s].as_mut().unwrap();
+                    let mut cand = row.clone();
+                    cand[d] = nv;
+                    if cand.iter().any(Option::is_some) {
+                        dyn_idx.set_cell(s, d, nv);
+                        *row = cand;
+                    }
+                }
+                // Append a fresh row.
+                _ => {
+                    let row = random_row(&mut seed, dims);
+                    let local = dyn_idx.append_row(|d| row[d]);
+                    assert_eq!(local, rows.len());
+                    rows.push(Some(row));
+                }
+            }
+            if step % 9 != 0 && step != 179 {
+                continue; // compare every few steps (and at the end)
+            }
+            // Rebuild oracle over the live rows only.
+            let live_rows: Vec<Vec<Option<f64>>> = rows.iter().flatten().cloned().collect();
+            let oracle = BitmapIndex::build(&Dataset::from_rows(dims, &live_rows).unwrap());
+            assert_eq!(dyn_idx.live_count(), live_rows.len());
+            assert_eq!(dyn_idx.n() - dyn_idx.dead_count(), live_rows.len());
+            let mut q = BitVec::zeros(dyn_idx.n());
+            let mut p = BitVec::zeros(dyn_idx.n());
+            let mut oq = BitVec::zeros(oracle.n());
+            let mut op = BitVec::zeros(oracle.n());
+            for row in rows.iter().flatten() {
+                let sel = dyn_idx.select_for(|d| row[d]);
+                let osel = oracle.select_for(|d| row[d]);
+                dyn_idx.q_into_selected(&sel, None, &mut q);
+                dyn_idx.p_into_selected(&sel, &mut p);
+                oracle.q_into_selected(&osel, None, &mut oq);
+                oracle.p_into_selected(&osel, &mut op);
+                let (qc, oqc) = (q.count_ones(), oq.count_ones());
+                assert_eq!(qc, oqc, "Q count diverged at step {step}");
+                assert_eq!(p.count_ones(), op.count_ones(), "P count at {step}");
+                // Dead slots never leak into a fill.
+                for dead in (0..rows.len()).filter(|&i| rows[i].is_none()) {
+                    assert!(!q.get(dead) && !p.get(dead), "dead slot {dead} set");
+                }
+                assert!(dyn_idx.q_selected_upper_bound(&sel) >= qc);
+                for budget in [0, qc.saturating_sub(1), qc, qc + 2] {
+                    assert_eq!(
+                        dyn_idx.q_count_selected_above(&sel, budget),
+                        (qc > budget).then_some(qc),
+                        "budgeted count at step {step} budget {budget}"
+                    );
+                }
+            }
+            // Member-form scoring agrees with the oracle's member form.
+            let mut live_i = 0;
+            for (slot, row) in rows.iter().enumerate() {
+                let Some(_) = row else { continue };
+                let mbs = dyn_idx.max_bit_score_counted(slot as ObjectId);
+                let ombs = oracle.max_bit_score_counted(live_i as ObjectId);
+                assert_eq!(mbs, ombs, "MaxBitScore at step {step} slot {slot}");
+                for tau in [0, mbs.saturating_sub(1), mbs, mbs + 1] {
+                    assert_eq!(
+                        dyn_idx.max_bit_score_above(slot as ObjectId, tau),
+                        oracle.max_bit_score_above(live_i as ObjectId, tau),
+                        "H2 decision at step {step} slot {slot} tau {tau}"
+                    );
+                }
+                live_i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn append_into_empty_and_delete_everything() {
+        let ds = Dataset::from_rows(2, &[]).unwrap();
+        let mut idx = BitmapIndex::build(&ds);
+        let a = idx.append_row(|d| [Some(1.0), None][d]);
+        let b = idx.append_row(|d| [Some(2.0), Some(0.5)][d]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(idx.live_count(), 2);
+        // 2.0 ≥-dominates: MaxBitScore(a) counts b, not vice versa.
+        assert_eq!(idx.max_bit_score_counted(0), 1);
+        assert_eq!(idx.max_bit_score_counted(1), 0);
+        assert!(idx.tombstone_row(0));
+        assert!(idx.tombstone_row(1));
+        assert_eq!(idx.live_count(), 0);
+        assert_eq!(idx.dead_count(), 2);
+        // Rebirth by appending again into the tombstone-saturated index.
+        let c = idx.append_row(|_| Some(3.0));
+        assert_eq!(c, 2);
+        assert_eq!(idx.live_count(), 1);
+        assert_eq!(idx.max_bit_score_counted(2), 0);
     }
 
     #[test]

@@ -36,18 +36,20 @@ use tkd_model::MAX_DIMS;
 
 /// Intersect one selected column per dimension into `dst` — the shared
 /// scratch-fill of both indexes' `q_into`/`p_into`. `col_idx(dim)` names
-/// the selected column; **column 0 is the all-ones missing slot**, the
-/// identity of intersection, and is skipped (an object selecting it in
-/// every dimension yields the all-ones result without touching a column).
+/// the selected column; column 0 is skipped as the intersection identity,
+/// and when *every* pick is column 0 the result is `fallback` — all-ones
+/// on static indexes, the live mask (`BitmapIndex`) or the
+/// tombstone-aware column 0 (`BinnedBitmapIndex`) on dynamic ones.
 ///
 /// # Panics
 /// Panics if `dst`'s length differs from the columns'.
 pub(crate) fn intersect_selected_into(
     columns: &[Vec<BitVec>],
     col_idx: impl Fn(usize) -> usize,
+    fallback: &BitVec,
     dst: &mut BitVec,
 ) {
-    let mut cols: [&BitVec; MAX_DIMS] = [&columns[0][0]; MAX_DIMS];
+    let mut cols: [&BitVec; MAX_DIMS] = [fallback; MAX_DIMS];
     let mut m = 0;
     for (dim, dim_cols) in columns.iter().enumerate() {
         let c = col_idx(dim);
@@ -57,7 +59,7 @@ pub(crate) fn intersect_selected_into(
         }
     }
     if m == 0 {
-        dst.set_all();
+        dst.copy_from(fallback);
     } else {
         BitVec::intersect_into(dst, &cols[..m]);
     }

@@ -227,6 +227,99 @@ impl Dataset {
         Ok((b.build(), kept))
     }
 
+    /// Append an unlabeled row in place, returning its id — the dynamic
+    /// counterpart of [`DatasetBuilder::push`], with identical validation.
+    ///
+    /// # Errors
+    /// [`ModelError::RowArity`], [`ModelError::NaNValue`], or
+    /// [`ModelError::AllMissingRow`], exactly as the builder rejects them;
+    /// the dataset is unchanged on error.
+    pub fn push_row(&mut self, row: &[Option<f64>]) -> Result<ObjectId, ModelError> {
+        self.push_row_inner(row, None)
+    }
+
+    /// Append a labeled row in place. If the dataset was unlabeled so far,
+    /// earlier rows get empty labels (the builder's convention).
+    ///
+    /// # Errors
+    /// Same validation as [`Dataset::push_row`].
+    pub fn push_row_labeled(
+        &mut self,
+        label: impl Into<String>,
+        row: &[Option<f64>],
+    ) -> Result<ObjectId, ModelError> {
+        self.push_row_inner(row, Some(label.into()))
+    }
+
+    fn push_row_inner(
+        &mut self,
+        row: &[Option<f64>],
+        label: Option<String>,
+    ) -> Result<ObjectId, ModelError> {
+        let r = self.masks.len();
+        let mask = validate_row(self.dims, row, r)?;
+        self.values
+            .extend(row.iter().map(|v| v.unwrap_or(f64::NAN)));
+        self.masks.push(mask);
+        match label {
+            Some(l) => {
+                let labels = self.labels.get_or_insert_with(|| vec![String::new(); r]);
+                labels.push(l);
+            }
+            None => {
+                if let Some(labels) = &mut self.labels {
+                    labels.push(String::new());
+                }
+            }
+        }
+        Ok(r as ObjectId)
+    }
+
+    /// Overwrite one cell of object `id` in place (`None` clears it to
+    /// missing), updating the observation mask.
+    ///
+    /// # Errors
+    /// [`ModelError::DimensionOutOfRange`] for a bad dimension,
+    /// [`ModelError::NaNValue`] for NaN, and [`ModelError::AllMissingRow`]
+    /// when clearing the object's only observed value (the model forbids
+    /// all-missing rows, §3). The dataset is unchanged on error.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (like every accessor).
+    pub fn set_value(
+        &mut self,
+        id: ObjectId,
+        dim: usize,
+        value: Option<f64>,
+    ) -> Result<(), ModelError> {
+        let i = id as usize;
+        assert!(i < self.masks.len(), "object id {id} out of range");
+        if dim >= self.dims {
+            return Err(ModelError::DimensionOutOfRange {
+                dim,
+                dims: self.dims,
+            });
+        }
+        match value {
+            Some(v) if v.is_nan() => Err(ModelError::NaNValue { row: i, dim }),
+            Some(v) => {
+                self.values[i * self.dims + dim] = v;
+                self.masks[i].set(dim);
+                Ok(())
+            }
+            None => {
+                let mut mask = self.masks[i];
+                mask.unset(dim);
+                if mask.is_empty() {
+                    return Err(ModelError::AllMissingRow(i));
+                }
+                self.values[i * self.dims + dim] = f64::NAN;
+                self.masks[i] = mask;
+                Ok(())
+            }
+        }
+    }
+
     /// Restrict the dataset to the given object ids (in the given order).
     ///
     /// Labels are carried over. Useful for sampling experiments.
@@ -249,6 +342,37 @@ impl Dataset {
             labels,
         }
     }
+}
+
+/// Shared row validation of the builder, the in-place mutators, and the
+/// dynamic update layer: arity, NaN rejection, and the §3
+/// at-least-one-observed-value invariant. `r` is the row index reported
+/// in errors. Returns the row's observation mask.
+///
+/// # Errors
+/// [`ModelError::RowArity`], [`ModelError::NaNValue`], or
+/// [`ModelError::AllMissingRow`].
+pub fn validate_row(dims: usize, row: &[Option<f64>], r: usize) -> Result<DimMask, ModelError> {
+    if row.len() != dims {
+        return Err(ModelError::RowArity {
+            row: r,
+            got: row.len(),
+            expected: dims,
+        });
+    }
+    let mut mask = DimMask::EMPTY;
+    for (d, v) in row.iter().enumerate() {
+        if let Some(x) = v {
+            if x.is_nan() {
+                return Err(ModelError::NaNValue { row: r, dim: d });
+            }
+            mask.set(d);
+        }
+    }
+    if mask.is_empty() {
+        return Err(ModelError::AllMissingRow(r));
+    }
+    Ok(mask)
 }
 
 /// Borrowed view of a single object: its value slots and observation mask.
@@ -338,25 +462,7 @@ impl DatasetBuilder {
 
     fn push_inner(&mut self, row: &[Option<f64>], label: String) -> Result<ObjectId, ModelError> {
         let r = self.masks.len();
-        if row.len() != self.dims {
-            return Err(ModelError::RowArity {
-                row: r,
-                got: row.len(),
-                expected: self.dims,
-            });
-        }
-        let mut mask = DimMask::EMPTY;
-        for (d, v) in row.iter().enumerate() {
-            if let Some(x) = v {
-                if x.is_nan() {
-                    return Err(ModelError::NaNValue { row: r, dim: d });
-                }
-                mask.set(d);
-            }
-        }
-        if mask.is_empty() {
-            return Err(ModelError::AllMissingRow(r));
-        }
+        let mask = validate_row(self.dims, row, r)?;
         self.values
             .extend(row.iter().map(|v| v.unwrap_or(f64::NAN)));
         self.masks.push(mask);
@@ -546,6 +652,70 @@ mod tests {
     fn ids_iterates_in_order() {
         let ds = tiny();
         assert_eq!(ds.ids().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn push_row_appends_with_builder_validation() {
+        let mut ds = tiny();
+        assert_eq!(
+            ds.push_row(&[Some(1.0)]).unwrap_err(),
+            ModelError::RowArity {
+                row: 2,
+                got: 1,
+                expected: 3
+            }
+        );
+        assert_eq!(
+            ds.push_row(&[None, None, None]).unwrap_err(),
+            ModelError::AllMissingRow(2)
+        );
+        assert_eq!(
+            ds.push_row(&[Some(f64::NAN), None, None]).unwrap_err(),
+            ModelError::NaNValue { row: 2, dim: 0 }
+        );
+        assert_eq!(ds.len(), 2, "failed pushes change nothing");
+        let id = ds.push_row(&[None, Some(7.0), None]).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(ds.value(2, 1), Some(7.0));
+        assert_eq!(ds.mask(2), DimMask::from_indices([1]));
+    }
+
+    #[test]
+    fn push_row_labeled_backfills_labels() {
+        let mut ds = tiny();
+        assert_eq!(ds.label(0), None);
+        let id = ds
+            .push_row_labeled("new", &[Some(1.0), None, None])
+            .unwrap();
+        assert_eq!(ds.label(id), Some("new"));
+        assert_eq!(ds.label(0), Some(""), "earlier rows get empty labels");
+        // Unlabeled pushes onto a labeled dataset keep lengths in sync.
+        let id2 = ds.push_row(&[Some(2.0), None, None]).unwrap();
+        assert_eq!(ds.label(id2), Some(""));
+    }
+
+    #[test]
+    fn set_value_updates_cell_and_mask() {
+        let mut ds = tiny();
+        ds.set_value(0, 1, Some(9.0)).unwrap();
+        assert_eq!(ds.value(0, 1), Some(9.0));
+        ds.set_value(0, 1, None).unwrap();
+        assert_eq!(ds.value(0, 1), None);
+        assert!(ds.raw_value(0, 1).is_nan());
+        // Clearing the only observed value of row 1 is rejected.
+        assert_eq!(
+            ds.set_value(1, 1, None).unwrap_err(),
+            ModelError::AllMissingRow(1)
+        );
+        assert_eq!(ds.value(1, 1), Some(2.0), "rejected update is a no-op");
+        assert_eq!(
+            ds.set_value(0, 9, Some(1.0)).unwrap_err(),
+            ModelError::DimensionOutOfRange { dim: 9, dims: 3 }
+        );
+        assert_eq!(
+            ds.set_value(0, 0, Some(f64::NAN)).unwrap_err(),
+            ModelError::NaNValue { row: 0, dim: 0 }
+        );
     }
 
     #[test]

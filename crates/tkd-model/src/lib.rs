@@ -44,7 +44,7 @@ pub mod fixtures;
 pub mod io;
 pub mod stats;
 
-pub use dataset::{Dataset, DatasetBuilder, Row};
+pub use dataset::{validate_row, Dataset, DatasetBuilder, Row};
 pub use error::ModelError;
 pub use mask::{DimIter, DimMask, MAX_DIMS};
 

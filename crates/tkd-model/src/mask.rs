@@ -78,6 +78,17 @@ impl DimMask {
         self.0 |= 1u64 << i;
     }
 
+    /// Mark dimension `i` missing (the inverse of [`DimMask::set`], used by
+    /// dynamic value updates that clear a cell).
+    ///
+    /// # Panics
+    /// Panics if `i >= MAX_DIMS`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < MAX_DIMS, "dimension index {i} out of range");
+        self.0 &= !(1u64 << i);
+    }
+
     /// Number of observed dimensions.
     #[inline]
     pub const fn count(self) -> u32 {

@@ -3,6 +3,7 @@
 //! ```text
 //! tkdq info <FILE>                         dataset statistics
 //! tkdq query <FILE> --k K [options]        TKD query
+//! tkdq update <FILE> --ops OPS --k K       apply updates, then query
 //! tkdq skyline <FILE> [--band K]           skyline / k-skyband
 //! tkdq generate --n N --dims D [options]   synthetic dataset to stdout
 //!
@@ -14,6 +15,15 @@
 //!   --subspace 0,2,5       query a dimension subset
 //!   --threads T            worker threads for big/ibig       (default 1)
 //!   --stats                print pruning statistics
+//! Update options (plus --algorithm big|ibig, --bins, --threads, --stats):
+//!   --ops FILE             update script, one op per line:
+//!                            insert [LABEL] v1,v2,…   (`-` = missing)
+//!                            delete ID
+//!                            set ID DIM VALUE|-
+//!                          ids are stable: row i of FILE is id i, inserts
+//!                          continue counting from there
+//!   --compact-threshold F  tombstone fraction that triggers compaction
+//!                          (default 0.25)
 //! Generate options:
 //!   --dist D               ind | ac | co                     (default ind)
 //!   --missing R            missing rate in [0,1)             (default 0.1)
@@ -25,6 +35,7 @@
 //! Values are smaller-is-better.
 
 use std::process::exit;
+use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
 use tkdi::core::variants;
 use tkdi::data::synthetic::{generate, Distribution, SyntheticConfig};
 use tkdi::model::{io, stats, Dataset};
@@ -39,6 +50,7 @@ fn main() {
     match cmd.as_str() {
         "info" => cmd_info(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "update" => cmd_update(&args[1..]),
         "skyline" => cmd_skyline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "--help" | "-h" | "help" => usage(""),
@@ -210,6 +222,173 @@ fn cmd_query(args: &[String]) {
     }
 }
 
+/// Parse one ops-file cell: `-` = missing, else a non-NaN float.
+fn parse_op_cell(cell: &str, line: usize) -> Option<f64> {
+    if cell == "-" {
+        return None;
+    }
+    match cell.parse::<f64>() {
+        Ok(v) if !v.is_nan() => Some(v),
+        _ => usage(&format!("ops line {line}: bad value {cell:?}")),
+    }
+}
+
+/// Parse the update script (see the usage text for the line grammar).
+fn parse_ops(text: &str, dims: usize, labeled: bool) -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if cells.is_empty() {
+            continue; // separators only — treat like a blank line
+        }
+        let parse_id = |s: &str| -> ObjectId {
+            s.parse()
+                .unwrap_or_else(|_| usage(&format!("ops line {line}: bad object id {s:?}")))
+        };
+        match cells[0] {
+            "insert" => {
+                let (label, rest) = if labeled {
+                    if cells.len() < 2 {
+                        usage(&format!(
+                            "ops line {line}: insert needs LABEL + {dims} cells"
+                        ));
+                    }
+                    (Some(cells[1].to_string()), &cells[2..])
+                } else {
+                    (None, &cells[1..])
+                };
+                if rest.len() != dims {
+                    usage(&format!(
+                        "ops line {line}: insert expects {dims} cells, got {}",
+                        rest.len()
+                    ));
+                }
+                let row: Vec<Option<f64>> = rest.iter().map(|c| parse_op_cell(c, line)).collect();
+                ops.push(match label {
+                    Some(l) => UpdateOp::InsertLabeled(l, row),
+                    None => UpdateOp::Insert(row),
+                });
+            }
+            "delete" => {
+                if cells.len() != 2 {
+                    usage(&format!("ops line {line}: delete expects one id"));
+                }
+                ops.push(UpdateOp::Delete(parse_id(cells[1])));
+            }
+            "set" => {
+                if cells.len() != 4 {
+                    usage(&format!("ops line {line}: set expects ID DIM VALUE"));
+                }
+                let dim: usize = cells[2]
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("ops line {line}: bad dim {:?}", cells[2])));
+                ops.push(UpdateOp::Set(
+                    parse_id(cells[1]),
+                    dim,
+                    parse_op_cell(cells[3], line),
+                ));
+            }
+            other => usage(&format!(
+                "ops line {line}: unknown op {other:?} (insert/delete/set)"
+            )),
+        }
+    }
+    ops
+}
+
+fn cmd_update(args: &[String]) {
+    let opts = parse_opts(args);
+    let ds = opts.load();
+    let dims = ds.dims();
+    let k: usize = opts
+        .get("k")
+        .unwrap_or_else(|| usage("update requires --k"))
+        .parse()
+        .unwrap_or_else(|_| usage("--k must be an integer"));
+    let algorithm = match opts.get("algorithm").unwrap_or("big") {
+        "big" => Algorithm::Big,
+        "ibig" => Algorithm::Ibig,
+        other => usage(&format!(
+            "the dynamic engine serves big | ibig, not {other:?}"
+        )),
+    };
+    let threads: usize = opts
+        .get("threads")
+        .map(|t| match t.parse() {
+            Ok(v) if v >= 1 => v,
+            _ => usage("--threads must be a positive integer"),
+        })
+        .unwrap_or(1);
+    let bins = match opts.get("bins") {
+        None | Some("auto") => tkdi::core::BinChoice::Auto,
+        Some(x) => tkdi::core::BinChoice::Fixed(
+            x.parse()
+                .unwrap_or_else(|_| usage("--bins must be an integer or 'auto'")),
+        ),
+    };
+    let mut policy = CompactionPolicy::default();
+    if let Some(f) = opts.get("compact-threshold") {
+        policy.max_tombstone_fraction = match f.parse() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => usage("--compact-threshold must be a fraction in [0,1]"),
+        };
+    }
+    let ops_file = opts
+        .get("ops")
+        .unwrap_or_else(|| usage("update requires --ops FILE"));
+    let text = std::fs::read_to_string(ops_file).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {ops_file}: {e}");
+        exit(1);
+    });
+    let ops = parse_ops(&text, dims, opts.has("labeled"));
+
+    let mut engine = DynamicEngine::with_options(ds, DynamicOptions { bins, policy });
+    if let Err((i, e)) = engine.apply_all(&ops) {
+        eprintln!("error: op {} failed: {e}", i + 1);
+        exit(1);
+    }
+    let s = engine.stats();
+    eprintln!(
+        "applied {} ops (+{} / -{} / ~{}), {} live, {} tombstones, epoch {}",
+        ops.len(),
+        s.inserts,
+        s.deletes,
+        s.cell_updates,
+        engine.len(),
+        engine.tombstones(),
+        engine.epoch()
+    );
+    let result = engine
+        .query_threads(&EngineQuery::new(k).algorithm(algorithm), threads)
+        .expect("big/ibig checked above");
+    for (rank, e) in result.iter().enumerate() {
+        let name = engine
+            .label(e.id)
+            .ok()
+            .flatten()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", e.id));
+        println!("{:>3}. {:<20} score {}", rank + 1, name, e.score);
+    }
+    if opts.has("stats") {
+        let st = result.stats;
+        eprintln!(
+            "pruned: H1={} H2={} H3={}  scored={}",
+            st.h1_pruned, st.h2_pruned, st.h3_pruned, st.scored
+        );
+    }
+}
+
 fn cmd_skyline(args: &[String]) {
     let opts = parse_opts(args);
     let ds = opts.load();
@@ -275,6 +454,9 @@ fn usage(err: &str) -> ! {
          \x20 tkdq info <FILE> [--labeled]\n\
          \x20 tkdq query <FILE> --k K [--algorithm naive|esb|ubb|big|ibig]\n\
          \x20      [--bins auto|X] [--subspace 0,2,5] [--threads T] [--labeled] [--stats]\n\
+         \x20 tkdq update <FILE> --ops OPS --k K [--algorithm big|ibig]\n\
+         \x20      [--bins auto|X] [--threads T] [--compact-threshold F] [--labeled] [--stats]\n\
+         \x20      (OPS lines: insert [LABEL] v1,v2,… | delete ID | set ID DIM VALUE|-)\n\
          \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
          \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
          \x20      [--missing R] [--cardinality C] [--seed S]"

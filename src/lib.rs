@@ -14,8 +14,9 @@
 //!   space/time cost model (§4.3–4.5).
 //! * [`core`] — the TKD algorithms: Naive, ESB, UBB, BIG, IBIG (§4), plus
 //!   the MFD weighted-dominance extension (§3), the sharded parallel
-//!   execution layer (`core::parallel`), and the multi-user serving
-//!   engine (`core::engine`).
+//!   execution layer (`core::parallel`), the multi-user serving engine
+//!   (`core::engine`), and the dynamic update layer (`core::dynamic`)
+//!   with incremental inserts/deletes over all indexes.
 //! * [`data`] — synthetic workloads (IND/AC/CO) and real-dataset simulators.
 //! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
 //!
@@ -46,6 +47,8 @@ pub use tkd_skyline as skyline;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use tkd_core::{Algorithm, EngineQuery, ParallelEngine, TkdQuery, TkdResult};
+    pub use tkd_core::{
+        Algorithm, DynamicEngine, EngineQuery, ParallelEngine, TkdQuery, TkdResult, UpdateOp,
+    };
     pub use tkd_model::{Dataset, DimMask, ObjectId};
 }

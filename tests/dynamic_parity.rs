@@ -1,0 +1,265 @@
+//! The rebuild-oracle parity gate for the dynamic update subsystem.
+//!
+//! Grid (from the PR-4 acceptance criteria): randomized op sequences over
+//! ≥ 3 seeds × missing rates {0.1, 0.3, 0.6} × algorithms {BIG, IBIG} ×
+//! thread counts {1, 2}. After every batch of ops the [`DynamicEngine`]
+//! must be **bit-identical** — same entries, same scores, same tie order —
+//! to contexts rebuilt from scratch over the live data, for every `k` in
+//! an edge-heavy set. The harness keeps its *own* mirror of the expected
+//! live rows (it does not trust the engine's bookkeeping), checks the
+//! engine's snapshot against it, and pins the maintained `MaxScore` queue
+//! to the from-scratch queue — the invariant the whole tie-order argument
+//! rests on.
+
+use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkdi::core::{maxscore, BinChoice, TkdQuery};
+use tkdi::prelude::*;
+
+/// Splitmix-style deterministic stream (same recipe as the other
+/// harnesses; no RNG dependency).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random cell: mostly small integers (tie-heavy), some halves, some
+/// signed zeros, `None` with probability `missing_pct`.
+fn cell(rng: &mut Mix, missing_pct: u64) -> Option<f64> {
+    if rng.next() % 100 < missing_pct {
+        return None;
+    }
+    Some(match rng.next() % 10 {
+        0 => -0.0,
+        1 => 0.0,
+        m => (rng.next() % 7) as f64 + if m == 2 { 0.5 } else { 0.0 },
+    })
+}
+
+fn row(rng: &mut Mix, dims: usize, missing_pct: u64) -> Vec<Option<f64>> {
+    loop {
+        let r: Vec<Option<f64>> = (0..dims).map(|_| cell(rng, missing_pct)).collect();
+        if r.iter().any(Option::is_some) {
+            return r;
+        }
+    }
+}
+
+/// The harness's independent expectation: live rows in insertion order.
+struct Mirror {
+    rows: Vec<(ObjectId, Vec<Option<f64>>)>,
+}
+
+impl Mirror {
+    fn dataset(&self) -> Dataset {
+        let rows: Vec<Vec<Option<f64>>> = self.rows.iter().map(|(_, r)| r.clone()).collect();
+        Dataset::from_rows(self.rows.first().map_or(1, |(_, r)| r.len()), &rows)
+            .expect("mirror rows are valid")
+    }
+
+    fn ids(&self) -> Vec<ObjectId> {
+        self.rows.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+/// One random op applied to both the engine and the mirror.
+fn random_op(rng: &mut Mix, mirror: &Mirror, dims: usize, missing_pct: u64) -> UpdateOp {
+    let die = rng.next() % 10;
+    if mirror.rows.is_empty() || die >= 5 {
+        return UpdateOp::Insert(row(rng, dims, missing_pct));
+    }
+    let (id, r) = &mirror.rows[rng.below(mirror.rows.len())];
+    if die < 2 {
+        return UpdateOp::Delete(*id);
+    }
+    // Cell update; avoid producing an all-missing row (the engine rejects
+    // it, and the harness only sends valid ops).
+    let dim = rng.below(dims);
+    let nv = cell(rng, missing_pct);
+    let observed_elsewhere = r.iter().enumerate().any(|(d, v)| d != dim && v.is_some());
+    if nv.is_none() && !observed_elsewhere {
+        return UpdateOp::Insert(row(rng, dims, missing_pct));
+    }
+    UpdateOp::Set(*id, dim, nv)
+}
+
+fn apply_to_mirror(mirror: &mut Mirror, op: &UpdateOp, next_id: &mut ObjectId) {
+    match op {
+        UpdateOp::Insert(r) => {
+            mirror.rows.push((*next_id, r.clone()));
+            *next_id += 1;
+        }
+        UpdateOp::InsertLabeled(_, r) => {
+            mirror.rows.push((*next_id, r.clone()));
+            *next_id += 1;
+        }
+        UpdateOp::Delete(id) => mirror.rows.retain(|(i, _)| i != id),
+        UpdateOp::Set(id, dim, v) => {
+            let (_, r) = mirror
+                .rows
+                .iter_mut()
+                .find(|(i, _)| i == id)
+                .expect("harness only updates live ids");
+            r[*dim] = *v;
+        }
+    }
+}
+
+/// The parity cell: engine state vs rebuild-from-scratch oracles across
+/// both algorithms × both thread counts × an edge-heavy k set.
+fn assert_parity(engine: &mut DynamicEngine, mirror: &Mirror, tag: &str) {
+    // Bookkeeping parity first: snapshot and live ids match the mirror.
+    if !mirror.rows.is_empty() {
+        assert_eq!(engine.snapshot(), mirror.dataset(), "{tag}: snapshot");
+    }
+    assert_eq!(engine.live_ids(), mirror.ids(), "{tag}: live ids");
+    // Queue parity: the maintained MaxScore queue IS the rebuilt queue.
+    if !mirror.rows.is_empty() {
+        let snap = mirror.dataset();
+        let ids = mirror.ids();
+        let scratch: Vec<(ObjectId, usize)> = maxscore::maxscore_queue(&snap)
+            .into_iter()
+            .map(|(pos, ms)| (ids[pos as usize], ms))
+            .collect();
+        assert_eq!(engine.maintained_queue(), scratch, "{tag}: queue");
+    }
+    let n = mirror.rows.len();
+    let ids = mirror.ids();
+    let snap = if n > 0 { Some(mirror.dataset()) } else { None };
+    for alg in [Algorithm::Big, Algorithm::Ibig] {
+        for k in [0usize, 1, 2, n.saturating_sub(1), n, n + 3] {
+            let oracle: Vec<(ObjectId, usize)> = match &snap {
+                None => Vec::new(),
+                Some(ds) => TkdQuery::new(k)
+                    .algorithm(alg)
+                    .run(ds)
+                    .iter()
+                    .map(|e| (ids[e.id as usize], e.score))
+                    .collect(),
+            };
+            for threads in [1usize, 2] {
+                let got: Vec<(ObjectId, usize)> = engine
+                    .query_threads(&EngineQuery::new(k).algorithm(alg), threads)
+                    .expect("BIG/IBIG supported")
+                    .iter()
+                    .map(|e| (e.id, e.score))
+                    .collect();
+                assert_eq!(got, oracle, "{tag}: {alg:?} k={k} threads={threads}");
+            }
+        }
+    }
+}
+
+/// One grid cell: a full randomized op sequence under `seed × missing`,
+/// checked against the oracle after every batch.
+fn run_sequence(seed: u64, missing_pct: u64, policy: CompactionPolicy) {
+    let dims = 3;
+    let mut rng = Mix(seed);
+    // Start from a small random dataset.
+    let initial: Vec<Vec<Option<f64>>> =
+        (0..12).map(|_| row(&mut rng, dims, missing_pct)).collect();
+    let ds = Dataset::from_rows(dims, &initial).unwrap();
+    let mut next_id = ds.len() as ObjectId;
+    let mut mirror = Mirror {
+        rows: initial
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as ObjectId, r.clone()))
+            .collect(),
+    };
+    let mut engine = DynamicEngine::with_options(
+        ds,
+        DynamicOptions {
+            bins: BinChoice::Fixed(3),
+            policy,
+        },
+    );
+    for batch in 0..10 {
+        let ops: Vec<UpdateOp> = (0..7)
+            .map(|_| {
+                let op = random_op(&mut rng, &mirror, dims, missing_pct);
+                apply_to_mirror(&mut mirror, &op, &mut next_id);
+                op
+            })
+            .collect();
+        engine.apply_all(&ops).expect("harness sends valid ops");
+        assert_parity(
+            &mut engine,
+            &mirror,
+            &format!("seed={seed} missing={missing_pct} batch={batch}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_ops_match_rebuild_oracle_missing_10() {
+    for seed in [1u64, 2, 3] {
+        run_sequence(seed, 10, CompactionPolicy::never());
+    }
+}
+
+#[test]
+fn randomized_ops_match_rebuild_oracle_missing_30() {
+    for seed in [4u64, 5, 6] {
+        run_sequence(seed, 30, CompactionPolicy::never());
+    }
+}
+
+#[test]
+fn randomized_ops_match_rebuild_oracle_missing_60() {
+    for seed in [7u64, 8, 9] {
+        run_sequence(seed, 60, CompactionPolicy::never());
+    }
+}
+
+#[test]
+fn randomized_ops_with_aggressive_compaction() {
+    // Same sequences, but compacting eagerly: every few tombstones
+    // trigger a rebuild, exercising id remapping mid-sequence. Parity
+    // must be unaffected (compaction is semantically invisible).
+    let policy = CompactionPolicy {
+        max_tombstone_fraction: 0.1,
+        min_dead: 2,
+    };
+    for (seed, missing) in [(10u64, 10u64), (11, 30), (12, 60)] {
+        run_sequence(seed, missing, policy);
+    }
+}
+
+#[test]
+fn auto_bins_cell() {
+    // The default Eq. 8 binning path (bins re-resolved at compaction)
+    // through one randomized sequence per missing rate.
+    let dims = 4;
+    for (seed, missing) in [(20u64, 10u64), (21, 30), (22, 60)] {
+        let mut rng = Mix(seed);
+        let initial: Vec<Vec<Option<f64>>> =
+            (0..10).map(|_| row(&mut rng, dims, missing)).collect();
+        let ds = Dataset::from_rows(dims, &initial).unwrap();
+        let mut next_id = ds.len() as ObjectId;
+        let mut mirror = Mirror {
+            rows: initial
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as ObjectId, r.clone()))
+                .collect(),
+        };
+        let mut engine = DynamicEngine::new(ds);
+        for _ in 0..25 {
+            let op = random_op(&mut rng, &mirror, dims, missing);
+            apply_to_mirror(&mut mirror, &op, &mut next_id);
+            engine.apply(&op).expect("valid op");
+        }
+        assert_parity(&mut engine, &mirror, &format!("auto-bins seed={seed}"));
+    }
+}

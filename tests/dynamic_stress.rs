@@ -1,0 +1,186 @@
+//! Churn stress for the dynamic update subsystem: long mixed op streams,
+//! delete-everything/regrow cycles, compaction thrash, and interleaved
+//! multi-threaded queries. Spot-checks against the rebuild oracle at
+//! checkpoints (the exhaustive per-batch gate lives in
+//! `tests/dynamic_parity.rs`); between checkpoints it asserts the cheap
+//! invariants on every step.
+
+use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkdi::core::{BinChoice, TkdQuery};
+use tkdi::prelude::*;
+
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn row(rng: &mut Mix, dims: usize) -> Vec<Option<f64>> {
+    loop {
+        let r: Vec<Option<f64>> = (0..dims)
+            .map(|_| {
+                if rng.next().is_multiple_of(5) {
+                    None
+                } else {
+                    Some((rng.next() % 8) as f64)
+                }
+            })
+            .collect();
+        if r.iter().any(Option::is_some) {
+            return r;
+        }
+    }
+}
+
+fn oracle_entries(engine: &DynamicEngine, k: usize, alg: Algorithm) -> Vec<(ObjectId, usize)> {
+    if engine.is_empty() {
+        return Vec::new();
+    }
+    let snap = engine.snapshot();
+    let ids = engine.live_ids();
+    TkdQuery::new(k)
+        .algorithm(alg)
+        .run(&snap)
+        .iter()
+        .map(|e| (ids[e.id as usize], e.score))
+        .collect()
+}
+
+#[test]
+fn sustained_churn_with_compaction() {
+    let dims = 4;
+    let mut rng = Mix(99);
+    let initial: Vec<Vec<Option<f64>>> = (0..80).map(|_| row(&mut rng, dims)).collect();
+    let mut engine = DynamicEngine::with_options(
+        Dataset::from_rows(dims, &initial).unwrap(),
+        DynamicOptions {
+            bins: BinChoice::Fixed(4),
+            policy: CompactionPolicy {
+                max_tombstone_fraction: 0.3,
+                min_dead: 16,
+            },
+        },
+    );
+    let mut live: Vec<ObjectId> = engine.live_ids();
+    let mut expected_len = live.len();
+    for step in 0..400 {
+        match rng.next() % 10 {
+            0..=3 if !live.is_empty() => {
+                let pick = (rng.next() as usize) % live.len();
+                let id = live.swap_remove(pick);
+                engine.delete(id).expect("live id");
+                expected_len -= 1;
+            }
+            4..=5 if !live.is_empty() => {
+                let id = live[(rng.next() as usize) % live.len()];
+                let dim = (rng.next() as usize) % dims;
+                // Only send updates that keep the row valid.
+                let observed: Vec<usize> = (0..dims)
+                    .filter(|&d| engine.value(id, d).unwrap().is_some())
+                    .collect();
+                let nv = if rng.next().is_multiple_of(4) {
+                    None
+                } else {
+                    Some((rng.next() % 8) as f64)
+                };
+                if nv.is_some() || observed != vec![dim] {
+                    engine.update_value(id, dim, nv).expect("valid update");
+                }
+            }
+            _ => {
+                let id = engine.insert(&row(&mut rng, dims)).expect("valid row");
+                live.push(id);
+                expected_len += 1;
+            }
+        }
+        assert_eq!(engine.len(), expected_len, "step {step}");
+        // Interleaved queries must never fail or return dead ids.
+        if step % 7 == 0 {
+            let r = engine
+                .query_threads(&EngineQuery::new(5), 2)
+                .expect("BIG supported");
+            for e in r.iter() {
+                assert!(
+                    engine.contains(e.id),
+                    "step {step}: dead id {} returned",
+                    e.id
+                );
+            }
+        }
+        // Oracle checkpoint.
+        if step % 57 == 0 || step == 399 {
+            for alg in [Algorithm::Big, Algorithm::Ibig] {
+                for threads in [1usize, 2] {
+                    let got: Vec<(ObjectId, usize)> = engine
+                        .query_threads(&EngineQuery::new(9).algorithm(alg), threads)
+                        .unwrap()
+                        .iter()
+                        .map(|e| (e.id, e.score))
+                        .collect();
+                    assert_eq!(
+                        got,
+                        oracle_entries(&engine, 9, alg),
+                        "step {step} {alg:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(engine.epoch() > 0, "churn at 30 % threshold must compact");
+    assert!(engine.stats().compactions > 0);
+}
+
+#[test]
+fn drain_and_regrow_cycles() {
+    let dims = 2;
+    let mut rng = Mix(7);
+    let mut engine = DynamicEngine::with_options(
+        Dataset::from_rows(dims, &[vec![Some(1.0), Some(1.0)]]).unwrap(),
+        DynamicOptions {
+            bins: BinChoice::Auto,
+            policy: CompactionPolicy {
+                max_tombstone_fraction: 0.5,
+                min_dead: 8,
+            },
+        },
+    );
+    for cycle in 0..4 {
+        // Drain to empty, one object at a time, querying along the way.
+        while !engine.is_empty() {
+            let ids = engine.live_ids();
+            engine
+                .delete(ids[(rng.next() as usize) % ids.len()])
+                .unwrap();
+            let r = engine.query(&EngineQuery::new(3)).unwrap();
+            assert_eq!(
+                r.iter().map(|e| (e.id, e.score)).collect::<Vec<_>>(),
+                oracle_entries(&engine, 3, Algorithm::Big),
+                "cycle {cycle} during drain"
+            );
+        }
+        assert!(engine.query(&EngineQuery::new(5)).unwrap().is_empty());
+        // Regrow bigger than before.
+        for _ in 0..(10 + cycle * 5) {
+            engine.insert(&row(&mut rng, dims)).unwrap();
+        }
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            let got: Vec<(ObjectId, usize)> = engine
+                .query_threads(&EngineQuery::new(6).algorithm(alg), 2)
+                .unwrap()
+                .iter()
+                .map(|e| (e.id, e.score))
+                .collect();
+            assert_eq!(
+                got,
+                oracle_entries(&engine, 6, alg),
+                "cycle {cycle} after regrow {alg:?}"
+            );
+        }
+    }
+}
