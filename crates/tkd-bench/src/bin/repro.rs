@@ -8,17 +8,18 @@
 //!   --exp        comma-separated subset of:
 //!                table2,fig10,table3,fig11,fig12,fig13,table4,
 //!                fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline,
-//!                perf,updates,compare
-//!                (default: all paper artifacts; `perf`, `updates`, and
-//!                `compare` run only when requested)
+//!                perf,updates,persist,compare
+//!                (default: all paper artifacts; `perf`, `updates`,
+//!                `persist`, and `compare` run only when requested)
 //!   --scale      quick (default) or paper (the paper's dataset sizes)
 //!   --seed       RNG seed (default 42)
 //!   --out        also write each table as CSV into DIR
 //!   --threads    with `--exp perf`: run the parallel-engine
 //!                thread-scaling grid over the given thread counts
-//!   --bench-out  where `--exp perf` / `--exp updates` writes its JSON
-//!                (default: BENCH_2.json, BENCH_3.json with --threads,
-//!                BENCH_4.json for updates)
+//!   --bench-out  where `--exp perf` / `--exp updates` / `--exp persist`
+//!                writes its JSON (default: BENCH_2.json, BENCH_3.json
+//!                with --threads, BENCH_4.json for updates, BENCH_5.json
+//!                for persist)
 //!   --baseline   with `--exp compare`: the committed tkd-perf/v1 file
 //!   --current    with `--exp compare`: the freshly measured snapshot
 //!   --tolerance  with `--exp compare`: allowed normalized-time ratio
@@ -27,13 +28,13 @@
 //! ```
 
 use std::collections::BTreeSet;
-use tkd_bench::{compare, experiments as exp, perf, table::Table, updates, Scale};
+use tkd_bench::{compare, experiments as exp, perf, persist, table::Table, updates, Scale};
 
 /// Every experiment name `--exp` accepts; the single source of truth for
 /// validation and the usage text.
-const KNOWN: [&str; 18] = [
+const KNOWN: [&str; 19] = [
     "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "compare",
+    "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "persist", "compare",
 ];
 
 fn main() {
@@ -140,10 +141,14 @@ fn main() {
     }
     let want_compare = exps.as_ref().is_some_and(|set| set.contains("compare"));
     let wants = |name: &str| exps.as_ref().is_some_and(|set| set.contains(name));
-    if bench_out.is_some() && wants("perf") && wants("updates") {
-        // Both experiments would write the same file, the second silently
-        // clobbering the first.
-        usage("--bench-out is ambiguous with both perf and updates; run them separately");
+    let bench_writers = ["perf", "updates", "persist"]
+        .iter()
+        .filter(|e| wants(e))
+        .count();
+    if bench_out.is_some() && bench_writers > 1 {
+        // Multiple experiments would write the same file, the later ones
+        // silently clobbering the earlier.
+        usage("--bench-out is ambiguous across perf/updates/persist; run them separately");
     }
     if (baseline.is_some() || current.is_some()) && !want_compare {
         usage("--baseline/--current require --exp compare");
@@ -240,6 +245,15 @@ fn main() {
         std::fs::write(bench_out, json).expect("write updates JSON");
         println!("(update maintenance benchmark written to {bench_out})");
     }
+    // The snapshot load-vs-rebuild benchmark (BENCH_5.json) — opt-in,
+    // like perf and updates.
+    if exps.as_ref().is_some_and(|set| set.contains("persist")) {
+        let (table, json) = persist::run(scale, seed);
+        let bench_out = bench_out.as_deref().unwrap_or("BENCH_5.json");
+        emit(vec![table]);
+        std::fs::write(bench_out, json).expect("write persist JSON");
+        println!("(snapshot persistence benchmark written to {bench_out})");
+    }
     // The perf regression gate — opt-in; a regression (or a vacuous
     // comparison) exits non-zero so CI fails.
     if want_compare {
@@ -301,6 +315,8 @@ fn usage(err: &str) -> ! {
          writes BENCH_3.json)\n\
          --exp updates measures incremental maintenance vs rebuild \
          (writes BENCH_4.json)\n\
+         --exp persist measures snapshot load vs rebuild \
+         (writes BENCH_5.json)\n\
          --exp compare gates normalized BIG/IBIG query times against a \
          committed tkd-perf/v1 baseline (exit 1 on regression)",
         KNOWN.join(",")

@@ -17,6 +17,7 @@ pub mod compare;
 pub mod datasets;
 pub mod experiments;
 pub mod perf;
+pub mod persist;
 pub mod table;
 pub mod updates;
 

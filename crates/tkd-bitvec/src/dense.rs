@@ -127,6 +127,30 @@ impl BitVec {
         &self.words
     }
 
+    /// Reassemble a vector from its raw word storage — the word-level
+    /// deserialization entry point of the snapshot loader: columns come
+    /// off disk as whole `u64` words and are adopted here by move, no
+    /// per-bit decode.
+    ///
+    /// # Errors
+    /// Rejects a word count other than `ceil(len / 64)` and nonzero
+    /// padding bits beyond `len` (the canonical-form invariant every
+    /// in-memory [`BitVec`] upholds; accepting dirty padding would make
+    /// popcounts wrong and snapshots non-canonical).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, &'static str> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return Err("word count does not match bit length");
+        }
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            let last = *words.last().expect("len > 0 implies a word");
+            if last & !((1u64 << tail) - 1) != 0 {
+                return Err("nonzero padding bits beyond the bit length");
+            }
+        }
+        Ok(BitVec { words, len })
+    }
+
     /// Mutable raw word storage for in-crate fused writers. Callers must
     /// uphold the padding invariant (bits beyond `len` stay zero) — call
     /// [`BitVec::mask_tail`] after bulk writes.
@@ -733,6 +757,21 @@ mod tests {
         let s = format!("{b:?}");
         assert!(s.contains("[10;"));
         assert!(s.contains("1"));
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_rejects_bad_forms() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let b = BitVec::from_indices(len, (0..len).step_by(3));
+            let rebuilt = BitVec::from_words(b.as_words().to_vec(), len).unwrap();
+            assert_eq!(rebuilt, b, "len {len}");
+        }
+        // Wrong word count.
+        assert!(BitVec::from_words(vec![0; 2], 64).is_err());
+        assert!(BitVec::from_words(vec![], 1).is_err());
+        // Dirty padding beyond len.
+        assert!(BitVec::from_words(vec![1u64 << 10], 10).is_err());
+        assert!(BitVec::from_words(vec![u64::MAX, u64::MAX], 70).is_err());
     }
 
     #[test]

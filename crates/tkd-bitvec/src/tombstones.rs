@@ -31,6 +31,14 @@ impl Tombstones {
         }
     }
 
+    /// Rebuild the bookkeeping from a persisted live mask (snapshot
+    /// load): the dead count is recomputed from the mask, so the two can
+    /// never disagree.
+    pub fn from_live_mask(live: BitVec) -> Self {
+        let dead = live.len() - live.count_ones();
+        Tombstones { live, dead }
+    }
+
     /// Total slots, live or dead.
     pub fn len(&self) -> usize {
         self.live.len()
@@ -126,6 +134,17 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.dead_fraction(), 0.0);
         assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn from_live_mask_recomputes_dead_count() {
+        let mut t = Tombstones::all_live(100);
+        t.kill(3);
+        t.kill(64);
+        let rebuilt = Tombstones::from_live_mask(t.live_mask().clone());
+        assert_eq!(rebuilt.dead_count(), 2);
+        assert_eq!(rebuilt.live_count(), 98);
+        assert!(!rebuilt.is_live(3) && !rebuilt.is_live(64) && rebuilt.is_live(0));
     }
 
     #[test]

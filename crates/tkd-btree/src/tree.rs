@@ -56,6 +56,107 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         t
     }
 
+    /// Rebuild a tree from strictly ascending `(key, value)` entries —
+    /// the snapshot-load path: a persisted tree is stored as its sorted
+    /// entry stream, and reloading through this constructor yields a
+    /// deterministic shape (identical probe answers, identical
+    /// re-serialization) without persisting node structure. Bottom-up
+    /// bulk construction: `O(n)` total, no per-entry root descent — far
+    /// below `n` repeated [`BPlusTree::insert`]s.
+    ///
+    /// # Errors
+    /// Rejects out-of-order or duplicate keys instead of silently
+    /// building a tree whose routing invariants are broken.
+    pub fn from_sorted_entries(
+        entries: impl IntoIterator<Item = (K, V)>,
+    ) -> Result<Self, &'static str> {
+        let entries: Vec<(K, V)> = entries.into_iter().collect();
+        if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("entries must be strictly ascending by key");
+        }
+        let mut t = Self::new();
+        t.bulk_build(entries);
+        Ok(t)
+    }
+
+    /// Bottom-up bulk construction from sorted entries. Each level
+    /// spreads its nodes' fills evenly (`⌈n/order⌉` nodes per level), so
+    /// every non-root node meets its minimum fill and the shape is a
+    /// function of `(n, order)` alone — deterministic across loads.
+    fn bulk_build(&mut self, mut entries: Vec<(K, V)>) {
+        let n = entries.len();
+        self.len = n;
+        if n == 0 {
+            return; // keep the pre-allocated empty root leaf
+        }
+        let order = self.order;
+        // Leaf level, forward-linked as it is laid down.
+        let chunks = n.div_ceil(order);
+        let (base, extra) = (n / chunks, n % chunks);
+        let mut level: Vec<(K, NodeId, usize)> = Vec::with_capacity(chunks);
+        let mut iter = entries.drain(..);
+        let mut prev_leaf: Option<NodeId> = None;
+        for c in 0..chunks {
+            let size = base + usize::from(c < extra);
+            let mut keys = Vec::with_capacity(size);
+            let mut values = Vec::with_capacity(size);
+            for _ in 0..size {
+                let (k, v) = iter.next().expect("chunk sizes sum to n");
+                keys.push(k);
+                values.push(v);
+            }
+            let min_key = keys[0].clone();
+            let id = self.alloc(Node::Leaf(Leaf {
+                keys,
+                values,
+                next: None,
+            }));
+            if let Some(p) = prev_leaf {
+                self.node_mut(p).as_leaf_mut().next = Some(id);
+            }
+            prev_leaf = Some(id);
+            level.push((min_key, id, size));
+        }
+        drop(iter);
+        // Internal levels: group children evenly until one root remains.
+        // A group's separator keys are the leftmost keys of its children
+        // past the first (entries equal to a separator route right).
+        while level.len() > 1 {
+            let m = level.len();
+            let groups = m.div_ceil(order);
+            let (base, extra) = (m / groups, m % groups);
+            let mut next_level = Vec::with_capacity(groups);
+            let mut it = level.into_iter();
+            for g in 0..groups {
+                let size = base + usize::from(g < extra);
+                let mut keys = Vec::with_capacity(size - 1);
+                let mut children = Vec::with_capacity(size);
+                let mut total = 0;
+                let mut min_key = None;
+                for i in 0..size {
+                    let (k, id, t) = it.next().expect("group sizes sum to m");
+                    if i == 0 {
+                        min_key = Some(k);
+                    } else {
+                        keys.push(k);
+                    }
+                    children.push(id);
+                    total += t;
+                }
+                let id = self.alloc(Node::Internal(Internal {
+                    keys,
+                    children,
+                    total,
+                }));
+                next_level.push((min_key.expect("groups are nonempty"), id, total));
+            }
+            level = next_level;
+        }
+        let (_, root_id, _) = level.pop().expect("one node remains");
+        self.free_slot(self.root);
+        self.root = root_id;
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.len

@@ -18,6 +18,28 @@ fn empty_tree_basics() {
 }
 
 #[test]
+fn from_sorted_entries_matches_insertion_and_rejects_disorder() {
+    let entries: Vec<(u32, u32)> = (0..500).map(|i| (i * 3, i)).collect();
+    let bulk = BPlusTree::from_sorted_entries(entries.iter().copied()).unwrap();
+    bulk.check_invariants();
+    let mut incremental = BPlusTree::new();
+    for &(k, v) in &entries {
+        incremental.insert(k, v);
+    }
+    assert_eq!(bulk.len(), incremental.len());
+    assert_eq!(
+        bulk.iter().collect::<Vec<_>>(),
+        incremental.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(bulk.count_at_least(&300), incremental.count_at_least(&300));
+    // Disorder and duplicates are rejected, not silently absorbed.
+    assert!(BPlusTree::from_sorted_entries([(2u32, ()), (1, ())]).is_err());
+    assert!(BPlusTree::from_sorted_entries([(1u32, ()), (1, ())]).is_err());
+    let empty: BPlusTree<u32, ()> = BPlusTree::from_sorted_entries([]).unwrap();
+    assert!(empty.is_empty());
+}
+
+#[test]
 fn insert_get_replace() {
     let mut t = BPlusTree::with_order(4);
     assert_eq!(t.insert(10, "x"), None);

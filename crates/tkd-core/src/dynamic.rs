@@ -174,8 +174,74 @@ pub struct UpdateStats {
     pub compactions: usize,
 }
 
-/// Sentinel in the `t` table for unobserved cells.
-const T_UNOBSERVED: u32 = u32::MAX;
+/// Sentinel in the `t` table for unobserved cells — public because the
+/// snapshot codec persists the table verbatim ([`DynamicParts::t`]).
+pub const T_UNOBSERVED: u32 = u32::MAX;
+
+/// Borrowed view of a [`DynamicEngine`]'s persisted logical state —
+/// what the snapshot *writer* consumes ([`DynamicEngine::store_parts_ref`]).
+/// Field-for-field the borrowed twin of [`DynamicParts`], which remains
+/// the owned currency of the *load* path.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicPartsRef<'a> {
+    /// All slots since the last compaction, tombstoned rows included.
+    pub ds: &'a Dataset,
+    /// Slot → stable id (strictly increasing).
+    pub stable_of: &'a [ObjectId],
+    /// Next stable id to hand out.
+    pub next_id: ObjectId,
+    /// The maintained exact bitmap index.
+    pub index: &'a BitmapIndex,
+    /// The maintained binned index.
+    pub binned: &'a BinnedBitmapIndex,
+    /// Maintained queue + incomparable sets (queue freshly re-sorted).
+    pub pre: &'a Preprocessed,
+    /// Row-major `n × dims` table of `|Tᵢ(o)|` ([`T_UNOBSERVED`] where
+    /// missing).
+    pub t: &'a [u32],
+    /// IBIG bin selection.
+    pub bins: &'a BinChoice,
+    /// Tombstone compaction policy.
+    pub policy: CompactionPolicy,
+    /// Compaction epoch.
+    pub epoch: u64,
+    /// Lifetime update counters.
+    pub stats: UpdateStats,
+}
+
+/// The persisted logical state of a [`DynamicEngine`] — everything
+/// [`DynamicEngine::from_store_parts`] needs to resume bit-identically,
+/// and nothing derivable: the slot→stable-id map, live/dead bookkeeping
+/// (inside [`DynamicParts::index`]'s live mask), `|Sᵢ|` missing counts,
+/// the scratch space, and the stable-id→slot inverse are all recomputed
+/// at load.
+#[derive(Clone, Debug)]
+pub struct DynamicParts {
+    /// All slots since the last compaction, tombstoned rows included.
+    pub ds: Dataset,
+    /// Slot → stable id (strictly increasing).
+    pub stable_of: Vec<ObjectId>,
+    /// Next stable id to hand out.
+    pub next_id: ObjectId,
+    /// The maintained exact bitmap index (its live mask is the engine's).
+    pub index: BitmapIndex,
+    /// The maintained binned index (frozen bins, live probe trees).
+    pub binned: BinnedBitmapIndex,
+    /// Maintained queue + incomparable sets. The queue must be clean
+    /// (re-sorted) — [`DynamicEngine::to_store_parts`] refreshes first.
+    pub pre: Preprocessed,
+    /// Row-major `n × dims` table of `|Tᵢ(o)|`, [`T_UNOBSERVED`] where
+    /// `o` misses `i` (stale on tombstoned slots, like in memory).
+    pub t: Vec<u32>,
+    /// IBIG bin selection, re-resolved at the next compaction.
+    pub bins: BinChoice,
+    /// Tombstone compaction policy.
+    pub policy: CompactionPolicy,
+    /// Compaction epoch.
+    pub epoch: u64,
+    /// Lifetime update counters.
+    pub stats: UpdateStats,
+}
 
 /// A versioned, owning update layer over the BIG/IBIG query engines: see
 /// the [module docs](self) for the maintenance strategy and the exactness
@@ -225,6 +291,19 @@ pub struct DynamicEngine {
     policy: CompactionPolicy,
     epoch: u64,
     stats: UpdateStats,
+}
+
+impl fmt::Debug for DynamicEngine {
+    /// Summary form (the full artifact dump would be megabytes).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynamicEngine")
+            .field("dims", &self.dims)
+            .field("live", &self.len())
+            .field("tombstones", &self.tombstones())
+            .field("epoch", &self.epoch)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DynamicEngine {
@@ -623,6 +702,217 @@ impl DynamicEngine {
         Ok(match q.tie {
             TieBreak::ById => mapped,
             TieBreak::Random(seed) => shuffle_ties(mapped, seed),
+        })
+    }
+
+    // ----- persistence ----------------------------------------------------
+
+    /// Export the engine's logical state for the snapshot writer. Takes
+    /// `&mut self` to flush the deferred queue re-sort first, so the
+    /// persisted queue is always clean and the serialization of a given
+    /// logical state is deterministic.
+    pub fn to_store_parts(&mut self) -> DynamicParts {
+        self.refresh();
+        DynamicParts {
+            ds: self.ds.clone(),
+            stable_of: self.stable_of.clone(),
+            next_id: self.next_id,
+            index: self.index.clone(),
+            binned: self.binned.clone(),
+            pre: self.pre.clone(),
+            t: self.t.clone(),
+            bins: self.bins.clone(),
+            policy: self.policy,
+            epoch: self.epoch,
+            stats: self.stats,
+        }
+    }
+
+    /// Borrowed form of [`DynamicEngine::to_store_parts`] — the encode
+    /// path's view. Serializing through references keeps peak memory at
+    /// one engine plus the output buffer; the owned [`DynamicParts`]
+    /// (a full deep copy of every artifact) is only ever built on load.
+    pub fn store_parts_ref(&mut self) -> DynamicPartsRef<'_> {
+        self.refresh();
+        DynamicPartsRef {
+            ds: &self.ds,
+            stable_of: &self.stable_of,
+            next_id: self.next_id,
+            index: &self.index,
+            binned: &self.binned,
+            pre: &self.pre,
+            t: &self.t,
+            bins: &self.bins,
+            policy: self.policy,
+            epoch: self.epoch,
+            stats: self.stats,
+        }
+    }
+
+    /// Resume an engine from persisted parts (snapshot load) — the
+    /// inverse of [`DynamicEngine::to_store_parts`], rebuilding every
+    /// derivable structure (live bookkeeping from the index's mask, the
+    /// stable-id inverse, `|Sᵢ|` counts, scratch) and validating the
+    /// cross-section invariants the query paths rely on: consistent
+    /// arities, strictly increasing stable ids (the tie-order invariant),
+    /// a `t` table whose observedness matches the dataset's masks, a
+    /// clean correctly-sorted queue covering exactly the live slots, and
+    /// an incomparable set for every live mask.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant. Bit-level integrity
+    /// is the snapshot checksums' job; result-level equivalence is pinned
+    /// by the round-trip parity suite.
+    pub fn from_store_parts(parts: DynamicParts) -> Result<Self, String> {
+        let DynamicParts {
+            ds,
+            stable_of,
+            next_id,
+            index,
+            binned,
+            pre,
+            t,
+            bins,
+            policy,
+            epoch,
+            stats,
+        } = parts;
+        let dims = ds.dims();
+        let n = ds.len();
+        if index.n() != n || index.dims() != dims || index.base() != 0 {
+            return Err(format!(
+                "bitmap index shape ({} × {}, base {}) disagrees with the dataset ({n} × {dims})",
+                index.n(),
+                index.dims(),
+                index.base()
+            ));
+        }
+        if binned.n() != n || binned.dims() != dims || binned.base() != 0 {
+            return Err(format!(
+                "binned index shape ({} × {}) disagrees with the dataset ({n} × {dims})",
+                binned.n(),
+                binned.dims()
+            ));
+        }
+        let live = Tombstones::from_live_mask(index.live_mask().clone());
+        if stable_of.len() != n {
+            return Err(format!(
+                "stable-id table holds {} entries for {n} slots",
+                stable_of.len()
+            ));
+        }
+        if stable_of.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("stable ids are not strictly increasing".into());
+        }
+        if let Some(&last) = stable_of.last() {
+            if last >= next_id {
+                return Err(format!("stable id {last} is not below next_id {next_id}"));
+            }
+        }
+        if t.len() != n * dims {
+            return Err(format!(
+                "t table holds {} entries, expected {}",
+                t.len(),
+                n * dims
+            ));
+        }
+        let mut missing = vec![0usize; dims];
+        for (d, m) in missing.iter_mut().enumerate() {
+            *m = live
+                .live_count()
+                .checked_sub(binned.observed_count(d))
+                .ok_or_else(|| {
+                    format!("dim {d} observes more probe entries than live slots exist")
+                })?;
+        }
+        // Live slots' t rows agree with the masks; the queue covers the
+        // live slots exactly, sorted by (MaxScore desc, slot asc), each
+        // entry carrying the min of its observed t row.
+        for s in live.iter_live() {
+            let mask = ds.mask(s as ObjectId);
+            for d in 0..dims {
+                let unobserved = t[s * dims + d] == T_UNOBSERVED;
+                if unobserved == mask.observed(d) {
+                    return Err(format!(
+                        "t table observedness of slot {s} dim {d} disagrees with the dataset"
+                    ));
+                }
+            }
+        }
+        if pre.queue().len() != live.live_count() {
+            return Err(format!(
+                "queue holds {} entries for {} live slots",
+                pre.queue().len(),
+                live.live_count()
+            ));
+        }
+        let mut seen = BitVec::zeros(n);
+        for (i, &(slot, ms)) in pre.queue().iter().enumerate() {
+            let s = slot as usize;
+            if s >= n || !live.is_live(s) {
+                return Err(format!(
+                    "queue entry {i} names dead or out-of-range slot {slot}"
+                ));
+            }
+            if seen.get(s) {
+                return Err(format!("queue names slot {slot} twice"));
+            }
+            seen.set(s);
+            let expected = ds
+                .mask(slot)
+                .iter()
+                .map(|d| t[s * dims + d] as usize)
+                .min()
+                .expect("live rows observe at least one dimension");
+            if ms != expected {
+                return Err(format!(
+                    "queue MaxScore {ms} of slot {slot} disagrees with the t table ({expected})"
+                ));
+            }
+            if i > 0 {
+                let (ps, pm) = pre.queue()[i - 1];
+                if (pm, slot) <= (ms, ps) {
+                    return Err(format!(
+                        "queue is not sorted by (MaxScore desc, slot asc) at entry {i}"
+                    ));
+                }
+            }
+        }
+        for (mask, bv) in pre.f_sets() {
+            if bv.len() != n {
+                return Err(format!(
+                    "incomparable set of mask {mask:#x} has {} bits, expected {n}",
+                    bv.len()
+                ));
+            }
+        }
+        for s in live.iter_live() {
+            let mask = ds.mask(s as ObjectId).bits();
+            if !pre.f_sets().contains_key(&mask) {
+                return Err(format!(
+                    "no incomparable set for live mask {mask:#x} (slot {s})"
+                ));
+            }
+        }
+        let slot_of = live.iter_live().map(|s| (stable_of[s], s)).collect();
+        Ok(DynamicEngine {
+            dims,
+            ds,
+            live,
+            stable_of,
+            slot_of,
+            next_id,
+            index,
+            binned,
+            pre,
+            t,
+            missing,
+            queue_dirty: false,
+            scratch: ScratchSpace::new(n),
+            bins,
+            policy,
+            epoch,
+            stats,
         })
     }
 
@@ -1114,6 +1404,98 @@ mod tests {
                 let got = dynamic_entries(&mut engine, k, alg);
                 assert_eq!(got, oracle(&engine, k, alg, 1), "{alg:?} k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn store_parts_roundtrip_resumes_bit_identically() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        engine.insert(&[Some(4.0), None, Some(2.0), None]).unwrap();
+        engine.delete(3).unwrap();
+        engine.update_value(7, 2, None).unwrap();
+        let mut resumed = DynamicEngine::from_store_parts(engine.to_store_parts()).unwrap();
+        assert_eq!(resumed.epoch(), engine.epoch());
+        assert_eq!(resumed.tombstones(), engine.tombstones());
+        assert_eq!(resumed.stats(), engine.stats());
+        assert_eq!(resumed.live_ids(), engine.live_ids());
+        assert_eq!(resumed.maintained_queue(), engine.maintained_queue());
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            for k in [1usize, 2, 5, 30] {
+                assert_eq!(
+                    dynamic_entries(&mut resumed, k, alg),
+                    dynamic_entries(&mut engine, k, alg),
+                    "{alg:?} k={k}"
+                );
+            }
+        }
+        // The resumed engine keeps mutating correctly — ids continue.
+        let (a, b) = (
+            resumed.insert(&[Some(1.0); 4]).unwrap(),
+            engine.insert(&[Some(1.0); 4]).unwrap(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            dynamic_entries(&mut resumed, 3, Algorithm::Big),
+            dynamic_entries(&mut engine, 3, Algorithm::Big)
+        );
+    }
+
+    #[test]
+    fn store_parts_reject_corrupted_invariants() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        engine.delete(2).unwrap();
+        let parts = engine.to_store_parts();
+        assert!(DynamicEngine::from_store_parts(parts.clone()).is_ok());
+        // Non-increasing stable ids.
+        {
+            let mut p = parts.clone();
+            p.stable_of.swap(0, 1);
+            assert!(DynamicEngine::from_store_parts(p).is_err());
+        }
+        // next_id not above the largest stable id.
+        {
+            let mut p = parts.clone();
+            p.next_id = 5;
+            assert!(DynamicEngine::from_store_parts(p).is_err());
+        }
+        // Queue MaxScore tampered.
+        {
+            let mut p = parts.clone();
+            let q = p.pre.queue().to_vec();
+            let mut q2 = q.clone();
+            q2[0].1 += 1;
+            p.pre = Preprocessed::from_parts(q2, p.pre.f_sets().clone());
+            assert!(DynamicEngine::from_store_parts(p).is_err());
+        }
+        // Queue order tampered (swap two adjacent distinct-score entries).
+        {
+            let mut p = parts.clone();
+            let mut q = p.pre.queue().to_vec();
+            let i = (0..q.len() - 1)
+                .find(|&i| q[i].1 != q[i + 1].1)
+                .expect("distinct scores exist");
+            q.swap(i, i + 1);
+            p.pre = Preprocessed::from_parts(q, p.pre.f_sets().clone());
+            assert!(DynamicEngine::from_store_parts(p).is_err());
+        }
+        // t-table observedness flipped on an observed cell of live slot 0.
+        {
+            let mut p = parts.clone();
+            let d =
+                p.ds.mask(0)
+                    .iter()
+                    .next()
+                    .expect("slot 0 observes something");
+            p.t[d] = T_UNOBSERVED;
+            assert!(DynamicEngine::from_store_parts(p).is_err());
+        }
+        // Missing incomparable set for a live mask.
+        {
+            let mut p = parts;
+            let mut f = p.pre.f_sets().clone();
+            f.remove(&p.ds.mask(0).bits());
+            p.pre = Preprocessed::from_parts(p.pre.queue().to_vec(), f);
+            assert!(DynamicEngine::from_store_parts(p).is_err());
         }
     }
 

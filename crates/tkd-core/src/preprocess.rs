@@ -34,9 +34,23 @@ impl Preprocessed {
         }
     }
 
+    /// Reassemble the artifacts from persisted parts (snapshot load).
+    /// Invariant validation lives with the caller that knows the dataset
+    /// — see `DynamicEngine::from_store_parts`.
+    pub fn from_parts(queue: Vec<(ObjectId, usize)>, f_sets: HashMap<u64, BitVec>) -> Self {
+        Preprocessed { queue, f_sets }
+    }
+
     /// The priority queue `F`: all objects by descending `MaxScore`.
     pub fn queue(&self) -> &[(ObjectId, usize)] {
         &self.queue
+    }
+
+    /// The per-mask incomparable sets, keyed by observation-mask bits —
+    /// the raw form the snapshot codec persists (sorted by key there, so
+    /// the map's iteration order never leaks into the format).
+    pub fn f_sets(&self) -> &HashMap<u64, BitVec> {
+        &self.f_sets
     }
 
     /// `F(o)`: the incomparable set for `o`'s observation mask.

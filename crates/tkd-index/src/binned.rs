@@ -162,6 +162,123 @@ impl BinnedBitmapIndex {
         }
     }
 
+    /// Reassemble a whole-dataset binned index from its persisted logical
+    /// parts — the snapshot loader's constructor. `bin_slots` is the
+    /// row-major `n × dims` table of 1-based bins with `0` marking a
+    /// missing cell; `tree_entries` holds each dimension's live observed
+    /// `(value, local id)` pairs in strictly ascending `(value, id)`
+    /// order, from which the probe B+-trees are rebuilt deterministically
+    /// ([`tkd_btree::BPlusTree::from_sorted_entries`]) — tree node
+    /// structure is never persisted.
+    ///
+    /// # Errors
+    /// A description of the first structural inconsistency (arities,
+    /// non-ascending or NaN boundaries/keys, column lengths, out-of-range
+    /// bins or probe ids).
+    pub fn from_store_parts(
+        dims: usize,
+        boundaries: Vec<Vec<f64>>,
+        columns: Vec<Vec<BitVec>>,
+        bin_slots: Vec<u32>,
+        tree_entries: Vec<Vec<(f64, ObjectId)>>,
+    ) -> Result<Self, String> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(format!("bad dimensionality {dims}"));
+        }
+        if boundaries.len() != dims || columns.len() != dims || tree_entries.len() != dims {
+            return Err(format!(
+                "per-dimension tables disagree with dims={dims}: {} boundary sets, \
+                 {} column sets, {} probe streams",
+                boundaries.len(),
+                columns.len(),
+                tree_entries.len()
+            ));
+        }
+        let n = columns[0]
+            .first()
+            .map(BitVec::len)
+            .ok_or_else(|| "dim 0 has no columns".to_string())?;
+        if bin_slots.len() != n * dims {
+            return Err(format!(
+                "bin table holds {} entries, expected {}",
+                bin_slots.len(),
+                n * dims
+            ));
+        }
+        let mut trees = Vec::with_capacity(dims);
+        for (d, (bounds, cols)) in boundaries.iter().zip(&columns).enumerate() {
+            if bounds.iter().any(|v| v.is_nan()) {
+                return Err(format!("NaN in the bin boundaries of dim {d}"));
+            }
+            if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "bin boundaries of dim {d} are not strictly ascending"
+                ));
+            }
+            if cols.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "dim {d} has {} columns for {} bins (expected xᵢ + 1)",
+                    cols.len(),
+                    bounds.len()
+                ));
+            }
+            for (c, col) in cols.iter().enumerate() {
+                if col.len() != n {
+                    return Err(format!(
+                        "column {c} of dim {d} has {} bits, expected {n}",
+                        col.len()
+                    ));
+                }
+            }
+            for &(v, id) in &tree_entries[d] {
+                if (id as usize) >= n {
+                    return Err(format!("probe id {id} of dim {d} exceeds n={n}"));
+                }
+                if v.is_nan() {
+                    return Err(format!("NaN probe key in dim {d}"));
+                }
+            }
+            let tree = BPlusTree::from_sorted_entries(
+                tree_entries[d]
+                    .iter()
+                    .map(|&(v, id)| ((F64Key::new(v).expect("checked above"), id), ())),
+            )
+            .map_err(|e| format!("probe stream of dim {d}: {e}"))?;
+            trees.push(tree);
+        }
+        let mut bin_idx = bin_slots;
+        for (i, slot) in bin_idx.iter_mut().enumerate() {
+            let d = i % dims;
+            if *slot == 0 {
+                *slot = MISSING;
+            } else if *slot as usize > boundaries[d].len() {
+                return Err(format!(
+                    "bin {slot} of object {} exceeds dim {d}'s bin count {}",
+                    i / dims,
+                    boundaries[d].len()
+                ));
+            }
+        }
+        Ok(BinnedBitmapIndex {
+            n,
+            dims,
+            base: 0,
+            boundaries,
+            columns,
+            bin_idx,
+            trees,
+        })
+    }
+
+    /// The live observed `(value, local id)` pairs of `dim`'s probe tree
+    /// in ascending `(value, id)` order — exactly the stream
+    /// [`BinnedBitmapIndex::from_store_parts`] rebuilds the tree from.
+    /// Keys come back normalized (−0.0 was collapsed to +0.0 at insert),
+    /// so the export is already canonical.
+    pub fn tree_entries(&self, dim: usize) -> impl Iterator<Item = (f64, ObjectId)> + '_ {
+        self.trees[dim].iter().map(|(&(k, id), _)| (k.get(), id))
+    }
+
     // ----- dynamic maintenance -------------------------------------------
     //
     // Unlike the exact index, the binned index tombstones slots in **every**
@@ -999,6 +1116,111 @@ mod tests {
         let b = idx.append_row(|d| [None, Some(3.5)][d]);
         let below: Vec<u32> = idx.ids_below_in_bin(1, 4.0, true).collect();
         assert_eq!(below, vec![b as u32]);
+    }
+
+    /// Disassemble a binned index into the store's export shape.
+    #[allow(clippy::type_complexity)]
+    fn export_parts(
+        idx: &BinnedBitmapIndex,
+    ) -> (
+        usize,
+        Vec<Vec<f64>>,
+        Vec<Vec<BitVec>>,
+        Vec<u32>,
+        Vec<Vec<(f64, ObjectId)>>,
+    ) {
+        let dims = idx.dims();
+        (
+            dims,
+            (0..dims)
+                .map(|d| {
+                    (0..idx.num_bins(d))
+                        .map(|b| idx.bin_upper(d, b as u32 + 1))
+                        .collect()
+                })
+                .collect(),
+            (0..dims)
+                .map(|d| {
+                    (0..idx.num_columns(d))
+                        .map(|c| idx.column(d, c).clone())
+                        .collect()
+                })
+                .collect(),
+            (0..idx.n())
+                .flat_map(|o| (0..dims).map(move |d| idx.bin_of(o as ObjectId, d).unwrap_or(0)))
+                .collect(),
+            (0..dims).map(|d| idx.tree_entries(d).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn store_parts_roundtrip_preserves_columns_and_probes() {
+        let (ds, mut idx) = fig9_index();
+        // A mutated (frozen-bin) index round-trips too: tombstone one row
+        // and rebin another so the parts differ from a fresh build.
+        let victim = ds.id_by_label("B4").unwrap() as usize;
+        let row: Vec<Option<f64>> = (0..ds.dims()).map(|d| ds.value(victim as u32, d)).collect();
+        idx.tombstone_row(victim, |d| row[d]);
+        idx.set_cell(2, 1, ds.value(2, 1), Some(11.0));
+        let (dims, bounds, cols, slots, probes) = export_parts(&idx);
+        let rebuilt =
+            BinnedBitmapIndex::from_store_parts(dims, bounds, cols, slots, probes).unwrap();
+        assert_eq!(rebuilt.n(), idx.n());
+        for d in 0..dims {
+            assert_eq!(rebuilt.num_bins(d), idx.num_bins(d));
+            for c in 0..idx.num_columns(d) {
+                assert_eq!(rebuilt.column(d, c), idx.column(d, c), "dim {d} col {c}");
+            }
+            assert_eq!(
+                rebuilt.tree_entries(d).collect::<Vec<_>>(),
+                idx.tree_entries(d).collect::<Vec<_>>(),
+                "probes of dim {d}"
+            );
+            for probe in [0.0, 2.0, 3.5, 11.0] {
+                assert_eq!(
+                    rebuilt.count_value_at_least(d, probe),
+                    idx.count_value_at_least(d, probe)
+                );
+            }
+        }
+        for o in ds.ids().filter(|&o| o as usize != victim) {
+            assert_eq!(rebuilt.q_vec(o), idx.q_vec(o), "Q of {o}");
+            assert_eq!(rebuilt.p_vec(o), idx.p_vec(o), "P of {o}");
+        }
+    }
+
+    #[test]
+    fn store_parts_reject_inconsistencies() {
+        let (_, idx) = fig9_index();
+        let parts = export_parts(&idx);
+        {
+            let (d, b, c, s, p) = parts.clone();
+            assert!(BinnedBitmapIndex::from_store_parts(d, b, c, s, p).is_ok());
+        }
+        // Out-of-range bin.
+        {
+            let (d, b, c, mut s, p) = parts.clone();
+            s[0] = 42;
+            assert!(BinnedBitmapIndex::from_store_parts(d, b, c, s, p).is_err());
+        }
+        // Probe id beyond n.
+        {
+            let (d, b, c, s, mut p) = parts.clone();
+            p[0].push((999.0, 10_000));
+            assert!(BinnedBitmapIndex::from_store_parts(d, b, c, s, p).is_err());
+        }
+        // Out-of-order probe stream.
+        {
+            let (d, b, c, s, mut p) = parts.clone();
+            p[1].swap(0, 1);
+            assert!(BinnedBitmapIndex::from_store_parts(d, b, c, s, p).is_err());
+        }
+        // Unsorted boundaries.
+        {
+            let (d, mut b, c, s, p) = parts;
+            b[2].swap(0, 1);
+            assert!(BinnedBitmapIndex::from_store_parts(d, b, c, s, p).is_err());
+        }
     }
 
     #[test]

@@ -192,6 +192,101 @@ impl BitmapIndex {
         }
     }
 
+    /// Reassemble a whole-dataset index from its persisted logical parts
+    /// — the snapshot loader's constructor. `val_slots` is the row-major
+    /// `n × dims` table of 1-based value slots with `0` marking a missing
+    /// cell (the [`BitmapIndex::value_slot`] form, which keeps the
+    /// on-disk format free of in-memory sentinels). The suffix-popcount
+    /// tables are recomputed from the adopted columns (one popcount pass,
+    /// far below a rebuild's column construction), so they can never
+    /// disagree with the bits.
+    ///
+    /// # Errors
+    /// A description of the first structural inconsistency: mismatched
+    /// arities, non-ascending or NaN value tables, column lengths that
+    /// disagree with the live mask, a non-all-ones column 0, or an
+    /// out-of-range value slot. Deeper bit-level semantics are pinned by
+    /// the store's checksums and the round-trip parity suite.
+    pub fn from_store_parts(
+        dims: usize,
+        values: Vec<Vec<f64>>,
+        columns: Vec<Vec<BitVec>>,
+        val_slots: Vec<u32>,
+        live: Tombstones,
+    ) -> Result<Self, String> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(format!("bad dimensionality {dims}"));
+        }
+        if values.len() != dims || columns.len() != dims {
+            return Err(format!(
+                "per-dimension tables disagree with dims={dims}: {} value tables, {} column sets",
+                values.len(),
+                columns.len()
+            ));
+        }
+        let n = live.len();
+        if val_slots.len() != n * dims {
+            return Err(format!(
+                "value-slot table holds {} entries, expected {}",
+                val_slots.len(),
+                n * dims
+            ));
+        }
+        for (d, (vals, cols)) in values.iter().zip(&columns).enumerate() {
+            if vals.iter().any(|v| v.is_nan()) {
+                return Err(format!("NaN in the value table of dim {d}"));
+            }
+            if vals.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("value table of dim {d} is not strictly ascending"));
+            }
+            if cols.len() != vals.len() + 1 {
+                return Err(format!(
+                    "dim {d} has {} columns for {} values (expected Cᵢ + 1)",
+                    cols.len(),
+                    vals.len()
+                ));
+            }
+            for (c, col) in cols.iter().enumerate() {
+                if col.len() != n {
+                    return Err(format!(
+                        "column {c} of dim {d} has {} bits, expected {n}",
+                        col.len()
+                    ));
+                }
+            }
+            if cols[0].count_ones() != n {
+                return Err(format!("column 0 of dim {d} is not all-ones"));
+            }
+        }
+        let mut val_idx = val_slots;
+        for (i, slot) in val_idx.iter_mut().enumerate() {
+            let d = i % dims;
+            if *slot == 0 {
+                *slot = MISSING;
+            } else if *slot as usize > values[d].len() {
+                return Err(format!(
+                    "value slot {slot} of object {} exceeds dim {d}'s cardinality {}",
+                    i / dims,
+                    values[d].len()
+                ));
+            }
+        }
+        let block_suffix = columns
+            .iter()
+            .map(|cols| cols.iter().map(suffix_counts).collect())
+            .collect();
+        Ok(BitmapIndex {
+            n,
+            dims,
+            base: 0,
+            values,
+            columns,
+            val_idx,
+            block_suffix,
+            live,
+        })
+    }
+
     // ----- dynamic maintenance -------------------------------------------
 
     /// Append one object (slot `n()`), growing every column by one bit and
@@ -1196,6 +1291,103 @@ mod tests {
                 }
                 live_i += 1;
             }
+        }
+    }
+
+    /// Disassemble an index into the logical parts `from_store_parts`
+    /// adopts (the store's export shape).
+    #[allow(clippy::type_complexity)]
+    fn export_parts(
+        idx: &BitmapIndex,
+    ) -> (usize, Vec<Vec<f64>>, Vec<Vec<BitVec>>, Vec<u32>, Tombstones) {
+        let dims = idx.dims();
+        let values: Vec<Vec<f64>> = (0..dims).map(|d| idx.values(d).to_vec()).collect();
+        let columns: Vec<Vec<BitVec>> = (0..dims)
+            .map(|d| {
+                (0..idx.num_columns(d))
+                    .map(|c| idx.column(d, c).clone())
+                    .collect()
+            })
+            .collect();
+        let slots: Vec<u32> = (0..idx.n())
+            .flat_map(|o| (0..dims).map(move |d| idx.value_slot(o, d)))
+            .collect();
+        (
+            dims,
+            values,
+            columns,
+            slots,
+            Tombstones::from_live_mask(idx.live_mask().clone()),
+        )
+    }
+
+    #[test]
+    fn store_parts_roundtrip_including_tombstones() {
+        let ds = fixtures::fig3_sample();
+        let mut idx = BitmapIndex::build(&ds);
+        idx.tombstone_row(4);
+        idx.tombstone_row(17);
+        let (dims, values, columns, slots, live) = export_parts(&idx);
+        let rebuilt = BitmapIndex::from_store_parts(dims, values, columns, slots, live).unwrap();
+        assert_eq!(rebuilt.n(), idx.n());
+        assert_eq!(rebuilt.live_count(), idx.live_count());
+        for o in ds.ids().filter(|&o| !matches!(o, 4 | 17)) {
+            assert_eq!(rebuilt.q_vec(o), idx.q_vec(o), "Q of {o}");
+            assert_eq!(rebuilt.p_vec(o), idx.p_vec(o), "P of {o}");
+            let mbs = idx.max_bit_score_counted(o);
+            assert_eq!(rebuilt.max_bit_score_counted(o), mbs);
+            // Suffix tables were recomputed: the budgeted scans agree.
+            for tau in [0, mbs.saturating_sub(1), mbs] {
+                assert_eq!(
+                    rebuilt.max_bit_score_above(o, tau),
+                    idx.max_bit_score_above(o, tau),
+                    "H2 of {o} at tau {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_parts_reject_inconsistencies() {
+        let ds = fixtures::fig3_sample();
+        let idx = BitmapIndex::build(&ds);
+        let parts = export_parts(&idx);
+        // Baseline sanity: unmodified parts load.
+        {
+            let (d, v, c, s, l) = parts.clone();
+            assert!(BitmapIndex::from_store_parts(d, v, c, s, l).is_ok());
+        }
+        // Out-of-range value slot.
+        {
+            let (d, v, c, mut s, l) = parts.clone();
+            s[3] = 99;
+            let err = BitmapIndex::from_store_parts(d, v, c, s, l).unwrap_err();
+            assert!(err.contains("exceeds"), "{err}");
+        }
+        // Column 0 not all-ones.
+        {
+            let (d, v, mut c, s, l) = parts.clone();
+            c[0][0].clear(2);
+            let err = BitmapIndex::from_store_parts(d, v, c, s, l).unwrap_err();
+            assert!(err.contains("all-ones"), "{err}");
+        }
+        // Column count off by one.
+        {
+            let (d, v, mut c, s, l) = parts.clone();
+            c[1].pop();
+            assert!(BitmapIndex::from_store_parts(d, v, c, s, l).is_err());
+        }
+        // Unsorted value table.
+        {
+            let (d, mut v, c, s, l) = parts.clone();
+            v[0].swap(0, 1);
+            assert!(BitmapIndex::from_store_parts(d, v, c, s, l).is_err());
+        }
+        // Live mask length disagrees with the columns.
+        {
+            let (d, v, c, s, _) = parts;
+            let l = Tombstones::all_live(idx.n() + 1);
+            assert!(BitmapIndex::from_store_parts(d, v, c, s, l).is_err());
         }
     }
 

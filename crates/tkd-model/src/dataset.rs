@@ -110,6 +110,94 @@ impl Dataset {
         Ok(b.build())
     }
 
+    /// Rebuild a dataset from its raw storage — the snapshot codec's
+    /// entry point, adopting the flat value slab and mask array by move
+    /// (no per-row `Vec<Option<f64>>` staging).
+    ///
+    /// Validation is exactly the builder's invariants, restated over the
+    /// raw form: consistent lengths, no mask bit at or beyond `dims`, no
+    /// all-missing row, observed slots non-NaN — plus one canonical-form
+    /// rule the in-memory representation always satisfies: missing slots
+    /// hold the canonical `f64::NAN` bit pattern (which keeps
+    /// re-serialization byte-deterministic).
+    ///
+    /// # Errors
+    /// [`ModelError::BadDimensionality`], [`ModelError::RowArity`] (length
+    /// mismatches, including a labels array of the wrong length),
+    /// [`ModelError::AllMissingRow`], or [`ModelError::NaNValue`] (also
+    /// raised for a non-canonical missing slot, reported at its row/dim).
+    pub fn from_raw_parts(
+        dims: usize,
+        values: Vec<f64>,
+        masks: Vec<DimMask>,
+        labels: Option<Vec<String>>,
+    ) -> Result<Self, ModelError> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(ModelError::BadDimensionality(dims));
+        }
+        let n = masks.len();
+        if values.len() != n * dims {
+            return Err(ModelError::RowArity {
+                row: n,
+                got: values.len(),
+                expected: n * dims,
+            });
+        }
+        if let Some(ls) = &labels {
+            if ls.len() != n {
+                return Err(ModelError::RowArity {
+                    row: n,
+                    got: ls.len(),
+                    expected: n,
+                });
+            }
+        }
+        let canonical_nan = f64::NAN.to_bits();
+        for (r, mask) in masks.iter().enumerate() {
+            if mask.is_empty() {
+                return Err(ModelError::AllMissingRow(r));
+            }
+            if dims < MAX_DIMS && mask.bits() >> dims != 0 {
+                // A set bit at or beyond `dims` names a dimension that
+                // does not exist.
+                return Err(ModelError::DimensionOutOfRange {
+                    dim: 63 - mask.bits().leading_zeros() as usize,
+                    dims,
+                });
+            }
+            for d in 0..dims {
+                let v = values[r * dims + d];
+                if mask.observed(d) {
+                    if v.is_nan() {
+                        return Err(ModelError::NaNValue { row: r, dim: d });
+                    }
+                } else if v.to_bits() != canonical_nan {
+                    return Err(ModelError::NaNValue { row: r, dim: d });
+                }
+            }
+        }
+        Ok(Dataset {
+            dims,
+            values,
+            masks,
+            labels,
+        })
+    }
+
+    /// The raw row-major value slab (missing slots hold the canonical
+    /// NaN) — the storage [`Dataset::from_raw_parts`] adopts back.
+    #[inline]
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The label array, if this dataset is labeled (one entry per object;
+    /// unlabeled rows of a labeled dataset hold the empty string).
+    #[inline]
+    pub fn labels(&self) -> Option<&[String]> {
+        self.labels.as_deref()
+    }
+
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
@@ -715,6 +803,81 @@ mod tests {
         assert_eq!(
             ds.set_value(0, 0, Some(f64::NAN)).unwrap_err(),
             ModelError::NaNValue { row: 0, dim: 0 }
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips() {
+        let mut b = Dataset::builder(3).unwrap();
+        b.push_labeled("p", &[Some(1.0), None, Some(3.0)]).unwrap();
+        b.push_labeled("q", &[None, Some(-0.0), None]).unwrap();
+        let ds = b.build();
+        let rebuilt = Dataset::from_raw_parts(
+            ds.dims(),
+            ds.raw_values().to_vec(),
+            ds.masks().to_vec(),
+            ds.labels().map(<[String]>::to_vec),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, ds);
+        assert_eq!(rebuilt.label(0), Some("p"));
+        // Unlabeled datasets round-trip a None label array.
+        let plain = tiny();
+        let rebuilt = Dataset::from_raw_parts(
+            plain.dims(),
+            plain.raw_values().to_vec(),
+            plain.masks().to_vec(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, plain);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistencies() {
+        let ds = tiny();
+        let (vals, masks) = (ds.raw_values().to_vec(), ds.masks().to_vec());
+        assert_eq!(
+            Dataset::from_raw_parts(0, vals.clone(), masks.clone(), None).unwrap_err(),
+            ModelError::BadDimensionality(0)
+        );
+        // Value slab length mismatch.
+        assert!(matches!(
+            Dataset::from_raw_parts(3, vals[..4].to_vec(), masks.clone(), None),
+            Err(ModelError::RowArity { .. })
+        ));
+        // Labels of the wrong length.
+        assert!(matches!(
+            Dataset::from_raw_parts(3, vals.clone(), masks.clone(), Some(vec!["x".into()])),
+            Err(ModelError::RowArity { .. })
+        ));
+        // All-missing mask.
+        let mut bad = masks.clone();
+        bad[1] = DimMask::EMPTY;
+        assert_eq!(
+            Dataset::from_raw_parts(3, vals.clone(), bad, None).unwrap_err(),
+            ModelError::AllMissingRow(1)
+        );
+        // Mask bit beyond dims.
+        let mut bad = masks.clone();
+        bad[0] = DimMask::from_bits(0b1000);
+        assert_eq!(
+            Dataset::from_raw_parts(3, vals.clone(), bad, None).unwrap_err(),
+            ModelError::DimensionOutOfRange { dim: 3, dims: 3 }
+        );
+        // NaN in an observed slot.
+        let mut bad_vals = vals.clone();
+        bad_vals[0] = f64::NAN;
+        assert_eq!(
+            Dataset::from_raw_parts(3, bad_vals, masks.clone(), None).unwrap_err(),
+            ModelError::NaNValue { row: 0, dim: 0 }
+        );
+        // Non-canonical NaN payload in a missing slot.
+        let mut bad_vals = vals;
+        bad_vals[1] = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert_eq!(
+            Dataset::from_raw_parts(3, bad_vals, masks, None).unwrap_err(),
+            ModelError::NaNValue { row: 0, dim: 1 }
         );
     }
 

@@ -1,0 +1,414 @@
+//! Per-section payload codecs.
+//!
+//! Each function pair is a bijection between one component's logical
+//! state and its canonical byte form: `decode(encode(x))` restores `x`,
+//! and `encode(decode(b))` reproduces `b` byte for byte (the golden-file
+//! pin). Canonical form means: fixed field order, little-endian
+//! everywhere, `BitVec`s as `(bit length, word array)`, hash maps sorted
+//! by key, missing cells as the canonical NaN.
+
+use crate::error::StoreError;
+use crate::wire::{Reader, Writer};
+use std::collections::HashMap;
+use tkd_bitvec::{BitVec, Tombstones};
+use tkd_core::dynamic::DynamicPartsRef;
+use tkd_core::{BinChoice, CompactionPolicy, Preprocessed, UpdateStats};
+use tkd_index::{BinnedBitmapIndex, BitmapIndex};
+use tkd_model::{Dataset, DimMask, ObjectId};
+
+// ----- bit vectors --------------------------------------------------------
+
+/// `(bit length: u64, words: ceil(len/64) × u64)` — the word-aligned
+/// layout that lets columns load by bulk copy.
+pub fn encode_bitvec(w: &mut Writer, bv: &BitVec) {
+    w.put_u64(bv.len() as u64);
+    w.put_words(bv.as_words());
+}
+
+/// Inverse of [`encode_bitvec`]; rejects word counts that outrun the
+/// payload *before* allocating ([`Reader::get_words`] bounds-checks the
+/// byte range first), and non-canonical padding.
+pub fn decode_bitvec(r: &mut Reader<'_>) -> Result<BitVec, StoreError> {
+    let len = r.get_u64()?;
+    let len = usize::try_from(len).map_err(|_| r.invalid("bit length exceeds usize"))?;
+    let words = r.get_words(len.div_ceil(64))?;
+    BitVec::from_words(words, len).map_err(|e| r.invalid(e))
+}
+
+// ----- dataset ------------------------------------------------------------
+
+/// `dims u32 · n u64 · masks n×u64 · values n·dims×f64 · has_labels u8
+/// [· labels n×str]`.
+pub fn encode_dataset(w: &mut Writer, ds: &Dataset) {
+    w.put_u32(ds.dims() as u32);
+    w.put_u64(ds.len() as u64);
+    for &m in ds.masks() {
+        w.put_u64(m.bits());
+    }
+    for &v in ds.raw_values() {
+        w.put_f64(v);
+    }
+    match ds.labels() {
+        None => w.put_u8(0),
+        Some(labels) => {
+            w.put_u8(1);
+            for l in labels {
+                w.put_str(l);
+            }
+        }
+    }
+}
+
+/// Inverse of [`encode_dataset`], re-validated through
+/// [`Dataset::from_raw_parts`].
+pub fn decode_dataset(r: &mut Reader<'_>) -> Result<Dataset, StoreError> {
+    let dims = r.get_u32()? as usize;
+    if dims == 0 || dims > tkd_model::MAX_DIMS {
+        return Err(r.invalid(format!("bad dimensionality {dims}")));
+    }
+    let n = r.get_count(8 * (1 + dims))?; // each row needs a mask + dims values
+    let masks: Vec<DimMask> = r
+        .get_words(n)?
+        .into_iter()
+        .map(DimMask::from_bits)
+        .collect();
+    let values: Vec<f64> = r
+        .get_words(n * dims)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect();
+    let labels = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let mut ls = Vec::with_capacity(n.min(r.remaining() / 4));
+            for _ in 0..n {
+                ls.push(r.get_str()?);
+            }
+            Some(ls)
+        }
+        other => return Err(r.invalid(format!("bad labels tag {other}"))),
+    };
+    Dataset::from_raw_parts(dims, values, masks, labels).map_err(|e| r.invalid(e.to_string()))
+}
+
+// ----- bitmap index -------------------------------------------------------
+
+/// `dims u32 · n u64 · live bitvec · per dim (card u64 · values · ncols
+/// u64 · columns) · slots n·dims×u32`.
+pub fn encode_bitmap(w: &mut Writer, idx: &BitmapIndex) {
+    w.put_u32(idx.dims() as u32);
+    w.put_u64(idx.n() as u64);
+    encode_bitvec(w, idx.live_mask());
+    for d in 0..idx.dims() {
+        let vals = idx.values(d);
+        w.put_u64(vals.len() as u64);
+        for &v in vals {
+            w.put_f64(v);
+        }
+        w.put_u64(idx.num_columns(d) as u64);
+        for c in 0..idx.num_columns(d) {
+            encode_bitvec(w, idx.column(d, c));
+        }
+    }
+    for o in 0..idx.n() {
+        for d in 0..idx.dims() {
+            w.put_u32(idx.value_slot(o, d));
+        }
+    }
+}
+
+/// Inverse of [`encode_bitmap`], re-validated through
+/// [`BitmapIndex::from_store_parts`] (suffix tables recomputed).
+pub fn decode_bitmap(r: &mut Reader<'_>) -> Result<BitmapIndex, StoreError> {
+    let dims = r.get_u32()? as usize;
+    if dims == 0 || dims > tkd_model::MAX_DIMS {
+        return Err(r.invalid(format!("bad dimensionality {dims}")));
+    }
+    let n = r.get_u64()?;
+    let n = usize::try_from(n).map_err(|_| r.invalid("n exceeds usize"))?;
+    let live = decode_bitvec(r)?;
+    if live.len() != n {
+        return Err(r.invalid(format!("live mask has {} bits for n={n}", live.len())));
+    }
+    let mut values = Vec::with_capacity(dims);
+    let mut columns = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let card = r.get_count(8)?;
+        let vals: Vec<f64> = r.get_words(card)?.into_iter().map(f64::from_bits).collect();
+        let ncols = r.get_count(8)?; // each column is ≥ 8 bytes (its length)
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            cols.push(decode_bitvec(r)?);
+        }
+        values.push(vals);
+        columns.push(cols);
+    }
+    let slots_len = n
+        .checked_mul(dims)
+        .ok_or_else(|| r.invalid("n × dims overflows"))?;
+    let mut slots = Vec::with_capacity(slots_len.min(r.remaining() / 4 + 1));
+    for _ in 0..slots_len {
+        slots.push(r.get_u32()?);
+    }
+    BitmapIndex::from_store_parts(
+        dims,
+        values,
+        columns,
+        slots,
+        Tombstones::from_live_mask(live),
+    )
+    .map_err(|e| r.invalid(e))
+}
+
+// ----- binned index -------------------------------------------------------
+
+/// `dims u32 · n u64 · per dim (nbins u64 · boundaries · ncols u64 ·
+/// columns · nprobe u64 · (value f64, id u32) pairs) · bins n·dims×u32`.
+pub fn encode_binned(w: &mut Writer, idx: &BinnedBitmapIndex) {
+    w.put_u32(idx.dims() as u32);
+    w.put_u64(idx.n() as u64);
+    for d in 0..idx.dims() {
+        w.put_u64(idx.num_bins(d) as u64);
+        for b in 0..idx.num_bins(d) {
+            w.put_f64(idx.bin_upper(d, b as u32 + 1));
+        }
+        w.put_u64(idx.num_columns(d) as u64);
+        for c in 0..idx.num_columns(d) {
+            encode_bitvec(w, idx.column(d, c));
+        }
+        w.put_u64(idx.observed_count(d) as u64);
+        for (v, id) in idx.tree_entries(d) {
+            w.put_f64(v);
+            w.put_u32(id);
+        }
+    }
+    for o in 0..idx.n() {
+        for d in 0..idx.dims() {
+            w.put_u32(idx.bin_of(o as ObjectId, d).unwrap_or(0));
+        }
+    }
+}
+
+/// Inverse of [`encode_binned`]; probe trees are rebuilt from the sorted
+/// entry streams through [`BinnedBitmapIndex::from_store_parts`].
+pub fn decode_binned(r: &mut Reader<'_>) -> Result<BinnedBitmapIndex, StoreError> {
+    let dims = r.get_u32()? as usize;
+    if dims == 0 || dims > tkd_model::MAX_DIMS {
+        return Err(r.invalid(format!("bad dimensionality {dims}")));
+    }
+    let n = r.get_u64()?;
+    let n = usize::try_from(n).map_err(|_| r.invalid("n exceeds usize"))?;
+    let mut boundaries = Vec::with_capacity(dims);
+    let mut columns = Vec::with_capacity(dims);
+    let mut probes = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let nbins = r.get_count(8)?;
+        let bounds: Vec<f64> = r
+            .get_words(nbins)?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect();
+        let ncols = r.get_count(8)?;
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            cols.push(decode_bitvec(r)?);
+        }
+        let nprobe = r.get_count(12)?; // f64 + u32 per entry
+        let mut entries = Vec::with_capacity(nprobe);
+        for _ in 0..nprobe {
+            let v = r.get_f64()?;
+            let id = r.get_u32()?;
+            entries.push((v, id));
+        }
+        boundaries.push(bounds);
+        columns.push(cols);
+        probes.push(entries);
+    }
+    let slots_len = n
+        .checked_mul(dims)
+        .ok_or_else(|| r.invalid("n × dims overflows"))?;
+    let mut slots = Vec::with_capacity(slots_len.min(r.remaining() / 4 + 1));
+    for _ in 0..slots_len {
+        slots.push(r.get_u32()?);
+    }
+    if columns.first().is_some_and(Vec::is_empty) {
+        return Err(r.invalid("dim 0 has no columns"));
+    }
+    if let Some(col0) = columns.first().and_then(|c| c.first()) {
+        if col0.len() != n {
+            return Err(r.invalid(format!("column length {} disagrees with n={n}", col0.len())));
+        }
+    }
+    BinnedBitmapIndex::from_store_parts(dims, boundaries, columns, slots, probes)
+        .map_err(|e| r.invalid(e))
+}
+
+// ----- preprocessed -------------------------------------------------------
+
+/// `n u64 · queue len u64 · (slot u32, score u64) pairs · nsets u64 ·
+/// (mask u64 ascending · bitvec) entries`.
+pub fn encode_pre(w: &mut Writer, n: usize, pre: &Preprocessed) {
+    w.put_u64(n as u64);
+    w.put_u64(pre.queue().len() as u64);
+    for &(slot, score) in pre.queue() {
+        w.put_u32(slot);
+        w.put_u64(score as u64);
+    }
+    let mut keys: Vec<u64> = pre.f_sets().keys().copied().collect();
+    keys.sort_unstable(); // canonical: the map's order never leaks
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        w.put_u64(k);
+        encode_bitvec(w, &pre.f_sets()[&k]);
+    }
+}
+
+/// Inverse of [`encode_pre`]; enforces strictly ascending mask keys (the
+/// canonical form) and per-set bit lengths of `n`.
+pub fn decode_pre(r: &mut Reader<'_>) -> Result<(usize, Preprocessed), StoreError> {
+    let n = r.get_u64()?;
+    let n = usize::try_from(n).map_err(|_| r.invalid("n exceeds usize"))?;
+    let qlen = r.get_count(12)?;
+    let mut queue = Vec::with_capacity(qlen);
+    for _ in 0..qlen {
+        let slot = r.get_u32()?;
+        let score = r.get_u64()?;
+        let score = usize::try_from(score).map_err(|_| r.invalid("score exceeds usize"))?;
+        queue.push((slot, score));
+    }
+    let nsets = r.get_count(16)?; // mask u64 + bit length u64 minimum
+    let mut f_sets = HashMap::with_capacity(nsets);
+    let mut last: Option<u64> = None;
+    for _ in 0..nsets {
+        let mask = r.get_u64()?;
+        if last.is_some_and(|p| p >= mask) {
+            return Err(r.invalid("incomparable-set masks are not strictly ascending"));
+        }
+        last = Some(mask);
+        let bv = decode_bitvec(r)?;
+        if bv.len() != n {
+            return Err(r.invalid(format!(
+                "incomparable set of mask {mask:#x} has {} bits for n={n}",
+                bv.len()
+            )));
+        }
+        f_sets.insert(mask, bv);
+    }
+    Ok((n, Preprocessed::from_parts(queue, f_sets)))
+}
+
+// ----- dynamic meta -------------------------------------------------------
+
+/// The non-artifact remainder of [`tkd_core::DynamicParts`].
+pub struct DynamicMeta {
+    /// Slot → stable id.
+    pub stable_of: Vec<ObjectId>,
+    /// Next stable id.
+    pub next_id: ObjectId,
+    /// The exact `|Tᵢ|` table.
+    pub t: Vec<u32>,
+    /// Bin selection.
+    pub bins: BinChoice,
+    /// Compaction policy.
+    pub policy: CompactionPolicy,
+    /// Compaction epoch.
+    pub epoch: u64,
+    /// Lifetime counters.
+    pub stats: UpdateStats,
+}
+
+/// `next_id u32 · nslots u64 · stable ids u32 · tlen u64 · t u32 · bins
+/// (tag u8 + payload) · policy (f64 + u64) · epoch u64 · stats 4×u64`.
+pub fn encode_dynamic(w: &mut Writer, parts: &DynamicPartsRef<'_>) {
+    w.put_u32(parts.next_id);
+    w.put_u64(parts.stable_of.len() as u64);
+    for &id in parts.stable_of {
+        w.put_u32(id);
+    }
+    w.put_u64(parts.t.len() as u64);
+    for &v in parts.t {
+        w.put_u32(v);
+    }
+    match parts.bins {
+        BinChoice::Auto => w.put_u8(0),
+        BinChoice::Fixed(x) => {
+            w.put_u8(1);
+            w.put_u64(*x as u64);
+        }
+        BinChoice::PerDim(v) => {
+            w.put_u8(2);
+            w.put_u64(v.len() as u64);
+            for &x in v {
+                w.put_u64(x as u64);
+            }
+        }
+    }
+    w.put_f64(parts.policy.max_tombstone_fraction);
+    w.put_u64(parts.policy.min_dead as u64);
+    w.put_u64(parts.epoch);
+    w.put_u64(parts.stats.inserts as u64);
+    w.put_u64(parts.stats.deletes as u64);
+    w.put_u64(parts.stats.cell_updates as u64);
+    w.put_u64(parts.stats.compactions as u64);
+}
+
+/// Inverse of [`encode_dynamic`].
+pub fn decode_dynamic(r: &mut Reader<'_>) -> Result<DynamicMeta, StoreError> {
+    let next_id = r.get_u32()?;
+    let nslots = r.get_count(4)?;
+    let mut stable_of = Vec::with_capacity(nslots);
+    for _ in 0..nslots {
+        stable_of.push(r.get_u32()?);
+    }
+    let tlen = r.get_count(4)?;
+    let mut t = Vec::with_capacity(tlen);
+    for _ in 0..tlen {
+        t.push(r.get_u32()?);
+    }
+    let bins = match r.get_u8()? {
+        0 => BinChoice::Auto,
+        1 => {
+            let x = r.get_u64()?;
+            BinChoice::Fixed(usize::try_from(x).map_err(|_| r.invalid("bin count overflow"))?)
+        }
+        2 => {
+            let len = r.get_count(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                let x = r.get_u64()?;
+                v.push(usize::try_from(x).map_err(|_| r.invalid("bin count overflow"))?);
+            }
+            BinChoice::PerDim(v)
+        }
+        other => return Err(r.invalid(format!("bad bin-choice tag {other}"))),
+    };
+    let max_tombstone_fraction = r.get_f64()?;
+    if max_tombstone_fraction.is_nan() {
+        return Err(r.invalid("NaN compaction threshold"));
+    }
+    let min_dead = r.get_u64()?;
+    let min_dead = usize::try_from(min_dead).map_err(|_| r.invalid("min_dead overflow"))?;
+    let epoch = r.get_u64()?;
+    let mut counters = [0usize; 4];
+    for c in &mut counters {
+        let raw = r.get_u64()?;
+        *c = usize::try_from(raw).map_err(|_| r.invalid("counter overflow"))?;
+    }
+    Ok(DynamicMeta {
+        stable_of,
+        next_id,
+        t,
+        bins,
+        policy: CompactionPolicy {
+            max_tombstone_fraction,
+            min_dead,
+        },
+        epoch,
+        stats: UpdateStats {
+            inserts: counters[0],
+            deletes: counters[1],
+            cell_updates: counters[2],
+            compactions: counters[3],
+        },
+    })
+}

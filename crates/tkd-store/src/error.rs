@@ -1,0 +1,126 @@
+//! The typed error surface of the snapshot format.
+//!
+//! Every malformed input — truncation at any boundary, flipped bytes in
+//! the header, section table, payloads, or checksums, and hostile lengths
+//! — must surface as one of these variants. Loading never panics, never
+//! allocates ahead of a length check, and never silently accepts a
+//! damaged file.
+
+use core::fmt;
+
+/// Which part of a snapshot an error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Section {
+    /// The magic / version / section-table region.
+    Header,
+    /// The serialized [`tkd_model::Dataset`].
+    Dataset,
+    /// The serialized [`tkd_index::BitmapIndex`].
+    BitmapIndex,
+    /// The serialized [`tkd_index::BinnedBitmapIndex`].
+    BinnedIndex,
+    /// The serialized [`tkd_core::Preprocessed`] artifacts.
+    Preprocessed,
+    /// The serialized dynamic-engine state.
+    Dynamic,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Section::Header => "header",
+            Section::Dataset => "dataset",
+            Section::BitmapIndex => "bitmap-index",
+            Section::BinnedIndex => "binned-index",
+            Section::Preprocessed => "preprocessed",
+            Section::Dynamic => "dynamic",
+        })
+    }
+}
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed (path and OS message preserved).
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying OS error, stringified.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    /// Version compatibility is exact in v1: there is no migration path,
+    /// rebuild the snapshot with `tkdq build` (see README § Persistence).
+    VersionMismatch {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+    /// The input ends before a structure it promised — the length was
+    /// validated *before* any allocation sized by it.
+    Truncated {
+        /// Where the bytes ran out.
+        section: Section,
+        /// Bytes the structure needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The section table itself is malformed (bad kind, overlapping or
+    /// unordered ranges, impossible offsets).
+    BadSectionTable {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A payload does not hash to its recorded checksum — bytes were
+    /// flipped between write and read.
+    ChecksumMismatch {
+        /// The damaged section ([`Section::Header`] covers the
+        /// header-and-table checksum).
+        section: Section,
+    },
+    /// The bytes parsed but violate a structural invariant of the
+    /// decoded type (out-of-range slot, unsorted table, arity mismatch…).
+    Invalid {
+        /// The offending section.
+        section: Section,
+        /// The violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "{path}: {message}"),
+            StoreError::BadMagic => write!(f, "not a TKD snapshot (bad magic)"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not the supported version {expected}; \
+                 re-create the snapshot with `tkdq build`"
+            ),
+            StoreError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated snapshot in {section}: needed {needed} bytes, {available} available"
+            ),
+            StoreError::BadSectionTable { reason } => {
+                write!(f, "malformed section table: {reason}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} (snapshot is corrupt)")
+            }
+            StoreError::Invalid { section, reason } => {
+                write!(f, "invalid {section} section: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,459 @@
+//! Persistent snapshots of the TKD query state — build once, serve many
+//! process lifetimes.
+//!
+//! Every `tkdq` invocation and engine start used to re-pay the full
+//! `O(N·d)` bitmap + B+-tree + preprocessing construction. This crate
+//! persists the whole maintained state of a
+//! [`DynamicEngine`] — dataset, exact
+//! [`tkd_index::BitmapIndex`], binned index with probe
+//! trees, [`tkd_core::Preprocessed`] artifacts, and the
+//! dynamic bookkeeping (tombstones, stable ids, epoch, counters) — in a
+//! versioned binary format, and restores it **bit-identically**: a
+//! loaded engine answers every query with the same entries, scores, and
+//! tie order as the freshly built one (pinned by `tests/persist_*.rs`
+//! with the same differential discipline as the parallel and dynamic
+//! subsystems).
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic            8 bytes  "TKDSNAP\0"
+//! format_version   u32      1
+//! section_count    u32      5
+//! section table    5 × { kind u32, pad u32, offset u64, len u64, fnv64 u64 }
+//! header checksum  u64      FNV-1a 64 of every byte above
+//! payloads         5 sections, each starting 8-byte aligned
+//! ```
+//!
+//! All integers are little-endian. Section kinds (in required order):
+//! 1 dataset, 2 bitmap index, 3 binned index, 4 preprocessed,
+//! 5 dynamic state. `BitVec` columns are stored as `(bit length, u64
+//! word array)` — word-aligned, so loading is a bulk copy, not a per-bit
+//! decode. B+-tree *node structure* is never stored: probe trees
+//! serialize as their sorted entry streams and rebuild deterministically.
+//!
+//! **Compatibility policy:** exact version match. A snapshot from any
+//! other format version fails with [`StoreError::VersionMismatch`] —
+//! there is no migration; snapshots are caches, rebuilt with
+//! `tkdq build` from the source data.
+//!
+//! Corruption anywhere — truncation, flipped bytes, hostile length
+//! fields — surfaces as a typed [`StoreError`]; hostile lengths are
+//! validated against the bytes actually present *before* any allocation.
+
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod wire;
+
+pub use error::{Section, StoreError};
+pub use wire::fnv64;
+
+use tkd_core::dynamic::DynamicParts;
+use tkd_core::DynamicEngine;
+use wire::{Reader, Writer};
+
+/// First eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"TKDSNAP\0";
+
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section kinds of format v1, in their required file order.
+const KINDS: [(u32, Section); 5] = [
+    (1, Section::Dataset),
+    (2, Section::BitmapIndex),
+    (3, Section::BinnedIndex),
+    (4, Section::Preprocessed),
+    (5, Section::Dynamic),
+];
+
+/// Header bytes before the section table.
+const HEADER_LEN: usize = 16;
+/// Bytes per section-table entry.
+const ENTRY_LEN: usize = 32;
+
+/// Serialize the engine's full state to snapshot bytes. Takes `&mut`
+/// to flush the deferred queue re-sort first, which makes the encoding
+/// of a given logical state deterministic (the golden-file guarantee:
+/// `encode(decode(b)) == b`).
+pub fn encode_engine(engine: &mut DynamicEngine) -> Vec<u8> {
+    // Borrowed view of the engine's state, streamed into ONE buffer:
+    // the section table goes down as placeholders, each payload is
+    // encoded in place right after it, and offsets/lengths/checksums
+    // are backpatched — peak memory is the engine plus the final
+    // snapshot bytes, with no per-section staging copies.
+    let parts = engine.store_parts_ref();
+    let table_end = HEADER_LEN + KINDS.len() * ENTRY_LEN + 8;
+    let mut w = Writer::new();
+    w.put_bytes(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u32(KINDS.len() as u32);
+    for (kind, _) in KINDS {
+        w.put_u32(kind);
+        w.put_u32(0); // reserved
+        w.put_u64(0); // offset, backpatched
+        w.put_u64(0); // length, backpatched
+        w.put_u64(0); // checksum, backpatched
+    }
+    w.put_u64(0); // header checksum, backpatched
+    debug_assert_eq!(w.len(), table_end);
+    for (i, (_, section)) in KINDS.iter().enumerate() {
+        let offset = w.len();
+        debug_assert!(offset.is_multiple_of(8));
+        match section {
+            Section::Dataset => codec::encode_dataset(&mut w, parts.ds),
+            Section::BitmapIndex => codec::encode_bitmap(&mut w, parts.index),
+            Section::BinnedIndex => codec::encode_binned(&mut w, parts.binned),
+            Section::Preprocessed => codec::encode_pre(&mut w, parts.ds.len(), parts.pre),
+            Section::Dynamic => codec::encode_dynamic(&mut w, &parts),
+            Section::Header => unreachable!("not a payload section"),
+        }
+        let len = w.len() - offset;
+        let checksum = fnv64(&w.as_bytes()[offset..]);
+        let pad = len.div_ceil(8) * 8 - len;
+        w.put_bytes(&[0u8; 8][..pad]);
+        let e = HEADER_LEN + i * ENTRY_LEN;
+        w.patch_u64(e + 8, offset as u64);
+        w.patch_u64(e + 16, len as u64);
+        w.patch_u64(e + 24, checksum);
+    }
+    let header_sum = fnv64(&w.as_bytes()[..table_end - 8]);
+    w.patch_u64(table_end - 8, header_sum);
+    w.into_bytes()
+}
+
+/// Restore an engine from snapshot bytes — the inverse of
+/// [`encode_engine`], with integrity (checksums) and structural
+/// invariants re-validated at every layer.
+///
+/// # Errors
+/// A typed [`StoreError`] for any malformed input; see the crate docs.
+pub fn decode_engine(bytes: &[u8]) -> Result<DynamicEngine, StoreError> {
+    let need = |n: usize| -> Result<(), StoreError> {
+        if bytes.len() < n {
+            Err(StoreError::Truncated {
+                section: Section::Header,
+                needed: n as u64,
+                available: bytes.len() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(HEADER_LEN)?;
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    if count != KINDS.len() {
+        return Err(StoreError::BadSectionTable {
+            reason: format!("v1 requires {} sections, found {count}", KINDS.len()),
+        });
+    }
+    let table_end = HEADER_LEN + count * ENTRY_LEN + 8;
+    need(table_end)?;
+    let stored_sum =
+        u64::from_le_bytes(bytes[table_end - 8..table_end].try_into().expect("8 bytes"));
+    if fnv64(&bytes[..table_end - 8]) != stored_sum {
+        return Err(StoreError::ChecksumMismatch {
+            section: Section::Header,
+        });
+    }
+
+    // Parse and sanity-check the table before touching any payload.
+    let mut ranges = Vec::with_capacity(count);
+    let mut expected_offset = table_end as u64;
+    for (i, &(kind, section)) in KINDS.iter().enumerate() {
+        let e = HEADER_LEN + i * ENTRY_LEN;
+        let entry = &bytes[e..e + ENTRY_LEN];
+        let got_kind = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+        let pad = u32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+        if got_kind != kind {
+            return Err(StoreError::BadSectionTable {
+                reason: format!("entry {i} has kind {got_kind}, expected {kind}"),
+            });
+        }
+        if pad != 0 {
+            return Err(StoreError::BadSectionTable {
+                reason: format!("entry {i} has nonzero reserved field"),
+            });
+        }
+        if offset != expected_offset {
+            return Err(StoreError::BadSectionTable {
+                reason: format!("entry {i} starts at {offset}, expected {expected_offset}"),
+            });
+        }
+        let end = offset.checked_add(len).ok_or(StoreError::BadSectionTable {
+            reason: format!("entry {i} length overflows"),
+        })?;
+        if end > bytes.len() as u64 {
+            return Err(StoreError::Truncated {
+                section,
+                needed: end,
+                available: bytes.len() as u64,
+            });
+        }
+        ranges.push((section, offset as usize, len as usize, checksum));
+        expected_offset = end.div_ceil(8) * 8;
+    }
+    if expected_offset != bytes.len() as u64 {
+        return Err(StoreError::BadSectionTable {
+            reason: format!(
+                "file has {} bytes, sections end at {expected_offset}",
+                bytes.len()
+            ),
+        });
+    }
+    // Padding gaps must be zero (canonical form).
+    for &(section, offset, len, _) in &ranges {
+        let end = offset + len;
+        let padded = len.div_ceil(8) * 8 + offset;
+        if bytes[end..padded.min(bytes.len())].iter().any(|&b| b != 0) {
+            return Err(StoreError::Invalid {
+                section,
+                reason: "nonzero inter-section padding".into(),
+            });
+        }
+    }
+    // Verify every checksum before decoding anything.
+    for &(section, offset, len, checksum) in &ranges {
+        if fnv64(&bytes[offset..offset + len]) != checksum {
+            return Err(StoreError::ChecksumMismatch { section });
+        }
+    }
+
+    let payload = |i: usize| -> &[u8] {
+        let (_, offset, len, _) = ranges[i];
+        &bytes[offset..offset + len]
+    };
+    let mut r = Reader::new(payload(0), Section::Dataset);
+    let ds = codec::decode_dataset(&mut r)?;
+    r.finish()?;
+    let mut r = Reader::new(payload(1), Section::BitmapIndex);
+    let index = codec::decode_bitmap(&mut r)?;
+    r.finish()?;
+    let mut r = Reader::new(payload(2), Section::BinnedIndex);
+    let binned = codec::decode_binned(&mut r)?;
+    r.finish()?;
+    let mut r = Reader::new(payload(3), Section::Preprocessed);
+    let (pre_n, pre) = codec::decode_pre(&mut r)?;
+    r.finish()?;
+    if pre_n != ds.len() {
+        return Err(StoreError::Invalid {
+            section: Section::Preprocessed,
+            reason: format!(
+                "preprocessed n={pre_n} disagrees with dataset n={}",
+                ds.len()
+            ),
+        });
+    }
+    let mut r = Reader::new(payload(4), Section::Dynamic);
+    let meta = codec::decode_dynamic(&mut r)?;
+    r.finish()?;
+
+    DynamicEngine::from_store_parts(DynamicParts {
+        ds,
+        stable_of: meta.stable_of,
+        next_id: meta.next_id,
+        index,
+        binned,
+        pre,
+        t: meta.t,
+        bins: meta.bins,
+        policy: meta.policy,
+        epoch: meta.epoch,
+        stats: meta.stats,
+    })
+    .map_err(|reason| StoreError::Invalid {
+        section: Section::Dynamic,
+        reason,
+    })
+}
+
+/// [`encode_engine`] straight to a file. Returns the byte count written.
+///
+/// The write is **atomic and durable**: bytes go to a fresh temporary
+/// file in the target's directory, are fsynced, and the temp file is
+/// then renamed over the target. A crash mid-write (power loss,
+/// SIGKILL, full disk) leaves the previous snapshot intact — the sync
+/// before the rename is what keeps that true across power loss, where
+/// an unsynced rename could be journaled ahead of the data blocks.
+/// This matters for `tkdq update --index`, where the snapshot being
+/// rewritten holds state (applied ops, the stable-id counter) that
+/// exists nowhere else.
+///
+/// # Errors
+/// [`StoreError::Io`] with the path and OS message.
+pub fn save_engine(
+    path: impl AsRef<std::path::Path>,
+    engine: &mut DynamicEngine,
+) -> Result<u64, StoreError> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let io_err = |p: &std::path::Path, e: std::io::Error| StoreError::Io {
+        path: p.display().to_string(),
+        message: e.to_string(),
+    };
+    let bytes = encode_engine(engine);
+    let mut tmp = path.to_path_buf();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "snapshot".into());
+    name.push(format!(".tmp.{}", std::process::id()));
+    tmp.set_file_name(name);
+    let write_synced = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()
+    };
+    write_synced().map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        io_err(&tmp, e)
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        io_err(path, e)
+    })?;
+    // Make the rename itself durable where directory handles can sync
+    // (best-effort: not all platforms/filesystems allow it).
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// [`decode_engine`] straight from a file.
+///
+/// # Errors
+/// [`StoreError::Io`] for filesystem failures, otherwise the decode
+/// errors of [`decode_engine`].
+pub fn load_engine(path: impl AsRef<std::path::Path>) -> Result<DynamicEngine, StoreError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    decode_engine(&bytes)
+}
+
+/// Byte offsets of every section boundary in `bytes` (header end, each
+/// payload start and end) — the corruption harness truncates at exactly
+/// these places. Returns an empty list when the header is unreadable.
+pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut cuts = vec![0, HEADER_LEN.min(bytes.len())];
+    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        return cuts;
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let table_end = HEADER_LEN + count * ENTRY_LEN + 8;
+    cuts.push(table_end.min(bytes.len()));
+    for i in 0..count {
+        let e = HEADER_LEN + i * ENTRY_LEN;
+        if e + ENTRY_LEN > bytes.len() {
+            break;
+        }
+        let entry = &bytes[e..e + ENTRY_LEN];
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes")) as usize;
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes")) as usize;
+        cuts.push(offset.min(bytes.len()));
+        cuts.push(offset.saturating_add(len).min(bytes.len()));
+    }
+    cuts.push(bytes.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkd_core::EngineQuery;
+    use tkd_model::fixtures;
+
+    #[test]
+    fn fig3_roundtrip_is_byte_stable_and_query_identical() {
+        let mut engine = DynamicEngine::new(fixtures::fig3_sample());
+        let bytes = encode_engine(&mut engine);
+        let mut loaded = decode_engine(&bytes).expect("own bytes load");
+        // Canonical: re-serialization is byte-identical.
+        assert_eq!(encode_engine(&mut loaded), bytes);
+        // And the loaded engine answers the running example identically.
+        let fresh = engine.query(&EngineQuery::new(2)).unwrap();
+        let resumed = loaded.query(&EngineQuery::new(2)).unwrap();
+        assert_eq!(fresh.entries(), resumed.entries());
+        assert_eq!(resumed.kth_score(), Some(16));
+    }
+
+    #[test]
+    fn version_bump_and_magic_are_rejected() {
+        let mut engine = DynamicEngine::new(fixtures::fig3_sample());
+        let bytes = encode_engine(&mut engine);
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 2; // format_version LE low byte
+        assert_eq!(
+            decode_engine(&wrong_version).unwrap_err(),
+            StoreError::VersionMismatch {
+                found: 2,
+                expected: FORMAT_VERSION
+            }
+        );
+        let mut wrong_magic = bytes;
+        wrong_magic[0] ^= 0xFF;
+        assert_eq!(
+            decode_engine(&wrong_magic).unwrap_err(),
+            StoreError::BadMagic
+        );
+        assert_eq!(
+            decode_engine(b"").unwrap_err(),
+            StoreError::Truncated {
+                section: Section::Header,
+                needed: 16,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let mut engine = DynamicEngine::new(fixtures::fig3_sample());
+        let path = std::env::temp_dir().join("tkd_store_smoke.tkdsnap");
+        let written = save_engine(&path, &mut engine).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let mut loaded = load_engine(&path).unwrap();
+        assert_eq!(
+            loaded.query(&EngineQuery::new(2)).unwrap().kth_score(),
+            Some(16)
+        );
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load_engine(&path).unwrap_err(),
+            StoreError::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn boundaries_cover_header_table_and_sections() {
+        let mut engine = DynamicEngine::new(fixtures::fig3_sample());
+        let bytes = encode_engine(&mut engine);
+        let cuts = section_boundaries(&bytes);
+        assert!(cuts.len() >= 2 + 2 * KINDS.len());
+        assert_eq!(*cuts.first().unwrap(), 0);
+        assert!(cuts.iter().all(|&c| c <= bytes.len()));
+        assert_eq!(*cuts.last().unwrap(), bytes.len());
+    }
+}

@@ -1,0 +1,313 @@
+//! Little-endian wire primitives: an append-only [`Writer`] and a
+//! bounds-checked [`Reader`].
+//!
+//! Every `Reader` length check happens **before** the allocation it
+//! guards, so a hostile length field can never trigger an OOM abort —
+//! it is rejected against the bytes actually present. Word arrays
+//! (`u64` sequences, the storage of every `BitVec`) are copied in bulk
+//! from the byte buffer, never decoded bit by bit.
+
+use crate::error::{Section, StoreError};
+
+/// FNV-1a-style 64-bit hash, folded a **word** at a time — the
+/// per-section checksum. Whole 8-byte chunks are absorbed as LE `u64`s
+/// (8× the byte-at-a-time throughput, which matters: every load and
+/// save hashes the full multi-megabyte payload), trailing bytes
+/// individually, so inputs shorter than 8 bytes hash exactly like
+/// standard FNV-1a. Not cryptographic; its job is detecting accidental
+/// corruption deterministically with no dependencies — any flipped bit
+/// changes the absorbed word, and the odd multiplier is a bijection, so
+/// the difference can never cancel to zero on its own.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (e.g. to checksum a prefix).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw IEEE bits, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `u64` word array (bulk, LE).
+    pub fn put_words(&mut self, words: &[u64]) {
+        self.buf.reserve(words.len() * 8);
+        for &w in words {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Overwrite 8 bytes at `pos` with a `u64`, little-endian — the
+    /// backpatch primitive: the snapshot writer lays the section table
+    /// down as placeholders, streams the payloads into the same buffer,
+    /// then patches offsets/lengths/checksums in place (single buffer,
+    /// no payload staging copies).
+    ///
+    /// # Panics
+    /// Panics if `pos + 8` exceeds the bytes written so far.
+    pub fn patch_u64(&mut self, pos: usize, v: u64) {
+        self.buf[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string (`u32` length).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("label length fits u32"));
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor over one section's payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: Section,
+}
+
+impl<'a> Reader<'a> {
+    /// Read `buf` as the payload of `section` (errors carry the label).
+    pub fn new(buf: &'a [u8], section: Section) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail with [`StoreError::Truncated`] unless `n` more bytes exist.
+    fn need(&self, n: usize) -> Result<(), StoreError> {
+        if self.remaining() < n {
+            Err(StoreError::Truncated {
+                section: self.section,
+                needed: n as u64,
+                available: self.remaining() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.need(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A `u32`, little-endian.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// A `u64`, little-endian.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// An `f64` from raw IEEE bits.
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// A `u64` length field validated to describe at most
+    /// `remaining / elem_bytes` elements — the pre-allocation guard: a
+    /// hostile count is rejected here, before any `Vec::with_capacity`.
+    pub fn get_count(&mut self, elem_bytes: usize) -> Result<usize, StoreError> {
+        let raw = self.get_u64()?;
+        let count = usize::try_from(raw).map_err(|_| self.invalid("count exceeds usize"))?;
+        let bytes = count
+            .checked_mul(elem_bytes)
+            .ok_or_else(|| self.invalid("count overflows"))?;
+        self.need(bytes)?;
+        Ok(count)
+    }
+
+    /// A `u64` word array of exactly `count` words (bulk copy; call
+    /// [`Reader::get_count`] first to validate the count).
+    pub fn get_words(&mut self, count: usize) -> Result<Vec<u64>, StoreError> {
+        let bytes = count
+            .checked_mul(8)
+            .ok_or_else(|| self.invalid("word count overflows"))?;
+        let raw = self.take(bytes)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let len = self.get_u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| self.invalid("label is not UTF-8"))
+    }
+
+    /// Build an [`StoreError::Invalid`] for this section.
+    pub fn invalid(&self, reason: impl Into<String>) -> StoreError {
+        StoreError::Invalid {
+            section: self.section,
+            reason: reason.into(),
+        }
+    }
+
+    /// Require the payload to be fully consumed — trailing junk would
+    /// make re-serialization non-canonical, so it is corruption.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(self.invalid(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Sub-word inputs hash exactly like standard FNV-1a 64.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        // Word-wide folding: sensitive to every bit and to truncation.
+        let base: Vec<u8> = (0u8..64).collect();
+        let h = fnv64(&base);
+        for i in [0usize, 7, 8, 31, 63] {
+            let mut flipped = base.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv64(&flipped), h, "flip at {i}");
+        }
+        assert_ne!(fnv64(&base[..63]), h);
+        assert_ne!(fnv64(&base[..56]), h);
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.0);
+        w.put_words(&[1, 2, 3]);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, Section::Header);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_words(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_lengths_fail_before_allocation() {
+        // A count field claiming u64::MAX elements must be rejected by
+        // comparing against the bytes present, not by allocating.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, Section::Dataset);
+        let err = r.get_count(8).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::Invalid { .. }
+            ),
+            "{err:?}"
+        );
+        // Same for string lengths.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, Section::Dataset);
+        assert!(matches!(
+            r.get_str().unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, Section::Preprocessed);
+        let _ = r.get_u32().unwrap();
+        assert!(matches!(
+            r.finish().unwrap_err(),
+            StoreError::Invalid { .. }
+        ));
+    }
+}

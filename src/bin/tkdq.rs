@@ -2,28 +2,41 @@
 //!
 //! ```text
 //! tkdq info <FILE>                         dataset statistics
-//! tkdq query <FILE> --k K [options]        TKD query
-//! tkdq update <FILE> --ops OPS --k K       apply updates, then query
+//! tkdq build <FILE> --out SNAP             persist indexes to a snapshot
+//! tkdq query <FILE>|--index SNAP --k K     TKD query
+//! tkdq update <FILE>|--index SNAP --ops OPS --k K
+//!                                          apply updates, then query
+//!                                          (--index rewrites the snapshot)
 //! tkdq skyline <FILE> [--band K]           skyline / k-skyband
 //! tkdq generate --n N --dims D [options]   synthetic dataset to stdout
 //!
 //! Common options:
 //!   --labeled              first column is an object label
+//! Build options:
+//!   --out SNAP             where to write the snapshot (required)
+//!   --bins X               IBIG bins per dimension           (default auto)
+//!   --compact-threshold F  tombstone fraction that triggers compaction
+//!                          (default 0.25; baked into the snapshot)
 //! Query options:
+//!   --index SNAP           serve from a snapshot instead of rebuilding
+//!                          (big/ibig only; bins are fixed at build time)
 //!   --algorithm A          naive | esb | ubb | big | ibig   (default big)
 //!   --bins X               IBIG bins per dimension           (default auto)
-//!   --subspace 0,2,5       query a dimension subset
+//!   --subspace 0,2,5       query a dimension subset (not with --index)
 //!   --threads T            worker threads for big/ibig       (default 1)
 //!   --stats                print pruning statistics
-//! Update options (plus --algorithm big|ibig, --bins, --threads, --stats):
+//! Update options (plus --algorithm big|ibig, --threads, --stats):
+//!   --index SNAP           load the engine from a snapshot, apply the
+//!                          ops, and rewrite the snapshot in place
 //!   --ops FILE             update script, one op per line:
 //!                            insert [LABEL] v1,v2,…   (`-` = missing)
 //!                            delete ID
 //!                            set ID DIM VALUE|-
 //!                          ids are stable: row i of FILE is id i, inserts
-//!                          continue counting from there
-//!   --compact-threshold F  tombstone fraction that triggers compaction
-//!                          (default 0.25)
+//!                          continue counting from there (snapshots
+//!                          remember their ids across processes)
+//!   --bins X               (file mode only — baked into snapshots)
+//!   --compact-threshold F  (file mode only — baked into snapshots)
 //! Generate options:
 //!   --dist D               ind | ac | co                     (default ind)
 //!   --missing R            missing rate in [0,1)             (default 0.1)
@@ -49,6 +62,7 @@ fn main() {
     };
     match cmd.as_str() {
         "info" => cmd_info(&args[1..]),
+        "build" => cmd_build(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "update" => cmd_update(&args[1..]),
         "skyline" => cmd_skyline(&args[1..]),
@@ -154,14 +168,127 @@ fn cmd_info(args: &[String]) {
     }
 }
 
+/// The `--bins` flag (`auto` or a fixed count).
+fn parse_bins(opts: &Opts) -> tkdi::core::BinChoice {
+    match opts.get("bins") {
+        None | Some("auto") => tkdi::core::BinChoice::Auto,
+        Some(x) => tkdi::core::BinChoice::Fixed(
+            x.parse()
+                .unwrap_or_else(|_| usage("--bins must be an integer or 'auto'")),
+        ),
+    }
+}
+
+/// The `--compact-threshold` flag folded into the default policy.
+fn parse_policy(opts: &Opts) -> CompactionPolicy {
+    let mut policy = CompactionPolicy::default();
+    if let Some(f) = opts.get("compact-threshold") {
+        policy.max_tombstone_fraction = match f.parse() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => usage("--compact-threshold must be a fraction in [0,1]"),
+        };
+    }
+    policy
+}
+
+/// The `--threads` flag (default 1).
+fn parse_threads(opts: &Opts) -> usize {
+    opts.get("threads")
+        .map(|t| match t.parse() {
+            Ok(v) if v >= 1 => v,
+            _ => usage("--threads must be a positive integer"),
+        })
+        .unwrap_or(1)
+}
+
+/// Load the snapshot named by `--index`, or die with a clean error.
+fn load_snapshot(path: &str) -> DynamicEngine {
+    tkdi::store::load_engine(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot load snapshot {path}: {e}");
+        exit(1);
+    })
+}
+
+/// Print a ranked engine result (stable-id labels) plus optional stats.
+fn print_engine_result(engine: &DynamicEngine, result: &TkdResult, stats: bool) {
+    for (rank, e) in result.iter().enumerate() {
+        let name = engine
+            .label(e.id)
+            .ok()
+            .flatten()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", e.id));
+        println!("{:>3}. {:<20} score {}", rank + 1, name, e.score);
+    }
+    if stats {
+        let st = result.stats;
+        eprintln!(
+            "pruned: H1={} H2={} H3={}  scored={}",
+            st.h1_pruned, st.h2_pruned, st.h3_pruned, st.scored
+        );
+    }
+}
+
+fn cmd_build(args: &[String]) {
+    let opts = parse_opts(args);
+    let out = opts
+        .get("out")
+        .unwrap_or_else(|| usage("build requires --out SNAP"))
+        .to_string();
+    let ds = opts.load();
+    let (n, dims) = (ds.len(), ds.dims());
+    let mut engine = DynamicEngine::with_options(
+        ds,
+        DynamicOptions {
+            bins: parse_bins(&opts),
+            policy: parse_policy(&opts),
+        },
+    );
+    let bytes = tkdi::store::save_engine(&out, &mut engine).unwrap_or_else(|e| {
+        eprintln!("error: cannot write snapshot: {e}");
+        exit(1);
+    });
+    println!("snapshot written: {out} ({bytes} bytes, {n} objects × {dims} dims)");
+}
+
 fn cmd_query(args: &[String]) {
     let opts = parse_opts(args);
-    let ds = opts.load();
     let k: usize = opts
         .get("k")
         .unwrap_or_else(|| usage("query requires --k"))
         .parse()
         .unwrap_or_else(|_| usage("--k must be an integer"));
+    if let Some(snap) = opts.get("index") {
+        // Snapshot-served path: the engine artifacts come off disk; the
+        // sequential/parallel scratch engines answer from them directly.
+        if opts.file.is_some() {
+            usage("--index replaces the dataset file; pass one or the other");
+        }
+        if opts.get("subspace").is_some() {
+            usage("--subspace projects the raw dataset; it is not available with --index");
+        }
+        if opts.get("bins").is_some() {
+            usage("--bins is fixed at build time; rebuild the snapshot to change it");
+        }
+        let algorithm = match opts.get("algorithm").unwrap_or("big") {
+            "big" => Algorithm::Big,
+            "ibig" => Algorithm::Ibig,
+            other => usage(&format!(
+                "snapshots serve big | ibig, not {other:?} (query the dataset file instead)"
+            )),
+        };
+        let mut engine = load_snapshot(snap);
+        let result = engine
+            .query_threads(
+                &EngineQuery::new(k).algorithm(algorithm),
+                parse_threads(&opts),
+            )
+            .expect("big/ibig checked above");
+        print_engine_result(&engine, &result, opts.has("stats"));
+        return;
+    }
+    let ds = opts.load();
     let algorithm = match opts.get("algorithm").unwrap_or("big") {
         "naive" => Algorithm::Naive,
         "esb" => Algorithm::Esb,
@@ -307,8 +434,6 @@ fn parse_ops(text: &str, dims: usize, labeled: bool) -> Vec<UpdateOp> {
 
 fn cmd_update(args: &[String]) {
     let opts = parse_opts(args);
-    let ds = opts.load();
-    let dims = ds.dims();
     let k: usize = opts
         .get("k")
         .unwrap_or_else(|| usage("update requires --k"))
@@ -321,27 +446,7 @@ fn cmd_update(args: &[String]) {
             "the dynamic engine serves big | ibig, not {other:?}"
         )),
     };
-    let threads: usize = opts
-        .get("threads")
-        .map(|t| match t.parse() {
-            Ok(v) if v >= 1 => v,
-            _ => usage("--threads must be a positive integer"),
-        })
-        .unwrap_or(1);
-    let bins = match opts.get("bins") {
-        None | Some("auto") => tkdi::core::BinChoice::Auto,
-        Some(x) => tkdi::core::BinChoice::Fixed(
-            x.parse()
-                .unwrap_or_else(|_| usage("--bins must be an integer or 'auto'")),
-        ),
-    };
-    let mut policy = CompactionPolicy::default();
-    if let Some(f) = opts.get("compact-threshold") {
-        policy.max_tombstone_fraction = match f.parse() {
-            Ok(v) if (0.0..=1.0).contains(&v) => v,
-            _ => usage("--compact-threshold must be a fraction in [0,1]"),
-        };
-    }
+    let threads = parse_threads(&opts);
     let ops_file = opts
         .get("ops")
         .unwrap_or_else(|| usage("update requires --ops FILE"));
@@ -349,9 +454,31 @@ fn cmd_update(args: &[String]) {
         eprintln!("error: cannot read {ops_file}: {e}");
         exit(1);
     });
-    let ops = parse_ops(&text, dims, opts.has("labeled"));
-
-    let mut engine = DynamicEngine::with_options(ds, DynamicOptions { bins, policy });
+    // Snapshot mode resumes the persisted engine (ids keep counting from
+    // the previous process) and rewrites the snapshot after the batch;
+    // file mode builds a fresh engine from the dataset.
+    let (mut engine, snap_path) = match opts.get("index") {
+        Some(snap) => {
+            if opts.file.is_some() {
+                usage("--index replaces the dataset file; pass one or the other");
+            }
+            if opts.get("bins").is_some() || opts.get("compact-threshold").is_some() {
+                usage("--bins/--compact-threshold are baked into the snapshot at build time");
+            }
+            (load_snapshot(snap), Some(snap.to_string()))
+        }
+        None => (
+            DynamicEngine::with_options(
+                opts.load(),
+                DynamicOptions {
+                    bins: parse_bins(&opts),
+                    policy: parse_policy(&opts),
+                },
+            ),
+            None,
+        ),
+    };
+    let ops = parse_ops(&text, engine.dims(), opts.has("labeled"));
     if let Err((i, e)) = engine.apply_all(&ops) {
         eprintln!("error: op {} failed: {e}", i + 1);
         exit(1);
@@ -367,26 +494,17 @@ fn cmd_update(args: &[String]) {
         engine.tombstones(),
         engine.epoch()
     );
+    if let Some(path) = snap_path {
+        let bytes = tkdi::store::save_engine(&path, &mut engine).unwrap_or_else(|e| {
+            eprintln!("error: cannot rewrite snapshot: {e}");
+            exit(1);
+        });
+        eprintln!("snapshot rewritten: {path} ({bytes} bytes)");
+    }
     let result = engine
         .query_threads(&EngineQuery::new(k).algorithm(algorithm), threads)
         .expect("big/ibig checked above");
-    for (rank, e) in result.iter().enumerate() {
-        let name = engine
-            .label(e.id)
-            .ok()
-            .flatten()
-            .filter(|l| !l.is_empty())
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("#{}", e.id));
-        println!("{:>3}. {:<20} score {}", rank + 1, name, e.score);
-    }
-    if opts.has("stats") {
-        let st = result.stats;
-        eprintln!(
-            "pruned: H1={} H2={} H3={}  scored={}",
-            st.h1_pruned, st.h2_pruned, st.h3_pruned, st.scored
-        );
-    }
+    print_engine_result(&engine, &result, opts.has("stats"));
 }
 
 fn cmd_skyline(args: &[String]) {
@@ -452,11 +570,14 @@ fn usage(err: &str) -> ! {
         "tkdq — top-k dominating queries on incomplete data\n\n\
          Usage:\n\
          \x20 tkdq info <FILE> [--labeled]\n\
-         \x20 tkdq query <FILE> --k K [--algorithm naive|esb|ubb|big|ibig]\n\
+         \x20 tkdq build <FILE> --out SNAP [--bins auto|X] [--compact-threshold F] [--labeled]\n\
+         \x20 tkdq query <FILE>|--index SNAP --k K [--algorithm naive|esb|ubb|big|ibig]\n\
          \x20      [--bins auto|X] [--subspace 0,2,5] [--threads T] [--labeled] [--stats]\n\
-         \x20 tkdq update <FILE> --ops OPS --k K [--algorithm big|ibig]\n\
+         \x20      (--index serves big|ibig from a snapshot; bins/subspace need the file)\n\
+         \x20 tkdq update <FILE>|--index SNAP --ops OPS --k K [--algorithm big|ibig]\n\
          \x20      [--bins auto|X] [--threads T] [--compact-threshold F] [--labeled] [--stats]\n\
-         \x20      (OPS lines: insert [LABEL] v1,v2,… | delete ID | set ID DIM VALUE|-)\n\
+         \x20      (OPS lines: insert [LABEL] v1,v2,… | delete ID | set ID DIM VALUE|-;\n\
+         \x20       --index loads the snapshot, applies OPS, and rewrites it in place)\n\
          \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
          \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
          \x20      [--missing R] [--cardinality C] [--seed S]"

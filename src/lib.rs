@@ -19,6 +19,8 @@
 //!   with incremental inserts/deletes over all indexes.
 //! * [`data`] — synthetic workloads (IND/AC/CO) and real-dataset simulators.
 //! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
+//! * [`store`] — versioned on-disk snapshots of the full query state
+//!   (`tkdq build` / `--index`), restored bit-identically.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use tkd_impute as impute;
 pub use tkd_index as index;
 pub use tkd_model as model;
 pub use tkd_skyline as skyline;
+pub use tkd_store as store;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
