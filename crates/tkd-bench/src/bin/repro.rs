@@ -8,18 +8,19 @@
 //!   --exp        comma-separated subset of:
 //!                table2,fig10,table3,fig11,fig12,fig13,table4,
 //!                fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline,
-//!                perf,updates,persist,compare
+//!                perf,updates,persist,serve,compare
 //!                (default: all paper artifacts; `perf`, `updates`,
-//!                `persist`, and `compare` run only when requested)
+//!                `persist`, `serve`, and `compare` run only when
+//!                requested)
 //!   --scale      quick (default) or paper (the paper's dataset sizes)
 //!   --seed       RNG seed (default 42)
 //!   --out        also write each table as CSV into DIR
 //!   --threads    with `--exp perf`: run the parallel-engine
 //!                thread-scaling grid over the given thread counts
 //!   --bench-out  where `--exp perf` / `--exp updates` / `--exp persist`
-//!                writes its JSON (default: BENCH_2.json, BENCH_3.json
-//!                with --threads, BENCH_4.json for updates, BENCH_5.json
-//!                for persist)
+//!                / `--exp serve` writes its JSON (default: BENCH_2.json,
+//!                BENCH_3.json with --threads, BENCH_4.json for updates,
+//!                BENCH_5.json for persist, BENCH_6.json for serve)
 //!   --baseline   with `--exp compare`: the committed tkd-perf/v1 file
 //!   --current    with `--exp compare`: the freshly measured snapshot
 //!   --tolerance  with `--exp compare`: allowed normalized-time ratio
@@ -28,13 +29,14 @@
 //! ```
 
 use std::collections::BTreeSet;
-use tkd_bench::{compare, experiments as exp, perf, persist, table::Table, updates, Scale};
+use tkd_bench::{compare, experiments as exp, perf, persist, serve, table::Table, updates, Scale};
 
 /// Every experiment name `--exp` accepts; the single source of truth for
 /// validation and the usage text.
-const KNOWN: [&str; 19] = [
+const KNOWN: [&str; 20] = [
     "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "persist", "compare",
+    "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "persist", "serve",
+    "compare",
 ];
 
 fn main() {
@@ -141,14 +143,14 @@ fn main() {
     }
     let want_compare = exps.as_ref().is_some_and(|set| set.contains("compare"));
     let wants = |name: &str| exps.as_ref().is_some_and(|set| set.contains(name));
-    let bench_writers = ["perf", "updates", "persist"]
+    let bench_writers = ["perf", "updates", "persist", "serve"]
         .iter()
         .filter(|e| wants(e))
         .count();
     if bench_out.is_some() && bench_writers > 1 {
         // Multiple experiments would write the same file, the later ones
         // silently clobbering the earlier.
-        usage("--bench-out is ambiguous across perf/updates/persist; run them separately");
+        usage("--bench-out is ambiguous across perf/updates/persist/serve; run them separately");
     }
     if (baseline.is_some() || current.is_some()) && !want_compare {
         usage("--baseline/--current require --exp compare");
@@ -254,6 +256,15 @@ fn main() {
         std::fs::write(bench_out, json).expect("write persist JSON");
         println!("(snapshot persistence benchmark written to {bench_out})");
     }
+    // The TCP-service load benchmark (BENCH_6.json) — opt-in; starts a
+    // real server on a loopback port and drives open-loop load.
+    if exps.as_ref().is_some_and(|set| set.contains("serve")) {
+        let (table, json) = serve::run(scale, seed);
+        let bench_out = bench_out.as_deref().unwrap_or("BENCH_6.json");
+        emit(vec![table]);
+        std::fs::write(bench_out, json).expect("write serve JSON");
+        println!("(serve load benchmark written to {bench_out})");
+    }
     // The perf regression gate — opt-in; a regression (or a vacuous
     // comparison) exits non-zero so CI fails.
     if want_compare {
@@ -317,6 +328,8 @@ fn usage(err: &str) -> ! {
          (writes BENCH_4.json)\n\
          --exp persist measures snapshot load vs rebuild \
          (writes BENCH_5.json)\n\
+         --exp serve drives open-loop load at a live TCP server \
+         (writes BENCH_6.json)\n\
          --exp compare gates normalized BIG/IBIG query times against a \
          committed tkd-perf/v1 baseline (exit 1 on regression)",
         KNOWN.join(",")

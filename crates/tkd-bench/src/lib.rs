@@ -18,6 +18,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod perf;
 pub mod persist;
+pub mod serve;
 pub mod table;
 pub mod updates;
 

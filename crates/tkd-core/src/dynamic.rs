@@ -705,6 +705,74 @@ impl DynamicEngine {
         })
     }
 
+    /// Answer a batch of concurrent queries against the live state —
+    /// the coalescing path of the network server: the borrowed
+    /// single-shard contexts are built **once** per batch (O(1) in the
+    /// dataset) and the batch fans out worker-per-query through
+    /// [`crate::ParallelEngine::query_many`]. Results come back in
+    /// batch order, each bit-identical (entries, scores, tie order) to
+    /// running [`DynamicEngine::query`] alone, and entry ids are
+    /// **stable ids**.
+    ///
+    /// # Errors
+    /// [`UpdateError::UnsupportedAlgorithm`] if any query names anything
+    /// but BIG/IBIG (the batch is rejected whole; the engine state is
+    /// untouched either way — queries never mutate).
+    pub fn query_many(
+        &mut self,
+        queries: &[EngineQuery],
+        threads: usize,
+    ) -> Result<Vec<TkdResult>, UpdateError> {
+        for q in queries {
+            if !matches!(q.algorithm, Algorithm::Big | Algorithm::Ibig) {
+                return Err(UpdateError::UnsupportedAlgorithm(q.algorithm));
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.refresh();
+        let engine = crate::ParallelEngine::from_prebuilt(
+            &self.ds,
+            &self.index,
+            &self.binned,
+            &self.pre,
+            threads,
+        );
+        // Run with the identity tie-break and map slot → stable ids
+        // first, applying the requested tie handling after the mapping —
+        // the exact order of operations of `query_threads`, so the two
+        // paths stay bit-identical.
+        let plain: Vec<EngineQuery> = queries
+            .iter()
+            .map(|q| EngineQuery {
+                k: q.k,
+                algorithm: q.algorithm,
+                tie: TieBreak::ById,
+            })
+            .collect();
+        let results = engine.query_many(&plain);
+        Ok(queries
+            .iter()
+            .zip(results)
+            .map(|(q, r)| {
+                let stats = r.stats;
+                let entries: Vec<ResultEntry> = r
+                    .into_iter()
+                    .map(|e| ResultEntry {
+                        id: self.stable_of[e.id as usize],
+                        score: e.score,
+                    })
+                    .collect();
+                let mapped = TkdResult::new_ordered(entries, stats);
+                match q.tie {
+                    TieBreak::ById => mapped,
+                    TieBreak::Random(seed) => shuffle_ties(mapped, seed),
+                }
+            })
+            .collect())
+    }
+
     // ----- persistence ----------------------------------------------------
 
     /// Export the engine's logical state for the snapshot writer. Takes

@@ -224,6 +224,37 @@ impl<'a> ParallelEngine<'a> {
         }
     }
 
+    /// Borrow a serving engine from prebuilt artifacts — the maintained
+    /// state of a [`crate::DynamicEngine`] — without recomputing
+    /// preprocessing or index construction. This is the coalescing hook
+    /// of the network server: between update batches it lets a batch of
+    /// small queries run through [`ParallelEngine::query_many`] against
+    /// the live dynamic store.
+    ///
+    /// The contexts are single-shard borrows (the same shape
+    /// [`crate::DynamicEngine::query_threads`] uses), so construction is
+    /// O(1) in the dataset size. Entry ids are **slot** ids; callers
+    /// serving a dynamic engine must map them through its stable-id
+    /// table. When the index carries tombstones, only
+    /// [`Algorithm::Big`] and [`Algorithm::Ibig`] see the live mask —
+    /// restrict queries to those two (the reference algorithms scan the
+    /// raw dataset, dead slots included).
+    pub fn from_prebuilt(
+        ds: &'a Dataset,
+        index: &'a tkd_index::BitmapIndex,
+        binned: &'a tkd_index::BinnedBitmapIndex,
+        pre: &'a Preprocessed,
+        threads: usize,
+    ) -> Self {
+        ParallelEngine {
+            ds,
+            threads: threads.max(1),
+            big: ShardedBigContext::from_prebuilt(ds, index, pre),
+            ibig: ShardedIbigContext::from_prebuilt_dense(ds, binned, pre),
+            pool: Pool::new(),
+        }
+    }
+
     /// The dataset this engine serves.
     pub fn dataset(&self) -> &'a Dataset {
         self.ds

@@ -1,0 +1,130 @@
+//! A typed, blocking client for the serve protocol.
+//!
+//! One [`Client`] owns one TCP connection and speaks strict
+//! request/response: every call writes one frame and reads exactly one
+//! frame back. Server-side rejections arrive as error frames and are
+//! surfaced as the [`ServeError`] they encode, so callers match on
+//! `Overloaded`/`Timeout`/`ShuttingDown` the same way whether the
+//! failure happened locally or across the wire.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    self, decode_response_body, encode_request, FramePolicy, QuerySpec, Request, Response,
+    ServerStats, UpdateAck, WireEntry, DEFAULT_MAX_FRAME,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use tkd_core::UpdateOp;
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    timeout: Duration,
+    max_frame: u64,
+}
+
+impl Client {
+    /// Connect with a 30-second per-frame timeout.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        Client::connect_with(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit per-frame timeout (applies to both the
+    /// request write and the response read).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the connection fails.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(ServeError::from)?;
+        stream.set_nodelay(true).map_err(ServeError::from)?;
+        Ok(Client {
+            stream,
+            timeout,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let frame = encode_request(req);
+        protocol::write_frame_bytes(&mut self.stream, &frame, self.timeout)?;
+        let policy = FramePolicy {
+            frame_timeout: self.timeout,
+            idle_timeout: Some(self.timeout),
+        };
+        let (kind, body) =
+            protocol::read_frame(&mut self.stream, self.max_frame, policy, &|| false)?;
+        let resp = decode_response_body(kind, &body)?;
+        if let Response::Error(e) = &resp {
+            return Err(e.to_error());
+        }
+        Ok(resp)
+    }
+
+    /// Answer one query. Entries are `(stable id, score)` in the
+    /// engine's deterministic order.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the server sent.
+    pub fn query(&mut self, spec: QuerySpec) -> Result<Vec<WireEntry>, ServeError> {
+        match self.call(&Request::Query(spec))? {
+            Response::QueryResult(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Answer an explicit batch in one round trip, results in batch
+    /// order. An empty batch is valid and returns an empty list.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the server sent.
+    pub fn query_batch(&mut self, specs: &[QuerySpec]) -> Result<Vec<Vec<WireEntry>>, ServeError> {
+        match self.call(&Request::QueryBatch(specs.to_vec()))? {
+            Response::BatchResult(results) => Ok(results),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Apply a batch of update ops through the server's single writer.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Rejected`] naming the failing
+    /// op (ops before it remain applied, as with `apply_all`).
+    pub fn update(&mut self, ops: &[UpdateOp]) -> Result<UpdateAck, ServeError> {
+        match self.call(&Request::UpdateOps(ops.to_vec()))? {
+            Response::UpdateAck(ack) => Ok(ack),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch server/engine statistics.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the server sent.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsResult(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to drain and stop. Returns once the ack arrives;
+    /// queued work submitted before this call is still answered.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the server sent.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::BadFrame {
+        reason: format!("response kind does not match the request: {resp:?}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! tkd-serve: a long-running TCP query service for the dynamic TKD
+//! engine.
+//!
+//! The paper's algorithms answer one query over one dataset; this crate
+//! turns the maintained [`tkd_core::DynamicEngine`] into a *service*:
+//! a server that loads a `tkd-store` snapshot, answers BIG/IBIG queries
+//! and update batches for many concurrent clients over a versioned,
+//! checksummed binary protocol, and persists every applied batch with
+//! an atomic snapshot rewrite.
+//!
+//! Three layers, mirroring the crate's test layers:
+//! * [`protocol`] — frame encode/decode plus socket framing. Canonical
+//!   (`encode(decode(b)) == b`), allocation-guarded, and every
+//!   single-byte corruption is a typed error (`frame_roundtrip` tests).
+//! * [`Server`] — listener + connection threads + a single engine
+//!   thread with query coalescing and admission control
+//!   (`fault_injection` and `serve_stress` tests).
+//! * [`Client`] — typed blocking caller (`serve_parity` pins every
+//!   over-the-wire answer bit-identical to the in-process engines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use protocol::{ErrorFrame, QuerySpec, Request, Response, ServerStats, UpdateAck, WireEntry};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,616 @@
+//! The server: a TCP listener, per-connection reader threads, and a
+//! single engine thread that owns the [`DynamicEngine`].
+//!
+//! # Threading model
+//!
+//! ```text
+//! listener thread ──accept──▶ connection threads (one per client)
+//!                                   │  decode → submit → await reply
+//!                                   ▼
+//!                        bounded queue + condvar
+//!                                   │
+//!                                   ▼
+//!                  engine thread (sole owner of the DynamicEngine)
+//!                    coalesce queries → query_many
+//!                    update batches   → apply + atomic snapshot rewrite
+//! ```
+//!
+//! Only the engine thread ever touches the engine, so updates are
+//! single-writer by construction and queries always observe a complete
+//! batch boundary. Consecutive single queries at the head of the queue
+//! are coalesced into one [`DynamicEngine::query_many`] pass (up to
+//! [`ServeConfig::batch_max`]), which amortizes the per-batch index
+//! refresh across waiting clients.
+//!
+//! # Admission control
+//!
+//! Three gates, each a typed rejection rather than backpressure-by-hang:
+//! * queue full at submit → [`ServeError::Overloaded`] with the depth,
+//! * waited past [`ServeConfig::request_timeout`] when dequeued →
+//!   [`ServeError::Timeout`] with the observed wait,
+//! * server draining → [`ServeError::ShuttingDown`].
+//!
+//! # Shutdown
+//!
+//! A `shutdown` frame (or [`Server::stop`]) flips the drain flag under
+//! the queue lock: no new work is admitted, everything already queued is
+//! answered, a final snapshot is rewritten atomically, and the engine is
+//! handed back to the caller so nothing in flight is ever silently
+//! dropped.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    self, decode_request_body, encode_response, ErrorFrame, FramePolicy, QuerySpec, Request,
+    Response, ServerStats, UpdateAck, WireEntry, DEFAULT_MAX_FRAME, ERR_BAD_REQUEST,
+    ERR_OVERLOADED, ERR_REJECTED, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
+};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tkd_core::{DynamicEngine, EngineQuery, TieBreak, UpdateOp};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per `query_many` pass.
+    pub threads: usize,
+    /// Queue-depth bound — submissions beyond this are rejected
+    /// `Overloaded` instead of queued.
+    pub max_queue: usize,
+    /// Most single queries coalesced into one engine pass.
+    pub batch_max: usize,
+    /// Queue-wait budget per request; exceeded = typed `Timeout`.
+    pub request_timeout: Duration,
+    /// Per-frame delivery budget on the socket (slow-loris guard) and
+    /// response write budget.
+    pub io_timeout: Duration,
+    /// Largest accepted frame body.
+    pub max_frame: u64,
+    /// If set, the snapshot is atomically rewritten here after every
+    /// applied update batch and once more at drain.
+    pub snapshot: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            max_queue: 128,
+            batch_max: 32,
+            request_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(5),
+            max_frame: DEFAULT_MAX_FRAME,
+            snapshot: None,
+        }
+    }
+}
+
+/// Work a connection thread hands the engine thread.
+enum Work {
+    Query(QuerySpec),
+    Batch(Vec<QuerySpec>),
+    Update(Vec<UpdateOp>),
+    Stats,
+    Shutdown,
+}
+
+struct Pending {
+    work: Work,
+    enqueued: Instant,
+    resp: mpsc::Sender<Response>,
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    notify: Condvar,
+    /// Tells connection threads and the listener to wind down. Set by
+    /// the engine thread once the drain completes (or by `stop`).
+    shutdown: AtomicBool,
+    overloaded: AtomicU64,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running serve instance. Dropping it without [`Server::stop`] /
+/// [`Server::join`] detaches the threads (they exit on the next poll
+/// after the process-exit teardown closes the listener).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_handle: Option<JoinHandle<()>>,
+    engine_handle: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine_rx: mpsc::Receiver<DynamicEngine>,
+}
+
+impl Server {
+    /// Bind `addr`, take ownership of `engine`, and start serving.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn start(
+        engine: DynamicEngine,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(ServeError::from)?;
+        listener.set_nonblocking(true).map_err(ServeError::from)?;
+        let addr = listener.local_addr().map_err(ServeError::from)?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                draining: false,
+            }),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            overloaded: AtomicU64::new(0),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (engine_tx, engine_rx) = mpsc::channel();
+
+        let engine_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || engine_loop(engine, shared, engine_tx))
+        };
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || listener_loop(listener, shared, conns))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            listener_handle: Some(listener_handle),
+            engine_handle: Some(engine_handle),
+            conns,
+            engine_rx,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drain and stop from the server side: stop admitting work, answer
+    /// everything queued, rewrite the final snapshot, and hand the
+    /// engine back.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] if the engine thread is already gone
+    /// without handing the engine over (it panicked).
+    pub fn stop(mut self) -> Result<DynamicEngine, ServeError> {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.draining = true;
+        }
+        self.shared.notify.notify_all();
+        self.reap()
+    }
+
+    /// Wait for a client-initiated `shutdown` frame to drain the server,
+    /// then hand the engine back.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] if the engine thread died without
+    /// completing the drain.
+    pub fn join(mut self) -> Result<DynamicEngine, ServeError> {
+        self.reap()
+    }
+
+    fn reap(&mut self) -> Result<DynamicEngine, ServeError> {
+        // The engine arrives when the drain finishes — from `stop`'s
+        // flag or a client shutdown frame. recv also returns (with Err)
+        // if the engine thread panicked, so this cannot hang.
+        let engine = self.engine_rx.recv().map_err(|_| ServeError::ShuttingDown);
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.engine_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.listener_handle.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn list lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        engine
+    }
+}
+
+/// Accept loop: nonblocking accepts with a short sleep so the shutdown
+/// flag is observed promptly.
+fn listener_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || connection_loop(stream, shared));
+                conns.lock().expect("conn list lock").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// One client connection: read frames, submit work, relay responses.
+/// Every failure path ends in a typed error frame (best effort) and a
+/// clean close — never a panic, and never a wedged server.
+fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let policy = FramePolicy {
+        frame_timeout: shared.config.io_timeout,
+        idle_timeout: None,
+    };
+    loop {
+        let stop = || shared.stopping();
+        let (kind, body) =
+            match protocol::read_frame(&mut stream, shared.config.max_frame, policy, &stop) {
+                Ok(frame) => frame,
+                Err(ServeError::Disconnected) | Err(ServeError::ShuttingDown) => return,
+                Err(e) => {
+                    // Malformed or stalled input. The stream may be
+                    // desynchronized, so answer once and close.
+                    respond(&mut stream, &shared, bad_request(&e));
+                    return;
+                }
+            };
+        let request = match decode_request_body(kind, body.as_slice()) {
+            Ok(r) => r,
+            Err(e) => {
+                // Frame boundaries were intact (exactly header+body was
+                // consumed), but the body is invalid. Reject and close:
+                // a peer that speaks the framing but not the schema is
+                // not going to get better.
+                respond(&mut stream, &shared, bad_request(&e));
+                return;
+            }
+        };
+        let work = match request {
+            Request::Query(q) => Work::Query(q),
+            Request::QueryBatch(qs) => Work::Batch(qs),
+            Request::UpdateOps(ops) => Work::Update(ops),
+            Request::Stats => Work::Stats,
+            Request::Shutdown => Work::Shutdown,
+        };
+        let reply = match submit(&shared, work) {
+            Ok(rx) => match rx.recv() {
+                Ok(resp) => resp,
+                // Engine thread gone mid-request (drain raced us or it
+                // panicked): the typed answer is ShuttingDown.
+                Err(_) => Response::Error(ErrorFrame {
+                    code: ERR_SHUTTING_DOWN,
+                    datum: 0,
+                    message: ServeError::ShuttingDown.to_string(),
+                }),
+            },
+            Err(resp) => resp,
+        };
+        if !respond(&mut stream, &shared, reply) {
+            return;
+        }
+    }
+}
+
+/// Admission control, under the queue lock. Returns the response
+/// channel on success, a typed rejection frame otherwise.
+fn submit(shared: &Shared, work: Work) -> Result<mpsc::Receiver<Response>, Response> {
+    let mut q = shared.queue.lock().expect("queue lock");
+    if q.draining || shared.stopping() {
+        return Err(Response::Error(ErrorFrame {
+            code: ERR_SHUTTING_DOWN,
+            datum: 0,
+            message: ServeError::ShuttingDown.to_string(),
+        }));
+    }
+    let depth = q.items.len() as u64;
+    if q.items.len() >= shared.config.max_queue {
+        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::Error(ErrorFrame {
+            code: ERR_OVERLOADED,
+            datum: depth,
+            message: ServeError::Overloaded { depth }.to_string(),
+        }));
+    }
+    let (tx, rx) = mpsc::channel();
+    q.items.push_back(Pending {
+        work,
+        enqueued: Instant::now(),
+        resp: tx,
+    });
+    drop(q);
+    shared.notify.notify_all();
+    Ok(rx)
+}
+
+fn bad_request(e: &ServeError) -> Response {
+    Response::Error(ErrorFrame {
+        code: ERR_BAD_REQUEST,
+        datum: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Write one response frame. Returns false if the connection should
+/// close (write failed — peer is gone or stalled).
+fn respond(stream: &mut TcpStream, shared: &Shared, resp: Response) -> bool {
+    let frame = encode_response(&resp);
+    protocol::write_frame_bytes(stream, &frame, shared.config.io_timeout).is_ok()
+}
+
+/// Counters the engine thread owns (it also answers `stats`, so no
+/// synchronization is needed beyond the shared `overloaded` atomic).
+#[derive(Default)]
+struct EngineCounters {
+    seq: u64,
+    served_queries: u64,
+    coalesced_batches: u64,
+    timeouts: u64,
+}
+
+/// The single-writer loop: sole owner of the engine from start to drain.
+fn engine_loop(mut engine: DynamicEngine, shared: Arc<Shared>, done: mpsc::Sender<DynamicEngine>) {
+    let mut counters = EngineCounters::default();
+    loop {
+        let (batch, drain_now) = next_batch(&shared);
+        if !batch.is_empty() {
+            serve_one(&mut engine, &shared, &mut counters, batch);
+        }
+        if drain_now {
+            break;
+        }
+    }
+    // Everything queued has been answered. Final snapshot, then hand
+    // the engine back.
+    if let Some(path) = &shared.config.snapshot {
+        let _ = tkd_store::save_engine(path, &mut engine);
+    }
+    shared.shutdown.store(true, Ordering::Release);
+    let _ = done.send(engine);
+}
+
+/// Block for work; pop either one non-query item or a coalesced run of
+/// consecutive single queries. Returns `(work, queue fully drained and
+/// draining flag set)`.
+fn next_batch(shared: &Shared) -> (Vec<Pending>, bool) {
+    let mut q = shared.queue.lock().expect("queue lock");
+    loop {
+        if let Some(first) = q.items.pop_front() {
+            let mut batch = vec![first];
+            if matches!(batch[0].work, Work::Query(_)) {
+                // Coalesce the run of single queries behind it.
+                while batch.len() < shared.config.batch_max.max(1) {
+                    match q.items.front() {
+                        Some(p) if matches!(p.work, Work::Query(_)) => {
+                            batch.push(q.items.pop_front().expect("front exists"));
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            let drained = q.draining && q.items.is_empty();
+            return (batch, drained);
+        }
+        if q.draining {
+            return (Vec::new(), true);
+        }
+        let (guard, _) = shared
+            .notify
+            .wait_timeout(q, Duration::from_millis(50))
+            .expect("queue lock");
+        q = guard;
+    }
+}
+
+fn serve_one(
+    engine: &mut DynamicEngine,
+    shared: &Shared,
+    counters: &mut EngineCounters,
+    batch: Vec<Pending>,
+) {
+    // Per-request queue-wait timeout, checked at dequeue (shutdown and
+    // stats are control traffic and exempt).
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let waited = p.enqueued.elapsed();
+        let expendable = matches!(p.work, Work::Query(_) | Work::Batch(_) | Work::Update(_));
+        if expendable && waited > shared.config.request_timeout {
+            counters.timeouts += 1;
+            let waited_ms = waited.as_millis() as u64;
+            let _ = p.resp.send(Response::Error(ErrorFrame {
+                code: ERR_TIMEOUT,
+                datum: waited_ms,
+                message: ServeError::Timeout { waited_ms }.to_string(),
+            }));
+            continue;
+        }
+        live.push(p);
+    }
+    if live.is_empty() {
+        return;
+    }
+    if live.len() > 1 {
+        // Only runs of single queries are ever batched together.
+        counters.coalesced_batches += 1;
+        let specs: Vec<QuerySpec> = live
+            .iter()
+            .map(|p| match &p.work {
+                Work::Query(q) => *q,
+                _ => unreachable!("coalesced batches contain only single queries"),
+            })
+            .collect();
+        let results = run_queries(engine, shared, &specs);
+        counters.served_queries += specs.len() as u64;
+        match results {
+            Ok(all) => {
+                for (p, entries) in live.into_iter().zip(all) {
+                    let _ = p.resp.send(Response::QueryResult(entries));
+                }
+            }
+            Err(resp) => {
+                for p in live {
+                    let _ = p.resp.send(resp.clone());
+                }
+            }
+        }
+        return;
+    }
+    let p = live.pop().expect("one pending");
+    let resp = match &p.work {
+        Work::Query(spec) => {
+            counters.served_queries += 1;
+            match run_queries(engine, shared, std::slice::from_ref(spec)) {
+                Ok(mut all) => Response::QueryResult(all.pop().expect("one result")),
+                Err(resp) => resp,
+            }
+        }
+        Work::Batch(specs) => {
+            counters.served_queries += specs.len() as u64;
+            match run_queries(engine, shared, specs) {
+                Ok(all) => Response::BatchResult(all),
+                Err(resp) => resp,
+            }
+        }
+        Work::Update(ops) => apply_updates(engine, shared, counters, ops),
+        Work::Stats => Response::StatsResult(gather_stats(engine, shared, counters)),
+        Work::Shutdown => {
+            // Flip the drain flag under the queue lock so no submission
+            // can slip in after the ack; everything already queued is
+            // still answered before the final snapshot.
+            let mut q = shared.queue.lock().expect("queue lock");
+            q.draining = true;
+            drop(q);
+            Response::ShutdownAck
+        }
+    };
+    let _ = p.resp.send(resp);
+}
+
+/// Answer a slice of wire queries through one `query_many` pass.
+fn run_queries(
+    engine: &mut DynamicEngine,
+    shared: &Shared,
+    specs: &[QuerySpec],
+) -> Result<Vec<Vec<WireEntry>>, Response> {
+    let queries: Vec<EngineQuery> = specs
+        .iter()
+        .map(|s| EngineQuery {
+            k: s.k.min(usize::MAX as u64) as usize,
+            algorithm: s.algorithm,
+            tie: TieBreak::ById,
+        })
+        .collect();
+    match engine.query_many(&queries, shared.config.threads.max(1)) {
+        Ok(results) => Ok(results
+            .into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .map(|e| WireEntry {
+                        id: u64::from(e.id),
+                        score: e.score as u64,
+                    })
+                    .collect()
+            })
+            .collect()),
+        Err(e) => Err(Response::Error(ErrorFrame {
+            code: ERR_REJECTED,
+            datum: 0,
+            message: e.to_string(),
+        })),
+    }
+}
+
+/// Apply one update batch op-by-op, then atomically rewrite the
+/// snapshot. A failing op stops the batch: the `Rejected` frame carries
+/// its index, and ops before it remain applied (the same front-to-back
+/// contract as [`DynamicEngine::apply_all`]). `seq` advances whenever at
+/// least one op applied, so a sequential replay of acked/partially
+/// applied batches in `seq` order reproduces the engine exactly.
+fn apply_updates(
+    engine: &mut DynamicEngine,
+    shared: &Shared,
+    counters: &mut EngineCounters,
+    ops: &[UpdateOp],
+) -> Response {
+    let mut inserted_ids = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match engine.apply(op) {
+            Ok(Some(id)) => inserted_ids.push(u64::from(id)),
+            Ok(None) => {}
+            Err(e) => {
+                if i > 0 {
+                    counters.seq += 1;
+                }
+                return Response::Error(ErrorFrame {
+                    code: ERR_REJECTED,
+                    datum: i as u64,
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+    if !ops.is_empty() {
+        counters.seq += 1;
+    }
+    if let Some(path) = &shared.config.snapshot {
+        if let Err(e) = tkd_store::save_engine(path, engine) {
+            // The ops ARE applied; the durability side failed. Surface
+            // that precisely rather than pretending either way.
+            return Response::Error(ErrorFrame {
+                code: ERR_REJECTED,
+                datum: ops.len() as u64,
+                message: format!("ops applied but snapshot rewrite failed: {e}"),
+            });
+        }
+    }
+    Response::UpdateAck(UpdateAck {
+        applied: ops.len() as u64,
+        seq: counters.seq,
+        epoch: engine.epoch(),
+        live: engine.len() as u64,
+        tombstones: engine.tombstones() as u64,
+        inserted_ids,
+    })
+}
+
+fn gather_stats(engine: &DynamicEngine, shared: &Shared, counters: &EngineCounters) -> ServerStats {
+    let es = engine.stats();
+    let depth = shared.queue.lock().expect("queue lock").items.len() as u64;
+    ServerStats {
+        live: engine.len() as u64,
+        tombstones: engine.tombstones() as u64,
+        epoch: engine.epoch(),
+        seq: counters.seq,
+        inserts: es.inserts as u64,
+        deletes: es.deletes as u64,
+        cell_updates: es.cell_updates as u64,
+        compactions: es.compactions as u64,
+        served_queries: counters.served_queries,
+        coalesced_batches: counters.coalesced_batches,
+        overloaded: shared.overloaded.load(Ordering::Relaxed),
+        timeouts: counters.timeouts,
+        queue_depth: depth,
+    }
+}

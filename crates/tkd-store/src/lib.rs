@@ -300,13 +300,24 @@ pub fn save_engine(
     path: impl AsRef<std::path::Path>,
     engine: &mut DynamicEngine,
 ) -> Result<u64, StoreError> {
+    atomic_rewrite(path, &encode_engine(engine))
+}
+
+/// Atomically and durably replace the file at `path` with `bytes` — the
+/// rewrite hook behind [`save_engine`], public so callers that already
+/// hold encoded snapshot bytes (the network server's single-writer
+/// update path, the stress harnesses) can rewrite without re-encoding.
+/// Returns the byte count written.
+///
+/// # Errors
+/// [`StoreError::Io`] with the path and OS message.
+pub fn atomic_rewrite(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> Result<u64, StoreError> {
     use std::io::Write as _;
     let path = path.as_ref();
     let io_err = |p: &std::path::Path, e: std::io::Error| StoreError::Io {
         path: p.display().to_string(),
         message: e.to_string(),
     };
-    let bytes = encode_engine(engine);
     let mut tmp = path.to_path_buf();
     let mut name = path
         .file_name()
@@ -316,7 +327,7 @@ pub fn save_engine(
     tmp.set_file_name(name);
     let write_synced = || -> std::io::Result<()> {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()
     };
     write_synced().map_err(|e| {

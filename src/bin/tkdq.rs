@@ -9,6 +9,7 @@
 //!                                          (--index rewrites the snapshot)
 //! tkdq skyline <FILE> [--band K]           skyline / k-skyband
 //! tkdq generate --n N --dims D [options]   synthetic dataset to stdout
+//! tkdq serve --index SNAP [options]        long-running TCP query service
 //!
 //! Common options:
 //!   --labeled              first column is an object label
@@ -42,6 +43,18 @@
 //!   --missing R            missing rate in [0,1)             (default 0.1)
 //!   --cardinality C        distinct values per dimension     (default 100)
 //!   --seed S               RNG seed                          (default 42)
+//! Serve options:
+//!   --index SNAP           snapshot to load and serve (required); applied
+//!                          update batches rewrite it atomically
+//!   --addr HOST:PORT       listen address               (default 127.0.0.1:7171)
+//!   --threads T            worker threads per coalesced batch (default 1)
+//!   --max-queue N          admission-control queue bound      (default 128)
+//!   --batch-max N          queries coalesced per engine pass  (default 32)
+//!   --request-timeout-ms M queue-wait budget per request    (default 10000)
+//!   --io-timeout-ms M      per-frame socket budget           (default 5000)
+//!   --no-rewrite           serve read-mostly: do not rewrite the snapshot
+//!                          on update (a final snapshot is still written
+//!                          next to the original at shutdown)
 //! ```
 //!
 //! Files are comma/whitespace separated, `-` for missing, `#` comments.
@@ -67,6 +80,7 @@ fn main() {
         "update" => cmd_update(&args[1..]),
         "skyline" => cmd_skyline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
@@ -78,7 +92,7 @@ struct Opts {
     flags: Vec<(String, Option<String>)>,
 }
 
-const BARE_FLAGS: [&str; 2] = ["--labeled", "--stats"];
+const BARE_FLAGS: [&str; 3] = ["--labeled", "--stats", "--no-rewrite"];
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut opts = Opts {
@@ -562,6 +576,78 @@ fn cmd_generate(args: &[String]) {
     print!("{}", io::to_text(&generate(&cfg)));
 }
 
+fn cmd_serve(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.file.is_some() {
+        usage("serve runs from a snapshot; build one first and pass --index SNAP");
+    }
+    let snap = opts
+        .get("index")
+        .unwrap_or_else(|| usage("serve requires --index SNAP"))
+        .to_string();
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7171").to_string();
+    let ms = |name: &str, default: u64| -> u64 {
+        opts.get(name)
+            .map(|v| match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage(&format!("--{name} must be a positive integer")),
+            })
+            .unwrap_or(default)
+    };
+    let count = |name: &str, default: usize| -> usize {
+        opts.get(name)
+            .map(|v| match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage(&format!("--{name} must be a positive integer")),
+            })
+            .unwrap_or(default)
+    };
+    let engine = load_snapshot(&snap);
+    let config = tkdi::serve::ServeConfig {
+        threads: parse_threads(&opts),
+        max_queue: count("max-queue", 128),
+        batch_max: count("batch-max", 32),
+        request_timeout: std::time::Duration::from_millis(ms("request-timeout-ms", 10_000)),
+        io_timeout: std::time::Duration::from_millis(ms("io-timeout-ms", 5_000)),
+        snapshot: if opts.has("no-rewrite") {
+            None
+        } else {
+            Some(snap.clone().into())
+        },
+        ..Default::default()
+    };
+    let server = tkdi::serve::Server::start(engine, addr.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server on {addr}: {e}");
+        exit(1);
+    });
+    println!(
+        "serving {snap} on {} (shutdown frame drains and stops)",
+        server.local_addr()
+    );
+    // Block until a client sends the shutdown frame, then persist the
+    // drained engine one last time.
+    match server.join() {
+        Ok(mut engine) => {
+            if opts.has("no-rewrite") {
+                let final_path = format!("{snap}.final");
+                match tkdi::store::save_engine(&final_path, &mut engine) {
+                    Ok(bytes) => println!("drained; final snapshot: {final_path} ({bytes} bytes)"),
+                    Err(e) => {
+                        eprintln!("error: drained but final snapshot failed: {e}");
+                        exit(1);
+                    }
+                }
+            } else {
+                println!("drained; snapshot rewritten: {snap}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: server did not drain cleanly: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -580,7 +666,9 @@ fn usage(err: &str) -> ! {
          \x20       --index loads the snapshot, applies OPS, and rewrites it in place)\n\
          \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
          \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
-         \x20      [--missing R] [--cardinality C] [--seed S]"
+         \x20      [--missing R] [--cardinality C] [--seed S]\n\
+         \x20 tkdq serve --index SNAP [--addr HOST:PORT] [--threads T] [--max-queue N]\n\
+         \x20      [--batch-max N] [--request-timeout-ms M] [--io-timeout-ms M] [--no-rewrite]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -21,6 +21,9 @@
 //! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
 //! * [`store`] — versioned on-disk snapshots of the full query state
 //!   (`tkdq build` / `--index`), restored bit-identically.
+//! * [`serve`] — long-running TCP query service (`tkdq serve`): versioned
+//!   binary protocol, query coalescing, admission control, and atomic
+//!   snapshot rewrites on update.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use tkd_data as data;
 pub use tkd_impute as impute;
 pub use tkd_index as index;
 pub use tkd_model as model;
+pub use tkd_serve as serve;
 pub use tkd_skyline as skyline;
 pub use tkd_store as store;
 

@@ -11,109 +11,12 @@
 //! to the from-scratch queue — the invariant the whole tie-order argument
 //! rests on.
 
+mod common;
+
+use common::{apply_to_mirror, random_op, row, Mirror, Mix};
 use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
 use tkdi::core::{maxscore, BinChoice, TkdQuery};
 use tkdi::prelude::*;
-
-/// Splitmix-style deterministic stream (same recipe as the other
-/// harnesses; no RNG dependency).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
-/// A random cell: mostly small integers (tie-heavy), some halves, some
-/// signed zeros, `None` with probability `missing_pct`.
-fn cell(rng: &mut Mix, missing_pct: u64) -> Option<f64> {
-    if rng.next() % 100 < missing_pct {
-        return None;
-    }
-    Some(match rng.next() % 10 {
-        0 => -0.0,
-        1 => 0.0,
-        m => (rng.next() % 7) as f64 + if m == 2 { 0.5 } else { 0.0 },
-    })
-}
-
-fn row(rng: &mut Mix, dims: usize, missing_pct: u64) -> Vec<Option<f64>> {
-    loop {
-        let r: Vec<Option<f64>> = (0..dims).map(|_| cell(rng, missing_pct)).collect();
-        if r.iter().any(Option::is_some) {
-            return r;
-        }
-    }
-}
-
-/// The harness's independent expectation: live rows in insertion order.
-struct Mirror {
-    rows: Vec<(ObjectId, Vec<Option<f64>>)>,
-}
-
-impl Mirror {
-    fn dataset(&self) -> Dataset {
-        let rows: Vec<Vec<Option<f64>>> = self.rows.iter().map(|(_, r)| r.clone()).collect();
-        Dataset::from_rows(self.rows.first().map_or(1, |(_, r)| r.len()), &rows)
-            .expect("mirror rows are valid")
-    }
-
-    fn ids(&self) -> Vec<ObjectId> {
-        self.rows.iter().map(|&(id, _)| id).collect()
-    }
-}
-
-/// One random op applied to both the engine and the mirror.
-fn random_op(rng: &mut Mix, mirror: &Mirror, dims: usize, missing_pct: u64) -> UpdateOp {
-    let die = rng.next() % 10;
-    if mirror.rows.is_empty() || die >= 5 {
-        return UpdateOp::Insert(row(rng, dims, missing_pct));
-    }
-    let (id, r) = &mirror.rows[rng.below(mirror.rows.len())];
-    if die < 2 {
-        return UpdateOp::Delete(*id);
-    }
-    // Cell update; avoid producing an all-missing row (the engine rejects
-    // it, and the harness only sends valid ops).
-    let dim = rng.below(dims);
-    let nv = cell(rng, missing_pct);
-    let observed_elsewhere = r.iter().enumerate().any(|(d, v)| d != dim && v.is_some());
-    if nv.is_none() && !observed_elsewhere {
-        return UpdateOp::Insert(row(rng, dims, missing_pct));
-    }
-    UpdateOp::Set(*id, dim, nv)
-}
-
-fn apply_to_mirror(mirror: &mut Mirror, op: &UpdateOp, next_id: &mut ObjectId) {
-    match op {
-        UpdateOp::Insert(r) => {
-            mirror.rows.push((*next_id, r.clone()));
-            *next_id += 1;
-        }
-        UpdateOp::InsertLabeled(_, r) => {
-            mirror.rows.push((*next_id, r.clone()));
-            *next_id += 1;
-        }
-        UpdateOp::Delete(id) => mirror.rows.retain(|(i, _)| i != id),
-        UpdateOp::Set(id, dim, v) => {
-            let (_, r) = mirror
-                .rows
-                .iter_mut()
-                .find(|(i, _)| i == id)
-                .expect("harness only updates live ids");
-            r[*dim] = *v;
-        }
-    }
-}
 
 /// The parity cell: engine state vs rebuild-from-scratch oracles across
 /// both algorithms × both thread counts × an edge-heavy k set.
@@ -170,13 +73,7 @@ fn run_sequence(seed: u64, missing_pct: u64, policy: CompactionPolicy) {
         (0..12).map(|_| row(&mut rng, dims, missing_pct)).collect();
     let ds = Dataset::from_rows(dims, &initial).unwrap();
     let mut next_id = ds.len() as ObjectId;
-    let mut mirror = Mirror {
-        rows: initial
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as ObjectId, r.clone()))
-            .collect(),
-    };
+    let mut mirror = Mirror::seeded(&initial);
     let mut engine = DynamicEngine::with_options(
         ds,
         DynamicOptions {
@@ -247,13 +144,7 @@ fn auto_bins_cell() {
             (0..10).map(|_| row(&mut rng, dims, missing)).collect();
         let ds = Dataset::from_rows(dims, &initial).unwrap();
         let mut next_id = ds.len() as ObjectId;
-        let mut mirror = Mirror {
-            rows: initial
-                .iter()
-                .enumerate()
-                .map(|(i, r)| (i as ObjectId, r.clone()))
-                .collect(),
-        };
+        let mut mirror = Mirror::seeded(&initial);
         let mut engine = DynamicEngine::new(ds);
         for _ in 0..25 {
             let op = random_op(&mut rng, &mirror, dims, missing);

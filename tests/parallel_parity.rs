@@ -9,41 +9,13 @@
 //! `#[cfg(test)]` oracles by the proptests inside `tkd-core`), and the
 //! serving engine must agree query-by-query under batching.
 
+mod common;
+
+use common::synth;
 use tkdi::core::{
     big, ibig, parallel_big, parallel_ibig, Algorithm, EngineQuery, ParallelEngine,
     ShardedBigContext, ShardedIbigContext,
 };
-use tkdi::model::Dataset;
-
-/// Deterministic incomplete dataset (splitmix-style hash; no RNG
-/// dependency needed in tests).
-fn synth(seed: u64, n: usize, d: usize, card: u64, missing_pct: u64) -> Dataset {
-    let mut h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-    let mut next = move || {
-        h ^= h >> 30;
-        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
-        h ^= h >> 27;
-        h = h.wrapping_mul(0x94D049BB133111EB);
-        h ^= h >> 31;
-        h
-    };
-    let mut rows = Vec::with_capacity(n);
-    'outer: while rows.len() < n {
-        let mut row = Vec::with_capacity(d);
-        for _ in 0..d {
-            if next() % 100 < missing_pct {
-                row.push(None);
-            } else {
-                row.push(Some((next() % card) as f64));
-            }
-        }
-        if row.iter().all(Option::is_none) {
-            continue 'outer;
-        }
-        rows.push(row);
-    }
-    Dataset::from_rows(d, &rows).unwrap()
-}
 
 const SHARDS: [usize; 4] = [1, 2, 3, 7];
 const THREADS: [usize; 3] = [1, 2, 4];

@@ -8,54 +8,14 @@
 //! *mutating* correctly: a load → mutate → compact sequence stays
 //! pinned to the rebuild oracle of `tests/dynamic_parity.rs`.
 
+mod common;
+
+use common::{cell, random_dataset, row, Mix};
 use proptest::prelude::*;
 use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
 use tkdi::core::{BinChoice, TkdQuery};
 use tkdi::prelude::*;
 use tkdi::store;
-
-/// Splitmix-style deterministic stream (the harness convention).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
-/// Tie-heavy random cell: small integers, halves, signed zeros.
-fn cell(rng: &mut Mix, missing_pct: u64) -> Option<f64> {
-    if rng.next() % 100 < missing_pct {
-        return None;
-    }
-    Some(match rng.next() % 10 {
-        0 => -0.0,
-        1 => 0.0,
-        m => (rng.next() % 7) as f64 + if m == 2 { 0.5 } else { 0.0 },
-    })
-}
-
-fn row(rng: &mut Mix, dims: usize, missing_pct: u64) -> Vec<Option<f64>> {
-    loop {
-        let r: Vec<Option<f64>> = (0..dims).map(|_| cell(rng, missing_pct)).collect();
-        if r.iter().any(Option::is_some) {
-            return r;
-        }
-    }
-}
-
-fn random_dataset(rng: &mut Mix, n: usize, dims: usize, missing_pct: u64) -> Dataset {
-    let rows: Vec<Vec<Option<f64>>> = (0..n).map(|_| row(rng, dims, missing_pct)).collect();
-    Dataset::from_rows(dims, &rows).expect("rows are valid")
-}
 
 /// Entries of a dynamic-engine query as comparable pairs.
 fn entries(engine: &mut DynamicEngine, k: usize, alg: Algorithm) -> Vec<(ObjectId, usize)> {

@@ -1,0 +1,249 @@
+//! The wire-parity gate: every answer the TCP service produces must be
+//! **bit-identical** — entries, scores, tie order — to the in-process
+//! engines it wraps.
+//!
+//! Three layers of pinning, in increasing depth:
+//! * static: wire queries against a freshly loaded snapshot vs a
+//!   [`ParallelEngine`] built over the same dataset, across missing
+//!   rates × {BIG, IBIG} × an edge-heavy k grid;
+//! * batched: explicit `query_batch` frames vs per-query answers and vs
+//!   `ParallelEngine::query_many` (the coalescing path the server uses);
+//! * dynamic: interleaved wire update batches vs a local twin engine
+//!   *and* the PR-4 rebuild oracle (a from-scratch [`TkdQuery`] over the
+//!   mirror's live rows) — the same discipline as
+//!   `tests/dynamic_parity.rs`, now crossing a socket.
+//!
+//! The serve-path edge matrix rides along: empty `query_batch` frames
+//! and `k = 0` queries must produce well-formed empty responses over the
+//! wire, extending the `edge_matrix` coverage to the network layer.
+
+mod common;
+
+use common::{apply_to_mirror, random_dataset, random_op, Mirror, Mix};
+use std::time::Duration;
+use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkdi::core::{BinChoice, TkdQuery};
+use tkdi::prelude::*;
+use tkdi::serve::{Client, QuerySpec, ServeConfig, Server};
+
+const BINS: usize = 3;
+
+fn engine_over(ds: Dataset) -> DynamicEngine {
+    DynamicEngine::with_options(
+        ds,
+        DynamicOptions {
+            bins: BinChoice::Fixed(BINS),
+            policy: CompactionPolicy::default(),
+        },
+    )
+}
+
+fn start(ds: Dataset) -> (Server, Client) {
+    let server = Server::start(engine_over(ds), "127.0.0.1:0", ServeConfig::default())
+        .expect("server binds");
+    let client = Client::connect_with(server.local_addr(), Duration::from_secs(30))
+        .expect("client connects");
+    (server, client)
+}
+
+fn wire_spec(k: usize, alg: Algorithm) -> QuerySpec {
+    QuerySpec::new(k).algorithm(alg)
+}
+
+/// Wire entries as comparable pairs.
+fn over_wire(client: &mut Client, k: usize, alg: Algorithm) -> Vec<(u32, usize)> {
+    client
+        .query(wire_spec(k, alg))
+        .expect("query answers")
+        .iter()
+        .map(|e| (e.id as u32, e.score as usize))
+        .collect()
+}
+
+/// In-process entries from a dynamic twin engine.
+fn in_process(engine: &mut DynamicEngine, k: usize, alg: Algorithm) -> Vec<(u32, usize)> {
+    engine
+        .query(&EngineQuery::new(k).algorithm(alg))
+        .expect("BIG/IBIG supported")
+        .iter()
+        .map(|e| (e.id, e.score))
+        .collect()
+}
+
+/// Static wire parity: the served snapshot answers exactly like a
+/// ParallelEngine built over the same dataset, for every grid cell.
+#[test]
+fn static_queries_match_parallel_engine() {
+    for missing_pct in [10u64, 30, 60] {
+        let mut rng = Mix(900 + missing_pct);
+        let ds = random_dataset(&mut rng, 50, 3, missing_pct);
+        let n = ds.len();
+        let reference = ParallelEngine::builder(&ds)
+            .threads(2)
+            .shards(1)
+            .bins(vec![BINS; ds.dims()])
+            .build();
+        let (server, mut client) = start(ds.clone());
+        for alg in [Algorithm::Big, Algorithm::Ibig] {
+            for k in [0usize, 1, 2, n - 1, n, n + 3] {
+                let want: Vec<(u32, usize)> = reference
+                    .query(&EngineQuery::new(k).algorithm(alg))
+                    .iter()
+                    .map(|e| (e.id, e.score))
+                    .collect();
+                assert_eq!(
+                    over_wire(&mut client, k, alg),
+                    want,
+                    "missing={missing_pct} {alg:?} k={k}"
+                );
+            }
+        }
+        server.stop().expect("clean stop");
+    }
+}
+
+/// Batched wire parity: one `query_batch` frame answers exactly like
+/// the same queries sent individually, and like `query_many` in-process.
+#[test]
+fn query_batch_matches_individual_queries() {
+    let mut rng = Mix(17);
+    let ds = random_dataset(&mut rng, 60, 4, 30);
+    let reference = ParallelEngine::builder(&ds)
+        .threads(2)
+        .shards(1)
+        .bins(vec![BINS; ds.dims()])
+        .build();
+    let (server, mut client) = start(ds.clone());
+    let specs: Vec<QuerySpec> = (0..12)
+        .map(|i| {
+            wire_spec(
+                (i * 5) % 17,
+                if i % 2 == 0 {
+                    Algorithm::Big
+                } else {
+                    Algorithm::Ibig
+                },
+            )
+        })
+        .collect();
+    let batched = client.query_batch(&specs).expect("batch answers");
+    assert_eq!(batched.len(), specs.len());
+    let queries: Vec<EngineQuery> = specs
+        .iter()
+        .map(|s| EngineQuery::new(s.k as usize).algorithm(s.algorithm))
+        .collect();
+    let many = reference.query_many(&queries);
+    for (i, spec) in specs.iter().enumerate() {
+        let single = client.query(*spec).expect("single query");
+        assert_eq!(batched[i], single, "batch[{i}] vs single");
+        let want: Vec<(u64, u64)> = many[i]
+            .iter()
+            .map(|e| (u64::from(e.id), e.score as u64))
+            .collect();
+        let got: Vec<(u64, u64)> = batched[i].iter().map(|e| (e.id, e.score)).collect();
+        assert_eq!(got, want, "batch[{i}] vs query_many");
+    }
+    server.stop().expect("clean stop");
+}
+
+/// Dynamic wire parity: interleave randomized update batches with
+/// queries; the served answers stay pinned to a local twin engine fed
+/// the identical ops AND to the rebuild-from-scratch oracle over the
+/// mirror — across the full missing-rate grid.
+#[test]
+fn interleaved_updates_match_twin_and_rebuild_oracle() {
+    for missing_pct in [10u64, 30, 60] {
+        let dims = 3;
+        let mut rng = Mix(3000 + missing_pct);
+        let initial: Vec<Vec<Option<f64>>> = (0..15)
+            .map(|_| common::row(&mut rng, dims, missing_pct))
+            .collect();
+        let ds = Dataset::from_rows(dims, &initial).expect("valid rows");
+        let mut next_id = ds.len() as ObjectId;
+        let mut mirror = Mirror::seeded(&initial);
+        let mut twin = engine_over(ds.clone());
+        let (server, mut client) = start(ds);
+        for batch in 0..6 {
+            let ops: Vec<UpdateOp> = (0..5)
+                .map(|_| {
+                    let op = random_op(&mut rng, &mirror, dims, missing_pct);
+                    apply_to_mirror(&mut mirror, &op, &mut next_id);
+                    op
+                })
+                .collect();
+            let ack = client.update(&ops).expect("update batch applies");
+            assert_eq!(ack.applied, ops.len() as u64);
+            assert_eq!(ack.seq, batch + 1, "seq is the batch ordinal");
+            twin.apply_all(&ops).expect("twin applies the same ops");
+            assert_eq!(ack.live, twin.len() as u64, "live count parity");
+            // One inserted id per insert op, matching the mirror's
+            // monotone allocation (ids next_id - inserts .. next_id).
+            let inserts = ops
+                .iter()
+                .filter(|op| matches!(op, UpdateOp::Insert(_) | UpdateOp::InsertLabeled(_, _)))
+                .count();
+            let want_ids: Vec<u64> =
+                (u64::from(next_id) - inserts as u64..u64::from(next_id)).collect();
+            assert_eq!(ack.inserted_ids, want_ids, "inserted ids");
+            let n = mirror.rows.len();
+            let ids = mirror.ids();
+            let snap = (n > 0).then(|| mirror.dataset());
+            for alg in [Algorithm::Big, Algorithm::Ibig] {
+                for k in [0usize, 1, n.saturating_sub(1), n, n + 2] {
+                    let got = over_wire(&mut client, k, alg);
+                    // Pin 1: the local twin engine fed identical ops.
+                    assert_eq!(
+                        got,
+                        in_process(&mut twin, k, alg),
+                        "twin missing={missing_pct} batch={batch} {alg:?} k={k}"
+                    );
+                    // Pin 2: the rebuild-from-scratch oracle (PR-4
+                    // discipline) over the mirror's live rows.
+                    let oracle: Vec<(u32, usize)> = match &snap {
+                        None => Vec::new(),
+                        Some(ds) => TkdQuery::new(k)
+                            .algorithm(alg)
+                            .run(ds)
+                            .iter()
+                            .map(|e| (ids[e.id as usize], e.score))
+                            .collect(),
+                    };
+                    assert_eq!(
+                        got, oracle,
+                        "oracle missing={missing_pct} batch={batch} {alg:?} k={k}"
+                    );
+                }
+            }
+        }
+        server.stop().expect("clean stop");
+    }
+}
+
+/// Serve-path edge matrix: k = 0, empty batches, and k ≫ n must come
+/// back as well-formed (empty or saturated) responses over the wire.
+#[test]
+fn edge_cases_over_the_wire() {
+    let mut rng = Mix(55);
+    let ds = random_dataset(&mut rng, 20, 3, 30);
+    let n = ds.len();
+    let (server, mut client) = start(ds);
+    // k = 0: a well-formed empty result, not an error.
+    for alg in [Algorithm::Big, Algorithm::Ibig] {
+        assert_eq!(over_wire(&mut client, 0, alg), Vec::new(), "{alg:?} k=0");
+    }
+    // Empty query_batch: a well-formed empty batch response.
+    assert_eq!(
+        client.query_batch(&[]).expect("empty batch answers"),
+        Vec::<Vec<tkdi::serve::WireEntry>>::new()
+    );
+    // Batch of only k=0 queries: the right shape, every member empty.
+    let zeros = vec![wire_spec(0, Algorithm::Big); 3];
+    let got = client.query_batch(&zeros).expect("k=0 batch answers");
+    assert_eq!(got, vec![Vec::new(); 3]);
+    // k ≫ n saturates at n entries.
+    assert_eq!(over_wire(&mut client, n + 100, Algorithm::Big).len(), n);
+    // Empty update batch: acked with nothing applied and no seq advance.
+    let ack = client.update(&[]).expect("empty update acked");
+    assert_eq!((ack.applied, ack.seq), (0, 0));
+    server.stop().expect("clean stop");
+}

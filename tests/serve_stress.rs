@@ -1,0 +1,208 @@
+//! Contended-load stress for the TCP service: many client threads mix
+//! queries and update batches against one server, and the harness then
+//! proves three things the fault tests cannot:
+//!
+//! * **No lost or duplicated responses** — every update batch is acked
+//!   exactly once, and the ack `seq` numbers form exactly the set
+//!   `1..=batches` (the single-writer path serialized every batch).
+//! * **Monotone engine epoch** — compaction epochs never move backwards
+//!   in `seq` order, under a policy aggressive enough to compact many
+//!   times mid-run.
+//! * **Replay determinism** — the engine handed back at drain is
+//!   **bit-identical** (snapshot bytes) to a fresh engine that replays
+//!   the acked op log sequentially in `seq` order, and to the snapshot
+//!   file the server rewrote on disk. Concurrency must be an
+//!   implementation detail invisible in the final state.
+//!
+//! Writer threads only delete/update ids they themselves inserted (from
+//! their acks), so every op is valid regardless of interleaving — the
+//! same "harness only sends valid ops" discipline as
+//! `tests/dynamic_parity.rs`.
+
+mod common;
+
+use common::{random_dataset, row, Mix};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkdi::core::BinChoice;
+use tkdi::prelude::*;
+use tkdi::serve::{Client, QuerySpec, ServeConfig, Server};
+use tkdi::store;
+
+const DIMS: usize = 3;
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+const ROUNDS: usize = 8;
+
+fn options() -> DynamicOptions {
+    DynamicOptions {
+        bins: BinChoice::Fixed(3),
+        // Compact eagerly so epochs actually advance under contention.
+        policy: CompactionPolicy {
+            max_tombstone_fraction: 0.1,
+            min_dead: 2,
+        },
+    }
+}
+
+#[test]
+fn contended_updates_replay_to_identical_snapshot() {
+    let mut rng = Mix(4242);
+    let ds = random_dataset(&mut rng, 30, DIMS, 30);
+    let snap_path = std::env::temp_dir().join(format!(
+        "tkd_serve_stress_{}_{:x}.snap",
+        std::process::id(),
+        rng.next()
+    ));
+    let server = Server::start(
+        DynamicEngine::with_options(ds.clone(), options()),
+        "127.0.0.1:0",
+        ServeConfig {
+            snapshot: Some(snap_path.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    // The shared op log: (seq, ops, epoch) per acked batch, from every
+    // writer. Replay sorts by seq.
+    type AckedBatch = (u64, Vec<UpdateOp>, u64);
+    let log: Arc<Mutex<Vec<AckedBatch>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut rng = Mix(0xBEEF + w as u64);
+                let mut client =
+                    Client::connect_with(addr, Duration::from_secs(30)).expect("writer connects");
+                // Ids this writer inserted and still owns (may delete or
+                // update them; never touches anyone else's).
+                let mut owned: Vec<u32> = Vec::new();
+                for _ in 0..ROUNDS {
+                    let mut ops = Vec::new();
+                    let mut inserts = 0usize;
+                    for _ in 0..4 {
+                        let die = rng.next() % 10;
+                        if owned.is_empty() || die >= 6 {
+                            ops.push(UpdateOp::Insert(row(&mut rng, DIMS, 30)));
+                            inserts += 1;
+                        } else if die >= 3 {
+                            let i = rng.below(owned.len());
+                            let id = owned.swap_remove(i);
+                            ops.push(UpdateOp::Delete(id));
+                        } else {
+                            let id = owned[rng.below(owned.len())];
+                            // Observed value: never risks an all-missing row.
+                            ops.push(UpdateOp::Set(
+                                id,
+                                rng.below(DIMS),
+                                Some((rng.next() % 7) as f64),
+                            ));
+                        }
+                    }
+                    let ack = client.update(&ops).expect("batch acked exactly once");
+                    assert_eq!(ack.applied, ops.len() as u64, "whole batch applied");
+                    assert_eq!(ack.inserted_ids.len(), inserts, "one id per insert");
+                    owned.extend(ack.inserted_ids.iter().map(|&id| id as u32));
+                    log.lock()
+                        .expect("log lock")
+                        .push((ack.seq, ops, ack.epoch));
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with(addr, Duration::from_secs(30)).expect("reader connects");
+                let mut last_seq = 0u64;
+                let mut last_epoch = 0u64;
+                for i in 0..ROUNDS * 3 {
+                    // Interleave queries and stats; answers must always
+                    // be well-formed, and the server's own counters must
+                    // move monotonically as seen from one connection.
+                    let k = 1 + (i + r) % 9;
+                    let entries = client
+                        .query(QuerySpec::new(k).algorithm(if i % 2 == 0 {
+                            Algorithm::Big
+                        } else {
+                            Algorithm::Ibig
+                        }))
+                        .expect("query answers");
+                    assert!(entries.len() <= k, "never more than k entries");
+                    assert!(
+                        entries.windows(2).all(|w| w[0].score >= w[1].score),
+                        "scores descend"
+                    );
+                    let stats = client.stats().expect("stats answer");
+                    assert!(stats.seq >= last_seq, "seq monotone per observer");
+                    assert!(stats.epoch >= last_epoch, "epoch monotone per observer");
+                    last_seq = stats.seq;
+                    last_epoch = stats.epoch;
+                }
+            })
+        })
+        .collect();
+
+    for h in writers {
+        h.join().expect("writer thread");
+    }
+    for h in readers {
+        h.join().expect("reader thread");
+    }
+
+    // Drain the server and take the engine back.
+    let mut served = server.stop().expect("clean drain");
+
+    // --- No lost/duplicated responses ---------------------------------
+    let mut batches = Arc::try_unwrap(log)
+        .map_err(|_| "log still shared")
+        .unwrap()
+        .into_inner()
+        .expect("log lock");
+    let total = WRITERS * ROUNDS;
+    assert_eq!(batches.len(), total, "every batch acked exactly once");
+    batches.sort_by_key(|&(seq, _, _)| seq);
+    let seqs: Vec<u64> = batches.iter().map(|&(seq, _, _)| seq).collect();
+    assert_eq!(
+        seqs,
+        (1..=total as u64).collect::<Vec<_>>(),
+        "ack seqs are exactly 1..=batches: none lost, none duplicated"
+    );
+
+    // --- Monotone engine epoch ----------------------------------------
+    let epochs: Vec<u64> = batches.iter().map(|&(_, _, e)| e).collect();
+    assert!(
+        epochs.windows(2).all(|w| w[0] <= w[1]),
+        "epoch never moves backwards in seq order"
+    );
+    assert!(
+        *epochs.last().expect("batches nonempty") > 0,
+        "the aggressive policy must actually compact during the run"
+    );
+
+    // --- Replay determinism -------------------------------------------
+    // A fresh engine replaying the acked op log sequentially must land
+    // on the exact same snapshot bytes as the contended server did.
+    let mut replay = DynamicEngine::with_options(ds, options());
+    for (seq, ops, _) in &batches {
+        replay
+            .apply_all(ops)
+            .unwrap_or_else(|(i, e)| panic!("replay of batch seq={seq} failed at op {i}: {e}"));
+    }
+    let served_bytes = store::encode_engine(&mut served);
+    let replay_bytes = store::encode_engine(&mut replay);
+    assert_eq!(
+        served_bytes, replay_bytes,
+        "served engine is bit-identical to the sequential replay"
+    );
+    // And the snapshot the server left on disk is that same state.
+    let disk = std::fs::read(&snap_path).expect("snapshot file exists");
+    assert_eq!(disk, served_bytes, "on-disk snapshot matches");
+    let _ = std::fs::remove_file(&snap_path);
+}
