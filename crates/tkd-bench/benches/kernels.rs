@@ -3,11 +3,48 @@
 //! in isolation from the query drivers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tkd_bitvec::{BitVec, CompressedBitmap, Concise};
+use tkd_bitvec::{kernels, BitVec, CompressedBitmap, Concise};
 use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
 use tkd_index::BitmapIndex;
 
 const N: usize = 50_000;
+
+/// Wide-lane dispatched kernels vs the naive scalar reference loops, on
+/// word arrays sized like a 50K-object column. The dispatch tier is in
+/// the group name so saved baselines are attributable to the lanes that
+/// produced them.
+fn bench_wide_lanes(c: &mut Criterion) {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let words = N.div_ceil(64);
+    let a: Vec<u64> = (0..words).map(|_| next()).collect();
+    let b: Vec<u64> = (0..words).map(|_| next()).collect();
+    let d: Vec<u64> = (0..words).map(|_| next()).collect();
+
+    let mut g = c.benchmark_group(format!("kernels/wide_lanes[{}]", kernels::dispatch_name()));
+    g.bench_function("scalar_popcount", |bch| {
+        bch.iter(|| kernels::scalar::popcount(&a))
+    });
+    g.bench_function("wide_popcount", |bch| bch.iter(|| kernels::popcount(&a)));
+    g.bench_function("scalar_and_not_count", |bch| {
+        bch.iter(|| kernels::scalar::and_not_count(&a, &b))
+    });
+    g.bench_function("wide_and_not_count", |bch| {
+        bch.iter(|| kernels::and_not_count(&a, &b))
+    });
+    g.bench_function("scalar_count_and_andnot", |bch| {
+        bch.iter(|| kernels::scalar::count_and_andnot(&a, &b, &d))
+    });
+    g.bench_function("wide_count_and_andnot", |bch| {
+        bch.iter(|| kernels::count_and_andnot(&a, &b, &d))
+    });
+    g.finish();
+}
 
 fn patterned(step: usize, phase: usize) -> BitVec {
     BitVec::from_indices(N, (phase..N).step_by(step))
@@ -108,6 +145,7 @@ fn bench_compressed_and_selected(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_wide_lanes,
     bench_ternary_count,
     bench_and_not_count,
     bench_intersection,

@@ -8,19 +8,20 @@
 //!   --exp        comma-separated subset of:
 //!                table2,fig10,table3,fig11,fig12,fig13,table4,
 //!                fig14,fig15,fig16,fig17,fig18,binopt,ablation,baseline,
-//!                perf,updates,persist,serve,compare
+//!                perf,updates,persist,serve,load,compare
 //!                (default: all paper artifacts; `perf`, `updates`,
-//!                `persist`, `serve`, and `compare` run only when
-//!                requested)
+//!                `persist`, `serve`, `load`, and `compare` run only
+//!                when requested)
 //!   --scale      quick (default) or paper (the paper's dataset sizes)
 //!   --seed       RNG seed (default 42)
 //!   --out        also write each table as CSV into DIR
 //!   --threads    with `--exp perf`: run the parallel-engine
 //!                thread-scaling grid over the given thread counts
 //!   --bench-out  where `--exp perf` / `--exp updates` / `--exp persist`
-//!                / `--exp serve` writes its JSON (default: BENCH_2.json,
-//!                BENCH_3.json with --threads, BENCH_4.json for updates,
-//!                BENCH_5.json for persist, BENCH_6.json for serve)
+//!                / `--exp serve` / `--exp load` writes its JSON
+//!                (default: BENCH_2.json, BENCH_3.json with --threads,
+//!                BENCH_4.json for updates, BENCH_5.json for persist,
+//!                BENCH_6.json for serve, BENCH_7.json for load)
 //!   --baseline   with `--exp compare`: the committed tkd-perf/v1 file
 //!   --current    with `--exp compare`: the freshly measured snapshot
 //!   --tolerance  with `--exp compare`: allowed normalized-time ratio
@@ -29,14 +30,16 @@
 //! ```
 
 use std::collections::BTreeSet;
-use tkd_bench::{compare, experiments as exp, perf, persist, serve, table::Table, updates, Scale};
+use tkd_bench::{
+    compare, experiments as exp, load, perf, persist, serve, table::Table, updates, Scale,
+};
 
 /// Every experiment name `--exp` accepts; the single source of truth for
 /// validation and the usage text.
-const KNOWN: [&str; 20] = [
+const KNOWN: [&str; 21] = [
     "table2", "fig10", "table3", "fig11", "fig12", "fig13", "table4", "fig14", "fig15", "fig16",
     "fig17", "fig18", "binopt", "ablation", "baseline", "perf", "updates", "persist", "serve",
-    "compare",
+    "load", "compare",
 ];
 
 fn main() {
@@ -143,14 +146,16 @@ fn main() {
     }
     let want_compare = exps.as_ref().is_some_and(|set| set.contains("compare"));
     let wants = |name: &str| exps.as_ref().is_some_and(|set| set.contains(name));
-    let bench_writers = ["perf", "updates", "persist", "serve"]
+    let bench_writers = ["perf", "updates", "persist", "serve", "load"]
         .iter()
         .filter(|e| wants(e))
         .count();
     if bench_out.is_some() && bench_writers > 1 {
         // Multiple experiments would write the same file, the later ones
         // silently clobbering the earlier.
-        usage("--bench-out is ambiguous across perf/updates/persist/serve; run them separately");
+        usage(
+            "--bench-out is ambiguous across perf/updates/persist/serve/load; run them separately",
+        );
     }
     if (baseline.is_some() || current.is_some()) && !want_compare {
         usage("--baseline/--current require --exp compare");
@@ -265,6 +270,15 @@ fn main() {
         std::fs::write(bench_out, json).expect("write serve JSON");
         println!("(serve load benchmark written to {bench_out})");
     }
+    // The zero-copy snapshot-load + kernel benchmark (BENCH_7.json) —
+    // opt-in, like the other artifact generators.
+    if exps.as_ref().is_some_and(|set| set.contains("load")) {
+        let (tables, json) = load::run(scale, seed);
+        let bench_out = bench_out.as_deref().unwrap_or("BENCH_7.json");
+        emit(tables);
+        std::fs::write(bench_out, json).expect("write load JSON");
+        println!("(zero-copy load benchmark written to {bench_out})");
+    }
     // The perf regression gate — opt-in; a regression (or a vacuous
     // comparison) exits non-zero so CI fails.
     if want_compare {
@@ -330,6 +344,8 @@ fn usage(err: &str) -> ! {
          (writes BENCH_5.json)\n\
          --exp serve drives open-loop load at a live TCP server \
          (writes BENCH_6.json)\n\
+         --exp load measures zero-copy vs copying snapshot load and the \
+         wide-lane popcount kernels (writes BENCH_7.json)\n\
          --exp compare gates normalized BIG/IBIG query times against a \
          committed tkd-perf/v1 baseline (exit 1 on regression)",
         KNOWN.join(",")

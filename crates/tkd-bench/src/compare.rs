@@ -13,8 +13,24 @@
 //!
 //! Only workload cells present in *both* files are compared; zero overlap
 //! is an error (a vacuous gate must not pass silently).
+//!
+//! When the *current* artifact carries a `kernels` section (PR-7
+//! onward), the gate also checks each wide-lane kernel's speedup over
+//! the in-process scalar reference against an absolute floor
+//! ([`KERNEL_SPEEDUP_FLOOR`]). The check is self-calibrated on the
+//! current run — scalar and wide lanes execute in the same process, so
+//! no cross-machine baseline is needed and a merely slower runner moves
+//! both sides together. Runs that dispatched the portable tier are
+//! skipped (scalar and fallback are the same loop there), and baselines
+//! without a kernels section never error — their query cells still gate.
 
 use crate::table::Table;
+
+/// The wide-lane kernels must beat the in-process scalar reference by at
+/// least this factor on any non-portable dispatch tier (the PR-7
+/// acceptance bar; the slowest tier measured, AVX2 Muła on a contended
+/// single-core container, still clears 2.4x).
+pub const KERNEL_SPEEDUP_FLOOR: f64 = 1.3;
 
 // ---------------------------------------------------------------------------
 // Minimal JSON reader (the workspace is offline — no serde). Supports the
@@ -226,7 +242,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// One compared cell.
 struct Comparison {
     workload: String,
-    algorithm: &'static str,
+    algorithm: String,
     base_norm: f64,
     cur_norm: f64,
     ratio: f64,
@@ -327,7 +343,7 @@ pub fn run(
             let ratio = cur_norm / base_norm;
             rows.push(Comparison {
                 workload: key.clone(),
-                algorithm: alg,
+                algorithm: alg.into(),
                 base_norm,
                 cur_norm,
                 ratio,
@@ -335,13 +351,52 @@ pub fn run(
             });
         }
     }
+    // The overlap check looks only at query rows: kernel-floor rows are
+    // self-calibrated and would otherwise make a zero-overlap comparison
+    // (e.g. quick snapshot vs paper baseline) pass vacuously.
     if rows.is_empty() {
         return Err(format!(
             "no overlapping workload cells between {baseline_path} and {current_path} — \
              the gate would be vacuous (check --scale)"
         ));
     }
-
+    // Kernel-speedup gate: rides along when the *current* artifact
+    // carries a kernels section. Self-calibrated on the current run —
+    // scalar reference and dispatched kernel execute in the same
+    // process, so the speedup must clear an absolute floor regardless
+    // of how fast the runner is. The portable tier is exempt (scalar
+    // and fallback are the same loop there, so the speedup is ~1 by
+    // construction, not by regression). Baselines without a kernels
+    // section never error: this check doesn't read the baseline.
+    if let Some(ck) = current.get("kernels") {
+        let dispatch = ck
+            .get("dispatch")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let wide_tier = !dispatch.starts_with("portable");
+        let cops = ck.get("ops").and_then(Json::as_arr).unwrap_or(&[]);
+        for cur in wide_tier.then_some(cops).into_iter().flatten() {
+            let Some(name) = cur.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(cs) = cur.get("speedup").and_then(Json::as_num) else {
+                continue;
+            };
+            if cs <= 0.0 {
+                return Err(format!("kernel {name}: non-positive speedup"));
+            }
+            rows.push(Comparison {
+                workload: format!("kernels ({dispatch}, floor {KERNEL_SPEEDUP_FLOOR}x)"),
+                algorithm: name.to_owned(),
+                base_norm: KERNEL_SPEEDUP_FLOOR,
+                cur_norm: cs,
+                // Same verdict convention as the query rows: ratio above
+                // 1 means "worse than required", beyond it = regressed.
+                ratio: KERNEL_SPEEDUP_FLOOR / cs,
+                regressed: cs < KERNEL_SPEEDUP_FLOOR,
+            });
+        }
+    }
     let mut t = Table::new(
         format!(
             "perf regression gate — normalized query time vs baseline (tolerance {tolerance}x)"
@@ -360,7 +415,7 @@ pub fn run(
         ok &= !r.regressed;
         t.push(vec![
             r.workload.clone(),
-            r.algorithm.into(),
+            r.algorithm.clone(),
             format!("{:.4}", r.base_norm),
             format!("{:.4}", r.cur_norm),
             format!("{:.2}x", r.ratio),
@@ -435,12 +490,67 @@ mod tests {
         assert!(ok);
     }
 
+    fn with_kernels(doc: &str, popcount_speedup: f64, dispatch: &str) -> String {
+        doc.trim_end().trim_end_matches('}').to_owned()
+            + &format!(
+                ", \"kernels\": {{\"dispatch\": \"{dispatch}\", \"words\": 4096, \"ops\": [\
+                 {{\"name\": \"popcount\", \"scalar_s\": 1e-6, \"wide_s\": {:.9}, \
+                 \"speedup\": {popcount_speedup}}}]}}}}",
+                1e-6 / popcount_speedup
+            )
+    }
+
+    #[test]
+    fn kernel_speedup_below_the_floor_fails_the_gate() {
+        let b = write("cmp_kern_base.json", &doc(0.5, 1.5, 1.0));
+        // Wide lanes barely above parity on a wide tier: regressed.
+        let c = write(
+            "cmp_kern_cur.json",
+            &with_kernels(&doc(0.5, 1.5, 1.0), 1.1, "avx512-vpopcntdq"),
+        );
+        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        assert!(!ok);
+        assert!(t.render().contains("popcount"));
+        // A healthy speedup passes — even against a baseline that
+        // predates the kernels section (the check is self-calibrated).
+        let c2 = write(
+            "cmp_kern_cur_ok.json",
+            &with_kernels(&doc(0.5, 1.5, 1.0), 4.8, "avx512-vpopcntdq"),
+        );
+        assert!(run(&b, &c2, 1.3).unwrap().1);
+    }
+
+    #[test]
+    fn portable_dispatch_and_missing_sections_are_skipped_not_errors() {
+        // Neither side has a kernels section: query cells still gate.
+        let b = write("cmp_kern_none.json", &doc(0.5, 1.5, 1.0));
+        assert!(run(&b, &b, 1.3).unwrap().1, "kernel-free artifacts gate");
+        // Portable tier: scalar and fallback are the same loop, so a
+        // ~1x speedup is structural — the kernel rows are skipped.
+        let c = write(
+            "cmp_kern_portable.json",
+            &with_kernels(&doc(0.5, 1.5, 1.0), 1.0, "portable-autovec"),
+        );
+        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        assert!(ok, "portable-tier speedups must not be gated");
+        assert!(!t.render().contains("popcount"));
+    }
+
     #[test]
     fn zero_overlap_is_an_error() {
         let b = write("cmp_base_disjoint.json", &doc(0.5, 1.5, 1.0));
         let other = doc(0.5, 1.5, 1.0).replace("\"n\": 1000", "\"n\": 2000");
         let c = write("cmp_cur_disjoint.json", &other);
         let err = run(&b, &c, 1.3).unwrap_err();
+        assert!(err.contains("no overlapping"), "{err}");
+        // Kernel-floor rows never substitute for query overlap: a current
+        // artifact carrying a healthy kernels section must still error when
+        // no workload cell matches the baseline.
+        let ck = write(
+            "cmp_cur_disjoint_kernels.json",
+            &with_kernels(&other, 4.8, "avx512-vpopcntdq"),
+        );
+        let err = run(&b, &ck, 1.3).unwrap_err();
         assert!(err.contains("no overlapping"), "{err}");
     }
 

@@ -16,6 +16,7 @@
 pub mod compare;
 pub mod datasets;
 pub mod experiments;
+pub mod load;
 pub mod perf;
 pub mod persist;
 pub mod serve;

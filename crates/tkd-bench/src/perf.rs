@@ -177,6 +177,10 @@ pub fn run(scale: Scale, seed: u64) -> (Table, String) {
         .into_iter()
         .map(|p| measure_cell(p, seed))
         .collect();
+    // Kernel microbenches ride along in the artifact so the compare gate
+    // can flag wide-lane regressions; the scalar reference measured in
+    // the same process is the calibration constant.
+    let kernels = crate::load::measure_kernels();
 
     let mut t = Table::new(
         "perf baseline — query wall-clock (IND)",
@@ -219,11 +223,11 @@ pub fn run(scale: Scale, seed: u64) -> (Table, String) {
         ]);
     }
 
-    (t, to_json(scale, seed, &cells))
+    (t, to_json(scale, seed, &cells, &kernels))
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde).
-fn to_json(scale: Scale, seed: u64, cells: &[Cell]) -> String {
+fn to_json(scale: Scale, seed: u64, cells: &[Cell], kernels: &crate::load::KernelReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"tkd-perf/v1\",\n");
@@ -270,7 +274,10 @@ fn to_json(scale: Scale, seed: u64, cells: &[Cell]) -> String {
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"kernels\":\n");
+    s.push_str(&crate::load::kernels_json(kernels, "  "));
+    s.push_str("\n}\n");
     s
 }
 

@@ -1,0 +1,69 @@
+//! Build-script probe for `std::simd`.
+//!
+//! The `simd` cargo feature asks for explicit `std::simd` lanes in the
+//! popcount kernels, but `std::simd` is still nightly-only. Rather than
+//! failing the build on stable, this script test-compiles a snippet that
+//! uses exactly the APIs the kernels need (`u64x8`, `SimdUint::count_ones`,
+//! `reduce_sum`, `from_slice`) with the same `rustc` cargo is driving, and
+//! only emits `cfg(has_portable_simd)` when that compiles. On stable the
+//! probe fails (feature gate) and the portable fallback is used, so
+//! `--features simd` builds everywhere — a graceful skip, not an error.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const PROBE: &str = r#"
+#![feature(portable_simd)]
+#![crate_type = "lib"]
+use std::simd::{num::SimdUint, u64x8};
+pub fn probe(a: &[u64], b: &[u64]) -> u64 {
+    let mut acc = u64x8::splat(0);
+    if a.len() >= 8 && b.len() >= 8 {
+        let t = u64x8::from_slice(&a[..8]) & !u64x8::from_slice(&b[..8]);
+        acc += t.count_ones();
+    }
+    acc.reduce_sum()
+}
+"#;
+
+fn probe_compiles(out_dir: &Path) -> bool {
+    let src = out_dir.join("portable_simd_probe.rs");
+    if fs::write(&src, PROBE).is_err() {
+        return false;
+    }
+    let rustc = env::var_os("RUSTC").unwrap_or_else(|| "rustc".into());
+    let mut cmd = Command::new(rustc);
+    cmd.arg(&src)
+        .arg("--emit=metadata")
+        .arg("--edition=2021")
+        .arg("-o")
+        .arg(out_dir.join("portable_simd_probe.out"));
+    // Honor a bootstrap/wrapper if cargo set one (e.g. sccache).
+    if let Some(wrapper) = env::var_os("RUSTC_WRAPPER") {
+        if !wrapper.is_empty() {
+            let mut wrapped = Command::new(wrapper);
+            wrapped.arg(cmd.get_program());
+            for a in cmd.get_args() {
+                wrapped.arg(a);
+            }
+            cmd = wrapped;
+        }
+    }
+    matches!(cmd.output(), Ok(out) if out.status.success())
+}
+
+fn main() {
+    // Always declare the cfg so `-D warnings` + check-cfg stays clean
+    // whether or not the feature is enabled.
+    println!("cargo::rustc-check-cfg=cfg(has_portable_simd)");
+    println!("cargo::rerun-if-changed=build.rs");
+    if env::var_os("CARGO_FEATURE_SIMD").is_none() {
+        return;
+    }
+    let out_dir = PathBuf::from(env::var_os("OUT_DIR").expect("cargo sets OUT_DIR"));
+    if probe_compiles(&out_dir) {
+        println!("cargo::rustc-cfg=has_portable_simd");
+    }
+}

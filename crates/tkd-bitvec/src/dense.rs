@@ -2,6 +2,9 @@
 
 use core::fmt;
 
+use crate::kernels;
+use crate::words::{SharedWords, Words};
+
 const WORD_BITS: usize = 64;
 
 /// A fixed-length dense bit vector.
@@ -9,9 +12,15 @@ const WORD_BITS: usize = 64;
 /// This is the representation of the vertical columns of the paper's bitmap
 /// index (Fig. 6): one bit per object, word-wise boolean algebra, hardware
 /// population counts. All binary operations require equal lengths.
+///
+/// Storage is [`Words`]: either heap-owned or borrowed straight out of a
+/// shared snapshot buffer (zero-copy load). Borrowed vectors behave
+/// identically to owned ones — equality, hashing and every query operation
+/// see only the logical word sequence — and are promoted to an owned copy
+/// the first time they are mutated.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
-    words: Vec<u64>,
+    words: Words,
     len: usize,
 }
 
@@ -19,7 +28,7 @@ impl BitVec {
     /// All-zeros vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
         BitVec {
-            words: vec![0; len.div_ceil(WORD_BITS)],
+            words: Words::Owned(vec![0; len.div_ceil(WORD_BITS)]),
             len,
         }
     }
@@ -27,7 +36,7 @@ impl BitVec {
     /// All-ones vector of `len` bits.
     pub fn ones(len: usize) -> Self {
         let mut v = BitVec {
-            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            words: Words::Owned(vec![u64::MAX; len.div_ceil(WORD_BITS)]),
             len,
         };
         v.mask_tail();
@@ -46,13 +55,19 @@ impl BitVec {
         v
     }
 
+    /// Read-only word storage.
+    #[inline]
+    fn w(&self) -> &[u64] {
+        self.words.as_slice()
+    }
+
     /// Zero out any bits beyond `len` in the last word (invariant: padding
     /// bits are always zero, so `count_ones` is exact).
     #[inline]
     fn mask_tail(&mut self) {
         let tail = self.len % WORD_BITS;
         if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words.to_mut().last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
@@ -70,6 +85,13 @@ impl BitVec {
         self.len == 0
     }
 
+    /// Does this vector still borrow a shared snapshot buffer (i.e. it has
+    /// not been mutated since a zero-copy load)?
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        self.words.is_shared()
+    }
+
     /// Read bit `i`.
     ///
     /// # Panics
@@ -77,7 +99,7 @@ impl BitVec {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+        (self.w()[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
     /// Set bit `i` to one.
@@ -87,7 +109,7 @@ impl BitVec {
     #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        self.words.to_mut()[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
     /// Set bit `i` to zero.
@@ -97,20 +119,22 @@ impl BitVec {
     #[inline]
     pub fn clear(&mut self, i: usize) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+        self.words.to_mut()[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
     /// Append one bit, growing the length by one — the primitive behind
     /// the dynamic index's appendable columns. Amortized `O(1)`: a new
     /// word is pushed only every 64 appends, and the padding invariant is
-    /// preserved (appending `false` touches nothing but the length).
+    /// preserved. Promotes borrowed storage (appending is a mutation).
     #[inline]
     pub fn push(&mut self, bit: bool) {
-        if self.len.is_multiple_of(WORD_BITS) {
-            self.words.push(0);
+        let len = self.len;
+        let words = self.words.to_mut();
+        if len.is_multiple_of(WORD_BITS) {
+            words.push(0);
         }
         if bit {
-            self.words[self.len / WORD_BITS] |= 1u64 << (self.len % WORD_BITS);
+            words[len / WORD_BITS] |= 1u64 << (len % WORD_BITS);
         }
         self.len += 1;
     }
@@ -118,13 +142,13 @@ impl BitVec {
     /// Number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(self.w())
     }
 
     /// Raw word storage (little-endian bit order within a word).
     #[inline]
     pub fn as_words(&self) -> &[u64] {
-        &self.words
+        self.w()
     }
 
     /// Reassemble a vector from its raw word storage — the word-level
@@ -138,6 +162,29 @@ impl BitVec {
     /// in-memory [`BitVec`] upholds; accepting dirty padding would make
     /// popcounts wrong and snapshots non-canonical).
     pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, &'static str> {
+        Self::check_form(&words, len)?;
+        Ok(BitVec {
+            words: Words::Owned(words),
+            len,
+        })
+    }
+
+    /// Like [`BitVec::from_words`], but adopting a borrowed view of a
+    /// shared snapshot buffer instead of owned storage — the zero-copy
+    /// load entry point. The same canonical-form validation applies; only
+    /// the storage differs, and the first mutation promotes it to owned.
+    ///
+    /// # Errors
+    /// Same conditions as [`BitVec::from_words`].
+    pub fn from_shared(shared: SharedWords, len: usize) -> Result<Self, &'static str> {
+        Self::check_form(shared.as_words(), len)?;
+        Ok(BitVec {
+            words: Words::Shared(shared),
+            len,
+        })
+    }
+
+    fn check_form(words: &[u64], len: usize) -> Result<(), &'static str> {
         if words.len() != len.div_ceil(WORD_BITS) {
             return Err("word count does not match bit length");
         }
@@ -148,15 +195,16 @@ impl BitVec {
                 return Err("nonzero padding bits beyond the bit length");
             }
         }
-        Ok(BitVec { words, len })
+        Ok(())
     }
 
-    /// Mutable raw word storage for in-crate fused writers. Callers must
-    /// uphold the padding invariant (bits beyond `len` stay zero) — call
-    /// [`BitVec::mask_tail`] after bulk writes.
+    /// Mutable raw word storage for in-crate fused writers (promotes
+    /// borrowed storage). Callers must uphold the padding invariant (bits
+    /// beyond `len` stay zero) — call [`BitVec::fix_tail`] after bulk
+    /// writes.
     #[inline]
     pub(crate) fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.words
+        self.words.to_mut()
     }
 
     /// Re-establish the padding invariant after bulk word writes.
@@ -171,7 +219,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn and_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words.to_mut().iter_mut().zip(other.w()) {
             *a &= b;
         }
     }
@@ -182,7 +230,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn or_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words.to_mut().iter_mut().zip(other.w()) {
             *a |= b;
         }
     }
@@ -193,25 +241,25 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn and_not_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words.to_mut().iter_mut().zip(other.w()) {
             *a &= !b;
         }
     }
 
     /// Set every bit to one (respects the logical length) — no allocation.
     pub fn set_all(&mut self) {
-        self.words.fill(!0);
+        self.words.to_mut().fill(!0);
         self.mask_tail();
     }
 
     /// Set every bit to zero — no allocation.
     pub fn clear_all(&mut self) {
-        self.words.fill(0);
+        self.words.to_mut().fill(0);
     }
 
     /// In-place complement (respects the logical length).
     pub fn not_assign(&mut self) {
-        for w in &mut self.words {
+        for w in self.words.to_mut() {
             *w = !*w;
         }
         self.mask_tail();
@@ -238,36 +286,31 @@ impl BitVec {
         r
     }
 
-    /// Popcount of `self AND other` without materializing it.
+    /// Popcount of `self AND other` without materializing it — routed
+    /// through the wide-lane [`kernels`].
     ///
     /// # Panics
     /// Panics on length mismatch.
     #[inline]
     pub fn and_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_count(self.w(), other.w())
     }
 
-    /// Popcount of `self AND NOT other` without materializing it.
+    /// Popcount of `self AND NOT other` without materializing it — routed
+    /// through the wide-lane [`kernels`].
     ///
     /// # Panics
     /// Panics on length mismatch.
     #[inline]
     pub fn and_not_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        kernels::and_not_count(self.w(), other.w())
     }
 
     /// Popcount of the ternary `self AND b AND NOT c` without materializing
-    /// any intermediate (one fused pass over the three word arrays).
+    /// any intermediate (one fused pass over the three word arrays) —
+    /// routed through the wide-lane [`kernels`].
     ///
     /// # Panics
     /// Panics on length mismatch.
@@ -275,22 +318,18 @@ impl BitVec {
     pub fn count_and_andnot(&self, b: &BitVec, c: &BitVec) -> usize {
         assert_eq!(self.len, b.len, "length mismatch");
         assert_eq!(self.len, c.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&b.words)
-            .zip(&c.words)
-            .map(|((x, y), z)| (x & y & !z).count_ones() as usize)
-            .sum()
+        kernels::count_and_andnot(self.w(), b.w(), c.w())
     }
 
-    /// Overwrite `self` with a word-level copy of `other` — no allocation.
+    /// Overwrite `self` with a word-level copy of `other` — no allocation
+    /// when `self` is already owned.
     ///
     /// # Panics
     /// Panics on length mismatch.
     #[inline]
     pub fn copy_from(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words.copy_from_slice(&other.words);
+        self.words.to_mut().copy_from_slice(other.w());
     }
 
     /// Fill `scratch` with the intersection of all `cols` — no intermediate
@@ -317,13 +356,15 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn iter_ones_and_not<'a>(&'a self, other: &'a BitVec) -> AndNotOnes<'a> {
         assert_eq!(self.len, other.len, "length mismatch");
-        let current = match (self.words.first(), other.words.first()) {
-            (Some(&a), Some(&b)) => a & !b,
+        let a = self.w();
+        let b = other.w();
+        let current = match (a.first(), b.first()) {
+            (Some(&x), Some(&y)) => x & !y,
             _ => 0,
         };
         AndNotOnes {
-            a: &self.words,
-            b: &other.words,
+            a,
+            b,
             word_idx: 0,
             current,
         }
@@ -333,7 +374,7 @@ impl BitVec {
     #[inline]
     pub fn as_bit_slice(&self) -> BitSlice<'_> {
         BitSlice {
-            words: &self.words,
+            words: self.w(),
             len: self.len,
         }
     }
@@ -346,8 +387,9 @@ impl BitVec {
     /// # Panics
     /// Panics if `w` exceeds the word count.
     pub fn split_at_word(&self, w: usize) -> (BitSlice<'_>, BitSlice<'_>) {
-        assert!(w <= self.words.len(), "word index {w} out of range");
-        let (lo, hi) = self.words.split_at(w);
+        let words = self.w();
+        assert!(w <= words.len(), "word index {w} out of range");
+        let (lo, hi) = words.split_at(w);
         let lo_bits = (w * WORD_BITS).min(self.len);
         (
             BitSlice {
@@ -369,28 +411,26 @@ impl BitVec {
     /// # Panics
     /// Panics if `w_lo > w_hi` or `w_hi` exceeds the word count.
     pub fn slice_words(&self, w_lo: usize, w_hi: usize) -> BitSlice<'_> {
+        let words = self.w();
         assert!(w_lo <= w_hi, "inverted word range {w_lo}..{w_hi}");
-        assert!(w_hi <= self.words.len(), "word index {w_hi} out of range");
+        assert!(w_hi <= words.len(), "word index {w_hi} out of range");
         let hi_bits = (w_hi * WORD_BITS).min(self.len);
         BitSlice {
-            words: &self.words[w_lo..w_hi],
+            words: &words[w_lo..w_hi],
             len: hi_bits.saturating_sub(w_lo * WORD_BITS),
         }
     }
 
     /// Popcount of `self AND NOT other` where `other` is a word-aligned
-    /// view (see [`BitVec::slice_words`]) of the same bit length as `self`.
+    /// view (see [`BitVec::slice_words`]) of the same bit length as `self`
+    /// — routed through the wide-lane [`kernels`].
     ///
     /// # Panics
     /// Panics on length mismatch.
     #[inline]
     pub fn and_not_count_slice(&self, other: BitSlice<'_>) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        kernels::and_not_count(self.w(), other.words)
     }
 
     /// Is every set bit of `self` also set in `other`?
@@ -399,18 +439,16 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        self.w().iter().zip(other.w()).all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over the indexes of set bits, ascending.
     pub fn iter_ones(&self) -> Ones<'_> {
+        let words = self.w();
         Ones {
-            words: &self.words,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 }
@@ -473,7 +511,7 @@ impl<'a> BitSlice<'a> {
     /// Number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(self.words)
     }
 
     /// Iterate over the indexes of set bits (relative to the view's
@@ -490,7 +528,8 @@ impl<'a> BitSlice<'a> {
 // The bitmap substrate is shared read-only across query workers; these
 // compile-time assertions pin the auto-derived thread-safety so a future
 // field addition (e.g. an interior-mutability cache) cannot silently take
-// the parallel engine down with it.
+// the parallel engine down with it. `Words::Shared` holds an `Arc<[u64]>`,
+// which is `Send + Sync`, so borrowed-storage vectors stay shareable.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<BitVec>();
@@ -554,6 +593,7 @@ impl<'a> Iterator for AndNotOnes<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn zeros_and_ones() {
@@ -797,5 +837,93 @@ mod tests {
         assert!(!d.get(64));
         assert!(d.get(65));
         assert_eq!(d.count_ones(), 65);
+    }
+
+    /// A shared-backed copy of `b`, plus the backing buffer for checks.
+    fn share(b: &BitVec) -> (BitVec, Arc<[u64]>) {
+        let buf: Arc<[u64]> = b.as_words().to_vec().into();
+        let sw = SharedWords::new(buf.clone(), 0, buf.len()).unwrap();
+        (BitVec::from_shared(sw, b.len()).unwrap(), buf)
+    }
+
+    #[test]
+    fn shared_bitvec_is_interchangeable_with_owned() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let owned = BitVec::from_indices(200, (0..200).step_by(3));
+        let (shared, _buf) = share(&owned);
+        assert!(shared.is_shared());
+        assert!(!owned.is_shared());
+        assert_eq!(shared, owned);
+        assert_eq!(shared.count_ones(), owned.count_ones());
+        assert_eq!(
+            shared.iter_ones().collect::<Vec<_>>(),
+            owned.iter_ones().collect::<Vec<_>>()
+        );
+        let other = BitVec::from_indices(200, (0..200).step_by(7));
+        assert_eq!(shared.and_count(&other), owned.and_count(&other));
+        assert_eq!(
+            shared.count_and_andnot(&other, &owned),
+            owned.count_and_andnot(&other, &owned)
+        );
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        shared.hash(&mut h1);
+        owned.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn shared_bitvec_promotes_on_mutation() {
+        let base = BitVec::from_indices(130, [0, 64, 129]);
+        // Every mutating entry point must promote and leave the backing
+        // buffer untouched.
+        type Mutation = Box<dyn Fn(&mut BitVec)>;
+        let muts: Vec<(&str, Mutation)> = vec![
+            ("set", Box::new(|b: &mut BitVec| b.set(1))),
+            ("clear", Box::new(|b: &mut BitVec| b.clear(0))),
+            ("push", Box::new(|b: &mut BitVec| b.push(true))),
+            ("set_all", Box::new(|b: &mut BitVec| b.set_all())),
+            ("clear_all", Box::new(|b: &mut BitVec| b.clear_all())),
+            ("not", Box::new(|b: &mut BitVec| b.not_assign())),
+            (
+                "and_assign",
+                Box::new(|b: &mut BitVec| {
+                    let m = BitVec::ones(b.len());
+                    b.and_assign(&m)
+                }),
+            ),
+        ];
+        for (name, m) in muts {
+            let (mut shared, buf) = share(&base);
+            let before: Vec<u64> = buf.to_vec();
+            m(&mut shared);
+            assert!(!shared.is_shared(), "{name} must promote");
+            assert_eq!(&buf[..], &before[..], "{name} must not write the backing");
+        }
+        // A clone of a shared vector stays shared and promotes independently.
+        let (shared, _buf) = share(&base);
+        let mut c = shared.clone();
+        assert!(c.is_shared());
+        c.set(2);
+        assert!(!c.is_shared());
+        assert!(shared.is_shared());
+        assert!(!shared.get(2));
+        assert!(c.get(2));
+    }
+
+    #[test]
+    fn from_shared_validates_canonical_form() {
+        let buf: Arc<[u64]> = vec![u64::MAX, u64::MAX].into();
+        // Wrong word count for the bit length.
+        let sw = SharedWords::new(buf.clone(), 0, 2).unwrap();
+        assert!(BitVec::from_shared(sw, 64).is_err());
+        // Dirty padding beyond len.
+        let sw = SharedWords::new(buf.clone(), 0, 2).unwrap();
+        assert!(BitVec::from_shared(sw, 70).is_err());
+        // Valid full-word form.
+        let sw = SharedWords::new(buf, 0, 2).unwrap();
+        let b = BitVec::from_shared(sw, 128).unwrap();
+        assert_eq!(b.count_ones(), 128);
     }
 }

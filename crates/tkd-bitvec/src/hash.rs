@@ -1,0 +1,51 @@
+//! Word-fold FNV-1a checksum — the one shared hashing helper.
+//!
+//! Lives in the dependency-free substrate crate so every layer that
+//! checksums bytes (snapshot sections in `tkd-store`, wire frames in
+//! `tkd-serve`) uses the same definition instead of growing copies.
+
+/// FNV-1a-style 64-bit hash, folded a **word** at a time. Whole 8-byte
+/// chunks are absorbed as LE `u64`s (8× the byte-at-a-time throughput,
+/// which matters: every snapshot load and save hashes the full
+/// multi-megabyte payload), trailing bytes individually, so inputs
+/// shorter than 8 bytes hash exactly like standard FNV-1a. Not
+/// cryptographic; its job is detecting accidental corruption
+/// deterministically with no dependencies — any flipped bit changes the
+/// absorbed word, and the odd multiplier is a bijection, so the
+/// difference can never cancel to zero on its own.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Sub-word inputs hash exactly like standard FNV-1a 64.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        // Word-wide folding: sensitive to every bit and to truncation.
+        let base: Vec<u8> = (0u8..64).collect();
+        let h = fnv64(&base);
+        for i in [0usize, 7, 8, 31, 63] {
+            let mut flipped = base.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv64(&flipped), h, "flip at {i}");
+        }
+        assert_ne!(fnv64(&base[..63]), h);
+        assert_ne!(fnv64(&base[..56]), h);
+    }
+}

@@ -23,18 +23,24 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(has_portable_simd, feature(portable_simd))]
 
 mod concise;
 mod dense;
+mod hash;
+pub mod kernels;
 mod runs;
 mod tombstones;
 mod wah;
+mod words;
 
 pub use concise::Concise;
 pub use dense::{AndNotOnes, BitSlice, BitVec, Ones};
+pub use hash::fnv64;
 pub use runs::{Run, BLOCK_BITS};
 pub use tombstones::Tombstones;
 pub use wah::Wah;
+pub use words::{SharedWords, Words};
 
 /// Common interface of the compressed bitmap codecs (WAH and CONCISE).
 ///

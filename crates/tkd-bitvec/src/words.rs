@@ -1,0 +1,229 @@
+//! Borrowed-or-owned word storage for zero-copy snapshot loads.
+//!
+//! A snapshot is one contiguous, 8-aligned buffer. Loading it the obvious
+//! way copies every column's words into a fresh `Vec<u64>` — O(bytes) work
+//! that dominates cold start. [`SharedWords`] instead is a checked range
+//! view into one shared `Arc<[u64]>` backing buffer, and [`Words`] is the
+//! `Cow`-like storage enum that lets a `BitVec` (or a dataset slab) either
+//! own its words or borrow them from that buffer, promoting to owned the
+//! first time it is mutated.
+//!
+//! The `Arc` (rather than a lifetime) keeps loaded engines `'static` and
+//! cheap to share across query workers; the buffer is freed when the last
+//! borrower is dropped or promoted.
+
+use std::sync::Arc;
+
+/// A checked sub-range of a shared, 8-aligned word buffer.
+///
+/// Equality compares the viewed words, not buffer identity.
+#[derive(Clone)]
+pub struct SharedWords {
+    buf: Arc<[u64]>,
+    start: usize,
+    len: usize,
+}
+
+impl SharedWords {
+    /// View `buf[start .. start + len]`. Returns `None` if the range is
+    /// out of bounds (callers translate that into their own typed error).
+    pub fn new(buf: Arc<[u64]>, start: usize, len: usize) -> Option<Self> {
+        let end = start.checked_add(len)?;
+        if end > buf.len() {
+            return None;
+        }
+        Some(SharedWords { buf, start, len })
+    }
+
+    /// The viewed words.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// The viewed words reinterpreted as IEEE-754 doubles — the dataset
+    /// value slab is stored as raw `f64` bit patterns in snapshot files.
+    #[inline]
+    pub fn as_f64s(&self) -> &[f64] {
+        let w = self.as_words();
+        // SAFETY: u64 and f64 have identical size and alignment, and every
+        // 64-bit pattern is a valid f64 (NaN payloads included). The view
+        // borrows `self`, so the backing Arc outlives it.
+        unsafe { std::slice::from_raw_parts(w.as_ptr().cast::<f64>(), w.len()) }
+    }
+
+    /// Number of words in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the view empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for SharedWords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedWords[{}..{} of {}]",
+            self.start,
+            self.start + self.len,
+            self.buf.len()
+        )
+    }
+}
+
+impl PartialEq for SharedWords {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_words() == other.as_words()
+    }
+}
+
+impl Eq for SharedWords {}
+
+/// `Cow`-like word storage: either an owned `Vec<u64>` or a borrowed view
+/// of a shared snapshot buffer.
+///
+/// All reads go through [`Words::as_slice`]; the first mutation goes
+/// through [`Words::to_mut`], which promotes a shared view to an owned
+/// copy (copy-on-write). Equality and hashing are over the logical word
+/// sequence, so a borrowed and an owned storage with the same words are
+/// interchangeable.
+#[derive(Clone, Debug)]
+pub enum Words {
+    /// Heap-owned storage — the only variant that can be mutated in place.
+    Owned(Vec<u64>),
+    /// Borrowed view of a shared snapshot buffer.
+    Shared(SharedWords),
+}
+
+impl Words {
+    /// The stored words.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            Words::Owned(v) => v,
+            Words::Shared(s) => s.as_words(),
+        }
+    }
+
+    /// Does this storage borrow a shared snapshot buffer?
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Words::Shared(_))
+    }
+
+    /// Number of words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Words::Owned(v) => v.len(),
+            Words::Shared(s) => s.len(),
+        }
+    }
+
+    /// Is the storage empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable access, promoting a shared view to an owned copy first
+    /// (the copy-on-write step). After this call the storage is `Owned`.
+    #[inline]
+    pub fn to_mut(&mut self) -> &mut Vec<u64> {
+        if let Words::Shared(s) = self {
+            *self = Words::Owned(s.as_words().to_vec());
+        }
+        match self {
+            Words::Owned(v) => v,
+            // Just replaced above.
+            Words::Shared(_) => unreachable!("shared storage survived promotion"),
+        }
+    }
+}
+
+impl From<Vec<u64>> for Words {
+    fn from(v: Vec<u64>) -> Self {
+        Words::Owned(v)
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Words {}
+
+impl std::hash::Hash for Words {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backing(n: usize) -> Arc<[u64]> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect()
+    }
+
+    #[test]
+    fn shared_view_is_bounds_checked() {
+        let buf = backing(10);
+        assert!(SharedWords::new(buf.clone(), 0, 10).is_some());
+        assert!(SharedWords::new(buf.clone(), 10, 0).is_some());
+        assert!(SharedWords::new(buf.clone(), 3, 7).is_some());
+        assert!(SharedWords::new(buf.clone(), 3, 8).is_none());
+        assert!(SharedWords::new(buf.clone(), 11, 0).is_none());
+        assert!(SharedWords::new(buf, usize::MAX, 2).is_none());
+    }
+
+    #[test]
+    fn shared_view_reads_the_range() {
+        let buf = backing(8);
+        let s = SharedWords::new(buf.clone(), 2, 3).unwrap();
+        assert_eq!(s.as_words(), &buf[2..5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_f64s().len(), 3);
+        assert_eq!(s.as_f64s()[1].to_bits(), buf[3]);
+    }
+
+    #[test]
+    fn promotion_copies_once_and_detaches() {
+        let buf = backing(4);
+        let mut w = Words::Shared(SharedWords::new(buf.clone(), 0, 4).unwrap());
+        assert!(w.is_shared());
+        assert_eq!(w.as_slice(), &buf[..]);
+        w.to_mut()[0] = 999;
+        assert!(!w.is_shared());
+        assert_eq!(w.as_slice()[0], 999);
+        // The backing buffer is untouched.
+        assert_eq!(buf[0], 0);
+        // Further mutation does not re-copy (already owned).
+        w.to_mut().push(1);
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_storage_variant() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let buf = backing(6);
+        let shared = Words::Shared(SharedWords::new(buf.clone(), 1, 4).unwrap());
+        let owned = Words::Owned(buf[1..5].to_vec());
+        assert_eq!(shared, owned);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        shared.hash(&mut h1);
+        owned.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -243,6 +243,26 @@ pub struct DynamicParts {
     pub stats: UpdateStats,
 }
 
+/// Storage-provenance summary of a [`DynamicEngine`] — see
+/// [`DynamicEngine::storage_report`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Columns still borrowing a shared snapshot buffer.
+    pub borrowed_columns: usize,
+    /// All columns tallied (bitmap + binned + live mask + F-sets).
+    pub total_columns: usize,
+    /// Do the dataset's value/mask slabs borrow a snapshot buffer?
+    pub dataset_borrowed: bool,
+}
+
+impl StorageReport {
+    /// Does *any* storage still borrow a snapshot buffer (i.e. the
+    /// engine serves borrowed rather than promoted/owned storage)?
+    pub fn is_borrowed(&self) -> bool {
+        self.borrowed_columns > 0 || self.dataset_borrowed
+    }
+}
+
 /// A versioned, owning update layer over the BIG/IBIG query engines: see
 /// the [module docs](self) for the maintenance strategy and the exactness
 /// argument.
@@ -381,6 +401,36 @@ impl DynamicEngine {
     /// Lifetime update counters.
     pub fn stats(&self) -> UpdateStats {
         self.stats
+    }
+
+    /// Where the engine's word storage lives: how many of its `BitVec`
+    /// columns (bitmap + binned + incomparable sets) still **borrow** a
+    /// shared snapshot buffer versus own their words, and whether the
+    /// dataset slabs do. A freshly built engine is fully owned; a
+    /// zero-copy load is fully borrowed; mutations promote exactly the
+    /// storage they touch.
+    pub fn storage_report(&self) -> StorageReport {
+        let mut r = StorageReport::default();
+        let mut tally = |bv: &tkd_bitvec::BitVec| {
+            r.total_columns += 1;
+            r.borrowed_columns += usize::from(bv.is_shared());
+        };
+        tally(self.index.live_mask());
+        for d in 0..self.index.dims() {
+            for c in 0..self.index.num_columns(d) {
+                tally(self.index.column(d, c));
+            }
+        }
+        for d in 0..self.binned.dims() {
+            for c in 0..self.binned.num_columns(d) {
+                tally(self.binned.column(d, c));
+            }
+        }
+        for bv in self.pre.f_sets.values() {
+            tally(bv);
+        }
+        r.dataset_borrowed = self.ds.is_shared();
+        r
     }
 
     /// Is `id` a live object?

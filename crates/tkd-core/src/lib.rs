@@ -59,8 +59,8 @@ mod topk;
 pub mod variants;
 
 pub use dynamic::{
-    CompactionPolicy, DynamicEngine, DynamicOptions, DynamicParts, DynamicPartsRef, UpdateError,
-    UpdateOp, UpdateStats,
+    CompactionPolicy, DynamicEngine, DynamicOptions, DynamicParts, DynamicPartsRef, StorageReport,
+    UpdateError, UpdateOp, UpdateStats,
 };
 pub use engine::{EngineQuery, ParallelEngine};
 pub use parallel::{parallel_big, parallel_ibig, ShardPlan, ShardedBigContext, ShardedIbigContext};

@@ -25,7 +25,7 @@ fn block_and_count(words: &[&[u64]; MAX_DIMS], m: usize, start: usize, end: usiz
             *b &= s;
         }
     }
-    buf[..blen].iter().map(|w| w.count_ones() as usize).sum()
+    tkd_bitvec::kernels::popcount(&buf[..blen])
 }
 
 /// Append one bit to a column, keeping its suffix-popcount table exact.
@@ -78,7 +78,7 @@ fn suffix_counts(col: &BitVec) -> Vec<u32> {
     for b in (0..nblocks).rev() {
         let start = b * SUFFIX_BLOCK_WORDS;
         let end = ((b + 1) * SUFFIX_BLOCK_WORDS).min(words.len());
-        let cnt: u32 = words[start..end].iter().map(|w| w.count_ones()).sum();
+        let cnt = tkd_bitvec::kernels::popcount(&words[start..end]) as u32;
         suf[b] = suf[b + 1] + cnt;
     }
     suf

@@ -1,6 +1,83 @@
 //! Datasets of incomplete multi-dimensional objects.
 
 use crate::{DimMask, ModelError, ObjectId, MAX_DIMS};
+use tkd_bitvec::SharedWords;
+
+/// Borrowed-or-owned storage of the flat row-major value slab. Shared
+/// storage views a snapshot buffer's words as `f64`s (zero-copy load);
+/// the first mutation promotes to an owned copy.
+#[derive(Clone, Debug)]
+enum ValueSlab {
+    Owned(Vec<f64>),
+    Shared(SharedWords),
+}
+
+impl ValueSlab {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            ValueSlab::Owned(v) => v,
+            ValueSlab::Shared(s) => s.as_f64s(),
+        }
+    }
+
+    #[inline]
+    fn is_shared(&self) -> bool {
+        matches!(self, ValueSlab::Shared(_))
+    }
+
+    #[inline]
+    fn to_mut(&mut self) -> &mut Vec<f64> {
+        if let ValueSlab::Shared(s) = self {
+            *self = ValueSlab::Owned(s.as_f64s().to_vec());
+        }
+        match self {
+            ValueSlab::Owned(v) => v,
+            ValueSlab::Shared(_) => unreachable!("shared slab survived promotion"),
+        }
+    }
+}
+
+/// Borrowed-or-owned storage of the mask array, same promotion contract
+/// as [`ValueSlab`].
+#[derive(Clone, Debug)]
+enum MaskSlab {
+    Owned(Vec<DimMask>),
+    Shared(SharedWords),
+}
+
+impl MaskSlab {
+    #[inline]
+    fn as_slice(&self) -> &[DimMask] {
+        match self {
+            MaskSlab::Owned(v) => v,
+            MaskSlab::Shared(s) => {
+                let w = s.as_words();
+                // SAFETY: DimMask is #[repr(transparent)] over u64, so the
+                // two slices have identical layout; every bit pattern is a
+                // valid mask (validation rejects out-of-range bits before
+                // the slab is adopted). The view borrows `s`.
+                unsafe { std::slice::from_raw_parts(w.as_ptr().cast::<DimMask>(), w.len()) }
+            }
+        }
+    }
+
+    #[inline]
+    fn is_shared(&self) -> bool {
+        matches!(self, MaskSlab::Shared(_))
+    }
+
+    #[inline]
+    fn to_mut(&mut self) -> &mut Vec<DimMask> {
+        if let MaskSlab::Shared(_) = self {
+            *self = MaskSlab::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            MaskSlab::Owned(v) => v,
+            MaskSlab::Shared(_) => unreachable!("shared slab survived promotion"),
+        }
+    }
+}
 
 /// A set of `d`-dimensional objects with possibly missing values.
 ///
@@ -8,12 +85,16 @@ use crate::{DimMask, ModelError, ObjectId, MAX_DIMS};
 /// [`DimMask`] per object. Missing slots hold `NaN` internally but are never
 /// exposed — every accessor consults the mask first.
 ///
+/// Both slabs are borrowed-or-owned: a zero-copy snapshot load adopts views
+/// of the shared file buffer ([`Dataset::from_shared_parts`]), and the
+/// first in-place mutation promotes the touched slab to an owned copy.
+///
 /// Objects are addressed by their [`ObjectId`] (row index, insertion order).
 #[derive(Clone, Debug)]
 pub struct Dataset {
     dims: usize,
-    values: Vec<f64>,
-    masks: Vec<DimMask>,
+    values: ValueSlab,
+    masks: MaskSlab,
     labels: Option<Vec<String>>,
 }
 
@@ -67,12 +148,13 @@ impl PartialEq for Dataset {
     /// Structural equality over *observed* cells only (missing slots hold
     /// NaN internally, so a derived comparison would always fail).
     fn eq(&self, other: &Self) -> bool {
+        let (va, vb) = (self.vals(), other.vals());
         self.dims == other.dims
-            && self.masks == other.masks
+            && self.msks() == other.msks()
             && self.labels == other.labels
-            && self.masks.iter().enumerate().all(|(i, m)| {
+            && self.msks().iter().enumerate().all(|(i, m)| {
                 m.iter()
-                    .all(|d| self.values[i * self.dims + d] == other.values[i * other.dims + d])
+                    .all(|d| va[i * self.dims + d] == vb[i * other.dims + d])
             })
     }
 }
@@ -132,50 +214,33 @@ impl Dataset {
         masks: Vec<DimMask>,
         labels: Option<Vec<String>>,
     ) -> Result<Self, ModelError> {
-        if dims == 0 || dims > MAX_DIMS {
-            return Err(ModelError::BadDimensionality(dims));
-        }
-        let n = masks.len();
-        if values.len() != n * dims {
-            return Err(ModelError::RowArity {
-                row: n,
-                got: values.len(),
-                expected: n * dims,
-            });
-        }
-        if let Some(ls) = &labels {
-            if ls.len() != n {
-                return Err(ModelError::RowArity {
-                    row: n,
-                    got: ls.len(),
-                    expected: n,
-                });
-            }
-        }
-        let canonical_nan = f64::NAN.to_bits();
-        for (r, mask) in masks.iter().enumerate() {
-            if mask.is_empty() {
-                return Err(ModelError::AllMissingRow(r));
-            }
-            if dims < MAX_DIMS && mask.bits() >> dims != 0 {
-                // A set bit at or beyond `dims` names a dimension that
-                // does not exist.
-                return Err(ModelError::DimensionOutOfRange {
-                    dim: 63 - mask.bits().leading_zeros() as usize,
-                    dims,
-                });
-            }
-            for d in 0..dims {
-                let v = values[r * dims + d];
-                if mask.observed(d) {
-                    if v.is_nan() {
-                        return Err(ModelError::NaNValue { row: r, dim: d });
-                    }
-                } else if v.to_bits() != canonical_nan {
-                    return Err(ModelError::NaNValue { row: r, dim: d });
-                }
-            }
-        }
+        check_parts(dims, &values, &masks, labels.as_deref())?;
+        Ok(Dataset {
+            dims,
+            values: ValueSlab::Owned(values),
+            masks: MaskSlab::Owned(masks),
+            labels,
+        })
+    }
+
+    /// Like [`Dataset::from_raw_parts`], but adopting borrowed views of a
+    /// shared snapshot buffer instead of owned slabs — the zero-copy load
+    /// entry point. `values` is reinterpreted as `f64`s and `masks` as
+    /// [`DimMask`]s; validation is identical to the owned constructor, and
+    /// the first in-place mutation promotes the touched slab to an owned
+    /// copy.
+    ///
+    /// # Errors
+    /// Same conditions as [`Dataset::from_raw_parts`].
+    pub fn from_shared_parts(
+        dims: usize,
+        values: SharedWords,
+        masks: SharedWords,
+        labels: Option<Vec<String>>,
+    ) -> Result<Self, ModelError> {
+        let values = ValueSlab::Shared(values);
+        let masks = MaskSlab::Shared(masks);
+        check_parts(dims, values.as_slice(), masks.as_slice(), labels.as_deref())?;
         Ok(Dataset {
             dims,
             values,
@@ -184,11 +249,30 @@ impl Dataset {
         })
     }
 
+    /// Does either slab still borrow a shared snapshot buffer (i.e. the
+    /// dataset has not been mutated since a zero-copy load)?
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        self.values.is_shared() || self.masks.is_shared()
+    }
+
+    /// Read-only value slab.
+    #[inline]
+    fn vals(&self) -> &[f64] {
+        self.values.as_slice()
+    }
+
+    /// Read-only mask slab.
+    #[inline]
+    fn msks(&self) -> &[DimMask] {
+        self.masks.as_slice()
+    }
+
     /// The raw row-major value slab (missing slots hold the canonical
     /// NaN) — the storage [`Dataset::from_raw_parts`] adopts back.
     #[inline]
     pub fn raw_values(&self) -> &[f64] {
-        &self.values
+        self.vals()
     }
 
     /// The label array, if this dataset is labeled (one entry per object;
@@ -201,13 +285,13 @@ impl Dataset {
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
-        self.masks.len()
+        self.msks().len()
     }
 
     /// Is the dataset empty?
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.masks.is_empty()
+        self.msks().is_empty()
     }
 
     /// Dimensionality `d` of the data space.
@@ -219,20 +303,20 @@ impl Dataset {
     /// Observation mask of object `id` (the paper's `bo`).
     #[inline]
     pub fn mask(&self, id: ObjectId) -> DimMask {
-        self.masks[id as usize]
+        self.msks()[id as usize]
     }
 
     /// All masks, indexed by object id.
     #[inline]
     pub fn masks(&self) -> &[DimMask] {
-        &self.masks
+        self.msks()
     }
 
     /// Value of object `id` at dimension `dim`, or `None` if missing.
     #[inline]
     pub fn value(&self, id: ObjectId, dim: usize) -> Option<f64> {
-        if self.masks[id as usize].observed(dim) {
-            Some(self.values[id as usize * self.dims + dim])
+        if self.msks()[id as usize].observed(dim) {
+            Some(self.vals()[id as usize * self.dims + dim])
         } else {
             None
         }
@@ -245,7 +329,7 @@ impl Dataset {
     /// path used by the algorithms after a mask intersection test.
     #[inline]
     pub fn raw_value(&self, id: ObjectId, dim: usize) -> f64 {
-        self.values[id as usize * self.dims + dim]
+        self.vals()[id as usize * self.dims + dim]
     }
 
     /// A borrowed view of one object.
@@ -253,8 +337,8 @@ impl Dataset {
     pub fn row(&self, id: ObjectId) -> Row<'_> {
         let i = id as usize;
         Row {
-            values: &self.values[i * self.dims..(i + 1) * self.dims],
-            mask: self.masks[i],
+            values: &self.vals()[i * self.dims..(i + 1) * self.dims],
+            mask: self.msks()[i],
         }
     }
 
@@ -344,11 +428,12 @@ impl Dataset {
         row: &[Option<f64>],
         label: Option<String>,
     ) -> Result<ObjectId, ModelError> {
-        let r = self.masks.len();
+        let r = self.msks().len();
         let mask = validate_row(self.dims, row, r)?;
         self.values
+            .to_mut()
             .extend(row.iter().map(|v| v.unwrap_or(f64::NAN)));
-        self.masks.push(mask);
+        self.masks.to_mut().push(mask);
         match label {
             Some(l) => {
                 let labels = self.labels.get_or_insert_with(|| vec![String::new(); r]);
@@ -381,7 +466,7 @@ impl Dataset {
         value: Option<f64>,
     ) -> Result<(), ModelError> {
         let i = id as usize;
-        assert!(i < self.masks.len(), "object id {id} out of range");
+        assert!(i < self.msks().len(), "object id {id} out of range");
         if dim >= self.dims {
             return Err(ModelError::DimensionOutOfRange {
                 dim,
@@ -391,18 +476,18 @@ impl Dataset {
         match value {
             Some(v) if v.is_nan() => Err(ModelError::NaNValue { row: i, dim }),
             Some(v) => {
-                self.values[i * self.dims + dim] = v;
-                self.masks[i].set(dim);
+                self.values.to_mut()[i * self.dims + dim] = v;
+                self.masks.to_mut()[i].set(dim);
                 Ok(())
             }
             None => {
-                let mut mask = self.masks[i];
+                let mut mask = self.msks()[i];
                 mask.unset(dim);
                 if mask.is_empty() {
                     return Err(ModelError::AllMissingRow(i));
                 }
-                self.values[i * self.dims + dim] = f64::NAN;
-                self.masks[i] = mask;
+                self.values.to_mut()[i * self.dims + dim] = f64::NAN;
+                self.masks.to_mut()[i] = mask;
                 Ok(())
             }
         }
@@ -417,19 +502,79 @@ impl Dataset {
         let mut labels = self.labels.as_ref().map(|_| Vec::with_capacity(ids.len()));
         for &id in ids {
             let i = id as usize;
-            values.extend_from_slice(&self.values[i * self.dims..(i + 1) * self.dims]);
-            masks.push(self.masks[i]);
+            values.extend_from_slice(&self.vals()[i * self.dims..(i + 1) * self.dims]);
+            masks.push(self.msks()[i]);
             if let (Some(out), Some(ls)) = (labels.as_mut(), self.labels.as_ref()) {
                 out.push(ls[i].clone());
             }
         }
         Dataset {
             dims: self.dims,
-            values,
-            masks,
+            values: ValueSlab::Owned(values),
+            masks: MaskSlab::Owned(masks),
             labels,
         }
     }
+}
+
+/// Validation shared by [`Dataset::from_raw_parts`] and
+/// [`Dataset::from_shared_parts`]: the builder's invariants restated over
+/// the raw slabs — consistent lengths, no mask bit at or beyond `dims`, no
+/// all-missing row, observed slots non-NaN — plus one canonical-form rule
+/// the in-memory representation always satisfies: missing slots hold the
+/// canonical `f64::NAN` bit pattern (which keeps re-serialization
+/// byte-deterministic).
+fn check_parts(
+    dims: usize,
+    values: &[f64],
+    masks: &[DimMask],
+    labels: Option<&[String]>,
+) -> Result<(), ModelError> {
+    if dims == 0 || dims > MAX_DIMS {
+        return Err(ModelError::BadDimensionality(dims));
+    }
+    let n = masks.len();
+    if values.len() != n * dims {
+        return Err(ModelError::RowArity {
+            row: n,
+            got: values.len(),
+            expected: n * dims,
+        });
+    }
+    if let Some(ls) = &labels {
+        if ls.len() != n {
+            return Err(ModelError::RowArity {
+                row: n,
+                got: ls.len(),
+                expected: n,
+            });
+        }
+    }
+    let canonical_nan = f64::NAN.to_bits();
+    for (r, mask) in masks.iter().enumerate() {
+        if mask.is_empty() {
+            return Err(ModelError::AllMissingRow(r));
+        }
+        if dims < MAX_DIMS && mask.bits() >> dims != 0 {
+            // A set bit at or beyond `dims` names a dimension that
+            // does not exist.
+            return Err(ModelError::DimensionOutOfRange {
+                dim: 63 - mask.bits().leading_zeros() as usize,
+                dims,
+            });
+        }
+        for d in 0..dims {
+            let v = values[r * dims + d];
+            if mask.observed(d) {
+                if v.is_nan() {
+                    return Err(ModelError::NaNValue { row: r, dim: d });
+                }
+            } else if v.to_bits() != canonical_nan {
+                return Err(ModelError::NaNValue { row: r, dim: d });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Shared row validation of the builder, the in-place mutators, and the
@@ -562,8 +707,8 @@ impl DatasetBuilder {
     pub fn build(self) -> Dataset {
         Dataset {
             dims: self.dims,
-            values: self.values,
-            masks: self.masks,
+            values: ValueSlab::Owned(self.values),
+            masks: MaskSlab::Owned(self.masks),
             labels: if self.any_label {
                 Some(self.labels)
             } else {

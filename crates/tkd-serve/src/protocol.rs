@@ -1,11 +1,11 @@
 //! The versioned wire protocol — length-prefixed, checksummed binary
 //! frames over TCP.
 //!
-//! # Frame layout (protocol version 1)
+//! # Frame layout (protocol version 2)
 //!
 //! ```text
 //! magic      4 bytes   "TKDW"
-//! version    u32       1
+//! version    u32       2
 //! checksum   u64       fnv64 over every byte after this field
 //!                      (kind ‖ len ‖ body)
 //! kind       u8        frame kind (requests 1–5, responses 128–133)
@@ -44,7 +44,9 @@ use tkd_store::fnv64;
 pub const MAGIC: [u8; 4] = *b"TKDW";
 
 /// The protocol version this build speaks — reads and writes.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 extends the stats frame with snapshot-load telemetry
+/// (`load_micros`, `borrowed`).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame header bytes: magic + version + checksum + kind + len.
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 8;
@@ -179,6 +181,13 @@ pub struct ServerStats {
     pub timeouts: u64,
     /// Pending requests at the time of the stats call.
     pub queue_depth: u64,
+    /// Wall time the startup snapshot load took, in microseconds — 0
+    /// when the engine was built in-process rather than loaded.
+    pub load_micros: u64,
+    /// 1 while the engine still serves storage **borrowed** from the
+    /// zero-copy snapshot buffer, 0 once fully promoted/owned (fresh
+    /// builds, big-endian hosts, or after mutations touched everything).
+    pub borrowed: u64,
 }
 
 /// A typed rejection relayed to the client.
@@ -516,6 +525,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.overloaded,
                 s.timeouts,
                 s.queue_depth,
+                s.load_micros,
+                s.borrowed,
             ] {
                 w.put_u64(v);
             }
@@ -588,6 +599,8 @@ pub fn decode_response_body(kind: u8, body: &[u8]) -> Result<Response, ServeErro
                 overloaded: get()?,
                 timeouts: get()?,
                 queue_depth: get()?,
+                load_micros: get()?,
+                borrowed: get()?,
             };
             Response::StatsResult(s)
         }

@@ -73,6 +73,11 @@ pub struct ServeConfig {
     /// If set, the snapshot is atomically rewritten here after every
     /// applied update batch and once more at drain.
     pub snapshot: Option<PathBuf>,
+    /// How long the startup snapshot load took, reported verbatim in
+    /// the `stats` frame (`None` = engine built in-process, reported
+    /// as 0). The caller that loaded the snapshot times it and passes
+    /// the measurement in.
+    pub load_time: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(5),
             max_frame: DEFAULT_MAX_FRAME,
             snapshot: None,
+            load_time: None,
         }
     }
 }
@@ -612,5 +618,10 @@ fn gather_stats(engine: &DynamicEngine, shared: &Shared, counters: &EngineCounte
         overloaded: shared.overloaded.load(Ordering::Relaxed),
         timeouts: counters.timeouts,
         queue_depth: depth,
+        load_micros: shared
+            .config
+            .load_time
+            .map_or(0, |t| t.as_micros().min(u64::MAX as u128) as u64),
+        borrowed: u64::from(engine.storage_report().is_borrowed()),
     }
 }

@@ -10,7 +10,7 @@
 use crate::error::StoreError;
 use crate::wire::{Reader, Writer};
 use std::collections::HashMap;
-use tkd_bitvec::{BitVec, Tombstones};
+use tkd_bitvec::{BitVec, Tombstones, Words};
 use tkd_core::dynamic::DynamicPartsRef;
 use tkd_core::{BinChoice, CompactionPolicy, Preprocessed, UpdateStats};
 use tkd_index::{BinnedBitmapIndex, BitmapIndex};
@@ -18,30 +18,38 @@ use tkd_model::{Dataset, DimMask, ObjectId};
 
 // ----- bit vectors --------------------------------------------------------
 
-/// `(bit length: u64, words: ceil(len/64) × u64)` — the word-aligned
-/// layout that lets columns load by bulk copy.
+/// `(pad to 8 · bit length: u64, words: ceil(len/64) × u64)` — the
+/// 8-aligned layout (v2) that lets columns load as borrowed views of the
+/// file buffer, or at worst by bulk copy.
 pub fn encode_bitvec(w: &mut Writer, bv: &BitVec) {
+    w.align8();
     w.put_u64(bv.len() as u64);
     w.put_words(bv.as_words());
 }
 
 /// Inverse of [`encode_bitvec`]; rejects word counts that outrun the
-/// payload *before* allocating ([`Reader::get_words`] bounds-checks the
-/// byte range first), and non-canonical padding.
+/// payload *before* allocating ([`Reader::get_word_slab`] bounds-checks
+/// the byte range first), and non-canonical padding. With a shared
+/// backing attached to `r`, the returned column **borrows** the file
+/// buffer (promoted to owned on first mutation).
 pub fn decode_bitvec(r: &mut Reader<'_>) -> Result<BitVec, StoreError> {
+    r.align8()?;
     let len = r.get_u64()?;
     let len = usize::try_from(len).map_err(|_| r.invalid("bit length exceeds usize"))?;
-    let words = r.get_words(len.div_ceil(64))?;
-    BitVec::from_words(words, len).map_err(|e| r.invalid(e))
+    match r.get_word_slab(len.div_ceil(64))? {
+        Words::Shared(view) => BitVec::from_shared(view, len).map_err(|e| r.invalid(e)),
+        Words::Owned(words) => BitVec::from_words(words, len).map_err(|e| r.invalid(e)),
+    }
 }
 
 // ----- dataset ------------------------------------------------------------
 
-/// `dims u32 · n u64 · masks n×u64 · values n·dims×f64 · has_labels u8
-/// [· labels n×str]`.
+/// `dims u32 · n u64 · pad to 8 · masks n×u64 · values n·dims×f64 ·
+/// has_labels u8 [· labels n×str]`.
 pub fn encode_dataset(w: &mut Writer, ds: &Dataset) {
     w.put_u32(ds.dims() as u32);
     w.put_u64(ds.len() as u64);
+    w.align8();
     for &m in ds.masks() {
         w.put_u64(m.bits());
     }
@@ -60,23 +68,18 @@ pub fn encode_dataset(w: &mut Writer, ds: &Dataset) {
 }
 
 /// Inverse of [`encode_dataset`], re-validated through
-/// [`Dataset::from_raw_parts`].
+/// [`Dataset::from_raw_parts`] / [`Dataset::from_shared_parts`]. With a
+/// shared backing attached to `r`, both slabs (masks and values) are
+/// **borrowed** views of the file buffer.
 pub fn decode_dataset(r: &mut Reader<'_>) -> Result<Dataset, StoreError> {
     let dims = r.get_u32()? as usize;
     if dims == 0 || dims > tkd_model::MAX_DIMS {
         return Err(r.invalid(format!("bad dimensionality {dims}")));
     }
     let n = r.get_count(8 * (1 + dims))?; // each row needs a mask + dims values
-    let masks: Vec<DimMask> = r
-        .get_words(n)?
-        .into_iter()
-        .map(DimMask::from_bits)
-        .collect();
-    let values: Vec<f64> = r
-        .get_words(n * dims)?
-        .into_iter()
-        .map(f64::from_bits)
-        .collect();
+    r.align8()?;
+    let mask_words = r.get_word_slab(n)?;
+    let value_words = r.get_word_slab(n * dims)?;
     let labels = match r.get_u8()? {
         0 => None,
         1 => {
@@ -88,7 +91,25 @@ pub fn decode_dataset(r: &mut Reader<'_>) -> Result<Dataset, StoreError> {
         }
         other => return Err(r.invalid(format!("bad labels tag {other}"))),
     };
-    Dataset::from_raw_parts(dims, values, masks, labels).map_err(|e| r.invalid(e.to_string()))
+    match (value_words, mask_words) {
+        (Words::Shared(values), Words::Shared(masks)) => {
+            Dataset::from_shared_parts(dims, values, masks, labels)
+        }
+        (values, masks) => {
+            let masks: Vec<DimMask> = masks
+                .as_slice()
+                .iter()
+                .map(|&w| DimMask::from_bits(w))
+                .collect();
+            let values: Vec<f64> = values
+                .as_slice()
+                .iter()
+                .map(|&w| f64::from_bits(w))
+                .collect();
+            Dataset::from_raw_parts(dims, values, masks, labels)
+        }
+    }
+    .map_err(|e| r.invalid(e.to_string()))
 }
 
 // ----- bitmap index -------------------------------------------------------

@@ -11,7 +11,10 @@
 use tkd_core::{DynamicEngine, EngineQuery};
 use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
 use tkd_model::fixtures;
-use tkd_store::{decode_engine, encode_engine, fnv64, section_boundaries, StoreError};
+use tkd_store::{
+    decode_engine, decode_engine_shared, encode_engine, fnv64, section_boundaries, SnapshotBuf,
+    StoreError,
+};
 
 /// Splitmix-style deterministic offsets.
 struct Mix(u64);
@@ -66,12 +69,22 @@ fn fix_checksums(bytes: &mut [u8]) {
     bytes[table_end - 8..table_end].copy_from_slice(&sum.to_le_bytes());
 }
 
-/// Decode must fail with a typed error that also renders.
+/// Decode must fail with a typed error that also renders — on **both**
+/// load paths: the copying decode and the zero-copy (borrowed) decode
+/// must reject the same damage with the same typed error; misaligned or
+/// truncated buffers on the borrow path never become UB or panics.
 #[track_caller]
 fn assert_rejected(bytes: &[u8], what: &str) {
-    match decode_engine(bytes) {
+    let copied = match decode_engine(bytes) {
         Ok(_) => panic!("{what}: corrupted snapshot loaded silently"),
-        Err(e) => assert!(!e.to_string().is_empty(), "{what}: empty error message"),
+        Err(e) => {
+            assert!(!e.to_string().is_empty(), "{what}: empty error message");
+            e
+        }
+    };
+    match decode_engine_shared(&SnapshotBuf::from_bytes(bytes.to_vec())) {
+        Ok(_) => panic!("{what}: corrupted snapshot loaded silently on the borrow path"),
+        Err(e) => assert_eq!(e, copied, "{what}: borrow path error diverges"),
     }
 }
 
@@ -89,7 +102,9 @@ fn truncation_at_every_byte_of_the_small_snapshot() {
 fn truncation_at_every_section_boundary_of_the_large_snapshot() {
     let bytes = large_snapshot();
     let cuts = section_boundaries(&bytes);
-    assert!(cuts.len() >= 12, "boundary enumeration looks too small");
+    // v2 aligns slabs, so section ends usually coincide with the next
+    // offset and dedup to one cut: header, table, 5 section starts, EOF.
+    assert!(cuts.len() >= 8, "boundary enumeration looks too small");
     for &cut in &cuts {
         if cut == bytes.len() {
             continue;
@@ -198,6 +213,52 @@ fn content_tampering_behind_valid_checksums_is_caught_structurally() {
     match decode_engine(&damaged) {
         Err(StoreError::Invalid { .. }) => {}
         other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonzero_alignment_padding_is_rejected_on_both_paths() {
+    // v2 zero-pads each word slab to an 8-byte offset; a nonzero pad
+    // byte (checksums fixed up so integrity passes) must be caught by
+    // the structural layer on the copying AND the borrow path — the
+    // borrow path must never hand out a slab whose canonical alignment
+    // was faked.
+    let bytes = large_snapshot();
+    // Dataset section: dims u32 + n u64 = 12 bytes, then 4 pad bytes
+    // before the mask slab.
+    let ds_off = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    for pad in 0..4 {
+        let mut damaged = bytes.clone();
+        damaged[ds_off + 12 + pad] = 0xAB;
+        fix_checksums(&mut damaged);
+        match decode_engine(&damaged) {
+            Err(StoreError::Invalid { .. }) => {}
+            other => panic!("pad byte {pad}: expected Invalid, got {other:?}"),
+        }
+        match decode_engine_shared(&SnapshotBuf::from_bytes(damaged)) {
+            Err(StoreError::Invalid { .. }) => {}
+            other => panic!("pad byte {pad} (borrowed): expected Invalid, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_buf_tolerates_ragged_lengths() {
+    // SnapshotBuf owns buffers of any byte length (the last backing
+    // word may be partial); decoding through it must behave exactly
+    // like the byte-slice decode for every ragged tail.
+    let bytes = small_snapshot();
+    for extra in 1..9 {
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0u8, extra));
+        let buf = SnapshotBuf::from_bytes(padded.clone());
+        assert_eq!(buf.bytes(), &padded[..]);
+        // Trailing bytes are corruption — both paths agree on the error.
+        assert_eq!(
+            decode_engine_shared(&buf).unwrap_err(),
+            decode_engine(&padded).unwrap_err(),
+            "extra={extra}"
+        );
     }
 }
 

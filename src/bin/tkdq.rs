@@ -602,7 +602,9 @@ fn cmd_serve(args: &[String]) {
             })
             .unwrap_or(default)
     };
+    let load_started = std::time::Instant::now();
     let engine = load_snapshot(&snap);
+    let load_time = load_started.elapsed();
     let config = tkdi::serve::ServeConfig {
         threads: parse_threads(&opts),
         max_queue: count("max-queue", 128),
@@ -614,6 +616,7 @@ fn cmd_serve(args: &[String]) {
         } else {
             Some(snap.clone().into())
         },
+        load_time: Some(load_time),
         ..Default::default()
     };
     let server = tkdi::serve::Server::start(engine, addr.as_str(), config).unwrap_or_else(|e| {
