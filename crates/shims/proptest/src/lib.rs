@@ -543,6 +543,12 @@ pub mod option {
         }
     }
 
+    /// Generates `Some` from `inner` half the time, `None` otherwise —
+    /// the real crate's default-probability form.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
     /// Generates `Some` from `inner` with probability `probability_some`,
     /// `None` otherwise.
     pub fn weighted<S: Strategy>(probability_some: f64, inner: S) -> OptionStrategy<S> {

@@ -273,7 +273,12 @@ fn query_s(cell: &Json, name: &str) -> Option<f64> {
 
 /// Run the regression gate.
 ///
-/// Returns the report table and whether the gate **passed**.
+/// Returns the report table, whether the gate **passed**, and any
+/// warnings about a degraded comparison. A shape mismatch between the
+/// two artifacts — one side predating the kernels section (the pre-PR-7
+/// `tkd-perf/v1` layout), or a portable-tier dispatch — degrades to a
+/// time-only comparison with a warning rather than a hard error: old
+/// committed baselines must keep gating query times.
 ///
 /// # Errors
 /// Unreadable/ill-formed files, wrong schema, or zero overlapping cells.
@@ -281,7 +286,7 @@ pub fn run(
     baseline_path: &str,
     current_path: &str,
     tolerance: f64,
-) -> Result<(Table, bool), String> {
+) -> Result<(Table, bool, Vec<String>), String> {
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -368,12 +373,25 @@ pub fn run(
     // and fallback are the same loop there, so the speedup is ~1 by
     // construction, not by regression). Baselines without a kernels
     // section never error: this check doesn't read the baseline.
+    let mut warnings: Vec<String> = Vec::new();
     if let Some(ck) = current.get("kernels") {
         let dispatch = ck
             .get("dispatch")
             .and_then(Json::as_str)
             .unwrap_or("unknown");
         let wide_tier = !dispatch.starts_with("portable");
+        if baseline.get("kernels").is_none() {
+            warnings.push(format!(
+                "{baseline_path} has no kernels section (pre-kernels tkd-perf/v1 shape): \
+                 query cells gate time-only against it; kernel speedups gate against \
+                 the absolute {KERNEL_SPEEDUP_FLOOR}x floor instead"
+            ));
+        }
+        if !wide_tier {
+            warnings.push(format!(
+                "kernel rows skipped: dispatch tier {dispatch:?} has no wide lanes to gate"
+            ));
+        }
         let cops = ck.get("ops").and_then(Json::as_arr).unwrap_or(&[]);
         for cur in wide_tier.then_some(cops).into_iter().flatten() {
             let Some(name) = cur.get("name").and_then(Json::as_str) else {
@@ -396,6 +414,11 @@ pub fn run(
                 regressed: cs < KERNEL_SPEEDUP_FLOOR,
             });
         }
+    } else if baseline.get("kernels").is_some() {
+        warnings.push(format!(
+            "{current_path} has no kernels section while {baseline_path} does: \
+             comparison degrades to query times only"
+        ));
     }
     let mut t = Table::new(
         format!(
@@ -422,7 +445,7 @@ pub fn run(
             if r.regressed { "REGRESSED" } else { "ok" }.into(),
         ]);
     }
-    Ok((t, ok))
+    Ok((t, ok, warnings))
 }
 
 #[cfg(test)]
@@ -473,8 +496,12 @@ mod tests {
         // Current machine is 4x slower overall — normalized ratios equal.
         let b = write("cmp_base_ok.json", &doc(0.5, 1.5, 1.0));
         let c = write("cmp_cur_ok.json", &doc(2.0, 6.0, 4.0));
-        let (_, ok) = run(&b, &c, 1.3).unwrap();
+        let (_, ok, warnings) = run(&b, &c, 1.3).unwrap();
         assert!(ok);
+        assert!(
+            warnings.is_empty(),
+            "same-shape artifacts warn: {warnings:?}"
+        );
     }
 
     #[test]
@@ -482,11 +509,11 @@ mod tests {
         let b = write("cmp_base_reg.json", &doc(0.5, 1.5, 1.0));
         // BIG got 1.5x slower relative to the calibration replica.
         let c = write("cmp_cur_reg.json", &doc(0.75, 1.5, 1.0));
-        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        let (t, ok, _) = run(&b, &c, 1.3).unwrap();
         assert!(!ok);
         assert!(t.render().contains("REGRESSED"));
         // …but a looser tolerance admits it.
-        let (_, ok) = run(&b, &c, 1.6).unwrap();
+        let (_, ok, _) = run(&b, &c, 1.6).unwrap();
         assert!(ok);
     }
 
@@ -508,7 +535,7 @@ mod tests {
             "cmp_kern_cur.json",
             &with_kernels(&doc(0.5, 1.5, 1.0), 1.1, "avx512-vpopcntdq"),
         );
-        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        let (t, ok, _) = run(&b, &c, 1.3).unwrap();
         assert!(!ok);
         assert!(t.render().contains("popcount"));
         // A healthy speedup passes — even against a baseline that
@@ -518,6 +545,43 @@ mod tests {
             &with_kernels(&doc(0.5, 1.5, 1.0), 4.8, "avx512-vpopcntdq"),
         );
         assert!(run(&b, &c2, 1.3).unwrap().1);
+    }
+
+    #[test]
+    fn shape_mismatch_degrades_to_time_only_with_a_warning() {
+        // Pre-kernels baseline (the pre-PR-7 BENCH_2.quick.json layout)
+        // vs a kernels-bearing current: passes, with a warning naming the
+        // degraded comparison — never a hard error.
+        let old = write("cmp_shape_old.json", &doc(0.5, 1.5, 1.0));
+        let new = write(
+            "cmp_shape_new.json",
+            &with_kernels(&doc(2.0, 6.0, 4.0), 4.8, "avx512-vpopcntdq"),
+        );
+        let (t, ok, warnings) = run(&old, &new, 1.3).unwrap();
+        assert!(ok, "healthy run against an old baseline passes");
+        assert!(
+            warnings.iter().any(|w| w.contains("no kernels section")),
+            "the degrade is announced: {warnings:?}"
+        );
+        assert!(
+            t.render().contains("popcount"),
+            "kernel rows still gate against the absolute floor"
+        );
+        // The degrade does not weaken the floor: a slow kernel still
+        // fails even though the baseline predates the section.
+        let slow = write(
+            "cmp_shape_new_slow.json",
+            &with_kernels(&doc(2.0, 6.0, 4.0), 1.1, "avx512-vpopcntdq"),
+        );
+        assert!(!run(&old, &slow, 1.3).unwrap().1);
+        // The mirror-image mismatch (current lost the section) also
+        // degrades to query times with a warning.
+        let (_, ok, warnings) = run(&new, &old, 1.3).unwrap();
+        assert!(ok, "time-only comparison still gates queries");
+        assert!(
+            warnings.iter().any(|w| w.contains("query times only")),
+            "the lost coverage is announced: {warnings:?}"
+        );
     }
 
     #[test]
@@ -531,8 +595,12 @@ mod tests {
             "cmp_kern_portable.json",
             &with_kernels(&doc(0.5, 1.5, 1.0), 1.0, "portable-autovec"),
         );
-        let (t, ok) = run(&b, &c, 1.3).unwrap();
+        let (t, ok, warnings) = run(&b, &c, 1.3).unwrap();
         assert!(ok, "portable-tier speedups must not be gated");
+        assert!(
+            warnings.iter().any(|w| w.contains("no wide lanes")),
+            "portable skip is announced: {warnings:?}"
+        );
         assert!(!t.render().contains("popcount"));
     }
 

@@ -20,6 +20,7 @@ pub mod load;
 pub mod perf;
 pub mod persist;
 pub mod serve;
+pub mod standing;
 pub mod table;
 pub mod updates;
 

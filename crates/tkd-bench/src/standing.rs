@@ -1,0 +1,448 @@
+//! `repro --exp standing` — the continuous-query maintenance benchmark
+//! (`BENCH_8.json`).
+//!
+//! For each `(n, dims, missing, k, batch_ops)` cell the harness drives
+//! the **same** deterministic op-batch stream through three engines that
+//! differ only in how their registered standing queries are maintained:
+//!
+//! * **patched** — `fallback_fraction = 1.0`: every effective batch is
+//!   answered by the cache-walk patch, never a full re-query;
+//! * **requery** — `fallback_fraction = 0.0`: every effective batch
+//!   falls back to a full re-query (the architecture patching replaces);
+//! * **mixed** — the default threshold (0.25): the adaptive policy the
+//!   serve layer ships, exercising **both** paths so the artifact proves
+//!   the fallback fires and is counted.
+//!
+//! A fourth engine with no registered queries isolates the base batch
+//! cost, so `patch_overhead_s` / `requery_overhead_s` are the standing
+//! maintenance alone. After the stream, every engine's standing result
+//! is asserted **bit-identical** to re-querying that engine from scratch
+//! — each number in the artifact is backed by the same parity guarantee
+//! `tests/standing_parity.rs` pins.
+//!
+//! The JSON artifact (`tkd-standing/v1`) records
+//! `hardware.available_parallelism` like the other BENCH files:
+//! notification throughput is single-threaded and comparable across
+//! machines, absolute times are not.
+
+use crate::table::{secs, Table};
+use crate::{time, Scale};
+use tkd_core::dynamic::{CompactionPolicy, DynamicOptions};
+use tkd_core::{Algorithm, BinChoice, DynamicEngine, EngineQuery, StandingSpec, UpdateOp};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_model::ObjectId;
+
+/// Batches per measured stream.
+const BATCHES: usize = 10;
+
+/// One grid cell: `(n, dims, missing_rate, k, batch_ops)`.
+pub type StandingPoint = (usize, usize, f64, usize, usize);
+
+/// The churn grid. Quick is CI-sized; Paper adds the 50K cells. Multiple
+/// batch sizes at fixed `n` expose how the patch-vs-requery gap tracks
+/// the dirty fraction (bigger batches dirty more of the store, so the
+/// adaptive threshold starts preferring the re-query).
+pub fn standing_grid(scale: Scale) -> Vec<StandingPoint> {
+    match scale {
+        Scale::Quick => vec![
+            (2_000, 6, 0.2, 8, 16),
+            (5_000, 6, 0.2, 8, 16),
+            (5_000, 6, 0.2, 8, 64),
+            (5_000, 6, 0.4, 8, 16),
+        ],
+        Scale::Paper => vec![
+            (10_000, 8, 0.1, 8, 32),
+            (20_000, 8, 0.1, 8, 32),
+            (50_000, 8, 0.1, 8, 32),
+            (50_000, 8, 0.3, 8, 128),
+        ],
+    }
+}
+
+/// Measurements of one cell.
+struct StandingCell {
+    n: usize,
+    dims: usize,
+    missing: f64,
+    k: usize,
+    batch_ops: usize,
+    /// Stream wall-clock with no standing queries registered.
+    plain_s: f64,
+    /// Stream wall-clock with never-fallback (pure patch) maintenance.
+    patched_s: f64,
+    /// Stream wall-clock with always-fallback (full re-query) maintenance.
+    requery_s: f64,
+    /// Stream wall-clock at the default adaptive threshold.
+    mixed_s: f64,
+    /// Standing maintenance alone (stream minus the plain baseline).
+    patch_overhead_s: f64,
+    /// Full re-query maintenance alone.
+    requery_overhead_s: f64,
+    /// `requery_s / patched_s` on raw stream totals.
+    speedup: f64,
+    /// Notifications emitted per second on the patched stream.
+    notifications_per_s: f64,
+    notifications: usize,
+    /// Mixed-engine counters, summed over its queries: the fallback must
+    /// actually fire for the adaptive policy to mean anything.
+    mixed_patched: u64,
+    mixed_fallbacks: u64,
+    mixed_skipped: u64,
+}
+
+fn splitmix(h: &mut u64) -> u64 {
+    *h = h.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic op stream for one cell (valid by construction):
+/// 50% inserts, 25% deletes, 25% cell updates.
+fn op_stream(point: StandingPoint, seed: u64) -> Vec<Vec<UpdateOp>> {
+    let (n, dims, missing, _, batch_ops) = point;
+    let cardinality = 100u64;
+    let mut h = seed ^ 0x57A4_D1E5;
+    let mut live: Vec<ObjectId> = (0..n as ObjectId).collect();
+    let mut next_id = n as ObjectId;
+    (0..BATCHES)
+        .map(|_| {
+            (0..batch_ops)
+                .map(|_| {
+                    let roll = splitmix(&mut h) % 100;
+                    if roll < 50 || live.len() < 2 {
+                        let row: Vec<Option<f64>> = (0..dims)
+                            .map(|_| {
+                                if splitmix(&mut h) % 100 < (missing * 100.0) as u64 {
+                                    None
+                                } else {
+                                    Some((splitmix(&mut h) % cardinality) as f64)
+                                }
+                            })
+                            .collect();
+                        let row = if row.iter().all(Option::is_none) {
+                            vec![Some(0.0); dims]
+                        } else {
+                            row
+                        };
+                        live.push(next_id);
+                        next_id += 1;
+                        UpdateOp::Insert(row)
+                    } else if roll < 75 {
+                        let pick = (splitmix(&mut h) as usize) % live.len();
+                        UpdateOp::Delete(live.swap_remove(pick))
+                    } else {
+                        let id = live[(splitmix(&mut h) as usize) % live.len()];
+                        UpdateOp::Set(
+                            id,
+                            (splitmix(&mut h) as usize) % dims,
+                            Some((splitmix(&mut h) % cardinality) as f64),
+                        )
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn engine_for(point: StandingPoint, seed: u64) -> DynamicEngine {
+    let (n, dims, missing, _, _) = point;
+    let ds = generate(&SyntheticConfig {
+        n,
+        dims,
+        cardinality: 100,
+        missing_rate: missing,
+        distribution: Distribution::Independent,
+        seed,
+    });
+    DynamicEngine::with_options(
+        ds,
+        DynamicOptions {
+            bins: BinChoice::Auto,
+            policy: CompactionPolicy::default(),
+        },
+    )
+}
+
+/// Drive the stream through one engine, returning (wall-clock,
+/// notifications emitted). Panics if any op fails — the stream is valid
+/// by construction.
+fn drive(engine: &mut DynamicEngine, stream: &[Vec<UpdateOp>]) -> (f64, usize) {
+    let mut notifications = 0usize;
+    let (_, secs) = time(|| {
+        for ops in stream {
+            let report = engine.apply_ops(ops);
+            assert!(report.error.is_none(), "stream is valid");
+            notifications += report.notifications.len();
+        }
+    });
+    (secs, notifications)
+}
+
+/// Assert each registered query's standing result is **bit-identical**
+/// (entries, scores, tie order) to re-querying the engine from scratch
+/// — the oracle discipline of `tests/standing_parity.rs`, re-checked
+/// inside the harness so the published numbers cannot drift from the
+/// guarantee.
+fn assert_standing_parity(
+    engine: &mut DynamicEngine,
+    queries: &[(u64, Algorithm, usize)],
+    tag: &str,
+) {
+    for &(id, alg, k) in queries {
+        let got: Vec<(ObjectId, usize)> = engine
+            .standing_result(id)
+            .expect("registered")
+            .iter()
+            .map(|e| (e.id, e.score))
+            .collect();
+        let oracle: Vec<(ObjectId, usize)> = engine
+            .query(&EngineQuery::new(k).algorithm(alg))
+            .expect("BIG/IBIG supported")
+            .iter()
+            .map(|e| (e.id, e.score))
+            .collect();
+        assert_eq!(got, oracle, "{tag}: standing result diverged from re-query");
+        let stats = engine.standing_stats(id).expect("registered");
+        assert_eq!(
+            stats.batches, BATCHES as u64,
+            "{tag}: every batch maintained"
+        );
+    }
+}
+
+fn measure_cell(point: StandingPoint, seed: u64) -> StandingCell {
+    let (n, dims, missing, k, batch_ops) = point;
+    let stream = op_stream(point, seed);
+    let register = |engine: &mut DynamicEngine, fallback: f64| -> Vec<(u64, Algorithm, usize)> {
+        [Algorithm::Big, Algorithm::Ibig]
+            .into_iter()
+            .map(|alg| {
+                let id = engine
+                    .register(
+                        StandingSpec::new(k)
+                            .algorithm(alg)
+                            .fallback_fraction(fallback),
+                    )
+                    .expect("valid spec");
+                (id, alg, k)
+            })
+            .collect()
+    };
+
+    // Base cost: the identical stream with nothing registered.
+    let mut plain = engine_for(point, seed);
+    let (plain_s, _) = drive(&mut plain, &stream);
+
+    // Pure patch (threshold 1.0 never falls back).
+    let mut patched = engine_for(point, seed);
+    let patched_q = register(&mut patched, 1.0);
+    let (patched_s, notifications) = drive(&mut patched, &stream);
+
+    // Pure re-query (threshold 0.0 always falls back).
+    let mut requery = engine_for(point, seed);
+    let requery_q = register(&mut requery, 0.0);
+    let (requery_s, _) = drive(&mut requery, &stream);
+
+    // The shipped default: adaptive, both paths exercised and counted.
+    let mut mixed = engine_for(point, seed);
+    let mixed_q = register(&mut mixed, 0.25);
+    let (mixed_s, _) = drive(&mut mixed, &stream);
+
+    // Parity: each engine's standing results equal a from-scratch
+    // re-query of that same engine, entries/scores/tie order.
+    assert_standing_parity(&mut patched, &patched_q, "patched");
+    assert_standing_parity(&mut requery, &requery_q, "requery");
+    assert_standing_parity(&mut mixed, &mixed_q, "mixed");
+
+    let (mut mixed_patched, mut mixed_fallbacks, mut mixed_skipped) = (0u64, 0u64, 0u64);
+    for id in mixed.standing_ids() {
+        let s = mixed.standing_stats(id).expect("registered");
+        mixed_patched += s.patched;
+        mixed_fallbacks += s.fallbacks;
+        mixed_skipped += s.skipped;
+    }
+
+    StandingCell {
+        n,
+        dims,
+        missing,
+        k,
+        batch_ops,
+        plain_s,
+        patched_s,
+        requery_s,
+        mixed_s,
+        patch_overhead_s: (patched_s - plain_s).max(0.0),
+        requery_overhead_s: (requery_s - plain_s).max(0.0),
+        speedup: requery_s / patched_s,
+        notifications_per_s: notifications as f64 / patched_s,
+        notifications,
+        mixed_patched,
+        mixed_fallbacks,
+        mixed_skipped,
+    }
+}
+
+/// Run the grid, returning the printable table and the `BENCH_8.json`
+/// document.
+pub fn run(scale: Scale, seed: u64) -> (Table, String) {
+    let cells: Vec<StandingCell> = standing_grid(scale)
+        .into_iter()
+        .map(|p| measure_cell(p, seed))
+        .collect();
+
+    let mut t = Table::new(
+        "standing queries — patched maintenance vs full re-query (IND)",
+        &[
+            "N",
+            "dims",
+            "missing",
+            "batch",
+            "patched (s)",
+            "requery (s)",
+            "speedup",
+            "mixed (s)",
+            "patch/fallback/skip",
+            "notif/s",
+        ],
+    );
+    for c in &cells {
+        t.push(vec![
+            c.n.to_string(),
+            c.dims.to_string(),
+            format!("{:.0}%", c.missing * 100.0),
+            c.batch_ops.to_string(),
+            secs(c.patched_s),
+            secs(c.requery_s),
+            format!("{:.2}x", c.speedup),
+            secs(c.mixed_s),
+            format!(
+                "{}/{}/{}",
+                c.mixed_patched, c.mixed_fallbacks, c.mixed_skipped
+            ),
+            format!("{:.0}", c.notifications_per_s),
+        ]);
+    }
+    (t, to_json(scale, seed, &cells))
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde).
+fn to_json(scale: Scale, seed: u64, cells: &[StandingCell]) -> String {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tkd-standing/v1\",\n");
+    s.push_str("  \"created_by\": \"repro --exp standing\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"hardware\": {{\"available_parallelism\": {hw}}},\n"
+    ));
+    s.push_str(&format!("  \"batches\": {BATCHES},\n"));
+    s.push_str("  \"op_mix\": {\"insert\": 0.5, \"delete\": 0.25, \"update\": 0.25},\n");
+    s.push_str("  \"standing_queries\": [\"big\", \"ibig\"],\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"workload\": {{\"n\": {}, \"dims\": {}, \"missing_rate\": {}, \
+             \"cardinality\": 100, \"k\": {}, \"batch_ops\": {}, \
+             \"distribution\": \"IND\"}},\n",
+            c.n, c.dims, c.missing, c.k, c.batch_ops
+        ));
+        s.push_str(&format!(
+            "      \"plain_s\": {:.6}, \"patched_s\": {:.6}, \
+             \"requery_s\": {:.6}, \"mixed_s\": {:.6},\n",
+            c.plain_s, c.patched_s, c.requery_s, c.mixed_s
+        ));
+        s.push_str(&format!(
+            "      \"patch_overhead_s\": {:.6}, \"requery_overhead_s\": {:.6}, \
+             \"requery_over_patched\": {:.2},\n",
+            c.patch_overhead_s, c.requery_overhead_s, c.speedup
+        ));
+        s.push_str(&format!(
+            "      \"notifications\": {}, \"notifications_per_s\": {:.1},\n",
+            c.notifications, c.notifications_per_s
+        ));
+        s.push_str(&format!(
+            "      \"mixed_counters\": {{\"patched\": {}, \"fallbacks\": {}, \
+             \"skipped\": {}}}\n",
+            c.mixed_patched, c.mixed_fallbacks, c.mixed_skipped
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_cell_is_parity_checked_and_json_is_sane() {
+        // measure_cell asserts standing == re-query internally, on all
+        // three maintained engines.
+        let cell = measure_cell((400, 4, 0.2, 8, 12), 11);
+        assert!(cell.patched_s > 0.0 && cell.requery_s > 0.0);
+        // Two standing queries × BATCHES batches, one notification each.
+        assert_eq!(cell.notifications, 2 * BATCHES);
+        let json = to_json(Scale::Quick, 11, &[cell]);
+        for needle in [
+            "tkd-standing/v1",
+            "available_parallelism",
+            "requery_over_patched",
+            "notifications_per_s",
+            "mixed_counters",
+            "fallbacks",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn fallback_thresholds_split_the_counters() {
+        // Pure-patch engine never falls back; pure-requery never patches.
+        let point = (400, 4, 0.2, 8, 12);
+        let stream = op_stream(point, 23);
+        let mut never = engine_for(point, 23);
+        let id_n = never
+            .register(StandingSpec::new(8).fallback_fraction(1.0))
+            .expect("valid");
+        let mut always = engine_for(point, 23);
+        let id_a = always
+            .register(StandingSpec::new(8).fallback_fraction(0.0))
+            .expect("valid");
+        drive(&mut never, &stream);
+        drive(&mut always, &stream);
+        let sn = never.standing_stats(id_n).expect("registered");
+        let sa = always.standing_stats(id_a).expect("registered");
+        assert_eq!(sn.fallbacks, 0, "threshold 1.0 never re-queries");
+        assert_eq!(sa.patched, 0, "threshold 0.0 never patches");
+        assert!(sa.fallbacks > 0, "the fallback path actually ran");
+        assert!(sn.patched > 0, "the patch path actually ran");
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert!(standing_grid(Scale::Quick)
+            .iter()
+            .all(|&(n, ..)| n <= 10_000));
+        assert!(standing_grid(Scale::Paper)
+            .iter()
+            .any(|&(n, ..)| n == 50_000));
+    }
+}

@@ -155,8 +155,9 @@ pub fn big_with_scratch(ctx: &BigContext<'_>, k: usize, scratch: &mut ScratchSpa
 }
 
 /// BIG-Score (Algorithm 3). Returns `None` when Heuristic 2 discards `o`
-/// (its exact score is then never computed).
-fn big_score(
+/// (its exact score is then never computed). Crate-visible so the standing
+/// query layer can score cache misses through the identical path.
+pub(crate) fn big_score(
     ctx: &BigContext<'_>,
     o: ObjectId,
     top: &TopK,

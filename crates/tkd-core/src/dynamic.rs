@@ -54,6 +54,9 @@ use crate::preprocess::{incomparable_bitvecs, Preprocessed};
 use crate::query::{shuffle_ties, Algorithm, BinChoice, TieBreak};
 use crate::result::{ResultEntry, TkdResult};
 use crate::scratch::ScratchSpace;
+use crate::standing::{
+    self, Notification, StandingId, StandingQuery, StandingSpec, StandingState, StandingStats,
+};
 use crate::EngineQuery;
 use std::collections::HashMap;
 use std::fmt;
@@ -138,6 +141,9 @@ pub enum UpdateError {
     Deleted(ObjectId),
     /// The dynamic engine serves the index-guided algorithms only.
     UnsupportedAlgorithm(Algorithm),
+    /// A standing-query registration was invalid (bad subspace,
+    /// constraint, fallback fraction, or unsupported algorithm).
+    InvalidStandingQuery(String),
 }
 
 impl fmt::Display for UpdateError {
@@ -148,6 +154,9 @@ impl fmt::Display for UpdateError {
             UpdateError::Deleted(id) => write!(f, "object {id} was deleted"),
             UpdateError::UnsupportedAlgorithm(a) => {
                 write!(f, "dynamic engine serves BIG/IBIG, not {a:?}")
+            }
+            UpdateError::InvalidStandingQuery(why) => {
+                write!(f, "invalid standing query: {why}")
             }
         }
     }
@@ -177,6 +186,30 @@ pub struct UpdateStats {
 /// Sentinel in the `t` table for unobserved cells — public because the
 /// snapshot codec persists the table verbatim ([`DynamicParts::t`]).
 pub const T_UNOBSERVED: u32 = u32::MAX;
+
+/// What [`DynamicEngine::apply_ops`] did with one op batch: how far it
+/// got, the identities it handed out or retired, and — when standing
+/// queries are registered — one result-delta [`Notification`] per query.
+///
+/// Unlike [`DynamicEngine::apply_all`], a failing op does **not** abort
+/// the post-batch work: window age-out and standing maintenance still run
+/// over whatever prefix applied, so subscriber state stays consistent
+/// with the engine after partial failures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// Ops applied (the prefix before the first failure, if any).
+    pub applied: usize,
+    /// Stable ids handed out by this batch's inserts, in op order.
+    pub inserted_ids: Vec<ObjectId>,
+    /// Stable ids deleted by sliding-window age-out (oldest first).
+    pub aged_out: Vec<ObjectId>,
+    /// `(index of the failing op, its error)`, if the batch stopped early.
+    pub error: Option<(usize, UpdateError)>,
+    /// This batch's sequence number (monotonic per engine).
+    pub batch_seq: u64,
+    /// One delta per registered standing query (empty deltas included).
+    pub notifications: Vec<Notification>,
+}
 
 /// Borrowed view of a [`DynamicEngine`]'s persisted logical state —
 /// what the snapshot *writer* consumes ([`DynamicEngine::store_parts_ref`]).
@@ -311,6 +344,9 @@ pub struct DynamicEngine {
     policy: CompactionPolicy,
     epoch: u64,
     stats: UpdateStats,
+    /// Standing-query registry, dirty tracking, and the shared exact-score
+    /// cache (dormant — zero per-op cost — until a query registers).
+    standing: StandingState,
 }
 
 impl fmt::Debug for DynamicEngine {
@@ -361,6 +397,7 @@ impl DynamicEngine {
             policy: options.policy,
             epoch: 0,
             stats: UpdateStats::default(),
+            standing: StandingState::default(),
         };
         engine.rebuild_artifacts();
         engine
@@ -518,6 +555,9 @@ impl DynamicEngine {
         }
         .expect("row already validated");
         self.live.push_live();
+        if self.standing.tracking() {
+            self.standing.on_insert_slot();
+        }
         // 3. The new object's own |Tᵢ| row, via the (updated) probe trees
         //    — the same rank-query formula the from-scratch oracle uses.
         for (dim, &obs) in row.iter().enumerate() {
@@ -552,6 +592,11 @@ impl DynamicEngine {
     /// is unchanged on error.
     pub fn delete(&mut self, id: ObjectId) -> Result<(), UpdateError> {
         let slot = self.slot(id)?;
+        if self.standing.tracking() {
+            self.standing.mark(slot);
+            self.standing.structural += 1;
+            self.standing.effective += 1;
+        }
         // Kill first so the delta scans exclude the victim itself.
         self.live.kill(slot);
         for dim in 0..self.dims {
@@ -620,6 +665,13 @@ impl DynamicEngine {
             }
             _ => {}
         }
+        if self.standing.tracking() {
+            // The rewritten row's own score can change too — the delta
+            // scans below only cover the *other* side of each pair.
+            self.standing.mark(slot);
+            self.standing.touched_dims |= 1u64 << dim;
+            self.standing.effective += 1;
+        }
         // Other objects' |T_dim|: remove the old contribution, add the new
         // one. Both scans skip the object itself (its own row is
         // recomputed below) and see only other objects' bits, which the
@@ -684,6 +736,274 @@ impl DynamicEngine {
             self.apply(op).map_err(|e| (i, e))?;
         }
         Ok(())
+    }
+
+    // ----- standing queries -----------------------------------------------
+
+    /// Register a standing query: its initial result is computed now (a
+    /// full query), and every subsequent [`DynamicEngine::apply_ops`]
+    /// batch patches it in place and reports the delta as a
+    /// [`Notification`]. Duplicate registrations of the same spec are
+    /// independent queries with fresh ids.
+    ///
+    /// # Errors
+    /// [`UpdateError::InvalidStandingQuery`] for a spec naming an
+    /// unsupported algorithm, an out-of-range or empty subspace, a
+    /// malformed constraint, or a fallback fraction outside `[0, 1]`.
+    pub fn register(&mut self, spec: StandingSpec) -> Result<StandingId, UpdateError> {
+        spec.validate(self.dims)
+            .map_err(UpdateError::InvalidStandingQuery)?;
+        if !self.standing.tracking() {
+            self.standing.activate(self.ds.len());
+        }
+        let result = self.standing_answer_fresh(&spec);
+        let id = self.standing.next_id;
+        self.standing.next_id += 1;
+        self.standing.queries.insert(
+            id,
+            StandingQuery {
+                spec,
+                result,
+                stats: StandingStats::default(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Remove a standing query. Returns whether `id` was registered; the
+    /// last removal drops all tracking state (updates go back to paying
+    /// zero standing overhead).
+    pub fn unregister(&mut self, id: StandingId) -> bool {
+        let removed = self.standing.queries.remove(&id).is_some();
+        if removed && self.standing.queries.is_empty() {
+            self.standing.deactivate();
+        }
+        removed
+    }
+
+    /// The current result set of a standing query (stable ids, sorted by
+    /// score desc then id asc), or `None` for an unknown id. Reflects the
+    /// state as of the last [`DynamicEngine::apply_ops`] batch (or
+    /// registration); direct mutation-call dirt is folded in at the next
+    /// batch.
+    pub fn standing_result(&self, id: StandingId) -> Option<&[ResultEntry]> {
+        self.standing.queries.get(&id).map(|q| q.result.as_slice())
+    }
+
+    /// Patch/fallback/skip counters of a standing query.
+    pub fn standing_stats(&self, id: StandingId) -> Option<StandingStats> {
+        self.standing.queries.get(&id).map(|q| q.stats)
+    }
+
+    /// Ids of all registered standing queries, ascending.
+    pub fn standing_ids(&self) -> Vec<StandingId> {
+        self.standing.queries.keys().copied().collect()
+    }
+
+    /// Set (or clear) the sliding-window capacity: after each
+    /// [`DynamicEngine::apply_ops`] batch, the **oldest** live objects —
+    /// by stable id, which is insertion order — beyond the capacity are
+    /// deleted through the normal tombstone + compaction machinery and
+    /// reported in [`BatchReport::aged_out`].
+    pub fn set_window(&mut self, capacity: Option<usize>) {
+        self.standing.window = capacity;
+    }
+
+    /// The sliding-window capacity, if any.
+    pub fn window(&self) -> Option<usize> {
+        self.standing.window
+    }
+
+    /// Apply a batch of ops as one **maintenance unit**: ops run front to
+    /// back stopping at the first failure (exactly [`apply_all`]'s
+    /// semantics), then window age-out and standing-query maintenance run
+    /// over whatever applied, so subscriber state stays consistent even
+    /// after a partial batch. One [`Notification`] per registered
+    /// standing query is always produced, empty deltas included.
+    ///
+    /// [`apply_all`]: DynamicEngine::apply_all
+    pub fn apply_ops(&mut self, ops: &[UpdateOp]) -> BatchReport {
+        let mut report = BatchReport {
+            applied: 0,
+            inserted_ids: Vec::new(),
+            aged_out: Vec::new(),
+            error: None,
+            batch_seq: 0,
+            notifications: Vec::new(),
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match self.apply(op) {
+                Ok(Some(id)) => {
+                    report.inserted_ids.push(id);
+                    report.applied += 1;
+                }
+                Ok(None) => report.applied += 1,
+                Err(e) => {
+                    report.error = Some((i, e));
+                    break;
+                }
+            }
+        }
+        if let Some(cap) = self.standing.window {
+            while self.len() > cap {
+                let oldest = self
+                    .live
+                    .iter_live()
+                    .next()
+                    .map(|s| self.stable_of[s])
+                    .expect("live set is non-empty while above capacity");
+                self.delete(oldest).expect("oldest live id is deletable");
+                report.aged_out.push(oldest);
+            }
+        }
+        self.standing.batch_seq += 1;
+        report.batch_seq = self.standing.batch_seq;
+        report.notifications = self.standing_maintenance();
+        report
+    }
+
+    /// Run one batch's standing maintenance: invalidate the score cache
+    /// for the dirty slots, patch (or re-query) every registered query,
+    /// emit the deltas, and clear the per-batch trackers.
+    fn standing_maintenance(&mut self) -> Vec<Notification> {
+        if !self.standing.tracking() {
+            return Vec::new();
+        }
+        self.refresh();
+        if self.scratch.n() != self.ds.len() {
+            self.scratch = ScratchSpace::new(self.ds.len());
+        }
+        // Invalidate exactly the dirtied cache entries, counting how much
+        // of the *live* set was touched (dead dirt cannot inflate the
+        // fraction past 1.0, so `fallback_fraction = 1.0` never falls
+        // back).
+        let mut dirty_live = 0usize;
+        if self.standing.all_dirty {
+            for c in self.standing.cache.iter_mut() {
+                *c = standing::SCORE_UNKNOWN;
+            }
+        } else {
+            for &s in &self.standing.dirty_slots {
+                self.standing.cache[s] = standing::SCORE_UNKNOWN;
+                if self.live.is_live(s) {
+                    dirty_live += 1;
+                }
+            }
+        }
+        let live_count = self.live.live_count();
+        let fraction = if self.standing.all_dirty {
+            1.0
+        } else if live_count == 0 {
+            0.0
+        } else {
+            dirty_live as f64 / live_count as f64
+        };
+        let effective = self.standing.effective > 0;
+        let structural = self.standing.structural > 0 || self.standing.all_dirty;
+        let touched_dims = self.standing.touched_dims;
+        let seq = self.standing.batch_seq;
+
+        let mut queries = std::mem::take(&mut self.standing.queries);
+        let mut snapshot: Option<(Dataset, Vec<ObjectId>)> = None;
+        let mut notes = Vec::with_capacity(queries.len());
+        for (&id, q) in queries.iter_mut() {
+            let (new_result, via_fallback) = if !effective {
+                // Nothing effective happened: the result provably stands.
+                q.stats.skipped += 1;
+                (q.result.clone(), false)
+            } else if q.spec.is_full_space() {
+                if fraction > q.spec.fallback_fraction {
+                    q.stats.fallbacks += 1;
+                    (self.standing_requery_full(&q.spec), true)
+                } else {
+                    q.stats.patched += 1;
+                    (self.standing_patch_full(&q.spec), false)
+                }
+            } else if structural || touched_dims & q.spec.scope_mask() != 0 {
+                // Scoped queries rank a derived dataset: re-query it.
+                q.stats.fallbacks += 1;
+                let (snap, ids) =
+                    snapshot.get_or_insert_with(|| (self.snapshot(), self.live_ids()));
+                (standing::scoped_requery(snap, ids, &q.spec), true)
+            } else {
+                // No structural change and no in-scope dimension touched:
+                // the derived dataset is unchanged, so is the result.
+                q.stats.skipped += 1;
+                (q.result.clone(), false)
+            };
+            let (added, removed, rescored) = standing::diff(&q.result, &new_result);
+            q.result = new_result;
+            q.stats.batches += 1;
+            notes.push(Notification {
+                id,
+                batch_seq: seq,
+                added,
+                removed,
+                rescored,
+                kth_score: q.result.last().map(|e| e.score),
+                via_fallback,
+            });
+        }
+        self.standing.queries = queries;
+        self.standing.reset_batch();
+        notes
+    }
+
+    /// Compute a fresh result for a spec through the same paths the
+    /// per-batch maintenance uses (registration and the fallback path).
+    fn standing_answer_fresh(&mut self, spec: &StandingSpec) -> Vec<ResultEntry> {
+        self.refresh();
+        if self.scratch.n() != self.ds.len() {
+            self.scratch = ScratchSpace::new(self.ds.len());
+        }
+        if spec.is_full_space() {
+            self.standing_requery_full(spec)
+        } else {
+            standing::scoped_requery(&self.snapshot(), &self.live_ids(), spec)
+        }
+    }
+
+    /// Full-space fallback: plain sequential re-query, results mapped to
+    /// stable ids, cache warmed with the k exact scores just computed.
+    fn standing_requery_full(&mut self, spec: &StandingSpec) -> Vec<ResultEntry> {
+        let slots = standing::requery_full(
+            &self.ds,
+            &self.index,
+            &self.binned,
+            &self.pre,
+            spec.algorithm,
+            spec.k,
+            &mut self.standing.cache,
+            &mut self.scratch,
+        );
+        self.slots_to_stable(slots)
+    }
+
+    /// Full-space patch: the cached-score queue walk, mapped to stable ids.
+    fn standing_patch_full(&mut self, spec: &StandingSpec) -> Vec<ResultEntry> {
+        let slots = standing::patched_top_k(
+            &self.ds,
+            &self.index,
+            &self.binned,
+            &self.pre,
+            spec.algorithm,
+            spec.k,
+            &mut self.standing.cache,
+            &mut self.scratch,
+        );
+        self.slots_to_stable(slots)
+    }
+
+    /// Slot-id entries → stable-id entries. `stable_of` is strictly
+    /// increasing, so (score desc, id asc) order is preserved verbatim.
+    fn slots_to_stable(&self, entries: Vec<ResultEntry>) -> Vec<ResultEntry> {
+        entries
+            .into_iter()
+            .map(|e| ResultEntry {
+                id: self.stable_of[e.id as usize],
+                score: e.score,
+            })
+            .collect()
     }
 
     // ----- queries --------------------------------------------------------
@@ -1031,6 +1351,7 @@ impl DynamicEngine {
             policy,
             epoch,
             stats,
+            standing: StandingState::default(),
         })
     }
 
@@ -1055,6 +1376,11 @@ impl DynamicEngine {
         self.rebuild_artifacts();
         self.epoch += 1;
         self.stats.compactions += 1;
+        if self.standing.tracking() {
+            // Slots were renumbered: every cache entry and every result
+            // may shift. Treated as 100 % dirty.
+            self.standing.on_compact(n);
+        }
     }
 
     fn maybe_compact(&mut self) {
@@ -1141,13 +1467,29 @@ impl DynamicEngine {
         }
         let col = self.index.column(dim, c);
         let dims = self.dims;
-        for s in self.live.live_mask().iter_ones_and_not(col) {
-            if Some(s) == skip {
-                continue;
+        if self.standing.tracking() {
+            // Standing queries registered: the enumerated slots are exactly
+            // the objects whose pairwise dominance with the touched row can
+            // change (see `crate::standing`'s module docs), so collecting
+            // the dirty set is a by-product of the same scan.
+            for s in self.live.live_mask().iter_ones_and_not(col) {
+                if Some(s) == skip {
+                    continue;
+                }
+                self.standing.mark(s);
+                let e = &mut self.t[s * dims + dim];
+                debug_assert_ne!(*e, T_UNOBSERVED, "shift hit an unobserved cell");
+                *e = e.checked_add_signed(delta).expect("t-count out of range");
             }
-            let e = &mut self.t[s * dims + dim];
-            debug_assert_ne!(*e, T_UNOBSERVED, "shift hit an unobserved cell");
-            *e = e.checked_add_signed(delta).expect("t-count out of range");
+        } else {
+            for s in self.live.live_mask().iter_ones_and_not(col) {
+                if Some(s) == skip {
+                    continue;
+                }
+                let e = &mut self.t[s * dims + dim];
+                debug_assert_ne!(*e, T_UNOBSERVED, "shift hit an unobserved cell");
+                *e = e.checked_add_signed(delta).expect("t-count out of range");
+            }
         }
     }
 
@@ -1627,5 +1969,259 @@ mod tests {
         engine.compact_now();
         assert_eq!(engine.label(id).unwrap(), Some("Z9"));
         assert_eq!(engine.label(0).unwrap(), Some("A1"));
+    }
+
+    // ----- standing queries -----
+
+    fn standing_oracle(engine: &DynamicEngine, spec: &StandingSpec) -> Vec<ResultEntry> {
+        let snap = engine.snapshot();
+        let ids = engine.live_ids();
+        let entries: Vec<(ObjectId, usize)> = if let Some(dims) = &spec.subspace {
+            let q = TkdQuery::new(spec.k).algorithm(spec.algorithm);
+            crate::variants::subspace_top_k(&snap, dims, &q)
+                .expect("valid subspace")
+                .iter()
+                .map(|e| (ids[e.id as usize], e.score))
+                .collect()
+        } else if !spec.constraint.is_empty() {
+            let mut c = tkd_skyline::constrained::Constraints::none(snap.dims());
+            for &(d, lo, hi) in &spec.constraint {
+                c = c.with_range(d, lo, hi);
+            }
+            let q = TkdQuery::new(spec.k).algorithm(spec.algorithm);
+            crate::variants::constrained_top_k(&snap, &c, &q)
+                .iter()
+                .map(|e| (ids[e.id as usize], e.score))
+                .collect()
+        } else {
+            oracle(engine, spec.k, spec.algorithm, 1)
+        };
+        entries
+            .into_iter()
+            .map(|(id, score)| ResultEntry { id, score })
+            .collect()
+    }
+
+    #[test]
+    fn standing_register_validate_unregister() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        // Bad specs are rejected with the typed error.
+        for bad in [
+            StandingSpec::new(2).algorithm(Algorithm::Naive),
+            StandingSpec::new(2).fallback_fraction(1.5),
+            StandingSpec::new(2).subspace(vec![0, 9]),
+            StandingSpec::new(2)
+                .subspace(vec![0])
+                .constrain(1, 0.0, 5.0),
+        ] {
+            assert!(matches!(
+                engine.register(bad),
+                Err(UpdateError::InvalidStandingQuery(_))
+            ));
+        }
+        // Registration answers immediately, identically to the oracle.
+        let spec = StandingSpec::new(2);
+        let id = engine.register(spec.clone()).unwrap();
+        assert_eq!(
+            engine.standing_result(id).unwrap(),
+            standing_oracle(&engine, &spec)
+        );
+        assert_eq!(engine.standing_ids(), vec![id]);
+        // Duplicate registration is an independent query with a fresh id.
+        let id2 = engine.register(spec).unwrap();
+        assert_ne!(id, id2);
+        assert!(engine.unregister(id));
+        assert!(!engine.unregister(id));
+        assert!(engine.unregister(id2));
+        assert!(engine.standing_ids().is_empty());
+    }
+
+    #[test]
+    fn standing_batches_track_oracle_and_count_paths() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let always_patch = engine
+            .register(StandingSpec::new(3).fallback_fraction(1.0))
+            .unwrap();
+        let always_fall = engine
+            .register(
+                StandingSpec::new(3)
+                    .algorithm(Algorithm::Ibig)
+                    .fallback_fraction(0.0),
+            )
+            .unwrap();
+        let batches: Vec<Vec<UpdateOp>> = vec![
+            vec![UpdateOp::Insert(vec![
+                Some(0.5),
+                None,
+                Some(1.0),
+                Some(2.0),
+            ])],
+            vec![UpdateOp::Set(0, 1, Some(3.0)), UpdateOp::Delete(3)],
+            vec![], // empty batch: both queries may skip, notifications still flow
+        ];
+        let mut seq = 0;
+        for ops in &batches {
+            let report = engine.apply_ops(ops);
+            assert!(report.error.is_none());
+            seq += 1;
+            assert_eq!(report.batch_seq, seq);
+            assert_eq!(report.notifications.len(), 2);
+            for q in [always_patch, always_fall] {
+                let spec = StandingSpec::new(3).algorithm(if q == always_fall {
+                    Algorithm::Ibig
+                } else {
+                    Algorithm::Big
+                });
+                assert_eq!(
+                    engine.standing_result(q).unwrap(),
+                    standing_oracle(&engine, &spec),
+                    "batch {seq} query {q}"
+                );
+            }
+            // Deltas reconstruct the new result from the old one.
+            for note in &report.notifications {
+                assert_eq!(note.batch_seq, seq);
+            }
+        }
+        let patch_stats = engine.standing_stats(always_patch).unwrap();
+        let fall_stats = engine.standing_stats(always_fall).unwrap();
+        assert_eq!(patch_stats.batches, 3);
+        assert_eq!(patch_stats.fallbacks, 0, "threshold 1.0 never falls back");
+        assert!(patch_stats.patched >= 2);
+        assert_eq!(fall_stats.patched, 0, "threshold 0.0 always falls back");
+        assert!(fall_stats.fallbacks >= 2);
+        assert!(patch_stats.skipped >= 1, "empty batch is provably a no-op");
+    }
+
+    #[test]
+    fn standing_scoped_queries_skip_out_of_scope_batches() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let spec = StandingSpec::new(2).subspace(vec![0, 1]);
+        let id = engine.register(spec.clone()).unwrap();
+        // A value touch outside the subspace is provably irrelevant.
+        let r = engine.apply_ops(&[UpdateOp::Set(2, 3, Some(9.0))]);
+        assert!(r.notifications[0].is_empty());
+        assert_eq!(engine.standing_stats(id).unwrap().skipped, 1);
+        // A touch inside it re-queries the derived dataset.
+        engine.apply_ops(&[UpdateOp::Set(2, 0, Some(0.1))]);
+        assert_eq!(
+            engine.standing_result(id).unwrap(),
+            standing_oracle(&engine, &spec)
+        );
+        assert_eq!(engine.standing_stats(id).unwrap().fallbacks, 1);
+        // Structural churn always re-queries scoped results.
+        engine.apply_ops(&[UpdateOp::Delete(0)]);
+        assert_eq!(
+            engine.standing_result(id).unwrap(),
+            standing_oracle(&engine, &spec)
+        );
+
+        let cspec = StandingSpec::new(2).constrain(2, 0.0, 100.0);
+        let cid = engine.register(cspec.clone()).unwrap();
+        engine.apply_ops(&[UpdateOp::Set(4, 2, None)]);
+        assert_eq!(
+            engine.standing_result(cid).unwrap(),
+            standing_oracle(&engine, &cspec)
+        );
+    }
+
+    #[test]
+    fn standing_window_ages_out_oldest_stable_ids() {
+        let ds = fixtures::fig3_sample();
+        let n = ds.len();
+        let mut engine = DynamicEngine::new(ds);
+        engine.set_window(Some(n));
+        assert_eq!(engine.window(), Some(n));
+        let id = engine.register(StandingSpec::new(2)).unwrap();
+        // Each insert evicts exactly the oldest surviving object.
+        for i in 0..4u32 {
+            let report = engine.apply_ops(&[UpdateOp::Insert(vec![
+                Some(f64::from(i)),
+                Some(1.0),
+                None,
+                Some(2.0),
+            ])]);
+            assert!(report.error.is_none());
+            assert_eq!(report.aged_out, vec![i]);
+            assert_eq!(engine.len(), n);
+            assert_eq!(
+                engine.standing_result(id).unwrap(),
+                standing_oracle(&engine, &StandingSpec::new(2))
+            );
+        }
+        // Shrinking the window evicts down to the new capacity in one batch.
+        engine.set_window(Some(2));
+        let report = engine.apply_ops(&[]);
+        assert_eq!(report.aged_out.len(), n - 2);
+        assert_eq!(engine.len(), 2);
+        assert_eq!(
+            engine.standing_result(id).unwrap(),
+            standing_oracle(&engine, &StandingSpec::new(2))
+        );
+    }
+
+    #[test]
+    fn standing_partial_batch_still_maintains() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let id = engine.register(StandingSpec::new(2)).unwrap();
+        let report = engine.apply_ops(&[
+            UpdateOp::Delete(0),
+            UpdateOp::Delete(999), // unknown id: batch stops here
+            UpdateOp::Delete(1),
+        ]);
+        assert_eq!(report.applied, 1);
+        assert!(matches!(
+            report.error,
+            Some((1, UpdateError::UnknownId(999)))
+        ));
+        // The one applied op is still reflected in the standing result.
+        assert_eq!(
+            engine.standing_result(id).unwrap(),
+            standing_oracle(&engine, &StandingSpec::new(2))
+        );
+        assert!(engine.contains(1));
+    }
+
+    #[test]
+    fn standing_survives_compaction() {
+        let ds = fixtures::fig3_sample();
+        let mut engine = DynamicEngine::with_options(
+            ds,
+            DynamicOptions {
+                bins: BinChoice::Auto,
+                policy: CompactionPolicy {
+                    max_tombstone_fraction: 0.0,
+                    min_dead: 1,
+                },
+            },
+        );
+        let id = engine.register(StandingSpec::new(2)).unwrap();
+        // Deletes trigger immediate compaction (slot renumbering + epoch
+        // bump); the standing result must stay pinned to the oracle.
+        for victim in [2u32, 5, 0] {
+            let report = engine.apply_ops(&[UpdateOp::Delete(victim)]);
+            assert!(report.error.is_none());
+            assert_eq!(
+                engine.standing_result(id).unwrap(),
+                standing_oracle(&engine, &StandingSpec::new(2)),
+                "after deleting {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn standing_k_zero_and_k_past_n() {
+        let mut engine = engine_no_compaction(fixtures::fig3_sample());
+        let zero = engine.register(StandingSpec::new(0)).unwrap();
+        let huge = engine.register(StandingSpec::new(1000)).unwrap();
+        assert!(engine.standing_result(zero).unwrap().is_empty());
+        assert_eq!(engine.standing_result(huge).unwrap().len(), engine.len());
+        let report = engine.apply_ops(&[UpdateOp::Delete(0)]);
+        assert!(report.error.is_none());
+        assert!(engine.standing_result(zero).unwrap().is_empty());
+        assert_eq!(
+            engine.standing_result(huge).unwrap(),
+            standing_oracle(&engine, &StandingSpec::new(1000))
+        );
     }
 }

@@ -235,14 +235,15 @@ pub fn ibig_with_scratch<C: CompressedBitmap>(
     TkdResult::new(top.into_entries(), stats)
 }
 
-enum ScoreOutcome {
+pub(crate) enum ScoreOutcome {
     PrunedByBitmap,
     PrunedByPartialScore,
     Score(usize),
 }
 
-/// IBIG-Score (Algorithm 5).
-fn ibig_score<C: CompressedBitmap>(
+/// IBIG-Score (Algorithm 5). Crate-visible so the standing query layer can
+/// score cache misses through the identical path.
+pub(crate) fn ibig_score<C: CompressedBitmap>(
     ctx: &IbigContext<'_, C>,
     o: ObjectId,
     top: &TopK,

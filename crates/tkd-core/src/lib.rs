@@ -54,13 +54,14 @@ pub mod preprocess;
 mod query;
 mod result;
 pub mod scratch;
+pub mod standing;
 mod stats;
 mod topk;
 pub mod variants;
 
 pub use dynamic::{
-    CompactionPolicy, DynamicEngine, DynamicOptions, DynamicParts, DynamicPartsRef, StorageReport,
-    UpdateError, UpdateOp, UpdateStats,
+    BatchReport, CompactionPolicy, DynamicEngine, DynamicOptions, DynamicParts, DynamicPartsRef,
+    StorageReport, UpdateError, UpdateOp, UpdateStats,
 };
 pub use engine::{EngineQuery, ParallelEngine};
 pub use parallel::{parallel_big, parallel_ibig, ShardPlan, ShardedBigContext, ShardedIbigContext};
@@ -68,6 +69,7 @@ pub use preprocess::Preprocessed;
 pub use query::{Algorithm, BinChoice, TieBreak, TkdQuery};
 pub use result::{ResultEntry, TkdResult};
 pub use scratch::ScratchSpace;
+pub use standing::{apply_notification, Notification, StandingId, StandingSpec, StandingStats};
 pub use stats::PruneStats;
 pub use ubb::ubb;
 pub mod ubb;

@@ -2,25 +2,39 @@
 //!
 //! One [`Client`] owns one TCP connection and speaks strict
 //! request/response: every call writes one frame and reads exactly one
-//! frame back. Server-side rejections arrive as error frames and are
-//! surfaced as the [`ServeError`] they encode, so callers match on
-//! `Overloaded`/`Timeout`/`ShuttingDown` the same way whether the
+//! *matching* frame back. Server-side rejections arrive as error frames
+//! and are surfaced as the [`ServeError`] they encode, so callers match
+//! on `Overloaded`/`Timeout`/`ShuttingDown` the same way whether the
 //! failure happened locally or across the wire.
+//!
+//! Standing queries add a second traffic class: after [`Client::subscribe`],
+//! the server pushes `Notify` frames between request/response exchanges.
+//! The server never interleaves a push inside an exchange (pushes are
+//! flushed only while the connection is idle), but a push may already be
+//! queued in the socket when a request goes out — so [`Client::call`]
+//! buffers any `Notify` frames it reads while waiting for its response,
+//! and [`Client::next_notification`] drains that buffer before touching
+//! the socket. Notifications are therefore delivered in server order,
+//! never lost, never blocking a request.
 
 use crate::error::ServeError;
 use crate::protocol::{
     self, decode_response_body, encode_request, FramePolicy, QuerySpec, Request, Response,
-    ServerStats, UpdateAck, WireEntry, DEFAULT_MAX_FRAME,
+    ServerStats, SubscribeAck, UpdateAck, WireEntry, WireNotification, DEFAULT_MAX_FRAME,
 };
+use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use tkd_core::UpdateOp;
+use tkd_core::{StandingSpec, UpdateOp};
 
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
     timeout: Duration,
     max_frame: u64,
+    /// Pushed `Notify` frames read while waiting for a response, in
+    /// arrival order. Drained by [`Client::next_notification`].
+    pending: VecDeque<WireNotification>,
 }
 
 impl Client {
@@ -44,23 +58,33 @@ impl Client {
             stream,
             timeout,
             max_frame: DEFAULT_MAX_FRAME,
+            pending: VecDeque::new(),
         })
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
-        let frame = encode_request(req);
+        let frame = encode_request(req)?;
         protocol::write_frame_bytes(&mut self.stream, &frame, self.timeout)?;
         let policy = FramePolicy {
             frame_timeout: self.timeout,
             idle_timeout: Some(self.timeout),
         };
-        let (kind, body) =
-            protocol::read_frame(&mut self.stream, self.max_frame, policy, &|| false)?;
-        let resp = decode_response_body(kind, &body)?;
-        if let Response::Error(e) = &resp {
-            return Err(e.to_error());
+        loop {
+            let (kind, body) =
+                protocol::read_frame(&mut self.stream, self.max_frame, policy, &|| false)?;
+            let resp = decode_response_body(kind, &body)?;
+            if let Response::Notify(note) = resp {
+                // A push that was already in flight when our request went
+                // out. Hold it for `next_notification` and keep waiting
+                // for the real response.
+                self.pending.push_back(note);
+                continue;
+            }
+            if let Response::Error(e) = &resp {
+                return Err(e.to_error());
+            }
+            return Ok(resp);
         }
-        Ok(resp)
     }
 
     /// Answer one query. Entries are `(stable id, score)` in the
@@ -95,6 +119,69 @@ impl Client {
     pub fn update(&mut self, ops: &[UpdateOp]) -> Result<UpdateAck, ServeError> {
         match self.call(&Request::UpdateOps(ops.to_vec()))? {
             Response::UpdateAck(ack) => Ok(ack),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Register a standing query on this connection. The ack carries the
+    /// server-assigned subscription id and the query's initial result;
+    /// after each acked update batch that affects it, the server pushes a
+    /// [`WireNotification`] (read it with [`Client::next_notification`]).
+    /// The subscription lives until [`Client::unsubscribe`] or this
+    /// connection closes.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Rejected`] if the spec fails
+    /// server-side validation.
+    pub fn subscribe(&mut self, spec: &StandingSpec) -> Result<SubscribeAck, ServeError> {
+        match self.call(&Request::Subscribe(spec.clone()))? {
+            Response::SubscribeAck(ack) => Ok(ack),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drop a standing query. Returns whether the server still knew the
+    /// id (false for double-unsubscribes — idempotent, not an error).
+    /// Notifications already pushed for it may still be in flight or in
+    /// the local buffer.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the server sent.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<bool, ServeError> {
+        match self.call(&Request::Unsubscribe(id))? {
+            Response::UnsubscribeAck(known) => Ok(known),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Wait up to `wait` for the next pushed notification. Returns
+    /// `Ok(None)` if none arrives in time — a normal outcome, not an
+    /// error. Buffered notifications (read while waiting for an earlier
+    /// response) are returned first, so ordering matches the server.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed error of a non-`Notify` frame
+    /// arriving where only pushes are expected.
+    pub fn next_notification(
+        &mut self,
+        wait: Duration,
+    ) -> Result<Option<WireNotification>, ServeError> {
+        if let Some(note) = self.pending.pop_front() {
+            return Ok(Some(note));
+        }
+        let policy = FramePolicy {
+            frame_timeout: self.timeout,
+            idle_timeout: Some(wait),
+        };
+        let (kind, body) =
+            match protocol::read_frame(&mut self.stream, self.max_frame, policy, &|| false) {
+                Ok(frame) => frame,
+                Err(ServeError::DeadlineExpired) => return Ok(None),
+                Err(e) => return Err(e),
+            };
+        match decode_response_body(kind, &body)? {
+            Response::Notify(note) => Ok(Some(note)),
+            Response::Error(e) => Err(e.to_error()),
             other => Err(unexpected(&other)),
         }
     }

@@ -31,6 +31,15 @@ pub enum ServeError {
         /// The configured cap.
         max: u64,
     },
+    /// A collection being *encoded* exceeds the wire's `u32` count field
+    /// — rejected before encoding, where it would otherwise truncate
+    /// silently (`len as u32`) and frame a shorter, plausible payload.
+    TooLarge {
+        /// Which collection (query batch, result rows, ack id list, …).
+        what: &'static str,
+        /// The offending length.
+        len: u64,
+    },
     /// Fewer bytes than the header/body promised.
     Truncated {
         /// Bytes required.
@@ -88,6 +97,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ServeError::TooLarge { what, len } => {
+                write!(
+                    f,
+                    "cannot encode {what} of {len} elements: exceeds the u32 wire count"
+                )
             }
             ServeError::Truncated { needed, available } => {
                 write!(f, "truncated frame: needed {needed} bytes, got {available}")

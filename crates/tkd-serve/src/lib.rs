@@ -28,5 +28,8 @@ mod server;
 
 pub use client::Client;
 pub use error::ServeError;
-pub use protocol::{ErrorFrame, QuerySpec, Request, Response, ServerStats, UpdateAck, WireEntry};
+pub use protocol::{
+    ErrorFrame, QuerySpec, Request, Response, ServerStats, SubscribeAck, UpdateAck, WireEntry,
+    WireNotification,
+};
 pub use server::{ServeConfig, Server};

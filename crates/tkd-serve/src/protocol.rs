@@ -1,14 +1,14 @@
 //! The versioned wire protocol — length-prefixed, checksummed binary
 //! frames over TCP.
 //!
-//! # Frame layout (protocol version 2)
+//! # Frame layout (protocol version 3)
 //!
 //! ```text
 //! magic      4 bytes   "TKDW"
-//! version    u32       2
+//! version    u32       3
 //! checksum   u64       fnv64 over every byte after this field
 //!                      (kind ‖ len ‖ body)
-//! kind       u8        frame kind (requests 1–5, responses 128–133)
+//! kind       u8        frame kind (requests 1–7, responses 128–136)
 //! len        u64       body length in bytes
 //! body       len bytes kind-specific payload
 //! ```
@@ -37,16 +37,16 @@ use crate::error::ServeError;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
-use tkd_core::{Algorithm, UpdateOp};
+use tkd_core::{Algorithm, StandingSpec, UpdateOp};
 use tkd_store::fnv64;
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TKDW";
 
 /// The protocol version this build speaks — reads and writes.
-/// Version 2 extends the stats frame with snapshot-load telemetry
-/// (`load_micros`, `borrowed`).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 adds standing queries: `subscribe`/`unsubscribe` requests
+/// and server-pushed `notify` frames carrying per-batch result deltas.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Frame header bytes: magic + version + checksum + kind + len.
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 8;
@@ -62,12 +62,20 @@ const KIND_QUERY_BATCH: u8 = 2;
 const KIND_UPDATE_OPS: u8 = 3;
 const KIND_STATS: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
+const KIND_SUBSCRIBE: u8 = 6;
+const KIND_UNSUBSCRIBE: u8 = 7;
 const KIND_QUERY_RESULT: u8 = 128;
 const KIND_BATCH_RESULT: u8 = 129;
 const KIND_UPDATE_ACK: u8 = 130;
 const KIND_STATS_RESULT: u8 = 131;
 const KIND_SHUTDOWN_ACK: u8 = 132;
 const KIND_ERROR: u8 = 133;
+const KIND_SUBSCRIBE_ACK: u8 = 134;
+const KIND_UNSUBSCRIBE_ACK: u8 = 135;
+/// Server-initiated: pushed after an acked update batch, never in
+/// answer to a request. Clients must tolerate one arriving where a
+/// response is expected.
+const KIND_NOTIFY: u8 = 136;
 
 // Error-frame codes (the `code` byte of [`ErrorFrame`]).
 /// Admission control rejected the request: queue full.
@@ -123,6 +131,11 @@ pub enum Request {
     Stats,
     /// Drain and stop the server.
     Shutdown,
+    /// Register a standing query on this connection; the server pushes a
+    /// [`Response::Notify`] delta after every acked update batch.
+    Subscribe(StandingSpec),
+    /// Remove a standing query previously registered on any connection.
+    Unsubscribe(u64),
 }
 
 /// One result entry over the wire.
@@ -201,6 +214,36 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// One standing-query result delta over the wire — the serialized form
+/// of [`tkd_core::Notification`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WireNotification {
+    /// The standing-query id the delta belongs to.
+    pub id: u64,
+    /// The engine's batch sequence number — strictly consecutive per
+    /// subscription, so a gap means a lost notification.
+    pub batch_seq: u64,
+    /// Entries that entered the top-k.
+    pub added: Vec<WireEntry>,
+    /// Ids that left the top-k.
+    pub removed: Vec<u64>,
+    /// Entries that stayed but were re-scored.
+    pub rescored: Vec<WireEntry>,
+    /// The k-th maintained score (τ) after the batch, if any.
+    pub kth_score: Option<u64>,
+    /// Whether the server took the full re-query path for this batch.
+    pub via_fallback: bool,
+}
+
+/// Acknowledgement of a [`Request::Subscribe`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SubscribeAck {
+    /// The id deltas will arrive under (and `unsubscribe` takes).
+    pub id: u64,
+    /// The full initial result — the base the first delta applies to.
+    pub result: Vec<WireEntry>,
+}
+
 /// A server→client frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -216,6 +259,12 @@ pub enum Response {
     ShutdownAck,
     /// Typed rejection of any request.
     Error(ErrorFrame),
+    /// Answer to [`Request::Subscribe`].
+    SubscribeAck(SubscribeAck),
+    /// Answer to [`Request::Unsubscribe`]: whether the id was registered.
+    UnsubscribeAck(bool),
+    /// Server-pushed standing-query delta (not an answer to anything).
+    Notify(WireNotification),
 }
 
 impl ErrorFrame {
@@ -248,6 +297,17 @@ struct BodyWriter {
     buf: Vec<u8>,
 }
 
+/// Validate that a collection length fits the wire's `u32` count field
+/// **before** encoding it. Without this gate an oversized batch would
+/// truncate silently (`len as u32`) and decode as a shorter, plausible
+/// frame on the other side.
+fn check_count(what: &'static str, len: usize) -> Result<u32, ServeError> {
+    u32::try_from(len).map_err(|_| ServeError::TooLarge {
+        what,
+        len: len as u64,
+    })
+}
+
 impl BodyWriter {
     fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -258,9 +318,15 @@ impl BodyWriter {
     fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn put_str(&mut self, s: &str) {
-        self.put_u32(u32::try_from(s.len()).expect("string fits u32"));
+    /// Write a `u32` element count, rejecting lengths that don't fit.
+    fn put_count(&mut self, what: &'static str, len: usize) -> Result<(), ServeError> {
+        self.put_u32(check_count(what, len)?);
+        Ok(())
+    }
+    fn put_str(&mut self, what: &'static str, s: &str) -> Result<(), ServeError> {
+        self.put_count(what, s.len())?;
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
     fn put_cell(&mut self, cell: Option<f64>) {
         match cell {
@@ -420,7 +486,11 @@ pub fn open_frame(bytes: &[u8]) -> Result<(u8, &[u8]), ServeError> {
 }
 
 /// Encode a request as one full frame.
-pub fn encode_request(req: &Request) -> Vec<u8> {
+///
+/// # Errors
+/// [`ServeError::TooLarge`] when a collection exceeds the wire's `u32`
+/// count field — rejected before encoding rather than truncated on it.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, ServeError> {
     let mut w = BodyWriter::default();
     let kind = match req {
         Request::Query(q) => {
@@ -428,23 +498,31 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             KIND_QUERY
         }
         Request::QueryBatch(qs) => {
-            w.put_u32(qs.len() as u32);
+            w.put_count("query batch", qs.len())?;
             for q in qs {
                 put_query(&mut w, q);
             }
             KIND_QUERY_BATCH
         }
         Request::UpdateOps(ops) => {
-            w.put_u32(ops.len() as u32);
+            w.put_count("update batch", ops.len())?;
             for op in ops {
-                put_op(&mut w, op);
+                put_op(&mut w, op)?;
             }
             KIND_UPDATE_OPS
         }
         Request::Stats => KIND_STATS,
         Request::Shutdown => KIND_SHUTDOWN,
+        Request::Subscribe(spec) => {
+            put_standing_spec(&mut w, spec)?;
+            KIND_SUBSCRIBE
+        }
+        Request::Unsubscribe(id) => {
+            w.put_u64(*id);
+            KIND_UNSUBSCRIBE
+        }
     };
-    seal(kind, w.buf)
+    Ok(seal(kind, w.buf))
 }
 
 /// Decode a full request frame.
@@ -477,6 +555,8 @@ pub fn decode_request_body(kind: u8, body: &[u8]) -> Result<Request, ServeError>
         }
         KIND_STATS => Request::Stats,
         KIND_SHUTDOWN => Request::Shutdown,
+        KIND_SUBSCRIBE => Request::Subscribe(get_standing_spec(&mut r)?),
+        KIND_UNSUBSCRIBE => Request::Unsubscribe(r.get_u64()?),
         other => return Err(bad(format!("unknown request kind {other}"))),
     };
     r.finish()?;
@@ -484,17 +564,21 @@ pub fn decode_request_body(kind: u8, body: &[u8]) -> Result<Request, ServeError>
 }
 
 /// Encode a response as one full frame.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+///
+/// # Errors
+/// [`ServeError::TooLarge`] when a collection exceeds the wire's `u32`
+/// count field — rejected before encoding rather than truncated on it.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, ServeError> {
     let mut w = BodyWriter::default();
     let kind = match resp {
         Response::QueryResult(entries) => {
-            put_entries(&mut w, entries);
+            put_entries(&mut w, entries)?;
             KIND_QUERY_RESULT
         }
         Response::BatchResult(results) => {
-            w.put_u32(results.len() as u32);
+            w.put_count("result batch", results.len())?;
             for entries in results {
-                put_entries(&mut w, entries);
+                put_entries(&mut w, entries)?;
             }
             KIND_BATCH_RESULT
         }
@@ -504,7 +588,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u64(ack.epoch);
             w.put_u64(ack.live);
             w.put_u64(ack.tombstones);
-            w.put_u32(ack.inserted_ids.len() as u32);
+            w.put_count("ack id list", ack.inserted_ids.len())?;
             for &id in &ack.inserted_ids {
                 w.put_u64(id);
             }
@@ -536,11 +620,39 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Error(e) => {
             w.put_u8(e.code);
             w.put_u64(e.datum);
-            w.put_str(&e.message);
+            w.put_str("error message", &e.message)?;
             KIND_ERROR
         }
+        Response::SubscribeAck(ack) => {
+            w.put_u64(ack.id);
+            put_entries(&mut w, &ack.result)?;
+            KIND_SUBSCRIBE_ACK
+        }
+        Response::UnsubscribeAck(removed) => {
+            w.put_u8(u8::from(*removed));
+            KIND_UNSUBSCRIBE_ACK
+        }
+        Response::Notify(n) => {
+            w.put_u64(n.id);
+            w.put_u64(n.batch_seq);
+            put_entries(&mut w, &n.added)?;
+            w.put_count("notify removed ids", n.removed.len())?;
+            for &id in &n.removed {
+                w.put_u64(id);
+            }
+            put_entries(&mut w, &n.rescored)?;
+            match n.kth_score {
+                None => w.put_u8(0),
+                Some(s) => {
+                    w.put_u8(1);
+                    w.put_u64(s);
+                }
+            }
+            w.put_u8(u8::from(n.via_fallback));
+            KIND_NOTIFY
+        }
     };
-    seal(kind, w.buf)
+    Ok(seal(kind, w.buf))
 }
 
 /// Decode a full response frame.
@@ -605,6 +717,46 @@ pub fn decode_response_body(kind: u8, body: &[u8]) -> Result<Response, ServeErro
             Response::StatsResult(s)
         }
         KIND_SHUTDOWN_ACK => Response::ShutdownAck,
+        KIND_SUBSCRIBE_ACK => {
+            let id = r.get_u64()?;
+            let result = get_entries(&mut r)?;
+            Response::SubscribeAck(SubscribeAck { id, result })
+        }
+        KIND_UNSUBSCRIBE_ACK => match r.get_u8()? {
+            0 => Response::UnsubscribeAck(false),
+            1 => Response::UnsubscribeAck(true),
+            other => return Err(bad(format!("removed flag {other} (want 0/1)"))),
+        },
+        KIND_NOTIFY => {
+            let id = r.get_u64()?;
+            let batch_seq = r.get_u64()?;
+            let added = get_entries(&mut r)?;
+            let count = r.get_count(8)?;
+            let mut removed = Vec::with_capacity(count);
+            for _ in 0..count {
+                removed.push(r.get_u64()?);
+            }
+            let rescored = get_entries(&mut r)?;
+            let kth_score = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64()?),
+                other => return Err(bad(format!("kth presence flag {other} (want 0/1)"))),
+            };
+            let via_fallback = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(bad(format!("fallback flag {other} (want 0/1)"))),
+            };
+            Response::Notify(WireNotification {
+                id,
+                batch_seq,
+                added,
+                removed,
+                rescored,
+                kth_score,
+                via_fallback,
+            })
+        }
         KIND_ERROR => {
             let code = r.get_u8()?;
             if !(ERR_OVERLOADED..=ERR_BAD_REQUEST).contains(&code) {
@@ -647,12 +799,96 @@ fn get_query(r: &mut BodyReader) -> Result<QuerySpec, ServeError> {
     Ok(QuerySpec { k, algorithm })
 }
 
-fn put_entries(w: &mut BodyWriter, entries: &[WireEntry]) {
-    w.put_u32(entries.len() as u32);
+fn put_entries(w: &mut BodyWriter, entries: &[WireEntry]) -> Result<(), ServeError> {
+    w.put_count("result rows", entries.len())?;
     for e in entries {
         w.put_u64(e.id);
         w.put_u64(e.score);
     }
+    Ok(())
+}
+
+/// A wire f64 that must be a real number (constraint bounds, fallback
+/// fraction) — NaN is rejected like NaN cells are.
+fn get_real(r: &mut BodyReader, what: &str) -> Result<f64, ServeError> {
+    let v = f64::from_bits(r.get_u64()?);
+    if v.is_nan() {
+        return Err(bad(format!("NaN {what}")));
+    }
+    Ok(v)
+}
+
+fn get_usize(r: &mut BodyReader, what: &str) -> Result<usize, ServeError> {
+    let raw = r.get_u64()?;
+    usize::try_from(raw).map_err(|_| bad(format!("{what} {raw} exceeds usize")))
+}
+
+fn put_standing_spec(w: &mut BodyWriter, spec: &StandingSpec) -> Result<(), ServeError> {
+    w.put_u64(spec.k as u64);
+    w.put_u8(match spec.algorithm {
+        Algorithm::Big => 3,
+        Algorithm::Ibig => 4,
+        other => unreachable!("wire standing specs are BIG/IBIG only, got {other:?}"),
+    });
+    match &spec.subspace {
+        None => w.put_u8(0),
+        Some(dims) => {
+            w.put_u8(1);
+            w.put_count("subspace dims", dims.len())?;
+            for &d in dims {
+                w.put_u64(d as u64);
+            }
+        }
+    }
+    w.put_count("constraint ranges", spec.constraint.len())?;
+    for &(dim, lo, hi) in &spec.constraint {
+        w.put_u64(dim as u64);
+        w.put_u64(lo.to_bits());
+        w.put_u64(hi.to_bits());
+    }
+    w.put_u64(spec.fallback_fraction.to_bits());
+    Ok(())
+}
+
+fn get_standing_spec(r: &mut BodyReader) -> Result<StandingSpec, ServeError> {
+    let k = get_usize(r, "standing k")?;
+    let algorithm = match r.get_u8()? {
+        3 => Algorithm::Big,
+        4 => Algorithm::Ibig,
+        other => {
+            return Err(bad(format!(
+                "algorithm byte {other} (standing queries answer BIG=3/IBIG=4)"
+            )))
+        }
+    };
+    let subspace = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let count = r.get_count(8)?;
+            let mut dims = Vec::with_capacity(count);
+            for _ in 0..count {
+                dims.push(get_usize(r, "subspace dim")?);
+            }
+            Some(dims)
+        }
+        other => return Err(bad(format!("subspace presence flag {other} (want 0/1)"))),
+    };
+    let count = r.get_count(24)?;
+    let mut constraint = Vec::with_capacity(count);
+    for _ in 0..count {
+        let dim = get_usize(r, "constraint dim")?;
+        let lo = get_real(r, "constraint low bound")?;
+        let hi = get_real(r, "constraint high bound")?;
+        constraint.push((dim, lo, hi));
+    }
+    let fallback_fraction = get_real(r, "fallback fraction")?;
+    Ok(StandingSpec {
+        k,
+        algorithm,
+        subspace,
+        constraint,
+        fallback_fraction,
+    })
 }
 
 fn get_entries(r: &mut BodyReader) -> Result<Vec<WireEntry>, ServeError> {
@@ -672,19 +908,19 @@ const OP_INSERT_LABELED: u8 = 1;
 const OP_DELETE: u8 = 2;
 const OP_SET: u8 = 3;
 
-fn put_op(w: &mut BodyWriter, op: &UpdateOp) {
+fn put_op(w: &mut BodyWriter, op: &UpdateOp) -> Result<(), ServeError> {
     match op {
         UpdateOp::Insert(row) => {
             w.put_u8(OP_INSERT);
-            w.put_u32(row.len() as u32);
+            w.put_count("insert row", row.len())?;
             for &cell in row {
                 w.put_cell(cell);
             }
         }
         UpdateOp::InsertLabeled(label, row) => {
             w.put_u8(OP_INSERT_LABELED);
-            w.put_str(label);
-            w.put_u32(row.len() as u32);
+            w.put_str("row label", label)?;
+            w.put_count("insert row", row.len())?;
             for &cell in row {
                 w.put_cell(cell);
             }
@@ -696,10 +932,11 @@ fn put_op(w: &mut BodyWriter, op: &UpdateOp) {
         UpdateOp::Set(id, dim, cell) => {
             w.put_u8(OP_SET);
             w.put_u64(u64::from(*id));
-            w.put_u32(*dim as u32);
+            w.put_u32(check_count("dimension index", *dim)?);
             w.put_cell(*cell);
         }
     }
+    Ok(())
 }
 
 fn get_row(r: &mut BodyReader) -> Result<Vec<Option<f64>>, ServeError> {
@@ -899,12 +1136,31 @@ mod tests {
             ]),
             Request::Stats,
             Request::Shutdown,
+            Request::Subscribe(StandingSpec::new(4)),
+            Request::Subscribe(
+                StandingSpec::new(0)
+                    .algorithm(Algorithm::Ibig)
+                    .subspace(vec![0, 2, 5])
+                    .fallback_fraction(0.0),
+            ),
+            Request::Subscribe(
+                StandingSpec::new(9)
+                    .constrain(1, -0.0, 2.5)
+                    .constrain(3, 0.0, 8.0)
+                    .fallback_fraction(1.0),
+            ),
+            Request::Unsubscribe(0),
+            Request::Unsubscribe(u64::MAX),
         ];
         for f in &frames {
-            let bytes = encode_request(f);
+            let bytes = encode_request(f).expect("sane frames encode");
             let back = decode_request(&bytes).expect("own frame decodes");
             assert_eq!(&back, f);
-            assert_eq!(encode_request(&back), bytes, "canonical bytes");
+            assert_eq!(
+                encode_request(&back).expect("sane frames encode"),
+                bytes,
+                "canonical bytes"
+            );
         }
     }
 
@@ -933,18 +1189,111 @@ mod tests {
                 datum: 128,
                 message: "queue full".into(),
             }),
+            Response::SubscribeAck(SubscribeAck {
+                id: 3,
+                result: vec![WireEntry { id: 9, score: 4 }],
+            }),
+            Response::SubscribeAck(SubscribeAck::default()),
+            Response::UnsubscribeAck(true),
+            Response::UnsubscribeAck(false),
+            Response::Notify(WireNotification {
+                id: 1,
+                batch_seq: 17,
+                added: vec![WireEntry { id: 21, score: 9 }],
+                removed: vec![4, 7],
+                rescored: vec![WireEntry { id: 2, score: 3 }],
+                kth_score: Some(3),
+                via_fallback: true,
+            }),
+            Response::Notify(WireNotification::default()),
         ];
         for f in &frames {
-            let bytes = encode_response(f);
+            let bytes = encode_response(f).expect("sane frames encode");
             let back = decode_response(&bytes).expect("own frame decodes");
             assert_eq!(&back, f);
-            assert_eq!(encode_response(&back), bytes, "canonical bytes");
+            assert_eq!(
+                encode_response(&back).expect("sane frames encode"),
+                bytes,
+                "canonical bytes"
+            );
         }
     }
 
     #[test]
+    fn oversized_collections_are_typed_errors_not_truncation() {
+        // The wire's count fields are u32. A length that does not fit
+        // must be a typed [`ServeError::TooLarge`] from the checked
+        // helper every encoder now routes through — previously
+        // `len as u32` truncated silently and framed a shorter,
+        // plausible payload. (The collections themselves would take tens
+        // of GiB to materialize, so the gate is pinned directly.)
+        let over = u32::MAX as usize + 1;
+        for what in ["query batch", "update batch", "result rows", "ack id list"] {
+            assert_eq!(
+                check_count(what, over).unwrap_err(),
+                ServeError::TooLarge {
+                    what,
+                    len: over as u64
+                },
+            );
+        }
+        // Everything that fits still encodes.
+        assert_eq!(
+            check_count("result rows", u32::MAX as usize).unwrap(),
+            u32::MAX
+        );
+        assert_eq!(check_count("result rows", 0).unwrap(), 0);
+        // And the per-op dimension index uses the same gate.
+        let op = UpdateOp::Set(1, over, Some(0.0));
+        assert!(matches!(
+            encode_request(&Request::UpdateOps(vec![op])).unwrap_err(),
+            ServeError::TooLarge {
+                what: "dimension index",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hostile_standing_spec_bytes_are_typed_errors() {
+        let good = encode_request(&Request::Subscribe(
+            StandingSpec::new(2).constrain(0, 1.0, 2.0),
+        ))
+        .expect("encodes");
+        // Body layout: k u64 ‖ alg u8 ‖ presence u8 ‖ ranges u32 ‖ ...
+        // Unsupported algorithm byte.
+        let mut b = good.clone();
+        b[HEADER_LEN + 8] = 0;
+        assert!(decode_request(&reseal(&b)).is_err());
+        // Bad subspace presence flag.
+        let mut b = good.clone();
+        b[HEADER_LEN + 9] = 7;
+        assert!(decode_request(&reseal(&b)).is_err());
+        // NaN constraint bound.
+        let mut w = BodyWriter::default();
+        w.put_u64(2);
+        w.put_u8(3);
+        w.put_u8(0);
+        w.put_u32(1);
+        w.put_u64(0);
+        w.put_u64(f64::NAN.to_bits());
+        w.put_u64(2.0f64.to_bits());
+        w.put_u64(0.25f64.to_bits());
+        assert!(matches!(
+            decode_request(&seal(KIND_SUBSCRIBE, w.buf)).unwrap_err(),
+            ServeError::BadFrame { .. }
+        ));
+    }
+
+    /// Re-checksum a frame whose body bytes were edited, so the decode
+    /// error under test is the semantic one, not ChecksumMismatch.
+    fn reseal(frame: &[u8]) -> Vec<u8> {
+        seal(frame[16], frame[HEADER_LEN..].to_vec())
+    }
+
+    #[test]
     fn hostile_frames_are_typed_errors() {
-        let good = encode_request(&Request::Query(QuerySpec::new(2)));
+        let good = encode_request(&Request::Query(QuerySpec::new(2))).expect("encodes");
         // Truncation at every byte.
         for cut in 0..good.len() {
             assert!(decode_request(&good[..cut]).is_err(), "cut at {cut}");

@@ -41,17 +41,17 @@
 use crate::error::ServeError;
 use crate::protocol::{
     self, decode_request_body, encode_response, ErrorFrame, FramePolicy, QuerySpec, Request,
-    Response, ServerStats, UpdateAck, WireEntry, DEFAULT_MAX_FRAME, ERR_BAD_REQUEST,
-    ERR_OVERLOADED, ERR_REJECTED, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
+    Response, ServerStats, SubscribeAck, UpdateAck, WireEntry, WireNotification, DEFAULT_MAX_FRAME,
+    ERR_BAD_REQUEST, ERR_OVERLOADED, ERR_REJECTED, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tkd_core::{DynamicEngine, EngineQuery, TieBreak, UpdateOp};
+use tkd_core::{DynamicEngine, EngineQuery, Notification, StandingSpec, TieBreak, UpdateOp};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -102,7 +102,39 @@ enum Work {
     Update(Vec<UpdateOp>),
     Stats,
     Shutdown,
+    /// Register a standing query; deltas are pushed through the sink.
+    Subscribe(StandingSpec, Arc<PushSink>),
+    Unsubscribe(u64),
 }
+
+/// A connection's outbox for server-initiated frames. The engine thread
+/// enqueues sealed `notify` frames; the owning connection thread writes
+/// them between client requests (so a push can never interleave inside a
+/// request/response exchange on the wire). When the connection dies it
+/// flips `alive`, and the engine thread unregisters the orphaned
+/// standing queries the next time it routes to the sink.
+#[derive(Default)]
+struct PushSink {
+    frames: Mutex<VecDeque<Vec<u8>>>,
+    dead: AtomicBool,
+}
+
+impl PushSink {
+    fn push(&self, frame: Vec<u8>) {
+        self.frames.lock().expect("push sink lock").push_back(frame);
+    }
+
+    fn drain(&self) -> Vec<Vec<u8>> {
+        self.frames
+            .lock()
+            .expect("push sink lock")
+            .drain(..)
+            .collect()
+    }
+}
+
+/// How often an idle connection checks for pushed frames (and shutdown).
+const PUSH_POLL: Duration = Duration::from_millis(50);
 
 struct Pending {
     work: Work,
@@ -261,16 +293,48 @@ fn listener_loop(
     }
 }
 
-/// One client connection: read frames, submit work, relay responses.
-/// Every failure path ends in a typed error frame (best effort) and a
-/// clean close — never a panic, and never a wedged server.
-fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+/// One client connection: read frames, submit work, relay responses, and
+/// write standing-query pushes whenever the line is quiet. Every failure
+/// path ends in a typed error frame (best effort), a retired push sink,
+/// and a clean close — never a panic, and never a wedged server.
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let sink = Arc::new(PushSink::default());
+    connection_loop_inner(stream, &shared, &sink);
+    // However the connection ended, orphan its subscriptions: the engine
+    // thread unregisters them on the next notification it routes here.
+    sink.dead.store(true, Ordering::Release);
+}
+
+fn connection_loop_inner(mut stream: TcpStream, shared: &Arc<Shared>, sink: &Arc<PushSink>) {
     let _ = stream.set_nodelay(true);
     let policy = FramePolicy {
         frame_timeout: shared.config.io_timeout,
         idle_timeout: None,
     };
     loop {
+        // Idle phase: wait for the next request to *start*, flushing
+        // pushed frames between polls. `peek` consumes nothing, so a
+        // frame arriving mid-poll is read intact below.
+        loop {
+            if shared.stopping() {
+                return;
+            }
+            if !flush_pushes(&mut stream, shared, sink) {
+                return;
+            }
+            if stream.set_read_timeout(Some(PUSH_POLL)).is_err() {
+                return;
+            }
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return, // clean EOF between frames
+                Ok(_) => break,  // a frame has started
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return,
+            }
+        }
         let stop = || shared.stopping();
         let (kind, body) =
             match protocol::read_frame(&mut stream, shared.config.max_frame, policy, &stop) {
@@ -279,7 +343,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 Err(e) => {
                     // Malformed or stalled input. The stream may be
                     // desynchronized, so answer once and close.
-                    respond(&mut stream, &shared, bad_request(&e));
+                    respond(&mut stream, shared, bad_request(&e));
                     return;
                 }
             };
@@ -290,7 +354,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 // consumed), but the body is invalid. Reject and close:
                 // a peer that speaks the framing but not the schema is
                 // not going to get better.
-                respond(&mut stream, &shared, bad_request(&e));
+                respond(&mut stream, shared, bad_request(&e));
                 return;
             }
         };
@@ -300,8 +364,10 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             Request::UpdateOps(ops) => Work::Update(ops),
             Request::Stats => Work::Stats,
             Request::Shutdown => Work::Shutdown,
+            Request::Subscribe(spec) => Work::Subscribe(spec, Arc::clone(sink)),
+            Request::Unsubscribe(id) => Work::Unsubscribe(id),
         };
-        let reply = match submit(&shared, work) {
+        let reply = match submit(shared, work) {
             Ok(rx) => match rx.recv() {
                 Ok(resp) => resp,
                 // Engine thread gone mid-request (drain raced us or it
@@ -314,10 +380,20 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             },
             Err(resp) => resp,
         };
-        if !respond(&mut stream, &shared, reply) {
+        if !respond(&mut stream, shared, reply) {
             return;
         }
     }
+}
+
+/// Write every queued push frame. Returns false if the peer is gone.
+fn flush_pushes(stream: &mut TcpStream, shared: &Shared, sink: &PushSink) -> bool {
+    for frame in sink.drain() {
+        if protocol::write_frame_bytes(stream, &frame, shared.config.io_timeout).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Admission control, under the queue lock. Returns the response
@@ -360,10 +436,13 @@ fn bad_request(e: &ServeError) -> Response {
 }
 
 /// Write one response frame. Returns false if the connection should
-/// close (write failed — peer is gone or stalled).
+/// close (write failed — peer is gone or stalled — or the response
+/// itself cannot be framed).
 fn respond(stream: &mut TcpStream, shared: &Shared, resp: Response) -> bool {
-    let frame = encode_response(&resp);
-    protocol::write_frame_bytes(stream, &frame, shared.config.io_timeout).is_ok()
+    match encode_response(&resp) {
+        Ok(frame) => protocol::write_frame_bytes(stream, &frame, shared.config.io_timeout).is_ok(),
+        Err(_) => false,
+    }
 }
 
 /// Counters the engine thread owns (it also answers `stats`, so no
@@ -377,12 +456,15 @@ struct EngineCounters {
 }
 
 /// The single-writer loop: sole owner of the engine from start to drain.
+/// It also owns the subscription registry (standing-query id → the push
+/// sink of the connection that registered it).
 fn engine_loop(mut engine: DynamicEngine, shared: Arc<Shared>, done: mpsc::Sender<DynamicEngine>) {
     let mut counters = EngineCounters::default();
+    let mut subs: HashMap<u64, Arc<PushSink>> = HashMap::new();
     loop {
         let (batch, drain_now) = next_batch(&shared);
         if !batch.is_empty() {
-            serve_one(&mut engine, &shared, &mut counters, batch);
+            serve_one(&mut engine, &shared, &mut counters, &mut subs, batch);
         }
         if drain_now {
             break;
@@ -434,10 +516,12 @@ fn serve_one(
     engine: &mut DynamicEngine,
     shared: &Shared,
     counters: &mut EngineCounters,
+    subs: &mut HashMap<u64, Arc<PushSink>>,
     batch: Vec<Pending>,
 ) {
-    // Per-request queue-wait timeout, checked at dequeue (shutdown and
-    // stats are control traffic and exempt).
+    // Per-request queue-wait timeout, checked at dequeue (shutdown,
+    // stats, and subscription management are control traffic and
+    // exempt).
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     for p in batch {
         let waited = p.enqueued.elapsed();
@@ -499,8 +583,32 @@ fn serve_one(
                 Err(resp) => resp,
             }
         }
-        Work::Update(ops) => apply_updates(engine, shared, counters, ops),
+        Work::Update(ops) => apply_updates(engine, shared, counters, subs, ops),
         Work::Stats => Response::StatsResult(gather_stats(engine, shared, counters)),
+        Work::Subscribe(spec, sink) => match engine.register(spec.clone()) {
+            Ok(id) => {
+                let result = engine
+                    .standing_result(id)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|e| WireEntry {
+                        id: u64::from(e.id),
+                        score: e.score as u64,
+                    })
+                    .collect();
+                subs.insert(id, Arc::clone(sink));
+                Response::SubscribeAck(SubscribeAck { id, result })
+            }
+            Err(e) => Response::Error(ErrorFrame {
+                code: ERR_REJECTED,
+                datum: 0,
+                message: e.to_string(),
+            }),
+        },
+        Work::Unsubscribe(id) => {
+            subs.remove(id);
+            Response::UnsubscribeAck(engine.unregister(*id))
+        }
         Work::Shutdown => {
             // Flip the drain flag under the queue lock so no submission
             // can slip in after the ack; everything already queued is
@@ -548,37 +656,34 @@ fn run_queries(
     }
 }
 
-/// Apply one update batch op-by-op, then atomically rewrite the
-/// snapshot. A failing op stops the batch: the `Rejected` frame carries
-/// its index, and ops before it remain applied (the same front-to-back
-/// contract as [`DynamicEngine::apply_all`]). `seq` advances whenever at
-/// least one op applied, so a sequential replay of acked/partially
-/// applied batches in `seq` order reproduces the engine exactly.
+/// Apply one update batch as a maintenance unit
+/// ([`DynamicEngine::apply_ops`]), route the standing-query deltas it
+/// produced, then atomically rewrite the snapshot. A failing op stops
+/// the batch: the `Rejected` frame carries its index, and ops before it
+/// remain applied (the same front-to-back contract as
+/// [`DynamicEngine::apply_all`]) — standing results are maintained over
+/// the partial batch, so subscribers stay consistent either way. `seq`
+/// advances whenever at least one op applied, so a sequential replay of
+/// acked/partially applied batches in `seq` order reproduces the engine
+/// exactly.
 fn apply_updates(
     engine: &mut DynamicEngine,
     shared: &Shared,
     counters: &mut EngineCounters,
+    subs: &mut HashMap<u64, Arc<PushSink>>,
     ops: &[UpdateOp],
 ) -> Response {
-    let mut inserted_ids = Vec::new();
-    for (i, op) in ops.iter().enumerate() {
-        match engine.apply(op) {
-            Ok(Some(id)) => inserted_ids.push(u64::from(id)),
-            Ok(None) => {}
-            Err(e) => {
-                if i > 0 {
-                    counters.seq += 1;
-                }
-                return Response::Error(ErrorFrame {
-                    code: ERR_REJECTED,
-                    datum: i as u64,
-                    message: e.to_string(),
-                });
-            }
-        }
-    }
-    if !ops.is_empty() {
+    let report = engine.apply_ops(ops);
+    if report.applied > 0 {
         counters.seq += 1;
+    }
+    route_notifications(engine, subs, &report.notifications);
+    if let Some((i, e)) = &report.error {
+        return Response::Error(ErrorFrame {
+            code: ERR_REJECTED,
+            datum: *i as u64,
+            message: e.to_string(),
+        });
     }
     if let Some(path) = &shared.config.snapshot {
         if let Err(e) = tkd_store::save_engine(path, engine) {
@@ -592,13 +697,60 @@ fn apply_updates(
         }
     }
     Response::UpdateAck(UpdateAck {
-        applied: ops.len() as u64,
+        applied: report.applied as u64,
         seq: counters.seq,
         epoch: engine.epoch(),
         live: engine.len() as u64,
         tombstones: engine.tombstones() as u64,
-        inserted_ids,
+        inserted_ids: report
+            .inserted_ids
+            .iter()
+            .map(|&id| u64::from(id))
+            .collect(),
     })
+}
+
+/// Fan each notification out to the sink of the connection that
+/// registered its query. Dead sinks (disconnected subscribers) get their
+/// standing queries unregistered here — the lazy half of
+/// unsubscribe-on-disconnect.
+fn route_notifications(
+    engine: &mut DynamicEngine,
+    subs: &mut HashMap<u64, Arc<PushSink>>,
+    notes: &[Notification],
+) {
+    for note in notes {
+        let Some(sink) = subs.get(&note.id) else {
+            continue;
+        };
+        if sink.dead.load(Ordering::Acquire) {
+            subs.remove(&note.id);
+            engine.unregister(note.id);
+            continue;
+        }
+        let wire = WireNotification {
+            id: note.id,
+            batch_seq: note.batch_seq,
+            added: entries_to_wire(&note.added),
+            removed: note.removed.iter().map(|&id| u64::from(id)).collect(),
+            rescored: entries_to_wire(&note.rescored),
+            kth_score: note.kth_score.map(|s| s as u64),
+            via_fallback: note.via_fallback,
+        };
+        if let Ok(frame) = encode_response(&Response::Notify(wire)) {
+            sink.push(frame);
+        }
+    }
+}
+
+fn entries_to_wire(entries: &[tkd_core::ResultEntry]) -> Vec<WireEntry> {
+    entries
+        .iter()
+        .map(|e| WireEntry {
+            id: u64::from(e.id),
+            score: e.score as u64,
+        })
+        .collect()
 }
 
 fn gather_stats(engine: &DynamicEngine, shared: &Shared, counters: &EngineCounters) -> ServerStats {

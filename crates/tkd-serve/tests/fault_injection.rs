@@ -84,7 +84,7 @@ fn assert_error_reply_or_close(reply: &[u8]) {
 #[test]
 fn truncated_frames_at_every_boundary() {
     let (server, addr) = start_server();
-    let good = encode_request(&Request::Query(QuerySpec::new(2)));
+    let good = encode_request(&Request::Query(QuerySpec::new(2))).expect("small frame encodes");
     // Cut a valid frame at every byte boundary: header-incomplete,
     // header-complete-body-missing, and mid-body. The server must treat
     // each as a disconnect or stalled frame and move on.
@@ -101,7 +101,7 @@ fn truncated_frames_at_every_boundary() {
 #[test]
 fn stalled_truncated_frame_hits_the_deadline() {
     let (server, addr) = start_server();
-    let good = encode_request(&Request::Query(QuerySpec::new(2)));
+    let good = encode_request(&Request::Query(QuerySpec::new(2))).expect("small frame encodes");
     // Send half a frame and then go silent without closing. The
     // slow-loris guard must cut the connection within the io timeout,
     // not hold the reader thread forever.
@@ -139,7 +139,7 @@ fn hostile_u64_max_length_is_rejected_without_allocation() {
 #[test]
 fn garbage_magic_version_checksum_and_kind() {
     let (server, addr) = start_server();
-    let good = encode_request(&Request::Query(QuerySpec::new(2)));
+    let good = encode_request(&Request::Query(QuerySpec::new(2))).expect("small frame encodes");
     let mut cases: Vec<Vec<u8>> = Vec::new();
     // Garbage magic.
     let mut b = good.clone();
@@ -173,7 +173,7 @@ fn garbage_magic_version_checksum_and_kind() {
 #[test]
 fn slow_loris_partial_writes_hit_the_frame_deadline() {
     let (server, addr) = start_server();
-    let good = encode_request(&Request::Query(QuerySpec::new(2)));
+    let good = encode_request(&Request::Query(QuerySpec::new(2))).expect("small frame encodes");
     let mut stream = TcpStream::connect(addr).expect("connect");
     // Trickle one byte per 150ms against a 400ms frame budget: the
     // frame can never complete, and the per-frame deadline (not the
@@ -208,7 +208,8 @@ fn mid_request_disconnect_during_server_reply() {
     // connection state, nothing else.
     for _ in 0..8 {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        let frame = encode_request(&Request::Query(QuerySpec::new(5)));
+        let frame =
+            encode_request(&Request::Query(QuerySpec::new(5))).expect("small frame encodes");
         stream.write_all(&frame).expect("write");
         drop(stream);
     }
@@ -224,7 +225,8 @@ fn concurrent_client_churn_under_fault_mix() {
     let handles: Vec<_> = (0..6)
         .map(|t| {
             std::thread::spawn(move || {
-                let good = encode_request(&Request::Query(QuerySpec::new(3)));
+                let good = encode_request(&Request::Query(QuerySpec::new(3)))
+                    .expect("small frame encodes");
                 for round in 0..12 {
                     match (t + round) % 4 {
                         0 => {

@@ -11,11 +11,14 @@
 use proptest::collection::vec;
 use proptest::option;
 use proptest::prelude::*;
-use tkd_core::{Algorithm, UpdateOp};
+use tkd_core::{Algorithm, StandingSpec, UpdateOp};
 use tkd_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, QuerySpec,
 };
-use tkd_serve::{ErrorFrame, Request, Response, ServerStats, UpdateAck, WireEntry};
+use tkd_serve::{
+    ErrorFrame, Request, Response, ServerStats, SubscribeAck, UpdateAck, WireEntry,
+    WireNotification,
+};
 
 fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
     (0u64..64, 0u8..2).prop_map(|(k, a)| QuerySpec {
@@ -50,6 +53,30 @@ fn op_strategy() -> impl Strategy<Value = UpdateOp> {
     ]
 }
 
+fn standing_spec_strategy() -> impl Strategy<Value = StandingSpec> {
+    (
+        0usize..8,
+        0u8..2,
+        option::of(vec(0usize..6, 0..4)),
+        vec((0usize..6, 0u32..8, 0u32..8), 0..3),
+        0u32..=4,
+    )
+        .prop_map(|(k, a, subspace, ranges, frac)| StandingSpec {
+            k,
+            algorithm: if a == 0 {
+                Algorithm::Big
+            } else {
+                Algorithm::Ibig
+            },
+            subspace,
+            constraint: ranges
+                .into_iter()
+                .map(|(d, lo, hi)| (d, f64::from(lo) - 4.0, f64::from(hi)))
+                .collect(),
+            fallback_fraction: f64::from(frac) / 4.0,
+        })
+}
+
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         spec_strategy().prop_map(Request::Query),
@@ -57,6 +84,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         vec(op_strategy(), 0..6).prop_map(Request::UpdateOps),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        standing_spec_strategy().prop_map(Request::Subscribe),
+        (0u64..1000).prop_map(Request::Unsubscribe),
     ]
 }
 
@@ -97,6 +126,31 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 message,
             })
         }),
+        (0u64..1000, entries_strategy())
+            .prop_map(|(id, result)| Response::SubscribeAck(SubscribeAck { id, result })),
+        any::<bool>().prop_map(Response::UnsubscribeAck),
+        (
+            0u64..1000,
+            1u64..500,
+            entries_strategy(),
+            vec(0u64..1000, 0..6),
+            entries_strategy(),
+            option::of(0u64..1000),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(id, batch_seq, added, removed, rescored, kth_score, via_fallback)| {
+                    Response::Notify(WireNotification {
+                        id,
+                        batch_seq,
+                        added,
+                        removed,
+                        rescored,
+                        kth_score,
+                        via_fallback,
+                    })
+                }
+            ),
     ]
 }
 
@@ -106,19 +160,19 @@ proptest! {
     /// `encode(decode(b)) == b` for every request frame type.
     #[test]
     fn request_frames_roundtrip(req in request_strategy()) {
-        let bytes = encode_request(&req);
+        let bytes = encode_request(&req).expect("bounded strategy encodes");
         let back = decode_request(&bytes).expect("own frame decodes");
         prop_assert_eq!(&back, &req);
-        prop_assert_eq!(encode_request(&back), bytes);
+        prop_assert_eq!(encode_request(&back).expect("bounded strategy encodes"), bytes);
     }
 
     /// `encode(decode(b)) == b` for every response frame type.
     #[test]
     fn response_frames_roundtrip(resp in response_strategy()) {
-        let bytes = encode_response(&resp);
+        let bytes = encode_response(&resp).expect("bounded strategy encodes");
         let back = decode_response(&bytes).expect("own frame decodes");
         prop_assert_eq!(&back, &resp);
-        prop_assert_eq!(encode_response(&back), bytes);
+        prop_assert_eq!(encode_response(&back).expect("bounded strategy encodes"), bytes);
     }
 
     /// Flipping any single bit of any request frame yields a typed
@@ -130,7 +184,7 @@ proptest! {
         pos_seed in 0u64..u64::MAX,
         bit in 0u8..8,
     ) {
-        let mut bytes = encode_request(&req);
+        let mut bytes = encode_request(&req).expect("bounded strategy encodes");
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= 1 << bit;
         prop_assert!(
@@ -147,7 +201,7 @@ proptest! {
         pos_seed in 0u64..u64::MAX,
         bit in 0u8..8,
     ) {
-        let mut bytes = encode_response(&resp);
+        let mut bytes = encode_response(&resp).expect("bounded strategy encodes");
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= 1 << bit;
         prop_assert!(
@@ -162,7 +216,7 @@ proptest! {
         req in request_strategy(),
         cut_seed in 0u64..u64::MAX,
     ) {
-        let bytes = encode_request(&req);
+        let bytes = encode_request(&req).expect("bounded strategy encodes");
         let cut = (cut_seed % bytes.len() as u64) as usize;
         prop_assert!(decode_request(&bytes[..cut]).is_err(), "cut at {}", cut);
     }

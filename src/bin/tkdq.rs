@@ -215,6 +215,23 @@ fn parse_threads(opts: &Opts) -> usize {
         .unwrap_or(1)
 }
 
+/// Targeted rejection of flags that conflict with snapshot mode. Every
+/// snapshot-serving command (`query --index`, `update --index`, `serve`)
+/// enforces the identical set with identical messages, so a
+/// build-time-fixed or raw-dataset-only flag errors out instead of being
+/// silently ignored in one command and rejected in another.
+fn reject_snapshot_conflicts(opts: &Opts) {
+    if opts.get("subspace").is_some() {
+        usage("--subspace projects the raw dataset; it is not available with a snapshot");
+    }
+    if opts.get("bins").is_some() {
+        usage("--bins is fixed at build time; rebuild the snapshot to change it");
+    }
+    if opts.get("compact-threshold").is_some() {
+        usage("--compact-threshold is fixed at build time; rebuild the snapshot to change it");
+    }
+}
+
 /// Load the snapshot named by `--index`, or die with a clean error.
 fn load_snapshot(path: &str) -> DynamicEngine {
     tkdi::store::load_engine(path).unwrap_or_else(|e| {
@@ -279,12 +296,7 @@ fn cmd_query(args: &[String]) {
         if opts.file.is_some() {
             usage("--index replaces the dataset file; pass one or the other");
         }
-        if opts.get("subspace").is_some() {
-            usage("--subspace projects the raw dataset; it is not available with --index");
-        }
-        if opts.get("bins").is_some() {
-            usage("--bins is fixed at build time; rebuild the snapshot to change it");
-        }
+        reject_snapshot_conflicts(&opts);
         let algorithm = match opts.get("algorithm").unwrap_or("big") {
             "big" => Algorithm::Big,
             "ibig" => Algorithm::Ibig,
@@ -476,9 +488,7 @@ fn cmd_update(args: &[String]) {
             if opts.file.is_some() {
                 usage("--index replaces the dataset file; pass one or the other");
             }
-            if opts.get("bins").is_some() || opts.get("compact-threshold").is_some() {
-                usage("--bins/--compact-threshold are baked into the snapshot at build time");
-            }
+            reject_snapshot_conflicts(&opts);
             (load_snapshot(snap), Some(snap.to_string()))
         }
         None => (
@@ -581,6 +591,7 @@ fn cmd_serve(args: &[String]) {
     if opts.file.is_some() {
         usage("serve runs from a snapshot; build one first and pass --index SNAP");
     }
+    reject_snapshot_conflicts(&opts);
     let snap = opts
         .get("index")
         .unwrap_or_else(|| usage("serve requires --index SNAP"))
@@ -603,8 +614,15 @@ fn cmd_serve(args: &[String]) {
             .unwrap_or(default)
     };
     let load_started = std::time::Instant::now();
-    let engine = load_snapshot(&snap);
+    let mut engine = load_snapshot(&snap);
     let load_time = load_started.elapsed();
+    if let Some(w) = opts.get("window") {
+        let cap = match w.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => usage("--window must be a positive object count"),
+        };
+        engine.set_window(Some(cap));
+    }
     let config = tkdi::serve::ServeConfig {
         threads: parse_threads(&opts),
         max_queue: count("max-queue", 128),
@@ -671,7 +689,8 @@ fn usage(err: &str) -> ! {
          \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
          \x20      [--missing R] [--cardinality C] [--seed S]\n\
          \x20 tkdq serve --index SNAP [--addr HOST:PORT] [--threads T] [--max-queue N]\n\
-         \x20      [--batch-max N] [--request-timeout-ms M] [--io-timeout-ms M] [--no-rewrite]"
+         \x20      [--batch-max N] [--request-timeout-ms M] [--io-timeout-ms M] [--no-rewrite]\n\
+         \x20      [--window N]  (cap live objects; oldest age out per update batch)"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }

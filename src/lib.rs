@@ -15,8 +15,10 @@
 //! * [`core`] — the TKD algorithms: Naive, ESB, UBB, BIG, IBIG (§4), plus
 //!   the MFD weighted-dominance extension (§3), the sharded parallel
 //!   execution layer (`core::parallel`), the multi-user serving engine
-//!   (`core::engine`), and the dynamic update layer (`core::dynamic`)
-//!   with incremental inserts/deletes over all indexes.
+//!   (`core::engine`), the dynamic update layer (`core::dynamic`)
+//!   with incremental inserts/deletes over all indexes, and standing
+//!   queries (`core::standing`) whose results are patched per op-batch
+//!   and streamed as deltas.
 //! * [`data`] — synthetic workloads (IND/AC/CO) and real-dataset simulators.
 //! * [`impute`] — matrix-factorization imputation baseline (§5.2, Table 4).
 //! * [`store`] — versioned on-disk snapshots of the full query state
@@ -55,7 +57,8 @@ pub use tkd_store as store;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use tkd_core::{
-        Algorithm, DynamicEngine, EngineQuery, ParallelEngine, TkdQuery, TkdResult, UpdateOp,
+        Algorithm, BatchReport, DynamicEngine, EngineQuery, Notification, ParallelEngine,
+        StandingSpec, TkdQuery, TkdResult, UpdateOp,
     };
     pub use tkd_model::{Dataset, DimMask, ObjectId};
 }

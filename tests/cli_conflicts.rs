@@ -1,0 +1,118 @@
+//! Regression tests for `tkdq`'s snapshot-mode flag conflicts: every
+//! snapshot-serving command (`query --index`, `update --index`, `serve`)
+//! must reject build-time-fixed flags (`--bins`, `--compact-threshold`)
+//! and raw-dataset-only flags (`--subspace`) with the **same** targeted
+//! message — previously only `query` rejected them and the others
+//! silently ignored the flag, so e.g. `serve --index S --bins 4` looked
+//! like it worked while serving the snapshot's baked-in binning.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use tkdi::data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkdi::model::io;
+
+fn tkdq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tkdq"))
+        .args(args)
+        .output()
+        .expect("tkdq runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A tiny dataset file + built snapshot + valid ops script in a scratch
+/// dir, shared by every conflict probe.
+fn fixtures() -> (PathBuf, String, String, String) {
+    let dir = std::env::temp_dir().join(format!("tkdq_cli_conflicts_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let data = dir.join("data.txt").to_string_lossy().into_owned();
+    let snap = dir.join("index.snap").to_string_lossy().into_owned();
+    let ops = dir.join("ops.txt").to_string_lossy().into_owned();
+    let ds = generate(&SyntheticConfig {
+        n: 20,
+        dims: 3,
+        cardinality: 10,
+        missing_rate: 0.2,
+        distribution: Distribution::Independent,
+        seed: 7,
+    });
+    std::fs::write(&data, io::to_text(&ds)).expect("write dataset");
+    std::fs::write(&ops, "set 0 0 1\n").expect("write ops");
+    let built = tkdq(&["build", &data, "--out", &snap, "--bins", "3"]);
+    assert!(built.status.success(), "build: {}", stderr_of(&built));
+    (dir, data, snap, ops)
+}
+
+#[test]
+fn snapshot_conflicts_are_rejected_uniformly() {
+    let (dir, data, snap, ops) = fixtures();
+
+    // Sanity: the snapshot itself serves queries and updates.
+    let ok = tkdq(&["query", "--index", &snap, "--k", "3"]);
+    assert!(ok.status.success(), "clean query: {}", stderr_of(&ok));
+
+    // Each conflicting flag × each snapshot-mode command: exit code 2
+    // and the one shared message for that flag.
+    let probes: [(&str, &str, &str); 3] = [
+        ("--bins", "4", "--bins is fixed at build time"),
+        (
+            "--compact-threshold",
+            "0.5",
+            "--compact-threshold is fixed at build time",
+        ),
+        ("--subspace", "0,1", "--subspace projects the raw dataset"),
+    ];
+    for (flag, value, message) in probes {
+        let commands: [Vec<&str>; 3] = [
+            vec!["query", "--index", &snap, "--k", "3", flag, value],
+            vec![
+                "update", "--index", &snap, "--ops", &ops, "--k", "3", flag, value,
+            ],
+            vec!["serve", "--index", &snap, flag, value],
+        ];
+        let mut messages = Vec::new();
+        for argv in &commands {
+            let out = tkdq(argv);
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{argv:?} must reject {flag}, got: {}",
+                stderr_of(&out)
+            );
+            let err = stderr_of(&out);
+            assert!(
+                err.contains(message),
+                "{argv:?}: expected {message:?} in {err:?}"
+            );
+            // The targeted first line, identical across commands.
+            messages.push(err.lines().next().unwrap_or_default().to_string());
+        }
+        assert!(
+            messages.windows(2).all(|w| w[0] == w[1]),
+            "{flag}: commands disagree on the message: {messages:?}"
+        );
+    }
+
+    // The update path still works when the flags are dropped — the
+    // rejection above fired before anything touched the snapshot.
+    let ok = tkdq(&["update", "--index", &snap, "--ops", &ops, "--k", "3"]);
+    assert!(ok.status.success(), "clean update: {}", stderr_of(&ok));
+
+    // File mode keeps accepting the same flags (they are only conflicts
+    // against a snapshot).
+    let ok = tkdq(&[
+        "query",
+        &data,
+        "--k",
+        "3",
+        "--bins",
+        "4",
+        "--subspace",
+        "0,1",
+    ]);
+    assert!(ok.status.success(), "file-mode query: {}", stderr_of(&ok));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

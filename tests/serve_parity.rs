@@ -22,9 +22,9 @@ mod common;
 use common::{apply_to_mirror, random_dataset, random_op, Mirror, Mix};
 use std::time::Duration;
 use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
-use tkdi::core::{BinChoice, TkdQuery};
+use tkdi::core::{apply_notification, BinChoice, ResultEntry, TkdQuery};
 use tkdi::prelude::*;
-use tkdi::serve::{Client, QuerySpec, ServeConfig, Server};
+use tkdi::serve::{Client, QuerySpec, ServeConfig, ServeError, Server, WireNotification};
 
 const BINS: usize = 3;
 
@@ -245,5 +245,232 @@ fn edge_cases_over_the_wire() {
     // Empty update batch: acked with nothing applied and no seq advance.
     let ack = client.update(&[]).expect("empty update acked");
     assert_eq!((ack.applied, ack.seq), (0, 0));
+    server.stop().expect("clean stop");
+}
+
+/// Reinterpret a pushed wire notification as the core type so the view
+/// can be folded with the same [`apply_notification`] the engine-side
+/// parity harness pins.
+fn note_to_core(n: &WireNotification) -> Notification {
+    let entries = |es: &[tkdi::serve::WireEntry]| -> Vec<ResultEntry> {
+        es.iter()
+            .map(|e| ResultEntry {
+                id: e.id as u32,
+                score: e.score as usize,
+            })
+            .collect()
+    };
+    Notification {
+        id: n.id,
+        batch_seq: n.batch_seq,
+        added: entries(&n.added),
+        removed: n.removed.iter().map(|&id| id as u32).collect(),
+        rescored: entries(&n.rescored),
+        kth_score: n.kth_score.map(|s| s as usize),
+        via_fallback: n.via_fallback,
+    }
+}
+
+/// Read exactly `n` pushed notifications, failing loudly on a stall.
+fn collect_notes(client: &mut Client, n: usize) -> Vec<WireNotification> {
+    let mut notes = Vec::new();
+    while notes.len() < n {
+        match client
+            .next_notification(Duration::from_secs(10))
+            .expect("notification stream stays healthy")
+        {
+            Some(note) => notes.push(note),
+            None => panic!("timed out at notification {}/{n}", notes.len()),
+        }
+    }
+    notes
+}
+
+fn as_pairs(entries: &[ResultEntry]) -> Vec<(u64, u64)> {
+    entries
+        .iter()
+        .map(|e| (u64::from(e.id), e.score as u64))
+        .collect()
+}
+
+/// Standing wire parity: every pushed notification is field-identical to
+/// the one a local twin engine (fed the same ops) produces, and folding
+/// the pushes over the subscribe ack reproduces the twin's standing
+/// result — across the missing-rate grid.
+#[test]
+fn standing_subscriptions_match_twin_engine() {
+    for missing_pct in [10u64, 30, 60] {
+        let dims = 3;
+        let mut rng = Mix(7000 + missing_pct);
+        let initial: Vec<Vec<Option<f64>>> = (0..14)
+            .map(|_| common::row(&mut rng, dims, missing_pct))
+            .collect();
+        let ds = Dataset::from_rows(dims, &initial).expect("valid rows");
+        let mut next_id = ds.len() as ObjectId;
+        let mut mirror = Mirror::seeded(&initial);
+        let mut twin = engine_over(ds.clone());
+        let (server, mut client) = start(ds);
+        let specs = [
+            StandingSpec::new(3),
+            StandingSpec::new(2).algorithm(Algorithm::Ibig),
+            StandingSpec::new(5).subspace(vec![0, 2]),
+            StandingSpec::new(4).fallback_fraction(0.0),
+        ];
+        // (wire id, twin id, running view folded from pushes).
+        let mut subs: Vec<(u64, u64, Vec<ResultEntry>)> = Vec::new();
+        for spec in &specs {
+            let ack = client.subscribe(spec).expect("subscribe acked");
+            let twin_id = twin.register(spec.clone()).expect("twin registers");
+            let twin_initial = twin.standing_result(twin_id).expect("twin tracks");
+            assert_eq!(
+                ack.result
+                    .iter()
+                    .map(|e| (e.id, e.score))
+                    .collect::<Vec<_>>(),
+                as_pairs(twin_initial),
+                "missing={missing_pct} initial result in the ack"
+            );
+            subs.push((ack.id, twin_id, twin_initial.to_vec()));
+        }
+        for batch in 0..6 {
+            let ops: Vec<UpdateOp> = (0..5)
+                .map(|_| {
+                    let op = random_op(&mut rng, &mirror, dims, missing_pct);
+                    apply_to_mirror(&mut mirror, &op, &mut next_id);
+                    op
+                })
+                .collect();
+            client.update(&ops).expect("update batch applies");
+            let report = twin.apply_ops(&ops);
+            assert!(report.error.is_none(), "twin applies the same ops");
+            assert_eq!(report.notifications.len(), subs.len());
+            let notes = collect_notes(&mut client, subs.len());
+            for note in &notes {
+                let (_, twin_id, view) = subs
+                    .iter_mut()
+                    .find(|(wire_id, _, _)| *wire_id == note.id)
+                    .expect("push for a known subscription");
+                let twin_note = report
+                    .notifications
+                    .iter()
+                    .find(|n| n.id == *twin_id)
+                    .expect("twin produced the same notification");
+                let mut core = note_to_core(note);
+                core.id = twin_note.id; // ids are per-engine; compare the payload
+                assert_eq!(
+                    &core, twin_note,
+                    "missing={missing_pct} batch={batch} notification payload"
+                );
+                *view = apply_notification(view, &core);
+                assert_eq!(
+                    as_pairs(view),
+                    as_pairs(twin.standing_result(*twin_id).expect("twin tracks")),
+                    "missing={missing_pct} batch={batch} folded view"
+                );
+            }
+        }
+        // No stray pushes once every expected notification is consumed.
+        assert_eq!(
+            client
+                .next_notification(Duration::from_millis(120))
+                .expect("healthy stream"),
+            None
+        );
+        server.stop().expect("clean stop");
+    }
+}
+
+/// Serve-path standing edge matrix: k = 0 subscriptions, duplicate
+/// registrations, invalid specs, unsubscribe idempotence, and
+/// subscribe-then-delete-everything all behave over the wire.
+#[test]
+fn standing_edge_matrix_over_the_wire() {
+    let dims = 3;
+    let mut rng = Mix(55_000);
+    let initial: Vec<Vec<Option<f64>>> = (0..10).map(|_| common::row(&mut rng, dims, 30)).collect();
+    let ds = Dataset::from_rows(dims, &initial).expect("valid rows");
+    let n = ds.len();
+    let (server, mut client) = start(ds);
+
+    // k = 0: a valid standing query with an empty result, not an error.
+    let zero = client
+        .subscribe(&StandingSpec::new(0))
+        .expect("k=0 subscribes");
+    assert!(zero.result.is_empty(), "k=0 starts empty");
+
+    // Duplicate registration of an identical spec: two independent
+    // subscriptions with distinct ids and identical results.
+    let a = client.subscribe(&StandingSpec::new(2)).expect("first sub");
+    let b = client.subscribe(&StandingSpec::new(2)).expect("duplicate");
+    assert_ne!(a.id, b.id, "duplicate registration gets its own id");
+    assert_eq!(a.result, b.result, "identical specs agree");
+
+    // Invalid spec: rejected with the typed error, connection unharmed.
+    let err = client
+        .subscribe(&StandingSpec::new(1).subspace(vec![dims + 5]))
+        .expect_err("out-of-range subspace dim is rejected");
+    assert!(
+        matches!(err, ServeError::Rejected { .. }),
+        "typed rejection, got {err:?}"
+    );
+
+    // One batch → exactly one notification per live subscription; the
+    // k = 0 subscription's is empty with no k-th score.
+    client
+        .update(&[UpdateOp::Insert(common::row(&mut rng, dims, 30))])
+        .expect("insert applies");
+    let notes = collect_notes(&mut client, 3);
+    let mut ids: Vec<u64> = notes.iter().map(|n| n.id).collect();
+    ids.sort_unstable();
+    let mut want = vec![zero.id, a.id, b.id];
+    want.sort_unstable();
+    assert_eq!(ids, want, "one notification per subscription");
+    let zn = notes.iter().find(|n| n.id == zero.id).expect("k=0 note");
+    assert!(
+        zn.added.is_empty() && zn.removed.is_empty() && zn.rescored.is_empty(),
+        "k=0 delta stays empty"
+    );
+    assert_eq!(zn.kth_score, None, "k=0 has no k-th score");
+
+    // Unsubscribe mid-stream: idempotent, and the dropped subscription
+    // stops being notified while the others continue.
+    assert!(client.unsubscribe(b.id).expect("unsubscribe acked"));
+    assert!(
+        !client.unsubscribe(b.id).expect("second unsubscribe acked"),
+        "double unsubscribe reports unknown, not an error"
+    );
+    assert!(
+        !client.unsubscribe(999_999).expect("unknown id acked"),
+        "never-registered id reports unknown"
+    );
+    client
+        .update(&[UpdateOp::Insert(common::row(&mut rng, dims, 30))])
+        .expect("insert applies");
+    let notes = collect_notes(&mut client, 2);
+    let mut ids: Vec<u64> = notes.iter().map(|n| n.id).collect();
+    ids.sort_unstable();
+    let mut want = vec![zero.id, a.id];
+    want.sort_unstable();
+    assert_eq!(ids, want, "unsubscribed query is not notified");
+
+    // Subscribe-then-delete-everything: the standing result must drain
+    // to empty with no k-th score. Live objects are the 10 seeded rows
+    // plus the 2 inserts above (stable ids allocate densely from 0).
+    let victims: Vec<UpdateOp> = (0..n as u32 + 2).map(UpdateOp::Delete).collect();
+    client.update(&victims).expect("delete-everything applies");
+    let note = collect_notes(&mut client, 2)
+        .into_iter()
+        .find(|note| note.id == a.id)
+        .expect("survivor is notified");
+    assert_eq!(note.kth_score, None, "no k-th score on an empty engine");
+    assert!(note.added.is_empty(), "nothing can enter an empty engine");
+    let live = client.stats().expect("stats").live;
+    assert_eq!(live, 0, "everything deleted");
+    // A fresh identical subscription on the empty engine starts empty —
+    // the standing result drained to exactly that.
+    let fresh = client
+        .subscribe(&StandingSpec::new(2))
+        .expect("subscribe on empty engine");
+    assert!(fresh.result.is_empty(), "empty engine, empty standing set");
     server.stop().expect("clean stop");
 }

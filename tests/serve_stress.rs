@@ -206,3 +206,150 @@ fn contended_updates_replay_to_identical_snapshot() {
     assert_eq!(disk, served_bytes, "on-disk snapshot matches");
     let _ = std::fs::remove_file(&snap_path);
 }
+
+/// The standing-query leg: subscriptions registered before a contended
+/// update run must see **every** batch exactly once — per subscription,
+/// the pushed `batch_seq`s are exactly the consecutive run
+/// `1..=batches`, in order, with none lost and none duplicated — and
+/// folding the pushes over the subscribe ack must land on the exact
+/// result the drained engine reports.
+#[test]
+fn standing_notifications_survive_contended_updates() {
+    let mut rng = Mix(9898);
+    let ds = random_dataset(&mut rng, 30, DIMS, 30);
+    let server = Server::start(
+        DynamicEngine::with_options(ds, options()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    // Subscribe BEFORE any writer starts, so every batch must notify.
+    let mut subscriber =
+        Client::connect_with(addr, Duration::from_secs(30)).expect("subscriber connects");
+    let specs = [
+        StandingSpec::new(5),
+        StandingSpec::new(3).algorithm(Algorithm::Ibig),
+    ];
+    let acks: Vec<_> = specs
+        .iter()
+        .map(|s| subscriber.subscribe(s).expect("subscribe acked"))
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut rng = Mix(0xFACE + w as u64);
+                let mut client =
+                    Client::connect_with(addr, Duration::from_secs(30)).expect("writer connects");
+                let mut owned: Vec<u32> = Vec::new();
+                for _ in 0..ROUNDS {
+                    let mut ops = Vec::new();
+                    for _ in 0..4 {
+                        let die = rng.next() % 10;
+                        if owned.is_empty() || die >= 6 {
+                            ops.push(UpdateOp::Insert(row(&mut rng, DIMS, 30)));
+                        } else if die >= 3 {
+                            let i = rng.below(owned.len());
+                            ops.push(UpdateOp::Delete(owned.swap_remove(i)));
+                        } else {
+                            let id = owned[rng.below(owned.len())];
+                            ops.push(UpdateOp::Set(
+                                id,
+                                rng.below(DIMS),
+                                Some((rng.next() % 7) as f64),
+                            ));
+                        }
+                    }
+                    let ack = client.update(&ops).expect("batch acked");
+                    owned.extend(ack.inserted_ids.iter().map(|&id| id as u32));
+                }
+            })
+        })
+        .collect();
+
+    // Drain pushes while the writers hammer: exactly one notification
+    // per (batch, subscription), each stream's seqs consecutive.
+    let total = WRITERS * ROUNDS;
+    let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); specs.len()];
+    let mut views: Vec<Vec<tkdi::core::ResultEntry>> = acks
+        .iter()
+        .map(|a| {
+            a.result
+                .iter()
+                .map(|e| tkdi::core::ResultEntry {
+                    id: e.id as u32,
+                    score: e.score as usize,
+                })
+                .collect()
+        })
+        .collect();
+    while seqs.iter().map(Vec::len).sum::<usize>() < total * specs.len() {
+        let note = subscriber
+            .next_notification(Duration::from_secs(20))
+            .expect("notification stream stays healthy")
+            .expect("pushes keep arriving while writers run");
+        let i = acks
+            .iter()
+            .position(|a| a.id == note.id)
+            .expect("push for a known subscription");
+        seqs[i].push(note.batch_seq);
+        let core = tkdi::core::Notification {
+            id: note.id,
+            batch_seq: note.batch_seq,
+            added: note
+                .added
+                .iter()
+                .map(|e| tkdi::core::ResultEntry {
+                    id: e.id as u32,
+                    score: e.score as usize,
+                })
+                .collect(),
+            removed: note.removed.iter().map(|&id| id as u32).collect(),
+            rescored: note
+                .rescored
+                .iter()
+                .map(|e| tkdi::core::ResultEntry {
+                    id: e.id as u32,
+                    score: e.score as usize,
+                })
+                .collect(),
+            kth_score: note.kth_score.map(|s| s as usize),
+            via_fallback: note.via_fallback,
+        };
+        views[i] = tkdi::core::apply_notification(&views[i], &core);
+    }
+    for h in writers {
+        h.join().expect("writer thread");
+    }
+    // Nothing extra in flight once every expected push is accounted for.
+    assert_eq!(
+        subscriber
+            .next_notification(Duration::from_millis(150))
+            .expect("healthy stream"),
+        None,
+        "no duplicated or phantom notifications"
+    );
+    let mut served = server.stop().expect("clean drain");
+    for (i, s) in seqs.iter().enumerate() {
+        assert_eq!(
+            s,
+            &(1..=total as u64).collect::<Vec<_>>(),
+            "subscription {i}: batch_seqs are exactly the consecutive run \
+             1..=batches, in push order — none lost, none duplicated"
+        );
+    }
+    // Folding every push over the initial ack reproduces the engine's
+    // final standing answer, concurrency notwithstanding.
+    for (i, spec) in specs.iter().enumerate() {
+        let want: Vec<(u32, usize)> = served
+            .query(&EngineQuery::new(spec.k).algorithm(spec.algorithm))
+            .expect("BIG/IBIG supported")
+            .iter()
+            .map(|e| (e.id, e.score))
+            .collect();
+        let got: Vec<(u32, usize)> = views[i].iter().map(|e| (e.id, e.score)).collect();
+        assert_eq!(got, want, "subscription {i}: folded view = final top-k");
+    }
+}
