@@ -44,8 +44,12 @@ pub fn constrained_top_k(ds: &Dataset, constraints: &Constraints, query: &TkdQue
     remap(query.run(&sub), &admitted)
 }
 
-/// Translate result ids from a derived dataset back to the original.
-fn remap(result: TkdResult, mapping: &[ObjectId]) -> TkdResult {
+/// Translate result ids from a derived dataset back to the original:
+/// entry `i` of `result` refers to `mapping[result_id]` in the source the
+/// mapping came from ([`Dataset::select`]'s id list or
+/// [`Dataset::project`]'s kept list). Order and scores are preserved, so
+/// a remapped result is bit-identical to one computed on the original.
+pub fn remap(result: TkdResult, mapping: &[ObjectId]) -> TkdResult {
     let stats = result.stats;
     let entries: Vec<ResultEntry> = result
         .into_iter()

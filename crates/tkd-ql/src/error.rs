@@ -1,0 +1,186 @@
+//! Typed TKDQL errors with source spans.
+//!
+//! Every failure on the text path — lexing, parsing, binding, planning,
+//! execution — is a [`QlError`] carrying the 1-based line/column of the
+//! offending text, so callers (CLI, REPL, wire) can point at the problem
+//! instead of echoing the whole statement. The fuzz harness
+//! (`crates/tkd-ql/tests/fuzz.rs`) pins the stronger contract: *any*
+//! byte sequence yields `Ok` or a `QlError` — never a panic.
+
+use std::fmt;
+
+/// A half-open region of the source text, 1-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the first character (0 = unknown/end of input).
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// Length in characters (0 = a point, e.g. end of input).
+    pub len: u32,
+}
+
+impl Span {
+    /// A span starting at `line:col` covering `len` characters.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+
+    /// The zero span: "somewhere after the end of the statement".
+    pub fn eof() -> Self {
+        Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "end of input")
+        } else {
+            write!(f, "line {}, column {}", self.line, self.col)
+        }
+    }
+}
+
+/// Which stage of the pipeline rejected the statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QlStage {
+    /// Tokenization: stray characters, malformed numbers, unterminated
+    /// strings.
+    Lex,
+    /// Grammar: unexpected or missing tokens.
+    Parse,
+    /// Name/type resolution against the source schema: unknown
+    /// dimensions, out-of-range counts, clause combinations the engine
+    /// cannot serve.
+    Bind,
+    /// Planning: constant folding and pushdown failures (non-finite
+    /// constant expressions, empty standing regions).
+    Plan,
+    /// Execution: failures against the concrete target (missing source,
+    /// algorithm unsupported by a snapshot engine).
+    Exec,
+}
+
+impl fmt::Display for QlStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QlStage::Lex => "lex",
+            QlStage::Parse => "parse",
+            QlStage::Bind => "bind",
+            QlStage::Plan => "plan",
+            QlStage::Exec => "execution",
+        })
+    }
+}
+
+/// A typed TKDQL failure: stage, message, and source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QlError {
+    /// The pipeline stage that rejected the statement.
+    pub stage: QlStage,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where in the statement text it was detected.
+    pub span: Span,
+}
+
+impl QlError {
+    /// Construct an error for `stage` at `span`.
+    pub fn new(stage: QlStage, span: Span, message: impl Into<String>) -> Self {
+        QlError {
+            stage,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Shorthand for a lex-stage error.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        QlError::new(QlStage::Lex, span, message)
+    }
+
+    /// Shorthand for a parse-stage error.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        QlError::new(QlStage::Parse, span, message)
+    }
+
+    /// Shorthand for a bind-stage error.
+    pub fn bind(span: Span, message: impl Into<String>) -> Self {
+        QlError::new(QlStage::Bind, span, message)
+    }
+
+    /// Shorthand for a plan-stage error.
+    pub fn plan(span: Span, message: impl Into<String>) -> Self {
+        QlError::new(QlStage::Plan, span, message)
+    }
+
+    /// Shorthand for an execution-stage error.
+    pub fn exec(span: Span, message: impl Into<String>) -> Self {
+        QlError::new(QlStage::Exec, span, message)
+    }
+
+    /// Render the offending source line with a caret marker under the
+    /// span — the two-line snippet a CLI or REPL prints beneath the
+    /// error message. Returns `None` when the span does not point into
+    /// `source` (end-of-input errors, or a span from a different text).
+    pub fn snippet(&self, source: &str) -> Option<String> {
+        if self.span.line == 0 {
+            return None;
+        }
+        let line = source.lines().nth(self.span.line as usize - 1)?;
+        let col = self.span.col as usize;
+        if col == 0 || col > line.chars().count() + 1 {
+            return None;
+        }
+        let pad: String = line
+            .chars()
+            .take(col - 1)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        let marker = "^".repeat((self.span.len as usize).max(1));
+        Some(format!("  {line}\n  {pad}{marker}"))
+    }
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for QlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_points_at_the_offender() {
+        let text = "SELECT TOP x DOMINATING";
+        let e = QlError::parse(Span::new(1, 12, 1), "expected a number");
+        assert_eq!(
+            e.snippet(text).unwrap(),
+            "  SELECT TOP x DOMINATING\n             ^"
+        );
+        // End-of-input and out-of-text spans render nothing.
+        assert!(QlError::parse(Span::eof(), "x").snippet(text).is_none());
+        assert!(QlError::parse(Span::new(9, 1, 1), "x")
+            .snippet(text)
+            .is_none());
+    }
+
+    #[test]
+    fn display_carries_location() {
+        let e = QlError::parse(Span::new(2, 7, 3), "expected TOP");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 2, column 7: expected TOP"
+        );
+        let e = QlError::parse(Span::eof(), "unexpected end of statement");
+        assert_eq!(
+            e.to_string(),
+            "parse error at end of input: unexpected end of statement"
+        );
+    }
+}

@@ -186,6 +186,61 @@ impl Client {
         }
     }
 
+    /// Run a TKDQL statement on the server (protocol v4). The answer
+    /// depends on the statement form, so this returns the raw typed
+    /// [`Response`]; the convenience wrappers [`Client::query_text`] and
+    /// [`Client::subscribe_text`] unwrap the common cases.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Rejected`] carrying the
+    /// statement's lex/parse/bind/plan/exec diagnostic (with its
+    /// line/column span).
+    pub fn statement(&mut self, text: &str) -> Result<Response, ServeError> {
+        self.call(&Request::QueryText(text.to_string()))
+    }
+
+    /// Run a one-shot TKDQL `SELECT` (or `EXPLAIN`) on the server.
+    /// `SELECT` answers with result entries; `EXPLAIN` answers with the
+    /// rendered plan in `Err`-free textual form via [`Client::statement`]
+    /// — this wrapper accepts only the entry-list answer.
+    ///
+    /// # Errors
+    /// Transport errors, the server's typed rejection, or a mismatched
+    /// response kind (e.g. the statement was an `EXPLAIN`).
+    pub fn query_text(&mut self, text: &str) -> Result<Vec<WireEntry>, ServeError> {
+        match self.statement(text)? {
+            Response::QueryResult(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Render a TKDQL statement's plan on the server (`EXPLAIN …`).
+    ///
+    /// # Errors
+    /// Transport errors, the server's typed rejection, or a mismatched
+    /// response kind (the statement must start with `EXPLAIN`).
+    pub fn explain_text(&mut self, text: &str) -> Result<String, ServeError> {
+        match self.statement(text)? {
+            Response::ExplainResult(rendered) => Ok(rendered),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Register a standing query by TKDQL text
+    /// (`SUBSCRIBE TO SELECT …`). Same semantics as [`Client::subscribe`]:
+    /// the ack carries the subscription id and initial result, and deltas
+    /// arrive via [`Client::next_notification`].
+    ///
+    /// # Errors
+    /// Transport errors, the server's typed rejection, or a mismatched
+    /// response kind (the statement must be a `SUBSCRIBE TO SELECT`).
+    pub fn subscribe_text(&mut self, text: &str) -> Result<SubscribeAck, ServeError> {
+        match self.statement(text)? {
+            Response::SubscribeAck(ack) => Ok(ack),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Fetch server/engine statistics.
     ///
     /// # Errors

@@ -1,14 +1,14 @@
 //! The versioned wire protocol — length-prefixed, checksummed binary
 //! frames over TCP.
 //!
-//! # Frame layout (protocol version 3)
+//! # Frame layout (protocol version 4)
 //!
 //! ```text
 //! magic      4 bytes   "TKDW"
-//! version    u32       3
+//! version    u32       4
 //! checksum   u64       fnv64 over every byte after this field
 //!                      (kind ‖ len ‖ body)
-//! kind       u8        frame kind (requests 1–7, responses 128–136)
+//! kind       u8        frame kind (requests 1–8, responses 128–137)
 //! len        u64       body length in bytes
 //! body       len bytes kind-specific payload
 //! ```
@@ -44,9 +44,12 @@ use tkd_store::fnv64;
 pub const MAGIC: [u8; 4] = *b"TKDW";
 
 /// The protocol version this build speaks — reads and writes.
-/// Version 3 adds standing queries: `subscribe`/`unsubscribe` requests
+/// Version 3 added standing queries: `subscribe`/`unsubscribe` requests
 /// and server-pushed `notify` frames carrying per-batch result deltas.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 adds TKDQL text queries: a `query_text` request carrying a
+/// statement, and an `explain_result` response carrying the rendered
+/// plan (the normative spec is `docs/WIRE_PROTOCOL.md`).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Frame header bytes: magic + version + checksum + kind + len.
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 8;
@@ -64,6 +67,7 @@ const KIND_STATS: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
 const KIND_SUBSCRIBE: u8 = 6;
 const KIND_UNSUBSCRIBE: u8 = 7;
+const KIND_QUERY_TEXT: u8 = 8;
 const KIND_QUERY_RESULT: u8 = 128;
 const KIND_BATCH_RESULT: u8 = 129;
 const KIND_UPDATE_ACK: u8 = 130;
@@ -76,6 +80,7 @@ const KIND_UNSUBSCRIBE_ACK: u8 = 135;
 /// answer to a request. Clients must tolerate one arriving where a
 /// response is expected.
 const KIND_NOTIFY: u8 = 136;
+const KIND_EXPLAIN_RESULT: u8 = 137;
 
 // Error-frame codes (the `code` byte of [`ErrorFrame`]).
 /// Admission control rejected the request: queue full.
@@ -136,6 +141,12 @@ pub enum Request {
     Subscribe(StandingSpec),
     /// Remove a standing query previously registered on any connection.
     Unsubscribe(u64),
+    /// A TKDQL statement (v4). `SELECT` answers with
+    /// [`Response::QueryResult`], `EXPLAIN` with
+    /// [`Response::ExplainResult`], and `SUBSCRIBE TO SELECT` registers
+    /// on this connection and answers with [`Response::SubscribeAck`].
+    /// A `FROM` clause is rejected — the server's engine is the target.
+    QueryText(String),
 }
 
 /// One result entry over the wire.
@@ -265,6 +276,9 @@ pub enum Response {
     UnsubscribeAck(bool),
     /// Server-pushed standing-query delta (not an answer to anything).
     Notify(WireNotification),
+    /// Answer to a [`Request::QueryText`] carrying `EXPLAIN` (v4): the
+    /// rendered plan, UTF-8 text.
+    ExplainResult(String),
 }
 
 impl ErrorFrame {
@@ -521,6 +535,10 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, ServeError> {
             w.put_u64(*id);
             KIND_UNSUBSCRIBE
         }
+        Request::QueryText(text) => {
+            w.put_str("statement text", text)?;
+            KIND_QUERY_TEXT
+        }
     };
     Ok(seal(kind, w.buf))
 }
@@ -557,6 +575,7 @@ pub fn decode_request_body(kind: u8, body: &[u8]) -> Result<Request, ServeError>
         KIND_SHUTDOWN => Request::Shutdown,
         KIND_SUBSCRIBE => Request::Subscribe(get_standing_spec(&mut r)?),
         KIND_UNSUBSCRIBE => Request::Unsubscribe(r.get_u64()?),
+        KIND_QUERY_TEXT => Request::QueryText(r.get_str()?),
         other => return Err(bad(format!("unknown request kind {other}"))),
     };
     r.finish()?;
@@ -650,6 +669,10 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, ServeError> {
             }
             w.put_u8(u8::from(n.via_fallback));
             KIND_NOTIFY
+        }
+        Response::ExplainResult(text) => {
+            w.put_str("explain text", text)?;
+            KIND_EXPLAIN_RESULT
         }
     };
     Ok(seal(kind, w.buf))
@@ -757,6 +780,7 @@ pub fn decode_response_body(kind: u8, body: &[u8]) -> Result<Response, ServeErro
                 via_fallback,
             })
         }
+        KIND_EXPLAIN_RESULT => Response::ExplainResult(r.get_str()?),
         KIND_ERROR => {
             let code = r.get_u8()?;
             if !(ERR_OVERLOADED..=ERR_BAD_REQUEST).contains(&code) {
@@ -1151,6 +1175,9 @@ mod tests {
             ),
             Request::Unsubscribe(0),
             Request::Unsubscribe(u64::MAX),
+            Request::QueryText("SELECT TOP 3 DOMINATING".into()),
+            Request::QueryText(String::new()),
+            Request::QueryText("EXPLAIN SELECT TOP 1 DOMINATING WHERE d1 > 0.5 — π".into()),
         ];
         for f in &frames {
             let bytes = encode_request(f).expect("sane frames encode");
@@ -1206,6 +1233,8 @@ mod tests {
                 via_fallback: true,
             }),
             Response::Notify(WireNotification::default()),
+            Response::ExplainResult("TKDQL one-shot query\n  k: 3\n".into()),
+            Response::ExplainResult(String::new()),
         ];
         for f in &frames {
             let bytes = encode_response(f).expect("sane frames encode");

@@ -105,6 +105,8 @@ enum Work {
     /// Register a standing query; deltas are pushed through the sink.
     Subscribe(StandingSpec, Arc<PushSink>),
     Unsubscribe(u64),
+    /// A TKDQL statement (v4); `SUBSCRIBE TO …` registers on the sink.
+    QueryText(String, Arc<PushSink>),
 }
 
 /// A connection's outbox for server-initiated frames. The engine thread
@@ -366,6 +368,7 @@ fn connection_loop_inner(mut stream: TcpStream, shared: &Arc<Shared>, sink: &Arc
             Request::Shutdown => Work::Shutdown,
             Request::Subscribe(spec) => Work::Subscribe(spec, Arc::clone(sink)),
             Request::Unsubscribe(id) => Work::Unsubscribe(id),
+            Request::QueryText(text) => Work::QueryText(text, Arc::clone(sink)),
         };
         let reply = match submit(shared, work) {
             Ok(rx) => match rx.recv() {
@@ -525,7 +528,10 @@ fn serve_one(
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     for p in batch {
         let waited = p.enqueued.elapsed();
-        let expendable = matches!(p.work, Work::Query(_) | Work::Batch(_) | Work::Update(_));
+        let expendable = matches!(
+            p.work,
+            Work::Query(_) | Work::Batch(_) | Work::Update(_) | Work::QueryText(_, _)
+        );
         if expendable && waited > shared.config.request_timeout {
             counters.timeouts += 1;
             let waited_ms = waited.as_millis() as u64;
@@ -609,6 +615,7 @@ fn serve_one(
             subs.remove(id);
             Response::UnsubscribeAck(engine.unregister(*id))
         }
+        Work::QueryText(text, sink) => serve_query_text(engine, counters, subs, text, sink),
         Work::Shutdown => {
             // Flip the drain flag under the queue lock so no submission
             // can slip in after the ack; everything already queued is
@@ -620,6 +627,68 @@ fn serve_one(
         }
     };
     let _ = p.resp.send(resp);
+}
+
+/// Answer a TKDQL statement against the serving engine: `SELECT` runs
+/// one-shot, `EXPLAIN` renders the plan, `SUBSCRIBE TO SELECT` registers
+/// a standing query on this connection's push sink. Statement errors
+/// (with their line/column spans) come back as `ERR_REJECTED` frames —
+/// the wire frame itself was well-formed.
+fn serve_query_text(
+    engine: &mut DynamicEngine,
+    counters: &mut EngineCounters,
+    subs: &mut HashMap<u64, Arc<PushSink>>,
+    text: &str,
+    sink: &Arc<PushSink>,
+) -> Response {
+    let reject = |message: String| {
+        Response::Error(ErrorFrame {
+            code: ERR_REJECTED,
+            datum: 0,
+            message,
+        })
+    };
+    let stmt = match tkd_ql::parse(text) {
+        Ok(s) => s,
+        Err(e) => return reject(e.to_string()),
+    };
+    if stmt.select.from.is_some() {
+        return reject(
+            "FROM is not accepted over the wire; the server's engine is the target".into(),
+        );
+    }
+    let plan = tkd_ql::bind(&stmt, engine.dims()).and_then(tkd_ql::optimizer::plan);
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => return reject(e.to_string()),
+    };
+    match tkd_ql::run_on_engine(&plan, engine) {
+        Ok(tkd_ql::Outcome::Rows(r)) => {
+            counters.served_queries += 1;
+            Response::QueryResult(
+                r.entries()
+                    .iter()
+                    .map(|e| WireEntry {
+                        id: u64::from(e.id),
+                        score: e.score as u64,
+                    })
+                    .collect(),
+            )
+        }
+        Ok(tkd_ql::Outcome::Explain(rendered)) => Response::ExplainResult(rendered),
+        Ok(tkd_ql::Outcome::Subscribed { id, initial }) => {
+            let result = initial
+                .iter()
+                .map(|e| WireEntry {
+                    id: u64::from(e.id),
+                    score: e.score as u64,
+                })
+                .collect();
+            subs.insert(id, Arc::clone(sink));
+            Response::SubscribeAck(SubscribeAck { id, result })
+        }
+        Err(e) => reject(e.to_string()),
+    }
 }
 
 /// Answer a slice of wire queries through one `query_many` pass.

@@ -1,0 +1,122 @@
+//! End-to-end TKDQL over the wire (protocol v4): `query_text`,
+//! `explain_text`, `subscribe_text`, and the typed rejections statements
+//! earn. Every answered query is compared against the in-process oracle
+//! so a text path that drifts from the binary path fails loudly.
+
+use std::time::Duration;
+use tkd_core::{Algorithm, DynamicEngine, EngineQuery, UpdateOp};
+use tkd_serve::protocol::QuerySpec;
+use tkd_serve::{Client, ServeConfig, ServeError, Server};
+
+fn start_server() -> (Server, std::net::SocketAddr) {
+    let engine = DynamicEngine::new(tkd_model::fixtures::fig3_sample());
+    let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect_with(addr, Duration::from_secs(10)).expect("connect")
+}
+
+#[test]
+fn select_matches_the_binary_query_path() {
+    let (server, addr) = start_server();
+    let mut client = connect(addr);
+    let text = client
+        .query_text("SELECT TOP 3 DOMINATING USING BIG")
+        .expect("statement answers");
+    let binary = client
+        .query(QuerySpec::new(3).algorithm(Algorithm::Big))
+        .expect("query answers");
+    assert_eq!(text, binary);
+    // And against the in-process oracle.
+    let mut oracle = DynamicEngine::new(tkd_model::fixtures::fig3_sample());
+    let want: Vec<(u64, u64)> = oracle
+        .query(&EngineQuery::new(3).algorithm(Algorithm::Big))
+        .expect("BIG supported")
+        .iter()
+        .map(|e| (u64::from(e.id), e.score as u64))
+        .collect();
+    assert_eq!(
+        text.iter().map(|e| (e.id, e.score)).collect::<Vec<_>>(),
+        want
+    );
+    drop(client);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn scoped_select_and_explain_agree_on_the_algorithm() {
+    let (server, addr) = start_server();
+    let mut client = connect(addr);
+    let rendered = client
+        .explain_text("EXPLAIN SELECT TOP 2 DOMINATING WHERE d4 <= 6")
+        .expect("explain answers");
+    assert!(rendered.contains("algorithm:"), "{rendered}");
+    // The scoped query itself answers (cost-based choice executes).
+    let rows = client
+        .query_text("SELECT TOP 2 DOMINATING WHERE d4 <= 6")
+        .expect("scoped select answers");
+    assert!(!rows.is_empty());
+    drop(client);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn subscribe_text_registers_and_pushes_deltas() {
+    let (server, addr) = start_server();
+    let mut client = connect(addr);
+    let ack = client
+        .subscribe_text("SUBSCRIBE TO SELECT TOP 2 DOMINATING USING BIG")
+        .expect("subscription registers");
+    assert_eq!(ack.result.len(), 2);
+    // A dominated-by-nothing insert (all-minimum row) must enter the
+    // top-k and arrive as a pushed delta.
+    client
+        .update(&[UpdateOp::Insert(vec![
+            Some(-100.0),
+            Some(-100.0),
+            Some(-100.0),
+            Some(-100.0),
+        ])])
+        .expect("update applies");
+    let note = client
+        .next_notification(Duration::from_secs(5))
+        .expect("notification channel healthy")
+        .expect("a delta arrives");
+    assert_eq!(note.id, ack.id);
+    assert!(!note.added.is_empty(), "the new row enters the top-k");
+    drop(client);
+    server.stop().expect("clean stop");
+}
+
+#[test]
+fn statement_errors_are_typed_rejections_with_spans() {
+    let (server, addr) = start_server();
+    let mut client = connect(addr);
+    for (text, needle) in [
+        ("SELECT TOP x DOMINATING", "line 1, column 12"),
+        ("SELECT TOP 3 DOMINATING WHERE d9 < 1", "out of range"),
+        (
+            "SELECT TOP 3 DOMINATING FROM 'x.csv'",
+            "FROM is not accepted",
+        ),
+        ("SELECT TOP 3 DOMINATING USING NAIVE", "BIG"),
+        ("garbage", "expected SELECT"),
+    ] {
+        match client.query_text(text) {
+            Err(ServeError::Rejected { message, .. }) => {
+                assert!(message.contains(needle), "{text}: {message}");
+            }
+            other => panic!("{text}: expected rejection, got {other:?}"),
+        }
+    }
+    // The connection survives rejections and still answers.
+    let rows = client
+        .query_text("SELECT TOP 1 DOMINATING USING BIG")
+        .expect("still serving");
+    assert_eq!(rows.len(), 1);
+    drop(client);
+    server.stop().expect("clean stop");
+}

@@ -35,11 +35,32 @@ impl Constraints {
     /// # Panics
     /// Panics if `dim` is out of range or `lo > hi` or either bound is NaN.
     pub fn with_range(mut self, dim: usize, lo: f64, hi: f64) -> Self {
-        assert!(dim < self.ranges.len(), "dimension {dim} out of range");
-        assert!(!lo.is_nan() && !hi.is_nan(), "NaN bounds are invalid");
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.ranges[dim] = Some((lo, hi));
+        self.ranges[dim] = validate_interval(dim, self.ranges.len(), lo, hi);
         self
+    }
+
+    /// Constrain `dim` to the inclusive interval `[lo, hi]`, **allowing**
+    /// `lo > hi`: the empty interval, which no observed value satisfies.
+    ///
+    /// Objects *missing* `dim` are still admitted (there is nothing to
+    /// test), so an empty interval reduces the admitted population to the
+    /// objects that do not observe `dim` — the exact conjunction semantics
+    /// a query planner needs for contradictory predicates like
+    /// `d1 > 5 AND d1 < 3`. [`Constraints::with_range`] keeps its
+    /// non-empty guarantee for callers that would consider `lo > hi` a
+    /// bug.
+    ///
+    /// # Panics
+    /// Panics if `dim` is out of range or either bound is NaN.
+    pub fn with_interval(mut self, dim: usize, lo: f64, hi: f64) -> Self {
+        self.ranges[dim] = validate_interval(dim, self.ranges.len(), lo, hi);
+        self
+    }
+
+    /// The interval constraining `dim`, if any (`lo > hi` = empty).
+    pub fn interval(&self, dim: usize) -> Option<(f64, f64)> {
+        self.ranges.get(dim).copied().flatten()
     }
 
     /// Does `o` satisfy every constraint on its observed dimensions?
@@ -57,6 +78,14 @@ impl Constraints {
     pub fn admitted(&self, ds: &Dataset) -> Vec<ObjectId> {
         ds.ids().filter(|&o| self.admits(ds, o)).collect()
     }
+}
+
+/// Shared bound validation for [`Constraints::with_range`] /
+/// [`Constraints::with_interval`].
+fn validate_interval(dim: usize, dims: usize, lo: f64, hi: f64) -> Option<(f64, f64)> {
+    assert!(dim < dims, "dimension {dim} out of range");
+    assert!(!lo.is_nan() && !hi.is_nan(), "NaN bounds are invalid");
+    Some((lo, hi))
 }
 
 /// Constrained skyline: the skyline of the admitted sub-population.
@@ -218,5 +247,34 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn rejects_inverted_range() {
         let _ = Constraints::none(2).with_range(0, 5.0, 1.0);
+    }
+
+    #[test]
+    fn empty_interval_admits_only_missing() {
+        let ds = fixtures::fig2_points();
+        // x in the empty interval: only e = (-,4), which has no x, passes.
+        let c = Constraints::none(2).with_interval(0, 5.0, 1.0);
+        let admitted: Vec<&str> = c
+            .admitted(&ds)
+            .into_iter()
+            .map(|o| ds.label(o).unwrap())
+            .collect();
+        assert_eq!(admitted, vec!["e"]);
+        assert_eq!(c.interval(0), Some((5.0, 1.0)));
+        assert_eq!(c.interval(1), None);
+    }
+
+    #[test]
+    fn with_interval_matches_with_range_when_nonempty() {
+        let ds = fixtures::fig3_sample();
+        let a = Constraints::none(4).with_range(3, 1.0, 4.0);
+        let b = Constraints::none(4).with_interval(3, 1.0, 4.0);
+        assert_eq!(a.admitted(&ds), b.admitted(&ds));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bounds")]
+    fn with_interval_rejects_nan() {
+        let _ = Constraints::none(2).with_interval(0, f64::NAN, 1.0);
     }
 }

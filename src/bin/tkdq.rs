@@ -1,64 +1,10 @@
 //! `tkdq` — command-line top-k dominating queries on incomplete data.
 //!
-//! ```text
-//! tkdq info <FILE>                         dataset statistics
-//! tkdq build <FILE> --out SNAP             persist indexes to a snapshot
-//! tkdq query <FILE>|--index SNAP --k K     TKD query
-//! tkdq update <FILE>|--index SNAP --ops OPS --k K
-//!                                          apply updates, then query
-//!                                          (--index rewrites the snapshot)
-//! tkdq skyline <FILE> [--band K]           skyline / k-skyband
-//! tkdq generate --n N --dims D [options]   synthetic dataset to stdout
-//! tkdq serve --index SNAP [options]        long-running TCP query service
-//!
-//! Common options:
-//!   --labeled              first column is an object label
-//! Build options:
-//!   --out SNAP             where to write the snapshot (required)
-//!   --bins X               IBIG bins per dimension           (default auto)
-//!   --compact-threshold F  tombstone fraction that triggers compaction
-//!                          (default 0.25; baked into the snapshot)
-//! Query options:
-//!   --index SNAP           serve from a snapshot instead of rebuilding
-//!                          (big/ibig only; bins are fixed at build time)
-//!   --algorithm A          naive | esb | ubb | big | ibig   (default big)
-//!   --bins X               IBIG bins per dimension           (default auto)
-//!   --subspace 0,2,5       query a dimension subset (not with --index)
-//!   --threads T            worker threads for big/ibig       (default 1)
-//!   --stats                print pruning statistics
-//! Update options (plus --algorithm big|ibig, --threads, --stats):
-//!   --index SNAP           load the engine from a snapshot, apply the
-//!                          ops, and rewrite the snapshot in place
-//!   --ops FILE             update script, one op per line:
-//!                            insert [LABEL] v1,v2,…   (`-` = missing)
-//!                            delete ID
-//!                            set ID DIM VALUE|-
-//!                          ids are stable: row i of FILE is id i, inserts
-//!                          continue counting from there (snapshots
-//!                          remember their ids across processes)
-//!   --bins X               (file mode only — baked into snapshots)
-//!   --compact-threshold F  (file mode only — baked into snapshots)
-//! Generate options:
-//!   --dist D               ind | ac | co                     (default ind)
-//!   --missing R            missing rate in [0,1)             (default 0.1)
-//!   --cardinality C        distinct values per dimension     (default 100)
-//!   --seed S               RNG seed                          (default 42)
-//! Serve options:
-//!   --index SNAP           snapshot to load and serve (required); applied
-//!                          update batches rewrite it atomically
-//!   --addr HOST:PORT       listen address               (default 127.0.0.1:7171)
-//!   --threads T            worker threads per coalesced batch (default 1)
-//!   --max-queue N          admission-control queue bound      (default 128)
-//!   --batch-max N          queries coalesced per engine pass  (default 32)
-//!   --request-timeout-ms M queue-wait budget per request    (default 10000)
-//!   --io-timeout-ms M      per-frame socket budget           (default 5000)
-//!   --no-rewrite           serve read-mostly: do not rewrite the snapshot
-//!                          on update (a final snapshot is still written
-//!                          next to the original at shutdown)
-//! ```
-//!
-//! Files are comma/whitespace separated, `-` for missing, `#` comments.
-//! Values are smaller-is-better.
+//! Run `tkdq help` for the full usage text. It is generated from the
+//! command table in `tkdi::cli` — the same table the README's command
+//! list is checked against — so this comment carries no copy of its own.
+//! The TKDQL statement language (`tkdq query -e …`, `tkdq repl`) is
+//! specified in `docs/TKDQL.md`.
 
 use std::process::exit;
 use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
@@ -81,6 +27,7 @@ fn main() {
         "skyline" => cmd_skyline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "repl" => cmd_repl(&args[1..]),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
@@ -102,7 +49,14 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if let Some(name) = a.strip_prefix("--") {
+        if a == "-e" {
+            // Short alias for --expr (a TKDQL statement).
+            i += 1;
+            let Some(v) = args.get(i) else {
+                usage("missing statement after -e");
+            };
+            opts.flags.push(("expr".to_string(), Some(v.clone())));
+        } else if let Some(name) = a.strip_prefix("--") {
             if BARE_FLAGS.contains(&a.as_str()) {
                 opts.flags.push((name.to_string(), None));
             } else {
@@ -285,6 +239,9 @@ fn cmd_build(args: &[String]) {
 
 fn cmd_query(args: &[String]) {
     let opts = parse_opts(args);
+    if let Some(text) = opts.get("expr") {
+        return cmd_query_expr(&opts, text);
+    }
     let k: usize = opts
         .get("k")
         .unwrap_or_else(|| usage("query requires --k"))
@@ -372,6 +329,217 @@ fn cmd_query(args: &[String]) {
             "pruned: H1={} H2={} H3={}  scored={}",
             s.h1_pruned, s.h2_pruned, s.h3_pruned, s.scored
         );
+    }
+}
+
+/// Print a TKDQL diagnostic with its caret snippet, without exiting
+/// (the REPL keeps its session alive across bad statements).
+fn report_ql(text: &str, e: &tkdi::ql::QlError) {
+    eprintln!("error: {e}");
+    if let Some(snippet) = e.snippet(text) {
+        eprintln!("{snippet}");
+    }
+}
+
+/// [`report_ql`], then exit — for the one-shot `query -e` path.
+fn die_ql(text: &str, e: &tkdi::ql::QlError) -> ! {
+    report_ql(text, e);
+    exit(2);
+}
+
+/// Load a dataset file named by a `FROM` clause (or the positional
+/// argument), without exiting on failure.
+fn try_load_dataset(path: &str, labeled: bool) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = if labeled {
+        io::parse_labeled(&text)
+    } else {
+        io::parse(&text)
+    };
+    parsed.map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Print a ranked dataset-backed result (original-dataset labels).
+fn print_dataset_result(ds: &Dataset, result: &TkdResult, stats: bool) {
+    for (rank, e) in result.iter().enumerate() {
+        println!(
+            "{:>3}. {:<20} score {}",
+            rank + 1,
+            display_name(ds, e.id),
+            e.score
+        );
+    }
+    if stats {
+        let s = result.stats;
+        eprintln!(
+            "pruned: H1={} H2={} H3={}  scored={}",
+            s.h1_pruned, s.h2_pruned, s.h3_pruned, s.scored
+        );
+    }
+}
+
+/// Bind, plan, and run an already-parsed statement against a dataset.
+fn run_ql_on_dataset(
+    stmt: &tkdi::ql::ast::Statement,
+    ds: &Dataset,
+    stats: bool,
+) -> Result<(), tkdi::ql::QlError> {
+    let plan = tkdi::ql::optimizer::plan(tkdi::ql::bind(stmt, ds.dims())?)?;
+    match tkdi::ql::run_on_dataset(&plan, ds)? {
+        tkdi::ql::Outcome::Rows(result) => print_dataset_result(ds, &result, stats),
+        tkdi::ql::Outcome::Explain(rendered) => println!("{rendered}"),
+        tkdi::ql::Outcome::Subscribed { .. } => unreachable!("rejected by run_on_dataset"),
+    }
+    Ok(())
+}
+
+/// Bind, plan, and run an already-parsed statement against a snapshot
+/// engine. Plain `SUBSCRIBE` is rejected here: a subscription needs a
+/// server to push deltas to, which a one-shot process cannot be.
+fn run_ql_on_engine(
+    stmt: &tkdi::ql::ast::Statement,
+    engine: &mut DynamicEngine,
+    stats: bool,
+) -> Result<(), tkdi::ql::QlError> {
+    if stmt.subscribe && !stmt.explain {
+        return Err(tkdi::ql::QlError::exec(
+            tkdi::ql::Span::eof(),
+            "subscriptions need a live server; run `tkdq serve` and SUBSCRIBE over the wire",
+        ));
+    }
+    let plan = tkdi::ql::optimizer::plan(tkdi::ql::bind(stmt, engine.dims())?)?;
+    match tkdi::ql::run_on_engine(&plan, engine)? {
+        tkdi::ql::Outcome::Rows(result) => print_engine_result(engine, &result, stats),
+        tkdi::ql::Outcome::Explain(rendered) => println!("{rendered}"),
+        tkdi::ql::Outcome::Subscribed { .. } => unreachable!("rejected above"),
+    }
+    Ok(())
+}
+
+/// `tkdq query -e "<tkdql>"` — one statement, then exit. The target is
+/// the statement's `FROM` clause, the positional file, or `--index`.
+fn cmd_query_expr(opts: &Opts, text: &str) {
+    for flag in ["k", "algorithm", "subspace", "bins", "threads"] {
+        if opts.get(flag).is_some() {
+            usage(&format!(
+                "--{flag} conflicts with -e; the TKDQL statement carries it \
+                 (see docs/TKDQL.md)"
+            ));
+        }
+    }
+    let stmt = tkdi::ql::parse(text).unwrap_or_else(|e| die_ql(text, &e));
+    let stats = opts.has("stats");
+    if let Some(snap) = opts.get("index") {
+        if opts.file.is_some() {
+            usage("--index replaces the dataset file; pass one or the other");
+        }
+        if stmt.select().from.is_some() {
+            usage("FROM names a dataset file; drop it when querying --index");
+        }
+        let mut engine = load_snapshot(snap);
+        return run_ql_on_engine(&stmt, &mut engine, stats).unwrap_or_else(|e| die_ql(text, &e));
+    }
+    let ds = match (&stmt.select().from, &opts.file) {
+        (Some((path, _)), None) => {
+            try_load_dataset(path, opts.has("labeled")).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            })
+        }
+        (None, Some(_)) => opts.load(),
+        (Some(_), Some(_)) => usage("pass the dataset either positionally or in FROM, not both"),
+        (None, None) => {
+            usage("the statement has no FROM clause; pass a dataset file or --index SNAP")
+        }
+    };
+    run_ql_on_dataset(&stmt, &ds, stats).unwrap_or_else(|e| die_ql(text, &e));
+}
+
+/// `tkdq repl` — an interactive TKDQL shell. One statement per line;
+/// diagnostics (with caret snippets) keep the session alive.
+fn cmd_repl(args: &[String]) {
+    use std::io::BufRead;
+    let opts = parse_opts(args);
+    let labeled = opts.has("labeled");
+    enum Target {
+        File(Dataset),
+        Snapshot(Box<DynamicEngine>),
+    }
+    let mut target = match opts.get("index") {
+        Some(snap) => {
+            if opts.file.is_some() {
+                usage("--index replaces the dataset file; pass one or the other");
+            }
+            Target::Snapshot(Box::new(load_snapshot(snap)))
+        }
+        None if opts.file.is_some() => Target::File(opts.load()),
+        None => usage("repl needs a dataset file or --index SNAP"),
+    };
+    match &target {
+        Target::File(ds) => eprintln!(
+            "tkdql — {} objects × {} dims; one statement per line, \\q quits",
+            ds.len(),
+            ds.dims()
+        ),
+        Target::Snapshot(engine) => eprintln!(
+            "tkdql — snapshot engine, {} live objects × {} dims; one statement per line, \\q quits",
+            engine.len(),
+            engine.dims()
+        ),
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                break;
+            }
+        };
+        let text = line.trim();
+        if text.is_empty() || text.starts_with("--") {
+            continue;
+        }
+        if matches!(text, "\\q" | "quit" | "exit") {
+            break;
+        }
+        let stmt = match tkdi::ql::parse(text) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                report_ql(text, &e);
+                continue;
+            }
+        };
+        let outcome = match &mut target {
+            Target::Snapshot(engine) => {
+                if let Some((_, span)) = &stmt.select().from {
+                    report_ql(
+                        text,
+                        &tkdi::ql::QlError::exec(
+                            *span,
+                            "FROM names a dataset file; the snapshot engine is the target here",
+                        ),
+                    );
+                    continue;
+                }
+                run_ql_on_engine(&stmt, engine, false)
+            }
+            Target::File(ds) => match &stmt.select().from {
+                // A per-statement FROM queries that file without
+                // replacing the session's dataset.
+                Some((path, span)) => match try_load_dataset(path, labeled) {
+                    Ok(other) => run_ql_on_dataset(&stmt, &other, false),
+                    Err(e) => {
+                        report_ql(text, &tkdi::ql::QlError::exec(*span, e));
+                        continue;
+                    }
+                },
+                None => run_ql_on_dataset(&stmt, ds, false),
+            },
+        };
+        if let Err(e) = outcome {
+            report_ql(text, &e);
+        }
     }
 }
 
@@ -673,24 +841,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!(
-        "tkdq — top-k dominating queries on incomplete data\n\n\
-         Usage:\n\
-         \x20 tkdq info <FILE> [--labeled]\n\
-         \x20 tkdq build <FILE> --out SNAP [--bins auto|X] [--compact-threshold F] [--labeled]\n\
-         \x20 tkdq query <FILE>|--index SNAP --k K [--algorithm naive|esb|ubb|big|ibig]\n\
-         \x20      [--bins auto|X] [--subspace 0,2,5] [--threads T] [--labeled] [--stats]\n\
-         \x20      (--index serves big|ibig from a snapshot; bins/subspace need the file)\n\
-         \x20 tkdq update <FILE>|--index SNAP --ops OPS --k K [--algorithm big|ibig]\n\
-         \x20      [--bins auto|X] [--threads T] [--compact-threshold F] [--labeled] [--stats]\n\
-         \x20      (OPS lines: insert [LABEL] v1,v2,… | delete ID | set ID DIM VALUE|-;\n\
-         \x20       --index loads the snapshot, applies OPS, and rewrites it in place)\n\
-         \x20 tkdq skyline <FILE> [--band K] [--labeled]\n\
-         \x20 tkdq generate [--n N] [--dims D] [--dist ind|ac|co]\n\
-         \x20      [--missing R] [--cardinality C] [--seed S]\n\
-         \x20 tkdq serve --index SNAP [--addr HOST:PORT] [--threads T] [--max-queue N]\n\
-         \x20      [--batch-max N] [--request-timeout-ms M] [--io-timeout-ms M] [--no-rewrite]\n\
-         \x20      [--window N]  (cap live objects; oldest age out per update batch)"
-    );
+    eprintln!("{}", tkdi::cli::usage_text());
     exit(if err.is_empty() { 0 } else { 2 });
 }

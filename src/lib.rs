@@ -26,6 +26,11 @@
 //! * [`serve`] — long-running TCP query service (`tkdq serve`): versioned
 //!   binary protocol, query coalescing, admission control, and atomic
 //!   snapshot rewrites on update.
+//! * [`ql`] — TKDQL, the query language: lexer → parser → binder →
+//!   cost-based planner → execution (`tkdq query -e`, `tkdq repl`, and
+//!   the wire protocol's text statements). Spec: `docs/TKDQL.md`.
+//! * [`cli`] — the `tkdq` command table the binary's help text and the
+//!   README command table are both generated/checked from.
 //!
 //! # Quickstart
 //!
@@ -43,6 +48,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use tkd_bitvec as bitvec;
 pub use tkd_btree as btree;
 pub use tkd_core as core;
@@ -50,6 +57,7 @@ pub use tkd_data as data;
 pub use tkd_impute as impute;
 pub use tkd_index as index;
 pub use tkd_model as model;
+pub use tkd_ql as ql;
 pub use tkd_serve as serve;
 pub use tkd_skyline as skyline;
 pub use tkd_store as store;
