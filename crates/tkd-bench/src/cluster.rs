@@ -1,0 +1,315 @@
+//! `repro --exp cluster` — the multi-process cluster protocol-overhead
+//! benchmark (`BENCH_10.json`).
+//!
+//! The dev containers are single-core, so this harness does **not**
+//! claim a parallel speedup. What it measures — and what the artifact
+//! gates on — is the price of distribution at fixed correctness: the
+//! coordinator answers every query **bit-identically** to an in-process
+//! engine over the same rows (asserted inline, same discipline as
+//! `tests/cluster_parity.rs`), and the JSON records what the exactness
+//! costs in wall-clock and wire traffic (frames, τ-exchange rounds,
+//! candidates shipped) per shard count, plus the routed-update and
+//! snapshot-handoff latencies.
+//!
+//! Workers run as in-process listener threads on loopback — the same
+//! code path `tkdq cluster worker` serves, minus process spawn noise,
+//! which would otherwise dominate the quick scale.
+
+use crate::table::{secs, Table};
+use crate::{time, Scale};
+use tkd_cluster::{ClusterConfig, Coordinator, Worker, WorkerConfig};
+use tkd_core::{Algorithm, DynamicEngine, EngineQuery, UpdateOp};
+use tkd_data::synthetic::{generate, Distribution, SyntheticConfig};
+use tkd_model::ObjectId;
+
+/// Ops per routed update batch.
+const BATCH_OPS: usize = 32;
+
+/// One grid cell: `(n, dims, missing_rate, k, shards)`.
+pub type ClusterPoint = (usize, usize, f64, usize, usize);
+
+/// The grid. Quick is CI-sized; Paper scales rows, not shards — the
+/// interesting axis is how τ-pruning caps candidate shipping as the
+/// queue grows.
+pub fn cluster_grid(scale: Scale) -> Vec<ClusterPoint> {
+    match scale {
+        Scale::Quick => vec![
+            (1_000, 4, 0.2, 8, 1),
+            (1_000, 4, 0.2, 8, 2),
+            (1_000, 4, 0.2, 8, 4),
+            (1_000, 4, 0.4, 8, 2),
+        ],
+        Scale::Paper => vec![
+            (5_000, 6, 0.1, 8, 2),
+            (5_000, 6, 0.1, 8, 4),
+            (10_000, 6, 0.1, 8, 4),
+            (10_000, 6, 0.3, 8, 4),
+        ],
+    }
+}
+
+struct ClusterCell {
+    n: usize,
+    dims: usize,
+    missing: f64,
+    k: usize,
+    shards: usize,
+    /// Seed time: split, write snapshots, assign to workers.
+    seed_s: f64,
+    /// In-process query wall-clock (the floor).
+    inproc_s: f64,
+    /// Cluster query wall-clock (BIG + IBIG, like inproc).
+    cluster_s: f64,
+    /// `cluster_s / inproc_s` — the protocol overhead factor.
+    overhead: f64,
+    /// Wire traffic for the measured queries.
+    frames: u64,
+    tau_rounds: u64,
+    candidates: u64,
+    /// One routed `BATCH_OPS`-op batch through the single-writer path
+    /// (validate, route, ack-after-atomic-rewrite on every touched
+    /// shard).
+    update_s: f64,
+    /// One snapshot handoff of shard 0 to the other worker.
+    handoff_s: f64,
+}
+
+fn splitmix(h: &mut u64) -> u64 {
+    *h = h.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A valid op batch against ids `0..n` (inserts, deletes, cell sets).
+fn op_batch(n: usize, dims: usize, missing: f64, seed: u64) -> Vec<UpdateOp> {
+    let mut h = seed ^ 0xC1B5_7E44;
+    let mut live: Vec<ObjectId> = (0..n as ObjectId).collect();
+    (0..BATCH_OPS)
+        .map(|_| {
+            let roll = splitmix(&mut h) % 100;
+            if roll < 50 || live.len() < 2 {
+                let row: Vec<Option<f64>> = (0..dims)
+                    .map(|_| {
+                        if splitmix(&mut h) % 100 < (missing * 100.0) as u64 {
+                            None
+                        } else {
+                            Some((splitmix(&mut h) % 100) as f64)
+                        }
+                    })
+                    .collect();
+                if row.iter().all(Option::is_none) {
+                    UpdateOp::Insert(vec![Some(0.0); dims])
+                } else {
+                    UpdateOp::Insert(row)
+                }
+            } else if roll < 75 {
+                let pick = (splitmix(&mut h) as usize) % live.len();
+                UpdateOp::Delete(live.swap_remove(pick))
+            } else {
+                UpdateOp::Set(
+                    live[(splitmix(&mut h) as usize) % live.len()],
+                    (splitmix(&mut h) as usize) % dims,
+                    Some((splitmix(&mut h) % 100) as f64),
+                )
+            }
+        })
+        .collect()
+}
+
+fn measure_cell(point: ClusterPoint, seed: u64) -> ClusterCell {
+    let (n, dims, missing, k, shards) = point;
+    let ds = generate(&SyntheticConfig {
+        n,
+        dims,
+        cardinality: 100,
+        missing_rate: missing,
+        distribution: Distribution::Independent,
+        seed,
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "tkd-bench-cluster-{}-{n}-{shards}",
+        std::process::id()
+    ));
+    let workers: Vec<Worker> = (0..2)
+        .map(|_| Worker::start("127.0.0.1:0", WorkerConfig::default()).expect("worker"))
+        .collect();
+    let addrs: Vec<_> = workers.iter().map(Worker::local_addr).collect();
+
+    let (coord, seed_s) =
+        time(|| Coordinator::seed(&ds, shards, &addrs, ClusterConfig::new(&dir)).expect("seed"));
+    let mut coord = coord;
+
+    let mut inproc = DynamicEngine::new(ds.clone());
+    let (inproc_answers, inproc_s) = time(|| {
+        [Algorithm::Big, Algorithm::Ibig].map(|alg| {
+            inproc
+                .query(&EngineQuery::new(k).algorithm(alg))
+                .expect("BIG/IBIG supported")
+        })
+    });
+
+    coord.stats = Default::default();
+    let (cluster_answers, cluster_s) = time(|| {
+        [Algorithm::Big, Algorithm::Ibig].map(|alg| coord.query(k, alg).expect("cluster query"))
+    });
+    // The artifact's numbers are only worth publishing if the answers
+    // are the same answers.
+    for (got, reference) in cluster_answers.iter().zip(&inproc_answers) {
+        assert_eq!(
+            got.entries(),
+            reference.entries(),
+            "cluster diverged from in-process (n={n} shards={shards})"
+        );
+    }
+    let stats = coord.stats;
+
+    let ops = op_batch(n, dims, missing, seed);
+    let (_, update_s) = time(|| coord.update(&ops).expect("routed update"));
+
+    let (_, handoff_s) = time(|| {
+        let to = (coord.worker_of(0) + 1) % addrs.len();
+        coord.handoff(0, to).expect("handoff");
+    });
+
+    for w in workers {
+        w.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ClusterCell {
+        n,
+        dims,
+        missing,
+        k,
+        shards,
+        seed_s,
+        inproc_s,
+        cluster_s,
+        overhead: cluster_s / inproc_s.max(1e-9),
+        frames: stats.frames,
+        tau_rounds: stats.tau_rounds,
+        candidates: stats.candidates_shipped,
+        update_s,
+        handoff_s,
+    }
+}
+
+/// Run the grid, returning the printable table and the `BENCH_10.json`
+/// document.
+pub fn run(scale: Scale, seed: u64) -> (Table, String) {
+    let cells: Vec<ClusterCell> = cluster_grid(scale)
+        .into_iter()
+        .map(|p| measure_cell(p, seed))
+        .collect();
+
+    let mut t = Table::new(
+        "cluster — protocol overhead at bit-identical answers (IND, 2 workers)",
+        &[
+            "N",
+            "shards",
+            "missing",
+            "k",
+            "inproc (s)",
+            "cluster (s)",
+            "overhead",
+            "frames",
+            "τ-rounds",
+            "candidates",
+            "update (s)",
+            "handoff (s)",
+        ],
+    );
+    for c in &cells {
+        t.push(vec![
+            c.n.to_string(),
+            c.shards.to_string(),
+            format!("{:.0}%", c.missing * 100.0),
+            c.k.to_string(),
+            secs(c.inproc_s),
+            secs(c.cluster_s),
+            format!("{:.1}x", c.overhead),
+            c.frames.to_string(),
+            c.tau_rounds.to_string(),
+            c.candidates.to_string(),
+            secs(c.update_s),
+            secs(c.handoff_s),
+        ]);
+    }
+    (t, to_json(scale, seed, &cells))
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde).
+fn to_json(scale: Scale, seed: u64, cells: &[ClusterCell]) -> String {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tkd-cluster/v1\",\n");
+    s.push_str("  \"created_by\": \"repro --exp cluster\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"hardware\": {{\"available_parallelism\": {hw}}},\n"
+    ));
+    s.push_str("  \"workers\": 2,\n");
+    s.push_str("  \"queries\": [\"big\", \"ibig\"],\n");
+    s.push_str(&format!("  \"update_batch_ops\": {BATCH_OPS},\n"));
+    s.push_str(
+        "  \"note\": \"single-host loopback; gates exactness and wire cost, \
+         not parallel speedup\",\n",
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"workload\": {{\"n\": {}, \"dims\": {}, \"missing_rate\": {}, \
+             \"cardinality\": 100, \"k\": {}, \"shards\": {}, \
+             \"distribution\": \"IND\"}},\n",
+            c.n, c.dims, c.missing, c.k, c.shards
+        ));
+        s.push_str(&format!(
+            "      \"seed_s\": {:.6}, \"inproc_s\": {:.6}, \"cluster_s\": {:.6}, \
+             \"overhead\": {:.2},\n",
+            c.seed_s, c.inproc_s, c.cluster_s, c.overhead
+        ));
+        s.push_str(&format!(
+            "      \"wire\": {{\"frames\": {}, \"tau_rounds\": {}, \
+             \"candidates_shipped\": {}}},\n",
+            c.frames, c.tau_rounds, c.candidates
+        ));
+        s.push_str(&format!(
+            "      \"update_batch_s\": {:.6}, \"handoff_s\": {:.6}\n",
+            c.update_s, c.handoff_s
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_cell_is_parity_checked_and_json_is_sane() {
+        // measure_cell asserts cluster == in-process inline.
+        let cell = measure_cell((300, 3, 0.2, 5, 2), 11);
+        assert!(cell.cluster_s > 0.0 && cell.frames > 0);
+        let json = to_json(Scale::Quick, 11, &[cell]);
+        assert!(json.contains("\"schema\": \"tkd-cluster/v1\""));
+        assert!(json.contains("\"candidates_shipped\""));
+    }
+}

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod compare;
 pub mod datasets;
 pub mod experiments;

@@ -1,0 +1,770 @@
+//! The cluster coordinator: metadata authority, query planner, and the
+//! only writer.
+//!
+//! The coordinator owns a full [`DynamicEngine`] mirror of the logical
+//! dataset — that is where the candidate queue, MaxScores, and update
+//! validation come from — but **scores come only from the workers**:
+//! every query fans value-based candidate chunks out to the shard
+//! workers, sums their per-shard answers, and drives a
+//! [`ClusterReplay`] in queue order so entries, scores, and tie order
+//! are bit-identical to the in-process engines (see
+//! `tkd_core::cluster` for the proof obligations, and
+//! `tests/cluster_parity.rs` for the pin).
+//!
+//! # Failure model
+//!
+//! The per-frame timeout on each worker connection is the failure
+//! detector. When a call fails at the transport level, the worker is
+//! marked dead and every shard it hosted is re-assigned to a surviving
+//! worker from the newest committed snapshot on the shared handoff
+//! directory, replaying any acked-but-newer batches from the
+//! coordinator's log. Queries are stateless on the workers, so a failed
+//! query is simply retried after repair — the retried answer is the
+//! same bit-identical result. An in-doubt update batch (sent, no ack)
+//! is resolved by the seq-stamped snapshot the worker did or did not
+//! commit: the filename is the arbiter.
+
+use crate::worker::shard_options;
+use crate::{newest_snapshot, ClusterError};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+use tkd_core::cluster::{empty_replay, shard_rows, ClusterReplay, Outcome};
+use tkd_core::{Algorithm, DynamicEngine, TkdResult, UpdateOp};
+use tkd_model::Dataset;
+use tkd_serve::{
+    Client, ClusterRequest, ClusterResponse, ReplayBatch, ServeError, ShardPhase, ShardQuery,
+    ShardUpdate, WireCandidate,
+};
+use tkd_store::{ClusterManifest, ShardEntry};
+
+/// Coordinator tuning.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Shared snapshot/handoff directory (all workers must see it).
+    pub dir: PathBuf,
+    /// Candidates per `shard_query` frame. Smaller chunks tighten τ
+    /// faster (more pruning) at the cost of more frames.
+    pub chunk: usize,
+    /// Per-frame deadline on worker connections — the failure detector.
+    pub timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Defaults with an explicit handoff directory.
+    pub fn new(dir: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            dir: dir.into(),
+            chunk: 16,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Wire/merge counters for one coordinator — the protocol-overhead side
+/// of `BENCH_10`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterStats {
+    /// Cluster-plane request frames sent (both phases, updates, control).
+    pub frames: u64,
+    /// τ broadcasts performed (one round = one announce to every query
+    /// worker).
+    pub tau_rounds: u64,
+    /// Candidate payloads shipped across all `shard_query` frames.
+    pub candidates_shipped: u64,
+    /// Worker failures repaired by snapshot re-assignment.
+    pub repairs: u64,
+}
+
+struct WorkerLink {
+    addr: SocketAddr,
+    client: Option<Client>,
+    dead: bool,
+}
+
+struct ShardMeta {
+    worker: usize,
+    seq: u64,
+    path: PathBuf,
+    live: u64,
+    /// Every routed batch `(seq, local ops)` in order — the replay log
+    /// for snapshot re-assignment.
+    log: Vec<(u64, Vec<UpdateOp>)>,
+    /// Next local stable id the shard engine will allocate. Local
+    /// allocation is deterministic (monotone, never reused), so the
+    /// coordinator predicts insert ids at send time and treats the
+    /// ack's `inserted` list as a drift tripwire, not a binding source.
+    next_local: u32,
+}
+
+/// Why a query attempt stopped: a dead worker (repair and retry) or a
+/// non-retryable error.
+enum Retry {
+    Dead(usize),
+    Fatal(ClusterError),
+}
+
+/// The coordinator. One per cluster; the single writer.
+pub struct Coordinator {
+    mirror: DynamicEngine,
+    /// global stable id -> (shard, local stable id on that shard).
+    route: HashMap<u32, (u64, u32)>,
+    shards: Vec<ShardMeta>,
+    workers: Vec<WorkerLink>,
+    cfg: ClusterConfig,
+    /// Wire counters, reset at the caller's discretion.
+    pub stats: ClusterStats,
+}
+
+fn is_transport(e: &ServeError) -> bool {
+    !matches!(
+        e,
+        ServeError::Overloaded { .. }
+            | ServeError::Timeout { .. }
+            | ServeError::ShuttingDown
+            | ServeError::Rejected { .. }
+            | ServeError::BadRequest { .. }
+    )
+}
+
+impl Coordinator {
+    /// Seed a cluster over `workers` from a dataset: split rows into
+    /// `shards` contiguous ranges, commit each range as
+    /// `shard-S.seq0.tkd` under the config's directory, and assign them
+    /// round-robin. Global stable ids `0..n` map to `(shard, local id)`
+    /// positionally, exactly like [`shard_rows`].
+    ///
+    /// # Errors
+    /// [`ClusterError::NoWorkers`] without workers; store or worker
+    /// errors if seeding snapshots cannot be written or assigned.
+    pub fn seed(
+        ds: &Dataset,
+        shards: usize,
+        workers: &[SocketAddr],
+        cfg: ClusterConfig,
+    ) -> Result<Coordinator, ClusterError> {
+        if workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| ClusterError::Store(format!("handoff dir: {e}")))?;
+        let shard_count = shards.max(1);
+        let n = ds.len();
+        let mut metas = Vec::with_capacity(shard_count);
+        let mut route = HashMap::new();
+        for j in 0..shard_count {
+            let (lo, hi) = (j * n / shard_count, (j + 1) * n / shard_count);
+            let sub = shard_rows(ds, lo, hi);
+            let mut engine = DynamicEngine::with_options(sub, shard_options());
+            let path = cfg.dir.join(format!("shard-{j}.seq0.tkd"));
+            tkd_store::save_engine(&path, &mut engine)
+                .map_err(|e| ClusterError::Store(format!("seed shard {j}: {e}")))?;
+            for i in lo..hi {
+                route.insert(i as u32, (j as u64, (i - lo) as u32));
+            }
+            metas.push(ShardMeta {
+                worker: j % workers.len(),
+                seq: 0,
+                path,
+                live: (hi - lo) as u64,
+                log: Vec::new(),
+                next_local: (hi - lo) as u32,
+            });
+        }
+        let mut coord = Coordinator {
+            mirror: DynamicEngine::with_options(ds.clone(), shard_options()),
+            route,
+            shards: metas,
+            workers: workers
+                .iter()
+                .map(|&addr| WorkerLink {
+                    addr,
+                    client: None,
+                    dead: false,
+                })
+                .collect(),
+            cfg,
+            stats: ClusterStats::default(),
+        };
+        for j in 0..shard_count {
+            let (w, path, live) = {
+                let m = &coord.shards[j];
+                (m.worker, m.path.display().to_string(), m.live)
+            };
+            match coord.call(
+                w,
+                &ClusterRequest::Assign {
+                    shard: j as u64,
+                    path,
+                    replay: Vec::new(),
+                },
+            ) {
+                Ok(ClusterResponse::AssignAck { shard, live: got }) => {
+                    if shard != j as u64 || got != live {
+                        return Err(ClusterError::Protocol(format!(
+                            "seed assign of shard {j} acked shard {shard} with {got} live (expected {live})"
+                        )));
+                    }
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!(
+                        "seed assign answered {other:?}"
+                    )))
+                }
+                Err(e) => return Err(ClusterError::Worker(e)),
+            }
+        }
+        coord.write_manifest()?;
+        Ok(coord)
+    }
+
+    /// Live objects in the cluster (mirror view).
+    pub fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Is the cluster empty?
+    pub fn is_empty(&self) -> bool {
+        self.mirror.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which worker currently hosts `shard`.
+    pub fn worker_of(&self, shard: u64) -> usize {
+        self.shards[shard as usize].worker
+    }
+
+    /// Workers not marked dead.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.dead).count()
+    }
+
+    /// Where this cluster's shard manifest lives.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.cfg.dir.join("cluster.manifest")
+    }
+
+    /// Rewrite the shard manifest to match the coordinator's committed
+    /// view — called after every topology or seq change, so the
+    /// directory is always self-describing.
+    fn write_manifest(&self) -> Result<(), ClusterError> {
+        let manifest = ClusterManifest {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, m)| ShardEntry {
+                    shard: s as u64,
+                    seq: m.seq,
+                    live: m.live,
+                    path: m.path.file_name().map_or_else(
+                        || m.path.display().to_string(),
+                        |n| n.to_string_lossy().into_owned(),
+                    ),
+                })
+                .collect(),
+        };
+        manifest
+            .save(self.manifest_path())
+            .map_err(|e| ClusterError::Store(format!("manifest: {e}")))?;
+        Ok(())
+    }
+
+    fn connect(&mut self, w: usize) -> Result<(), ServeError> {
+        if self.workers[w].client.is_none() {
+            let link = &mut self.workers[w];
+            match Client::connect_with(link.addr, self.cfg.timeout) {
+                Ok(c) => link.client = Some(c),
+                Err(e) => {
+                    link.dead = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One cluster-plane exchange with worker `w`. Transport-level
+    /// failures mark the worker dead (the caller repairs); typed worker
+    /// rejections pass through with the worker still considered alive.
+    fn call(&mut self, w: usize, req: &ClusterRequest) -> Result<ClusterResponse, ServeError> {
+        if self.workers[w].dead {
+            return Err(ServeError::Io(format!(
+                "worker {w} ({}) is marked dead",
+                self.workers[w].addr
+            )));
+        }
+        self.connect(w)?;
+        self.stats.frames += 1;
+        let client = self.workers[w].client.as_mut().expect("connected above");
+        match client.cluster_call(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                if is_transport(&e) {
+                    self.workers[w].dead = true;
+                    self.workers[w].client = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn cluster(&mut self, w: usize, req: &ClusterRequest) -> Result<ClusterResponse, Retry> {
+        self.call(w, req).map_err(|e| {
+            if self.workers[w].dead {
+                Retry::Dead(w)
+            } else {
+                Retry::Fatal(ClusterError::Worker(e))
+            }
+        })
+    }
+
+    /// Pick a live worker, preferring one other than `not`.
+    fn pick_live(&self, not: usize) -> Result<usize, ClusterError> {
+        let n = self.workers.len();
+        (1..=n)
+            .map(|d| (not + d) % n)
+            .find(|&w| !self.workers[w].dead)
+            .ok_or(ClusterError::NoWorkers)
+    }
+
+    /// Re-host `shard` on a surviving worker from the newest committed
+    /// snapshot, replaying logged batches the snapshot predates. Also
+    /// resolves an in-doubt batch: if the dying worker committed it, the
+    /// seq-stamped file proves it and the log entry is treated as acked.
+    fn reassign(&mut self, shard: u64) -> Result<(), ClusterError> {
+        let (disk_seq, disk_path) = newest_snapshot(&self.cfg.dir, shard).ok_or_else(|| {
+            ClusterError::Store(format!(
+                "no committed snapshot for shard {shard} under {}",
+                self.cfg.dir.display()
+            ))
+        })?;
+        let target_seq = self.shards[shard as usize]
+            .log
+            .last()
+            .map_or(disk_seq, |&(s, _)| s.max(disk_seq));
+        let replay: Vec<ReplayBatch> = self.shards[shard as usize]
+            .log
+            .iter()
+            .filter(|&&(s, _)| s > disk_seq)
+            .map(|(s, ops)| ReplayBatch {
+                seq: *s,
+                ops: ops.clone(),
+            })
+            .collect();
+        let mut from = self.shards[shard as usize].worker;
+        loop {
+            let w = self.pick_live(from)?;
+            match self.call(
+                w,
+                &ClusterRequest::Assign {
+                    shard,
+                    path: disk_path.display().to_string(),
+                    replay: replay.clone(),
+                },
+            ) {
+                Ok(ClusterResponse::AssignAck { live, .. }) => {
+                    let meta = &mut self.shards[shard as usize];
+                    meta.worker = w;
+                    meta.seq = target_seq;
+                    meta.live = live;
+                    meta.path = if target_seq == disk_seq {
+                        disk_path
+                    } else {
+                        self.cfg
+                            .dir
+                            .join(format!("shard-{shard}.seq{target_seq}.tkd"))
+                    };
+                    return self.write_manifest();
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!(
+                        "re-assign of shard {shard} answered {other:?}"
+                    )))
+                }
+                Err(e) if self.workers[w].dead => {
+                    // That worker died too; keep walking the ring.
+                    from = w;
+                    let _ = e;
+                }
+                Err(e) => return Err(ClusterError::Worker(e)),
+            }
+        }
+    }
+
+    /// Repair a dead worker: every shard it hosted is re-assigned from
+    /// its newest committed snapshot.
+    fn repair_worker(&mut self, w: usize) -> Result<(), ClusterError> {
+        self.stats.repairs += 1;
+        self.workers[w].dead = true;
+        self.workers[w].client = None;
+        let hosted: Vec<u64> = (0..self.shards.len() as u64)
+            .filter(|&s| self.shards[s as usize].worker == w)
+            .collect();
+        for shard in hosted {
+            self.reassign(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Move `shard` to worker `to` via snapshot handoff: the current
+    /// host commits and releases the shard, then `to` loads it. A death
+    /// on either side falls back to snapshot re-assignment, so the
+    /// shard is never lost mid-move.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoWorkers`] when no live worker can take the
+    /// shard; typed worker/protocol errors otherwise.
+    pub fn handoff(&mut self, shard: u64, to: usize) -> Result<(), ClusterError> {
+        assert!((shard as usize) < self.shards.len(), "unknown shard");
+        assert!(to < self.workers.len(), "unknown worker");
+        let from = self.shards[shard as usize].worker;
+        if from == to {
+            return Ok(());
+        }
+        match self.call(from, &ClusterRequest::Handoff { shard }) {
+            Ok(ClusterResponse::HandoffAck { path, seq }) => {
+                if seq != self.shards[shard as usize].seq {
+                    return Err(ClusterError::Protocol(format!(
+                        "handoff of shard {shard} acked seq {seq}, coordinator has {}",
+                        self.shards[shard as usize].seq
+                    )));
+                }
+                self.shards[shard as usize].path = PathBuf::from(path);
+            }
+            Ok(other) => {
+                return Err(ClusterError::Protocol(format!(
+                    "handoff answered {other:?}"
+                )))
+            }
+            Err(_) if self.workers[from].dead => return self.reassign(shard),
+            Err(e) => return Err(ClusterError::Worker(e)),
+        }
+        // The shard is now hosted nowhere; land it on `to`, or anywhere
+        // live if `to` dies under us.
+        let (path, live) = {
+            let m = &self.shards[shard as usize];
+            (m.path.display().to_string(), m.live)
+        };
+        match self.call(
+            to,
+            &ClusterRequest::Assign {
+                shard,
+                path,
+                replay: Vec::new(),
+            },
+        ) {
+            Ok(ClusterResponse::AssignAck { live: got, .. }) => {
+                if got != live {
+                    return Err(ClusterError::Protocol(format!(
+                        "handoff re-host of shard {shard} reports {got} live, expected {live}"
+                    )));
+                }
+                self.shards[shard as usize].worker = to;
+                self.write_manifest()
+            }
+            Ok(other) => Err(ClusterError::Protocol(format!(
+                "handoff assign answered {other:?}"
+            ))),
+            Err(_) if self.workers[to].dead => self.reassign(shard),
+            Err(e) => Err(ClusterError::Worker(e)),
+        }
+    }
+
+    /// Apply an update batch through the single-writer path: validate on
+    /// the mirror, route each op to its shard by id, and commit each
+    /// per-shard batch with a strictly increasing seq and an atomic
+    /// snapshot rewrite on the worker. A worker death mid-batch is
+    /// repaired in place (the seq-stamped snapshot resolves whether the
+    /// in-doubt batch committed), so a successful return means every
+    /// shard holds exactly the mirrored state.
+    ///
+    /// # Errors
+    /// [`ClusterError::Rejected`] if an op fails mirror validation (the
+    /// valid prefix stays applied, like `apply_all`); worker/store
+    /// errors if the cluster cannot be brought back in sync.
+    pub fn update(&mut self, ops: &[UpdateOp]) -> Result<(), ClusterError> {
+        let report = self.mirror.apply_ops(ops);
+        let mut inserted = report.inserted_ids.iter().copied();
+        let shard_count = self.shards.len() as u64;
+        let mut routed: BTreeMap<u64, Vec<UpdateOp>> = BTreeMap::new();
+        let mut predicted: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for op in &ops[..report.applied] {
+            match op {
+                UpdateOp::Insert(_) | UpdateOp::InsertLabeled(_, _) => {
+                    let g = inserted.next().expect("one id per applied insert");
+                    let shard = u64::from(g) % shard_count;
+                    // Bind the route immediately from the predicted local
+                    // id, so later ops in this very batch can target it.
+                    let local = self.shards[shard as usize].next_local;
+                    self.shards[shard as usize].next_local += 1;
+                    self.route.insert(g, (shard, local));
+                    predicted.entry(shard).or_default().push(u64::from(local));
+                    routed.entry(shard).or_default().push(op.clone());
+                }
+                UpdateOp::Delete(g) => {
+                    let (shard, local) = self
+                        .route
+                        .remove(g)
+                        .unwrap_or_else(|| panic!("mirror applied delete of unrouted id {g}"));
+                    routed
+                        .entry(shard)
+                        .or_default()
+                        .push(UpdateOp::Delete(local));
+                }
+                UpdateOp::Set(g, dim, v) => {
+                    let &(shard, local) = self
+                        .route
+                        .get(g)
+                        .unwrap_or_else(|| panic!("mirror applied set of unrouted id {g}"));
+                    routed
+                        .entry(shard)
+                        .or_default()
+                        .push(UpdateOp::Set(local, *dim, *v));
+                }
+            }
+        }
+        for (shard, local_ops) in routed {
+            let seq = self.shards[shard as usize].seq + 1;
+            self.shards[shard as usize]
+                .log
+                .push((seq, local_ops.clone()));
+            let w = self.shards[shard as usize].worker;
+            match self.call(
+                w,
+                &ClusterRequest::ShardUpdate(ShardUpdate {
+                    shard,
+                    seq,
+                    ops: local_ops,
+                }),
+            ) {
+                Ok(ClusterResponse::ShardUpdateAck(ack)) => {
+                    if ack.seq != seq {
+                        return Err(ClusterError::Protocol(format!(
+                            "shard {shard} acked seq {}, expected {seq}",
+                            ack.seq
+                        )));
+                    }
+                    let expected = predicted.get(&shard).map_or(&[][..], Vec::as_slice);
+                    if ack.inserted != expected {
+                        return Err(ClusterError::Protocol(format!(
+                            "shard {shard} allocated inserts {:?}, coordinator predicted {:?}",
+                            ack.inserted, expected
+                        )));
+                    }
+                    let meta = &mut self.shards[shard as usize];
+                    meta.seq = seq;
+                    meta.live = ack.live;
+                    meta.path = PathBuf::from(&ack.path);
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!(
+                        "shard update answered {other:?}"
+                    )))
+                }
+                Err(_) if self.workers[w].dead => {
+                    // In-doubt batch: repair re-hosts the shard from the
+                    // newest snapshot (which proves whether the batch
+                    // committed) and replays it if it did not.
+                    self.repair_worker(w)?;
+                }
+                Err(e) => return Err(ClusterError::Worker(e)),
+            }
+        }
+        self.write_manifest()?;
+        if let Some((i, e)) = report.error {
+            return Err(ClusterError::Rejected {
+                index: i as u64,
+                message: e.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Answer a top-k dominating query across the cluster, bit-identical
+    /// to the in-process engines. Worker deaths mid-query are repaired
+    /// and the query retried (it is read-only on the workers), bounded
+    /// by the worker count.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoWorkers`] once every worker has died; typed
+    /// worker/protocol errors otherwise.
+    pub fn query(&mut self, k: usize, algorithm: Algorithm) -> Result<TkdResult, ClusterError> {
+        let mut attempts = self.workers.len() + 1;
+        loop {
+            match self.try_query(k, algorithm) {
+                Ok(r) => return Ok(r),
+                Err(Retry::Fatal(e)) => return Err(e),
+                Err(Retry::Dead(w)) => {
+                    attempts -= 1;
+                    if attempts == 0 {
+                        return Err(ClusterError::NoWorkers);
+                    }
+                    self.repair_worker(w)?;
+                }
+            }
+        }
+    }
+
+    fn try_query(&mut self, k: usize, algorithm: Algorithm) -> Result<TkdResult, Retry> {
+        let queue = self.mirror.maintained_queue();
+        if k == 0 || queue.is_empty() {
+            return Ok(empty_replay(queue.len()));
+        }
+        let dims = self.mirror.dims();
+        let active: Vec<u64> = (0..self.shards.len() as u64)
+            .filter(|&s| self.shards[s as usize].live > 0)
+            .collect();
+        let mut replay = ClusterReplay::new(k);
+        let mut announced: Option<u64> = None;
+        let chunk_size = self.cfg.chunk.max(1);
+        let mut t = 0;
+        'queue: while t < queue.len() {
+            let end = (t + chunk_size).min(queue.len());
+            let chunk = &queue[t..end];
+            // τ at chunk start. Scoring a whole chunk against one τ is
+            // exact: a candidate the sequential driver would have H2-
+            // pruned under a tighter τ scores ≤ τ, so its offer is a
+            // no-op either way — only prune counters can differ.
+            let tau = replay.tau().map(|x| x as u64);
+            if let Some(tv) = tau {
+                if announced != Some(tv) {
+                    self.stats.tau_rounds += 1;
+                    let ws: BTreeSet<usize> = active
+                        .iter()
+                        .map(|&s| self.shards[s as usize].worker)
+                        .collect();
+                    for w in ws {
+                        match self.cluster(w, &ClusterRequest::TauUpdate { tau: tv })? {
+                            ClusterResponse::TauAck { tau: echoed } if echoed == tv => {}
+                            other => {
+                                return Err(Retry::Fatal(ClusterError::Protocol(format!(
+                                    "tau update answered {other:?}"
+                                ))))
+                            }
+                        }
+                    }
+                    announced = Some(tv);
+                }
+            }
+            let values: Vec<Vec<Option<f64>>> = chunk
+                .iter()
+                .map(|&(o, _)| {
+                    (0..dims)
+                        .map(|d| self.mirror.value(o, d).expect("queued ids are live"))
+                        .collect()
+                })
+                .collect();
+            let homes: Vec<(u64, u32)> = chunk
+                .iter()
+                .map(|&(o, _)| *self.route.get(&o).expect("queued ids are routed"))
+                .collect();
+            // Phase 1: per-shard Heuristic-2 certificates, summed here.
+            let mut sums = vec![0u64; chunk.len()];
+            for &s in &active {
+                let outcomes = self.shard_query(
+                    s,
+                    algorithm,
+                    ShardPhase::Bounds,
+                    tau,
+                    (0..chunk.len()).collect::<Vec<_>>().as_slice(),
+                    &values,
+                    &homes,
+                )?;
+                for (i, x) in outcomes.iter().enumerate() {
+                    sums[i] += x;
+                }
+            }
+            let pruned: Vec<bool> = sums
+                .iter()
+                .map(|&sum| match tau {
+                    None => false,
+                    // BIG: Σ suffix bounds ≤ τ+1 (own bit counted once);
+                    // IBIG: MaxBitScore = Σ|Q| − 1 ≤ τ.
+                    Some(tv) => match algorithm {
+                        Algorithm::Big => sum <= tv + 1,
+                        _ => sum.saturating_sub(1) <= tv,
+                    },
+                })
+                .collect();
+            // Phase 2: exact partials for the survivors.
+            let survivors: Vec<usize> = (0..chunk.len()).filter(|&i| !pruned[i]).collect();
+            let mut scores = vec![0u64; chunk.len()];
+            if !survivors.is_empty() {
+                for &s in &active {
+                    let outcomes = self.shard_query(
+                        s,
+                        algorithm,
+                        ShardPhase::Partials,
+                        tau,
+                        &survivors,
+                        &values,
+                        &homes,
+                    )?;
+                    for (slot, &i) in survivors.iter().enumerate() {
+                        scores[i] += outcomes[slot];
+                    }
+                }
+            }
+            // Replay in queue order with the *evolving* top-k: the H1
+            // position is exact even when it lands mid-chunk.
+            for (i, &(o, max_score)) in chunk.iter().enumerate() {
+                if replay.h1_prunes(max_score) {
+                    replay.terminate(queue.len() - (t + i));
+                    break 'queue;
+                }
+                if pruned[i] {
+                    replay.absorb(o, Outcome::PrunedBitmap);
+                } else {
+                    replay.absorb(o, Outcome::Score(scores[i] as usize));
+                }
+            }
+            t = end;
+        }
+        Ok(replay.finish())
+    }
+
+    /// One `shard_query` frame: candidates `picks` (indices into
+    /// `values`/`homes`) against shard `s`.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_query(
+        &mut self,
+        s: u64,
+        algorithm: Algorithm,
+        phase: ShardPhase,
+        tau: Option<u64>,
+        picks: &[usize],
+        values: &[Vec<Option<f64>>],
+        homes: &[(u64, u32)],
+    ) -> Result<Vec<u64>, Retry> {
+        let candidates: Vec<WireCandidate> = picks
+            .iter()
+            .map(|&i| WireCandidate {
+                values: values[i].clone(),
+                member: (homes[i].0 == s).then_some(u64::from(homes[i].1)),
+            })
+            .collect();
+        self.stats.candidates_shipped += candidates.len() as u64;
+        let w = self.shards[s as usize].worker;
+        match self.cluster(
+            w,
+            &ClusterRequest::ShardQuery(ShardQuery {
+                shard: s,
+                algorithm,
+                phase,
+                tau,
+                candidates,
+            }),
+        )? {
+            ClusterResponse::ShardOutcomes(v) if v.len() == picks.len() => Ok(v),
+            other => Err(Retry::Fatal(ClusterError::Protocol(format!(
+                "shard query answered {other:?}"
+            )))),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Multi-process sharded top-k dominating cluster.
+//!
+//! This crate turns the partition-parallel identity proven in
+//! `tkd_core::cluster` — `score(o) = Σⱼ partialⱼ(o)` for any row
+//! partition — into a process topology: a [`Coordinator`] that owns the
+//! routing table and candidate queue, and N shard [`Worker`] processes
+//! that each host one or more id-range shards loaded from seq-stamped
+//! snapshot files (`shard-{s}.seq{n}.tkd`).
+//!
+//! Everything rides the v4 byte protocol's v5 cluster plane (see
+//! `docs/WIRE_PROTOCOL.md`): queries fan out as two-phase
+//! `shard_query` frames with budgeted τ broadcasts, updates route by
+//! id through a single-writer path that only acks after an atomic
+//! snapshot rewrite, and shards move between workers by snapshot
+//! handoff. Worker failure is detected by a frame deadline and repaired
+//! by re-assigning the dead worker's snapshots to survivors — the
+//! filename seq is the commit arbiter for any in-doubt batch.
+//!
+//! The non-negotiable invariant, pinned by `tests/cluster_parity.rs`:
+//! cluster answers are **bit-identical** (entries, scores, tie order)
+//! to the in-process engines, for every shard count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use tkd_serve::ServeError;
+
+pub mod coordinator;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, ClusterStats, Coordinator};
+pub use worker::{Worker, WorkerConfig};
+
+/// Parse the commit seq out of a `shard-{s}.seq{n}.tkd` snapshot path.
+///
+/// The stamp is load-bearing: a worker only acks an update after the
+/// stamped rewrite, so the newest parseable file under the handoff
+/// directory *is* the shard's committed state. Returns `None` for
+/// paths without a `.seq{n}.tkd` suffix.
+pub fn seq_from_path(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(".tkd")?;
+    let at = stem.rfind(".seq")?;
+    stem[at + 4..].parse().ok()
+}
+
+/// Find the newest committed snapshot for `shard` under `dir`:
+/// the highest `.seq{n}.` stamp among `shard-{shard}.seq*.tkd` files.
+pub fn newest_snapshot(dir: &Path, shard: u64) -> Option<(u64, PathBuf)> {
+    let prefix = format!("shard-{shard}.seq");
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let path = entry.ok()?.path();
+        let stamped = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(&prefix));
+        if !stamped {
+            continue;
+        }
+        if let Some(seq) = seq_from_path(&path) {
+            if best.as_ref().is_none_or(|&(b, _)| seq > b) {
+                best = Some((seq, path));
+            }
+        }
+    }
+    best
+}
+
+/// Everything that can go wrong at the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A worker exchange failed (transport error or typed rejection).
+    Worker(ServeError),
+    /// An update op failed validation on the coordinator's mirror; the
+    /// valid prefix stayed applied, like `DynamicEngine::apply_all`.
+    Rejected {
+        /// Index of the first rejected op in the submitted batch.
+        index: u64,
+        /// The mirror's rejection message.
+        message: String,
+    },
+    /// No live worker remains to host a shard or answer a query.
+    NoWorkers,
+    /// A worker answered with the wrong frame or inconsistent contents.
+    Protocol(String),
+    /// A snapshot could not be written, found, or loaded.
+    Store(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Worker(e) => write!(f, "worker exchange failed: {e}"),
+            ClusterError::Rejected { index, message } => {
+                write!(f, "update op {index} rejected: {message}")
+            }
+            ClusterError::NoWorkers => write!(f, "no live workers remain"),
+            ClusterError::Protocol(msg) => write!(f, "cluster protocol violation: {msg}"),
+            ClusterError::Store(msg) => write!(f, "shard snapshot store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ServeError> for ClusterError {
+    fn from(e: ServeError) -> ClusterError {
+        ClusterError::Worker(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_parses_only_stamped_paths() {
+        assert_eq!(seq_from_path(Path::new("/x/shard-0.seq0.tkd")), Some(0));
+        assert_eq!(seq_from_path(Path::new("shard-12.seq34.tkd")), Some(34));
+        // rfind: a shard label containing ".seq" still parses the stamp.
+        assert_eq!(seq_from_path(Path::new("shard-0.seq1.seq2.tkd")), Some(2));
+        assert_eq!(seq_from_path(Path::new("shard-0.tkd")), None);
+        assert_eq!(seq_from_path(Path::new("shard-0.seqx.tkd")), None);
+        assert_eq!(seq_from_path(Path::new("shard-0.seq1.bak")), None);
+    }
+
+    #[test]
+    fn newest_snapshot_picks_the_highest_stamp_per_shard() {
+        let dir = std::env::temp_dir().join(format!("tkd-cluster-newest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "shard-0.seq0.tkd",
+            "shard-0.seq2.tkd",
+            "shard-0.seq10.tkd",
+            "shard-1.seq7.tkd",
+            "shard-10.seq99.tkd", // prefix `shard-1` must not claim this
+            "shard-0.seqjunk.tkd",
+            "notes.txt",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let (seq, path) = newest_snapshot(&dir, 0).unwrap();
+        assert_eq!(seq, 10);
+        assert_eq!(path, dir.join("shard-0.seq10.tkd"));
+        let (seq, _) = newest_snapshot(&dir, 1).unwrap();
+        assert_eq!(seq, 7);
+        assert!(newest_snapshot(&dir, 2).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod big;
+pub mod cluster;
 pub mod complete_baseline;
 pub mod dynamic;
 pub mod engine;
@@ -59,6 +60,7 @@ mod stats;
 mod topk;
 pub mod variants;
 
+pub use cluster::{ClusterReplay, ShardCandidate, ShardScorer};
 pub use dynamic::{
     BatchReport, CompactionPolicy, DynamicEngine, DynamicOptions, DynamicParts, DynamicPartsRef,
     StorageReport, UpdateError, UpdateOp, UpdateStats,

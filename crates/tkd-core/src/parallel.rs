@@ -405,10 +405,11 @@ impl<'a, C: CompressedBitmap + Send> ShardedIbigContext<'a, C> {
 // Sharded scoring
 // ---------------------------------------------------------------------------
 
-/// Outcome of scoring one candidate (the slot payload of the replay
-/// merge).
+/// Outcome of scoring one candidate — the slot payload of the replay
+/// merge, and (via [`crate::cluster`]) the per-candidate verdict a
+/// cluster coordinator assembles from shard answers before replaying.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Outcome {
+pub enum Outcome {
     /// Skipped on the `MaxScore` bound against a published τ.
     PrunedBound,
     /// Pruned by Heuristic 2 (`MaxBitScore ≤ τ`).

@@ -17,6 +17,9 @@
 //! the socket. Notifications are therefore delivered in server order,
 //! never lost, never blocking a request.
 
+use crate::cluster_wire::{
+    decode_cluster_response_body, encode_cluster_request, ClusterRequest, ClusterResponse,
+};
 use crate::error::ServeError;
 use crate::protocol::{
     self, decode_response_body, encode_request, FramePolicy, QuerySpec, Request, Response,
@@ -262,6 +265,33 @@ impl Client {
             Response::ShutdownAck => Ok(()),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Send one cluster-plane request and read its matching answer —
+    /// the `tkd-cluster` coordinator's side of the v5 cluster frames.
+    /// Workers speak strict request/response (no pushes), so exactly
+    /// one frame comes back; a worker's error frame is surfaced as the
+    /// [`ServeError`] it encodes, like every other call on this client.
+    /// The per-frame timeout doubles as the coordinator's failure
+    /// detector: a worker that misses the deadline gets a typed
+    /// [`ServeError::DeadlineExpired`]/[`ServeError::Io`], never a hang.
+    ///
+    /// # Errors
+    /// Transport errors, or the typed rejection the worker sent.
+    pub fn cluster_call(&mut self, req: &ClusterRequest) -> Result<ClusterResponse, ServeError> {
+        let frame = encode_cluster_request(req)?;
+        protocol::write_frame_bytes(&mut self.stream, &frame, self.timeout)?;
+        let policy = FramePolicy {
+            frame_timeout: self.timeout,
+            idle_timeout: Some(self.timeout),
+        };
+        let (kind, body) =
+            protocol::read_frame(&mut self.stream, self.max_frame, policy, &|| false)?;
+        let resp = decode_cluster_response_body(kind, &body)?;
+        if let ClusterResponse::Error(e) = &resp {
+            return Err(e.to_error());
+        }
+        Ok(resp)
     }
 }
 

@@ -1,0 +1,667 @@
+//! The cluster plane of protocol version 5 — frames spoken between the
+//! `tkd-cluster` coordinator and its shard workers.
+//!
+//! Cluster frames reuse the exact v5 frame envelope of [`crate::protocol`]
+//! (magic ‖ version ‖ checksum ‖ kind ‖ len ‖ body) but occupy disjoint
+//! kind ranges: requests 16–20, responses 144–148. A cluster frame sent
+//! at a plain server therefore fails as a typed "unknown request kind",
+//! and vice versa — misdirection is loud, never a misparse. Workers
+//! answer rejections with the shared error frame (kind 133), so one
+//! error path serves both planes.
+//!
+//! The frames, in protocol order:
+//!
+//! | kind | frame | answered by |
+//! |------|-------|-------------|
+//! | 16 | `shard_query` — a chunk of candidates to bound or score | 144 `shard_outcomes` |
+//! | 17 | `tau_update` — the coordinator's tightening τ broadcast | 148 `tau_ack` |
+//! | 18 | `handoff` — save the shard's snapshot and release it | 145 `handoff_ack` |
+//! | 19 | `assign` — adopt a shard from a snapshot (+ replay log) | 146 `assign_ack` |
+//! | 20 | `shard_update` — one routed update batch for a shard | 147 `shard_update_ack` |
+//!
+//! A `shard_query` runs one of two phases. `Bounds` asks for the
+//! shard's upper-bound contribution per candidate (the suffix-table /
+//! fused-count bounds of `tkd_core::cluster::ShardScorer`); the
+//! coordinator sums them across shards and prunes against τ (the
+//! paper's Heuristic 2, made distributive). `Partials` asks for exact
+//! partial scores of the survivors; the sums are exact by the row
+//! partition argument in `tkd_core::cluster`. Both answers are plain
+//! `u64` vectors in candidate order — the *classification* of each
+//! candidate (pruned vs. scored) is the coordinator's job, because only
+//! the cross-shard sum decides it.
+//!
+//! τ monotonicity is part of the protocol: a worker's session τ only
+//! tightens (grows) within a query, and a `tau_update` carrying a
+//! smaller value than the session's current τ is a protocol error the
+//! worker must reject — a cheap tripwire for reordered or misrouted
+//! frames.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    bad, get_error_frame, get_op, open_frame, put_error_frame, put_op, seal, BodyReader,
+    BodyWriter, ErrorFrame, KIND_ERROR_SHARED,
+};
+use tkd_core::{Algorithm, UpdateOp};
+
+// Cluster frame kinds — disjoint from the plain plane's 1–8 / 128–137.
+const KIND_SHARD_QUERY: u8 = 16;
+const KIND_TAU_UPDATE: u8 = 17;
+const KIND_HANDOFF: u8 = 18;
+const KIND_ASSIGN: u8 = 19;
+const KIND_SHARD_UPDATE: u8 = 20;
+const KIND_SHARD_OUTCOMES: u8 = 144;
+const KIND_HANDOFF_ACK: u8 = 145;
+const KIND_ASSIGN_ACK: u8 = 146;
+const KIND_SHARD_UPDATE_ACK: u8 = 147;
+const KIND_TAU_ACK: u8 = 148;
+
+/// Which half of the two-phase fan-out a `shard_query` drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// Return each candidate's upper-bound contribution from this shard.
+    Bounds,
+    /// Return each candidate's exact partial score on this shard.
+    Partials,
+}
+
+/// One candidate shipped to a shard: its (possibly incomplete) row, and
+/// — when the candidate's home row lives on this shard — its local
+/// stable id, so the worker can exclude the member's own bit from its
+/// partial (each object must be counted in exactly one shard).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCandidate {
+    /// The candidate's observed values, one slot per dimension.
+    pub values: Vec<Option<f64>>,
+    /// The candidate's stable id *local to this shard*, when it lives
+    /// there; `None` on every other shard.
+    pub member: Option<u64>,
+}
+
+/// A chunk of candidates for one shard to bound or score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardQuery {
+    /// Which of the worker's hosted shards answers.
+    pub shard: u64,
+    /// BIG or IBIG — decides which bound/partial the worker computes.
+    pub algorithm: Algorithm,
+    /// Bounds (phase 1) or exact partials (phase 2).
+    pub phase: ShardPhase,
+    /// The coordinator's τ at send time, when one exists. Carried for
+    /// the monotonicity tripwire; the pruning itself happens at the
+    /// coordinator, where the cross-shard sums live.
+    pub tau: Option<u64>,
+    /// The candidates, in coordinator queue order.
+    pub candidates: Vec<WireCandidate>,
+}
+
+/// One replayed update batch inside an [`ClusterRequest::Assign`] — a
+/// batch the coordinator acked but whose snapshot rewrite the dead
+/// worker may not have committed. Replay is idempotent because the
+/// snapshot filename carries the last committed seq.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayBatch {
+    /// The coordinator's per-shard update sequence number.
+    pub seq: u64,
+    /// The batch's ops, in application order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// A routed update batch for one shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardUpdate {
+    /// The target shard.
+    pub shard: u64,
+    /// The coordinator's per-shard update sequence number — strictly
+    /// increasing; the worker commits it into the snapshot filename.
+    pub seq: u64,
+    /// The ops, in application order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// A coordinator→worker frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterRequest {
+    /// Bound or score a chunk of candidates on one shard.
+    ShardQuery(ShardQuery),
+    /// Broadcast the tightening τ for the in-flight query.
+    TauUpdate {
+        /// The k-th maintained score so far.
+        tau: u64,
+    },
+    /// Save the shard's snapshot, release the shard, answer with the
+    /// file path — the first half of a rebalance.
+    Handoff {
+        /// The shard to hand off.
+        shard: u64,
+    },
+    /// Adopt a shard from a snapshot file (the second half of a
+    /// rebalance, or the repair path after a worker death), replaying
+    /// any update batches newer than the snapshot.
+    Assign {
+        /// The shard to adopt.
+        shard: u64,
+        /// Path of the snapshot file to load.
+        path: String,
+        /// Acked-but-possibly-uncommitted batches to replay, oldest
+        /// first.
+        replay: Vec<ReplayBatch>,
+    },
+    /// Apply one routed update batch to a shard.
+    ShardUpdate(ShardUpdate),
+}
+
+/// Acknowledgement of a [`ClusterRequest::ShardUpdate`]: the shard's
+/// post-batch state, mirroring the plain plane's `update_ack`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ShardUpdateAck {
+    /// The committed sequence number (echoes the request).
+    pub seq: u64,
+    /// Live objects on the shard after the batch.
+    pub live: u64,
+    /// The snapshot file the batch was committed to.
+    pub path: String,
+    /// Local stable ids assigned to the batch's inserts, in op order.
+    pub inserted: Vec<u64>,
+}
+
+/// A worker→coordinator frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterResponse {
+    /// Answer to [`ClusterRequest::ShardQuery`]: one `u64` per
+    /// candidate, in request order — upper bounds in the `Bounds`
+    /// phase, exact partial scores in the `Partials` phase.
+    ShardOutcomes(Vec<u64>),
+    /// Answer to [`ClusterRequest::Handoff`]: where the released
+    /// shard's snapshot was written, and its committed seq.
+    HandoffAck {
+        /// The snapshot file path.
+        path: String,
+        /// The last update seq committed into that file.
+        seq: u64,
+    },
+    /// Answer to [`ClusterRequest::Assign`].
+    AssignAck {
+        /// The adopted shard (echoes the request).
+        shard: u64,
+        /// Live objects after load + replay.
+        live: u64,
+    },
+    /// Answer to [`ClusterRequest::ShardUpdate`].
+    ShardUpdateAck(ShardUpdateAck),
+    /// Answer to [`ClusterRequest::TauUpdate`]: the worker's session τ
+    /// after the update (equal to the broadcast value on success).
+    TauAck {
+        /// The worker's session τ.
+        tau: u64,
+    },
+    /// Typed rejection — the same error frame the plain plane uses
+    /// (unknown shard, τ regression, update validation failure, …).
+    Error(ErrorFrame),
+}
+
+/// Encode a cluster request as one full v5 frame.
+///
+/// # Errors
+/// [`ServeError::TooLarge`] when a collection exceeds the wire's `u32`
+/// count field.
+pub fn encode_cluster_request(req: &ClusterRequest) -> Result<Vec<u8>, ServeError> {
+    let mut w = BodyWriter::default();
+    let kind = match req {
+        ClusterRequest::ShardQuery(q) => {
+            w.put_u64(q.shard);
+            put_algorithm(&mut w, q.algorithm);
+            w.put_u8(match q.phase {
+                ShardPhase::Bounds => 0,
+                ShardPhase::Partials => 1,
+            });
+            match q.tau {
+                None => w.put_u8(0),
+                Some(t) => {
+                    w.put_u8(1);
+                    w.put_u64(t);
+                }
+            }
+            w.put_count("candidate chunk", q.candidates.len())?;
+            for c in &q.candidates {
+                w.put_count("candidate row", c.values.len())?;
+                for &cell in &c.values {
+                    w.put_cell(cell);
+                }
+                match c.member {
+                    None => w.put_u8(0),
+                    Some(id) => {
+                        w.put_u8(1);
+                        w.put_u64(id);
+                    }
+                }
+            }
+            KIND_SHARD_QUERY
+        }
+        ClusterRequest::TauUpdate { tau } => {
+            w.put_u64(*tau);
+            KIND_TAU_UPDATE
+        }
+        ClusterRequest::Handoff { shard } => {
+            w.put_u64(*shard);
+            KIND_HANDOFF
+        }
+        ClusterRequest::Assign {
+            shard,
+            path,
+            replay,
+        } => {
+            w.put_u64(*shard);
+            w.put_str("snapshot path", path)?;
+            w.put_count("replay log", replay.len())?;
+            for batch in replay {
+                w.put_u64(batch.seq);
+                w.put_count("replay batch", batch.ops.len())?;
+                for op in &batch.ops {
+                    put_op(&mut w, op)?;
+                }
+            }
+            KIND_ASSIGN
+        }
+        ClusterRequest::ShardUpdate(u) => {
+            w.put_u64(u.shard);
+            w.put_u64(u.seq);
+            w.put_count("shard update batch", u.ops.len())?;
+            for op in &u.ops {
+                put_op(&mut w, op)?;
+            }
+            KIND_SHARD_UPDATE
+        }
+    };
+    Ok(seal(kind, w.buf))
+}
+
+/// Decode a full cluster request frame.
+pub fn decode_cluster_request(bytes: &[u8]) -> Result<ClusterRequest, ServeError> {
+    let (kind, body) = open_frame(bytes)?;
+    decode_cluster_request_body(kind, body)
+}
+
+/// Decode a cluster request body whose frame header was already
+/// validated (the worker's streaming path).
+pub fn decode_cluster_request_body(kind: u8, body: &[u8]) -> Result<ClusterRequest, ServeError> {
+    let mut r = BodyReader::new(body);
+    let req = match kind {
+        KIND_SHARD_QUERY => {
+            let shard = r.get_u64()?;
+            let algorithm = get_algorithm(&mut r)?;
+            let phase = match r.get_u8()? {
+                0 => ShardPhase::Bounds,
+                1 => ShardPhase::Partials,
+                other => return Err(bad(format!("phase byte {other} (want 0/1)"))),
+            };
+            let tau = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64()?),
+                other => return Err(bad(format!("tau presence flag {other} (want 0/1)"))),
+            };
+            let count = r.get_count(5)?;
+            let mut candidates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let dims = r.get_count(1)?;
+                let mut values = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    values.push(r.get_cell()?);
+                }
+                let member = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    other => return Err(bad(format!("member presence flag {other} (want 0/1)"))),
+                };
+                candidates.push(WireCandidate { values, member });
+            }
+            ClusterRequest::ShardQuery(ShardQuery {
+                shard,
+                algorithm,
+                phase,
+                tau,
+                candidates,
+            })
+        }
+        KIND_TAU_UPDATE => ClusterRequest::TauUpdate { tau: r.get_u64()? },
+        KIND_HANDOFF => ClusterRequest::Handoff {
+            shard: r.get_u64()?,
+        },
+        KIND_ASSIGN => {
+            let shard = r.get_u64()?;
+            let path = r.get_str()?;
+            let count = r.get_count(12)?;
+            let mut replay = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = r.get_u64()?;
+                let op_count = r.get_count(1)?;
+                let mut ops = Vec::with_capacity(op_count);
+                for _ in 0..op_count {
+                    ops.push(get_op(&mut r)?);
+                }
+                replay.push(ReplayBatch { seq, ops });
+            }
+            ClusterRequest::Assign {
+                shard,
+                path,
+                replay,
+            }
+        }
+        KIND_SHARD_UPDATE => {
+            let shard = r.get_u64()?;
+            let seq = r.get_u64()?;
+            let count = r.get_count(1)?;
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                ops.push(get_op(&mut r)?);
+            }
+            ClusterRequest::ShardUpdate(ShardUpdate { shard, seq, ops })
+        }
+        other => return Err(bad(format!("unknown cluster request kind {other}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encode a cluster response as one full v5 frame.
+///
+/// # Errors
+/// [`ServeError::TooLarge`] when a collection exceeds the wire's `u32`
+/// count field.
+pub fn encode_cluster_response(resp: &ClusterResponse) -> Result<Vec<u8>, ServeError> {
+    let mut w = BodyWriter::default();
+    let kind = match resp {
+        ClusterResponse::ShardOutcomes(values) => {
+            w.put_count("outcome values", values.len())?;
+            for &v in values {
+                w.put_u64(v);
+            }
+            KIND_SHARD_OUTCOMES
+        }
+        ClusterResponse::HandoffAck { path, seq } => {
+            w.put_str("snapshot path", path)?;
+            w.put_u64(*seq);
+            KIND_HANDOFF_ACK
+        }
+        ClusterResponse::AssignAck { shard, live } => {
+            w.put_u64(*shard);
+            w.put_u64(*live);
+            KIND_ASSIGN_ACK
+        }
+        ClusterResponse::ShardUpdateAck(ack) => {
+            w.put_u64(ack.seq);
+            w.put_u64(ack.live);
+            w.put_str("snapshot path", &ack.path)?;
+            w.put_count("ack id list", ack.inserted.len())?;
+            for &id in &ack.inserted {
+                w.put_u64(id);
+            }
+            KIND_SHARD_UPDATE_ACK
+        }
+        ClusterResponse::TauAck { tau } => {
+            w.put_u64(*tau);
+            KIND_TAU_ACK
+        }
+        ClusterResponse::Error(e) => {
+            put_error_frame(&mut w, e)?;
+            KIND_ERROR_SHARED
+        }
+    };
+    Ok(seal(kind, w.buf))
+}
+
+/// Decode a full cluster response frame.
+pub fn decode_cluster_response(bytes: &[u8]) -> Result<ClusterResponse, ServeError> {
+    let (kind, body) = open_frame(bytes)?;
+    decode_cluster_response_body(kind, body)
+}
+
+/// Decode a cluster response body whose frame header was already
+/// validated (the coordinator's streaming path).
+pub fn decode_cluster_response_body(kind: u8, body: &[u8]) -> Result<ClusterResponse, ServeError> {
+    let mut r = BodyReader::new(body);
+    let resp = match kind {
+        KIND_SHARD_OUTCOMES => {
+            let count = r.get_count(8)?;
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.get_u64()?);
+            }
+            ClusterResponse::ShardOutcomes(values)
+        }
+        KIND_HANDOFF_ACK => {
+            let path = r.get_str()?;
+            let seq = r.get_u64()?;
+            ClusterResponse::HandoffAck { path, seq }
+        }
+        KIND_ASSIGN_ACK => {
+            let shard = r.get_u64()?;
+            let live = r.get_u64()?;
+            ClusterResponse::AssignAck { shard, live }
+        }
+        KIND_SHARD_UPDATE_ACK => {
+            let seq = r.get_u64()?;
+            let live = r.get_u64()?;
+            let path = r.get_str()?;
+            let count = r.get_count(8)?;
+            let mut inserted = Vec::with_capacity(count);
+            for _ in 0..count {
+                inserted.push(r.get_u64()?);
+            }
+            ClusterResponse::ShardUpdateAck(ShardUpdateAck {
+                seq,
+                live,
+                path,
+                inserted,
+            })
+        }
+        KIND_TAU_ACK => ClusterResponse::TauAck { tau: r.get_u64()? },
+        KIND_ERROR_SHARED => ClusterResponse::Error(get_error_frame(&mut r)?),
+        other => return Err(bad(format!("unknown cluster response kind {other}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+fn put_algorithm(w: &mut BodyWriter, a: Algorithm) {
+    w.put_u8(match a {
+        Algorithm::Big => 3,
+        Algorithm::Ibig => 4,
+        other => unreachable!("cluster queries are BIG/IBIG only, got {other:?}"),
+    });
+}
+
+fn get_algorithm(r: &mut BodyReader) -> Result<Algorithm, ServeError> {
+    match r.get_u8()? {
+        3 => Ok(Algorithm::Big),
+        4 => Ok(Algorithm::Ibig),
+        other => Err(bad(format!(
+            "algorithm byte {other} (the cluster plane answers BIG=3/IBIG=4)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_request_body, ERR_REJECTED};
+
+    fn sample_requests() -> Vec<ClusterRequest> {
+        vec![
+            ClusterRequest::ShardQuery(ShardQuery {
+                shard: 2,
+                algorithm: Algorithm::Big,
+                phase: ShardPhase::Bounds,
+                tau: None,
+                candidates: vec![
+                    WireCandidate {
+                        values: vec![Some(1.0), None, Some(-0.0)],
+                        member: Some(7),
+                    },
+                    WireCandidate {
+                        values: vec![None],
+                        member: None,
+                    },
+                ],
+            }),
+            ClusterRequest::ShardQuery(ShardQuery {
+                shard: 0,
+                algorithm: Algorithm::Ibig,
+                phase: ShardPhase::Partials,
+                tau: Some(16),
+                candidates: Vec::new(),
+            }),
+            ClusterRequest::TauUpdate { tau: 0 },
+            ClusterRequest::TauUpdate { tau: u64::MAX },
+            ClusterRequest::Handoff { shard: 1 },
+            ClusterRequest::Assign {
+                shard: 1,
+                path: "/tmp/shard-1.seq3.tkd".into(),
+                replay: vec![
+                    ReplayBatch {
+                        seq: 4,
+                        ops: vec![UpdateOp::Insert(vec![Some(2.5), None])],
+                    },
+                    ReplayBatch {
+                        seq: 5,
+                        ops: vec![UpdateOp::Delete(3), UpdateOp::Set(0, 1, Some(9.0))],
+                    },
+                ],
+            },
+            ClusterRequest::Assign {
+                shard: 0,
+                path: String::new(),
+                replay: Vec::new(),
+            },
+            ClusterRequest::ShardUpdate(ShardUpdate {
+                shard: 2,
+                seq: 9,
+                ops: vec![UpdateOp::InsertLabeled("héllo".into(), vec![Some(1.5)])],
+            }),
+        ]
+    }
+
+    fn sample_responses() -> Vec<ClusterResponse> {
+        vec![
+            ClusterResponse::ShardOutcomes(vec![0, 16, u64::MAX]),
+            ClusterResponse::ShardOutcomes(Vec::new()),
+            ClusterResponse::HandoffAck {
+                path: "/tmp/shard-1.seq3.tkd".into(),
+                seq: 3,
+            },
+            ClusterResponse::AssignAck { shard: 1, live: 40 },
+            ClusterResponse::ShardUpdateAck(ShardUpdateAck {
+                seq: 9,
+                live: 41,
+                path: "/tmp/shard-2.seq9.tkd".into(),
+                inserted: vec![13],
+            }),
+            ClusterResponse::ShardUpdateAck(ShardUpdateAck::default()),
+            ClusterResponse::TauAck { tau: 16 },
+            ClusterResponse::Error(ErrorFrame {
+                code: ERR_REJECTED,
+                datum: 2,
+                message: "shard 2 is not hosted here".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn cluster_frame_roundtrip_identity() {
+        for f in &sample_requests() {
+            let bytes = encode_cluster_request(f).expect("sane frames encode");
+            let back = decode_cluster_request(&bytes).expect("own frame decodes");
+            assert_eq!(&back, f);
+            assert_eq!(
+                encode_cluster_request(&back).expect("sane frames encode"),
+                bytes,
+                "canonical bytes"
+            );
+        }
+        for f in &sample_responses() {
+            let bytes = encode_cluster_response(f).expect("sane frames encode");
+            let back = decode_cluster_response(&bytes).expect("own frame decodes");
+            assert_eq!(&back, f);
+            assert_eq!(
+                encode_cluster_response(&back).expect("sane frames encode"),
+                bytes,
+                "canonical bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn misdirected_frames_fail_loudly_on_both_planes() {
+        // A cluster frame at the plain server's decoder…
+        let frame = encode_cluster_request(&ClusterRequest::Handoff { shard: 0 }).unwrap();
+        let (kind, body) = open_frame(&frame).unwrap();
+        let err = decode_request_body(kind, body).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::BadFrame { reason } if reason.contains("unknown request kind 18")),
+            "{err:?}"
+        );
+        // …and a plain frame at the cluster decoder.
+        let frame = crate::protocol::encode_request(&crate::protocol::Request::Stats).unwrap();
+        let (kind, body) = open_frame(&frame).unwrap();
+        let err = decode_cluster_request_body(kind, body).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::BadFrame { reason } if reason.contains("unknown cluster request kind 4")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn hostile_cluster_bytes_are_typed_errors() {
+        let good = encode_cluster_request(&ClusterRequest::ShardQuery(ShardQuery {
+            shard: 0,
+            algorithm: Algorithm::Big,
+            phase: ShardPhase::Bounds,
+            tau: None,
+            candidates: vec![WireCandidate {
+                values: vec![Some(1.0)],
+                member: None,
+            }],
+        }))
+        .unwrap();
+        // Truncation at every byte.
+        for cut in 0..good.len() {
+            assert!(
+                decode_cluster_request(&good[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Body layout: shard u64 ‖ alg u8 ‖ phase u8 ‖ tau flag u8 ‖ …
+        let reseal = |frame: &[u8]| {
+            seal(
+                frame[crate::protocol::HEADER_LEN - 9],
+                frame[crate::protocol::HEADER_LEN..].to_vec(),
+            )
+        };
+        // Unsupported algorithm byte.
+        let mut b = good.clone();
+        b[crate::protocol::HEADER_LEN + 8] = 0;
+        assert!(decode_cluster_request(&reseal(&b)).is_err());
+        // Bad phase byte.
+        let mut b = good.clone();
+        b[crate::protocol::HEADER_LEN + 9] = 7;
+        assert!(decode_cluster_request(&reseal(&b)).is_err());
+        // Bad tau presence flag.
+        let mut b = good.clone();
+        b[crate::protocol::HEADER_LEN + 10] = 9;
+        assert!(decode_cluster_request(&reseal(&b)).is_err());
+        // Trailing bytes.
+        let mut b = good.clone();
+        b.push(0);
+        assert!(matches!(
+            decode_cluster_request(&b).unwrap_err(),
+            ServeError::BadFrame { .. }
+        ));
+        // Flipping any checksummed byte is caught.
+        let mut b = good.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x40;
+        assert_eq!(
+            decode_cluster_request(&b).unwrap_err(),
+            ServeError::ChecksumMismatch
+        );
+    }
+}

@@ -22,11 +22,16 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod cluster_wire;
 mod error;
 pub mod protocol;
 mod server;
 
 pub use client::Client;
+pub use cluster_wire::{
+    ClusterRequest, ClusterResponse, ReplayBatch, ShardPhase, ShardQuery, ShardUpdate,
+    ShardUpdateAck, WireCandidate,
+};
 pub use error::ServeError;
 pub use protocol::{
     ErrorFrame, QuerySpec, Request, Response, ServerStats, SubscribeAck, UpdateAck, WireEntry,

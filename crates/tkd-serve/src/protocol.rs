@@ -1,14 +1,16 @@
 //! The versioned wire protocol — length-prefixed, checksummed binary
 //! frames over TCP.
 //!
-//! # Frame layout (protocol version 4)
+//! # Frame layout (protocol version 5)
 //!
 //! ```text
 //! magic      4 bytes   "TKDW"
-//! version    u32       4
+//! version    u32       5
 //! checksum   u64       fnv64 over every byte after this field
 //!                      (kind ‖ len ‖ body)
-//! kind       u8        frame kind (requests 1–8, responses 128–137)
+//! kind       u8        frame kind (requests 1–8, cluster requests
+//!                      16–20, responses 128–137, cluster responses
+//!                      144–148)
 //! len        u64       body length in bytes
 //! body       len bytes kind-specific payload
 //! ```
@@ -46,10 +48,13 @@ pub const MAGIC: [u8; 4] = *b"TKDW";
 /// The protocol version this build speaks — reads and writes.
 /// Version 3 added standing queries: `subscribe`/`unsubscribe` requests
 /// and server-pushed `notify` frames carrying per-batch result deltas.
-/// Version 4 adds TKDQL text queries: a `query_text` request carrying a
+/// Version 4 added TKDQL text queries: a `query_text` request carrying a
 /// statement, and an `explain_result` response carrying the rendered
-/// plan (the normative spec is `docs/WIRE_PROTOCOL.md`).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// plan. Version 5 adds the cluster frames — `shard_query`,
+/// `tau_update`, `handoff`, `assign`, `shard_update` and their answers —
+/// spoken between the `tkd-cluster` coordinator and its shard workers
+/// (the normative spec is `docs/WIRE_PROTOCOL.md`).
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Frame header bytes: magic + version + checksum + kind + len.
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 8;
@@ -59,7 +64,10 @@ pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 8;
 pub const DEFAULT_MAX_FRAME: u64 = 16 * 1024 * 1024;
 
 // Frame kinds. Requests and responses share the header format but use
-// disjoint kind ranges so a misdirected frame fails loudly.
+// disjoint kind ranges so a misdirected frame fails loudly. The cluster
+// frames (`cluster_wire`) use 16–20 / 144–148 — disjoint again, so a
+// cluster frame sent at a plain server (or vice versa) is a typed
+// "unknown kind" error, not a misparse.
 const KIND_QUERY: u8 = 1;
 const KIND_QUERY_BATCH: u8 = 2;
 const KIND_UPDATE_OPS: u8 = 3;
@@ -81,6 +89,9 @@ const KIND_UNSUBSCRIBE_ACK: u8 = 135;
 /// response is expected.
 const KIND_NOTIFY: u8 = 136;
 const KIND_EXPLAIN_RESULT: u8 = 137;
+/// Shared with the cluster plane: a worker's typed rejection uses the
+/// same error frame a plain server sends.
+pub(crate) const KIND_ERROR_SHARED: u8 = KIND_ERROR;
 
 // Error-frame codes (the `code` byte of [`ErrorFrame`]).
 /// Admission control rejected the request: queue full.
@@ -307,42 +318,52 @@ impl ErrorFrame {
 
 /// Append-only little-endian body writer.
 #[derive(Default)]
-struct BodyWriter {
-    buf: Vec<u8>,
+pub(crate) struct BodyWriter {
+    pub(crate) buf: Vec<u8>,
 }
 
 /// Validate that a collection length fits the wire's `u32` count field
 /// **before** encoding it. Without this gate an oversized batch would
 /// truncate silently (`len as u32`) and decode as a shorter, plausible
 /// frame on the other side.
-fn check_count(what: &'static str, len: usize) -> Result<u32, ServeError> {
+pub(crate) fn check_count(what: &'static str, len: usize) -> Result<u32, ServeError> {
     u32::try_from(len).map_err(|_| ServeError::TooLarge {
         what,
         len: len as u64,
     })
 }
 
+/// Convert a wire-declared byte length into an in-memory size, rejecting
+/// values the address space cannot represent. The mirror image of
+/// [`check_count`]: that gate stops silent truncation on *encode*
+/// (`usize → u32`), this one stops it on *decode* (`u64 → usize`, lossy
+/// on 32-bit targets where `len as usize` would quietly wrap a hostile
+/// length into a small, plausible allocation).
+pub(crate) fn check_len(what: &'static str, len: u64) -> Result<usize, ServeError> {
+    usize::try_from(len).map_err(|_| ServeError::TooLarge { what, len })
+}
+
 impl BodyWriter {
-    fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn put_u32(&mut self, v: u32) {
+    pub(crate) fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     /// Write a `u32` element count, rejecting lengths that don't fit.
-    fn put_count(&mut self, what: &'static str, len: usize) -> Result<(), ServeError> {
+    pub(crate) fn put_count(&mut self, what: &'static str, len: usize) -> Result<(), ServeError> {
         self.put_u32(check_count(what, len)?);
         Ok(())
     }
-    fn put_str(&mut self, what: &'static str, s: &str) -> Result<(), ServeError> {
+    pub(crate) fn put_str(&mut self, what: &'static str, s: &str) -> Result<(), ServeError> {
         self.put_count(what, s.len())?;
         self.buf.extend_from_slice(s.as_bytes());
         Ok(())
     }
-    fn put_cell(&mut self, cell: Option<f64>) {
+    pub(crate) fn put_cell(&mut self, cell: Option<f64>) {
         match cell {
             None => self.put_u8(0),
             Some(v) => {
@@ -355,13 +376,13 @@ impl BodyWriter {
 
 /// Bounds-checked little-endian body reader. Every length check happens
 /// before the allocation it guards.
-struct BodyReader<'a> {
+pub(crate) struct BodyReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> BodyReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         BodyReader { buf, pos: 0 }
     }
 
@@ -381,21 +402,21 @@ impl<'a> BodyReader<'a> {
         Ok(s)
     }
 
-    fn get_u8(&mut self) -> Result<u8, ServeError> {
+    pub(crate) fn get_u8(&mut self) -> Result<u8, ServeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn get_u32(&mut self) -> Result<u32, ServeError> {
+    pub(crate) fn get_u32(&mut self) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
     }
 
-    fn get_u64(&mut self) -> Result<u64, ServeError> {
+    pub(crate) fn get_u64(&mut self) -> Result<u64, ServeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
     }
 
     /// A `u32` element count validated against the bytes present
     /// (`min_elem_bytes` per element) before anything is allocated.
-    fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, ServeError> {
+    pub(crate) fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, ServeError> {
         let count = self.get_u32()? as usize;
         let need = count
             .checked_mul(min_elem_bytes)
@@ -409,13 +430,13 @@ impl<'a> BodyReader<'a> {
         Ok(count)
     }
 
-    fn get_str(&mut self) -> Result<String, ServeError> {
+    pub(crate) fn get_str(&mut self) -> Result<String, ServeError> {
         let len = self.get_u32()? as usize;
         let raw = self.take(len)?;
         String::from_utf8(raw.to_vec()).map_err(|_| bad("string is not UTF-8"))
     }
 
-    fn get_cell(&mut self) -> Result<Option<f64>, ServeError> {
+    pub(crate) fn get_cell(&mut self) -> Result<Option<f64>, ServeError> {
         match self.get_u8()? {
             0 => Ok(None),
             1 => {
@@ -429,7 +450,7 @@ impl<'a> BodyReader<'a> {
         }
     }
 
-    fn finish(self) -> Result<(), ServeError> {
+    pub(crate) fn finish(self) -> Result<(), ServeError> {
         if self.remaining() != 0 {
             return Err(bad(format!("{} trailing body bytes", self.remaining())));
         }
@@ -437,7 +458,7 @@ impl<'a> BodyReader<'a> {
     }
 }
 
-fn bad(reason: impl Into<String>) -> ServeError {
+pub(crate) fn bad(reason: impl Into<String>) -> ServeError {
     ServeError::BadFrame {
         reason: reason.into(),
     }
@@ -448,7 +469,7 @@ fn bad(reason: impl Into<String>) -> ServeError {
 // ---------------------------------------------------------------------------
 
 /// Wrap a kind + body into a full frame (header, checksum, body).
-fn seal(kind: u8, body: Vec<u8>) -> Vec<u8> {
+pub(crate) fn seal(kind: u8, body: Vec<u8>) -> Vec<u8> {
     let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
@@ -637,9 +658,7 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, ServeError> {
         }
         Response::ShutdownAck => KIND_SHUTDOWN_ACK,
         Response::Error(e) => {
-            w.put_u8(e.code);
-            w.put_u64(e.datum);
-            w.put_str("error message", &e.message)?;
+            put_error_frame(&mut w, e)?;
             KIND_ERROR
         }
         Response::SubscribeAck(ack) => {
@@ -781,23 +800,31 @@ pub fn decode_response_body(kind: u8, body: &[u8]) -> Result<Response, ServeErro
             })
         }
         KIND_EXPLAIN_RESULT => Response::ExplainResult(r.get_str()?),
-        KIND_ERROR => {
-            let code = r.get_u8()?;
-            if !(ERR_OVERLOADED..=ERR_BAD_REQUEST).contains(&code) {
-                return Err(bad(format!("unknown error code {code}")));
-            }
-            let datum = r.get_u64()?;
-            let message = r.get_str()?;
-            Response::Error(ErrorFrame {
-                code,
-                datum,
-                message,
-            })
-        }
+        KIND_ERROR => Response::Error(get_error_frame(&mut r)?),
         other => return Err(bad(format!("unknown response kind {other}"))),
     };
     r.finish()?;
     Ok(resp)
+}
+
+pub(crate) fn put_error_frame(w: &mut BodyWriter, e: &ErrorFrame) -> Result<(), ServeError> {
+    w.put_u8(e.code);
+    w.put_u64(e.datum);
+    w.put_str("error message", &e.message)
+}
+
+pub(crate) fn get_error_frame(r: &mut BodyReader) -> Result<ErrorFrame, ServeError> {
+    let code = r.get_u8()?;
+    if !(ERR_OVERLOADED..=ERR_BAD_REQUEST).contains(&code) {
+        return Err(bad(format!("unknown error code {code}")));
+    }
+    let datum = r.get_u64()?;
+    let message = r.get_str()?;
+    Ok(ErrorFrame {
+        code,
+        datum,
+        message,
+    })
 }
 
 fn put_query(w: &mut BodyWriter, q: &QuerySpec) {
@@ -932,7 +959,7 @@ const OP_INSERT_LABELED: u8 = 1;
 const OP_DELETE: u8 = 2;
 const OP_SET: u8 = 3;
 
-fn put_op(w: &mut BodyWriter, op: &UpdateOp) -> Result<(), ServeError> {
+pub(crate) fn put_op(w: &mut BodyWriter, op: &UpdateOp) -> Result<(), ServeError> {
     match op {
         UpdateOp::Insert(row) => {
             w.put_u8(OP_INSERT);
@@ -977,7 +1004,7 @@ fn get_id(r: &mut BodyReader) -> Result<tkd_model::ObjectId, ServeError> {
     tkd_model::ObjectId::try_from(raw).map_err(|_| bad(format!("object id {raw} exceeds u32")))
 }
 
-fn get_op(r: &mut BodyReader) -> Result<UpdateOp, ServeError> {
+pub(crate) fn get_op(r: &mut BodyReader) -> Result<UpdateOp, ServeError> {
     match r.get_u8()? {
         OP_INSERT => Ok(UpdateOp::Insert(get_row(r)?)),
         OP_INSERT_LABELED => {
@@ -1080,7 +1107,7 @@ pub fn read_frame(
             max: max_frame,
         });
     }
-    let mut body = vec![0u8; len as usize];
+    let mut body = vec![0u8; check_len("frame body", len)?];
     read_exact_deadline(stream, &mut body, deadline)?;
     let mut summed = Vec::with_capacity(9 + body.len());
     summed.push(kind);

@@ -78,6 +78,12 @@ pub struct ServeConfig {
     /// as 0). The caller that loaded the snapshot times it and passes
     /// the measurement in.
     pub load_time: Option<Duration>,
+    /// Update-batch sequence number to start counting from. 0 for a
+    /// fresh server; a server restarted over an existing snapshot
+    /// passes its predecessor's last acked seq so the `seq` stream
+    /// stays strictly increasing across the restart (the replay
+    /// contract clients rely on).
+    pub initial_seq: u64,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +97,7 @@ impl Default for ServeConfig {
             max_frame: DEFAULT_MAX_FRAME,
             snapshot: None,
             load_time: None,
+            initial_seq: 0,
         }
     }
 }
@@ -118,12 +125,23 @@ enum Work {
 #[derive(Default)]
 struct PushSink {
     frames: Mutex<VecDeque<Vec<u8>>>,
+    /// Rung by [`PushSink::push`] so an idle subscriber's connection
+    /// thread wakes and writes the frame immediately instead of on its
+    /// next poll tick — pushes buffered *before* a poll began its sleep
+    /// used to wait out the whole tick.
+    bell: Condvar,
     dead: AtomicBool,
+    /// Set by the engine thread when the first standing query registers
+    /// on this connection; switches the idle loop to the short
+    /// bell-waiting cadence. Never cleared — a once-subscribed
+    /// connection stays latency-sensitive.
+    subscribed: AtomicBool,
 }
 
 impl PushSink {
     fn push(&self, frame: Vec<u8>) {
         self.frames.lock().expect("push sink lock").push_back(frame);
+        self.bell.notify_all();
     }
 
     fn drain(&self) -> Vec<Vec<u8>> {
@@ -133,10 +151,26 @@ impl PushSink {
             .drain(..)
             .collect()
     }
+
+    /// Park until a frame is buffered or `wait` elapses. Returns
+    /// immediately if one is already there.
+    fn wait_for_push(&self, wait: Duration) {
+        let guard = self.frames.lock().expect("push sink lock");
+        if guard.is_empty() {
+            let _ = self.bell.wait_timeout(guard, wait).expect("push sink lock");
+        }
+    }
 }
 
 /// How often an idle connection checks for pushed frames (and shutdown).
 const PUSH_POLL: Duration = Duration::from_millis(50);
+/// The idle cadence of a *subscribed* connection: a short socket probe,
+/// then a bell-interruptible park. Worst-case delivery latency for a
+/// buffered push is one probe plus one park (~5 ms), an order of
+/// magnitude under [`PUSH_POLL`] — `serve_parity` asserts this.
+const SUBSCRIBED_PROBE: Duration = Duration::from_millis(1);
+/// Bell-interruptible park length between subscribed-idle probes.
+const SUBSCRIBED_PARK: Duration = Duration::from_millis(4);
 
 struct Pending {
     work: Work,
@@ -316,7 +350,10 @@ fn connection_loop_inner(mut stream: TcpStream, shared: &Arc<Shared>, sink: &Arc
     loop {
         // Idle phase: wait for the next request to *start*, flushing
         // pushed frames between polls. `peek` consumes nothing, so a
-        // frame arriving mid-poll is read intact below.
+        // frame arriving mid-poll is read intact below. Unsubscribed
+        // connections idle on the long poll; subscribed ones use a
+        // short probe plus a bell-interruptible park so a buffered
+        // push goes out in milliseconds, not on the next tick.
         loop {
             if shared.stopping() {
                 return;
@@ -324,7 +361,13 @@ fn connection_loop_inner(mut stream: TcpStream, shared: &Arc<Shared>, sink: &Arc
             if !flush_pushes(&mut stream, shared, sink) {
                 return;
             }
-            if stream.set_read_timeout(Some(PUSH_POLL)).is_err() {
+            let subscribed = sink.subscribed.load(Ordering::Acquire);
+            let probe_wait = if subscribed {
+                SUBSCRIBED_PROBE
+            } else {
+                PUSH_POLL
+            };
+            if stream.set_read_timeout(Some(probe_wait)).is_err() {
                 return;
             }
             let mut probe = [0u8; 1];
@@ -333,7 +376,12 @@ fn connection_loop_inner(mut stream: TcpStream, shared: &Arc<Shared>, sink: &Arc
                 Ok(_) => break,  // a frame has started
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if subscribed {
+                        sink.wait_for_push(SUBSCRIBED_PARK);
+                    }
+                }
                 Err(_) => return,
             }
         }
@@ -462,7 +510,10 @@ struct EngineCounters {
 /// It also owns the subscription registry (standing-query id → the push
 /// sink of the connection that registered it).
 fn engine_loop(mut engine: DynamicEngine, shared: Arc<Shared>, done: mpsc::Sender<DynamicEngine>) {
-    let mut counters = EngineCounters::default();
+    let mut counters = EngineCounters {
+        seq: shared.config.initial_seq,
+        ..EngineCounters::default()
+    };
     let mut subs: HashMap<u64, Arc<PushSink>> = HashMap::new();
     loop {
         let (batch, drain_now) = next_batch(&shared);
@@ -473,13 +524,38 @@ fn engine_loop(mut engine: DynamicEngine, shared: Arc<Shared>, done: mpsc::Sende
             break;
         }
     }
-    // Everything queued has been answered. Final snapshot, then hand
-    // the engine back.
+    // Everything queued has been answered; `submit` rejects once the
+    // drain flag is up and `next_batch` only reports drained when the
+    // queue is empty under the same lock — but sweep anyway, so the
+    // invariant "no accepted request goes unanswered" survives future
+    // refactors of either side rather than resting on their interplay.
+    sweep_leftovers(&shared);
+    // Final snapshot, then hand the engine back.
     if let Some(path) = &shared.config.snapshot {
         let _ = tkd_store::save_engine(path, &mut engine);
     }
     shared.shutdown.store(true, Ordering::Release);
     let _ = done.send(engine);
+}
+
+/// Answer every request still queued at drain completion with a typed
+/// `ShuttingDown` rejection. Returns how many were swept (0 in every
+/// reachable interleaving today; the drain-race stress test pins that
+/// clients never hang either way).
+fn sweep_leftovers(shared: &Shared) -> usize {
+    let leftovers: Vec<Pending> = {
+        let mut q = shared.queue.lock().expect("queue lock");
+        q.items.drain(..).collect()
+    };
+    let count = leftovers.len();
+    for p in leftovers {
+        let _ = p.resp.send(Response::Error(ErrorFrame {
+            code: ERR_SHUTTING_DOWN,
+            datum: 0,
+            message: ServeError::ShuttingDown.to_string(),
+        }));
+    }
+    count
 }
 
 /// Block for work; pop either one non-query item or a coalesced run of
@@ -534,7 +610,9 @@ fn serve_one(
         );
         if expendable && waited > shared.config.request_timeout {
             counters.timeouts += 1;
-            let waited_ms = waited.as_millis() as u64;
+            // Saturate rather than truncate: a pathological wait must
+            // not report as a short one.
+            let waited_ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
             let _ = p.resp.send(Response::Error(ErrorFrame {
                 code: ERR_TIMEOUT,
                 datum: waited_ms,
@@ -602,6 +680,7 @@ fn serve_one(
                         score: e.score as u64,
                     })
                     .collect();
+                sink.subscribed.store(true, Ordering::Release);
                 subs.insert(id, Arc::clone(sink));
                 Response::SubscribeAck(SubscribeAck { id, result })
             }
@@ -684,6 +763,7 @@ fn serve_query_text(
                     score: e.score as u64,
                 })
                 .collect();
+            sink.subscribed.store(true, Ordering::Release);
             subs.insert(id, Arc::clone(sink));
             Response::SubscribeAck(SubscribeAck { id, result })
         }
@@ -700,7 +780,10 @@ fn run_queries(
     let queries: Vec<EngineQuery> = specs
         .iter()
         .map(|s| EngineQuery {
-            k: s.k.min(usize::MAX as u64) as usize,
+            // Saturating: any k ≥ the object count means "all of them",
+            // so clamping to usize::MAX preserves the answer on every
+            // target width.
+            k: usize::try_from(s.k).unwrap_or(usize::MAX),
             algorithm: s.algorithm,
             tie: TieBreak::ById,
         })

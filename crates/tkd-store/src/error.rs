@@ -23,6 +23,9 @@ pub enum Section {
     Preprocessed,
     /// The serialized dynamic-engine state.
     Dynamic,
+    /// A cluster shard manifest (`cluster.manifest`), not a snapshot
+    /// section proper but validated with the same discipline.
+    Manifest,
 }
 
 impl fmt::Display for Section {
@@ -34,6 +37,7 @@ impl fmt::Display for Section {
             Section::BinnedIndex => "binned-index",
             Section::Preprocessed => "preprocessed",
             Section::Dynamic => "dynamic",
+            Section::Manifest => "manifest",
         })
     }
 }

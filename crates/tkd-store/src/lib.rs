@@ -51,9 +51,11 @@
 
 mod codec;
 mod error;
+mod manifest;
 mod wire;
 
 pub use error::{Section, StoreError};
+pub use manifest::{ClusterManifest, ShardEntry, MANIFEST_MAGIC, MANIFEST_VERSION};
 pub use wire::fnv64;
 
 use tkd_core::dynamic::DynamicParts;
@@ -234,7 +236,7 @@ pub fn encode_engine(engine: &mut DynamicEngine) -> Vec<u8> {
             Section::BinnedIndex => codec::encode_binned(&mut w, parts.binned),
             Section::Preprocessed => codec::encode_pre(&mut w, parts.ds.len(), parts.pre),
             Section::Dynamic => codec::encode_dynamic(&mut w, &parts),
-            Section::Header => unreachable!("not a payload section"),
+            Section::Header | Section::Manifest => unreachable!("not a payload section"),
         }
         let len = w.len() - offset;
         let checksum = fnv64(&w.as_bytes()[offset..]);

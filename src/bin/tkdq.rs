@@ -27,6 +27,7 @@ fn main() {
         "skyline" => cmd_skyline(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "cluster" => cmd_cluster(&args[1..]),
         "repl" => cmd_repl(&args[1..]),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
@@ -803,6 +804,13 @@ fn cmd_serve(args: &[String]) {
             Some(snap.clone().into())
         },
         load_time: Some(load_time),
+        initial_seq: opts
+            .get("initial-seq")
+            .map(|v| match v.parse() {
+                Ok(n) => n,
+                Err(_) => usage("--initial-seq must be a non-negative integer"),
+            })
+            .unwrap_or(0),
         ..Default::default()
     };
     let server = tkdi::serve::Server::start(engine, addr.as_str(), config).unwrap_or_else(|e| {
@@ -834,6 +842,137 @@ fn cmd_serve(args: &[String]) {
             eprintln!("error: server did not drain cleanly: {e}");
             exit(1);
         }
+    }
+}
+
+fn cmd_cluster(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("worker") => cmd_cluster_worker(&args[1..]),
+        Some("query") => cmd_cluster_query(&args[1..]),
+        Some(other) => usage(&format!("unknown cluster subcommand {other:?}")),
+        None => usage("cluster requires a subcommand: worker | query"),
+    }
+}
+
+fn cmd_cluster_worker(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.file.is_some() {
+        usage("cluster worker takes no dataset; shards arrive as assigned snapshots");
+    }
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7271").to_string();
+    let worker =
+        tkdi::cluster::Worker::start(addr.as_str(), tkdi::cluster::WorkerConfig::default())
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot start worker on {addr}: {e}");
+                exit(1);
+            });
+    println!("worker on {} (close stdin to stop)", worker.local_addr());
+    // Block until the parent closes our stdin (or we are killed) — the
+    // coordinator drives everything else over the cluster plane.
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+    worker.stop();
+    println!("worker stopped");
+}
+
+fn cmd_cluster_query(args: &[String]) {
+    let opts = parse_opts(args);
+    let k: usize = opts
+        .get("k")
+        .unwrap_or_else(|| usage("cluster query requires --k"))
+        .parse()
+        .unwrap_or_else(|_| usage("--k must be an integer"));
+    let algorithm = match opts.get("algorithm").unwrap_or("big") {
+        "big" => Algorithm::Big,
+        "ibig" => Algorithm::Ibig,
+        other => usage(&format!("the cluster serves big | ibig, not {other:?}")),
+    };
+    let workers: Vec<std::net::SocketAddr> = opts
+        .get("workers")
+        .unwrap_or_else(|| usage("cluster query requires --workers ADDR[,ADDR…]"))
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad worker address {a:?}")))
+        })
+        .collect();
+    let shards: usize = opts
+        .get("shards")
+        .map(|v| match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => usage("--shards must be a positive integer"),
+        })
+        .unwrap_or_else(|| workers.len());
+    let dir = opts.get("dir").map_or_else(
+        || std::env::temp_dir().join(format!("tkdq-cluster-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let ds = opts.load();
+    let labels = ds.clone();
+    let mut coord = tkdi::cluster::Coordinator::seed(
+        &ds,
+        shards,
+        &workers,
+        tkdi::cluster::ClusterConfig::new(&dir),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot seed cluster: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "seeded {} shards over {} workers; snapshots in {}",
+        shards,
+        workers.len(),
+        dir.display()
+    );
+    if let Some(ops_file) = opts.get("ops") {
+        let text = std::fs::read_to_string(ops_file).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {ops_file}: {e}");
+            exit(1);
+        });
+        let ops = parse_ops(&text, ds.dims(), opts.has("labeled"));
+        coord.update(&ops).unwrap_or_else(|e| {
+            eprintln!("error: cluster update failed: {e}");
+            exit(1);
+        });
+        eprintln!("applied {} ops; {} live", ops.len(), coord.len());
+    }
+    if let Some(spec) = opts.get("handoff") {
+        let (s, w) = spec
+            .split_once(':')
+            .and_then(|(s, w)| Some((s.parse::<u64>().ok()?, w.parse::<usize>().ok()?)))
+            .unwrap_or_else(|| usage("--handoff takes SHARD:WORKER (two indexes)"));
+        coord.handoff(s, w).unwrap_or_else(|e| {
+            eprintln!("error: handoff failed: {e}");
+            exit(1);
+        });
+        eprintln!("shard {s} handed off to worker {w}");
+    }
+    let result = coord.query(k, algorithm).unwrap_or_else(|e| {
+        eprintln!("error: cluster query failed: {e}");
+        exit(1);
+    });
+    for (rank, e) in result.iter().enumerate() {
+        let name = (e.id < labels.len() as u32)
+            .then(|| labels.label(e.id))
+            .flatten()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", e.id));
+        println!("{:>3}. {:<20} score {}", rank + 1, name, e.score);
+    }
+    if opts.has("stats") {
+        let st = result.stats;
+        let cs = coord.stats;
+        eprintln!(
+            "pruned: H1={} H2={} H3={}  scored={}",
+            st.h1_pruned, st.h2_pruned, st.h3_pruned, st.scored
+        );
+        eprintln!(
+            "wire: frames={} tau_rounds={} candidates={} repairs={}",
+            cs.frames, cs.tau_rounds, cs.candidates_shipped, cs.repairs
+        );
     }
 }
 

@@ -85,6 +85,21 @@ pub const COMMANDS: &[CommandHelp] = &[
             "     [--window N]  (cap live objects; oldest age out per update batch)",
         ],
     },
+    CommandHelp {
+        name: "cluster",
+        summary: "multi-process sharded cluster: shard workers and a coordinator",
+        usage: &[
+            "tkdq cluster worker [--addr HOST:PORT]",
+            "     (host shard snapshots assigned over the v5 cluster plane; prints",
+            "      `worker on ADDR` once listening)",
+            "tkdq cluster query <FILE> --workers A1,A2,… --k K [--algorithm big|ibig]",
+            "     [--shards S] [--dir DIR] [--ops OPS] [--handoff SHARD:WORKER]",
+            "     [--labeled] [--stats]",
+            "     (seed DIR with S id-range shard snapshots, assign them across the",
+            "      workers, apply OPS through the routed single-writer path, then",
+            "      answer bit-identically to the in-process engines)",
+        ],
+    },
 ];
 
 /// The full `tkdq help` text, generated from [`COMMANDS`].

@@ -52,6 +52,7 @@ pub mod cli;
 
 pub use tkd_bitvec as bitvec;
 pub use tkd_btree as btree;
+pub use tkd_cluster as cluster;
 pub use tkd_core as core;
 pub use tkd_data as data;
 pub use tkd_impute as impute;

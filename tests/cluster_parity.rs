@@ -1,0 +1,257 @@
+//! The differential harness pinning the multi-process cluster to the
+//! in-process engines.
+//!
+//! Every cell spins up real worker processes-worth of machinery (worker
+//! threads speaking the v5 cluster plane over real TCP sockets, shard
+//! snapshots on disk) and demands **bit-identical** answers — entries,
+//! scores, tie order, and the H1 cutoff position — against a
+//! [`ParallelEngine`] (static grid) or a twin [`DynamicEngine`]
+//! (interleaved updates). The failure legs kill a worker mid-stream and
+//! require either a typed error or a correct retried answer; a wrong
+//! answer is never acceptable.
+
+mod common;
+
+use common::{apply_to_mirror, random_op, synth, Mirror, Mix};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkdi::cluster::{ClusterConfig, ClusterError, Coordinator, Worker, WorkerConfig};
+use tkdi::core::{Algorithm, DynamicEngine, EngineQuery, ParallelEngine, TkdResult, UpdateOp};
+
+const SHARDS: [usize; 3] = [1, 2, 3];
+const MISSING: [u64; 3] = [10, 30, 60];
+const ALGS: [Algorithm; 2] = [Algorithm::Big, Algorithm::Ibig];
+
+fn grid_ks(n: usize) -> Vec<usize> {
+    let mut ks = vec![1, 3, n.saturating_sub(1).max(1), n, n + 5];
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+/// A unique scratch handoff directory per cell, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tkd-cluster-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_workers(n: usize) -> (Vec<Worker>, Vec<SocketAddr>) {
+    let workers: Vec<Worker> = (0..n)
+        .map(|_| Worker::start("127.0.0.1:0", WorkerConfig::default()).expect("worker start"))
+        .collect();
+    let addrs = workers.iter().map(Worker::local_addr).collect();
+    (workers, addrs)
+}
+
+fn entries(r: &TkdResult) -> Vec<(u32, usize)> {
+    r.iter().map(|e| (e.id, e.score)).collect()
+}
+
+/// Static grid: shard counts × missing rates × both algorithms × edge
+/// ks, against a `ParallelEngine` over the same rows.
+#[test]
+fn cluster_differential_grid() {
+    for (seed, &missing) in MISSING.iter().enumerate() {
+        let ds = synth(700 + seed as u64, 60, 3, 6, missing);
+        let oracle = ParallelEngine::builder(&ds).threads(2).shards(2).build();
+        for &shards in &SHARDS {
+            // Fresh fleet per cell: a worker keeps hosting its shards
+            // until handed off, so each cluster gets its own workers.
+            let (workers, addrs) = start_workers(2);
+            let scratch = ScratchDir::new("grid");
+            let mut coord = Coordinator::seed(&ds, shards, &addrs, ClusterConfig::new(&scratch.0))
+                .expect("seed cluster");
+            for &alg in &ALGS {
+                for k in grid_ks(ds.len()) {
+                    let reference = oracle.query(&EngineQuery::new(k).algorithm(alg));
+                    let got = coord.query(k, alg).expect("cluster query");
+                    assert_eq!(
+                        entries(&got),
+                        entries(&reference),
+                        "missing={missing}% shards={shards} alg={alg:?} k={k}"
+                    );
+                    assert_eq!(
+                        got.stats.h1_pruned, reference.stats.h1_pruned,
+                        "H1 must fire at the same queue position \
+                         (missing={missing}% shards={shards} alg={alg:?} k={k})"
+                    );
+                }
+            }
+            for w in workers {
+                w.stop();
+            }
+        }
+    }
+}
+
+/// Interleaved updates (inserts, deletes, cell edits) routed through
+/// the cluster's single-writer path, with a mid-run shard handoff,
+/// against a twin dynamic engine fed the identical op stream.
+#[test]
+fn cluster_interleaved_updates_and_handoff() {
+    const ROUNDS: usize = 8;
+    const OPS_PER_ROUND: usize = 5;
+    for (seed, &missing) in MISSING.iter().enumerate() {
+        let ds = synth(800 + seed as u64, 40, 3, 6, missing);
+        let initial: Vec<Vec<Option<f64>>> = (0..ds.len())
+            .map(|i| (0..ds.dims()).map(|d| ds.value(i as u32, d)).collect())
+            .collect();
+        for &shards in &[2usize, 3] {
+            let (workers, addrs) = start_workers(2);
+            let scratch = ScratchDir::new("updates");
+            let mut coord = Coordinator::seed(&ds, shards, &addrs, ClusterConfig::new(&scratch.0))
+                .expect("seed cluster");
+            // A twin engine fed the identical op stream is the oracle.
+            let mut twin = DynamicEngine::new(ds.clone());
+            let mut rng = Mix(0xC1E5_7E00 + seed as u64 * 31 + shards as u64);
+            let mut mirror = Mirror::seeded(&initial);
+            let mut next_id = ds.len() as u32;
+            for round in 0..ROUNDS {
+                let ops: Vec<UpdateOp> = (0..OPS_PER_ROUND)
+                    .map(|_| {
+                        let op = random_op(&mut rng, &mirror, ds.dims(), missing);
+                        apply_to_mirror(&mut mirror, &op, &mut next_id);
+                        op
+                    })
+                    .collect();
+                let report = twin.apply_ops(&ops);
+                assert!(report.error.is_none(), "harness sends only valid ops");
+                coord.update(&ops).expect("cluster update");
+                assert_eq!(coord.len(), mirror.rows.len());
+                // The handoff dir stays self-describing: the manifest
+                // names each shard's committed snapshot, the stamp in
+                // the file name agrees, and the file exists.
+                let manifest =
+                    tkdi::store::ClusterManifest::load(coord.manifest_path()).expect("manifest");
+                assert_eq!(manifest.shards.len(), shards);
+                assert_eq!(
+                    manifest.shards.iter().map(|e| e.live).sum::<u64>(),
+                    mirror.rows.len() as u64
+                );
+                for e in &manifest.shards {
+                    assert_eq!(
+                        tkdi::cluster::seq_from_path(std::path::Path::new(&e.path)),
+                        Some(e.seq)
+                    );
+                    assert!(scratch.0.join(&e.path).is_file());
+                }
+                if round == ROUNDS / 2 {
+                    // Move shard 0 to the other worker mid-run; answers
+                    // afterwards must not change by a bit.
+                    let to = (coord.worker_of(0) + 1) % addrs.len();
+                    coord.handoff(0, to).expect("handoff");
+                    assert_eq!(coord.worker_of(0), to);
+                }
+                for k in [1usize, 7] {
+                    for &alg in &ALGS {
+                        let reference = twin
+                            .query(&EngineQuery::new(k).algorithm(alg))
+                            .expect("BIG/IBIG supported");
+                        let got = coord.query(k, alg).expect("cluster query");
+                        assert_eq!(
+                            entries(&got),
+                            entries(&reference),
+                            "missing={missing}% shards={shards} round={round} alg={alg:?} k={k}"
+                        );
+                        assert_eq!(
+                            got.stats.h1_pruned, reference.stats.h1_pruned,
+                            "missing={missing}% shards={shards} round={round} alg={alg:?} k={k}"
+                        );
+                    }
+                }
+            }
+            for w in workers {
+                w.stop();
+            }
+        }
+    }
+}
+
+/// Killing a worker mid-stream must never produce a wrong answer: the
+/// coordinator detects the death, re-assigns the dead worker's shards
+/// from their newest committed snapshots, and the retried query is
+/// bit-identical. With every worker dead, the query fails typed.
+#[test]
+fn killed_worker_is_repaired_or_fails_typed() {
+    let ds = synth(900, 50, 3, 6, 30);
+    let (mut workers, addrs) = start_workers(3);
+    let scratch = ScratchDir::new("kill");
+    let mut coord =
+        Coordinator::seed(&ds, 3, &addrs, ClusterConfig::new(&scratch.0)).expect("seed cluster");
+
+    // Route a batch through first so at least one shard has seq > 0 and
+    // repair has to pick the *newest* snapshot, not the seed.
+    let ops = vec![
+        UpdateOp::Insert(vec![Some(5.0), Some(5.0), Some(5.0)]),
+        UpdateOp::Delete(3),
+    ];
+    coord.update(&ops).expect("cluster update");
+    let mut twin = DynamicEngine::new(ds.clone());
+    assert!(twin.apply_ops(&ops).error.is_none());
+
+    // Baseline agreement before any failure.
+    let reference = entries(&twin.query(&EngineQuery::new(5)).expect("big"));
+    assert_eq!(
+        entries(&coord.query(5, Algorithm::Big).expect("healthy query")),
+        reference
+    );
+
+    // Kill one worker abruptly (no handoff, no drain). The next query
+    // hits a dead socket; the coordinator must repair and retry.
+    workers.remove(1).kill();
+    let got = coord.query(5, Algorithm::Big);
+    match got {
+        Ok(r) => assert_eq!(entries(&r), reference, "retried answer must be exact"),
+        Err(e) => assert!(
+            matches!(
+                e,
+                ClusterError::Worker(_) | ClusterError::NoWorkers | ClusterError::Store(_)
+            ),
+            "typed error only, got {e}"
+        ),
+    }
+    // With two survivors the repair must actually succeed.
+    let healed = coord.query(5, Algorithm::Big).expect("repaired query");
+    assert_eq!(entries(&healed), reference);
+    assert!(coord.stats.repairs >= 1, "repair path must have run");
+    assert_eq!(coord.live_workers(), 2);
+
+    // Updates keep flowing through the repaired topology.
+    let more = vec![UpdateOp::Insert(vec![Some(4.0), None, Some(4.0)])];
+    coord.update(&more).expect("post-repair update");
+    assert!(twin.apply_ops(&more).error.is_none());
+    let reference = entries(&twin.query(&EngineQuery::new(5)).expect("big"));
+    assert_eq!(
+        entries(&coord.query(5, Algorithm::Big).expect("post-repair query")),
+        reference
+    );
+
+    // Kill the rest: the query must fail with a typed error, never a
+    // partial or wrong result.
+    for w in workers.drain(..) {
+        w.kill();
+    }
+    let err = coord.query(5, Algorithm::Big).expect_err("no workers left");
+    assert!(
+        matches!(
+            err,
+            ClusterError::NoWorkers | ClusterError::Worker(_) | ClusterError::Store(_)
+        ),
+        "typed error only, got {err}"
+    );
+}

@@ -380,6 +380,47 @@ fn standing_subscriptions_match_twin_engine() {
     }
 }
 
+/// Pushed notifications must not wait for the idle-poll tick: once a
+/// connection holds a subscription, the push sink's bell wakes the
+/// connection thread, so delivery latency stays well under the 50ms
+/// unsubscribed poll interval instead of averaging half of it.
+#[test]
+fn notifications_beat_the_poll_interval() {
+    const POLL: Duration = Duration::from_millis(50);
+    let dims = 3;
+    let mut rng = Mix(61_000);
+    let initial: Vec<Vec<Option<f64>>> = (0..12).map(|_| common::row(&mut rng, dims, 30)).collect();
+    let ds = Dataset::from_rows(dims, &initial).expect("valid rows");
+    let (server, mut client) = start(ds);
+    client
+        .subscribe(&StandingSpec::new(3))
+        .expect("subscribe acked");
+    let rounds = 6;
+    let mut total = Duration::ZERO;
+    for round in 0..rounds {
+        let op = UpdateOp::Insert(common::row(&mut rng, dims, 30));
+        client.update(&[op]).expect("insert applies");
+        let sent = std::time::Instant::now();
+        let note = client
+            .next_notification(Duration::from_secs(5))
+            .expect("healthy stream")
+            .expect("one push per acked batch");
+        let latency = sent.elapsed();
+        assert_eq!(note.batch_seq, round + 1, "pushes arrive in batch order");
+        assert!(
+            latency < POLL,
+            "round {round}: push took {latency:?}, the old poll-tick worst case"
+        );
+        total += latency;
+    }
+    let avg = total / rounds as u32;
+    assert!(
+        avg < Duration::from_millis(20),
+        "average push latency {avg:?} should be far under the 50ms poll"
+    );
+    server.stop().expect("clean stop");
+}
+
 /// Serve-path standing edge matrix: k = 0 subscriptions, duplicate
 /// registrations, invalid specs, unsubscribe idempotence, and
 /// subscribe-then-delete-everything all behave over the wire.

@@ -27,7 +27,7 @@ use std::time::Duration;
 use tkdi::core::dynamic::{CompactionPolicy, DynamicOptions};
 use tkdi::core::BinChoice;
 use tkdi::prelude::*;
-use tkdi::serve::{Client, QuerySpec, ServeConfig, Server};
+use tkdi::serve::{Client, QuerySpec, ServeConfig, ServeError, Server, UpdateAck};
 use tkdi::store;
 
 const DIMS: usize = 3;
@@ -352,4 +352,233 @@ fn standing_notifications_survive_contended_updates() {
         let got: Vec<(u32, usize)> = views[i].iter().map(|e| (e.id, e.score)).collect();
         assert_eq!(got, want, "subscription {i}: folded view = final top-k");
     }
+}
+
+/// The drain-race leg: `stop()` races live submitters. Every client must
+/// get either a real answer or a typed rejection (`ShuttingDown` error
+/// frame, or the connection closing under it) — never a dropped request
+/// that leaves it hanging until its frame deadline. This pins the
+/// shutdown sweep in the engine loop: a frame that slips into the queue
+/// as draining begins is still answered.
+#[test]
+fn stop_races_submitters_without_dropping_requests() {
+    let mut rng = Mix(31_337);
+    let ds = random_dataset(&mut rng, 30, DIMS, 30);
+    let server = Server::start(
+        DynamicEngine::with_options(ds, options()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..WRITERS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut rng = Mix(0xD1A1 + c as u64);
+                let mut client =
+                    Client::connect_with(addr, Duration::from_secs(10)).expect("client connects");
+                let mut answered = 0usize;
+                loop {
+                    // Alternate reads and writes so both request shapes
+                    // cross the drain boundary.
+                    let result = if (answered + c).is_multiple_of(2) {
+                        client.query(QuerySpec::new(3)).map(|_| ())
+                    } else {
+                        client
+                            .update(&[UpdateOp::Insert(row(&mut rng, DIMS, 30))])
+                            .map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => answered += 1,
+                        Err(e) => {
+                            // A request in flight when the drain lands is
+                            // refused with a *typed* outcome. A frame
+                            // deadline here would mean a request was
+                            // silently dropped — exactly the race this
+                            // test exists to catch.
+                            assert!(
+                                matches!(
+                                    e,
+                                    ServeError::ShuttingDown
+                                        | ServeError::Io(_)
+                                        | ServeError::Disconnected
+                                ),
+                                "typed shutdown outcome, got {e:?}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Let the submitters build up real traffic, then pull the rug.
+    std::thread::sleep(Duration::from_millis(30));
+    server.stop().expect("clean drain");
+    let answered: usize = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread survived the race"))
+        .sum();
+    assert!(answered > 0, "the race must overlap real served traffic");
+}
+
+/// Spawn a `tkdq serve` child on an ephemeral port and parse the bound
+/// address from its announcement line.
+fn spawn_serve(
+    snap: &std::path::Path,
+    initial_seq: u64,
+) -> (std::process::Child, std::net::SocketAddr) {
+    use std::io::BufRead;
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_tkdq"));
+    cmd.arg("serve")
+        .arg("--index")
+        .arg(snap)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    if initial_seq > 0 {
+        cmd.arg("--initial-seq").arg(initial_seq.to_string());
+    }
+    let mut child = cmd.spawn().expect("tkdq serve spawns");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve announces its address before EOF")
+            .expect("readable child stdout");
+        if let Some(rest) = line.split(" on ").nth(1) {
+            let token = rest.split_whitespace().next().expect("address token");
+            break token.parse().expect("socket address parses");
+        }
+    };
+    // Keep draining stdout so the child can never block on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// The kill-and-restart leg: a real `tkdq serve` process is killed with
+/// a batch in flight, restarted from the snapshot it left behind with
+/// `--initial-seq` at its last committed seq, and the run continues. The
+/// acked seqs across both incarnations must be exactly `1..=batches` —
+/// the snapshot-per-batch rewrite plus the seeded counter make a process
+/// death invisible in the seq stream. The in-flight victim batch either
+/// lands durably with its ack, or fails with a typed transport error;
+/// the snapshot on disk is always a whole-batch state (atomic rename).
+#[test]
+fn kill_and_restart_resumes_the_seq_stream() {
+    const INITIAL: usize = 30;
+    const PER_BATCH: usize = 3;
+    const BATCHES: u64 = 10;
+    let mut rng = Mix(777_001);
+    let snap = std::env::temp_dir().join(format!(
+        "tkd_serve_restart_{}_{:x}.snap",
+        std::process::id(),
+        rng.next()
+    ));
+    let ds = random_dataset(&mut rng, INITIAL, DIMS, 30);
+    let mut seed = DynamicEngine::with_options(ds, options());
+    store::save_engine(&snap, &mut seed).expect("seed snapshot saved");
+
+    let mk = |rng: &mut Mix| -> Vec<UpdateOp> {
+        (0..PER_BATCH)
+            .map(|_| UpdateOp::Insert(row(rng, DIMS, 30)))
+            .collect()
+    };
+
+    let (mut child, addr) = spawn_serve(&snap, 0);
+    let mut client = Client::connect_with(addr, Duration::from_secs(30)).expect("client connects");
+    let mut acked: Vec<u64> = Vec::new();
+    for batch in 1..=5u64 {
+        let ack = client.update(&mk(&mut rng)).expect("batch acked");
+        assert_eq!(ack.seq, batch, "seq is the batch ordinal");
+        acked.push(ack.seq);
+    }
+
+    // Kill the process with a batch in flight from a second connection.
+    let victim_ops = mk(&mut rng);
+    let victim = std::thread::spawn(move || -> Result<UpdateAck, ServeError> {
+        let mut c = Client::connect_with(addr, Duration::from_secs(5))?;
+        c.update(&victim_ops)
+    });
+    std::thread::sleep(Duration::from_millis(2));
+    child.kill().expect("kill delivered");
+    child.wait().expect("child reaped");
+    let victim = victim.join().expect("victim thread");
+
+    // Whatever the kill timing, the snapshot is a complete committed
+    // state: a whole number of batches, never a torn write.
+    let persisted = store::load_engine(&snap).expect("snapshot survives the kill intact");
+    let live = persisted.len();
+    assert_eq!(
+        (live - INITIAL) % PER_BATCH,
+        0,
+        "snapshot commits whole batches only"
+    );
+    let committed = ((live - INITIAL) / PER_BATCH) as u64;
+    assert!(
+        (5..=6).contains(&committed),
+        "only the victim batch is in doubt, committed={committed}"
+    );
+    match &victim {
+        Ok(ack) => {
+            // An ack is a durability receipt: the snapshot is rewritten
+            // before the ack frame goes out.
+            assert_eq!(ack.seq, 6);
+            assert_eq!(committed, 6, "acked implies persisted");
+            acked.push(ack.seq);
+        }
+        Err(e) => {
+            assert!(
+                matches!(
+                    e,
+                    ServeError::Io(_) | ServeError::Disconnected | ServeError::DeadlineExpired
+                ),
+                "typed transport failure, got {e:?}"
+            );
+            // The batch may still have committed with its ack lost in
+            // the kill; the snapshot is the arbiter.
+            if committed == 6 {
+                acked.push(6);
+            }
+        }
+    }
+
+    // Restart from the snapshot, seeding the seq stream where it left
+    // off, and finish the run.
+    let (mut child, addr) = spawn_serve(&snap, committed);
+    let mut client = Client::connect_with(addr, Duration::from_secs(30)).expect("reconnects");
+    let stats = client.stats().expect("stats answer");
+    assert_eq!(stats.seq, committed, "--initial-seq seeds the counter");
+    assert_eq!(
+        stats.live as usize, live,
+        "restart resumes the committed state"
+    );
+    for batch in committed + 1..=BATCHES {
+        let ack = client
+            .update(&mk(&mut rng))
+            .expect("batch acked after restart");
+        assert_eq!(ack.seq, batch, "seq stream continues unbroken");
+        acked.push(ack.seq);
+    }
+    assert_eq!(
+        acked,
+        (1..=BATCHES).collect::<Vec<_>>(),
+        "ack seqs are exactly 1..=batches across the kill"
+    );
+    client.shutdown().expect("drains cleanly");
+    child.wait().expect("child exits after shutdown");
+
+    // Every incarnation applied PER_BATCH inserts per acked batch.
+    let final_engine = store::load_engine(&snap).expect("final snapshot loads");
+    assert_eq!(
+        final_engine.len(),
+        INITIAL + PER_BATCH * BATCHES as usize,
+        "final state reflects exactly the acked batches"
+    );
+    let _ = std::fs::remove_file(&snap);
 }
